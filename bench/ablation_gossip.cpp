@@ -1,0 +1,75 @@
+/// \file ablation_gossip.cpp
+/// Ablations of the gossiping design choices DESIGN.md calls out, on the
+/// Fig 2 propagation workload (500 DSL peers, one 1000-key update):
+///
+///  1. the rumor stop counter n (Demers' "n peers in a row that already
+///     know"): small n dies out early and leans on anti-entropy; large n
+///     wastes redundant rumor traffic;
+///  2. the partial anti-entropy window m (0 disables the piggyback);
+///  3. the anti-entropy cadence (every 5th / 10th / 20th round) — the paper
+///     rejected "AE more often" as too expensive, which this quantifies.
+
+#include <cstdio>
+#include <cstring>
+
+#include "sim/scenarios.hpp"
+
+using namespace planetp;
+using namespace planetp::sim;
+
+namespace {
+
+PropagationOptions base_options(std::size_t n) {
+  PropagationOptions opts;
+  opts.community_size = n;
+  opts.profile = BandwidthProfile::kDsl;
+  return opts;
+}
+
+void report(const char* label, const PropagationResult& r) {
+  std::printf("  %-24s time=%7.1fs volume=%7.2fMB perpeer=%6.1fB/s%s\n", label,
+              r.propagation_seconds, static_cast<double>(r.event_bytes) / 1e6,
+              r.per_peer_bandwidth_bps, r.converged ? "" : " (timeout)");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool quick = argc > 1 && std::strcmp(argv[1], "--quick") == 0;
+  const std::size_t n = quick ? 150 : 500;
+  std::printf("Gossip ablations — %zu DSL peers, 1000-key update\n\n", n);
+
+  std::puts("# stop counter n (rumor retirement)");
+  for (int stop : {1, 2, 3, 4, 6}) {
+    auto opts = base_options(n);
+    opts.stop_count = stop;
+    opts.seed = 100 + stop;
+    char label[32];
+    std::snprintf(label, sizeof(label), "n=%d%s", stop, stop == 2 ? " (paper)" : "");
+    report(label, run_propagation(opts));
+  }
+  std::puts("");
+
+  std::puts("# partial anti-entropy window m (0 = disabled, the LAN-NPA ablation)");
+  for (std::size_t m : {0u, 5u, 10u, 20u}) {
+    auto opts = base_options(n);
+    opts.partial_ae = m != 0;
+    opts.partial_ae_window = m == 0 ? 10 : m;
+    opts.seed = 200 + m;
+    char label[32];
+    std::snprintf(label, sizeof(label), "m=%zu%s", m, m == 10 ? " (paper)" : "");
+    report(label, run_propagation(opts));
+  }
+  std::puts("");
+
+  std::puts("# anti-entropy cadence (every k-th rumoring round)");
+  for (int every : {5, 10, 20}) {
+    auto opts = base_options(n);
+    opts.anti_entropy_every = every;
+    opts.seed = 300 + every;
+    char label[32];
+    std::snprintf(label, sizeof(label), "every %d%s", every, every == 10 ? " (paper)" : "");
+    report(label, run_propagation(opts));
+  }
+  return 0;
+}

@@ -1,0 +1,109 @@
+/// \file fig6_search.cpp
+/// Figure 6: search and retrieval effectiveness on an AP89-shaped synthetic
+/// collection distributed over a community (Weibull placement).
+///  (a) average recall and precision vs k — TFxIDF (centralized oracle) vs
+///      TFxIPF with the adaptive stopping heuristic (IPF Ad.W);
+///  (b) PlanetP's recall vs community size at fixed k = 20;
+///  (c) number of peers contacted vs k — IPF Ad.W vs Best (the minimum set
+///      that could supply k relevant documents).
+///
+/// Expected shapes: IPF tracks IDF closely (slightly behind at small k,
+/// caught up at large k); recall flat in community size; contacted peers
+/// grow with k, above Best but far below the community size.
+
+#include <cstdio>
+#include <cstring>
+
+#include "search/experiment.hpp"
+
+using namespace planetp;
+using namespace planetp::search;
+
+namespace {
+
+void part_a_c(const corpus::SynthCollection& collection, std::size_t peers) {
+  const RetrievalSetup setup =
+      distribute_collection(collection, peers, corpus::PlacementOptions{});
+
+  RetrievalOptions opts;
+  opts.ks = {10, 20, 50, 100, 150, 200, 300, 400, 500};
+  const auto points = run_k_sweep(collection, setup, opts);
+
+  std::printf("== Fig 6(a): recall/precision vs k (%zu peers, Weibull) ==\n", peers);
+  std::printf("%-6s %9s %9s %9s %9s\n", "k", "IDF-R", "IDF-P", "IPF-R", "IPF-P");
+  for (const auto& p : points) {
+    std::printf("%-6zu %9.3f %9.3f %9.3f %9.3f\n", p.k, p.idf_recall, p.idf_precision,
+                p.ipf_recall, p.ipf_precision);
+  }
+  std::puts("");
+
+  std::puts("== Fig 6(c): peers contacted vs k ==");
+  std::printf("%-6s %12s %12s %12s\n", "k", "IPF Ad.W", "IDF exact", "Best");
+  for (const auto& p : points) {
+    std::printf("%-6zu %12.1f %12.1f %12.1f\n", p.k, p.ipf_peers, p.idf_peers,
+                p.best_peers);
+  }
+  std::puts("");
+}
+
+void placement_comparison(const corpus::SynthCollection& collection, std::size_t peers) {
+  // §7.3 cites the companion TR: "we also study a uniform distribution and
+  // show that PlanetP does equally well although it has to contact more
+  // peers as documents are more spread out in the community."
+  std::puts("== placement: Weibull vs uniform (k = 20) ==");
+  std::printf("%-10s %9s %9s %12s %10s\n", "placement", "IPF-R", "IPF-P", "contacted",
+              "best");
+  RetrievalOptions opts;
+  for (const auto kind : {corpus::PlacementKind::kWeibull, corpus::PlacementKind::kUniform}) {
+    corpus::PlacementOptions placement;
+    placement.kind = kind;
+    const RetrievalSetup setup = distribute_collection(collection, peers, placement);
+    const auto p = evaluate_at_k(collection, setup, 20, opts);
+    std::printf("%-10s %9.3f %9.3f %12.1f %10.1f\n",
+                kind == corpus::PlacementKind::kWeibull ? "weibull" : "uniform",
+                p.ipf_recall, p.ipf_precision, p.ipf_peers, p.best_peers);
+  }
+  std::puts("");
+}
+
+void part_b(const corpus::SynthCollection& collection) {
+  std::puts("== Fig 6(b): recall vs community size (k = 20) ==");
+  RetrievalOptions opts;
+  const auto points = run_community_sweep(collection, {100, 200, 400, 600, 800, 1000},
+                                          20, corpus::PlacementOptions{}, opts);
+  std::printf("%-8s %9s %9s %14s\n", "peers", "IPF-R", "IDF-R", "IPF contacted");
+  for (const auto& p : points) {
+    std::printf("%-8zu %9.3f %9.3f %14.1f\n", p.community_size, p.ipf_recall,
+                p.idf_recall, p.ipf_peers);
+  }
+  std::puts("");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  const char* part = "all";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+    if (std::strncmp(argv[i], "--part=", 7) == 0) part = argv[i] + 7;
+  }
+
+  const auto spec = quick ? corpus::preset_cacm() : corpus::preset_ap89(8);
+  const auto collection = corpus::generate(spec);
+  std::printf("collection %s: %zu docs, %zu distinct terms, %zu queries\n\n",
+              spec.name.c_str(), collection.docs.size(), collection.distinct_terms,
+              collection.queries.size());
+
+  if (std::strcmp(part, "a") == 0 || std::strcmp(part, "c") == 0 ||
+      std::strcmp(part, "all") == 0) {
+    part_a_c(collection, 400);
+  }
+  if (std::strcmp(part, "b") == 0 || std::strcmp(part, "all") == 0) {
+    part_b(collection);
+  }
+  if (std::strcmp(part, "placement") == 0 || std::strcmp(part, "all") == 0) {
+    placement_comparison(collection, 400);
+  }
+  return 0;
+}

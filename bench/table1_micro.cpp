@@ -1,0 +1,241 @@
+/// \file table1_micro.cpp
+/// Table 1: costs of PlanetP's basic operations — Bloom filter insertion,
+/// search, compression and decompression, plus inverted-index insertion and
+/// search — as "fixed overhead plus marginal per-key cost" models.
+///
+/// Two outputs:
+///  1. a Table-1-style fit (a + b*n, least squares over a key-count sweep),
+///     printed before the benchmarks;
+///  2. google-benchmark timings for the same operations at several sizes.
+///
+/// Absolute numbers are far below the paper's (800 MHz P-III + JVM vs modern
+/// hardware + C++); the *linear shape* is the reproduced result and is what
+/// parameterizes the simulator.
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bloom/bloom_filter.hpp"
+#include "bloom/wire.hpp"
+#include "index/inverted_index.hpp"
+#include "util/stats.hpp"
+
+using namespace planetp;
+
+namespace {
+
+std::vector<std::string> make_terms(std::size_t n, unsigned tag) {
+  std::vector<std::string> terms;
+  terms.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    terms.push_back("term" + std::to_string(tag) + "_" + std::to_string(i));
+  }
+  return terms;
+}
+
+double now_ms() {
+  return static_cast<double>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+                                 .count()) /
+         1e6;
+}
+
+/// Fit cost(n) = a + b*n over the sweep and print one Table 1 row.
+void fit_and_print(const char* label, const std::vector<double>& keys,
+                   const std::vector<double>& ms) {
+  const LinearFit fit = fit_linear(keys, ms);
+  std::printf("  %-28s %8.4f ms + %.6f ms/key   (r^2=%.3f)\n", label, fit.intercept,
+              fit.slope, fit.r2);
+}
+
+void print_cost_models() {
+  std::puts("Table 1 — cost models on this machine (cost = a + b * no. keys):");
+  const std::vector<double> sweep = {1000, 5000, 10000, 20000, 35000, 50000};
+
+  {  // Bloom filter insertion
+    std::vector<double> ms;
+    for (double n : sweep) {
+      const auto terms = make_terms(static_cast<std::size_t>(n), 1);
+      bloom::BloomFilter filter;
+      const double t0 = now_ms();
+      for (const auto& t : terms) filter.insert(t);
+      ms.push_back(now_ms() - t0);
+    }
+    fit_and_print("Bloom filter insertion", sweep, ms);
+  }
+  {  // Bloom filter search
+    bloom::BloomFilter filter;
+    for (const auto& t : make_terms(50000, 2)) filter.insert(t);
+    std::vector<double> ms;
+    for (double n : sweep) {
+      const auto probes = make_terms(static_cast<std::size_t>(n), 3);
+      const double t0 = now_ms();
+      std::size_t hits = 0;
+      for (const auto& t : probes) hits += filter.contains(t) ? 1 : 0;
+      benchmark::DoNotOptimize(hits);
+      ms.push_back(now_ms() - t0);
+    }
+    fit_and_print("Bloom filter search", sweep, ms);
+  }
+  {  // Bloom filter compress / decompress
+    std::vector<double> compress_ms, decompress_ms;
+    for (double n : sweep) {
+      bloom::BloomFilter filter;
+      for (const auto& t : make_terms(static_cast<std::size_t>(n), 4)) filter.insert(t);
+      const double t0 = now_ms();
+      const CompressedBits c = compress_bits(filter.bits());
+      compress_ms.push_back(now_ms() - t0);
+      const double t1 = now_ms();
+      const BitVector back = decompress_bits(c);
+      decompress_ms.push_back(now_ms() - t1);
+      benchmark::DoNotOptimize(back.size());
+    }
+    fit_and_print("Bloom filter compress", sweep, compress_ms);
+    fit_and_print("Bloom filter decompress", sweep, decompress_ms);
+  }
+  {  // Inverted index insertion: one document of n distinct terms
+    std::vector<double> ms;
+    for (double n : sweep) {
+      const auto terms = make_terms(static_cast<std::size_t>(n), 5);
+      std::unordered_map<std::string, std::uint32_t> freqs;
+      for (const auto& t : terms) freqs.emplace(t, 1);
+      index::InvertedIndex idx;
+      const double t0 = now_ms();
+      idx.add_document({0, 0}, freqs);
+      ms.push_back(now_ms() - t0);
+    }
+    fit_and_print("Inverted index insertion", sweep, ms);
+  }
+  {  // Inverted index search: n single-term lookups
+    index::InvertedIndex idx;
+    std::unordered_map<std::string, std::uint32_t> freqs;
+    for (const auto& t : make_terms(50000, 6)) freqs.emplace(t, 1);
+    idx.add_document({0, 0}, freqs);
+    std::vector<double> ms;
+    for (double n : sweep) {
+      const auto probes = make_terms(static_cast<std::size_t>(n), 6);
+      const double t0 = now_ms();
+      std::size_t found = 0;
+      for (const auto& t : probes) found += idx.postings(t).size();
+      benchmark::DoNotOptimize(found);
+      ms.push_back(now_ms() - t0);
+    }
+    fit_and_print("Inverted index search", sweep, ms);
+  }
+  std::puts("");
+}
+
+// ---------------------------------------------------------------------------
+// google-benchmark detail timings
+// ---------------------------------------------------------------------------
+
+void BM_BloomInsert(benchmark::State& state) {
+  const auto terms = make_terms(static_cast<std::size_t>(state.range(0)), 10);
+  for (auto _ : state) {
+    bloom::BloomFilter filter;
+    for (const auto& t : terms) filter.insert(t);
+    benchmark::DoNotOptimize(filter.popcount());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_BloomInsert)->Arg(1000)->Arg(10000)->Arg(50000);
+
+void BM_BloomSearch(benchmark::State& state) {
+  bloom::BloomFilter filter;
+  for (const auto& t : make_terms(50000, 11)) filter.insert(t);
+  const auto probes = make_terms(static_cast<std::size_t>(state.range(0)), 12);
+  for (auto _ : state) {
+    std::size_t hits = 0;
+    for (const auto& t : probes) hits += filter.contains(t) ? 1 : 0;
+    benchmark::DoNotOptimize(hits);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_BloomSearch)->Arg(1000)->Arg(10000);
+
+void BM_BloomCompress(benchmark::State& state) {
+  bloom::BloomFilter filter;
+  for (const auto& t : make_terms(static_cast<std::size_t>(state.range(0)), 13)) {
+    filter.insert(t);
+  }
+  for (auto _ : state) {
+    const CompressedBits c = compress_bits(filter.bits());
+    benchmark::DoNotOptimize(c.payload.size());
+  }
+}
+BENCHMARK(BM_BloomCompress)->Arg(1000)->Arg(20000)->Arg(50000);
+
+void BM_BloomDecompress(benchmark::State& state) {
+  bloom::BloomFilter filter;
+  for (const auto& t : make_terms(static_cast<std::size_t>(state.range(0)), 14)) {
+    filter.insert(t);
+  }
+  const CompressedBits c = compress_bits(filter.bits());
+  for (auto _ : state) {
+    const BitVector bits = decompress_bits(c);
+    benchmark::DoNotOptimize(bits.size());
+  }
+}
+BENCHMARK(BM_BloomDecompress)->Arg(1000)->Arg(20000)->Arg(50000);
+
+void BM_IndexInsert(benchmark::State& state) {
+  std::unordered_map<std::string, std::uint32_t> freqs;
+  for (const auto& t : make_terms(static_cast<std::size_t>(state.range(0)), 15)) {
+    freqs.emplace(t, 1);
+  }
+  for (auto _ : state) {
+    index::InvertedIndex idx;
+    idx.add_document({0, 0}, freqs);
+    benchmark::DoNotOptimize(idx.num_terms());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_IndexInsert)->Arg(1000)->Arg(10000)->Arg(50000);
+
+void BM_IndexSearch(benchmark::State& state) {
+  index::InvertedIndex idx;
+  std::unordered_map<std::string, std::uint32_t> freqs;
+  for (const auto& t : make_terms(50000, 16)) freqs.emplace(t, 1);
+  idx.add_document({0, 0}, freqs);
+  const auto probes = make_terms(static_cast<std::size_t>(state.range(0)), 16);
+  for (auto _ : state) {
+    std::size_t found = 0;
+    for (const auto& t : probes) found += idx.postings(t).size();
+    benchmark::DoNotOptimize(found);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_IndexSearch)->Arg(1000)->Arg(10000);
+
+/// §7.1's headline spot-checks: create a 50k-term filter (paper: ~1/2 s) and
+/// search a 5-term query against 1000 filters (paper: ~50 ms).
+void BM_QueryAgainst1000Filters(benchmark::State& state) {
+  std::vector<bloom::BloomFilter> filters(1000, bloom::BloomFilter{});
+  for (std::size_t i = 0; i < filters.size(); ++i) {
+    for (const auto& t : make_terms(200, static_cast<unsigned>(100 + i % 7))) {
+      filters[i].insert(t);
+    }
+  }
+  const auto query = make_terms(5, 104);
+  for (auto _ : state) {
+    std::size_t hits = 0;
+    for (const auto& f : filters) {
+      for (const auto& t : query) hits += f.contains(t) ? 1 : 0;
+    }
+    benchmark::DoNotOptimize(hits);
+  }
+}
+BENCHMARK(BM_QueryAgainst1000Filters);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_cost_models();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,52 @@
+/// \file gossip_trace.cpp
+/// Watch a rumor spread: simulate a 200-peer DSL community, inject one
+/// Bloom-filter update, and print the coverage curve over time together
+/// with the traffic split (rumor vs anti-entropy bytes).
+
+#include <cstdio>
+
+#include "sim/community.hpp"
+
+using namespace planetp;
+using namespace planetp::sim;
+
+int main() {
+  SimConfig cfg;
+  cfg.seed = 2026;
+
+  SimCommunity community(cfg);
+  constexpr std::size_t kPeers = 200;
+  for (std::size_t i = 0; i < kPeers; ++i) {
+    community.add_peer({link_speed::kDsl512k, 1000});
+  }
+
+  // Count coverage by hand via a tracker-less hook: ask each peer's
+  // directory for the event version at sampling points.
+  community.add_tracker("all", [](gossip::PeerId) { return true; });
+  community.start_converged();
+  community.run_until(5 * kMinute);
+  community.stats().reset();
+
+  const gossip::PeerId origin = 17;
+  community.inject_filter_change(origin, 1000);
+  const TimePoint injected = community.queue().now();
+  std::printf("injected 1000-key filter change at peer %u, t=%.0fs\n", origin,
+              to_seconds(injected));
+  std::puts("  t(s)  peers-knowing  rumorKB  aeKB");
+
+  std::size_t knowing = 1;
+  for (int step = 1; knowing < kPeers && step <= 120; ++step) {
+    community.run_until(injected + step * 10 * kSecond);
+    knowing = 0;
+    for (gossip::PeerId id = 0; id < kPeers; ++id) {
+      const auto* r = community.protocol(id).directory().find(origin);
+      if (r != nullptr && r->version >= 2) ++knowing;
+    }
+    std::printf("  %4d  %13zu  %7.1f  %5.1f\n", step * 10, knowing,
+                community.stats().rumor_bytes() / 1024.0,
+                community.stats().anti_entropy_bytes() / 1024.0);
+  }
+  std::printf("rumor died out after reaching all %zu peers; total volume %.1f KB\n",
+              kPeers, community.stats().total_bytes() / 1024.0);
+  return 0;
+}

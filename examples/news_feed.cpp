@@ -1,0 +1,74 @@
+/// \file news_feed.cpp
+/// Persistent queries as publish/subscribe (§5.1: they provide "a way for
+/// applications to implement traditional distributed mechanisms like
+/// condition variables, publish/subscribe communication, tuple spaces").
+///
+/// A newsroom community: reporters publish wire stories; subscribers hold
+/// standing queries ("topics") and receive upcalls the moment matching
+/// stories appear — without polling, and regardless of which peer published.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/community.hpp"
+
+using namespace planetp;
+using namespace planetp::core;
+
+namespace {
+
+struct Subscription {
+  std::string topic;
+  std::vector<std::string> received;
+};
+
+}  // namespace
+
+int main() {
+  Community community;
+  Node& reuters = community.create_node();
+  Node& ap = community.create_node();
+  Node& reader_science = community.create_node();
+  Node& reader_markets = community.create_node();
+
+  // Standing subscriptions: upcalls fire on every new matching story.
+  Subscription science{"telescope discovery", {}};
+  reader_science.add_persistent_query(science.topic, [&](const SearchHit& hit) {
+    science.received.push_back(hit.title);
+    std::printf("[science reader] new story: %s (from peer %u)\n", hit.title.c_str(),
+                hit.doc.peer);
+  });
+
+  Subscription markets{"market rally", {}};
+  reader_markets.add_persistent_query(markets.topic, [&](const SearchHit& hit) {
+    markets.received.push_back(hit.title);
+    std::printf("[markets reader] new story: %s (from peer %u)\n", hit.title.c_str(),
+                hit.doc.peer);
+  });
+
+  std::puts("-- wire opens --");
+  reuters.publish_text("Tails of Andromeda",
+                       "space telescope discovery reveals new dwarf galaxy");
+  ap.publish_text("Stocks Climb", "global market rally extends to a third week");
+  reuters.publish_text("Local Weather", "rain expected thursday");  // matches nobody
+  ap.publish_text("Exoplanet Found",
+                  "another telescope discovery: an earth-size exoplanet");
+
+  std::printf("\nscience reader got %zu stories, markets reader got %zu\n",
+              science.received.size(), markets.received.size());
+
+  // Subscriptions also catch stories that existed before the subscription.
+  Node& late_reader = community.create_node();
+  std::size_t backfill = 0;
+  late_reader.add_persistent_query("telescope discovery",
+                                   [&](const SearchHit&) { ++backfill; });
+  std::printf("late subscriber backfilled %zu existing stories\n", backfill);
+
+  // And deduplicate: republishing unrelated content fires nothing new.
+  const std::size_t before = science.received.size();
+  ap.publish_text("Sports", "cup final goes to penalties");
+  std::printf("unrelated publish fired %zu new science upcalls\n",
+              science.received.size() - before);
+  return 0;
+}

@@ -1,0 +1,64 @@
+/// \file pfs_demo.cpp
+/// PFS (§6): a personal semantic file system on PlanetP. Files published by
+/// any community member appear in query-named directories; subdirectories
+/// refine the query; removals are picked up on refresh.
+
+#include <cstdio>
+
+#include "pfs/pfs.hpp"
+
+using namespace planetp;
+using namespace planetp::core;
+using namespace planetp::pfs;
+
+namespace {
+void list_dir(Pfs& pfs, const std::string& path) {
+  std::printf("%s\n", path.c_str());
+  for (const DirEntry& e : pfs.open(path)) {
+    std::printf("  %-28s -> %s\n", e.title.c_str(), e.url.c_str());
+  }
+}
+}  // namespace
+
+int main() {
+  Community community;
+  Node& alice_node = community.create_node();
+  Node& bob_node = community.create_node();
+
+  // Zero staleness threshold so every open() re-runs the query in this
+  // single-shot demo (a long-lived deployment would use minutes).
+  Pfs alice(alice_node, /*stale_threshold=*/0);
+  Pfs bob(bob_node, /*stale_threshold=*/0);
+
+  // Alice shares her reading list.
+  alice.publish_file("papers/demers87.txt",
+                     "epidemic algorithms for replicated database maintenance "
+                     "anti entropy rumor mongering");
+  alice.publish_file("papers/bloom70.txt",
+                     "space time tradeoffs in hash coding bloom filters");
+  alice.publish_file("notes/todo.txt", "buy milk and fix the fence");
+
+  // Bob shares one too.
+  bob.publish_file("stoica01.txt",
+                   "chord a scalable peer to peer lookup service distributed hash");
+
+  // Bob builds a semantic namespace: directories are queries.
+  const std::string papers = bob.create_directory("hash");
+  list_dir(bob, papers);
+
+  const std::string refined = bob.create_subdirectory(papers, "bloom");
+  std::puts("-- refined (hash AND bloom):");
+  list_dir(bob, refined);
+
+  // New publications appear via persistent-query upcalls.
+  alice.publish_file("papers/karger97.txt",
+                     "consistent hashing and random trees distributed caching");
+  std::puts("-- after alice publishes karger97:");
+  list_dir(bob, papers);
+
+  // Removals disappear on refresh.
+  alice.unpublish_file("papers/bloom70.txt");
+  std::puts("-- after alice removes bloom70:");
+  list_dir(bob, refined);
+  return 0;
+}

@@ -1,0 +1,246 @@
+/// \file planetp_cli.cpp
+/// An interactive PlanetP peer. Runs a live TCP node (real gossip), keeps a
+/// durable local data store, and exposes publish/search at a prompt:
+///
+///   # first member of a community
+///   planetp_cli --id 0 --port 9200 --store /tmp/peer0.ppds
+///
+///   # join through any existing member
+///   planetp_cli --id 1 --port 9201 --join 0@127.0.0.1:9200
+///
+/// Commands: publish <title> <text…> | pubfile <path> | search <terms…> |
+///           find <terms…> | fetch <peer> <doc> | peers | save | help | quit
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "index/persistence.hpp"
+#include "net/live_node.hpp"
+
+using namespace planetp;
+
+namespace {
+
+struct CliOptions {
+  gossip::PeerId id = 0;
+  std::uint16_t port = 0;
+  gossip::PeerId join_id = gossip::kInvalidPeer;
+  std::string join_address;
+  std::string store_path;
+  Duration gossip_interval = kSecond;
+};
+
+void usage() {
+  std::puts(
+      "usage: planetp_cli --id N [--port P] [--join ID@HOST:PORT] [--store FILE]\n"
+      "                   [--interval SECONDS]");
+}
+
+bool parse_args(int argc, char** argv, CliOptions& opts) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : nullptr; };
+    if (arg == "--id") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      opts.id = static_cast<gossip::PeerId>(std::atoi(v));
+    } else if (arg == "--port") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      opts.port = static_cast<std::uint16_t>(std::atoi(v));
+    } else if (arg == "--join") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      const char* at = std::strchr(v, '@');
+      if (at == nullptr) return false;
+      opts.join_id = static_cast<gossip::PeerId>(std::atoi(std::string(v, at).c_str()));
+      opts.join_address = at + 1;
+    } else if (arg == "--store") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      opts.store_path = v;
+    } else if (arg == "--interval") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      opts.gossip_interval = seconds(std::atof(v));
+    } else {
+      return false;
+    }
+  }
+  return true;
+}
+
+void print_help() {
+  std::puts(
+      "  publish <title> <text...>  index and share a document\n"
+      "  pubfile <path>             publish a text file's contents\n"
+      "  search <terms...>          ranked TFxIPF search (top 10)\n"
+      "  find <terms...>            exhaustive conjunctive search\n"
+      "  fetch <peer> <doc>         download a document's XML from its owner\n"
+      "  peers                      show the replicated directory\n"
+      "  save                       snapshot the local store (needs --store)\n"
+      "  help                       this text\n"
+      "  quit                       save (if --store) and exit");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions opts;
+  if (!parse_args(argc, argv, opts)) {
+    usage();
+    return 2;
+  }
+
+  net::LiveNodeConfig cfg;
+  cfg.gossip.base_interval = opts.gossip_interval;
+  cfg.gossip.max_interval = 4 * opts.gossip_interval;
+  cfg.gossip.slow_down = opts.gossip_interval;
+
+  net::LiveNode node(opts.id, cfg, opts.port);
+
+  // Restore the durable store before announcing ourselves so the join rumor
+  // advertises the full Bloom filter.
+  std::size_t restored = 0;
+  if (!opts.store_path.empty()) {
+    try {
+      index::DataStore snapshot = index::load_data_store(opts.store_path, cfg.bloom);
+      for (const index::DocumentId& id : snapshot.documents()) {
+        const index::Document* doc = snapshot.document(id);
+        if (doc != nullptr) {
+          node.publish(doc->xml_source);
+          ++restored;
+        }
+      }
+    } catch (const std::exception&) {
+      // No snapshot yet: first run.
+    }
+  }
+
+  node.start();
+  std::printf("peer %u listening on %s", opts.id, node.address().c_str());
+  if (restored != 0) std::printf(" (%zu documents restored)", restored);
+  std::puts("");
+
+  if (opts.join_id != gossip::kInvalidPeer) {
+    node.join(opts.join_id, opts.join_address);
+    std::printf("joining via peer %u at %s...\n", opts.join_id, opts.join_address.c_str());
+  }
+  std::puts("type 'help' for commands");
+
+  auto save_snapshot = [&]() -> bool {
+    if (opts.store_path.empty()) return false;
+    const auto bytes = node.serialize_store();
+    const std::string tmp = opts.store_path + ".tmp";
+    {
+      std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+      if (!out) return false;
+      out.write(reinterpret_cast<const char*>(bytes.data()),
+                static_cast<std::streamsize>(bytes.size()));
+      if (!out) return false;
+    }
+    return std::rename(tmp.c_str(), opts.store_path.c_str()) == 0;
+  };
+
+  std::string line;
+  while (std::printf("planetp> "), std::fflush(stdout), std::getline(std::cin, line)) {
+    std::istringstream in(line);
+    std::string cmd;
+    in >> cmd;
+    if (cmd.empty()) continue;
+
+    if (cmd == "quit" || cmd == "exit") break;
+    if (cmd == "help") {
+      print_help();
+      continue;
+    }
+    if (cmd == "publish") {
+      std::string title, rest;
+      in >> title;
+      std::getline(in, rest);
+      if (title.empty() || rest.empty()) {
+        std::puts("usage: publish <title> <text...>");
+        continue;
+      }
+      const auto id = node.publish_text(title, rest);
+      std::printf("published %u/%u\n", id.peer, id.local);
+      continue;
+    }
+    if (cmd == "pubfile") {
+      std::string path;
+      in >> path;
+      std::ifstream file(path);
+      if (!file) {
+        std::printf("cannot open %s\n", path.c_str());
+        continue;
+      }
+      std::stringstream content;
+      content << file.rdbuf();
+      const auto id = node.publish_text(path, content.str());
+      std::printf("published %s as %u/%u\n", path.c_str(), id.peer, id.local);
+      continue;
+    }
+    if (cmd == "search" || cmd == "find") {
+      std::string query;
+      std::getline(in, query);
+      if (query.empty()) {
+        std::printf("usage: %s <terms...>\n", cmd.c_str());
+        continue;
+      }
+      const auto hits =
+          cmd == "search" ? node.ranked_search(query, 10) : node.exhaustive_search(query);
+      if (hits.empty()) std::puts("no matches");
+      for (const auto& hit : hits) {
+        if (cmd == "search") {
+          std::printf("  %.3f  %u/%u  %s\n", hit.score, hit.peer, hit.local,
+                      hit.title.c_str());
+        } else {
+          std::printf("  %u/%u  %s\n", hit.peer, hit.local, hit.title.c_str());
+        }
+      }
+      continue;
+    }
+    if (cmd == "fetch") {
+      std::uint32_t peer = 0, local = 0;
+      in >> peer >> local;
+      const auto xml = node.fetch_document(peer, local);
+      if (xml) {
+        std::printf("%s\n", xml->c_str());
+      } else {
+        std::puts("not found (owner offline or unknown id)");
+      }
+      continue;
+    }
+    if (cmd == "peers") {
+      const auto snapshot = node.directory_snapshot();
+      std::printf("directory (%zu known members):\n", snapshot.size());
+      for (const auto& peer : snapshot) {
+        std::printf("  %4u  %-22s v%-4llu %-7s %u keys\n", peer.id, peer.address.c_str(),
+                    static_cast<unsigned long long>(peer.version),
+                    peer.online ? "online" : "offline", peer.key_count);
+      }
+      continue;
+    }
+    if (cmd == "save") {
+      if (opts.store_path.empty()) {
+        std::puts("no --store path configured");
+      } else if (save_snapshot()) {
+        std::printf("saved store to %s\n", opts.store_path.c_str());
+      } else {
+        std::puts("save failed");
+      }
+      continue;
+    }
+    std::printf("unknown command '%s' (try 'help')\n", cmd.c_str());
+  }
+
+  if (!opts.store_path.empty() && save_snapshot()) {
+    std::printf("saved store to %s\n", opts.store_path.c_str());
+  }
+  node.stop();
+  return 0;
+}

@@ -1,0 +1,64 @@
+/// \file quickstart.cpp
+/// PlanetP in five minutes: create an in-process community, publish a few
+/// documents from different peers, and run exhaustive, ranked and persistent
+/// queries against the communal store.
+
+#include <cstdio>
+
+#include "core/community.hpp"
+
+using namespace planetp;
+using namespace planetp::core;
+
+int main() {
+  // An in-process community with instant directory propagation — ideal for
+  // embedding PlanetP inside one application. (Use SyncMode::kGossipStep to
+  // watch real gossip converge, or net::LiveNode for TCP deployments.)
+  Community community;
+
+  Node& alice = community.create_node();
+  Node& bob = community.create_node();
+  Node& carol = community.create_node();
+
+  // Each peer publishes into its own local data store; only Bloom filter
+  // summaries spread through the community.
+  alice.publish_text("Epidemic Algorithms",
+                     "Epidemic algorithms for replicated database maintenance: "
+                     "anti-entropy and rumor mongering spread updates reliably.");
+  alice.publish_text("Bloom Filters",
+                     "Space time tradeoffs in hash coding with allowable errors: "
+                     "compact set summaries with false positives.");
+  bob.publish_text("Consistent Hashing",
+                   "Consistent hashing and random trees for distributed caching "
+                   "protocols relieving hot spots.");
+  carol.publish_text("Vector Space Model",
+                     "A vector space model for automatic indexing: ranking documents "
+                     "by cosine similarity with TF-IDF term weights.");
+
+  // --- Exhaustive search: conjunction of terms, Bloom-filter routed -------
+  std::puts("== exhaustive: \"epidemic algorithms\" ==");
+  for (const SearchHit& hit : bob.exhaustive_search("epidemic algorithms").hits) {
+    std::printf("  [peer %u] %s\n", hit.doc.peer, hit.title.c_str());
+  }
+
+  // --- Ranked search: TFxIPF approximation of TFxIDF ----------------------
+  std::puts("== ranked: \"distributed hashing protocols\" (top 3) ==");
+  for (const SearchHit& hit : carol.ranked_search("distributed hashing protocols", 3)) {
+    std::printf("  %.3f  [peer %u] %s\n", hit.score, hit.doc.peer, hit.title.c_str());
+  }
+
+  // --- Persistent query: upcall when matching content appears -------------
+  std::puts("== persistent query: \"gossip membership\" ==");
+  alice.add_persistent_query("gossip membership", [](const SearchHit& hit) {
+    std::printf("  upcall: new match \"%s\" from peer %u\n", hit.title.c_str(),
+                hit.doc.peer);
+  });
+  bob.publish_text("SWIM", "A gossip based membership protocol with failure detection.");
+
+  // --- Offline peers are not forgotten -------------------------------------
+  community.set_online(carol.id(), false);
+  const auto result = alice.exhaustive_search("vector space indexing");
+  std::printf("== offline handling: %zu hits, %zu offline candidate peer(s)\n",
+              result.hits.size(), result.offline_candidates.size());
+  return 0;
+}

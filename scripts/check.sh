@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Full verification: configure, build, test, and run every benchmark.
+# Usage: scripts/check.sh [--quick]   (--quick shrinks the benchmark sweeps)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+QUICK="${1:-}"
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build --output-on-failure
+
+for b in build/bench/*; do
+  echo "=== $(basename "$b") ==="
+  if [ "$QUICK" = "--quick" ]; then
+    "$b" --quick
+  else
+    "$b"
+  fi
+done

@@ -1,0 +1,80 @@
+#include "bloom/bloom_filter.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace planetp::bloom {
+
+double BloomParams::false_positive_rate(std::size_t n) const {
+  const double m = static_cast<double>(bits);
+  const double k = static_cast<double>(num_hashes);
+  const double fill = 1.0 - std::exp(-k * static_cast<double>(n) / m);
+  return std::pow(fill, k);
+}
+
+BloomParams BloomParams::for_capacity(std::size_t n, double target_fpr, std::uint32_t hashes) {
+  if (n == 0) n = 1;
+  if (target_fpr <= 0.0 || target_fpr >= 1.0) {
+    throw std::invalid_argument("BloomParams::for_capacity: fpr must be in (0,1)");
+  }
+  const double k = static_cast<double>(hashes);
+  // Solve (1 - e^{-kn/m})^k = fpr for m.
+  const double inner = std::pow(target_fpr, 1.0 / k);
+  const double m = -k * static_cast<double>(n) / std::log(1.0 - inner);
+  BloomParams p;
+  p.num_hashes = hashes;
+  p.bits = static_cast<std::size_t>(std::ceil(m));
+  if (p.bits < 64) p.bits = 64;
+  return p;
+}
+
+BloomFilter::BloomFilter(BloomParams params) : params_(params), bits_(params.bits) {
+  if (params_.bits == 0 || params_.num_hashes == 0) {
+    throw std::invalid_argument("BloomFilter: bits and num_hashes must be > 0");
+  }
+}
+
+void BloomFilter::insert(std::string_view term) { insert(hash_pair(term)); }
+
+void BloomFilter::insert(const HashPair& hp) {
+  for (std::uint32_t i = 0; i < params_.num_hashes; ++i) {
+    bits_.set(static_cast<std::size_t>(hp.ith(i) % bits_.size()));
+  }
+}
+
+bool BloomFilter::contains(std::string_view term) const { return contains(hash_pair(term)); }
+
+bool BloomFilter::contains(const HashPair& hp) const {
+  for (std::uint32_t i = 0; i < params_.num_hashes; ++i) {
+    if (!bits_.test(static_cast<std::size_t>(hp.ith(i) % bits_.size()))) return false;
+  }
+  return true;
+}
+
+double BloomFilter::estimated_cardinality() const {
+  const double m = static_cast<double>(bits_.size());
+  const double x = static_cast<double>(bits_.count());
+  if (x >= m) return m;  // saturated
+  const double k = static_cast<double>(params_.num_hashes);
+  return -(m / k) * std::log(1.0 - x / m);
+}
+
+void BloomFilter::merge(const BloomFilter& other) {
+  if (other.bit_size() != bit_size() || other.num_hashes() != num_hashes()) {
+    throw std::invalid_argument("BloomFilter::merge: geometry mismatch");
+  }
+  bits_ |= other.bits_;
+}
+
+BitVector BloomFilter::diff_from(const BloomFilter& base) const {
+  if (base.bit_size() != bit_size()) {
+    throw std::invalid_argument("BloomFilter::diff_from: geometry mismatch");
+  }
+  return bits_ ^ base.bits_;
+}
+
+void BloomFilter::apply_diff(const BitVector& diff) {
+  bits_ ^= diff;
+}
+
+}  // namespace planetp::bloom

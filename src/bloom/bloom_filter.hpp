@@ -1,0 +1,90 @@
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "util/bitvector.hpp"
+#include "util/hash.hpp"
+
+/// \file bloom_filter.hpp
+/// The Bloom filter (Bloom, 1970) that summarizes each peer's inverted-index
+/// term set. PlanetP gossips these summaries instead of full indexes; they
+/// may yield false positives but never false negatives, so the set of peers
+/// whose filters hit a query is a superset of the peers with matching
+/// documents (§2).
+///
+/// PlanetP uses fixed-size 50 KB filters (409,600 bits) with two hash
+/// functions, sized for <=50,000 terms at under 5% false-positive rate
+/// (§7.1). Variable sizing is supported for the accuracy/space trade-off
+/// (merge + resize), which §2 lists as advantage (3).
+
+namespace planetp::bloom {
+
+/// Filter geometry.
+struct BloomParams {
+  std::size_t bits = 409'600;     ///< 50 KB, the paper's fixed wire size
+  std::uint32_t num_hashes = 2;   ///< paper uses two hash functions
+
+  bool operator==(const BloomParams&) const = default;
+
+  /// Expected false-positive probability after inserting \p n keys:
+  /// (1 - e^{-kn/m})^k.
+  double false_positive_rate(std::size_t n) const;
+
+  /// Geometry achieving false-positive rate <= \p target_fpr for \p n keys
+  /// with the given number of hash functions.
+  static BloomParams for_capacity(std::size_t n, double target_fpr, std::uint32_t hashes = 2);
+};
+
+class BloomFilter {
+ public:
+  BloomFilter() : BloomFilter(BloomParams{}) {}
+  explicit BloomFilter(BloomParams params);
+
+  /// Insert a term.
+  void insert(std::string_view term);
+
+  /// Insert a pre-hashed term (used by the index to avoid re-hashing).
+  void insert(const HashPair& hp);
+
+  /// Membership test; may return a false positive.
+  bool contains(std::string_view term) const;
+  bool contains(const HashPair& hp) const;
+
+  /// Number of set bits / total bits.
+  std::size_t popcount() const { return bits_.count(); }
+  std::size_t bit_size() const { return bits_.size(); }
+  std::uint32_t num_hashes() const { return params_.num_hashes; }
+
+  /// Estimate of how many distinct keys were inserted, from the bit density:
+  /// n ~= -(m/k) ln(1 - X/m).
+  double estimated_cardinality() const;
+
+  /// Merge another filter of identical geometry into this one (bitwise OR).
+  /// This is the paper's "combine the filters of several peers to save
+  /// space" operation; the merged filter answers for the union of term sets.
+  void merge(const BloomFilter& other);
+
+  /// XOR difference against \p base: the bits that changed. Gossiping sends
+  /// this diff instead of the full filter when updating (§7.2). Applying the
+  /// same diff to \p base with apply_diff restores *this exactly.
+  BitVector diff_from(const BloomFilter& base) const;
+
+  /// Apply an XOR diff produced by diff_from.
+  void apply_diff(const BitVector& diff);
+
+  /// Reset all bits.
+  void clear() { bits_.clear(); }
+
+  const BitVector& bits() const { return bits_; }
+  BitVector& mutable_bits() { return bits_; }
+  const BloomParams& params() const { return params_; }
+
+  bool operator==(const BloomFilter& other) const = default;
+
+ private:
+  BloomParams params_;
+  BitVector bits_;
+};
+
+}  // namespace planetp::bloom

@@ -1,0 +1,58 @@
+#include "bloom/counting_bloom.hpp"
+
+#include <stdexcept>
+
+namespace planetp::bloom {
+
+CountingBloomFilter::CountingBloomFilter(BloomParams params)
+    : params_(params), counters_(params.bits, 0) {
+  if (params_.bits == 0 || params_.num_hashes == 0) {
+    throw std::invalid_argument("CountingBloomFilter: bits and num_hashes must be > 0");
+  }
+}
+
+void CountingBloomFilter::insert(std::string_view term) { insert(hash_pair(term)); }
+
+void CountingBloomFilter::insert(const HashPair& hp) {
+  for (std::uint32_t i = 0; i < params_.num_hashes; ++i) {
+    auto& c = counters_[static_cast<std::size_t>(hp.ith(i) % counters_.size())];
+    if (c != 0xff) ++c;  // saturate
+  }
+}
+
+void CountingBloomFilter::remove(std::string_view term) { remove(hash_pair(term)); }
+
+void CountingBloomFilter::remove(const HashPair& hp) {
+  for (std::uint32_t i = 0; i < params_.num_hashes; ++i) {
+    auto& c = counters_[static_cast<std::size_t>(hp.ith(i) % counters_.size())];
+    if (c != 0 && c != 0xff) --c;  // saturated counters stay pinned
+  }
+}
+
+bool CountingBloomFilter::contains(std::string_view term) const {
+  return contains(hash_pair(term));
+}
+
+bool CountingBloomFilter::contains(const HashPair& hp) const {
+  for (std::uint32_t i = 0; i < params_.num_hashes; ++i) {
+    if (counters_[static_cast<std::size_t>(hp.ith(i) % counters_.size())] == 0) return false;
+  }
+  return true;
+}
+
+BloomFilter CountingBloomFilter::to_bloom_filter() const {
+  BloomFilter bf(params_);
+  auto& bits = bf.mutable_bits();
+  for (std::size_t i = 0; i < counters_.size(); ++i) {
+    if (counters_[i] != 0) bits.set(i);
+  }
+  return bf;
+}
+
+std::size_t CountingBloomFilter::nonzero_count() const {
+  std::size_t n = 0;
+  for (auto c : counters_) n += (c != 0);
+  return n;
+}
+
+}  // namespace planetp::bloom

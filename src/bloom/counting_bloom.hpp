@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "bloom/bloom_filter.hpp"
+
+/// \file counting_bloom.hpp
+/// Counting Bloom filter backing each peer's *local* summary. Plain Bloom
+/// filters cannot delete, but peers remove documents (and hence terms), so
+/// the local data store keeps 8-bit counters and projects them to the plain
+/// bit filter that is actually gossiped. Counters saturate at 255 and then
+/// never decrement (standard saturating policy: correctness over accuracy).
+
+namespace planetp::bloom {
+
+class CountingBloomFilter {
+ public:
+  explicit CountingBloomFilter(BloomParams params = {});
+
+  void insert(std::string_view term);
+  void insert(const HashPair& hp);
+
+  /// Remove one occurrence; no-op on saturated counters. Removing a term
+  /// never inserted corrupts the filter (standard CBF caveat), so callers
+  /// must pair inserts/removes — the inverted index guarantees this.
+  void remove(std::string_view term);
+  void remove(const HashPair& hp);
+
+  bool contains(std::string_view term) const;
+  bool contains(const HashPair& hp) const;
+
+  /// Project to the plain filter whose bit i is set iff counter i > 0.
+  /// This is what gets gossiped.
+  BloomFilter to_bloom_filter() const;
+
+  const BloomParams& params() const { return params_; }
+  std::size_t nonzero_count() const;
+
+ private:
+  BloomParams params_;
+  std::vector<std::uint8_t> counters_;
+};
+
+}  // namespace planetp::bloom

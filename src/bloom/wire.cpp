@@ -1,0 +1,61 @@
+#include "bloom/wire.hpp"
+
+namespace planetp::bloom {
+
+namespace {
+
+void encode_bits(ByteWriter& out, const BitVector& bits) {
+  const CompressedBits c = compress_bits(bits);
+  out.varint(c.nbits);
+  out.varint(c.set_bits);
+  out.varint(c.m);
+  out.bytes(c.payload);
+}
+
+BitVector decode_bits(ByteReader& in) {
+  CompressedBits c;
+  c.nbits = in.varint();
+  c.set_bits = in.varint();
+  c.m = in.varint();
+  c.payload = in.bytes();
+  return decompress_bits(c);
+}
+
+std::size_t encoded_bits_size(const BitVector& bits) {
+  const CompressedBits c = compress_bits(bits);
+  ByteWriter probe;
+  probe.varint(c.nbits);
+  probe.varint(c.set_bits);
+  probe.varint(c.m);
+  probe.varint(c.payload.size());
+  return probe.size() + c.payload.size();
+}
+
+}  // namespace
+
+void encode_filter(ByteWriter& out, const BloomFilter& filter) {
+  out.varint(filter.num_hashes());
+  encode_bits(out, filter.bits());
+}
+
+BloomFilter decode_filter(ByteReader& in) {
+  BloomParams params;
+  params.num_hashes = static_cast<std::uint32_t>(in.varint());
+  BitVector bits = decode_bits(in);
+  params.bits = bits.size();
+  BloomFilter filter(params);
+  filter.mutable_bits() = std::move(bits);
+  return filter;
+}
+
+std::size_t encoded_filter_size(const BloomFilter& filter) {
+  return 1 + encoded_bits_size(filter.bits());
+}
+
+void encode_diff(ByteWriter& out, const BitVector& diff) { encode_bits(out, diff); }
+
+BitVector decode_diff(ByteReader& in) { return decode_bits(in); }
+
+std::size_t encoded_diff_size(const BitVector& diff) { return encoded_bits_size(diff); }
+
+}  // namespace planetp::bloom

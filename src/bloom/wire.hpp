@@ -1,0 +1,36 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bloom/bloom_filter.hpp"
+#include "util/byte_buffer.hpp"
+#include "util/golomb.hpp"
+
+/// \file wire.hpp
+/// Wire encoding of Bloom filters and filter diffs. §7.1: filters are
+/// compressed with Golomb-coded run lengths, "which outperforms gzip in our
+/// specific context"; §7.2: updates are sent as diffs so the cost scales
+/// with the number of new terms, not the filter size.
+
+namespace planetp::bloom {
+
+/// Serialize a full filter (geometry header + Golomb-compressed bits).
+void encode_filter(ByteWriter& out, const BloomFilter& filter);
+
+/// Inverse of encode_filter.
+BloomFilter decode_filter(ByteReader& in);
+
+/// Serialized byte size of a filter without materializing the message.
+std::size_t encoded_filter_size(const BloomFilter& filter);
+
+/// Serialize an XOR diff (bit-vector of changed positions, compressed).
+void encode_diff(ByteWriter& out, const BitVector& diff);
+
+/// Inverse of encode_diff.
+BitVector decode_diff(ByteReader& in);
+
+/// Serialized byte size of a diff.
+std::size_t encoded_diff_size(const BitVector& diff);
+
+}  // namespace planetp::bloom

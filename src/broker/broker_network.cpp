@@ -1,0 +1,107 @@
+#include "broker/broker_network.hpp"
+
+namespace planetp::broker {
+
+void BrokerNetwork::join(NodeId node) {
+  if (stores_.contains(node)) return;
+  ring_.add_by_hash(node);
+  stores_.emplace(node, SnippetStore{});
+
+  // Join handoff: the newcomer displaces some brokers from some keys'
+  // replica sets. Extract every entry whose holder is no longer a replica
+  // and re-publish it to the key's (new) replica set — which includes the
+  // newcomer where appropriate.
+  std::vector<std::pair<std::string, Snippet>> displaced;
+  for (auto& [owner, store] : stores_) {
+    if (owner == node) continue;
+    const NodeId holder = owner;
+    auto moved = store.extract_if([&](const std::string& key) {
+      const auto replicas = ring_.replicas_for(key, replication_);
+      return std::find(replicas.begin(), replicas.end(), holder) == replicas.end();
+    });
+    for (auto& entry : moved) displaced.push_back(std::move(entry));
+  }
+  for (const auto& [key, snippet] : displaced) {
+    for (NodeId owner : ring_.replicas_for(key, replication_)) {
+      stores_[owner].put(key, snippet);
+    }
+  }
+  // With replication > 1 the newcomer may also join replica sets without
+  // displacing anyone's copy (ring smaller than r before). Top up from the
+  // current holders.
+  if (replication_ > 1) {
+    for (auto& [owner, store] : stores_) {
+      if (owner == node) continue;
+      for (const auto& [key, snippet] : store.all()) {
+        const auto replicas = ring_.replicas_for(key, replication_);
+        if (std::find(replicas.begin(), replicas.end(), node) != replicas.end()) {
+          stores_[node].put(key, snippet);
+        }
+      }
+    }
+  }
+}
+
+void BrokerNetwork::leave_gracefully(NodeId node) {
+  auto it = stores_.find(node);
+  if (it == stores_.end()) return;
+  const auto payload = it->second.all();
+  ring_.remove(node);
+  stores_.erase(it);
+  // Re-publish the handed-off entries to their (new) replica sets.
+  for (const auto& [key, snippet] : payload) {
+    for (NodeId owner : ring_.replicas_for(key, replication_)) {
+      stores_[owner].put(key, snippet);
+    }
+  }
+}
+
+void BrokerNetwork::leave_abruptly(NodeId node) {
+  // Data on the departed broker is simply lost.
+  ring_.remove(node);
+  stores_.erase(node);
+}
+
+void BrokerNetwork::publish(const Snippet& snippet) {
+  for (const std::string& key : snippet.keys) {
+    for (NodeId owner : ring_.replicas_for(key, replication_)) {
+      stores_[owner].put(key, snippet);
+    }
+  }
+}
+
+std::vector<Snippet> BrokerNetwork::lookup(const std::string& key, TimePoint now) {
+  // Ask the owner first; with replication, fall through the replica set
+  // when earlier members are gone or empty.
+  for (NodeId owner : ring_.replicas_for(key, replication_)) {
+    auto it = stores_.find(owner);
+    if (it == stores_.end()) continue;
+    auto result = it->second.get(key, now);
+    if (!result.empty()) return result;
+  }
+  return {};
+}
+
+void BrokerNetwork::withdraw(NodeId publisher, std::uint64_t snippet_id) {
+  for (auto& [node, store] : stores_) store.erase_snippet(publisher, snippet_id);
+}
+
+std::size_t BrokerNetwork::sweep(TimePoint now) {
+  std::size_t dropped = 0;
+  for (auto& [node, store] : stores_) dropped += store.sweep(now);
+  return dropped;
+}
+
+std::size_t BrokerNetwork::total_snippets() const {
+  std::size_t n = 0;
+  for (const auto& [node, store] : stores_) n += store.snippet_count();
+  return n;
+}
+
+std::unordered_map<NodeId, std::size_t> BrokerNetwork::load() const {
+  std::unordered_map<NodeId, std::size_t> out;
+  for (const auto& [node, store] : stores_) out.emplace(node, store.snippet_count());
+  return out;
+}
+
+}  // namespace planetp::broker

@@ -1,0 +1,77 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "broker/hash_ring.hpp"
+#include "broker/snippet_store.hpp"
+
+/// \file broker_network.hpp
+/// The information brokerage service (§4): the community's brokers arranged
+/// on a consistent-hashing ring, with join/leave handoff. The service is an
+/// *optimization*: it "makes no guarantee as to the safety of information
+/// published to it. If a member leaves abruptly without passing on its
+/// portion of the published data, that data will be lost."
+///
+/// This class models the broker overlay in-process (the live runtime routes
+/// the same operations over TCP); PlanetP's correctness never depends on it.
+
+namespace planetp::broker {
+
+class BrokerNetwork {
+ public:
+  /// \p replication stores each (key, snippet) on the owner plus that many
+  /// minus one ring successors, so a single abrupt departure loses nothing.
+  /// The default (1) is the paper's unreplicated service; the longer TR's
+  /// fault-tolerance work motivates values > 1.
+  explicit BrokerNetwork(RingPoint max_id = RingPoint{1} << 32,
+                         std::size_t replication = 1)
+      : ring_(max_id), replication_(replication == 0 ? 1 : replication) {}
+
+  /// A member starts offering brokerage. Keys that now map to it move from
+  /// their previous owners (the join handoff).
+  void join(NodeId node);
+
+  /// Graceful departure: the node hands its stored snippets to the ring
+  /// successor before leaving.
+  void leave_gracefully(NodeId node);
+
+  /// Abrupt departure: the node vanishes and its stored snippets are lost —
+  /// the documented unreliability of the service.
+  void leave_abruptly(NodeId node);
+
+  /// Publish \p snippet under each of its keys; each key routes to its
+  /// responsible broker. No-op when the ring is empty.
+  void publish(const Snippet& snippet);
+
+  /// Look up live snippets for \p key at \p now.
+  std::vector<Snippet> lookup(const std::string& key, TimePoint now);
+
+  /// Withdraw a snippet from every broker (early discard).
+  void withdraw(NodeId publisher, std::uint64_t snippet_id);
+
+  /// Expire old snippets everywhere.
+  std::size_t sweep(TimePoint now);
+
+  /// Which broker currently serves \p key (nullopt when ring empty).
+  std::optional<NodeId> responsible_for(const std::string& key) const {
+    return ring_.responsible_for(key);
+  }
+
+  std::size_t broker_count() const { return ring_.size(); }
+  std::size_t total_snippets() const;
+
+  /// Per-broker snippet counts (balance diagnostics / tests).
+  std::unordered_map<NodeId, std::size_t> load() const;
+
+  std::size_t replication() const { return replication_; }
+
+ private:
+  HashRing ring_;
+  std::size_t replication_;
+  std::unordered_map<NodeId, SnippetStore> stores_;
+};
+
+}  // namespace planetp::broker

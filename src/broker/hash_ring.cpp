@@ -1,0 +1,79 @@
+#include "broker/hash_ring.hpp"
+
+#include "util/hash.hpp"
+
+namespace planetp::broker {
+
+bool HashRing::add(NodeId node, RingPoint point) {
+  point %= max_id_;
+  if (by_point_.contains(point) || by_node_.contains(node)) return false;
+  by_point_.emplace(point, node);
+  by_node_.emplace(node, point);
+  return true;
+}
+
+RingPoint HashRing::add_by_hash(NodeId node) {
+  RingPoint point = splitmix64(0x9e3779b9u ^ node) % max_id_;
+  while (!add(node, point)) {
+    point = (point + 1) % max_id_;  // linear probe on (unlikely) collision
+  }
+  return point;
+}
+
+bool HashRing::remove(NodeId node) {
+  auto it = by_node_.find(node);
+  if (it == by_node_.end()) return false;
+  by_point_.erase(it->second);
+  by_node_.erase(it);
+  return true;
+}
+
+RingPoint HashRing::key_point(std::string_view key) const {
+  return murmur64(key, /*seed=*/0x5eedb10c) % max_id_;
+}
+
+std::optional<NodeId> HashRing::responsible_for(std::string_view key) const {
+  return successor_of(key_point(key));
+}
+
+std::vector<NodeId> HashRing::replicas_for(std::string_view key, std::size_t n) const {
+  std::vector<NodeId> out;
+  if (by_point_.empty() || n == 0) return out;
+  auto it = by_point_.lower_bound(key_point(key));
+  if (it == by_point_.end()) it = by_point_.begin();
+  const std::size_t limit = std::min(n, by_point_.size());
+  while (out.size() < limit) {
+    out.push_back(it->second);
+    ++it;
+    if (it == by_point_.end()) it = by_point_.begin();
+  }
+  return out;
+}
+
+std::optional<NodeId> HashRing::successor_of(RingPoint point) const {
+  if (by_point_.empty()) return std::nullopt;
+  auto it = by_point_.lower_bound(point % max_id_);
+  if (it == by_point_.end()) it = by_point_.begin();  // wrap around
+  return it->second;
+}
+
+std::optional<NodeId> HashRing::successor_node(NodeId node) const {
+  auto it = by_node_.find(node);
+  if (it == by_node_.end() || by_point_.size() < 2) return std::nullopt;
+  auto ring_it = by_point_.find(it->second);
+  ++ring_it;
+  if (ring_it == by_point_.end()) ring_it = by_point_.begin();
+  return ring_it->second;
+}
+
+std::optional<RingPoint> HashRing::point_of(NodeId node) const {
+  auto it = by_node_.find(node);
+  if (it == by_node_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<std::pair<RingPoint, NodeId>> HashRing::entries() const {
+  return {by_point_.begin(), by_point_.end()};
+}
+
+}  // namespace planetp::broker

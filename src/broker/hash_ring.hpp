@@ -1,0 +1,71 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+/// \file hash_ring.hpp
+/// The consistent-hashing ring of the information brokerage service (§4):
+/// "each active member chooses a unique broker ID from a predetermined range
+/// (0 to maxID). Then, all members arrange themselves into a ring using
+/// their IDs. To map a key to a broker, we compute the hash H of the key.
+/// Then, we send the snippet and key to the broker whose ID makes it the
+/// least successor to H mod maxID on the ring."
+
+namespace planetp::broker {
+
+using NodeId = std::uint32_t;
+using RingPoint = std::uint64_t;
+
+class HashRing {
+ public:
+  /// maxID of the paper; ring positions live in [0, max_id).
+  explicit HashRing(RingPoint max_id = RingPoint{1} << 32) : max_id_(max_id) {}
+
+  /// Add \p node at ring position \p point (its broker ID). Returns false if
+  /// the position is already taken (IDs must be unique).
+  bool add(NodeId node, RingPoint point);
+
+  /// Derive a broker ID for \p node deterministically from its identity and
+  /// add it, probing successive positions on collision. Returns the point.
+  RingPoint add_by_hash(NodeId node);
+
+  /// Remove a node; returns false if absent.
+  bool remove(NodeId node);
+
+  /// The broker responsible for \p key: least successor of hash(key) mod
+  /// maxID. Returns nullopt when the ring is empty.
+  std::optional<NodeId> responsible_for(std::string_view key) const;
+
+  /// The first \p n distinct brokers clockwise from hash(key): the owner and
+  /// its replica set. Fewer when the ring is smaller than n.
+  std::vector<NodeId> replicas_for(std::string_view key, std::size_t n) const;
+
+  /// Responsible broker for a raw ring point.
+  std::optional<NodeId> successor_of(RingPoint point) const;
+
+  /// The node that would become responsible for \p node's range if it left:
+  /// its successor on the ring (nullopt when it is alone or absent).
+  std::optional<NodeId> successor_node(NodeId node) const;
+
+  /// Ring position of \p node, if present.
+  std::optional<RingPoint> point_of(NodeId node) const;
+
+  /// Hash a key onto the ring.
+  RingPoint key_point(std::string_view key) const;
+
+  std::size_t size() const { return by_point_.size(); }
+  bool empty() const { return by_point_.empty(); }
+
+  /// All (point, node) pairs in ring order; useful for balance tests.
+  std::vector<std::pair<RingPoint, NodeId>> entries() const;
+
+ private:
+  RingPoint max_id_;
+  std::map<RingPoint, NodeId> by_point_;
+  std::map<NodeId, RingPoint> by_node_;
+};
+
+}  // namespace planetp::broker

@@ -1,0 +1,85 @@
+#include "broker/snippet_store.hpp"
+
+#include <algorithm>
+#include <functional>
+
+namespace planetp::broker {
+
+void SnippetStore::put(const std::string& key, const Snippet& snippet) {
+  auto& list = by_key_[key];
+  for (Snippet& s : list) {
+    if (s.publisher == snippet.publisher && s.id == snippet.id) {
+      s = snippet;  // refresh
+      return;
+    }
+  }
+  list.push_back(snippet);
+}
+
+std::vector<Snippet> SnippetStore::get(const std::string& key, TimePoint now) {
+  auto it = by_key_.find(key);
+  if (it == by_key_.end()) return {};
+  auto& list = it->second;
+  std::erase_if(list, [now](const Snippet& s) { return s.discard_at <= now; });
+  if (list.empty()) {
+    by_key_.erase(it);
+    return {};
+  }
+  return list;
+}
+
+std::size_t SnippetStore::sweep(TimePoint now) {
+  std::size_t dropped = 0;
+  for (auto it = by_key_.begin(); it != by_key_.end();) {
+    auto& list = it->second;
+    const std::size_t before = list.size();
+    std::erase_if(list, [now](const Snippet& s) { return s.discard_at <= now; });
+    dropped += before - list.size();
+    it = list.empty() ? by_key_.erase(it) : std::next(it);
+  }
+  return dropped;
+}
+
+std::size_t SnippetStore::erase_snippet(std::uint32_t publisher, std::uint64_t snippet_id) {
+  std::size_t dropped = 0;
+  for (auto it = by_key_.begin(); it != by_key_.end();) {
+    auto& list = it->second;
+    const std::size_t before = list.size();
+    std::erase_if(list, [&](const Snippet& s) {
+      return s.publisher == publisher && s.id == snippet_id;
+    });
+    dropped += before - list.size();
+    it = list.empty() ? by_key_.erase(it) : std::next(it);
+  }
+  return dropped;
+}
+
+std::vector<std::pair<std::string, Snippet>> SnippetStore::extract_if(
+    const std::function<bool(const std::string&)>& must_move) {
+  std::vector<std::pair<std::string, Snippet>> moved;
+  for (auto it = by_key_.begin(); it != by_key_.end();) {
+    if (must_move(it->first)) {
+      for (Snippet& s : it->second) moved.emplace_back(it->first, std::move(s));
+      it = by_key_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return moved;
+}
+
+std::vector<std::pair<std::string, Snippet>> SnippetStore::all() const {
+  std::vector<std::pair<std::string, Snippet>> out;
+  for (const auto& [key, list] : by_key_) {
+    for (const Snippet& s : list) out.emplace_back(key, s);
+  }
+  return out;
+}
+
+std::size_t SnippetStore::snippet_count() const {
+  std::size_t n = 0;
+  for (const auto& [key, list] : by_key_) n += list.size();
+  return n;
+}
+
+}  // namespace planetp::broker

@@ -1,0 +1,60 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/time.hpp"
+
+/// \file snippet_store.hpp
+/// Per-broker storage of published XML snippets (§4). "Information is
+/// published to the brokerage service as an XML snippet with a set of
+/// associated keys and a discard time. ... The snippet is discarded after
+/// its discard time expires."
+
+namespace planetp::broker {
+
+struct Snippet {
+  std::uint64_t id = 0;           ///< publisher-assigned unique id
+  std::uint32_t publisher = 0;    ///< the peer that published it
+  std::string xml;                ///< the snippet body
+  std::vector<std::string> keys;  ///< the keys it was published under
+  TimePoint discard_at = 0;       ///< absolute expiry time
+};
+
+/// The slice of the key space one broker stores: key -> snippet refs.
+class SnippetStore {
+ public:
+  /// Store \p snippet under \p key. A (key, snippet-id) pair published twice
+  /// refreshes the body and expiry.
+  void put(const std::string& key, const Snippet& snippet);
+
+  /// All live snippets for \p key at \p now; expired entries are pruned.
+  std::vector<Snippet> get(const std::string& key, TimePoint now);
+
+  /// Drop every expired snippet; returns how many were discarded.
+  std::size_t sweep(TimePoint now);
+
+  /// Remove every entry for a (publisher, snippet-id); used when a snippet
+  /// is withdrawn early.
+  std::size_t erase_snippet(std::uint32_t publisher, std::uint64_t snippet_id);
+
+  /// Extract all entries whose key maps outside this broker's new range —
+  /// handoff support. The predicate receives the key and returns true when
+  /// the entry must move; moved entries are removed locally.
+  std::vector<std::pair<std::string, Snippet>> extract_if(
+      const std::function<bool(const std::string&)>& must_move);
+
+  /// Every (key, snippet) pair — the graceful-leave handoff payload.
+  std::vector<std::pair<std::string, Snippet>> all() const;
+
+  std::size_t key_count() const { return by_key_.size(); }
+  std::size_t snippet_count() const;
+
+ private:
+  std::unordered_map<std::string, std::vector<Snippet>> by_key_;
+};
+
+}  // namespace planetp::broker

@@ -1,0 +1,46 @@
+#include "corpus/placement.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/distributions.hpp"
+
+namespace planetp::corpus {
+
+std::vector<std::uint32_t> place_documents(std::size_t num_docs, std::size_t num_peers,
+                                           const PlacementOptions& opts) {
+  Rng rng(opts.seed);
+  std::vector<std::size_t> counts;
+  if (opts.kind == PlacementKind::kWeibull) {
+    counts = weibull_partition(rng, num_docs, num_peers, opts.weibull_shape,
+                               opts.weibull_scale,
+                               num_docs >= num_peers ? 1 : 0);
+  } else {
+    counts.assign(num_peers, num_docs / num_peers);
+    for (std::size_t i = 0; i < num_docs % num_peers; ++i) ++counts[i];
+  }
+
+  // Shuffle document ids, then deal them out per the counts so that topical
+  // clustering does not correlate with peer identity.
+  std::vector<std::uint32_t> doc_ids(num_docs);
+  std::iota(doc_ids.begin(), doc_ids.end(), 0);
+  for (std::size_t i = 0; i + 1 < doc_ids.size(); ++i) {
+    const std::size_t j = i + rng.below(doc_ids.size() - i);
+    std::swap(doc_ids[i], doc_ids[j]);
+  }
+
+  std::vector<std::uint32_t> owner(num_docs, 0);
+  std::size_t pos = 0;
+  for (std::size_t peer = 0; peer < num_peers; ++peer) {
+    for (std::size_t i = 0; i < counts[peer] && pos < num_docs; ++i, ++pos) {
+      owner[doc_ids[pos]] = static_cast<std::uint32_t>(peer);
+    }
+  }
+  // Any remainder from rounding goes to the last peer.
+  for (; pos < num_docs; ++pos) {
+    owner[doc_ids[pos]] = static_cast<std::uint32_t>(num_peers - 1);
+  }
+  return owner;
+}
+
+}  // namespace planetp::corpus

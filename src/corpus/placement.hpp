@@ -1,0 +1,32 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+
+/// \file placement.hpp
+/// Document-to-peer placement for the retrieval experiments. §7.3: "The
+/// distribution of documents on our simulation follows a Weibull function,
+/// which is motivated by observing current P2P file-sharing communities";
+/// the companion TR also studies a uniform placement.
+
+namespace planetp::corpus {
+
+enum class PlacementKind { kWeibull, kUniform };
+
+struct PlacementOptions {
+  PlacementKind kind = PlacementKind::kWeibull;
+  double weibull_shape = 0.7;  ///< heavy-tailed sharing, few peers hold many docs
+  double weibull_scale = 1.0;
+  std::uint64_t seed = 99;
+};
+
+/// Assign each of \p num_docs documents to one of \p num_peers peers.
+/// Returns owner_of[doc] = peer. Every peer receives at least one document
+/// when num_docs >= num_peers (matching the experiments, where each peer
+/// shares something).
+std::vector<std::uint32_t> place_documents(std::size_t num_docs, std::size_t num_peers,
+                                           const PlacementOptions& opts);
+
+}  // namespace planetp::corpus

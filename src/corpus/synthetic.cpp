@@ -1,0 +1,231 @@
+#include "corpus/synthetic.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <unordered_map>
+
+#include "util/distributions.hpp"
+
+namespace planetp::corpus {
+
+std::uint32_t SynthDoc::length() const {
+  std::uint32_t n = 0;
+  for (const auto& [t, f] : terms) n += f;
+  return n;
+}
+
+std::string SynthCollection::term_string(TermId t) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "t%06u", t);
+  return buf;
+}
+
+std::size_t SynthCollection::approx_bytes() const {
+  std::size_t tokens = 0;
+  for (const SynthDoc& d : docs) tokens += d.length();
+  return tokens * 6;  // ~5 chars + separator per token
+}
+
+namespace {
+
+/// A topic: characteristic terms, most-characteristic first. Term j of the
+/// list is drawn with probability proportional to 1/(j+1) (a mild internal
+/// Zipf), so each topic has a few signature terms and a long tail.
+struct Topic {
+  std::vector<TermId> terms;
+};
+
+TermId sample_topic_term(const Topic& topic, Rng& rng) {
+  // Inverse-CDF over 1/(j+1) weights via rejection on the harmonic series:
+  // cheap approximation — draw u^2-biased index, which concentrates mass on
+  // the front of the list similarly to 1/rank.
+  const double u = rng.uniform();
+  const auto idx = static_cast<std::size_t>(u * u * static_cast<double>(topic.terms.size()));
+  return topic.terms[std::min(idx, topic.terms.size() - 1)];
+}
+
+}  // namespace
+
+SynthCollection generate(const CollectionSpec& spec) {
+  SynthCollection out;
+  out.spec = spec;
+  Rng rng(spec.seed);
+
+  // --- topics -------------------------------------------------------------
+  // Characteristic terms avoid the most popular background ranks so that a
+  // topic's signature is actually discriminative (stop-word-like terms make
+  // bad query keys, mirroring real collections after stop-word removal).
+  const TermId background_top = static_cast<TermId>(
+      std::min<std::size_t>(spec.vocab_size / 20 + 1, 2000));
+  std::vector<Topic> topics(spec.num_topics);
+  for (auto& topic : topics) {
+    std::unordered_set<TermId> seen;
+    topic.terms.reserve(spec.topic_terms);
+    while (topic.terms.size() < spec.topic_terms) {
+      const TermId t = background_top +
+                       static_cast<TermId>(rng.below(spec.vocab_size - background_top));
+      if (seen.insert(t).second) topic.terms.push_back(t);
+    }
+  }
+
+  // --- documents ------------------------------------------------------------
+  ZipfSampler background(spec.vocab_size, spec.zipf_s);
+  std::vector<std::vector<std::uint32_t>> docs_by_topic(spec.num_topics);
+  out.docs.reserve(spec.num_docs);
+  std::unordered_set<TermId> used_terms;
+
+  for (std::size_t d = 0; d < spec.num_docs; ++d) {
+    SynthDoc doc;
+    doc.id = static_cast<std::uint32_t>(d);
+    doc.primary_topic = static_cast<std::uint32_t>(rng.below(spec.num_topics));
+    docs_by_topic[doc.primary_topic].push_back(doc.id);
+
+    // Optional secondary topic: a document that "mentions" another subject.
+    const bool has_secondary = spec.num_topics > 1 && rng.chance(spec.secondary_topic_prob);
+    std::uint32_t secondary = doc.primary_topic;
+    while (has_secondary && secondary == doc.primary_topic) {
+      secondary = static_cast<std::uint32_t>(rng.below(spec.num_topics));
+    }
+
+    const std::size_t tokens = std::max<std::size_t>(
+        spec.min_doc_tokens, poisson_sample(rng, static_cast<double>(spec.mean_doc_tokens)));
+
+    std::unordered_map<TermId, std::uint32_t> freq;
+    for (std::size_t i = 0; i < tokens; ++i) {
+      TermId t;
+      const double u = rng.uniform();
+      if (u < spec.topical_fraction) {
+        t = sample_topic_term(topics[doc.primary_topic], rng);
+      } else if (has_secondary && u < spec.topical_fraction + spec.secondary_fraction) {
+        t = sample_topic_term(topics[secondary], rng);
+      } else {
+        t = static_cast<TermId>(background.sample(rng) - 1);
+      }
+      ++freq[t];
+    }
+    doc.terms.assign(freq.begin(), freq.end());
+    std::sort(doc.terms.begin(), doc.terms.end());
+    for (const auto& [t, f] : doc.terms) used_terms.insert(t);
+    out.docs.push_back(std::move(doc));
+  }
+  out.distinct_terms = used_terms.size();
+
+  // --- queries and judgments -----------------------------------------------
+  out.queries.reserve(spec.num_queries);
+  for (std::size_t q = 0; q < spec.num_queries; ++q) {
+    SynthQuery query;
+    query.id = static_cast<std::uint32_t>(q);
+    // Choose a topic that actually has documents.
+    do {
+      query.topic = static_cast<std::uint32_t>(rng.below(spec.num_topics));
+    } while (docs_by_topic[query.topic].empty());
+
+    const std::size_t nterms =
+        spec.query_terms_min + rng.below(spec.query_terms_max - spec.query_terms_min + 1);
+    // Query keys come from the topic's signature head: the terms a user
+    // searching for that subject would naturally pick.
+    const Topic& topic = topics[query.topic];
+    const std::size_t head = std::min<std::size_t>(topic.terms.size(), 25);
+    std::unordered_set<TermId> chosen;
+    while (chosen.size() < std::min(nterms, head)) {
+      chosen.insert(topic.terms[rng.below(head)]);
+    }
+    query.terms.assign(chosen.begin(), chosen.end());
+    std::sort(query.terms.begin(), query.terms.end());
+
+    // Judgments: all documents of the topic, subsampled to the cap.
+    std::vector<std::uint32_t> rel = docs_by_topic[query.topic];
+    if (rel.size() > spec.max_relevant_per_query) {
+      for (std::size_t i = 0; i < spec.max_relevant_per_query; ++i) {
+        const std::size_t j = i + rng.below(rel.size() - i);
+        std::swap(rel[i], rel[j]);
+      }
+      rel.resize(spec.max_relevant_per_query);
+    }
+    query.relevant_docs.insert(rel.begin(), rel.end());
+    out.queries.push_back(std::move(query));
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Presets shaped after Table 3
+// ---------------------------------------------------------------------------
+
+CollectionSpec preset_cacm() {
+  CollectionSpec s;
+  s.name = "CACM";
+  s.num_docs = 3204;
+  s.vocab_size = 75'493;
+  s.num_queries = 52;
+  s.num_topics = 140;
+  s.mean_doc_tokens = 100;  // ~2.1 MB of abstracts
+  s.seed = 0xCAC3;
+  return s;
+}
+
+CollectionSpec preset_med() {
+  CollectionSpec s;
+  s.name = "MED";
+  s.num_docs = 1033;
+  s.vocab_size = 83'451;
+  s.num_queries = 30;
+  s.num_topics = 60;
+  s.mean_doc_tokens = 150;
+  s.seed = 0x3ED1;
+  return s;
+}
+
+CollectionSpec preset_cran() {
+  CollectionSpec s;
+  s.name = "CRAN";
+  s.num_docs = 1400;
+  s.vocab_size = 117'718;
+  s.num_queries = 152;
+  s.num_topics = 90;
+  s.mean_doc_tokens = 170;
+  s.seed = 0xC4A9;
+  return s;
+}
+
+CollectionSpec preset_cisi() {
+  CollectionSpec s;
+  s.name = "CISI";
+  s.num_docs = 1460;
+  s.vocab_size = 84'957;
+  s.num_queries = 76;
+  s.num_topics = 80;
+  s.mean_doc_tokens = 250;
+  s.seed = 0xC151;
+  return s;
+}
+
+CollectionSpec preset_ap89(std::size_t scale_divisor) {
+  if (scale_divisor == 0) scale_divisor = 1;
+  CollectionSpec s;
+  s.name = "AP89";
+  s.num_docs = 84'678 / scale_divisor;
+  s.vocab_size = 129'603;
+  s.num_queries = 97;
+  s.num_topics = 400 / (scale_divisor > 4 ? 2 : 1);
+  s.mean_doc_tokens = 480;  // full AP newswire articles (~3 KB each)
+  s.max_relevant_per_query = 100;
+  s.seed = 0xA989;
+  return s;
+}
+
+CollectionSpec preset_tiny() {
+  CollectionSpec s;
+  s.name = "TINY";
+  s.num_docs = 200;
+  s.vocab_size = 5000;
+  s.num_queries = 12;
+  s.num_topics = 10;
+  s.mean_doc_tokens = 60;
+  s.min_doc_tokens = 15;
+  s.max_relevant_per_query = 40;
+  s.seed = 0x717f;
+  return s;
+}
+
+}  // namespace planetp::corpus

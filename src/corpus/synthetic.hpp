@@ -1,0 +1,96 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "util/rng.hpp"
+
+/// \file synthetic.hpp
+/// Synthetic document collections with queries and relevance judgments.
+///
+/// The paper evaluates retrieval on CACM, MED, CRAN, CISI (Smart) and TREC
+/// AP89 — licensed corpora with human judgments that are not redistributable.
+/// We substitute a topic-model generator: a Zipf-distributed vocabulary, T
+/// latent topics each owning a set of characteristic terms, documents drawn
+/// as mixtures of a primary topic and background noise, queries drawn from a
+/// topic's characteristic terms, and judgments defined by topical affinity.
+/// Both TFxIDF and TFxIPF are evaluated against the *same* judgments, so the
+/// comparison the paper makes (relative recall/precision, peers contacted)
+/// is preserved; absolute values depend on the generator, not on PlanetP.
+
+namespace planetp::corpus {
+
+using TermId = std::uint32_t;
+
+/// A generated document: distinct terms with frequencies.
+struct SynthDoc {
+  std::uint32_t id = 0;
+  std::uint32_t primary_topic = 0;
+  std::vector<std::pair<TermId, std::uint32_t>> terms;  ///< (term, frequency)
+
+  /// |D|: total term occurrences.
+  std::uint32_t length() const;
+};
+
+/// A generated query with its relevance judgments.
+struct SynthQuery {
+  std::uint32_t id = 0;
+  std::uint32_t topic = 0;
+  std::vector<TermId> terms;
+  std::unordered_set<std::uint32_t> relevant_docs;  ///< SynthDoc::id values
+};
+
+/// Shape parameters. Defaults approximate a mid-sized Smart collection; the
+/// named presets below mirror Table 3.
+struct CollectionSpec {
+  std::string name = "SYNTH";
+  std::size_t num_docs = 3000;
+  std::size_t vocab_size = 80'000;
+  std::size_t num_queries = 50;
+  std::size_t num_topics = 120;
+
+  double zipf_s = 1.07;               ///< background term popularity skew
+  std::size_t topic_terms = 150;      ///< characteristic terms per topic
+  double topical_fraction = 0.45;     ///< fraction of doc tokens from its topic
+  double secondary_topic_prob = 0.6;  ///< docs also touching a second topic
+  double secondary_fraction = 0.18;   ///< tokens drawn from the secondary topic;
+                                      ///< these documents are partial matches for
+                                      ///< that topic's queries but judged irrelevant,
+                                      ///< which is what keeps precision < 1
+  std::size_t mean_doc_tokens = 180;  ///< mean tokens per document
+  std::size_t min_doc_tokens = 30;
+  std::size_t query_terms_min = 2;
+  std::size_t query_terms_max = 6;
+  std::size_t max_relevant_per_query = 60;  ///< cap judgments like small TREC topics
+  std::uint64_t seed = 1234;
+};
+
+struct SynthCollection {
+  CollectionSpec spec;
+  std::vector<SynthDoc> docs;
+  std::vector<SynthQuery> queries;
+  std::size_t distinct_terms = 0;  ///< vocabulary actually used
+
+  /// Render a TermId as the indexable token ("t000042").
+  static std::string term_string(TermId t);
+
+  /// Total size in "bytes" if each token averaged 6 characters (Table 3's
+  /// collection-size column analog).
+  std::size_t approx_bytes() const;
+};
+
+/// Generate a collection from its spec (deterministic in spec.seed).
+SynthCollection generate(const CollectionSpec& spec);
+
+/// Presets shaped after Table 3 (docs / vocabulary / queries).
+CollectionSpec preset_cacm();
+CollectionSpec preset_med();
+CollectionSpec preset_cran();
+CollectionSpec preset_cisi();
+CollectionSpec preset_ap89(std::size_t scale_divisor = 8);
+/// A small preset for unit tests.
+CollectionSpec preset_tiny();
+
+}  // namespace planetp::corpus

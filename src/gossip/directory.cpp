@@ -1,0 +1,160 @@
+#include "gossip/directory.hpp"
+
+#include <algorithm>
+
+namespace planetp::gossip {
+
+void Directory::put_self(PeerRecord record) {
+  const PeerId id = record.id;
+  auto [it, inserted] = records_.insert_or_assign(id, std::move(record));
+  if (inserted) add_id(id);
+  it->second.online = true;
+}
+
+bool Directory::apply(const PeerRecord& record) {
+  auto it = records_.find(record.id);
+  if (it == records_.end()) {
+    records_.emplace(record.id, record);
+    add_id(record.id);
+    return true;
+  }
+  if (record.version <= it->second.version) {
+    return false;
+  }
+  // Preserve nothing local: a newer version means fresh presence knowledge,
+  // so the peer is believed online again.
+  PeerRecord updated = record;
+  updated.online = true;
+  updated.offline_since = 0;
+  it->second = std::move(updated);
+  return true;
+}
+
+const PeerRecord* Directory::find(PeerId id) const {
+  auto it = records_.find(id);
+  return it == records_.end() ? nullptr : &it->second;
+}
+
+PeerRecord* Directory::find_mutable(PeerId id) {
+  auto it = records_.find(id);
+  return it == records_.end() ? nullptr : &it->second;
+}
+
+void Directory::mark_offline(PeerId id, TimePoint now) {
+  if (PeerRecord* r = find_mutable(id); r != nullptr && r->online) {
+    r->online = false;
+    r->offline_since = now;
+  }
+}
+
+void Directory::mark_online(PeerId id) {
+  if (PeerRecord* r = find_mutable(id); r != nullptr) {
+    r->online = true;
+    r->offline_since = 0;
+  }
+}
+
+std::vector<PeerId> Directory::expire_dead(TimePoint now, Duration t_dead) {
+  std::vector<PeerId> dropped;
+  for (auto it = records_.begin(); it != records_.end();) {
+    const PeerRecord& r = it->second;
+    if (!r.online && r.id != self_ && now - r.offline_since >= t_dead) {
+      dropped.push_back(r.id);
+      remove_id(r.id);
+      it = records_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return dropped;
+}
+
+PeerId Directory::random_online(Rng& rng) const {
+  if (ids_.empty()) return kInvalidPeer;
+  // Rejection sampling over the flat list; bounded attempts keep worst-case
+  // cost predictable even when most of the community is offline.
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    const PeerId id = ids_[rng.below(ids_.size())];
+    if (id == self_) continue;
+    const PeerRecord* r = find(id);
+    if (r != nullptr && r->online) return id;
+  }
+  // Fall back to a linear scan so "some online peer exists" always succeeds.
+  std::vector<PeerId> online;
+  for (PeerId id : ids_) {
+    if (id == self_) continue;
+    const PeerRecord* r = find(id);
+    if (r != nullptr && r->online) online.push_back(id);
+  }
+  if (online.empty()) return kInvalidPeer;
+  return online[rng.below(online.size())];
+}
+
+PeerId Directory::random_online_of_class(Rng& rng, LinkClass cls) const {
+  if (ids_.empty()) return kInvalidPeer;
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    const PeerId id = ids_[rng.below(ids_.size())];
+    if (id == self_) continue;
+    const PeerRecord* r = find(id);
+    if (r != nullptr && r->online && r->link_class == cls) return id;
+  }
+  std::vector<PeerId> online;
+  for (PeerId id : ids_) {
+    if (id == self_) continue;
+    const PeerRecord* r = find(id);
+    if (r != nullptr && r->online && r->link_class == cls) online.push_back(id);
+  }
+  if (online.empty()) return kInvalidPeer;
+  return online[rng.below(online.size())];
+}
+
+std::vector<PeerSummary> Directory::summary() const {
+  std::vector<PeerSummary> out;
+  out.reserve(records_.size());
+  for (const auto& [id, r] : records_) out.push_back(PeerSummary{id, r.version});
+  std::sort(out.begin(), out.end(),
+            [](const PeerSummary& a, const PeerSummary& b) { return a.id < b.id; });
+  return out;
+}
+
+std::vector<RumorId> Directory::newer_in(const std::vector<PeerSummary>& remote) const {
+  std::vector<RumorId> out;
+  for (const PeerSummary& s : remote) {
+    const PeerRecord* r = find(s.id);
+    if (r == nullptr || r->version < s.version) {
+      out.push_back(RumorId{s.id, s.version});
+    }
+  }
+  return out;
+}
+
+bool Directory::same_as(const std::vector<PeerSummary>& remote) const {
+  if (remote.size() != records_.size()) return false;
+  for (const PeerSummary& s : remote) {
+    const PeerRecord* r = find(s.id);
+    if (r == nullptr || r->version != s.version) return false;
+  }
+  return true;
+}
+
+std::size_t Directory::online_count() const {
+  std::size_t n = 0;
+  for (const auto& [id, r] : records_) n += r.online ? 1 : 0;
+  return n;
+}
+
+void Directory::for_each(const std::function<void(const PeerRecord&)>& fn) const {
+  for (const auto& [id, r] : records_) fn(r);
+}
+
+void Directory::add_id(PeerId id) { ids_.push_back(id); }
+
+void Directory::remove_id(PeerId id) {
+  auto it = std::find(ids_.begin(), ids_.end(), id);
+  if (it != ids_.end()) {
+    *it = ids_.back();
+    ids_.pop_back();
+  }
+}
+
+}  // namespace planetp::gossip

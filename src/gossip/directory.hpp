@@ -1,0 +1,78 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "gossip/types.hpp"
+#include "util/rng.hpp"
+#include "util/time.hpp"
+
+/// \file directory.hpp
+/// A peer's local copy of the replicated global directory (§3). Holds one
+/// PeerRecord per known member, applies versioned updates, tracks local
+/// online/offline beliefs, and expires members marked offline continuously
+/// for T_dead.
+
+namespace planetp::gossip {
+
+class Directory {
+ public:
+  explicit Directory(PeerId self) : self_(self) {}
+
+  PeerId self() const { return self_; }
+
+  /// Insert or replace this peer's own record.
+  void put_self(PeerRecord record);
+
+  /// Apply a remote update. Returns true if it superseded local knowledge
+  /// (version strictly newer or peer unknown). An applied update also sets
+  /// the peer back online (§3: a rejoin rumor flips off-line beliefs).
+  bool apply(const PeerRecord& record);
+
+  /// Record lookup (nullptr when unknown).
+  const PeerRecord* find(PeerId id) const;
+  PeerRecord* find_mutable(PeerId id);
+
+  /// Local belief updates from communication outcomes; not gossiped.
+  void mark_offline(PeerId id, TimePoint now);
+  void mark_online(PeerId id);
+
+  /// Drop every record that has been continuously offline for at least
+  /// \p t_dead, assuming permanent departure. Returns the dropped ids.
+  std::vector<PeerId> expire_dead(TimePoint now, Duration t_dead);
+
+  /// Random peer believed online, excluding self; kInvalidPeer if none.
+  PeerId random_online(Rng& rng) const;
+
+  /// Random online peer of the given class, excluding self.
+  PeerId random_online_of_class(Rng& rng, LinkClass cls) const;
+
+  /// Directory summary for anti-entropy exchanges.
+  std::vector<PeerSummary> summary() const;
+
+  /// Versions that \p remote has but we lack or hold older (what to pull).
+  std::vector<RumorId> newer_in(const std::vector<PeerSummary>& remote) const;
+
+  /// True when \p remote and our summary match exactly (same peers, same
+  /// versions) — the "same directory" test of the adaptive interval (§3).
+  bool same_as(const std::vector<PeerSummary>& remote) const;
+
+  std::size_t size() const { return records_.size(); }
+  std::size_t online_count() const;
+
+  void for_each(const std::function<void(const PeerRecord&)>& fn) const;
+
+ private:
+  PeerId self_;
+  std::unordered_map<PeerId, PeerRecord> records_;
+  // Flat id list kept in sync for O(1) random selection.
+  std::vector<PeerId> ids_;
+
+  void add_id(PeerId id);
+  void remove_id(PeerId id);
+};
+
+}  // namespace planetp::gossip

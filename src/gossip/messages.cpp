@@ -1,0 +1,249 @@
+#include "gossip/messages.hpp"
+
+#include <stdexcept>
+
+namespace planetp::gossip {
+
+std::size_t SizeModel::filter_bytes(std::uint64_t keys) const {
+  if (keys == 0) return 0;
+  return static_cast<std::size_t>(filter_fixed_bytes +
+                                  filter_per_key_bytes * static_cast<double>(keys));
+}
+
+namespace {
+
+std::size_t payload_size(const RumorPayload& p, const SizeModel& m) {
+  std::size_t s = m.record_base_bytes;
+  if (p.filter) {
+    if (!p.filter->bits.empty()) {
+      s += p.filter->bits.size();
+    } else if (p.filter->base_version != 0) {
+      // Diff: cost scales with the number of new keys it encodes.
+      s += m.filter_bytes(p.filter->new_keys);
+    } else {
+      // Full filter: cost scales with the total key count.
+      s += m.filter_bytes(p.filter->key_count);
+    }
+  }
+  return s;
+}
+
+struct SizeVisitor {
+  const SizeModel& m;
+
+  std::size_t operator()(const RumorMsg& msg) const {
+    std::size_t s = m.header_bytes + msg.recent_ids.size() * m.rumor_id_bytes;
+    for (const auto& p : msg.rumors) s += payload_size(p, m);
+    return s;
+  }
+  std::size_t operator()(const RumorAckMsg& msg) const {
+    return m.header_bytes + (msg.already_knew.size() + msg.recent_ids.size() +
+                             msg.pull_ids.size()) * m.rumor_id_bytes;
+  }
+  std::size_t operator()(const SummaryRequestMsg&) const { return m.header_bytes; }
+  std::size_t operator()(const SummaryMsg& msg) const {
+    return m.header_bytes + msg.entries.size() * m.summary_entry_bytes;
+  }
+  std::size_t operator()(const PullRequestMsg& msg) const {
+    return m.header_bytes + msg.ids.size() * m.rumor_id_bytes;
+  }
+  std::size_t operator()(const PullResponseMsg& msg) const {
+    std::size_t s = m.header_bytes;
+    for (const auto& p : msg.rumors) s += payload_size(p, m);
+    return s;
+  }
+};
+
+enum class Tag : std::uint8_t {
+  kRumor = 1,
+  kRumorAck = 2,
+  kSummaryRequest = 3,
+  kSummary = 4,
+  kPullRequest = 5,
+  kPullResponse = 6,
+};
+
+void encode_rumor_id(ByteWriter& w, const RumorId& id) {
+  w.u32(id.origin);
+  w.varint(id.version);
+}
+
+RumorId decode_rumor_id(ByteReader& r) {
+  RumorId id;
+  id.origin = r.u32();
+  id.version = r.varint();
+  return id;
+}
+
+void encode_rumor_ids(ByteWriter& w, const std::vector<RumorId>& ids) {
+  w.varint(ids.size());
+  for (const auto& id : ids) encode_rumor_id(w, id);
+}
+
+std::vector<RumorId> decode_rumor_ids(ByteReader& r) {
+  const std::size_t n = static_cast<std::size_t>(r.varint());
+  std::vector<RumorId> ids;
+  ids.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) ids.push_back(decode_rumor_id(r));
+  return ids;
+}
+
+void encode_payload(ByteWriter& w, const RumorPayload& p) {
+  w.u32(p.origin);
+  w.varint(p.version);
+  w.str(p.address);
+  w.u8(static_cast<std::uint8_t>(p.link_class));
+  w.u8(static_cast<std::uint8_t>(p.kind));
+  w.varint(p.key_count);
+  w.u8(p.filter.has_value() ? 1 : 0);
+  if (p.filter) {
+    w.varint(p.filter->base_version);
+    w.bytes(p.filter->bits);
+    w.varint(p.filter->key_count);
+    w.varint(p.filter->new_keys);
+  }
+}
+
+RumorPayload decode_payload(ByteReader& r) {
+  RumorPayload p;
+  p.origin = r.u32();
+  p.version = r.varint();
+  p.address = r.str();
+  p.link_class = static_cast<LinkClass>(r.u8());
+  p.kind = static_cast<EventKind>(r.u8());
+  p.key_count = static_cast<std::uint32_t>(r.varint());
+  if (r.u8() != 0) {
+    FilterUpdate f;
+    f.base_version = r.varint();
+    f.bits = r.bytes();
+    f.key_count = static_cast<std::uint32_t>(r.varint());
+    f.new_keys = static_cast<std::uint32_t>(r.varint());
+    p.filter = std::move(f);
+  }
+  return p;
+}
+
+void encode_payloads(ByteWriter& w, const std::vector<RumorPayload>& ps) {
+  w.varint(ps.size());
+  for (const auto& p : ps) encode_payload(w, p);
+}
+
+std::vector<RumorPayload> decode_payloads(ByteReader& r) {
+  const std::size_t n = static_cast<std::size_t>(r.varint());
+  std::vector<RumorPayload> ps;
+  ps.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) ps.push_back(decode_payload(r));
+  return ps;
+}
+
+struct EncodeVisitor {
+  ByteWriter& w;
+
+  void operator()(const RumorMsg& msg) const {
+    w.u8(static_cast<std::uint8_t>(Tag::kRumor));
+    encode_payloads(w, msg.rumors);
+    encode_rumor_ids(w, msg.recent_ids);
+  }
+  void operator()(const RumorAckMsg& msg) const {
+    w.u8(static_cast<std::uint8_t>(Tag::kRumorAck));
+    encode_rumor_ids(w, msg.already_knew);
+    encode_rumor_ids(w, msg.recent_ids);
+    encode_rumor_ids(w, msg.pull_ids);
+  }
+  void operator()(const SummaryRequestMsg&) const {
+    w.u8(static_cast<std::uint8_t>(Tag::kSummaryRequest));
+  }
+  void operator()(const SummaryMsg& msg) const {
+    w.u8(static_cast<std::uint8_t>(Tag::kSummary));
+    w.u8(msg.push ? 1 : 0);
+    w.varint(msg.entries.size());
+    for (const auto& e : msg.entries) {
+      w.u32(e.id);
+      w.varint(e.version);
+    }
+  }
+  void operator()(const PullRequestMsg& msg) const {
+    w.u8(static_cast<std::uint8_t>(Tag::kPullRequest));
+    encode_rumor_ids(w, msg.ids);
+  }
+  void operator()(const PullResponseMsg& msg) const {
+    w.u8(static_cast<std::uint8_t>(Tag::kPullResponse));
+    encode_payloads(w, msg.rumors);
+  }
+};
+
+}  // namespace
+
+std::size_t wire_size(const Message& msg, const SizeModel& model) {
+  return std::visit(SizeVisitor{model}, msg);
+}
+
+std::size_t payload_wire_size(const RumorPayload& payload, const SizeModel& model) {
+  return payload_size(payload, model);
+}
+
+std::vector<std::uint8_t> encode_message(const Message& msg) {
+  ByteWriter w;
+  std::visit(EncodeVisitor{w}, msg);
+  return w.take();
+}
+
+Message decode_message(std::span<const std::uint8_t> data) {
+  ByteReader r(data);
+  const Tag tag = static_cast<Tag>(r.u8());
+  switch (tag) {
+    case Tag::kRumor: {
+      RumorMsg m;
+      m.rumors = decode_payloads(r);
+      m.recent_ids = decode_rumor_ids(r);
+      return m;
+    }
+    case Tag::kRumorAck: {
+      RumorAckMsg m;
+      m.already_knew = decode_rumor_ids(r);
+      m.recent_ids = decode_rumor_ids(r);
+      m.pull_ids = decode_rumor_ids(r);
+      return m;
+    }
+    case Tag::kSummaryRequest:
+      return SummaryRequestMsg{};
+    case Tag::kSummary: {
+      SummaryMsg m;
+      m.push = r.u8() != 0;
+      const std::size_t n = static_cast<std::size_t>(r.varint());
+      m.entries.reserve(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        PeerSummary s;
+        s.id = r.u32();
+        s.version = r.varint();
+        m.entries.push_back(s);
+      }
+      return m;
+    }
+    case Tag::kPullRequest: {
+      PullRequestMsg m;
+      m.ids = decode_rumor_ids(r);
+      return m;
+    }
+    case Tag::kPullResponse: {
+      PullResponseMsg m;
+      m.rumors = decode_payloads(r);
+      return m;
+    }
+  }
+  throw std::runtime_error("decode_message: unknown tag");
+}
+
+const char* message_name(const Message& msg) {
+  struct Visitor {
+    const char* operator()(const RumorMsg&) const { return "Rumor"; }
+    const char* operator()(const RumorAckMsg&) const { return "RumorAck"; }
+    const char* operator()(const SummaryRequestMsg&) const { return "SummaryRequest"; }
+    const char* operator()(const SummaryMsg&) const { return "Summary"; }
+    const char* operator()(const PullRequestMsg&) const { return "PullRequest"; }
+    const char* operator()(const PullResponseMsg&) const { return "PullResponse"; }
+  };
+  return std::visit(Visitor{}, msg);
+}
+
+}  // namespace planetp::gossip

@@ -1,0 +1,95 @@
+#pragma once
+
+#include <cstdint>
+#include <variant>
+#include <vector>
+
+#include "gossip/types.hpp"
+#include "util/byte_buffer.hpp"
+
+/// \file messages.hpp
+/// Gossip wire messages. One encode/decode path serves the live TCP runtime;
+/// the simulator prices the same messages with the Table 2 size model (3-byte
+/// header, 48-byte peer summaries, 6-byte rumor-id/BF summaries, and a
+/// linear-in-keys Bloom filter cost anchored at 1000 keys = 3000 B and
+/// 20000 keys = 16000 B).
+
+namespace planetp::gossip {
+
+/// Push rumoring: the sender's currently-hot rumors, plus the partial
+/// anti-entropy piggyback — ids of the most recent rumors the sender learned
+/// but is no longer actively spreading (§3).
+struct RumorMsg {
+  std::vector<RumorPayload> rumors;
+  std::vector<RumorId> recent_ids;
+};
+
+/// Reply to RumorMsg: which of the pushed rumors the receiver already knew
+/// (drives the sender's stop-counter), the receiver's own piggyback, and the
+/// ids the receiver wants pulled (it was missing them from the sender's
+/// piggyback).
+struct RumorAckMsg {
+  std::vector<RumorId> already_knew;
+  std::vector<RumorId> recent_ids;
+  std::vector<RumorId> pull_ids;
+};
+
+/// Pull anti-entropy step 1: ask the target for its directory summary.
+struct SummaryRequestMsg {};
+
+/// Directory summary: one PeerSummary per known record. Sent as the reply in
+/// pull anti-entropy, or unsolicited in push-anti-entropy-only mode (the
+/// paper's LAN-AE baseline). `push` distinguishes the two on receipt.
+struct SummaryMsg {
+  std::vector<PeerSummary> entries;
+  bool push = false;
+};
+
+/// Ask the target for full records of these rumor ids (anti-entropy pull, or
+/// partial-anti-entropy pull after a piggyback hit).
+struct PullRequestMsg {
+  std::vector<RumorId> ids;
+};
+
+/// Full records answering a PullRequestMsg. Filters are sent whole here
+/// (base_version == 0), since the requester may hold no usable base.
+struct PullResponseMsg {
+  std::vector<RumorPayload> rumors;
+};
+
+using Message = std::variant<RumorMsg, RumorAckMsg, SummaryRequestMsg, SummaryMsg,
+                             PullRequestMsg, PullResponseMsg>;
+
+/// Table 2 wire-cost model. Changing these constants re-prices every
+/// simulated experiment without touching protocol logic.
+struct SizeModel {
+  std::size_t header_bytes = 3;
+  std::size_t summary_entry_bytes = 6;  ///< Table 2 "BF summary": (id, version) digest
+  std::size_t rumor_id_bytes = 6;
+  std::size_t record_base_bytes = 48;  ///< Table 2 "peer summary": full record sans filter
+  // Linear Bloom-filter cost through Table 2's anchors
+  // (1000, 3000) and (20000, 16000).
+  double filter_fixed_bytes = 2315.8;
+  double filter_per_key_bytes = 0.6842;
+
+  /// Modeled compressed size of a filter payload covering \p keys keys.
+  std::size_t filter_bytes(std::uint64_t keys) const;
+};
+
+/// Modeled wire size of \p msg under \p model. When a payload carries real
+/// filter bytes (live mode) those dominate the model's estimate.
+std::size_t wire_size(const Message& msg, const SizeModel& model);
+
+/// Modeled wire size of one rumor payload (record base + filter cost).
+std::size_t payload_wire_size(const RumorPayload& payload, const SizeModel& model);
+
+/// Binary encoding (live runtime). The first byte is the variant tag.
+std::vector<std::uint8_t> encode_message(const Message& msg);
+
+/// Inverse of encode_message; throws on malformed input.
+Message decode_message(std::span<const std::uint8_t> data);
+
+/// Human-readable tag for logs.
+const char* message_name(const Message& msg);
+
+}  // namespace planetp::gossip

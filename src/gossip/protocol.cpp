@@ -1,0 +1,452 @@
+#include "gossip/protocol.hpp"
+
+#include <algorithm>
+
+#include "bloom/wire.hpp"
+#include "util/logging.hpp"
+
+namespace planetp::gossip {
+
+Protocol::Protocol(PeerId self, GossipConfig config, Rng rng)
+    : config_(config), directory_(self), rng_(rng), interval_(config.base_interval) {}
+
+// ---------------------------------------------------------------------------
+// Local events
+// ---------------------------------------------------------------------------
+
+void Protocol::local_join(std::string address, LinkClass link_class, std::uint32_t key_count,
+                          std::vector<std::uint8_t> filter_wire, TimePoint now) {
+  PeerRecord record;
+  record.id = directory_.self();
+  record.address = std::move(address);
+  record.link_class = link_class;
+  record.version = 1;
+  record.key_count = key_count;
+  record.filter_wire = std::move(filter_wire);
+  self_class_ = link_class;
+  directory_.put_self(record);
+
+  FilterUpdate full;
+  full.base_version = 0;
+  full.bits = record.filter_wire;
+  full.key_count = key_count;
+  full.new_keys = key_count;
+  make_hot(payload_from_record(record, EventKind::kJoin, std::move(full)));
+  (void)now;
+}
+
+void Protocol::quiet_start(std::string address, LinkClass link_class, std::uint32_t key_count,
+                           std::vector<std::uint8_t> filter_wire) {
+  PeerRecord record;
+  record.id = directory_.self();
+  record.address = std::move(address);
+  record.link_class = link_class;
+  record.version = 1;
+  record.key_count = key_count;
+  record.filter_wire = std::move(filter_wire);
+  self_class_ = link_class;
+  directory_.put_self(record);
+}
+
+void Protocol::local_filter_change(std::uint32_t key_count, std::uint32_t new_keys,
+                                   std::vector<std::uint8_t> diff_bits,
+                                   std::vector<std::uint8_t> full_filter_wire, TimePoint now) {
+  PeerRecord* self = directory_.find_mutable(directory_.self());
+  if (self == nullptr) return;  // must local_join first
+  const std::uint64_t base_version = self->version;
+  ++self->version;
+  self->key_count = key_count;
+  if (!full_filter_wire.empty()) self->filter_wire = std::move(full_filter_wire);
+
+  FilterUpdate update;
+  update.key_count = key_count;
+  update.new_keys = new_keys;
+  if (!diff_bits.empty()) {
+    update.base_version = base_version;
+    update.bits = std::move(diff_bits);
+  } else {
+    // Simulation mode: no real bits; sizes are modeled from new_keys, and we
+    // still advertise the diff semantics via base_version.
+    update.base_version = base_version;
+  }
+  make_hot(payload_from_record(*self, EventKind::kFilterChange, std::move(update)));
+  // Local news restarts eager gossiping just like received news does.
+  reset_interval();
+  (void)now;
+}
+
+void Protocol::local_rejoin(TimePoint now) {
+  PeerRecord* self = directory_.find_mutable(directory_.self());
+  if (self == nullptr) return;
+  ++self->version;
+  self->online = true;
+  make_hot(payload_from_record(*self, EventKind::kRejoin));
+  // A returning peer gossips eagerly to catch up and to spread its presence,
+  // and prioritizes anti-entropy until it has synced the events it missed.
+  reset_interval();
+  catch_up_pending_ = true;
+  (void)now;
+}
+
+Protocol::Outgoing Protocol::join_via(PeerId introducer) {
+  return Outgoing{introducer, SummaryRequestMsg{}};
+}
+
+void Protocol::bootstrap(const std::vector<PeerRecord>& records) {
+  for (const PeerRecord& r : records) {
+    if (r.id == directory_.self()) continue;
+    directory_.apply(r);
+  }
+}
+
+std::uint64_t Protocol::own_version() const {
+  const PeerRecord* self = directory_.find(directory_.self());
+  return self == nullptr ? 0 : self->version;
+}
+
+// ---------------------------------------------------------------------------
+// Rumor bookkeeping
+// ---------------------------------------------------------------------------
+
+void Protocol::make_hot(const RumorPayload& p) {
+  const RumorId id = p.id();
+  // A newer version of the same origin supersedes any older hot rumor.
+  for (auto it = hot_.begin(); it != hot_.end();) {
+    if (it->first.origin == id.origin && it->first.version < id.version) {
+      hot_order_.erase(std::find(hot_order_.begin(), hot_order_.end(), it->first));
+      it = hot_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  if (hot_.contains(id)) return;
+  hot_.emplace(id, HotRumor{p, 0});
+  hot_order_.push_back(id);
+}
+
+void Protocol::retire_rumor(const RumorId& id) {
+  auto it = hot_.find(id);
+  if (it == hot_.end()) return;
+  hot_.erase(it);
+  hot_order_.erase(std::find(hot_order_.begin(), hot_order_.end(), id));
+  note_recent(id);
+}
+
+void Protocol::note_recent(const RumorId& id) {
+  if (recent_set_.contains(id)) return;
+  recent_.push_back(id);
+  recent_set_.insert(id);
+  while (recent_.size() > config_.partial_ae_window) {
+    recent_set_.erase(recent_.front());
+    recent_.pop_front();
+  }
+}
+
+void Protocol::reset_interval() {
+  interval_ = config_.base_interval;
+  gossipless_count_ = 0;
+}
+
+void Protocol::register_gossipless_contact() {
+  if (!config_.adaptive_interval) return;
+  if (++gossipless_count_ >= config_.gossipless_threshold) {
+    interval_ = std::min(interval_ + config_.slow_down, config_.max_interval);
+    gossipless_count_ = 0;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Target selection (flat and bandwidth-aware, §7.2)
+// ---------------------------------------------------------------------------
+
+bool Protocol::has_local_origin_rumor() const {
+  for (const auto& [id, hot] : hot_) {
+    if (id.origin == directory_.self()) return true;
+  }
+  return false;
+}
+
+PeerId Protocol::pick_rumor_target() {
+  if (!config_.bandwidth_aware) return directory_.random_online(rng_);
+  if (self_class_ == LinkClass::kFast) {
+    const LinkClass cls =
+        rng_.chance(config_.fast_to_slow_prob) ? LinkClass::kSlow : LinkClass::kFast;
+    const PeerId id = directory_.random_online_of_class(rng_, cls);
+    return id != kInvalidPeer ? id : directory_.random_online(rng_);
+  }
+  // Slow peer: rumor to slow peers so as not to impede fast ones — unless we
+  // originated the rumor, in which case the first hop is a fast peer.
+  if (has_local_origin_rumor()) {
+    const PeerId id = directory_.random_online_of_class(rng_, LinkClass::kFast);
+    if (id != kInvalidPeer) return id;
+  }
+  const PeerId id = directory_.random_online_of_class(rng_, LinkClass::kSlow);
+  return id != kInvalidPeer ? id : directory_.random_online(rng_);
+}
+
+PeerId Protocol::pick_ae_target() {
+  if (!config_.bandwidth_aware) return directory_.random_online(rng_);
+  if (self_class_ == LinkClass::kFast) {
+    const PeerId id = directory_.random_online_of_class(rng_, LinkClass::kFast);
+    return id != kInvalidPeer ? id : directory_.random_online(rng_);
+  }
+  return directory_.random_online(rng_);  // slow peers AE with anyone
+}
+
+// ---------------------------------------------------------------------------
+// Rounds
+// ---------------------------------------------------------------------------
+
+std::vector<Protocol::Outgoing> Protocol::on_round(TimePoint now) {
+  std::vector<Outgoing> out;
+  ++round_counter_;
+
+  for (PeerId dropped : directory_.expire_dead(now, config_.t_dead)) {
+    if (hooks_.on_expire) hooks_.on_expire(dropped);
+  }
+
+  if (!config_.enable_rumoring) {
+    // Pure anti-entropy baseline (LAN-AE): push our summary every round.
+    const PeerId target = pick_ae_target();
+    if (target == kInvalidPeer) return out;
+    out.push_back(Outgoing{target, SummaryMsg{directory_.summary(), /*push=*/true}});
+    return out;
+  }
+
+  const bool do_ae =
+      catch_up_pending_ || hot_.empty() ||
+      (config_.anti_entropy_every > 0 &&
+       round_counter_ % static_cast<std::uint64_t>(config_.anti_entropy_every) == 0);
+
+  if (do_ae) {
+    const PeerId target = pick_ae_target();
+    if (target == kInvalidPeer) return out;
+    out.push_back(Outgoing{target, SummaryRequestMsg{}});
+    return out;
+  }
+
+  const PeerId target = pick_rumor_target();
+  if (target == kInvalidPeer) return out;
+  RumorMsg msg;
+  // Fill the message up to the byte budget (at least one payload): tiny
+  // rejoin records batch by the hundreds, bulky filter payloads by a few.
+  static const SizeModel kSizes{};
+  std::size_t budget = config_.max_rumor_bytes_per_message;
+  std::size_t take = 0;
+  for (; take < hot_order_.size(); ++take) {
+    const std::size_t cost = payload_wire_size(hot_.at(hot_order_[take]).payload, kSizes);
+    if (take > 0 && cost > budget) break;
+    msg.rumors.push_back(hot_.at(hot_order_[take]).payload);
+    budget -= std::min(budget, cost);
+  }
+  // Rotate so rumors beyond the budget get their turn next round.
+  if (take < hot_order_.size()) {
+    std::rotate(hot_order_.begin(), hot_order_.begin() + static_cast<std::ptrdiff_t>(take),
+                hot_order_.end());
+  }
+  if (config_.enable_partial_ae) {
+    msg.recent_ids.assign(recent_.begin(), recent_.end());
+  }
+  out.push_back(Outgoing{target, std::move(msg)});
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Message handling
+// ---------------------------------------------------------------------------
+
+bool Protocol::apply_payload(const RumorPayload& p, TimePoint now, PeerId from,
+                             std::vector<Outgoing>& out) {
+  if (p.origin == directory_.self()) return false;  // our own record is authoritative
+  const PeerRecord* existing = directory_.find(p.origin);
+  if (existing != nullptr && p.version <= existing->version) {
+    // Stale or already known. One exception: a full-filter payload for the
+    // version we hold completes a record whose filter we could not apply
+    // earlier (the answer to our "need full filter" pull).
+    if (p.version == existing->version && existing->filter_wire.empty() &&
+        p.filter.has_value() && p.filter->base_version == 0 && !p.filter->bits.empty()) {
+      PeerRecord* mut = directory_.find_mutable(p.origin);
+      mut->filter_wire = p.filter->bits;
+      mut->key_count = p.filter->key_count;
+      if (hooks_.on_apply) hooks_.on_apply(p, now);
+    }
+    return false;
+  }
+
+  PeerRecord record;
+  record.id = p.origin;
+  record.address = p.address;
+  record.link_class = p.link_class;
+  record.version = p.version;
+  record.key_count = p.key_count;
+
+  bool need_full_pull = false;
+  if (p.filter.has_value()) {
+    const FilterUpdate& f = *p.filter;
+    if (!f.bits.empty() && f.base_version == 0) {
+      record.filter_wire = f.bits;  // full filter
+    } else if (!f.bits.empty() && existing != nullptr &&
+               existing->version == f.base_version && !existing->filter_wire.empty()) {
+      // Apply the XOR diff to our stored filter.
+      try {
+        ByteReader base_reader(existing->filter_wire);
+        bloom::BloomFilter filter = bloom::decode_filter(base_reader);
+        ByteReader diff_reader(f.bits);
+        filter.apply_diff(bloom::decode_diff(diff_reader));
+        ByteWriter w;
+        bloom::encode_filter(w, filter);
+        record.filter_wire = w.take();
+      } catch (const std::exception& e) {
+        PLOG_WARN("gossip", "diff apply failed for peer ", p.origin, ": ", e.what());
+        need_full_pull = true;
+      }
+    } else if (!f.bits.empty()) {
+      // Diff against a base we do not hold: accept the metadata, pull the
+      // full filter from whoever told us.
+      need_full_pull = true;
+    } else if (existing != nullptr) {
+      // Simulation mode (no bits): carry the previous opaque filter forward.
+      record.filter_wire = existing->filter_wire;
+    }
+  } else if (existing != nullptr) {
+    record.filter_wire = existing->filter_wire;  // rejoin: filter unchanged
+  }
+
+  directory_.apply(record);
+  if (hooks_.on_apply) hooks_.on_apply(p, now);
+  if (need_full_pull && from != kInvalidPeer) {
+    out.push_back(Outgoing{from, PullRequestMsg{{p.id()}}});
+  }
+  return true;
+}
+
+RumorPayload Protocol::payload_for_pull(const PeerRecord& record) const {
+  FilterUpdate full;
+  full.base_version = 0;
+  full.bits = record.filter_wire;
+  full.key_count = record.key_count;
+  full.new_keys = record.key_count;
+  return payload_from_record(record, EventKind::kFilterChange, std::move(full));
+}
+
+std::vector<Protocol::Outgoing> Protocol::on_message(TimePoint now, PeerId from,
+                                                     const Message& msg) {
+  std::vector<Outgoing> out;
+
+  // Hearing from a peer proves it is online.
+  directory_.mark_online(from);
+
+  if (const auto* rumor = std::get_if<RumorMsg>(&msg)) {
+    RumorAckMsg ack;
+    bool any_new = false;
+    for (const RumorPayload& p : rumor->rumors) {
+      if (apply_payload(p, now, from, out)) {
+        any_new = true;
+        make_hot(p);  // we now spread it too
+      } else {
+        ack.already_knew.push_back(p.id());
+      }
+    }
+    if (config_.enable_partial_ae) {
+      ack.recent_ids.assign(recent_.begin(), recent_.end());
+      // Pull anything from the sender's piggyback that we are missing.
+      for (const RumorId& id : rumor->recent_ids) {
+        const PeerRecord* r = directory_.find(id.origin);
+        if (r == nullptr || r->version < id.version) ack.pull_ids.push_back(id);
+      }
+    }
+    out.push_back(Outgoing{from, std::move(ack)});
+    // "Whenever x receives a rumor message ... it immediately resets its
+    // gossiping interval" — active rumoring implies community change.
+    if (!rumor->rumors.empty() || any_new) reset_interval();
+    return out;
+  }
+
+  if (const auto* ack = std::get_if<RumorAckMsg>(&msg)) {
+    // Stop-counter updates for the rumors we pushed: the ones listed were
+    // already known at the target; any other hot rumor was news to it.
+    std::unordered_set<RumorId, RumorIdHash> knew(ack->already_knew.begin(),
+                                                  ack->already_knew.end());
+    std::vector<RumorId> to_retire;
+    for (auto& [id, hot] : hot_) {
+      if (knew.contains(id)) {
+        if (++hot.consecutive_known >= config_.stop_count) to_retire.push_back(id);
+      } else {
+        hot.consecutive_known = 0;
+      }
+    }
+    for (const RumorId& id : to_retire) retire_rumor(id);
+
+    // Serve the target's partial-anti-entropy pulls.
+    if (!ack->pull_ids.empty()) {
+      PullResponseMsg resp;
+      for (const RumorId& id : ack->pull_ids) {
+        const PeerRecord* r = directory_.find(id.origin);
+        if (r != nullptr && r->version >= id.version) resp.rumors.push_back(payload_for_pull(*r));
+      }
+      if (!resp.rumors.empty()) out.push_back(Outgoing{from, std::move(resp)});
+    }
+    // And pull what the target's piggyback showed us we are missing.
+    std::vector<RumorId> want;
+    for (const RumorId& id : ack->recent_ids) {
+      const PeerRecord* r = directory_.find(id.origin);
+      if (r == nullptr || r->version < id.version) want.push_back(id);
+    }
+    if (!want.empty()) out.push_back(Outgoing{from, PullRequestMsg{std::move(want)}});
+    return out;
+  }
+
+  if (std::get_if<SummaryRequestMsg>(&msg) != nullptr) {
+    out.push_back(Outgoing{from, SummaryMsg{directory_.summary(), /*push=*/false}});
+    return out;
+  }
+
+  if (const auto* summary = std::get_if<SummaryMsg>(&msg)) {
+    if (!summary->push) catch_up_pending_ = false;  // our pull round-trip completed
+    std::vector<RumorId> missing = directory_.newer_in(summary->entries);
+    if (config_.max_pull_per_exchange != 0 &&
+        missing.size() > config_.max_pull_per_exchange) {
+      // Incremental directory acquisition (§7.2 future work): fetch only a
+      // chunk now; later anti-entropy rounds pull the rest.
+      missing.resize(config_.max_pull_per_exchange);
+    }
+    if (!missing.empty()) {
+      out.push_back(Outgoing{from, PullRequestMsg{std::move(missing)}});
+    } else if (!summary->push && directory_.same_as(summary->entries)) {
+      // Pull-anti-entropy reply showed an identical directory: one more
+      // gossip-less contact toward slowing down.
+      register_gossipless_contact();
+    }
+    return out;
+  }
+
+  if (const auto* pull = std::get_if<PullRequestMsg>(&msg)) {
+    PullResponseMsg resp;
+    for (const RumorId& id : pull->ids) {
+      const PeerRecord* r = directory_.find(id.origin);
+      if (r != nullptr && r->version >= id.version) resp.rumors.push_back(payload_for_pull(*r));
+    }
+    if (!resp.rumors.empty()) out.push_back(Outgoing{from, std::move(resp)});
+    return out;
+  }
+
+  if (const auto* resp = std::get_if<PullResponseMsg>(&msg)) {
+    bool any_new = false;
+    for (const RumorPayload& p : resp->rumors) {
+      if (apply_payload(p, now, from, out)) {
+        any_new = true;
+        make_hot(p);  // pulled news spreads onward like any rumor
+      }
+    }
+    if (any_new) reset_interval();  // "finds a new piece of information through anti-entropy"
+    return out;
+  }
+
+  return out;
+}
+
+void Protocol::on_send_failed(PeerId to, TimePoint now) {
+  directory_.mark_offline(to, now);
+}
+
+}  // namespace planetp::gossip

@@ -1,0 +1,155 @@
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "gossip/config.hpp"
+#include "gossip/directory.hpp"
+#include "gossip/messages.hpp"
+#include "gossip/types.hpp"
+#include "util/rng.hpp"
+
+/// \file protocol.hpp
+/// The PlanetP gossiping protocol (§3) as a runtime-agnostic state machine:
+/// push rumor mongering, every-n-th-round pull anti-entropy, a partial
+/// anti-entropy piggyback on every rumor exchange, an adaptive gossiping
+/// interval, and optional bandwidth-aware fast/slow target selection.
+///
+/// The protocol never talks to a network: `on_round` / `on_message` return
+/// the messages to transmit, and the embedding runtime — the discrete-event
+/// simulator (src/sim) or the live TCP runtime (src/net) — delivers them and
+/// reports failures via `on_send_failed`. The same protocol object therefore
+/// backs both the paper's simulation results and its prototype behaviour.
+
+namespace planetp::gossip {
+
+class Protocol {
+ public:
+  /// A message the runtime must transmit.
+  struct Outgoing {
+    PeerId to = kInvalidPeer;
+    Message msg;
+  };
+
+  /// Metric/integration hooks (all optional).
+  struct Hooks {
+    /// Called when a strictly newer record version is applied locally —
+    /// i.e. this peer "learned" the event. Convergence metrics key off it.
+    std::function<void(const RumorPayload&, TimePoint)> on_apply;
+
+    /// Called when a peer is dropped after T_dead.
+    std::function<void(PeerId)> on_expire;
+  };
+
+  Protocol(PeerId self, GossipConfig config, Rng rng);
+
+  // ------------------------------------------------------------------
+  // Local events (the origin side of rumors)
+  // ------------------------------------------------------------------
+
+  /// Install our own record (version 1) and start rumoring our arrival.
+  /// \p key_count / \p filter_wire describe the local index summary.
+  void local_join(std::string address, LinkClass link_class, std::uint32_t key_count,
+                  std::vector<std::uint8_t> filter_wire, TimePoint now);
+
+  /// Install our own record without rumoring it — for setting up members of
+  /// an already-converged community (experiments) where arrival is old news.
+  void quiet_start(std::string address, LinkClass link_class, std::uint32_t key_count,
+                   std::vector<std::uint8_t> filter_wire);
+
+  /// The local Bloom filter changed: bump our version and rumor the diff.
+  /// \p diff_bits may be empty in simulation; \p new_keys drives the wire
+  /// size model either way.
+  void local_filter_change(std::uint32_t key_count, std::uint32_t new_keys,
+                           std::vector<std::uint8_t> diff_bits,
+                           std::vector<std::uint8_t> full_filter_wire, TimePoint now);
+
+  /// We went offline and came back with nothing new to share: bump our
+  /// version so presence re-propagates (§3).
+  void local_rejoin(TimePoint now);
+
+  /// First contact of a brand-new (or returning) member: ask \p introducer
+  /// for its full directory. The reply path downloads every record we lack.
+  Outgoing join_via(PeerId introducer);
+
+  /// Install initial directory state without generating rumors (used to
+  /// set up pre-converged communities in experiments).
+  void bootstrap(const std::vector<PeerRecord>& records);
+
+  // ------------------------------------------------------------------
+  // Runtime driver interface
+  // ------------------------------------------------------------------
+
+  /// One gossip round; the runtime calls this every current_interval().
+  std::vector<Outgoing> on_round(TimePoint now);
+
+  /// Handle a received message; returns any replies/pulls to transmit.
+  std::vector<Outgoing> on_message(TimePoint now, PeerId from, const Message& msg);
+
+  /// The runtime failed to deliver to \p to: mark it offline (§3 — offline
+  /// discovery is by failed communication, never gossiped).
+  void on_send_failed(PeerId to, TimePoint now);
+
+  /// Current adaptive gossiping interval.
+  Duration current_interval() const { return interval_; }
+
+  // ------------------------------------------------------------------
+  // Introspection
+  // ------------------------------------------------------------------
+
+  Directory& directory() { return directory_; }
+  const Directory& directory() const { return directory_; }
+  const GossipConfig& config() const { return config_; }
+  PeerId self() const { return directory_.self(); }
+  std::size_t hot_rumor_count() const { return hot_.size(); }
+  std::uint64_t own_version() const;
+  Hooks& hooks() { return hooks_; }
+
+ private:
+  struct HotRumor {
+    RumorPayload payload;
+    int consecutive_known = 0;
+  };
+
+  // Apply one payload; returns true if it was new. When a diff cannot be
+  // applied (missing base), the record is still accepted and the origin id
+  // is queued for a full-filter pull from \p from.
+  bool apply_payload(const RumorPayload& p, TimePoint now, PeerId from,
+                     std::vector<Outgoing>& out);
+
+  void make_hot(const RumorPayload& p);
+  void retire_rumor(const RumorId& id);
+  void note_recent(const RumorId& id);
+  void reset_interval();
+  void register_gossipless_contact();
+
+  PeerId pick_rumor_target();
+  PeerId pick_ae_target();
+  bool has_local_origin_rumor() const;
+
+  RumorPayload payload_for_pull(const PeerRecord& record) const;
+
+  GossipConfig config_;
+  Directory directory_;
+  Rng rng_;
+  Hooks hooks_;
+
+  std::unordered_map<RumorId, HotRumor, RumorIdHash> hot_;
+  std::vector<RumorId> hot_order_;             ///< stable iteration order
+  std::deque<RumorId> recent_;                 ///< retired ids for piggybacking
+  std::unordered_set<RumorId, RumorIdHash> recent_set_;
+
+  std::uint64_t round_counter_ = 0;
+  int gossipless_count_ = 0;
+  Duration interval_;
+  LinkClass self_class_ = LinkClass::kFast;
+  /// Set on rejoin: we slept through events and must anti-entropy before
+  /// resuming normal rumoring priorities; cleared by the first summary
+  /// reply. Retries automatically when the chosen target is unreachable.
+  bool catch_up_pending_ = false;
+};
+
+}  // namespace planetp::gossip

@@ -1,0 +1,18 @@
+#include "gossip/types.hpp"
+
+namespace planetp::gossip {
+
+RumorPayload payload_from_record(const PeerRecord& record, EventKind kind,
+                                 std::optional<FilterUpdate> filter) {
+  RumorPayload p;
+  p.origin = record.id;
+  p.version = record.version;
+  p.address = record.address;
+  p.link_class = record.link_class;
+  p.kind = kind;
+  p.key_count = record.key_count;
+  p.filter = std::move(filter);
+  return p;
+}
+
+}  // namespace planetp::gossip

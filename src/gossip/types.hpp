@@ -1,0 +1,102 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/time.hpp"
+
+/// \file types.hpp
+/// Core vocabulary of the gossiping layer (§3): peers, directory records,
+/// rumors and the events that create them.
+
+namespace planetp::gossip {
+
+using PeerId = std::uint32_t;
+inline constexpr PeerId kInvalidPeer = 0xffffffffu;
+
+/// Connectivity class used by the bandwidth-aware gossiping variant (§7.2):
+/// "Fast includes peers with 512 Kb/s connectivity or better. Slow includes
+/// peers connected by modems."
+enum class LinkClass : std::uint8_t { kFast = 0, kSlow = 1 };
+
+/// What changed at the origin peer; drives metrics and the wire-size model.
+enum class EventKind : std::uint8_t {
+  kJoin = 0,          ///< a brand-new member joined the community
+  kRejoin = 1,        ///< a previously offline member came back, nothing new to share
+  kFilterChange = 2,  ///< the origin's Bloom filter changed (new/updated docs)
+};
+
+/// Identifies one directory change: the origin peer and the version its
+/// record reached with this change. Rumors are deduplicated by this id.
+struct RumorId {
+  PeerId origin = kInvalidPeer;
+  std::uint64_t version = 0;
+
+  bool operator==(const RumorId&) const = default;
+  auto operator<=>(const RumorId&) const = default;
+};
+
+struct RumorIdHash {
+  std::size_t operator()(const RumorId& id) const {
+    return (static_cast<std::size_t>(id.origin) << 32) ^ id.version;
+  }
+};
+
+/// Bloom-filter update carried by a rumor. The origin encodes the change as
+/// a diff against its previous filter version when possible (§7.2 "PlanetP
+/// sends diffs of the Bloom filters to save bandwidth"); receivers that do
+/// not hold the base version pull the full filter instead.
+struct FilterUpdate {
+  std::uint64_t base_version = 0;  ///< version the diff applies to; 0 = full filter
+  std::vector<std::uint8_t> bits;  ///< encoded diff (or full filter when base_version == 0);
+                                   ///< empty in simulation, where sizes are modeled
+  std::uint32_t key_count = 0;     ///< total keys summarized after this update
+  std::uint32_t new_keys = 0;      ///< keys added relative to the base (sizing model)
+};
+
+/// One peer's entry in the replicated global directory: "the names and
+/// addresses of all current members, as well as a Bloom filter per member"
+/// (§1). online/offline status is local belief and is never gossiped (§3).
+struct PeerRecord {
+  PeerId id = kInvalidPeer;
+  std::string address;                     ///< opaque contact address
+  LinkClass link_class = LinkClass::kFast;
+  std::uint64_t version = 0;               ///< origin-incremented on every event
+  std::uint32_t key_count = 0;             ///< #terms in the summarized index
+  std::vector<std::uint8_t> filter_wire;   ///< compressed Bloom filter (live mode)
+
+  // --- local-only state, never serialized ---
+  bool online = true;
+  TimePoint offline_since = 0;
+
+  RumorId rumor_id() const { return RumorId{id, version}; }
+};
+
+/// The unit of rumor mongering: enough of a peer record to update a remote
+/// directory, plus the optional filter payload.
+struct RumorPayload {
+  PeerId origin = kInvalidPeer;
+  std::uint64_t version = 0;
+  std::string address;
+  LinkClass link_class = LinkClass::kFast;
+  EventKind kind = EventKind::kJoin;
+  std::uint32_t key_count = 0;
+  std::optional<FilterUpdate> filter;
+
+  RumorId id() const { return RumorId{origin, version}; }
+};
+
+/// Compact per-peer entry of a directory summary, exchanged by anti-entropy.
+/// Table 2 prices one of these at 48 bytes on the wire.
+struct PeerSummary {
+  PeerId id = kInvalidPeer;
+  std::uint64_t version = 0;
+};
+
+/// Build the rumor payload describing \p record's latest state.
+RumorPayload payload_from_record(const PeerRecord& record, EventKind kind,
+                                 std::optional<FilterUpdate> filter = std::nullopt);
+
+}  // namespace planetp::gossip

@@ -1,0 +1,146 @@
+#include "index/compressed_postings.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/varint.hpp"
+
+namespace planetp::index {
+
+CompressedIndex CompressedIndex::build(const InvertedIndex& source) {
+  CompressedIndex out;
+
+  // Dense renumbering in ascending original-id order: postings within each
+  // term can then be written sorted, and deltas stay small.
+  out.docs_ = source.documents();
+  out.doc_lengths_.reserve(out.docs_.size());
+  for (std::uint32_t dense = 0; dense < out.docs_.size(); ++dense) {
+    out.dense_of_.emplace(out.docs_[dense], dense);
+    out.doc_lengths_.push_back(source.document_length(out.docs_[dense]));
+  }
+
+  source.for_each_term([&](const std::string& term) {
+    const auto& plist = source.postings(term);
+    // (dense id, freq), sorted by dense id for delta coding.
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> entries;
+    entries.reserve(plist.size());
+    std::uint64_t cf = 0;
+    for (const Posting& p : plist) {
+      entries.emplace_back(out.dense_of_.at(p.doc), p.term_freq);
+      cf += p.term_freq;
+    }
+    std::sort(entries.begin(), entries.end());
+
+    TermEntry te;
+    te.offset = static_cast<std::uint32_t>(out.blob_.size());
+    te.doc_freq = static_cast<std::uint32_t>(entries.size());
+    te.collection_freq = cf;
+    std::uint32_t prev = 0;
+    bool first = true;
+    for (const auto& [dense, freq] : entries) {
+      put_varint(out.blob_, first ? dense : dense - prev - 1);
+      put_varint(out.blob_, freq);
+      prev = dense;
+      first = false;
+    }
+    te.length = static_cast<std::uint32_t>(out.blob_.size()) - te.offset;
+    out.terms_.emplace(term, te);
+  });
+  return out;
+}
+
+CompressedIndex::PostingCursor::PostingCursor(const CompressedIndex* owner,
+                                              const std::uint8_t* data, std::size_t size,
+                                              std::uint32_t count)
+    : owner_(owner), data_(data), size_(size), remaining_(count) {
+  if (remaining_ > 0) {
+    // Load the first posting.
+    const std::uint32_t gap = static_cast<std::uint32_t>(get_varint(data_, size_, pos_));
+    freq_ = static_cast<std::uint32_t>(get_varint(data_, size_, pos_));
+    dense_ = gap;
+    doc_ = owner_->docs_[dense_];
+  }
+}
+
+void CompressedIndex::PostingCursor::next() {
+  --remaining_;
+  if (remaining_ == 0) return;
+  const std::uint32_t gap = static_cast<std::uint32_t>(get_varint(data_, size_, pos_));
+  freq_ = static_cast<std::uint32_t>(get_varint(data_, size_, pos_));
+  dense_ += gap + 1;
+  doc_ = owner_->docs_[dense_];
+}
+
+CompressedIndex::PostingCursor CompressedIndex::postings(std::string_view term) const {
+  auto it = terms_.find(std::string(term));
+  if (it == terms_.end()) return PostingCursor(this, nullptr, 0, 0);
+  const TermEntry& te = it->second;
+  return PostingCursor(this, blob_.data() + te.offset, te.length, te.doc_freq);
+}
+
+std::vector<Posting> CompressedIndex::decode(std::string_view term) const {
+  std::vector<Posting> out;
+  for (PostingCursor c = postings(term); !c.done(); c.next()) {
+    out.push_back(Posting{c.doc(), c.term_freq()});
+  }
+  return out;
+}
+
+std::uint32_t CompressedIndex::document_frequency(std::string_view term) const {
+  auto it = terms_.find(std::string(term));
+  return it == terms_.end() ? 0 : it->second.doc_freq;
+}
+
+std::uint64_t CompressedIndex::collection_frequency(std::string_view term) const {
+  auto it = terms_.find(std::string(term));
+  return it == terms_.end() ? 0 : it->second.collection_freq;
+}
+
+std::uint32_t CompressedIndex::document_length(DocumentId doc) const {
+  auto it = dense_of_.find(doc);
+  return it == dense_of_.end() ? 0 : doc_lengths_[it->second];
+}
+
+std::size_t CompressedIndex::memory_bytes() const {
+  std::size_t bytes = blob_.size();
+  for (const auto& [term, te] : terms_) bytes += term.size() + sizeof(TermEntry);
+  bytes += docs_.size() * sizeof(DocumentId);
+  bytes += doc_lengths_.size() * sizeof(std::uint32_t);
+  bytes += dense_of_.size() * (sizeof(DocumentId) + sizeof(std::uint32_t));
+  return bytes;
+}
+
+std::vector<std::pair<DocumentId, double>> CompressedIndex::score(
+    const std::unordered_map<std::string, double>& term_weights) const {
+  // Accumulate over dense ids (a flat array beats a hash map here).
+  std::vector<double> acc(docs_.size(), 0.0);
+  std::vector<bool> touched(docs_.size(), false);
+  for (const auto& [term, weight] : term_weights) {
+    if (weight <= 0.0) continue;
+    auto it = terms_.find(term);
+    if (it == terms_.end()) continue;
+    const TermEntry& te = it->second;
+    PostingCursor c(this, blob_.data() + te.offset, te.length, te.doc_freq);
+    for (; !c.done(); c.next()) {
+      const auto dense = dense_of_.at(c.doc());
+      // w_{D,t} = 1 + log f_{D,t} (same formula as search::doc_weight;
+      // duplicated here to keep the index layer free of search deps).
+      acc[dense] += (1.0 + std::log(static_cast<double>(c.term_freq()))) * weight;
+      touched[dense] = true;
+    }
+  }
+  std::vector<std::pair<DocumentId, double>> out;
+  for (std::uint32_t dense = 0; dense < docs_.size(); ++dense) {
+    if (!touched[dense]) continue;
+    const double norm =
+        doc_lengths_[dense] == 0 ? 0.0 : 1.0 / std::sqrt(double(doc_lengths_[dense]));
+    out.emplace_back(docs_[dense], acc[dense] * norm);
+  }
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  return out;
+}
+
+}  // namespace planetp::index

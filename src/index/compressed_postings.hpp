@@ -1,0 +1,96 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "index/inverted_index.hpp"
+
+/// \file compressed_postings.hpp
+/// Compressed, immutable posting lists in the style of Witten, Moffat &
+/// Bell's "Managing Gigabytes" — the same reference the paper takes its
+/// ranking equations from. The mutable InvertedIndex is the write path; a
+/// CompressedIndex is a compact read-optimized snapshot of it:
+///
+///   - documents are numbered densely; ids are delta-coded varints,
+///   - term frequencies are varints,
+///   - each term's postings live in one contiguous byte run.
+///
+/// Peers with large, slowly changing stores (the common case per §2's file
+/// system citations) can serve queries from a snapshot several times
+/// smaller than the hash-map index, rebuilding it only when enough changes
+/// accumulate.
+
+namespace planetp::index {
+
+class CompressedIndex {
+ public:
+  CompressedIndex() = default;
+
+  /// Snapshot \p source. Document ids are remapped densely; the mapping is
+  /// kept for translating results back.
+  static CompressedIndex build(const InvertedIndex& source);
+
+  /// Iterate a term's postings without materializing them.
+  class PostingCursor {
+   public:
+    bool done() const { return remaining_ == 0; }
+    /// Advance to the next posting; must not be called when done().
+    void next();
+    DocumentId doc() const { return doc_; }
+    std::uint32_t term_freq() const { return freq_; }
+
+   private:
+    friend class CompressedIndex;
+    PostingCursor(const CompressedIndex* owner, const std::uint8_t* data, std::size_t size,
+                  std::uint32_t count);
+
+    const CompressedIndex* owner_ = nullptr;
+    const std::uint8_t* data_ = nullptr;
+    std::size_t size_ = 0;
+    std::size_t pos_ = 0;
+    std::uint32_t remaining_ = 0;
+    std::uint32_t dense_ = 0;  ///< running dense doc id
+    DocumentId doc_;
+    std::uint32_t freq_ = 0;
+  };
+
+  /// Cursor over \p term's postings (empty cursor when absent).
+  PostingCursor postings(std::string_view term) const;
+
+  /// Decode a full posting list (convenience for tests and scoring).
+  std::vector<Posting> decode(std::string_view term) const;
+
+  std::uint32_t document_frequency(std::string_view term) const;
+  std::uint64_t collection_frequency(std::string_view term) const;
+  std::uint32_t document_length(DocumentId doc) const;
+  std::size_t num_documents() const { return docs_.size(); }
+  std::size_t num_terms() const { return terms_.size(); }
+
+  /// Total bytes of the compressed structure (postings + dictionaries).
+  std::size_t memory_bytes() const;
+
+  /// Score documents against weighted query terms, identical semantics to
+  /// search::score_documents over the source index.
+  std::vector<std::pair<DocumentId, double>> score(
+      const std::unordered_map<std::string, double>& term_weights) const;
+
+ private:
+  struct TermEntry {
+    std::uint32_t offset = 0;    ///< into blob_
+    std::uint32_t length = 0;    ///< bytes
+    std::uint32_t doc_freq = 0;  ///< postings count
+    std::uint64_t collection_freq = 0;
+  };
+
+  std::unordered_map<std::string, TermEntry> terms_;
+  std::vector<std::uint8_t> blob_;         ///< all posting runs, concatenated
+  std::vector<DocumentId> docs_;           ///< dense id -> original id
+  std::vector<std::uint32_t> doc_lengths_; ///< by dense id
+  std::unordered_map<DocumentId, std::uint32_t, DocumentIdHash> dense_of_;
+};
+
+}  // namespace planetp::index

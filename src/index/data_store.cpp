@@ -1,0 +1,117 @@
+#include "index/data_store.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace planetp::index {
+
+DataStore::DataStore(std::uint32_t peer_id, bloom::BloomParams bloom_params,
+                     text::AnalyzerOptions analyzer_opts)
+    : peer_id_(peer_id), analyzer_(analyzer_opts), counting_filter_(bloom_params) {}
+
+DocumentId DataStore::publish(std::string xml_source) {
+  return publish_as(next_local_id_, std::move(xml_source));
+}
+
+DocumentId DataStore::publish_as(std::uint32_t local_id, std::string xml_source) {
+  const DocumentId id{peer_id_, local_id};
+  if (docs_.contains(id)) {
+    throw std::invalid_argument("DataStore::publish_as: local id already in use");
+  }
+  if (local_id >= next_local_id_) next_local_id_ = local_id + 1;
+  Document doc = make_document(id, std::move(xml_source));
+
+  const auto freqs = analyzer_.term_frequencies(doc.text);
+  index_.add_document(id, freqs);
+
+  std::vector<std::string> terms;
+  terms.reserve(freqs.size());
+  for (const auto& [term, freq] : freqs) {
+    counting_filter_.insert(term);
+    terms.push_back(term);
+  }
+  doc_terms_[id] = std::move(terms);
+  docs_[id] = std::move(doc);
+  ++filter_version_;
+  return id;
+}
+
+DocumentId DataStore::publish_text(std::string_view title, std::string_view body) {
+  return publish(wrap_text_as_xml(title, body));
+}
+
+bool DataStore::unpublish(DocumentId id) {
+  auto it = docs_.find(id);
+  if (it == docs_.end()) return false;
+  docs_.erase(it);
+  index_.remove_document(id);
+  auto terms_it = doc_terms_.find(id);
+  if (terms_it != doc_terms_.end()) {
+    for (const auto& term : terms_it->second) counting_filter_.remove(term);
+    doc_terms_.erase(terms_it);
+  }
+  ++filter_version_;
+  return true;
+}
+
+bool DataStore::republish(DocumentId id, std::string xml_source) {
+  if (!docs_.contains(id)) return false;
+  // Validate the new content before tearing the old version down.
+  Document replacement = make_document(id, std::move(xml_source));
+
+  unpublish(id);
+  const auto freqs = analyzer_.term_frequencies(replacement.text);
+  index_.add_document(id, freqs);
+  std::vector<std::string> terms;
+  terms.reserve(freqs.size());
+  for (const auto& [term, freq] : freqs) {
+    counting_filter_.insert(term);
+    terms.push_back(term);
+  }
+  doc_terms_[id] = std::move(terms);
+  docs_[id] = std::move(replacement);
+  ++filter_version_;
+  return true;
+}
+
+const Document* DataStore::document(DocumentId id) const {
+  auto it = docs_.find(id);
+  return it == docs_.end() ? nullptr : &it->second;
+}
+
+std::vector<DocumentId> DataStore::search_all_terms(std::string_view query) const {
+  const auto terms = analyzer_.analyze(query);
+  if (terms.empty()) return {};
+
+  // Intersect postings, starting with the rarest term.
+  std::vector<std::string> unique(terms.begin(), terms.end());
+  std::sort(unique.begin(), unique.end());
+  unique.erase(std::unique(unique.begin(), unique.end()), unique.end());
+  std::sort(unique.begin(), unique.end(), [&](const std::string& a, const std::string& b) {
+    return index_.document_frequency(a) < index_.document_frequency(b);
+  });
+
+  std::vector<DocumentId> result;
+  bool first = true;
+  for (const auto& term : unique) {
+    const auto& plist = index_.postings(term);
+    if (plist.empty()) return {};
+    std::vector<DocumentId> docs_with_term;
+    docs_with_term.reserve(plist.size());
+    for (const Posting& p : plist) docs_with_term.push_back(p.doc);
+    std::sort(docs_with_term.begin(), docs_with_term.end());
+    if (first) {
+      result = std::move(docs_with_term);
+      first = false;
+    } else {
+      std::vector<DocumentId> merged;
+      std::set_intersection(result.begin(), result.end(), docs_with_term.begin(),
+                            docs_with_term.end(), std::back_inserter(merged));
+      result = std::move(merged);
+      if (result.empty()) return {};
+    }
+  }
+  return result;
+}
+
+}  // namespace planetp::index

@@ -1,0 +1,93 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "bloom/counting_bloom.hpp"
+#include "index/document.hpp"
+#include "index/inverted_index.hpp"
+#include "text/analyzer.hpp"
+
+/// \file data_store.hpp
+/// The per-peer local data store of §2: published XML documents, the local
+/// inverted index over them, and the (counting) Bloom filter summarizing the
+/// index's term set. The plain projection of that filter is what the peer
+/// gossips; a monotonically increasing version number tracks changes so the
+/// directory can tell stale summaries from fresh ones.
+
+namespace planetp::index {
+
+class DataStore {
+ public:
+  explicit DataStore(std::uint32_t peer_id, bloom::BloomParams bloom_params = {},
+                     text::AnalyzerOptions analyzer_opts = {});
+
+  /// Publish an XML document; indexes its text and updates the Bloom filter.
+  /// Returns the new document's id. Throws on malformed XML.
+  DocumentId publish(std::string xml_source);
+
+  /// Publish pre-extracted plain text under a title (convenience wrapper
+  /// that builds the XML envelope).
+  DocumentId publish_text(std::string_view title, std::string_view body);
+
+  /// Publish under a caller-chosen local id (snapshot restore: documents
+  /// must keep their community-visible ids). Throws if the id is taken.
+  DocumentId publish_as(std::uint32_t local_id, std::string xml_source);
+
+  /// The next local id publish() would assign (snapshot metadata).
+  std::uint32_t next_local_id() const { return next_local_id_; }
+
+  /// Ensure future publishes use ids >= \p next (snapshot restore: ids of
+  /// documents unpublished before the snapshot must never be reused).
+  void reserve_local_ids(std::uint32_t next) {
+    if (next > next_local_id_) next_local_id_ = next;
+  }
+
+  /// Remove a published document. Returns false if unknown.
+  bool unpublish(DocumentId id);
+
+  /// Replace a published document's content in place (same id, new XML):
+  /// reindexes and updates the filter. Returns false if the id is unknown.
+  /// Throws on malformed XML, leaving the old version intact.
+  bool republish(DocumentId id, std::string xml_source);
+
+  /// The stored document, or nullptr.
+  const Document* document(DocumentId id) const;
+
+  /// Documents whose text contains *all* query terms (local exhaustive
+  /// search; terms are analyzed with the same pipeline as documents).
+  std::vector<DocumentId> search_all_terms(std::string_view query) const;
+
+  /// Current Bloom filter (plain projection of the counting filter).
+  bloom::BloomFilter bloom_filter() const { return counting_filter_.to_bloom_filter(); }
+
+  /// Version incremented on every publish/unpublish that changes the term
+  /// set summary.
+  std::uint64_t filter_version() const { return filter_version_; }
+
+  const InvertedIndex& index() const { return index_; }
+  const text::Analyzer& analyzer() const { return analyzer_; }
+  std::uint32_t peer_id() const { return peer_id_; }
+  std::size_t num_documents() const { return docs_.size(); }
+
+  /// All stored documents (ids ascending).
+  std::vector<DocumentId> documents() const { return index_.documents(); }
+
+ private:
+  std::uint32_t peer_id_;
+  std::uint32_t next_local_id_ = 0;
+  text::Analyzer analyzer_;
+  InvertedIndex index_;
+  bloom::CountingBloomFilter counting_filter_;
+  std::uint64_t filter_version_ = 0;
+  std::unordered_map<DocumentId, Document, DocumentIdHash> docs_;
+  /// Distinct-term reference counts so the counting filter sees one
+  /// insert/remove per (document, distinct term).
+  std::unordered_map<DocumentId, std::vector<std::string>, DocumentIdHash> doc_terms_;
+};
+
+}  // namespace planetp::index

@@ -1,0 +1,62 @@
+#include "index/document.hpp"
+
+#include "index/xml.hpp"
+
+namespace planetp::index {
+
+namespace {
+
+/// File types PlanetP knows how to extract text from (§2 mentions
+/// postscript, PDF, text). In this reproduction, link content is supplied
+/// inline in the XML (<link> body) or left unindexed — there is no real
+/// filesystem of postscript files to crawl.
+bool is_indexable_type(std::string_view type) {
+  return type == "text" || type == "txt" || type == "postscript" || type == "ps" ||
+         type == "pdf";
+}
+
+void collect_links(const xml::Element& el, std::vector<ExternalLink>& links) {
+  if (el.tag == "link" || el.tag == "xpointer" || !el.attr("href").empty()) {
+    std::string_view href = el.attr("href");
+    if (!href.empty()) {
+      ExternalLink link;
+      link.href = std::string(href);
+      link.content_type = std::string(el.attr("type"));
+      if (is_indexable_type(link.content_type)) {
+        link.content = el.all_text();
+      }
+      links.push_back(std::move(link));
+    }
+  }
+  for (const auto& c : el.children) collect_links(*c, links);
+}
+
+}  // namespace
+
+Document make_document(DocumentId id, std::string xml_source) {
+  Document doc;
+  doc.id = id;
+  doc.xml_source = std::move(xml_source);
+
+  const auto root = xml::parse(doc.xml_source);
+  doc.title = std::string(root->attr("title"));
+  if (doc.title.empty()) {
+    if (const xml::Element* t = root->child("title")) doc.title = t->text;
+  }
+  doc.text = root->all_text();
+  collect_links(*root, doc.links);
+  // Text of indexable links is already inside all_text() because links carry
+  // their extracted content inline; nothing further to append.
+  return doc;
+}
+
+std::string wrap_text_as_xml(std::string_view title, std::string_view body) {
+  std::string out = "<document title=\"";
+  out += xml::escape(title);
+  out += "\">";
+  out += xml::escape(body);
+  out += "</document>";
+  return out;
+}
+
+}  // namespace planetp::index

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+/// \file document.hpp
+/// The published-document model of §2. A published XML document carries text
+/// and optional links (XPointer-style hrefs) to external files; PlanetP
+/// stores the XML in the publisher's local data store and indexes the text
+/// plus the content of linked files of known types.
+
+namespace planetp::index {
+
+/// Community-unique document handle: (peer that published it, local id).
+struct DocumentId {
+  std::uint32_t peer = 0;
+  std::uint32_t local = 0;
+
+  bool operator==(const DocumentId&) const = default;
+  auto operator<=>(const DocumentId&) const = default;
+};
+
+struct DocumentIdHash {
+  std::size_t operator()(const DocumentId& id) const {
+    return (static_cast<std::size_t>(id.peer) << 32) | id.local;
+  }
+};
+
+/// A link from a published XML document to an external file.
+struct ExternalLink {
+  std::string href;          ///< target path or URL
+  std::string content_type;  ///< "text", "postscript", "pdf", ... (empty = unknown)
+  std::string content;       ///< extracted text when the type is known, else empty
+};
+
+/// A published document: the XML source plus pre-extracted indexable text.
+struct Document {
+  DocumentId id;
+  std::string title;                ///< human name shown in results
+  std::string xml_source;           ///< the stored XML document
+  std::string text;                 ///< all indexable text (XML text + linked files)
+  std::vector<ExternalLink> links;  ///< external files referenced by the XML
+};
+
+/// Build a Document from raw XML: parses it, extracts the text and links,
+/// and pulls in the content of links whose type is indexable. Throws
+/// std::runtime_error on malformed XML.
+Document make_document(DocumentId id, std::string xml_source);
+
+/// Convenience: wrap plain text in a minimal PlanetP XML envelope.
+std::string wrap_text_as_xml(std::string_view title, std::string_view body);
+
+}  // namespace planetp::index

@@ -1,0 +1,100 @@
+#include "index/inverted_index.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace planetp::index {
+
+namespace {
+const std::vector<Posting> kEmptyPostings;
+
+/// Heterogeneous lookup shim: unordered_map<string, V> with string_view key.
+template <typename Map>
+auto find_sv(Map& map, std::string_view key) {
+  // std::unordered_map does not support heterogeneous lookup pre-C++20 tags;
+  // materialize only on miss-prone path. Term strings are short (SSO), so
+  // this stays cheap.
+  return map.find(std::string(key));
+}
+}  // namespace
+
+void InvertedIndex::add_document(
+    DocumentId doc, const std::unordered_map<std::string, std::uint32_t>& term_freqs) {
+  if (doc_lengths_.contains(doc)) {
+    throw std::invalid_argument("InvertedIndex::add_document: document already indexed");
+  }
+  std::uint32_t length = 0;
+  for (const auto& [term, freq] : term_freqs) {
+    auto& entry = postings_[term];
+    entry.postings.push_back(Posting{doc, freq});
+    entry.collection_freq += freq;
+    length += freq;
+  }
+  doc_lengths_[doc] = length;
+}
+
+bool InvertedIndex::remove_document(DocumentId doc) {
+  auto it = doc_lengths_.find(doc);
+  if (it == doc_lengths_.end()) return false;
+  doc_lengths_.erase(it);
+
+  for (auto entry_it = postings_.begin(); entry_it != postings_.end();) {
+    auto& entry = entry_it->second;
+    auto posting_it = std::find_if(entry.postings.begin(), entry.postings.end(),
+                                   [&](const Posting& p) { return p.doc == doc; });
+    if (posting_it != entry.postings.end()) {
+      entry.collection_freq -= posting_it->term_freq;
+      entry.postings.erase(posting_it);
+    }
+    if (entry.postings.empty()) {
+      entry_it = postings_.erase(entry_it);
+    } else {
+      ++entry_it;
+    }
+  }
+  return true;
+}
+
+const std::vector<Posting>& InvertedIndex::postings(std::string_view term) const {
+  auto it = find_sv(postings_, term);
+  return it == postings_.end() ? kEmptyPostings : it->second.postings;
+}
+
+bool InvertedIndex::contains_term(std::string_view term) const {
+  return find_sv(postings_, term) != postings_.end();
+}
+
+std::uint32_t InvertedIndex::term_frequency(std::string_view term, DocumentId doc) const {
+  for (const Posting& p : postings(term)) {
+    if (p.doc == doc) return p.term_freq;
+  }
+  return 0;
+}
+
+std::uint32_t InvertedIndex::document_length(DocumentId doc) const {
+  auto it = doc_lengths_.find(doc);
+  return it == doc_lengths_.end() ? 0 : it->second;
+}
+
+std::uint64_t InvertedIndex::collection_frequency(std::string_view term) const {
+  auto it = find_sv(postings_, term);
+  return it == postings_.end() ? 0 : it->second.collection_freq;
+}
+
+std::uint32_t InvertedIndex::document_frequency(std::string_view term) const {
+  return static_cast<std::uint32_t>(postings(term).size());
+}
+
+void InvertedIndex::for_each_term(const std::function<void(const std::string&)>& fn) const {
+  for (const auto& [term, entry] : postings_) fn(term);
+}
+
+std::vector<DocumentId> InvertedIndex::documents() const {
+  std::vector<DocumentId> out;
+  out.reserve(doc_lengths_.size());
+  for (const auto& [doc, len] : doc_lengths_) out.push_back(doc);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace planetp::index

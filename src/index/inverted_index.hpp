@@ -1,0 +1,75 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "index/document.hpp"
+
+/// \file inverted_index.hpp
+/// Per-peer inverted index: term -> postings (document, term frequency).
+/// This is the structure each peer keeps over its local data store (§2); its
+/// term set is what the peer's Bloom filter summarizes, and its postings
+/// supply the f_{D,t} and |D| statistics of the ranking equations (§5.2).
+
+namespace planetp::index {
+
+struct Posting {
+  DocumentId doc;
+  std::uint32_t term_freq = 0;  ///< f_{D,t}
+
+  bool operator==(const Posting&) const = default;
+};
+
+class InvertedIndex {
+ public:
+  /// Insert a document given its term -> frequency map. The document must
+  /// not already be present.
+  void add_document(DocumentId doc,
+                    const std::unordered_map<std::string, std::uint32_t>& term_freqs);
+
+  /// Remove a document and all its postings. Returns false if unknown.
+  bool remove_document(DocumentId doc);
+
+  /// Postings for a term (empty when absent).
+  const std::vector<Posting>& postings(std::string_view term) const;
+
+  /// Whether any document contains the term.
+  bool contains_term(std::string_view term) const;
+
+  /// f_{D,t}: frequency of \p term in \p doc (0 when absent).
+  std::uint32_t term_frequency(std::string_view term, DocumentId doc) const;
+
+  /// |D|: total number of term occurrences in the document (the paper's
+  /// "number of terms in document D" used in the sqrt(|D|) normalizer).
+  std::uint32_t document_length(DocumentId doc) const;
+
+  /// f_t: total occurrences of \p term across the collection (for IDF).
+  std::uint64_t collection_frequency(std::string_view term) const;
+
+  /// Number of documents containing \p term.
+  std::uint32_t document_frequency(std::string_view term) const;
+
+  std::size_t num_documents() const { return doc_lengths_.size(); }
+  std::size_t num_terms() const { return postings_.size(); }
+
+  /// Iterate all distinct terms (used to build the Bloom filter).
+  void for_each_term(const std::function<void(const std::string&)>& fn) const;
+
+  /// All documents currently indexed.
+  std::vector<DocumentId> documents() const;
+
+ private:
+  struct TermEntry {
+    std::vector<Posting> postings;
+    std::uint64_t collection_freq = 0;
+  };
+
+  std::unordered_map<std::string, TermEntry, std::hash<std::string>, std::equal_to<>> postings_;
+  std::unordered_map<DocumentId, std::uint32_t, DocumentIdHash> doc_lengths_;
+};
+
+}  // namespace planetp::index

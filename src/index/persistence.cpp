@@ -1,0 +1,89 @@
+#include "index/persistence.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+#include "util/byte_buffer.hpp"
+
+namespace planetp::index {
+
+namespace {
+constexpr char kMagic[4] = {'P', 'P', 'D', 'S'};
+}
+
+std::vector<std::uint8_t> serialize_data_store(const DataStore& store) {
+  ByteWriter w;
+  w.raw(std::span<const std::uint8_t>(reinterpret_cast<const std::uint8_t*>(kMagic), 4));
+  w.u32(kDataStoreFormatVersion);
+  w.u32(store.peer_id());
+  w.u32(store.next_local_id());
+
+  const auto docs = store.documents();
+  w.varint(docs.size());
+  for (const DocumentId& id : docs) {
+    const Document* doc = store.document(id);
+    if (doc == nullptr) continue;  // defensive; documents() is authoritative
+    w.u32(id.local);
+    w.str(doc->xml_source);
+  }
+  return w.take();
+}
+
+DataStore deserialize_data_store(std::span<const std::uint8_t> bytes,
+                                 bloom::BloomParams bloom_params,
+                                 text::AnalyzerOptions analyzer_opts) {
+  ByteReader r(bytes);
+  char magic[4];
+  for (char& c : magic) c = static_cast<char>(r.u8());
+  if (std::memcmp(magic, kMagic, 4) != 0) {
+    throw std::runtime_error("data store snapshot: bad magic");
+  }
+  const std::uint32_t version = r.u32();
+  if (version != kDataStoreFormatVersion) {
+    throw std::runtime_error("data store snapshot: unsupported version " +
+                             std::to_string(version));
+  }
+  const std::uint32_t peer_id = r.u32();
+  const std::uint32_t next_local = r.u32();
+
+  DataStore store(peer_id, bloom_params, analyzer_opts);
+  const std::size_t count = static_cast<std::size_t>(r.varint());
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::uint32_t local = r.u32();
+    store.publish_as(local, r.str());
+  }
+  // Restore the id counter even past gaps left by unpublished documents so
+  // post-restore publishes never reuse a previously seen id.
+  store.reserve_local_ids(next_local);
+  return store;
+}
+
+bool save_data_store(const DataStore& store, const std::string& path) {
+  const auto bytes = serialize_data_store(store);
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return false;
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+    if (!out) return false;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+DataStore load_data_store(const std::string& path, bloom::BloomParams bloom_params,
+                          text::AnalyzerOptions analyzer_opts) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("data store snapshot: cannot open " + path);
+  std::vector<std::uint8_t> bytes((std::istreambuf_iterator<char>(in)),
+                                  std::istreambuf_iterator<char>());
+  return deserialize_data_store(bytes, bloom_params, analyzer_opts);
+}
+
+}  // namespace planetp::index

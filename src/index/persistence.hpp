@@ -1,0 +1,47 @@
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "index/data_store.hpp"
+
+/// \file persistence.hpp
+/// Durable storage for a peer's local data store. A PlanetP peer that goes
+/// offline keeps its published documents; on restart it reloads them,
+/// rebuilds its inverted index and Bloom filter, and rejoins the community
+/// with the same content (its rejoin rumor re-advertises the filter).
+///
+/// Format (versioned, little-endian, ByteWriter framing):
+///   magic "PPDS" | u32 format version | u32 peer id | u32 next local id |
+///   varint doc count | per doc: u32 local id, length-prefixed XML source
+///
+/// Only the XML sources are stored; the index, filter and extracted text are
+/// derived state and are rebuilt on load (publish() is the single code path
+/// that constructs them, so stored and freshly published documents can never
+/// disagree).
+
+namespace planetp::index {
+
+/// Current snapshot format version.
+inline constexpr std::uint32_t kDataStoreFormatVersion = 1;
+
+/// Serialize \p store into a byte buffer.
+std::vector<std::uint8_t> serialize_data_store(const DataStore& store);
+
+/// Reconstruct a data store from serialize_data_store output. Documents keep
+/// their original local ids. Throws std::runtime_error on a bad snapshot.
+DataStore deserialize_data_store(std::span<const std::uint8_t> bytes,
+                                 bloom::BloomParams bloom_params = {},
+                                 text::AnalyzerOptions analyzer_opts = {});
+
+/// Write a snapshot to \p path (atomically: temp file + rename).
+/// Returns false on I/O failure.
+bool save_data_store(const DataStore& store, const std::string& path);
+
+/// Load a snapshot from \p path. Throws std::runtime_error when the file is
+/// missing or corrupt.
+DataStore load_data_store(const std::string& path, bloom::BloomParams bloom_params = {},
+                          text::AnalyzerOptions analyzer_opts = {});
+
+}  // namespace planetp::index

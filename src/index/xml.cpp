@@ -1,0 +1,291 @@
+#include "index/xml.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace planetp::xml {
+
+const Element* Element::child(std::string_view tag_name) const {
+  for (const auto& c : children) {
+    if (c->tag == tag_name) return c.get();
+  }
+  return nullptr;
+}
+
+std::string_view Element::attr(std::string_view name) const {
+  auto it = attributes.find(std::string(name));
+  return it == attributes.end() ? std::string_view{} : std::string_view(it->second);
+}
+
+std::string Element::all_text() const {
+  std::string out = text;
+  for (const auto& c : children) {
+    const std::string child_text = c->all_text();
+    if (!child_text.empty()) {
+      if (!out.empty()) out.push_back(' ');
+      out += child_text;
+    }
+  }
+  return out;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view input) : in_(input) {}
+
+  std::unique_ptr<Element> parse_document() {
+    skip_prolog();
+    auto root = parse_element();
+    skip_ws_and_misc();
+    if (pos_ != in_.size()) fail("trailing content after root element");
+    return root;
+  }
+
+ private:
+  std::string_view in_;
+  std::size_t pos_ = 0;
+
+  [[noreturn]] void fail(const std::string& msg) const {
+    std::ostringstream os;
+    os << "XML parse error at offset " << pos_ << ": " << msg;
+    throw std::runtime_error(os.str());
+  }
+
+  bool eof() const { return pos_ >= in_.size(); }
+  char peek() const { return in_[pos_]; }
+
+  bool starts_with(std::string_view s) const {
+    return in_.substr(pos_, s.size()) == s;
+  }
+
+  void skip_ws() {
+    while (!eof() && (peek() == ' ' || peek() == '\t' || peek() == '\n' || peek() == '\r')) {
+      ++pos_;
+    }
+  }
+
+  void skip_comment() {
+    // Assumes starts_with("<!--").
+    pos_ += 4;
+    const std::size_t end = in_.find("-->", pos_);
+    if (end == std::string_view::npos) fail("unterminated comment");
+    pos_ = end + 3;
+  }
+
+  void skip_prolog() {
+    skip_ws();
+    if (starts_with("<?xml")) {
+      const std::size_t end = in_.find("?>", pos_);
+      if (end == std::string_view::npos) fail("unterminated XML declaration");
+      pos_ = end + 2;
+    }
+    skip_ws_and_misc();
+  }
+
+  void skip_ws_and_misc() {
+    while (true) {
+      skip_ws();
+      if (starts_with("<!--")) {
+        skip_comment();
+      } else if (starts_with("<!DOCTYPE")) {
+        const std::size_t end = in_.find('>', pos_);
+        if (end == std::string_view::npos) fail("unterminated DOCTYPE");
+        pos_ = end + 1;
+      } else {
+        return;
+      }
+    }
+  }
+
+  static bool is_name_char(char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') ||
+           c == '_' || c == '-' || c == '.' || c == ':';
+  }
+
+  std::string parse_name() {
+    const std::size_t start = pos_;
+    while (!eof() && is_name_char(peek())) ++pos_;
+    if (pos_ == start) fail("expected name");
+    return std::string(in_.substr(start, pos_ - start));
+  }
+
+  std::string decode_entities(std::string_view raw) {
+    std::string out;
+    out.reserve(raw.size());
+    for (std::size_t i = 0; i < raw.size();) {
+      if (raw[i] != '&') {
+        out.push_back(raw[i++]);
+        continue;
+      }
+      const std::size_t semi = raw.find(';', i);
+      if (semi == std::string_view::npos) {
+        out.push_back(raw[i++]);  // stray '&': pass through
+        continue;
+      }
+      const std::string_view entity = raw.substr(i + 1, semi - i - 1);
+      if (entity == "amp") out.push_back('&');
+      else if (entity == "lt") out.push_back('<');
+      else if (entity == "gt") out.push_back('>');
+      else if (entity == "quot") out.push_back('"');
+      else if (entity == "apos") out.push_back('\'');
+      else if (!entity.empty() && entity[0] == '#') {
+        // Numeric character reference; only ASCII range is supported.
+        const int base = entity.size() > 1 && (entity[1] == 'x' || entity[1] == 'X') ? 16 : 10;
+        const std::string digits(entity.substr(base == 16 ? 2 : 1));
+        const long code = std::strtol(digits.c_str(), nullptr, base);
+        if (code > 0 && code < 128) out.push_back(static_cast<char>(code));
+      } else {
+        // Unknown entity: keep raw.
+        out.push_back('&');
+        out.append(entity);
+        out.push_back(';');
+      }
+      i = semi + 1;
+    }
+    return out;
+  }
+
+  void parse_attributes(Element& el) {
+    while (true) {
+      skip_ws();
+      if (eof()) fail("unterminated start tag");
+      if (peek() == '>' || peek() == '/' || peek() == '?') return;
+      std::string name = parse_name();
+      skip_ws();
+      if (eof() || peek() != '=') fail("expected '=' in attribute");
+      ++pos_;
+      skip_ws();
+      if (eof() || (peek() != '"' && peek() != '\'')) fail("expected quoted attribute value");
+      const char quote = peek();
+      ++pos_;
+      const std::size_t start = pos_;
+      while (!eof() && peek() != quote) ++pos_;
+      if (eof()) fail("unterminated attribute value");
+      el.attributes[std::move(name)] = decode_entities(in_.substr(start, pos_ - start));
+      ++pos_;  // closing quote
+    }
+  }
+
+  std::unique_ptr<Element> parse_element() {
+    if (eof() || peek() != '<') fail("expected element");
+    ++pos_;
+    auto el = std::make_unique<Element>();
+    el->tag = parse_name();
+    parse_attributes(*el);
+    if (starts_with("/>")) {
+      pos_ += 2;
+      return el;
+    }
+    if (eof() || peek() != '>') fail("expected '>'");
+    ++pos_;
+    parse_content(*el);
+    return el;
+  }
+
+  void parse_content(Element& el) {
+    std::string text;
+    auto flush_text = [&] {
+      if (!text.empty()) {
+        if (!el.text.empty()) el.text.push_back(' ');
+        el.text += decode_entities(text);
+        text.clear();
+      }
+    };
+    while (true) {
+      if (eof()) fail("unterminated element <" + el.tag + ">");
+      if (peek() == '<') {
+        if (starts_with("</")) {
+          flush_text();
+          pos_ += 2;
+          const std::string name = parse_name();
+          if (name != el.tag) fail("mismatched close tag </" + name + "> for <" + el.tag + ">");
+          skip_ws();
+          if (eof() || peek() != '>') fail("expected '>' in close tag");
+          ++pos_;
+          return;
+        }
+        if (starts_with("<!--")) {
+          skip_comment();
+          continue;
+        }
+        if (starts_with("<![CDATA[")) {
+          pos_ += 9;
+          const std::size_t end = in_.find("]]>", pos_);
+          if (end == std::string_view::npos) fail("unterminated CDATA");
+          // CDATA is literal character data: it must bypass entity decoding,
+          // so flush pending markup text first and append raw.
+          flush_text();
+          if (!el.text.empty()) el.text.push_back(' ');
+          el.text.append(in_.substr(pos_, end - pos_));
+          pos_ = end + 3;
+          continue;
+        }
+        flush_text();
+        el.children.push_back(parse_element());
+      } else {
+        text.push_back(peek());
+        ++pos_;
+      }
+    }
+  }
+};
+
+void serialize_into(const Element& el, std::string& out, int depth) {
+  out.append(static_cast<std::size_t>(depth) * 2, ' ');
+  out.push_back('<');
+  out += el.tag;
+  for (const auto& [k, v] : el.attributes) {
+    out.push_back(' ');
+    out += k;
+    out += "=\"";
+    out += escape(v);
+    out.push_back('"');
+  }
+  if (el.text.empty() && el.children.empty()) {
+    out += "/>\n";
+    return;
+  }
+  out.push_back('>');
+  out += escape(el.text);
+  if (!el.children.empty()) {
+    out.push_back('\n');
+    for (const auto& c : el.children) serialize_into(*c, out, depth + 1);
+    out.append(static_cast<std::size_t>(depth) * 2, ' ');
+  }
+  out += "</";
+  out += el.tag;
+  out += ">\n";
+}
+
+}  // namespace
+
+std::unique_ptr<Element> parse(std::string_view input) {
+  Parser p(input);
+  return p.parse_document();
+}
+
+std::string escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      case '\'': out += "&apos;"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string serialize(const Element& root) {
+  std::string out;
+  serialize_into(root, out, 0);
+  return out;
+}
+
+}  // namespace planetp::xml

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+/// \file xml.hpp
+/// Minimal XML document model and parser. PlanetP's unit of storage is an
+/// XML document (§2): text content is indexed, and XPointer/href links to
+/// external files are followed for indexing when the type is known. This
+/// parser supports the subset needed for that: elements, attributes,
+/// character data, CDATA, comments, and self-closing tags. It is not a
+/// validating parser.
+
+namespace planetp::xml {
+
+struct Element {
+  std::string tag;
+  std::map<std::string, std::string> attributes;
+  std::string text;  ///< concatenated character data directly inside this element
+  std::vector<std::unique_ptr<Element>> children;
+
+  /// First child with the given tag, or nullptr.
+  const Element* child(std::string_view tag_name) const;
+
+  /// Attribute value, or empty string when absent.
+  std::string_view attr(std::string_view name) const;
+
+  /// All text in this subtree, children included, space-joined.
+  std::string all_text() const;
+};
+
+/// Parse error with byte offset for diagnostics.
+struct ParseError {
+  std::string message;
+  std::size_t offset = 0;
+};
+
+/// Parse a full document; returns the root element or throws
+/// std::runtime_error with position info on malformed input.
+std::unique_ptr<Element> parse(std::string_view input);
+
+/// Escape &, <, >, ", ' for embedding text in XML.
+std::string escape(std::string_view text);
+
+/// Serialize an element tree back to XML text (used by snippets and tests).
+std::string serialize(const Element& root);
+
+}  // namespace planetp::xml

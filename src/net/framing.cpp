@@ -1,0 +1,63 @@
+#include "net/framing.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace planetp::net {
+
+namespace {
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+std::uint32_t read_u32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) | (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) | (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_frame(const Frame& frame) {
+  std::vector<std::uint8_t> out;
+  const std::uint32_t body = 4 + 1 + static_cast<std::uint32_t>(frame.payload.size());
+  out.reserve(4 + body);
+  put_u32(out, body);
+  put_u32(out, frame.sender);
+  out.push_back(static_cast<std::uint8_t>(frame.channel));
+  out.insert(out.end(), frame.payload.begin(), frame.payload.end());
+  return out;
+}
+
+void FrameDecoder::feed(std::span<const std::uint8_t> data) {
+  buf_.insert(buf_.end(), data.begin(), data.end());
+}
+
+std::optional<Frame> FrameDecoder::next() {
+  const std::size_t avail = buf_.size() - consumed_;
+  if (avail < 4) return std::nullopt;
+  const std::uint32_t body = read_u32(buf_.data() + consumed_);
+  if (body < 5 || body > kMaxFrameBytes) {
+    throw std::runtime_error("FrameDecoder: corrupt frame length");
+  }
+  if (avail < 4 + static_cast<std::size_t>(body)) return std::nullopt;
+
+  Frame frame;
+  const std::uint8_t* p = buf_.data() + consumed_ + 4;
+  frame.sender = read_u32(p);
+  frame.channel = static_cast<Channel>(p[4]);
+  frame.payload.assign(p + 5, p + body);
+  consumed_ += 4 + body;
+  compact();
+  return frame;
+}
+
+void FrameDecoder::compact() {
+  // Avoid unbounded growth: slide the buffer once half of it is consumed.
+  if (consumed_ > 4096 && consumed_ * 2 > buf_.size()) {
+    buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(consumed_));
+    consumed_ = 0;
+  }
+}
+
+}  // namespace planetp::net

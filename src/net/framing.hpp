@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+/// \file framing.hpp
+/// Wire framing for the live TCP runtime. Each frame is:
+///
+///   u32 length (little-endian, of everything after this field)
+///   u32 sender peer id
+///   u8  channel (0 = gossip, 1 = RPC)
+///   payload bytes
+///
+/// FrameDecoder consumes a TCP byte stream incrementally and yields complete
+/// frames; partial reads and coalesced frames are handled transparently.
+
+namespace planetp::net {
+
+enum class Channel : std::uint8_t { kGossip = 0, kRpc = 1 };
+
+struct Frame {
+  std::uint32_t sender = 0;
+  Channel channel = Channel::kGossip;
+  std::vector<std::uint8_t> payload;
+};
+
+/// Upper bound on a frame body; larger frames indicate stream corruption.
+inline constexpr std::uint32_t kMaxFrameBytes = 64u << 20;
+
+/// Serialize a frame (length prefix included).
+std::vector<std::uint8_t> encode_frame(const Frame& frame);
+
+class FrameDecoder {
+ public:
+  /// Append raw stream bytes.
+  void feed(std::span<const std::uint8_t> data);
+
+  /// Pop the next complete frame, if any. Throws std::runtime_error when the
+  /// stream is corrupt (oversized frame).
+  std::optional<Frame> next();
+
+  std::size_t buffered() const { return buf_.size() - consumed_; }
+
+ private:
+  void compact();
+
+  std::vector<std::uint8_t> buf_;
+  std::size_t consumed_ = 0;
+};
+
+}  // namespace planetp::net

@@ -1,0 +1,591 @@
+#include "net/live_node.hpp"
+
+#include <algorithm>
+
+#include "bloom/wire.hpp"
+#include "gossip/messages.hpp"
+#include "index/persistence.hpp"
+#include "index/xml.hpp"
+#include "search/ranker.hpp"
+#include "util/logging.hpp"
+
+namespace planetp::net {
+
+using gossip::PeerId;
+
+LiveNode::LiveNode(PeerId id, LiveNodeConfig config, std::uint16_t port)
+    : id_(id),
+      config_(config),
+      store_(id, config.bloom, config.analyzer),
+      protocol_(id, config.gossip, Rng(0x11fe00d ^ id)),
+      last_announced_(config.bloom) {
+  reactor_.listen(port);
+}
+
+LiveNode::~LiveNode() { stop(); }
+
+void LiveNode::start() {
+  if (started_) return;
+  started_ = true;
+  reactor_.start([this](const Frame& f) { on_frame(f); },
+                 [this](const std::string& addr) { on_send_failure(addr); });
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ByteWriter w;
+    bloom::encode_filter(w, store_.bloom_filter());
+    protocol_.local_join(address(), gossip::LinkClass::kFast,
+                         static_cast<std::uint32_t>(store_.index().num_terms()), w.take(),
+                         0);
+  }
+  reactor_.schedule(protocol_.current_interval(), [this] { gossip_round(); });
+  reactor_.schedule(5 * kSecond, [this] { sweep_broker_store(); });
+}
+
+void LiveNode::stop() {
+  if (!started_) return;
+  started_ = false;
+  reactor_.stop();
+}
+
+void LiveNode::join(PeerId introducer, const std::string& introducer_address) {
+  std::vector<gossip::Protocol::Outgoing> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // Seed a provisional record (version 0) so messages can route to the
+    // introducer before its real record arrives.
+    gossip::PeerRecord seed;
+    seed.id = introducer;
+    seed.address = introducer_address;
+    seed.version = 0;
+    protocol_.directory().apply(seed);
+    out.push_back(protocol_.join_via(introducer));
+  }
+  send_outgoing(std::move(out));
+}
+
+namespace {
+TimePoint steady_micros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+}  // namespace
+
+void LiveNode::gossip_round() {
+  if (!started_) return;
+  std::vector<gossip::Protocol::Outgoing> out;
+  Duration next;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out = protocol_.on_round(steady_micros());
+    next = protocol_.current_interval();
+  }
+  send_outgoing(std::move(out));
+  reactor_.schedule(next, [this] { gossip_round(); });
+}
+
+std::string LiveNode::address_of(PeerId peer) const {
+  const gossip::PeerRecord* record = protocol_.directory().find(peer);
+  return record == nullptr ? std::string{} : record->address;
+}
+
+void LiveNode::send_outgoing(std::vector<gossip::Protocol::Outgoing> batch) {
+  for (auto& out : batch) {
+    std::string addr;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      addr = address_of(out.to);
+    }
+    if (addr.empty()) continue;
+    Frame frame;
+    frame.sender = id_;
+    frame.channel = Channel::kGossip;
+    frame.payload = gossip::encode_message(out.msg);
+    reactor_.send(addr, std::move(frame));
+  }
+}
+
+void LiveNode::on_frame(const Frame& frame) {
+  if (frame.channel == Channel::kGossip) {
+    std::vector<gossip::Protocol::Outgoing> replies;
+    try {
+      const gossip::Message msg = gossip::decode_message(frame.payload);
+      std::lock_guard<std::mutex> lock(mu_);
+      replies = protocol_.on_message(steady_micros(), frame.sender, msg);
+    } catch (const std::exception& e) {
+      PLOG_WARN("net", "bad gossip frame from ", frame.sender, ": ", e.what());
+      return;
+    }
+    send_outgoing(std::move(replies));
+    return;
+  }
+  try {
+    handle_rpc(frame.sender, decode_rpc(frame.payload));
+  } catch (const std::exception& e) {
+    PLOG_WARN("net", "bad rpc frame from ", frame.sender, ": ", e.what());
+  }
+}
+
+void LiveNode::on_send_failure(const std::string& address) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Identify which peer the address belongs to and mark it offline (§3).
+  PeerId failed = gossip::kInvalidPeer;
+  protocol_.directory().for_each([&](const gossip::PeerRecord& r) {
+    if (r.address == address) failed = r.id;
+  });
+  if (failed != gossip::kInvalidPeer) protocol_.on_send_failed(failed, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Publishing
+// ---------------------------------------------------------------------------
+
+void LiveNode::announce_filter_change(std::uint32_t new_keys) {
+  std::vector<gossip::Protocol::Outgoing> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const bloom::BloomFilter current = store_.bloom_filter();
+    ByteWriter diff_writer;
+    bloom::encode_diff(diff_writer, current.diff_from(last_announced_));
+    ByteWriter full_writer;
+    bloom::encode_filter(full_writer, current);
+    protocol_.local_filter_change(static_cast<std::uint32_t>(store_.index().num_terms()),
+                                  new_keys, diff_writer.take(), full_writer.take(), 0);
+    last_announced_ = current;
+  }
+}
+
+index::DocumentId LiveNode::publish(std::string xml) {
+  index::DocumentId doc;
+  std::size_t before, after;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    before = store_.index().num_terms();
+    doc = store_.publish(std::move(xml));
+    after = store_.index().num_terms();
+  }
+  announce_filter_change(static_cast<std::uint32_t>(after - before));
+  return doc;
+}
+
+index::DocumentId LiveNode::publish_text(std::string_view title, std::string_view body) {
+  return publish(index::wrap_text_as_xml(title, body));
+}
+
+// ---------------------------------------------------------------------------
+// RPC server side
+// ---------------------------------------------------------------------------
+
+void LiveNode::reply_rpc(std::uint32_t peer, const RpcMessage& msg) {
+  std::string addr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    addr = address_of(peer);
+  }
+  if (addr.empty()) return;
+  Frame frame;
+  frame.sender = id_;
+  frame.channel = Channel::kRpc;
+  frame.payload = encode_rpc(msg);
+  reactor_.send(addr, std::move(frame));
+}
+
+void LiveNode::handle_rpc(std::uint32_t sender, const RpcMessage& msg) {
+  if (const auto* req = std::get_if<RankedRequest>(&msg)) {
+    RankedResponse resp;
+    resp.request_id = req->request_id;
+    std::unordered_map<std::string, double> weights;
+    for (const WeightedTerm& t : req->weights) weights.emplace(t.term, t.weight);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (const auto& d : search::score_documents(store_.index(), weights)) {
+        const index::Document* doc = store_.document(d.doc);
+        resp.docs.push_back(
+            RemoteDoc{d.doc.peer, d.doc.local, d.score, doc != nullptr ? doc->title : ""});
+      }
+    }
+    reply_rpc(sender, resp);
+    return;
+  }
+  if (const auto* req = std::get_if<ExhaustiveRequest>(&msg)) {
+    ExhaustiveResponse resp;
+    resp.request_id = req->request_id;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (const index::DocumentId& d : store_.search_all_terms(req->query)) {
+        const index::Document* doc = store_.document(d);
+        resp.docs.push_back(
+            RemoteDoc{d.peer, d.local, 0.0, doc != nullptr ? doc->title : ""});
+      }
+    }
+    reply_rpc(sender, resp);
+    return;
+  }
+  if (const auto* req = std::get_if<FetchRequest>(&msg)) {
+    FetchResponse resp;
+    resp.request_id = req->request_id;
+    std::unique_lock<std::mutex> lock(mu_);
+    const index::Document* doc = store_.document(index::DocumentId{req->peer, req->local});
+    if (doc != nullptr) {
+      resp.found = true;
+      resp.title = doc->title;
+      resp.xml = doc->xml_source;
+    }
+    lock.unlock();
+    reply_rpc(sender, resp);
+    return;
+  }
+  if (const auto* req = std::get_if<StoreSnippetRequest>(&msg)) {
+    // We are the responsible broker for (some of) this snippet's keys.
+    broker::Snippet local;
+    local.id = req->snippet.snippet_id;
+    local.publisher = req->snippet.publisher;
+    local.xml = req->snippet.xml;
+    local.keys = req->snippet.keys;
+    local.discard_at = steady_micros() + req->snippet.ttl_us;
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const std::string& key : local.keys) {
+      if (broker_for(key) == id_) broker_store_.put(key, local);
+    }
+    return;  // fire-and-forget
+  }
+  if (const auto* req = std::get_if<LookupSnippetRequest>(&msg)) {
+    LookupSnippetResponse resp;
+    resp.request_id = req->request_id;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      const TimePoint now = steady_micros();
+      for (const broker::Snippet& s : broker_store_.get(req->key, now)) {
+        resp.snippets.push_back(
+            WireSnippet{s.publisher, s.id, s.xml, s.keys, s.discard_at - now});
+      }
+    }
+    reply_rpc(sender, resp);
+    return;
+  }
+  // A response: hand to the waiting caller.
+  {
+    std::lock_guard<std::mutex> lock(rpc_mu_);
+    rpc_responses_.emplace(rpc_request_id(msg), msg);
+  }
+  rpc_cv_.notify_all();
+}
+
+// ---------------------------------------------------------------------------
+// RPC client side
+// ---------------------------------------------------------------------------
+
+std::optional<RpcMessage> LiveNode::call(PeerId peer, RpcMessage request) {
+  std::string addr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    addr = address_of(peer);
+  }
+  if (addr.empty()) return std::nullopt;
+
+  const std::uint64_t request_id = rpc_request_id(request);
+  Frame frame;
+  frame.sender = id_;
+  frame.channel = Channel::kRpc;
+  frame.payload = encode_rpc(request);
+  reactor_.send(addr, std::move(frame));
+
+  std::unique_lock<std::mutex> lock(rpc_mu_);
+  const bool got = rpc_cv_.wait_for(
+      lock, std::chrono::microseconds(config_.rpc_timeout),
+      [&] { return rpc_responses_.contains(request_id); });
+  if (!got) return std::nullopt;
+  auto node = rpc_responses_.extract(request_id);
+  return std::move(node.mapped());
+}
+
+std::vector<LiveHit> LiveNode::ranked_search(std::string_view query, std::size_t k) {
+  std::vector<std::string> terms;
+  std::vector<search::PeerFilter> views;
+  std::vector<std::unique_ptr<bloom::BloomFilter>> decoded;  // keep views alive
+  bloom::BloomFilter own(config_.bloom);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    terms = store_.analyzer().analyze(query);
+    own = store_.bloom_filter();
+    protocol_.directory().for_each([&](const gossip::PeerRecord& r) {
+      if (r.id == id_ || !r.online || r.filter_wire.empty()) return;
+      try {
+        ByteReader reader(r.filter_wire);
+        decoded.push_back(std::make_unique<bloom::BloomFilter>(bloom::decode_filter(reader)));
+        views.push_back(search::PeerFilter{r.id, decoded.back().get()});
+      } catch (const std::exception&) {
+      }
+    });
+  }
+  views.push_back(search::PeerFilter{id_, &own});
+  if (terms.empty()) return {};
+
+  std::unordered_map<index::DocumentId, std::string, index::DocumentIdHash> titles;
+  const auto contact = [&](std::uint32_t peer,
+                           const std::unordered_map<std::string, double>& weights)
+      -> std::vector<search::ScoredDoc> {
+    if (peer == id_) {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto docs = search::score_documents(store_.index(), weights);
+      for (const auto& d : docs) {
+        const index::Document* doc = store_.document(d.doc);
+        if (doc != nullptr) titles[d.doc] = doc->title;
+      }
+      return docs;
+    }
+    RankedRequest req;
+    {
+      std::lock_guard<std::mutex> lock(rpc_mu_);
+      req.request_id = next_request_id_++;
+    }
+    for (const auto& [term, weight] : weights) req.weights.push_back({term, weight});
+    const auto resp = call(peer, req);
+    std::vector<search::ScoredDoc> docs;
+    if (resp) {
+      if (const auto* r = std::get_if<RankedResponse>(&*resp)) {
+        for (const RemoteDoc& d : r->docs) {
+          const index::DocumentId doc_id{d.peer, d.local};
+          docs.push_back(search::ScoredDoc{doc_id, d.score});
+          titles[doc_id] = d.title;
+        }
+      }
+    }
+    return docs;
+  };
+
+  search::DistributedSearchOptions opts;
+  opts.k = k;
+  opts.group_size = config_.search_group_size;
+  opts.stopping = config_.stopping;
+  const auto result = search::tfipf_search(terms, views, contact, opts);
+
+  std::vector<LiveHit> hits;
+  for (const auto& d : result.docs) {
+    hits.push_back(LiveHit{d.doc.peer, d.doc.local, d.score, titles[d.doc]});
+  }
+  return hits;
+}
+
+std::vector<LiveHit> LiveNode::exhaustive_search(std::string_view query) {
+  std::vector<std::string> terms;
+  std::vector<PeerId> candidates;
+  std::vector<LiveHit> hits;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    terms = store_.analyzer().analyze(query);
+    if (terms.empty()) return {};
+    for (const index::DocumentId& d : store_.search_all_terms(query)) {
+      const index::Document* doc = store_.document(d);
+      hits.push_back(LiveHit{d.peer, d.local, 0.0, doc != nullptr ? doc->title : ""});
+    }
+    protocol_.directory().for_each([&](const gossip::PeerRecord& r) {
+      if (r.id == id_ || !r.online || r.filter_wire.empty()) return;
+      try {
+        ByteReader reader(r.filter_wire);
+        const bloom::BloomFilter f = bloom::decode_filter(reader);
+        for (const std::string& t : terms) {
+          if (!f.contains(t)) return;
+        }
+        candidates.push_back(r.id);
+      } catch (const std::exception&) {
+      }
+    });
+  }
+  for (PeerId peer : candidates) {
+    ExhaustiveRequest req;
+    {
+      std::lock_guard<std::mutex> lock(rpc_mu_);
+      req.request_id = next_request_id_++;
+    }
+    req.query = std::string(query);
+    const auto resp = call(peer, req);
+    if (resp) {
+      if (const auto* r = std::get_if<ExhaustiveResponse>(&*resp)) {
+        for (const RemoteDoc& d : r->docs) {
+          hits.push_back(LiveHit{d.peer, d.local, 0.0, d.title});
+        }
+      }
+    }
+  }
+  return hits;
+}
+
+std::optional<std::string> LiveNode::fetch_document(std::uint32_t peer, std::uint32_t local) {
+  if (peer == id_) {
+    std::lock_guard<std::mutex> lock(mu_);
+    const index::Document* doc = store_.document(index::DocumentId{peer, local});
+    if (doc == nullptr) return std::nullopt;
+    return doc->xml_source;
+  }
+  FetchRequest req;
+  {
+    std::lock_guard<std::mutex> lock(rpc_mu_);
+    req.request_id = next_request_id_++;
+  }
+  req.peer = peer;
+  req.local = local;
+  const auto resp = call(peer, req);
+  if (!resp) return std::nullopt;
+  if (const auto* r = std::get_if<FetchResponse>(&*resp); r != nullptr && r->found) {
+    return r->xml;
+  }
+  return std::nullopt;
+}
+
+// ---------------------------------------------------------------------------
+// Introspection
+// ---------------------------------------------------------------------------
+
+std::size_t LiveNode::known_peers() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return protocol_.directory().size();
+}
+
+// ---------------------------------------------------------------------------
+// Information brokerage over the live community
+// ---------------------------------------------------------------------------
+
+gossip::PeerId LiveNode::broker_for(const std::string& key) const {
+  // Build the ring from the current membership view. Every online member is
+  // a broker ("each active member chooses a unique broker ID", §4); all
+  // peers derive ids the same way, so their rings agree once the directory
+  // converges.
+  broker::HashRing ring;
+  protocol_.directory().for_each([&](const gossip::PeerRecord& r) {
+    if (r.online || r.id == id_) ring.add_by_hash(r.id);
+  });
+  const auto owner = ring.responsible_for(key);
+  return owner.value_or(gossip::kInvalidPeer);
+}
+
+std::uint64_t LiveNode::publish_snippet(std::string xml, std::vector<std::string> keys,
+                                        Duration ttl) {
+  WireSnippet snippet;
+  snippet.publisher = id_;
+  snippet.xml = std::move(xml);
+  snippet.keys = std::move(keys);
+  snippet.ttl_us = ttl;
+  {
+    std::lock_guard<std::mutex> lock(rpc_mu_);
+    snippet.snippet_id = next_snippet_id_++;
+  }
+
+  // Route each key to its responsible broker; self-owned keys store locally.
+  std::vector<std::pair<gossip::PeerId, std::string>> routes;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const std::string& key : snippet.keys) {
+      const gossip::PeerId owner = broker_for(key);
+      if (owner == id_ || owner == gossip::kInvalidPeer) {
+        broker::Snippet local;
+        local.id = snippet.snippet_id;
+        local.publisher = id_;
+        local.xml = snippet.xml;
+        local.keys = snippet.keys;
+        local.discard_at = steady_micros() + ttl;
+        broker_store_.put(key, local);
+      } else {
+        routes.emplace_back(owner, key);
+      }
+    }
+  }
+  for (const auto& [owner, key] : routes) {
+    std::string addr;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      addr = address_of(owner);
+    }
+    if (addr.empty()) continue;
+    StoreSnippetRequest req;
+    req.snippet = snippet;
+    Frame frame;
+    frame.sender = id_;
+    frame.channel = Channel::kRpc;
+    frame.payload = encode_rpc(req);
+    reactor_.send(addr, std::move(frame));
+  }
+  return snippet.snippet_id;
+}
+
+std::vector<WireSnippet> LiveNode::lookup_snippets(const std::string& key) {
+  gossip::PeerId owner;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    owner = broker_for(key);
+    if (owner == id_ || owner == gossip::kInvalidPeer) {
+      std::vector<WireSnippet> out;
+      const TimePoint now = steady_micros();
+      for (const broker::Snippet& s : broker_store_.get(key, now)) {
+        out.push_back(WireSnippet{s.publisher, s.id, s.xml, s.keys, s.discard_at - now});
+      }
+      return out;
+    }
+  }
+  LookupSnippetRequest req;
+  {
+    std::lock_guard<std::mutex> lock(rpc_mu_);
+    req.request_id = next_request_id_++;
+  }
+  req.key = key;
+  const auto resp = call(owner, req);
+  if (resp) {
+    if (const auto* r = std::get_if<LookupSnippetResponse>(&*resp)) return r->snippets;
+  }
+  return {};
+}
+
+std::size_t LiveNode::brokered_snippet_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return broker_store_.snippet_count();
+}
+
+void LiveNode::sweep_broker_store() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    broker_store_.sweep(steady_micros());
+  }
+  if (started_) {
+    reactor_.schedule(5 * kSecond, [this] { sweep_broker_store(); });
+  }
+}
+
+std::vector<LiveNode::PeerInfo> LiveNode::directory_snapshot() const {
+  std::vector<PeerInfo> out;
+  std::lock_guard<std::mutex> lock(mu_);
+  protocol_.directory().for_each([&](const gossip::PeerRecord& r) {
+    out.push_back(PeerInfo{r.id, r.address, r.version, r.online, r.key_count});
+  });
+  std::sort(out.begin(), out.end(),
+            [](const PeerInfo& a, const PeerInfo& b) { return a.id < b.id; });
+  return out;
+}
+
+std::vector<std::uint8_t> LiveNode::serialize_store() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return index::serialize_data_store(store_);
+}
+
+bool LiveNode::wait_for_peers(std::size_t n, Duration timeout) {
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::microseconds(timeout);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (known_peers() >= n) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  return known_peers() >= n;
+}
+
+bool LiveNode::wait_for_version(PeerId peer, std::uint64_t version, Duration timeout) {
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::microseconds(timeout);
+  while (std::chrono::steady_clock::now() < deadline) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      const gossip::PeerRecord* r = protocol_.directory().find(peer);
+      if (r != nullptr && r->version >= version) return true;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  return false;
+}
+
+}  // namespace planetp::net

@@ -1,0 +1,155 @@
+#pragma once
+
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "broker/hash_ring.hpp"
+#include "broker/snippet_store.hpp"
+#include "gossip/protocol.hpp"
+#include "index/data_store.hpp"
+#include "net/reactor.hpp"
+#include "net/rpc.hpp"
+#include "search/distributed.hpp"
+
+/// \file live_node.hpp
+/// A PlanetP peer running over real TCP sockets: the same gossip::Protocol
+/// the simulator drives, plus the RPC channel for ranked/exhaustive search
+/// and document fetch. This is the live counterpart of the paper's Java
+/// prototype, runnable on loopback or a LAN.
+
+namespace planetp::net {
+
+struct LiveNodeConfig {
+  bloom::BloomParams bloom;
+  text::AnalyzerOptions analyzer;
+  gossip::GossipConfig gossip;          ///< use short intervals for local tests
+  Duration rpc_timeout = 3 * kSecond;
+  search::StoppingHeuristic stopping;
+  std::size_t search_group_size = 1;
+};
+
+struct LiveHit {
+  std::uint32_t peer = 0;
+  std::uint32_t local = 0;
+  double score = 0.0;
+  std::string title;
+};
+
+class LiveNode {
+ public:
+  /// Create a node with the given peer id, listening on \p port (0 picks an
+  /// ephemeral port).
+  LiveNode(gossip::PeerId id, LiveNodeConfig config, std::uint16_t port = 0);
+  ~LiveNode();
+
+  LiveNode(const LiveNode&) = delete;
+  LiveNode& operator=(const LiveNode&) = delete;
+
+  /// Start the reactor, announce ourselves (local_join) and begin gossiping.
+  void start();
+  void stop();
+
+  gossip::PeerId id() const { return id_; }
+  std::string address() const { return reactor_.address(); }
+
+  /// Bootstrap into an existing community through one known member.
+  void join(gossip::PeerId introducer, const std::string& introducer_address);
+
+  /// Publish a plain-text document (wrapped in the XML envelope).
+  index::DocumentId publish_text(std::string_view title, std::string_view body);
+
+  /// Publish raw XML.
+  index::DocumentId publish(std::string xml);
+
+  /// Blocking TFxIPF ranked search across the community.
+  std::vector<LiveHit> ranked_search(std::string_view query, std::size_t k);
+
+  /// Blocking exhaustive (conjunctive) search.
+  std::vector<LiveHit> exhaustive_search(std::string_view query);
+
+  /// Fetch a document's XML from its owner. Empty optional on timeout.
+  std::optional<std::string> fetch_document(std::uint32_t peer, std::uint32_t local);
+
+  // ------------------------------------------------------------------
+  // Information brokerage (§4) over the live community
+  // ------------------------------------------------------------------
+
+  /// Publish an XML snippet to the brokers responsible for each key; the
+  /// ring is the set of currently known online members (consistent hashing
+  /// over the replicated directory). Fire-and-forget: the brokerage makes
+  /// no safety guarantee by design. Returns the snippet id.
+  std::uint64_t publish_snippet(std::string xml, std::vector<std::string> keys,
+                                Duration ttl);
+
+  /// Ask the responsible broker for the live snippets under \p key.
+  std::vector<WireSnippet> lookup_snippets(const std::string& key);
+
+  /// Snippets currently stored by this node's broker role.
+  std::size_t brokered_snippet_count() const;
+
+  /// Number of members this node's directory knows (self included).
+  std::size_t known_peers() const;
+
+  /// Snapshot of the replicated directory: (peer id, address, version,
+  /// online, key count) per member, sorted by id.
+  struct PeerInfo {
+    gossip::PeerId id;
+    std::string address;
+    std::uint64_t version;
+    bool online;
+    std::uint32_t key_count;
+  };
+  std::vector<PeerInfo> directory_snapshot() const;
+
+  /// Serialized snapshot of the local data store (see index/persistence.hpp);
+  /// safe to call while the node is live.
+  std::vector<std::uint8_t> serialize_store() const;
+
+  /// Wait until the directory knows at least \p n members (true) or
+  /// \p timeout elapses (false).
+  bool wait_for_peers(std::size_t n, Duration timeout);
+
+  /// Wait until this node's view of \p peer has version >= \p version.
+  bool wait_for_version(gossip::PeerId peer, std::uint64_t version, Duration timeout);
+
+ private:
+  void on_frame(const Frame& frame);
+  void on_send_failure(const std::string& address);
+  void gossip_round();
+  void send_outgoing(std::vector<gossip::Protocol::Outgoing> batch);
+  void handle_rpc(std::uint32_t sender, const RpcMessage& msg);
+  void reply_rpc(std::uint32_t peer, const RpcMessage& msg);
+  std::optional<RpcMessage> call(gossip::PeerId peer, RpcMessage request);
+  std::string address_of(gossip::PeerId peer) const;
+  void announce_filter_change(std::uint32_t new_keys);
+  /// Broker responsible for \p key given the current directory (requires
+  /// mu_ held). kInvalidPeer when the directory is empty.
+  gossip::PeerId broker_for(const std::string& key) const;
+  void sweep_broker_store();
+
+  gossip::PeerId id_;
+  LiveNodeConfig config_;
+  Reactor reactor_;
+
+  mutable std::mutex mu_;  ///< guards store_, protocol_, filter bookkeeping
+  index::DataStore store_;
+  gossip::Protocol protocol_;
+  bloom::BloomFilter last_announced_;
+  broker::SnippetStore broker_store_;  ///< this node's broker role (guarded by mu_)
+  std::uint64_t next_snippet_id_ = 1;
+
+  // Synchronous RPC bookkeeping.
+  std::mutex rpc_mu_;
+  std::condition_variable rpc_cv_;
+  std::uint64_t next_request_id_ = 1;
+  std::unordered_map<std::uint64_t, RpcMessage> rpc_responses_;
+
+  bool started_ = false;
+};
+
+}  // namespace planetp::net

@@ -1,0 +1,330 @@
+#include "net/reactor.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+
+#include "util/logging.hpp"
+
+namespace planetp::net {
+
+namespace {
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+/// Parse "host:port"; only IPv4 dotted quads (or localhost) are supported —
+/// the runtime targets LAN/loopback deployments and tests.
+bool parse_address(const std::string& address, sockaddr_in& out) {
+  const auto colon = address.rfind(':');
+  if (colon == std::string::npos) return false;
+  std::string host = address.substr(0, colon);
+  if (host == "localhost") host = "127.0.0.1";
+  const int port = std::atoi(address.c_str() + colon + 1);
+  if (port <= 0 || port > 65535) return false;
+  std::memset(&out, 0, sizeof(out));
+  out.sin_family = AF_INET;
+  out.sin_port = htons(static_cast<std::uint16_t>(port));
+  return ::inet_pton(AF_INET, host.c_str(), &out.sin_addr) == 1;
+}
+
+}  // namespace
+
+Reactor::Reactor() {
+  int pipe_fds[2];
+  if (::pipe(pipe_fds) != 0) throw std::runtime_error("Reactor: pipe() failed");
+  wake_read_ = pipe_fds[0];
+  wake_write_ = pipe_fds[1];
+  set_nonblocking(wake_read_);
+  set_nonblocking(wake_write_);
+}
+
+Reactor::~Reactor() {
+  stop();
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  for (auto& [fd, conn] : conns_) ::close(fd);
+  ::close(wake_read_);
+  ::close(wake_write_);
+}
+
+std::uint16_t Reactor::listen(std::uint16_t port) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) throw std::runtime_error("Reactor: socket() failed");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    throw std::runtime_error("Reactor: bind() failed");
+  }
+  if (::listen(listen_fd_, 64) != 0) throw std::runtime_error("Reactor: listen() failed");
+
+  socklen_t len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+  set_nonblocking(listen_fd_);
+  return port_;
+}
+
+void Reactor::start(FrameHandler on_frame, FailureHandler on_failure) {
+  on_frame_ = std::move(on_frame);
+  on_failure_ = std::move(on_failure);
+  running_.store(true);
+  thread_ = std::thread([this] { loop(); });
+}
+
+void Reactor::stop() {
+  if (!running_.exchange(false)) return;
+  const char byte = 1;
+  [[maybe_unused]] ssize_t n = ::write(wake_write_, &byte, 1);
+  if (thread_.joinable()) thread_.join();
+}
+
+void Reactor::send(const std::string& address, Frame frame) {
+  post([this, address, frame = std::move(frame)]() mutable {
+    Connection* conn = connection_to(address);
+    if (conn == nullptr) {
+      if (on_failure_) on_failure_(address);
+      return;
+    }
+    const auto bytes = encode_frame(frame);
+    conn->out.insert(conn->out.end(), bytes.begin(), bytes.end());
+    if (!conn->connecting) flush(*conn);
+  });
+}
+
+void Reactor::post(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    tasks_.push_back(std::move(fn));
+  }
+  const char byte = 1;
+  [[maybe_unused]] ssize_t n = ::write(wake_write_, &byte, 1);
+}
+
+std::uint64_t Reactor::schedule(Duration delay, std::function<void()> fn) {
+  const std::uint64_t token = next_timer_token_.fetch_add(1);
+  Timer t{steady_now() + delay, token, std::move(fn)};
+  {
+    std::lock_guard<std::mutex> lock(timer_mu_);
+    pending_timers_.push_back(std::move(t));
+  }
+  const char byte = 1;
+  [[maybe_unused]] ssize_t n = ::write(wake_write_, &byte, 1);
+  return token;
+}
+
+void Reactor::cancel_timer(std::uint64_t token) {
+  std::lock_guard<std::mutex> lock(timer_mu_);
+  cancelled_timers_.push_back(token);
+}
+
+TimePoint Reactor::steady_now() const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+Reactor::Connection* Reactor::connection_to(const std::string& address) {
+  auto it = outbound_.find(address);
+  if (it != outbound_.end()) return &conns_[it->second];
+
+  sockaddr_in addr{};
+  if (!parse_address(address, addr)) return nullptr;
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return nullptr;
+  set_nonblocking(fd);
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+  Connection conn;
+  conn.fd = fd;
+  conn.address = address;
+  const int rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  if (rc != 0 && errno != EINPROGRESS) {
+    ::close(fd);
+    return nullptr;
+  }
+  conn.connecting = (rc != 0);
+  conns_.emplace(fd, std::move(conn));
+  outbound_.emplace(address, fd);
+  return &conns_[fd];
+}
+
+void Reactor::flush(Connection& conn) {
+  while (conn.out_pos < conn.out.size()) {
+    const ssize_t n = ::send(conn.fd, conn.out.data() + conn.out_pos,
+                             conn.out.size() - conn.out_pos, MSG_NOSIGNAL);
+    if (n > 0) {
+      conn.out_pos += static_cast<std::size_t>(n);
+    } else if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      break;
+    } else {
+      close_connection(conn.fd, /*notify_failure=*/true);
+      return;
+    }
+  }
+  if (conn.out_pos == conn.out.size()) {
+    conn.out.clear();
+    conn.out_pos = 0;
+  } else if (conn.out_pos > 65536) {
+    conn.out.erase(conn.out.begin(), conn.out.begin() + static_cast<std::ptrdiff_t>(conn.out_pos));
+    conn.out_pos = 0;
+  }
+}
+
+void Reactor::close_connection(int fd, bool notify_failure) {
+  auto it = conns_.find(fd);
+  if (it == conns_.end()) return;
+  const bool had_pending = it->second.out_pos < it->second.out.size();
+  const std::string address = it->second.address;
+  if (!address.empty()) outbound_.erase(address);
+  ::close(fd);
+  conns_.erase(it);
+  if (notify_failure && had_pending && !address.empty() && on_failure_) {
+    on_failure_(address);
+  }
+}
+
+void Reactor::handle_readable(int fd) {
+  auto it = conns_.find(fd);
+  if (it == conns_.end()) return;
+  Connection& conn = it->second;
+  std::uint8_t buf[16384];
+  while (true) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n > 0) {
+      conn.decoder.feed(std::span<const std::uint8_t>(buf, static_cast<std::size_t>(n)));
+      try {
+        while (auto frame = conn.decoder.next()) {
+          if (on_frame_) on_frame_(*frame);
+        }
+      } catch (const std::exception& e) {
+        PLOG_WARN("net", "corrupt stream from fd ", fd, ": ", e.what());
+        close_connection(fd, true);
+        return;
+      }
+    } else if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      return;
+    } else {
+      close_connection(fd, n < 0);
+      return;
+    }
+  }
+}
+
+void Reactor::handle_writable(int fd) {
+  auto it = conns_.find(fd);
+  if (it == conns_.end()) return;
+  Connection& conn = it->second;
+  if (conn.connecting) {
+    int err = 0;
+    socklen_t len = sizeof(err);
+    ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len);
+    if (err != 0) {
+      close_connection(fd, true);
+      return;
+    }
+    conn.connecting = false;
+  }
+  flush(conn);
+}
+
+void Reactor::drain_tasks() {
+  std::deque<std::function<void()>> tasks;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    tasks.swap(tasks_);
+  }
+  for (auto& fn : tasks) fn();
+}
+
+void Reactor::fire_timers() {
+  {
+    std::lock_guard<std::mutex> lock(timer_mu_);
+    for (auto& t : pending_timers_) timers_.emplace(t.at, std::move(t));
+    pending_timers_.clear();
+    for (std::uint64_t token : cancelled_timers_) {
+      for (auto it = timers_.begin(); it != timers_.end();) {
+        it = it->second.token == token ? timers_.erase(it) : std::next(it);
+      }
+    }
+    cancelled_timers_.clear();
+  }
+  const TimePoint now = steady_now();
+  while (!timers_.empty() && timers_.begin()->first <= now) {
+    auto node = timers_.extract(timers_.begin());
+    node.mapped().fn();
+  }
+}
+
+void Reactor::loop() {
+  while (running_.load()) {
+    drain_tasks();
+    fire_timers();
+
+    std::vector<pollfd> fds;
+    fds.push_back(pollfd{wake_read_, POLLIN, 0});
+    if (listen_fd_ >= 0) fds.push_back(pollfd{listen_fd_, POLLIN, 0});
+    for (const auto& [fd, conn] : conns_) {
+      short events = POLLIN;
+      if (conn.connecting || conn.out_pos < conn.out.size()) events |= POLLOUT;
+      fds.push_back(pollfd{fd, events, 0});
+    }
+
+    int timeout_ms = 200;
+    if (!timers_.empty()) {
+      const auto until = timers_.begin()->first - steady_now();
+      timeout_ms = static_cast<int>(std::clamp<Duration>(until / kMillisecond, 0, 200));
+    }
+    const int rc = ::poll(fds.data(), fds.size(), timeout_ms);
+    if (rc < 0 && errno != EINTR) break;
+
+    for (const pollfd& p : fds) {
+      if (p.revents == 0) continue;
+      if (p.fd == wake_read_) {
+        char buf[256];
+        while (::read(wake_read_, buf, sizeof(buf)) > 0) {
+        }
+        continue;
+      }
+      if (p.fd == listen_fd_) {
+        while (true) {
+          const int client = ::accept(listen_fd_, nullptr, nullptr);
+          if (client < 0) break;
+          set_nonblocking(client);
+          const int one = 1;
+          ::setsockopt(client, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+          Connection conn;
+          conn.fd = client;
+          conns_.emplace(client, std::move(conn));
+        }
+        continue;
+      }
+      if (p.revents & (POLLERR | POLLHUP)) {
+        // Flush any readable data first, then close.
+        if (p.revents & POLLIN) handle_readable(p.fd);
+        close_connection(p.fd, (p.revents & POLLERR) != 0);
+        continue;
+      }
+      if (p.revents & POLLIN) handle_readable(p.fd);
+      if (p.revents & POLLOUT) handle_writable(p.fd);
+    }
+  }
+}
+
+}  // namespace planetp::net

@@ -1,0 +1,115 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "net/framing.hpp"
+#include "util/time.hpp"
+
+/// \file reactor.hpp
+/// Single-threaded poll(2) event loop for the live runtime: one listening
+/// socket, connect-on-demand outbound connections keyed by "host:port"
+/// address, buffered non-blocking writes, incremental frame decoding, a
+/// timer heap, and a self-pipe for cross-thread task injection.
+///
+/// All callbacks run on the reactor thread. Other threads interact only via
+/// send() / post() / schedule(), which are thread-safe.
+
+namespace planetp::net {
+
+class Reactor {
+ public:
+  using FrameHandler = std::function<void(const Frame&)>;
+  using FailureHandler = std::function<void(const std::string& address)>;
+
+  Reactor();
+  ~Reactor();
+
+  Reactor(const Reactor&) = delete;
+  Reactor& operator=(const Reactor&) = delete;
+
+  /// Bind and listen on 127.0.0.1:\p port (0 = ephemeral). Must be called
+  /// before start(). Returns the bound port.
+  std::uint16_t listen(std::uint16_t port);
+
+  /// Start the loop on its own thread. \p on_frame receives every inbound
+  /// frame; \p on_failure fires when a send to an address definitively
+  /// failed (connect refused or connection reset with data pending).
+  void start(FrameHandler on_frame, FailureHandler on_failure);
+
+  /// Stop the loop and join the thread. Idempotent.
+  void stop();
+
+  /// Queue a frame to \p address ("host:port"), connecting if needed.
+  /// Thread-safe; returns immediately.
+  void send(const std::string& address, Frame frame);
+
+  /// Run \p fn on the reactor thread as soon as possible. Thread-safe.
+  void post(std::function<void()> fn);
+
+  /// Run \p fn on the reactor thread after \p delay. Thread-safe. Returns a
+  /// token that cancel_timer() accepts.
+  std::uint64_t schedule(Duration delay, std::function<void()> fn);
+  void cancel_timer(std::uint64_t token);
+
+  std::uint16_t port() const { return port_; }
+  std::string address() const { return "127.0.0.1:" + std::to_string(port_); }
+
+ private:
+  struct Connection {
+    int fd = -1;
+    std::string address;      ///< outbound target, empty for inbound
+    bool connecting = false;  ///< non-blocking connect in flight
+    std::vector<std::uint8_t> out;
+    std::size_t out_pos = 0;
+    FrameDecoder decoder;
+  };
+
+  void loop();
+  void handle_readable(int fd);
+  void handle_writable(int fd);
+  void close_connection(int fd, bool notify_failure);
+  Connection* connection_to(const std::string& address);
+  void flush(Connection& conn);
+  void drain_tasks();
+  void fire_timers();
+  TimePoint steady_now() const;
+
+  int listen_fd_ = -1;
+  int wake_read_ = -1;
+  int wake_write_ = -1;
+  std::uint16_t port_ = 0;
+
+  FrameHandler on_frame_;
+  FailureHandler on_failure_;
+
+  std::unordered_map<int, Connection> conns_;
+  std::unordered_map<std::string, int> outbound_;  ///< address -> fd
+
+  std::mutex mu_;
+  std::deque<std::function<void()>> tasks_;
+
+  struct Timer {
+    TimePoint at;
+    std::uint64_t token;
+    std::function<void()> fn;
+  };
+  std::multimap<TimePoint, Timer> timers_;  // reactor thread only
+  std::atomic<std::uint64_t> next_timer_token_{1};
+  std::mutex timer_mu_;
+  std::vector<Timer> pending_timers_;        // injected from other threads
+  std::vector<std::uint64_t> cancelled_timers_;
+
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+};
+
+}  // namespace planetp::net

@@ -1,0 +1,29 @@
+#include "pfs/file_server.hpp"
+
+namespace planetp::pfs {
+
+std::string FileServer::make_url(const std::string& path) const {
+  return "pfs://" + std::to_string(peer_id_) + "/" + path;
+}
+
+std::string FileServer::put(const std::string& path, std::string content) {
+  files_[path] = std::move(content);
+  return make_url(path);
+}
+
+std::optional<std::string> FileServer::url_for(const std::string& path) const {
+  if (!files_.contains(path)) return std::nullopt;
+  return make_url(path);
+}
+
+std::optional<std::string> FileServer::get(const std::string& url) const {
+  const std::string prefix = "pfs://" + std::to_string(peer_id_) + "/";
+  if (url.rfind(prefix, 0) != 0) return std::nullopt;
+  auto it = files_.find(url.substr(prefix.size()));
+  if (it == files_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool FileServer::remove(const std::string& path) { return files_.erase(path) > 0; }
+
+}  // namespace planetp::pfs

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+/// \file file_server.hpp
+/// PFS's File Server (§6): "a very simple web server that provides two
+/// functions: (a) return a URL when given a local pathname, (b) return the
+/// content of the appropriate file in response to a GET operation."
+///
+/// Files are held in memory (the examples feed it synthetic content); a real
+/// deployment would map paths to the local filesystem and URLs to an HTTP
+/// listener — the interface is identical.
+
+namespace planetp::pfs {
+
+class FileServer {
+ public:
+  explicit FileServer(std::uint32_t peer_id) : peer_id_(peer_id) {}
+
+  /// Register (or replace) a file; returns its URL.
+  std::string put(const std::string& path, std::string content);
+
+  /// (a) URL for a local pathname; nullopt when the path is unknown.
+  std::optional<std::string> url_for(const std::string& path) const;
+
+  /// (b) GET: content behind a URL served by this server.
+  std::optional<std::string> get(const std::string& url) const;
+
+  /// Remove a file; returns false when unknown.
+  bool remove(const std::string& path);
+
+  std::size_t file_count() const { return files_.size(); }
+
+ private:
+  std::string make_url(const std::string& path) const;
+
+  std::uint32_t peer_id_;
+  std::unordered_map<std::string, std::string> files_;  ///< path -> content
+};
+
+}  // namespace planetp::pfs

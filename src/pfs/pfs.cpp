@@ -1,0 +1,139 @@
+#include "pfs/pfs.hpp"
+
+#include "index/xml.hpp"
+
+namespace planetp::pfs {
+
+Pfs::Pfs(core::Node& node, Duration stale_threshold)
+    : node_(node), files_(node.id()), stale_threshold_(stale_threshold) {}
+
+TimePoint Pfs::now() const {
+  // Staleness runs on the community's virtual clock.
+  return node_.community() != nullptr ? node_.community()->now() : 0;
+}
+
+std::string Pfs::publish_file(const std::string& path, std::string content) {
+  const std::string url = files_.put(path, std::move(content));
+  // Build the snippet: URL + pointer + the file's content for indexing.
+  const auto got = files_.get(url);
+  std::string xml = "<file title=\"" + xml::escape(path) + "\" href=\"" +
+                    xml::escape(url) + "\" type=\"text\">" +
+                    xml::escape(got.value_or("")) + "</file>";
+  const core::DocumentId doc = node_.publish(std::move(xml));
+  published_[path] = doc;
+  return url;
+}
+
+bool Pfs::unpublish_file(const std::string& path) {
+  auto it = published_.find(path);
+  if (it == published_.end()) return false;
+  node_.unpublish(it->second);
+  published_.erase(it);
+  files_.remove(path);
+  return true;
+}
+
+bool Pfs::update_file(const std::string& path, std::string content) {
+  auto it = published_.find(path);
+  if (it == published_.end()) return false;
+  const std::string url = files_.put(path, std::move(content));
+  const auto got = files_.get(url);
+  std::string xml = "<file title=\"" + xml::escape(path) + "\" href=\"" +
+                    xml::escape(url) + "\" type=\"text\">" +
+                    xml::escape(got.value_or("")) + "</file>";
+  return node_.republish(it->second, std::move(xml));
+}
+
+std::optional<std::string> Pfs::extract_url(const std::string& xml) {
+  try {
+    const auto root = xml::parse(xml);
+    std::string_view href = root->attr("href");
+    if (!href.empty()) return std::string(href);
+  } catch (const std::exception&) {
+  }
+  return std::nullopt;
+}
+
+void Pfs::install_query(Directory& dir) {
+  dir.query_handle = node_.add_persistent_query(
+      dir.full_query, [this, path = dir.path](const core::SearchHit& hit) {
+        auto it = dirs_.find(path);
+        if (it == dirs_.end()) return;
+        const auto url = extract_url(hit.xml);
+        if (!url) return;
+        it->second.entries[*url] = DirEntry{*url, hit.title, hit.doc};
+        it->second.last_update = now();
+      });
+}
+
+std::string Pfs::create_directory(const std::string& query) {
+  const std::string path = "/" + query;
+  if (dirs_.contains(path)) return path;
+  Directory dir;
+  dir.path = path;
+  dir.full_query = query;
+  auto [it, inserted] = dirs_.emplace(path, std::move(dir));
+  install_query(it->second);
+  return path;
+}
+
+std::string Pfs::create_subdirectory(const std::string& parent_path,
+                                     const std::string& query) {
+  auto parent_it = dirs_.find(parent_path);
+  if (parent_it == dirs_.end()) return create_directory(query);
+  const std::string path = parent_path + "/" + query;
+  if (dirs_.contains(path)) return path;
+  Directory dir;
+  dir.path = path;
+  dir.full_query = parent_it->second.full_query + " " + query;  // conjunction refinement
+  auto [it, inserted] = dirs_.emplace(path, std::move(dir));
+  install_query(it->second);
+  return path;
+}
+
+void Pfs::refresh(Directory& dir) {
+  // §6: re-run the full query to drop stale links (deleted files, or files
+  // modified so they no longer match).
+  auto result = node_.exhaustive_search(dir.full_query);
+  std::map<std::string, DirEntry> fresh;
+  for (const core::SearchHit& hit : result.hits) {
+    const auto url = extract_url(hit.xml);
+    if (url) fresh[*url] = DirEntry{*url, hit.title, hit.doc};
+  }
+  for (const core::SearchHit& hit : result.broker_hits) {
+    const auto url = extract_url(hit.xml);
+    if (url && !fresh.contains(*url)) fresh[*url] = DirEntry{*url, hit.title, hit.doc};
+  }
+  dir.entries = std::move(fresh);
+  dir.last_update = now();
+}
+
+std::vector<DirEntry> Pfs::open(const std::string& path) {
+  auto it = dirs_.find(path);
+  if (it == dirs_.end()) return {};
+  Directory& dir = it->second;
+  if (dir.entries.empty() || now() - dir.last_update >= stale_threshold_) {
+    refresh(dir);
+  }
+  std::vector<DirEntry> out;
+  out.reserve(dir.entries.size());
+  for (const auto& [url, entry] : dir.entries) out.push_back(entry);
+  return out;
+}
+
+std::vector<std::string> Pfs::directories() const {
+  std::vector<std::string> out;
+  out.reserve(dirs_.size());
+  for (const auto& [path, dir] : dirs_) out.push_back(path);
+  return out;
+}
+
+bool Pfs::remove_directory(const std::string& path) {
+  auto it = dirs_.find(path);
+  if (it == dirs_.end()) return false;
+  node_.remove_persistent_query(it->second.query_handle);
+  dirs_.erase(it);
+  return true;
+}
+
+}  // namespace planetp::pfs

@@ -1,0 +1,100 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/community.hpp"
+#include "pfs/file_server.hpp"
+
+/// \file pfs.hpp
+/// PFS, the personal semantic file system of §6, built on PlanetP. Users
+/// publish files; directories are named by queries, populated by persistent
+/// exhaustive queries, refined by subdirectories, and refreshed when stale.
+/// Each namespace is private to one user (node).
+
+namespace planetp::pfs {
+
+/// A link in a query directory: where to fetch the file and what it is.
+struct DirEntry {
+  std::string url;
+  std::string title;
+  core::DocumentId doc;
+};
+
+class Pfs {
+ public:
+  /// Attach a PFS namespace to \p node. \p stale_threshold is how old a
+  /// directory's last update may be before opening it re-runs the query.
+  Pfs(core::Node& node, Duration stale_threshold = 5 * kMinute);
+
+  // ------------------------------------------------------------------
+  // Files
+  // ------------------------------------------------------------------
+
+  /// Publish a file: registers it with the File Server, wraps URL + content
+  /// in an XML snippet, and publishes it to PlanetP (which indexes it and
+  /// pushes a broker snippet per the node's config).
+  std::string publish_file(const std::string& path, std::string content);
+
+  /// Stop sharing a file.
+  bool unpublish_file(const std::string& path);
+
+  /// Replace a shared file's content (§6: "If a file is ... modified such
+  /// that it matches some query, PFS will update the directory"; the flip
+  /// side — no longer matching — is handled by the stale-refresh check).
+  bool update_file(const std::string& path, std::string content);
+
+  FileServer& file_server() { return files_; }
+
+  // ------------------------------------------------------------------
+  // Semantic namespace
+  // ------------------------------------------------------------------
+
+  /// Create a directory whose name is its query ("gossip protocols").
+  /// Matching files appear as entries, kept current via persistent-query
+  /// upcalls. Returns the directory's full path ("/gossip protocols").
+  std::string create_directory(const std::string& query);
+
+  /// Create a subdirectory under \p parent_path; its effective query is the
+  /// conjunction of every query on the path (§6: "Building a query-based
+  /// subdirectory is equivalent to refining the query of the containing
+  /// directory").
+  std::string create_subdirectory(const std::string& parent_path, const std::string& query);
+
+  /// Open a directory: refreshes it when stale (dropping entries whose
+  /// files no longer match or whose owners removed them), then lists it.
+  std::vector<DirEntry> open(const std::string& path);
+
+  /// Directory paths in the namespace.
+  std::vector<std::string> directories() const;
+
+  bool remove_directory(const std::string& path);
+
+  /// The wall-clock source (community virtual time).
+  TimePoint now() const;
+
+ private:
+  struct Directory {
+    std::string path;
+    std::string full_query;
+    std::uint64_t query_handle = 0;
+    TimePoint last_update = 0;
+    std::map<std::string, DirEntry> entries;  ///< keyed by URL for stable listing
+  };
+
+  void install_query(Directory& dir);
+  void refresh(Directory& dir);
+  static std::optional<std::string> extract_url(const std::string& xml);
+
+  core::Node& node_;
+  FileServer files_;
+  Duration stale_threshold_;
+  std::map<std::string, Directory> dirs_;  ///< path -> directory
+  std::unordered_map<std::string, core::DocumentId> published_;  ///< path -> doc id
+};
+
+}  // namespace planetp::pfs

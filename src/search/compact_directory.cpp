@@ -1,0 +1,69 @@
+#include "search/compact_directory.hpp"
+
+#include <stdexcept>
+
+#include "util/hash.hpp"
+
+namespace planetp::search {
+
+void CompactDirectory::add_peer(std::uint32_t peer, const bloom::BloomFilter& filter) {
+  if (groups_.empty() || groups_.back().members.size() >= group_size_) {
+    groups_.push_back(Group{filter, {peer}});
+  } else {
+    Group& group = groups_.back();
+    if (group.filter.bit_size() != filter.bit_size()) {
+      throw std::invalid_argument("CompactDirectory: filter geometry mismatch");
+    }
+    group.filter.merge(filter);
+    group.members.push_back(peer);
+  }
+  ++peer_count_;
+}
+
+std::vector<std::uint32_t> CompactDirectory::candidates(
+    const std::vector<std::string>& terms) const {
+  std::vector<std::uint32_t> out;
+  std::vector<HashPair> hashes;
+  hashes.reserve(terms.size());
+  for (const auto& t : terms) hashes.push_back(hash_pair(t));
+
+  for (const Group& group : groups_) {
+    bool all = true;
+    for (const HashPair& hp : hashes) {
+      if (!group.filter.contains(hp)) {
+        all = false;
+        break;
+      }
+    }
+    if (all) out.insert(out.end(), group.members.begin(), group.members.end());
+  }
+  return out;
+}
+
+std::vector<std::uint32_t> CompactDirectory::candidates_any(
+    const std::vector<std::string>& terms) const {
+  std::vector<std::uint32_t> out;
+  std::vector<HashPair> hashes;
+  hashes.reserve(terms.size());
+  for (const auto& t : terms) hashes.push_back(hash_pair(t));
+
+  for (const Group& group : groups_) {
+    for (const HashPair& hp : hashes) {
+      if (group.filter.contains(hp)) {
+        out.insert(out.end(), group.members.begin(), group.members.end());
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::size_t CompactDirectory::memory_bytes() const {
+  std::size_t bytes = 0;
+  for (const Group& group : groups_) {
+    bytes += group.filter.bit_size() / 8 + group.members.size() * sizeof(std::uint32_t);
+  }
+  return bytes;
+}
+
+}  // namespace planetp::search

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bloom/bloom_filter.hpp"
+
+/// \file compact_directory.hpp
+/// §2, advantage (3): "Peers can independently trade-off accuracy for
+/// storage. For example, a peer may choose to combine the filters of several
+/// peers to save space; the trade-off is that it must now contact this set
+/// of peers whenever a query hits on this combined filter. This ability ...
+/// is particularly useful for peers running on memory-constrained devices."
+///
+/// CompactDirectory keeps one merged Bloom filter per group of `group_size`
+/// peers. Queries resolve to *groups*: every peer of a hit group becomes a
+/// candidate (a superset of the true candidate set — never a miss).
+
+namespace planetp::search {
+
+class CompactDirectory {
+ public:
+  /// \p group_size peers share one merged filter; 1 = no compaction.
+  explicit CompactDirectory(std::size_t group_size = 4)
+      : group_size_(group_size == 0 ? 1 : group_size) {}
+
+  /// Merge \p filter into the current group. Peers are grouped in insertion
+  /// order; all filters must share one geometry.
+  void add_peer(std::uint32_t peer, const bloom::BloomFilter& filter);
+
+  /// Peers whose *group* filter contains every term — a superset of the
+  /// peers whose own filters would hit (no false negatives, §2).
+  std::vector<std::uint32_t> candidates(const std::vector<std::string>& terms) const;
+
+  /// Peers whose group filter contains at least one term.
+  std::vector<std::uint32_t> candidates_any(const std::vector<std::string>& terms) const;
+
+  /// Approximate storage: one filter per group (plus the member lists).
+  std::size_t memory_bytes() const;
+
+  std::size_t group_count() const { return groups_.size(); }
+  std::size_t peer_count() const { return peer_count_; }
+  std::size_t group_size() const { return group_size_; }
+
+ private:
+  struct Group {
+    bloom::BloomFilter filter;
+    std::vector<std::uint32_t> members;
+  };
+
+  std::size_t group_size_;
+  std::size_t peer_count_ = 0;
+  std::vector<Group> groups_;
+};
+
+}  // namespace planetp::search

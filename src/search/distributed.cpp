@@ -1,0 +1,88 @@
+#include "search/distributed.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace planetp::search {
+
+std::vector<RankedPeer> rank_peers(const IpfTable& ipf) {
+  std::unordered_map<std::uint32_t, double> acc;
+  for (const std::string& term : ipf.terms()) {
+    const double w = ipf.weight(term);
+    if (w <= 0.0) continue;
+    for (std::uint32_t peer : ipf.peers_with(term)) acc[peer] += w;
+  }
+  std::vector<RankedPeer> out;
+  out.reserve(acc.size());
+  for (const auto& [peer, rank] : acc) out.push_back(RankedPeer{peer, rank});
+  std::sort(out.begin(), out.end(), [](const RankedPeer& a, const RankedPeer& b) {
+    if (a.rank != b.rank) return a.rank > b.rank;
+    return a.peer < b.peer;
+  });
+  return out;
+}
+
+DistributedSearchResult tfipf_search(const std::vector<std::string>& query_terms,
+                                     const std::vector<PeerFilter>& filters,
+                                     const PeerSearchFn& contact,
+                                     const DistributedSearchOptions& opts) {
+  DistributedSearchResult result;
+
+  const IpfTable ipf(query_terms, filters);
+  const auto weights = ipf.weights();
+  const auto peers = rank_peers(ipf);
+  result.candidate_peers = peers.size();
+
+  const std::size_t patience = opts.stopping.patience(filters.size(), opts.k);
+  const std::size_t group = std::max<std::size_t>(1, opts.group_size);
+
+  std::vector<ScoredDoc> merged;
+  std::size_t no_contribution_streak = 0;
+
+  for (std::size_t i = 0; i < peers.size();) {
+    if (opts.max_peers != 0 && result.contacted.size() >= opts.max_peers) break;
+
+    // Contact the next group of peers (the paper's latency optimization;
+    // group = 1 reproduces the sequential algorithm).
+    const std::size_t end = std::min(i + group, peers.size());
+    bool stop = false;
+    for (std::size_t j = i; j < end; ++j) {
+      const std::uint32_t peer = peers[j].peer;
+      result.contacted.push_back(peer);
+      std::vector<ScoredDoc> local = contact(peer, weights);
+
+      // Merge and re-rank.
+      merged.insert(merged.end(), local.begin(), local.end());
+      std::sort(merged.begin(), merged.end(), [](const ScoredDoc& a, const ScoredDoc& b) {
+        if (a.score != b.score) return a.score > b.score;
+        return a.doc < b.doc;
+      });
+
+      // Did this peer contribute to the current top-k?
+      std::unordered_set<index::DocumentId, index::DocumentIdHash> top;
+      const std::size_t top_n = std::min(opts.k, merged.size());
+      for (std::size_t t = 0; t < top_n; ++t) top.insert(merged[t].doc);
+      bool contributed = false;
+      for (const ScoredDoc& d : local) {
+        if (top.contains(d.doc)) {
+          contributed = true;
+          break;
+        }
+      }
+      if (contributed) {
+        no_contribution_streak = 0;
+      } else if (++no_contribution_streak >= patience && merged.size() >= opts.k) {
+        stop = true;
+        break;
+      }
+    }
+    if (stop) break;
+    i = end;
+  }
+
+  truncate_top_k(merged, opts.k);
+  result.docs = std::move(merged);
+  return result;
+}
+
+}  // namespace planetp::search

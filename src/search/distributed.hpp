@@ -1,0 +1,73 @@
+#pragma once
+
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "search/ipf.hpp"
+#include "search/ranker.hpp"
+
+/// \file distributed.hpp
+/// PlanetP's two-stage ranked retrieval (§5.2): rank peers by eq. 3 using
+/// IPF over the gossiped Bloom filters, then contact them top-down, ranking
+/// returned documents with eq. 2 (IPF substituted for IDF) and stopping
+/// adaptively per eq. 4.
+
+namespace planetp::search {
+
+/// Eq. 4's adaptive stopping rule: stop after p consecutive peers contribute
+/// nothing to the current top-k, with
+///   p = floor(2 + N/300) + 2 * floor(k/50).
+struct StoppingHeuristic {
+  double base = 2.0;
+  double community_divisor = 300.0;
+  double k_multiplier = 2.0;
+  double k_divisor = 50.0;
+
+  std::size_t patience(std::size_t community_size, std::size_t k) const {
+    const auto first = static_cast<std::size_t>(
+        base + static_cast<double>(community_size) / community_divisor);
+    const auto second = static_cast<std::size_t>(
+        k_multiplier * std::floor(static_cast<double>(k) / k_divisor));
+    return first + second;
+  }
+};
+
+/// Peer relevance per eq. 3: R_i(Q) = sum of IPF_t over query terms t that
+/// hit peer i's Bloom filter. Peers with R_i = 0 are omitted. Sorted by
+/// descending rank, ties by peer id.
+struct RankedPeer {
+  std::uint32_t peer = 0;
+  double rank = 0.0;
+};
+std::vector<RankedPeer> rank_peers(const IpfTable& ipf);
+
+/// Contact function: evaluate the weighted query at a peer and return its
+/// locally scored documents (eq. 2 with the supplied weights). In-process
+/// communities call straight into the peer's index; the live runtime issues
+/// an RPC.
+using PeerSearchFn = std::function<std::vector<ScoredDoc>(
+    std::uint32_t peer, const std::unordered_map<std::string, double>& term_weights)>;
+
+struct DistributedSearchOptions {
+  std::size_t k = 20;          ///< user's result budget
+  std::size_t group_size = 1;  ///< m: peers contacted per step (§5.2's parallel variant)
+  StoppingHeuristic stopping;
+  std::size_t max_peers = 0;   ///< hard cap; 0 = unlimited
+};
+
+struct DistributedSearchResult {
+  std::vector<ScoredDoc> docs;            ///< final top-k
+  std::vector<std::uint32_t> contacted;   ///< peers contacted, in order
+  std::size_t candidate_peers = 0;        ///< peers with non-zero rank
+};
+
+/// Run the full TFxIPF retrieval against the searcher's view of the
+/// community (\p filters) using \p contact to reach peers.
+DistributedSearchResult tfipf_search(const std::vector<std::string>& query_terms,
+                                     const std::vector<PeerFilter>& filters,
+                                     const PeerSearchFn& contact,
+                                     const DistributedSearchOptions& opts);
+
+}  // namespace planetp::search

@@ -1,0 +1,64 @@
+#include "search/evaluation.hpp"
+
+#include <algorithm>
+
+namespace planetp::search {
+
+namespace {
+std::size_t hits(const std::vector<ScoredDoc>& presented, const RelevantSet& relevant) {
+  std::size_t n = 0;
+  for (const ScoredDoc& d : presented) n += relevant.contains(d.doc) ? 1 : 0;
+  return n;
+}
+}  // namespace
+
+double recall(const std::vector<ScoredDoc>& presented, const RelevantSet& relevant) {
+  if (relevant.empty()) return 1.0;
+  return static_cast<double>(hits(presented, relevant)) /
+         static_cast<double>(relevant.size());
+}
+
+double precision(const std::vector<ScoredDoc>& presented, const RelevantSet& relevant) {
+  if (presented.empty()) return 1.0;
+  return static_cast<double>(hits(presented, relevant)) /
+         static_cast<double>(presented.size());
+}
+
+std::size_t best_peers_for_k(
+    const RelevantSet& relevant, std::size_t k,
+    const std::unordered_map<index::DocumentId, std::uint32_t, index::DocumentIdHash>&
+        owner_of) {
+  const std::size_t target = std::min(k, relevant.size());
+  if (target == 0) return 0;
+
+  // peer -> its uncovered relevant docs
+  std::unordered_map<std::uint32_t, std::vector<index::DocumentId>> holdings;
+  for (const index::DocumentId& doc : relevant) {
+    auto it = owner_of.find(doc);
+    if (it != owner_of.end()) holdings[it->second].push_back(doc);
+  }
+
+  RelevantSet covered;
+  std::size_t peers = 0;
+  while (covered.size() < target && !holdings.empty()) {
+    // Pick the peer covering the most uncovered docs (ties: lowest id for
+    // determinism).
+    std::uint32_t best_peer = 0;
+    std::size_t best_gain = 0;
+    for (const auto& [peer, docs] : holdings) {
+      std::size_t gain = 0;
+      for (const auto& d : docs) gain += covered.contains(d) ? 0 : 1;
+      if (gain > best_gain || (gain == best_gain && gain > 0 && peer < best_peer)) {
+        best_gain = gain;
+        best_peer = peer;
+      }
+    }
+    if (best_gain == 0) break;
+    ++peers;
+    for (const auto& d : holdings[best_peer]) covered.insert(d);
+    holdings.erase(best_peer);
+  }
+  return peers;
+}
+
+}  // namespace planetp::search

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "search/ranker.hpp"
+
+/// \file evaluation.hpp
+/// Retrieval-quality metrics of §7.3: recall (eq. 5), precision (eq. 6), and
+/// the "Best" oracle of Fig 6c — the minimum number of peers that must be
+/// contacted to retrieve k relevant documents given the judgments.
+
+namespace planetp::search {
+
+using RelevantSet = std::unordered_set<index::DocumentId, index::DocumentIdHash>;
+
+/// R(Q) = |presented ∩ relevant| / |relevant|. Returns 1 when there are no
+/// relevant documents (nothing to miss).
+double recall(const std::vector<ScoredDoc>& presented, const RelevantSet& relevant);
+
+/// P(Q) = |presented ∩ relevant| / |presented|. Returns 1 for an empty
+/// result list (nothing irrelevant shown).
+double precision(const std::vector<ScoredDoc>& presented, const RelevantSet& relevant);
+
+/// Greedy minimum-peer cover: the fewest peers whose document holdings
+/// contain min(k, |relevant|) relevant documents. \p owner_of maps a
+/// document to the peer storing it. Greedy set cover is the standard
+/// approximation (exact cover is NP-hard); for Fig 6c's Best curve it is
+/// indistinguishable in practice.
+std::size_t best_peers_for_k(
+    const RelevantSet& relevant, std::size_t k,
+    const std::unordered_map<index::DocumentId, std::uint32_t, index::DocumentIdHash>&
+        owner_of);
+
+}  // namespace planetp::search

@@ -1,0 +1,142 @@
+#include "search/experiment.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace planetp::search {
+
+using corpus::SynthCollection;
+using corpus::SynthDoc;
+using corpus::SynthQuery;
+using index::DocumentId;
+
+std::vector<PeerFilter> RetrievalSetup::filter_views() const {
+  std::vector<PeerFilter> views;
+  views.reserve(peer_filters.size());
+  for (std::size_t i = 0; i < peer_filters.size(); ++i) {
+    views.push_back(PeerFilter{static_cast<std::uint32_t>(i), &peer_filters[i]});
+  }
+  return views;
+}
+
+PeerSearchFn RetrievalSetup::local_contact() const {
+  return [this](std::uint32_t peer,
+                const std::unordered_map<std::string, double>& weights) {
+    return score_documents(peer_indexes[peer], weights);
+  };
+}
+
+RetrievalSetup distribute_collection(const SynthCollection& collection,
+                                     std::size_t num_peers,
+                                     const corpus::PlacementOptions& placement,
+                                     const bloom::BloomParams& bloom_params) {
+  RetrievalSetup setup;
+  setup.num_peers = num_peers;
+  setup.peer_indexes.resize(num_peers);
+  setup.peer_filters.assign(num_peers, bloom::BloomFilter(bloom_params));
+
+  const std::vector<std::uint32_t> owners =
+      corpus::place_documents(collection.docs.size(), num_peers, placement);
+
+  for (const SynthDoc& doc : collection.docs) {
+    const std::uint32_t peer = owners[doc.id];
+    const DocumentId id{0, doc.id};
+    setup.owner_of.emplace(id, peer);
+
+    std::unordered_map<std::string, std::uint32_t> freqs;
+    freqs.reserve(doc.terms.size());
+    for (const auto& [term, freq] : doc.terms) {
+      freqs.emplace(SynthCollection::term_string(term), freq);
+    }
+    setup.peer_indexes[peer].add_document(id, freqs);
+    setup.global_index.add_document(id, freqs);
+    for (const auto& [term, freq] : freqs) setup.peer_filters[peer].insert(term);
+  }
+  return setup;
+}
+
+std::vector<std::string> query_term_strings(const SynthQuery& query) {
+  std::vector<std::string> out;
+  out.reserve(query.terms.size());
+  for (corpus::TermId t : query.terms) out.push_back(SynthCollection::term_string(t));
+  return out;
+}
+
+RelevantSet judgment_set(const SynthQuery& query) {
+  RelevantSet rel;
+  for (std::uint32_t doc : query.relevant_docs) rel.insert(DocumentId{0, doc});
+  return rel;
+}
+
+RetrievalPoint evaluate_at_k(const SynthCollection& collection, const RetrievalSetup& setup,
+                             std::size_t k, const RetrievalOptions& opts) {
+  RetrievalPoint point;
+  point.k = k;
+  if (collection.queries.empty()) return point;
+
+  TfIdfRanker baseline(setup.global_index);
+  const auto views = setup.filter_views();
+  const auto contact = setup.local_contact();
+
+  for (const SynthQuery& query : collection.queries) {
+    const auto terms = query_term_strings(query);
+    const RelevantSet relevant = judgment_set(query);
+
+    // --- centralized TFxIDF baseline ---
+    const auto idf_docs = baseline.top_k(terms, k);
+    point.idf_recall += recall(idf_docs, relevant);
+    point.idf_precision += precision(idf_docs, relevant);
+    std::unordered_set<std::uint32_t> idf_owners;
+    for (const ScoredDoc& d : idf_docs) idf_owners.insert(setup.owner_of.at(d.doc));
+    point.idf_peers += static_cast<double>(idf_owners.size());
+
+    // --- PlanetP TFxIPF with adaptive stopping ---
+    DistributedSearchOptions dopts;
+    dopts.k = k;
+    dopts.group_size = opts.group_size;
+    dopts.stopping = opts.stopping;
+    const auto result = tfipf_search(terms, views, contact, dopts);
+    point.ipf_recall += recall(result.docs, relevant);
+    point.ipf_precision += precision(result.docs, relevant);
+    point.ipf_peers += static_cast<double>(result.contacted.size());
+
+    // --- oracle lower bound ---
+    point.best_peers +=
+        static_cast<double>(best_peers_for_k(relevant, k, setup.owner_of));
+  }
+
+  const double nq = static_cast<double>(collection.queries.size());
+  point.idf_recall /= nq;
+  point.idf_precision /= nq;
+  point.idf_peers /= nq;
+  point.ipf_recall /= nq;
+  point.ipf_precision /= nq;
+  point.ipf_peers /= nq;
+  point.best_peers /= nq;
+  return point;
+}
+
+std::vector<RetrievalPoint> run_k_sweep(const SynthCollection& collection,
+                                        const RetrievalSetup& setup,
+                                        const RetrievalOptions& opts) {
+  std::vector<RetrievalPoint> points;
+  points.reserve(opts.ks.size());
+  for (std::size_t k : opts.ks) points.push_back(evaluate_at_k(collection, setup, k, opts));
+  return points;
+}
+
+std::vector<CommunityPoint> run_community_sweep(const SynthCollection& collection,
+                                                const std::vector<std::size_t>& sizes,
+                                                std::size_t k,
+                                                const corpus::PlacementOptions& placement,
+                                                const RetrievalOptions& opts) {
+  std::vector<CommunityPoint> points;
+  for (std::size_t n : sizes) {
+    const RetrievalSetup setup = distribute_collection(collection, n, placement);
+    const RetrievalPoint p = evaluate_at_k(collection, setup, k, opts);
+    points.push_back(CommunityPoint{n, p.ipf_recall, p.idf_recall, p.ipf_peers});
+  }
+  return points;
+}
+
+}  // namespace planetp::search

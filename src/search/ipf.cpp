@@ -1,0 +1,46 @@
+#include "search/ipf.hpp"
+
+#include <algorithm>
+
+namespace planetp::search {
+
+namespace {
+const std::vector<std::uint32_t> kNoPeers;
+}
+
+IpfTable::IpfTable(const std::vector<std::string>& terms,
+                   const std::vector<PeerFilter>& filters)
+    : terms_(terms), num_peers_(filters.size()) {
+  // Eq. 3 sums over the *set* of query terms: repeated words in a query
+  // must not multiply a peer's rank.
+  std::sort(terms_.begin(), terms_.end());
+  terms_.erase(std::unique(terms_.begin(), terms_.end()), terms_.end());
+  for (const std::string& term : terms_) {
+    if (entries_.contains(term)) continue;
+    Entry entry;
+    const HashPair hp = hash_pair(term);
+    for (const PeerFilter& pf : filters) {
+      if (pf.filter != nullptr && pf.filter->contains(hp)) entry.peers.push_back(pf.peer);
+    }
+    entry.ipf = ipf(num_peers_, entry.peers.size());
+    entries_.emplace(term, std::move(entry));
+  }
+}
+
+double IpfTable::weight(std::string_view term) const {
+  auto it = entries_.find(std::string(term));
+  return it == entries_.end() ? 0.0 : it->second.ipf;
+}
+
+const std::vector<std::uint32_t>& IpfTable::peers_with(std::string_view term) const {
+  auto it = entries_.find(std::string(term));
+  return it == entries_.end() ? kNoPeers : it->second.peers;
+}
+
+std::unordered_map<std::string, double> IpfTable::weights() const {
+  std::unordered_map<std::string, double> out;
+  for (const auto& [term, entry] : entries_) out.emplace(term, entry.ipf);
+  return out;
+}
+
+}  // namespace planetp::search

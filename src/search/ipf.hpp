@@ -1,0 +1,55 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "bloom/bloom_filter.hpp"
+#include "search/vector_model.hpp"
+
+/// \file ipf.hpp
+/// Inverse Peer Frequency over a collection of gossiped Bloom filters (§5.2):
+/// "IPF can conveniently be computed using the Bloom filters collected at
+/// each peer: N is the number of Bloom filters, N_t is the number of hits
+/// for term t against these Bloom filters."
+
+namespace planetp::search {
+
+/// A peer's filter as seen in the searcher's directory.
+struct PeerFilter {
+  std::uint32_t peer = 0;
+  const bloom::BloomFilter* filter = nullptr;
+};
+
+/// Per-query IPF table: for each query term, which peers hit and the IPF
+/// weight. Computed once per query by scanning the filter set.
+class IpfTable {
+ public:
+  /// Scan \p filters for each term of \p terms.
+  IpfTable(const std::vector<std::string>& terms, const std::vector<PeerFilter>& filters);
+
+  /// IPF weight of a query term (0 when no peer has it).
+  double weight(std::string_view term) const;
+
+  /// Peers whose filter claims the term (possible false positives included).
+  const std::vector<std::uint32_t>& peers_with(std::string_view term) const;
+
+  std::size_t num_peers() const { return num_peers_; }
+  const std::vector<std::string>& terms() const { return terms_; }
+
+  /// Term -> weight map (for shipping with a remote query).
+  std::unordered_map<std::string, double> weights() const;
+
+ private:
+  struct Entry {
+    double ipf = 0.0;
+    std::vector<std::uint32_t> peers;
+  };
+
+  std::vector<std::string> terms_;
+  std::unordered_map<std::string, Entry> entries_;
+  std::size_t num_peers_ = 0;
+};
+
+}  // namespace planetp::search

@@ -1,0 +1,52 @@
+#include "search/ranker.hpp"
+
+#include <algorithm>
+
+#include "search/vector_model.hpp"
+
+namespace planetp::search {
+
+std::vector<ScoredDoc> score_documents(
+    const index::InvertedIndex& idx,
+    const std::unordered_map<std::string, double>& term_weights) {
+  std::unordered_map<index::DocumentId, double, index::DocumentIdHash> acc;
+  for (const auto& [term, weight] : term_weights) {
+    if (weight <= 0.0) continue;
+    for (const index::Posting& p : idx.postings(term)) {
+      acc[p.doc] += doc_weight(p.term_freq) * weight;
+    }
+  }
+  std::vector<ScoredDoc> out;
+  out.reserve(acc.size());
+  for (const auto& [doc, sum] : acc) {
+    out.push_back(ScoredDoc{doc, sum * length_norm(idx.document_length(doc))});
+  }
+  std::sort(out.begin(), out.end(), [](const ScoredDoc& a, const ScoredDoc& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.doc < b.doc;
+  });
+  return out;
+}
+
+std::unordered_map<std::string, double> TfIdfRanker::idf_weights(
+    const std::vector<std::string>& terms) const {
+  std::unordered_map<std::string, double> weights;
+  for (const std::string& t : terms) {
+    if (weights.contains(t)) continue;
+    weights.emplace(t, idf(index_->num_documents(), index_->collection_frequency(t)));
+  }
+  return weights;
+}
+
+std::vector<ScoredDoc> TfIdfRanker::top_k(const std::vector<std::string>& terms,
+                                          std::size_t k) const {
+  auto docs = score_documents(*index_, idf_weights(terms));
+  truncate_top_k(docs, k);
+  return docs;
+}
+
+void truncate_top_k(std::vector<ScoredDoc>& docs, std::size_t k) {
+  if (docs.size() > k) docs.resize(k);
+}
+
+}  // namespace planetp::search

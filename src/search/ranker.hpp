@@ -1,0 +1,51 @@
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "index/inverted_index.hpp"
+
+/// \file ranker.hpp
+/// Document scoring (eq. 2). The same accumulation serves the centralized
+/// TFxIDF baseline (term weights = IDF over the global index) and PlanetP's
+/// local evaluation of a remote query (term weights = IPF shipped by the
+/// searcher).
+
+namespace planetp::search {
+
+struct ScoredDoc {
+  index::DocumentId doc;
+  double score = 0.0;
+};
+
+/// Score all documents of \p idx against the weighted query terms:
+///   score(D) = sum_t w_{D,t} * weight_t / sqrt(|D|)
+/// Documents matching no term are omitted. Results are sorted by descending
+/// score (ties broken by DocumentId for determinism).
+std::vector<ScoredDoc> score_documents(
+    const index::InvertedIndex& idx,
+    const std::unordered_map<std::string, double>& term_weights);
+
+/// The centralized TFxIDF baseline of §7.3: assumes full knowledge of the
+/// community's merged index, scores with IDF weights and returns the top-k.
+class TfIdfRanker {
+ public:
+  explicit TfIdfRanker(const index::InvertedIndex& global_index)
+      : index_(&global_index) {}
+
+  /// IDF weights for the query terms over the global collection.
+  std::unordered_map<std::string, double> idf_weights(
+      const std::vector<std::string>& terms) const;
+
+  /// Top-k documents by eq. 2.
+  std::vector<ScoredDoc> top_k(const std::vector<std::string>& terms, std::size_t k) const;
+
+ private:
+  const index::InvertedIndex* index_;
+};
+
+/// Keep the top-k of a scored list (already sorted descending).
+void truncate_top_k(std::vector<ScoredDoc>& docs, std::size_t k);
+
+}  // namespace planetp::search

@@ -1,0 +1,2 @@
+// vector_model is header-only math; this TU anchors the target.
+#include "search/vector_model.hpp"

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+/// \file vector_model.hpp
+/// The vector-space ranking primitives of §5.2, following Witten, Moffat &
+/// Bell's instantiation of the TFxIDF rule:
+///
+///   IDF_t   = log(1 + N / f_t)
+///   w_{D,t} = 1 + log(f_{D,t})
+///   w_{Q,t} = IDF_t
+///   Sim(Q,D) = sum_{t in Q} w_{D,t} * IDF_t / sqrt(|D|)
+///
+/// and the paper's IPF substitute computed from Bloom filters:
+///
+///   IPF_t = log(1 + N / N_t)
+///
+/// where N is the number of peers and N_t the number of peers whose filter
+/// contains t.
+
+namespace planetp::search {
+
+/// IDF_t = log(1 + N/f_t); N = #documents, f_t = collection frequency.
+inline double idf(std::uint64_t num_docs, std::uint64_t collection_freq) {
+  if (collection_freq == 0) return 0.0;
+  return std::log(1.0 + static_cast<double>(num_docs) / static_cast<double>(collection_freq));
+}
+
+/// IPF_t = log(1 + N/N_t); N = #peers, N_t = #peers whose filter has t.
+inline double ipf(std::uint64_t num_peers, std::uint64_t peers_with_term) {
+  if (peers_with_term == 0) return 0.0;
+  return std::log(1.0 + static_cast<double>(num_peers) / static_cast<double>(peers_with_term));
+}
+
+/// Document term weight w_{D,t} = 1 + log(f_{D,t}).
+inline double doc_weight(std::uint32_t term_freq) {
+  if (term_freq == 0) return 0.0;
+  return 1.0 + std::log(static_cast<double>(term_freq));
+}
+
+/// Length normalizer 1/sqrt(|D|); |D| = number of terms in the document.
+inline double length_norm(std::uint32_t doc_length) {
+  return doc_length == 0 ? 0.0 : 1.0 / std::sqrt(static_cast<double>(doc_length));
+}
+
+}  // namespace planetp::search

@@ -1,0 +1,293 @@
+#include "sim/community.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace planetp::sim {
+
+using gossip::kInvalidPeer;
+using gossip::LinkClass;
+using gossip::Message;
+using gossip::PeerId;
+using gossip::PeerRecord;
+using gossip::Protocol;
+using gossip::RumorId;
+using gossip::RumorPayload;
+
+// ---------------------------------------------------------------------------
+// ConvergenceTracker
+// ---------------------------------------------------------------------------
+
+void ConvergenceTracker::track(const RumorId& id, TimePoint start,
+                               const std::vector<PeerId>& online_peers, PeerId origin) {
+  if (origin_filter_ && !origin_filter_(origin)) return;
+  Active a;
+  a.start = start;
+  for (PeerId p : online_peers) {
+    if (p != origin && counts_(p)) a.unknown_online.insert(p);
+  }
+  a.known.insert(origin);
+  ++total_events_;
+  if (a.unknown_online.empty()) {
+    durations_.add(0.0);
+    return;
+  }
+  active_.emplace(id, std::move(a));
+}
+
+void ConvergenceTracker::learned(const RumorId& id, PeerId peer, TimePoint now) {
+  auto it = active_.find(id);
+  if (it == active_.end()) return;
+  it->second.known.insert(peer);
+  it->second.unknown_online.erase(peer);
+  maybe_converge(id, it->second, now);
+}
+
+void ConvergenceTracker::peer_offline(PeerId peer, TimePoint now) {
+  // An offline peer no longer gates convergence.
+  for (auto it = active_.begin(); it != active_.end();) {
+    Active& a = it->second;
+    a.unknown_online.erase(peer);
+    if (a.unknown_online.empty()) {
+      durations_.add(to_seconds(now - a.start));
+      it = active_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void ConvergenceTracker::maybe_converge(const RumorId& id, Active& a, TimePoint now) {
+  if (!a.unknown_online.empty()) return;
+  durations_.add(to_seconds(now - a.start));
+  active_.erase(id);
+}
+
+// ---------------------------------------------------------------------------
+// SimCommunity
+// ---------------------------------------------------------------------------
+
+SimCommunity::SimCommunity(SimConfig config)
+    : config_(config),
+      rng_(config.seed),
+      links_(std::make_unique<LinkModel>(config.network)),
+      stats_(std::make_unique<NetworkStats>(0, config.network.bandwidth_bucket)) {}
+
+PeerId SimCommunity::add_peer(const SimPeerSpec& spec) {
+  const PeerId id = static_cast<PeerId>(peers_.size());
+  SimPeer peer;
+  peer.protocol = std::make_unique<Protocol>(id, config_.gossip, rng_.fork(id));
+  peer.bandwidth = spec.bandwidth_bps;
+  peer.key_count = spec.key_count;
+  peer.protocol->hooks().on_apply = [this, id](const RumorPayload& p, TimePoint now) {
+    on_peer_applied(id, p, now);
+  };
+  peers_.push_back(std::move(peer));
+  links_->add_peer(spec.bandwidth_bps);
+  return id;
+}
+
+PeerRecord SimCommunity::record_of(PeerId id) const {
+  const SimPeer& peer = peers_[id];
+  PeerRecord r;
+  r.id = id;
+  r.address = "sim://" + std::to_string(id);
+  r.link_class = is_fast_link(peer.bandwidth) ? LinkClass::kFast : LinkClass::kSlow;
+  r.version = 1;
+  r.key_count = peer.key_count;
+  return r;
+}
+
+void SimCommunity::start_converged() {
+  if (started_) throw std::logic_error("SimCommunity: already started");
+  started_ = true;
+
+  std::vector<PeerRecord> records;
+  records.reserve(peers_.size());
+  for (PeerId id = 0; id < peers_.size(); ++id) records.push_back(record_of(id));
+
+  for (PeerId id = 0; id < peers_.size(); ++id) {
+    SimPeer& peer = peers_[id];
+    const PeerRecord& self = records[id];
+    peer.protocol->quiet_start(self.address, self.link_class, self.key_count, {});
+    peer.protocol->bootstrap(records);
+    peer.online = true;
+    peer.member = true;
+    // Random phase so rounds do not synchronize.
+    schedule_round(id, static_cast<Duration>(
+                           rng_.below(static_cast<std::uint64_t>(config_.gossip.base_interval))));
+  }
+}
+
+void SimCommunity::join(PeerId id, PeerId introducer) {
+  SimPeer& peer = peers_[id];
+  if (peer.member) throw std::logic_error("SimCommunity::join: already a member");
+  const PeerRecord self = record_of(id);
+  peer.protocol->local_join(self.address, self.link_class, self.key_count, {}, queue_.now());
+  peer.online = true;
+  peer.member = true;
+  track_event(RumorId{id, 1}, id);
+  dispatch(id, peer.protocol->join_via(introducer));
+  schedule_round(id, static_cast<Duration>(
+                         rng_.below(static_cast<std::uint64_t>(config_.gossip.base_interval))));
+}
+
+RumorId SimCommunity::inject_filter_change(PeerId id, std::uint32_t new_keys) {
+  SimPeer& peer = peers_[id];
+  peer.key_count += new_keys;
+  peer.protocol->local_filter_change(peer.key_count, new_keys, {}, {}, queue_.now());
+  const RumorId rumor{id, peer.protocol->own_version()};
+  track_event(rumor, id);
+  maybe_pull_round_forward(id);
+  return rumor;
+}
+
+void SimCommunity::go_offline(PeerId id) {
+  SimPeer& peer = peers_[id];
+  if (!peer.online) return;
+  peer.online = false;
+  ++peer.round_epoch;  // cancel pending rounds
+  for (auto& t : trackers_) t->peer_offline(id, queue_.now());
+}
+
+RumorId SimCommunity::rejoin(PeerId id, std::uint32_t new_keys) {
+  SimPeer& peer = peers_[id];
+  if (!peer.member) throw std::logic_error("SimCommunity::rejoin: never joined");
+  peer.online = true;
+  if (new_keys > 0) {
+    peer.key_count += new_keys;
+    peer.protocol->local_filter_change(peer.key_count, new_keys, {}, {}, queue_.now());
+  } else {
+    peer.protocol->local_rejoin(queue_.now());
+  }
+  const RumorId rumor{id, peer.protocol->own_version()};
+  track_event(rumor, id);
+  // Catch-up anti-entropy: a returning peer immediately pulls a directory
+  // summary from someone it believes online, so the events it slept through
+  // reach it right away (its own rounds will be busy rumoring its rejoin for
+  // the next several rounds and would defer anti-entropy — §3's join flow
+  // pulls the directory first for exactly this reason).
+  Rng& rng = rng_;
+  const PeerId target = peer.protocol->directory().random_online(rng);
+  if (target != gossip::kInvalidPeer) {
+    dispatch(id, peer.protocol->join_via(target));
+  }
+  schedule_round(id, static_cast<Duration>(rng_.below(
+                         static_cast<std::uint64_t>(config_.gossip.base_interval))));
+  return rumor;
+}
+
+std::size_t SimCommunity::online_count() const {
+  std::size_t n = 0;
+  for (const SimPeer& p : peers_) n += p.online ? 1 : 0;
+  return n;
+}
+
+std::vector<PeerId> SimCommunity::online_peers() const {
+  std::vector<PeerId> out;
+  for (PeerId id = 0; id < peers_.size(); ++id) {
+    if (peers_[id].online && peers_[id].member) out.push_back(id);
+  }
+  return out;
+}
+
+bool SimCommunity::directories_consistent() const {
+  // Authoritative versions: each member's own record.
+  std::vector<std::pair<PeerId, std::uint64_t>> expected;
+  for (PeerId id = 0; id < peers_.size(); ++id) {
+    if (peers_[id].member) expected.emplace_back(id, peers_[id].protocol->own_version());
+  }
+  for (PeerId id = 0; id < peers_.size(); ++id) {
+    const SimPeer& peer = peers_[id];
+    if (!peer.online || !peer.member) continue;
+    const auto& dir = peer.protocol->directory();
+    for (const auto& [pid, version] : expected) {
+      const PeerRecord* r = dir.find(pid);
+      if (r == nullptr || r->version < version) return false;
+    }
+  }
+  return true;
+}
+
+std::size_t SimCommunity::add_tracker(std::string name, ConvergenceTracker::PeerPredicate counts,
+                                      ConvergenceTracker::PeerPredicate origin_filter) {
+  trackers_.push_back(std::make_unique<ConvergenceTracker>(std::move(name), std::move(counts),
+                                                           std::move(origin_filter)));
+  return trackers_.size() - 1;
+}
+
+void SimCommunity::track_event(const RumorId& id, PeerId origin) {
+  if (trackers_.empty() || !tracking_enabled_) return;
+  const auto online = online_peers();
+  for (auto& t : trackers_) t->track(id, queue_.now(), online, origin);
+}
+
+void SimCommunity::on_peer_applied(PeerId peer, const RumorPayload& payload, TimePoint now) {
+  for (auto& t : trackers_) t->learned(payload.id(), peer, now);
+}
+
+// ---------------------------------------------------------------------------
+// Round and message plumbing
+// ---------------------------------------------------------------------------
+
+void SimCommunity::schedule_round(PeerId id, Duration delay) {
+  SimPeer& peer = peers_[id];
+  const std::uint64_t epoch = ++peer.round_epoch;
+  peer.next_round_at = queue_.now() + delay;
+  queue_.schedule(delay, [this, id, epoch] { run_round(id, epoch); });
+}
+
+void SimCommunity::run_round(PeerId id, std::uint64_t epoch) {
+  SimPeer& peer = peers_[id];
+  if (peer.round_epoch != epoch || !peer.online) return;
+  for (const auto& out : peer.protocol->on_round(queue_.now())) dispatch(id, out);
+  schedule_round(id, peer.protocol->current_interval());
+}
+
+void SimCommunity::maybe_pull_round_forward(PeerId id) {
+  // After news arrives the protocol may have reset its interval to base;
+  // honor that by moving the pending round earlier if it is too far out.
+  SimPeer& peer = peers_[id];
+  if (!peer.online) return;
+  const TimePoint desired = queue_.now() + peer.protocol->current_interval();
+  if (peer.next_round_at > desired) schedule_round(id, peer.protocol->current_interval());
+}
+
+void SimCommunity::dispatch(PeerId from, const Protocol::Outgoing& out) {
+  if (out.to == kInvalidPeer || out.to >= peers_.size()) return;
+  const std::size_t bytes = wire_size(out.msg, config_.sizes);
+  const bool is_ae = std::holds_alternative<gossip::SummaryRequestMsg>(out.msg) ||
+                     std::holds_alternative<gossip::SummaryMsg>(out.msg);
+  stats_->record(from, bytes, queue_.now(),
+                 is_ae ? TrafficKind::kAntiEntropy : TrafficKind::kRumor);
+
+  if (config_.message_drop_prob > 0.0 && rng_.chance(config_.message_drop_prob)) {
+    return;  // silently lost; sender learns nothing (UDP-like loss)
+  }
+
+  const TimePoint arrival = links_->transfer(from, out.to, bytes, queue_.now());
+  const TimePoint processed = arrival + config_.network.cpu_gossip_time;
+  // Share rather than copy: summary messages are O(community) in size and
+  // thousands can be in flight at once.
+  auto msg = std::make_shared<Message>(out.msg);
+  queue_.schedule_at(processed, [this, from, to = out.to, msg = std::move(msg)]() {
+    deliver(from, to, *msg);
+  });
+}
+
+void SimCommunity::deliver(PeerId from, PeerId to, const Message& msg) {
+  SimPeer& receiver = peers_[to];
+  if (!receiver.online) {
+    // Delivery failure: the *sender* discovers the peer is unreachable.
+    if (peers_[from].online) {
+      peers_[from].protocol->on_send_failed(to, queue_.now());
+    }
+    return;
+  }
+  for (const auto& reply : receiver.protocol->on_message(queue_.now(), from, msg)) {
+    dispatch(to, reply);
+  }
+  maybe_pull_round_forward(to);
+}
+
+}  // namespace planetp::sim

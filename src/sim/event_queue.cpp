@@ -1,0 +1,40 @@
+#include "sim/event_queue.hpp"
+
+namespace planetp::sim {
+
+void EventQueue::schedule(Duration delay, Callback fn) {
+  schedule_at(now_ + (delay < 0 ? 0 : delay), std::move(fn));
+}
+
+void EventQueue::schedule_at(TimePoint at, Callback fn) {
+  if (at < now_) at = now_;
+  queue_.push(Event{at, next_seq_++, std::move(fn)});
+}
+
+std::size_t EventQueue::run_until(TimePoint limit) {
+  std::size_t executed = 0;
+  while (!queue_.empty() && queue_.top().at <= limit) {
+    // Copy out before pop: the callback may schedule new events.
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = ev.at;
+    ev.fn();
+    ++executed;
+  }
+  if (now_ < limit) now_ = limit;
+  return executed;
+}
+
+std::size_t EventQueue::run() {
+  std::size_t executed = 0;
+  while (!queue_.empty()) {
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = ev.at;
+    ev.fn();
+    ++executed;
+  }
+  return executed;
+}
+
+}  // namespace planetp::sim

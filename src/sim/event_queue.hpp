@@ -1,0 +1,58 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "util/time.hpp"
+
+/// \file event_queue.hpp
+/// Deterministic discrete-event engine. Events at equal timestamps fire in
+/// insertion order (a monotonically increasing sequence number breaks ties),
+/// so simulations replay identically for a given seed.
+
+namespace planetp::sim {
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Current simulation time.
+  TimePoint now() const { return now_; }
+
+  /// Schedule \p fn to run \p delay after now (clamped to >= 0).
+  void schedule(Duration delay, Callback fn);
+
+  /// Schedule \p fn at absolute time \p at (clamped to >= now).
+  void schedule_at(TimePoint at, Callback fn);
+
+  /// Run events until the queue is empty or \p limit is reached; the clock
+  /// stops at the later of the last event time and (if hit) the limit.
+  /// Returns the number of events executed.
+  std::size_t run_until(TimePoint limit);
+
+  /// Run everything (no limit).
+  std::size_t run();
+
+  bool empty() const { return queue_.empty(); }
+  std::size_t pending() const { return queue_.size(); }
+
+ private:
+  struct Event {
+    TimePoint at;
+    std::uint64_t seq;
+    Callback fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      return a.at != b.at ? a.at > b.at : a.seq > b.seq;
+    }
+  };
+
+  TimePoint now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace planetp::sim

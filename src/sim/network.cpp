@@ -1,0 +1,92 @@
+#include "sim/network.hpp"
+
+#include <algorithm>
+
+namespace planetp::sim {
+
+double sample_mix_bandwidth(Rng& rng) {
+  const double u = rng.uniform();
+  if (u < 0.09) return link_speed::kModem56k;
+  if (u < 0.30) return link_speed::kDsl512k;
+  if (u < 0.80) return link_speed::kCable5M;
+  if (u < 0.96) return link_speed::kEthernet10M;
+  return link_speed::kLan45M;
+}
+
+bool is_fast_link(double bits_per_second) {
+  return bits_per_second >= link_speed::kDsl512k;
+}
+
+void NetworkStats::record(std::uint32_t sender, std::size_t bytes, TimePoint at,
+                          TrafficKind kind) {
+  total_bytes_ += bytes;
+  if (kind == TrafficKind::kRumor) rumor_bytes_ += bytes;
+  ++total_messages_;
+  if (sender >= per_peer_bytes_.size()) per_peer_bytes_.resize(sender + 1, 0);
+  per_peer_bytes_[sender] += bytes;
+  if (!origin_set_) {
+    origin_ = at;
+    origin_set_ = true;
+  }
+  const std::size_t idx = static_cast<std::size_t>((at - origin_) / bucket_);
+  if (buckets_.size() <= idx) buckets_.resize(idx + 1, 0);
+  buckets_[idx] += bytes;
+}
+
+std::vector<std::pair<double, std::uint64_t>> NetworkStats::bytes_over_time() const {
+  std::vector<std::pair<double, std::uint64_t>> out;
+  out.reserve(buckets_.size());
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    out.emplace_back(to_seconds(origin_ + static_cast<Duration>(i) * bucket_), buckets_[i]);
+  }
+  return out;
+}
+
+void NetworkStats::reset() {
+  total_bytes_ = 0;
+  rumor_bytes_ = 0;
+  total_messages_ = 0;
+  std::fill(per_peer_bytes_.begin(), per_peer_bytes_.end(), 0);
+  buckets_.clear();
+  origin_set_ = false;
+}
+
+LinkModel::LinkModel(std::vector<double> peer_bandwidths_bps, NetworkParams params)
+    : bandwidth_(std::move(peer_bandwidths_bps)),
+      uplink_free_(bandwidth_.size(), 0),
+      downlink_free_(bandwidth_.size(), 0),
+      params_(params) {}
+
+void LinkModel::add_peer(double bandwidth_bps) {
+  bandwidth_.push_back(bandwidth_bps);
+  uplink_free_.push_back(0);
+  downlink_free_.push_back(0);
+}
+
+TimePoint LinkModel::transfer(std::uint32_t from, std::uint32_t to, std::size_t bytes,
+                              TimePoint now) {
+  const double bits = static_cast<double>(bytes) * 8.0;
+
+  // Serialize on the sender's uplink...
+  const Duration up_time =
+      static_cast<Duration>(bits / bandwidth_[from] * static_cast<double>(kSecond));
+  const TimePoint up_start = std::max(now, uplink_free_[from]);
+  const TimePoint up_done = up_start + up_time;
+  uplink_free_[from] = up_done;
+
+  // ...then on the receiver's downlink.
+  const Duration down_time =
+      static_cast<Duration>(bits / bandwidth_[to] * static_cast<double>(kSecond));
+  const TimePoint down_start = std::max(up_done + params_.base_latency, downlink_free_[to]);
+  const TimePoint down_done = down_start + down_time;
+  downlink_free_[to] = down_done;
+
+  return down_done;
+}
+
+void LinkModel::reset_busy() {
+  std::fill(uplink_free_.begin(), uplink_free_.end(), 0);
+  std::fill(downlink_free_.begin(), downlink_free_.end(), 0);
+}
+
+}  // namespace planetp::sim

@@ -1,0 +1,146 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/community.hpp"
+
+/// \file scenarios.hpp
+/// The §7.2 experiments, packaged as reusable drivers so the bench binaries
+/// stay thin and the integration tests can validate the same code paths.
+
+namespace planetp::sim {
+
+/// How per-peer access bandwidths are assigned.
+enum class BandwidthProfile {
+  kLan,   ///< every peer at 45 Mb/s
+  kDsl,   ///< every peer at 512 Kb/s
+  kMix,   ///< Saroiu et al. mixture (see sample_mix_bandwidth)
+};
+
+const char* to_string(BandwidthProfile p);
+
+/// Assign a bandwidth for peer creation under \p profile.
+double profile_bandwidth(BandwidthProfile profile, Rng& rng);
+
+// ---------------------------------------------------------------------------
+// Figure 2: propagate one Bloom filter update through a stable community
+// ---------------------------------------------------------------------------
+
+struct PropagationOptions {
+  std::size_t community_size = 1000;
+  BandwidthProfile profile = BandwidthProfile::kDsl;
+  Duration gossip_interval = 30 * kSecond;  ///< DSL-10/30/60 sweeps this
+  bool rumoring = true;                     ///< false = pure anti-entropy (LAN-AE)
+  bool partial_ae = true;
+  std::uint32_t new_keys = 1000;            ///< the paper's 1000-key diff
+  std::uint32_t base_keys = 1000;           ///< keys each peer already shares
+  Duration warmup = 5 * kMinute;            ///< settle the converged community
+  Duration timeout = 4 * kHour;
+  std::uint64_t seed = 42;
+  // Ablation knobs (defaults = the paper's constants).
+  int stop_count = 2;                  ///< Demers' n: consecutive known before retiring
+  std::size_t partial_ae_window = 10;  ///< m: piggybacked recent rumor ids
+  int anti_entropy_every = 10;         ///< AE cadence among rumoring rounds
+};
+
+struct PropagationResult {
+  double propagation_seconds = 0.0;  ///< time to reach every online peer
+  std::uint64_t total_bytes = 0;     ///< all traffic during propagation
+  std::uint64_t event_bytes = 0;     ///< rumor/ack/pull traffic only (Fig 2b's
+                                     ///< "volume to propagate"); for the pure
+                                     ///< anti-entropy baseline propagation IS
+                                     ///< the summary traffic, so use total.
+  double per_peer_bandwidth_bps = 0; ///< avg event bytes/s per peer (Fig 2c)
+  bool converged = false;
+};
+
+PropagationResult run_propagation(const PropagationOptions& opts);
+
+// ---------------------------------------------------------------------------
+// Figure 3: m new members join an established community simultaneously
+// ---------------------------------------------------------------------------
+
+struct JoinOptions {
+  std::size_t existing_members = 1000;
+  std::size_t joiners = 100;
+  BandwidthProfile profile = BandwidthProfile::kLan;
+  std::uint32_t keys_per_peer = 20'000;  ///< "each peer was set to share 20,000 keys"
+  Duration warmup = 5 * kMinute;
+  Duration timeout = 12 * kHour;
+  Duration poll = 10 * kSecond;  ///< consistency check cadence
+  std::uint64_t seed = 42;
+};
+
+struct JoinResult {
+  double consistency_seconds = 0.0;  ///< until all views are consistent again
+  std::uint64_t total_bytes = 0;
+  bool converged = false;
+};
+
+JoinResult run_join(const JoinOptions& opts);
+
+// ---------------------------------------------------------------------------
+// Figure 4(a): Poisson arrivals into a stable community — rumor interference
+// ---------------------------------------------------------------------------
+
+struct ArrivalOptions {
+  std::size_t stable_members = 1000;
+  std::size_t arrivals = 100;
+  Duration mean_interarrival = 90 * kSecond;
+  BandwidthProfile profile = BandwidthProfile::kLan;
+  bool partial_ae = true;  ///< false = the paper's LAN-NPA ablation
+  std::uint32_t keys_per_peer = 1000;
+  Duration warmup = 5 * kMinute;
+  Duration drain = 2 * kHour;  ///< time after last arrival to finish converging
+  std::uint64_t seed = 42;
+};
+
+struct CdfResult {
+  /// Sorted (convergence seconds, cumulative fraction) series.
+  std::vector<std::pair<double, double>> cdf;
+  std::size_t events = 0;
+  std::size_t converged = 0;
+  double mean_seconds = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+};
+
+CdfResult run_arrivals(const ArrivalOptions& opts);
+
+// ---------------------------------------------------------------------------
+// Figures 4(b,c) and 5: dynamic community with churn
+// ---------------------------------------------------------------------------
+
+struct DynamicOptions {
+  std::size_t members = 1000;
+  double always_on_fraction = 0.4;
+  Duration mean_online = 60 * kMinute;
+  Duration mean_offline = 140 * kMinute;
+  double rejoin_with_keys_prob = 0.05;
+  std::uint32_t new_keys_on_rejoin = 1000;
+  std::uint32_t base_keys = 1000;
+  BandwidthProfile profile = BandwidthProfile::kLan;
+  bool bandwidth_aware = false;  ///< §7.2's two-class algorithm (used for MIX)
+  Duration warmup = 10 * kMinute;
+  Duration duration = 4 * kHour;  ///< measured window after warmup
+  Duration drain = kHour;  ///< extra time for window-end events to converge
+  std::uint64_t seed = 42;
+};
+
+struct DynamicResult {
+  CdfResult all;        ///< convergence over all online peers, all events
+  CdfResult fast_only;  ///< MIX-F: fast-origin events, fast peers must learn
+  CdfResult slow_only;  ///< MIX-S: slow-origin events, fast peers must learn
+  std::vector<std::pair<double, std::uint64_t>> bandwidth_series;  ///< Fig 4c
+  std::uint64_t total_bytes = 0;
+};
+
+DynamicResult run_dynamic(const DynamicOptions& opts);
+
+/// Summarize a tracker's samples as a CDF result.
+CdfResult summarize(const ConvergenceTracker& tracker, std::size_t cdf_points = 100);
+
+}  // namespace planetp::sim

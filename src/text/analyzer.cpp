@@ -1,0 +1,48 @@
+#include "text/analyzer.hpp"
+
+#include "text/porter_stemmer.hpp"
+#include "text/stopwords.hpp"
+
+namespace planetp::text {
+
+std::vector<std::string> Analyzer::analyze(std::string_view input) const {
+  std::vector<std::string> out;
+  for_each_token(input, opts_.tokenizer, [&](const std::string& tok) {
+    if (opts_.remove_stopwords && is_stopword(tok)) return;
+    if (opts_.stem) {
+      std::string stemmed = tok;
+      porter_stem(stemmed);
+      // A stem can collapse onto a stop word ("having" -> "have"); drop those
+      // too so queries and documents agree.
+      if (opts_.remove_stopwords && is_stopword(stemmed)) return;
+      out.push_back(std::move(stemmed));
+    } else {
+      out.push_back(tok);
+    }
+  });
+  return out;
+}
+
+std::unordered_map<std::string, std::uint32_t> Analyzer::term_frequencies(
+    std::string_view input) const {
+  std::unordered_map<std::string, std::uint32_t> freq;
+  for (auto& term : analyze(input)) {
+    ++freq[std::move(term)];
+  }
+  return freq;
+}
+
+std::string Analyzer::process_token(std::string_view token) const {
+  std::string lowered;
+  lowered.reserve(token.size());
+  for (char c : token) {
+    if (c >= 'A' && c <= 'Z') c = static_cast<char>(c - 'A' + 'a');
+    lowered.push_back(c);
+  }
+  if (opts_.remove_stopwords && is_stopword(lowered)) return {};
+  if (opts_.stem) porter_stem(lowered);
+  if (opts_.remove_stopwords && is_stopword(lowered)) return {};
+  return lowered;
+}
+
+}  // namespace planetp::text

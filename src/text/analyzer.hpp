@@ -1,0 +1,43 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "text/tokenizer.hpp"
+
+/// \file analyzer.hpp
+/// The full indexing pipeline of §7.3: tokenize -> stop-word removal ->
+/// Porter stemming. Both documents and queries pass through the same
+/// analyzer so their term spaces agree.
+
+namespace planetp::text {
+
+struct AnalyzerOptions {
+  TokenizerOptions tokenizer;
+  bool remove_stopwords = true;
+  bool stem = true;
+};
+
+class Analyzer {
+ public:
+  explicit Analyzer(AnalyzerOptions opts = {}) : opts_(opts) {}
+
+  /// Analyze \p input into the processed term sequence (duplicates kept, in
+  /// document order — term frequency is derived by the index).
+  std::vector<std::string> analyze(std::string_view input) const;
+
+  /// Analyze and aggregate into term -> frequency.
+  std::unordered_map<std::string, std::uint32_t> term_frequencies(std::string_view input) const;
+
+  /// Process a single raw token; returns empty string if it is dropped.
+  std::string process_token(std::string_view token) const;
+
+  const AnalyzerOptions& options() const { return opts_; }
+
+ private:
+  AnalyzerOptions opts_;
+};
+
+}  // namespace planetp::text

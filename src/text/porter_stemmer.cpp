@@ -1,0 +1,304 @@
+#include "text/porter_stemmer.hpp"
+
+#include <cstring>
+
+namespace planetp::text {
+
+namespace {
+
+/// Implements the original algorithm over a char buffer [0, k]. The member
+/// names (k, j, m(), cons(), etc.) deliberately follow Porter's published
+/// reference implementation so the steps can be checked against the paper.
+/// Indices are signed because Porter's j can legitimately become -1 (empty
+/// stem candidate).
+class PorterContext {
+ public:
+  explicit PorterContext(std::string& word)
+      : b_(word), k_(static_cast<int>(word.size()) - 1) {}
+
+  void run() {
+    if (k_ <= 1) return;  // words of length 1-2 are left unchanged
+    step1ab();
+    step1c();
+    step2();
+    step3();
+    step4();
+    step5();
+    b_.resize(static_cast<std::size_t>(k_ + 1));
+  }
+
+ private:
+  std::string& b_;
+  int k_;      ///< index of last char of the current word
+  int j_ = 0;  ///< index of last char of the stem candidate
+
+  char at(int i) const { return b_[static_cast<std::size_t>(i)]; }
+
+  bool cons(int i) const {
+    switch (at(i)) {
+      case 'a': case 'e': case 'i': case 'o': case 'u':
+        return false;
+      case 'y':
+        return i == 0 ? true : !cons(i - 1);
+      default:
+        return true;
+    }
+  }
+
+  /// m(): number of consonant-vowel sequences in [0, j].
+  int m() const {
+    int n = 0;
+    int i = 0;
+    while (true) {
+      if (i > j_) return n;
+      if (!cons(i)) break;
+      ++i;
+    }
+    ++i;
+    while (true) {
+      while (true) {
+        if (i > j_) return n;
+        if (cons(i)) break;
+        ++i;
+      }
+      ++i;
+      ++n;
+      while (true) {
+        if (i > j_) return n;
+        if (!cons(i)) break;
+        ++i;
+      }
+      ++i;
+    }
+  }
+
+  /// *v*: the stem [0, j] contains a vowel.
+  bool vowel_in_stem() const {
+    for (int i = 0; i <= j_; ++i) {
+      if (!cons(i)) return true;
+    }
+    return false;
+  }
+
+  /// *d: [j-1, j] is a double consonant.
+  bool double_cons(int j) const {
+    if (j < 1) return false;
+    if (at(j) != at(j - 1)) return false;
+    return cons(j);
+  }
+
+  /// *o: [i-2, i] is consonant-vowel-consonant with final != w, x, y.
+  bool cvc(int i) const {
+    if (i < 2 || !cons(i) || cons(i - 1) || !cons(i - 2)) return false;
+    const char ch = at(i);
+    return ch != 'w' && ch != 'x' && ch != 'y';
+  }
+
+  bool ends(const char* s) {
+    const int len = static_cast<int>(std::strlen(s));
+    if (len > k_ + 1) return false;
+    if (std::memcmp(b_.data() + (k_ + 1 - len), s, static_cast<std::size_t>(len)) != 0) {
+      return false;
+    }
+    j_ = k_ - len;
+    return true;
+  }
+
+  void setto(const char* s) {
+    const int len = static_cast<int>(std::strlen(s));
+    b_.replace(static_cast<std::size_t>(j_ + 1), static_cast<std::size_t>(k_ - j_), s,
+               static_cast<std::size_t>(len));
+    k_ = j_ + len;
+  }
+
+  void replace_if_m_gt_0(const char* s) {
+    if (m() > 0) setto(s);
+  }
+
+  /// Step 1a: plurals. SSES -> SS, IES -> I, SS -> SS, S -> "".
+  /// Step 1b: -ED and -ING, with cleanup (AT->ATE, BL->BLE, IZ->IZE,
+  /// undoubling, or adding E after a short stem).
+  void step1ab() {
+    if (at(k_) == 's') {
+      if (ends("sses")) {
+        k_ -= 2;
+      } else if (ends("ies")) {
+        setto("i");
+      } else if (at(k_ - 1) != 's') {
+        --k_;
+      }
+    }
+    if (ends("eed")) {
+      if (m() > 0) --k_;
+    } else if ((ends("ed") || ends("ing")) && vowel_in_stem()) {
+      k_ = j_;
+      if (ends("at")) {
+        setto("ate");
+      } else if (ends("bl")) {
+        setto("ble");
+      } else if (ends("iz")) {
+        setto("ize");
+      } else if (double_cons(k_)) {
+        --k_;
+        const char ch = at(k_);
+        if (ch == 'l' || ch == 's' || ch == 'z') ++k_;
+      } else if (m() == 1 && cvc(k_)) {
+        setto("e");
+      }
+    }
+  }
+
+  /// Step 1c: Y -> I when there is another vowel in the stem.
+  void step1c() {
+    if (ends("y") && vowel_in_stem()) b_[static_cast<std::size_t>(k_)] = 'i';
+  }
+
+  /// Step 2: double/triple suffixes mapped to single ones when m(stem) > 0.
+  void step2() {
+    if (k_ < 1) return;
+    switch (at(k_ - 1)) {
+      case 'a':
+        if (ends("ational")) { replace_if_m_gt_0("ate"); break; }
+        if (ends("tional")) { replace_if_m_gt_0("tion"); break; }
+        break;
+      case 'c':
+        if (ends("enci")) { replace_if_m_gt_0("ence"); break; }
+        if (ends("anci")) { replace_if_m_gt_0("ance"); break; }
+        break;
+      case 'e':
+        if (ends("izer")) { replace_if_m_gt_0("ize"); break; }
+        break;
+      case 'l':
+        if (ends("bli")) { replace_if_m_gt_0("ble"); break; }  // DEPARTURE: -abli in the 1980 paper
+        if (ends("alli")) { replace_if_m_gt_0("al"); break; }
+        if (ends("entli")) { replace_if_m_gt_0("ent"); break; }
+        if (ends("eli")) { replace_if_m_gt_0("e"); break; }
+        if (ends("ousli")) { replace_if_m_gt_0("ous"); break; }
+        break;
+      case 'o':
+        if (ends("ization")) { replace_if_m_gt_0("ize"); break; }
+        if (ends("ation")) { replace_if_m_gt_0("ate"); break; }
+        if (ends("ator")) { replace_if_m_gt_0("ate"); break; }
+        break;
+      case 's':
+        if (ends("alism")) { replace_if_m_gt_0("al"); break; }
+        if (ends("iveness")) { replace_if_m_gt_0("ive"); break; }
+        if (ends("fulness")) { replace_if_m_gt_0("ful"); break; }
+        if (ends("ousness")) { replace_if_m_gt_0("ous"); break; }
+        break;
+      case 't':
+        if (ends("aliti")) { replace_if_m_gt_0("al"); break; }
+        if (ends("iviti")) { replace_if_m_gt_0("ive"); break; }
+        if (ends("biliti")) { replace_if_m_gt_0("ble"); break; }
+        break;
+      case 'g':
+        if (ends("logi")) { replace_if_m_gt_0("log"); break; }  // DEPARTURE
+        break;
+      default:
+        break;
+    }
+  }
+
+  /// Step 3: -ICATE, -ATIVE, -ALIZE, -ICITI, -ICAL, -FUL, -NESS.
+  void step3() {
+    switch (at(k_)) {
+      case 'e':
+        if (ends("icate")) { replace_if_m_gt_0("ic"); break; }
+        if (ends("ative")) { replace_if_m_gt_0(""); break; }
+        if (ends("alize")) { replace_if_m_gt_0("al"); break; }
+        break;
+      case 'i':
+        if (ends("iciti")) { replace_if_m_gt_0("ic"); break; }
+        break;
+      case 'l':
+        if (ends("ical")) { replace_if_m_gt_0("ic"); break; }
+        if (ends("ful")) { replace_if_m_gt_0(""); break; }
+        break;
+      case 's':
+        if (ends("ness")) { replace_if_m_gt_0(""); break; }
+        break;
+      default:
+        break;
+    }
+  }
+
+  /// Step 4: strip residual suffixes when m(stem) > 1.
+  void step4() {
+    if (k_ < 1) return;
+    switch (at(k_ - 1)) {
+      case 'a':
+        if (ends("al")) break;
+        return;
+      case 'c':
+        if (ends("ance")) break;
+        if (ends("ence")) break;
+        return;
+      case 'e':
+        if (ends("er")) break;
+        return;
+      case 'i':
+        if (ends("ic")) break;
+        return;
+      case 'l':
+        if (ends("able")) break;
+        if (ends("ible")) break;
+        return;
+      case 'n':
+        if (ends("ant")) break;
+        if (ends("ement")) break;
+        if (ends("ment")) break;
+        if (ends("ent")) break;
+        return;
+      case 'o':
+        if (ends("ion") && j_ >= 0 && (at(j_) == 's' || at(j_) == 't')) break;
+        if (ends("ou")) break;  // takes care of -ous
+        return;
+      case 's':
+        if (ends("ism")) break;
+        return;
+      case 't':
+        if (ends("ate")) break;
+        if (ends("iti")) break;
+        return;
+      case 'u':
+        if (ends("ous")) break;
+        return;
+      case 'v':
+        if (ends("ive")) break;
+        return;
+      case 'z':
+        if (ends("ize")) break;
+        return;
+      default:
+        return;
+    }
+    if (m() > 1) k_ = j_;
+  }
+
+  /// Step 5a: remove a final -E if m > 1, or if m == 1 and not *o.
+  /// Step 5b: -LL -> -L if m > 1.
+  void step5() {
+    j_ = k_;
+    if (at(k_) == 'e') {
+      const int a = m();
+      if (a > 1 || (a == 1 && !cvc(k_ - 1))) --k_;
+    }
+    if (at(k_) == 'l' && double_cons(k_) && m() > 1) --k_;
+  }
+};
+
+}  // namespace
+
+void porter_stem(std::string& word) {
+  if (word.size() < 3) return;
+  PorterContext ctx(word);
+  ctx.run();
+}
+
+std::string porter_stem_copy(std::string_view word) {
+  std::string w(word);
+  porter_stem(w);
+  return w;
+}
+
+}  // namespace planetp::text

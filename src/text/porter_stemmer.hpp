@@ -1,0 +1,21 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+
+/// \file porter_stemmer.hpp
+/// Porter's suffix-stripping algorithm (M.F. Porter, "An algorithm for suffix
+/// stripping", Program 14(3), 1980). The paper's pre-processing "tries to
+/// conflate words to their root (e.g. running becomes run)"; this is the
+/// standard algorithm used by the Smart system whose collections it evaluates.
+
+namespace planetp::text {
+
+/// Stem \p word in place; the word must already be lower-case ASCII.
+/// Returns the stemmed length (the string is truncated to it).
+void porter_stem(std::string& word);
+
+/// Convenience copy form.
+std::string porter_stem_copy(std::string_view word);
+
+}  // namespace planetp::text

@@ -1,0 +1,62 @@
+#include "text/stopwords.hpp"
+
+#include <algorithm>
+#include <array>
+
+namespace planetp::text {
+
+namespace {
+
+constexpr std::array<std::string_view, 174> kStopwordsRaw = {
+    "a",          "about",      "above",     "after",     "again",     "against",
+    "all",        "am",         "an",        "and",       "any",       "are",
+    "aren't",     "as",         "at",        "be",        "because",   "been",
+    "before",     "being",      "below",     "between",   "both",      "but",
+    "by",         "can",        "can't",     "cannot",    "could",     "couldn't",
+    "did",        "didn't",     "do",        "does",      "doesn't",   "doing",
+    "don't",      "dont",       "down",      "during",    "each",      "few",
+    "for",        "from",       "further",   "had",       "hadn't",    "has",
+    "hasn't",     "have",       "haven't",   "having",    "he",        "her",
+    "here",       "hers",       "herself",   "him",       "himself",   "his",
+    "how",        "i",          "if",        "in",        "into",      "is",
+    "isn't",      "it",         "its",       "itself",    "just",      "let's",
+    "me",         "more",       "most",      "mustn't",   "my",        "myself",
+    "no",         "nor",        "not",       "now",       "of",        "off",
+    "on",         "once",       "only",      "or",        "other",     "ought",
+    "our",        "ours",       "ourselves", "out",       "over",      "own",
+    "same",       "shan't",     "she",       "should",    "shouldn't", "so",
+    "some",       "such",       "than",      "that",      "the",       "their",
+    "theirs",     "them",       "themselves","then",      "there",     "these",
+    "they",       "this",       "those",     "through",   "to",        "too",
+    "under",      "until",      "up",        "upon",      "us",        "very",
+    "was",        "wasn't",     "we",        "were",      "weren't",   "what",
+    "when",       "where",      "which",     "while",     "who",       "whom",
+    "why",        "will",       "with",      "won't",     "would",     "wouldn't",
+    "you",        "your",       "yours",     "yourself",  "yourselves","also",
+    "although",   "always",     "among",     "anyone",    "anything",  "became",
+    "become",     "becomes",    "besides",   "beyond",    "cant",      "come",
+    "e",          "else",       "etc",       "ever",      "every",     "g",
+    "get",        "gets",       "however",   "may",       "might",     "much",
+};
+
+/// Sorted copy built once; the raw literal is grouped thematically, not
+/// alphabetically, so sort at first use to enable binary search.
+const std::array<std::string_view, 174>& sorted_stopwords() {
+  static const std::array<std::string_view, 174> sorted = [] {
+    auto copy = kStopwordsRaw;
+    std::sort(copy.begin(), copy.end());
+    return copy;
+  }();
+  return sorted;
+}
+
+}  // namespace
+
+bool is_stopword(std::string_view word) {
+  const auto& words = sorted_stopwords();
+  return std::binary_search(words.begin(), words.end(), word);
+}
+
+std::size_t stopword_count() { return kStopwordsRaw.size(); }
+
+}  // namespace planetp::text

@@ -1,0 +1,18 @@
+#pragma once
+
+#include <string_view>
+
+/// \file stopwords.hpp
+/// Classic English stop-word list (the Smart system's common subset). The
+/// paper's pre-processing "tries to eliminate frequently used words like
+/// the, of, etc." before indexing and querying.
+
+namespace planetp::text {
+
+/// True if \p word (already lower-cased) is a stop word.
+bool is_stopword(std::string_view word);
+
+/// Number of entries in the built-in list (for tests / docs).
+std::size_t stopword_count();
+
+}  // namespace planetp::text

@@ -1,0 +1,11 @@
+#include "text/tokenizer.hpp"
+
+namespace planetp::text {
+
+std::vector<std::string> tokenize(std::string_view input, const TokenizerOptions& opts) {
+  std::vector<std::string> out;
+  for_each_token(input, opts, [&](const std::string& tok) { out.push_back(tok); });
+  return out;
+}
+
+}  // namespace planetp::text

@@ -1,0 +1,55 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+/// \file tokenizer.hpp
+/// Splits raw text into lower-cased alphanumeric tokens. This is the first
+/// stage of PlanetP's indexing pipeline (tokenize -> stop-word removal ->
+/// stemming), matching the pre-processing described in §7.3.
+
+namespace planetp::text {
+
+/// Tokenization options.
+struct TokenizerOptions {
+  std::size_t min_length = 2;   ///< drop tokens shorter than this
+  std::size_t max_length = 40;  ///< drop pathological tokens longer than this
+  bool keep_numbers = true;     ///< whether pure-digit tokens survive
+};
+
+/// Invoke \p fn(token) for every token in \p input without allocating a
+/// vector. Token boundaries are maximal runs of [A-Za-z0-9]; letters are
+/// lower-cased. Apostrophes inside words are dropped ("don't" -> "dont").
+template <typename Fn>
+void for_each_token(std::string_view input, const TokenizerOptions& opts, Fn&& fn) {
+  std::string token;
+  token.reserve(16);
+  auto flush = [&] {
+    if (token.size() >= opts.min_length && token.size() <= opts.max_length) {
+      if (opts.keep_numbers ||
+          token.find_first_not_of("0123456789") != std::string::npos) {
+        fn(token);
+      }
+    }
+    token.clear();
+  };
+  for (char c : input) {
+    if ((c >= 'a' && c <= 'z') || (c >= '0' && c <= '9')) {
+      token.push_back(c);
+    } else if (c >= 'A' && c <= 'Z') {
+      token.push_back(static_cast<char>(c - 'A' + 'a'));
+    } else if (c == '\'') {
+      // skip: merges contractions
+    } else {
+      flush();
+    }
+  }
+  flush();
+}
+
+/// Tokenize \p input into a vector with default options.
+std::vector<std::string> tokenize(std::string_view input,
+                                  const TokenizerOptions& opts = {});
+
+}  // namespace planetp::text

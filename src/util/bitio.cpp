@@ -1,0 +1,45 @@
+#include "util/bitio.hpp"
+
+#include <stdexcept>
+
+namespace planetp {
+
+void BitWriter::write_bits(std::uint64_t value, unsigned nbits) {
+  for (unsigned i = 0; i < nbits; ++i) {
+    const std::size_t byte = bit_count_ / 8;
+    const unsigned offset = static_cast<unsigned>(bit_count_ % 8);
+    if (byte == bytes_.size()) bytes_.push_back(0);
+    if ((value >> i) & 1u) bytes_[byte] |= static_cast<std::uint8_t>(1u << offset);
+    ++bit_count_;
+  }
+}
+
+void BitWriter::write_unary(std::uint64_t n) {
+  for (std::uint64_t i = 0; i < n; ++i) write_bit(true);
+  write_bit(false);
+}
+
+std::vector<std::uint8_t> BitWriter::take() {
+  bit_count_ = 0;
+  return std::move(bytes_);
+}
+
+std::uint64_t BitReader::read_bits(unsigned nbits) {
+  if (pos_ + nbits > size_bits_) throw std::out_of_range("BitReader: past end");
+  std::uint64_t v = 0;
+  for (unsigned i = 0; i < nbits; ++i) {
+    const std::size_t byte = pos_ / 8;
+    const unsigned offset = static_cast<unsigned>(pos_ % 8);
+    if ((data_[byte] >> offset) & 1u) v |= std::uint64_t{1} << i;
+    ++pos_;
+  }
+  return v;
+}
+
+std::uint64_t BitReader::read_unary() {
+  std::uint64_t n = 0;
+  while (read_bit()) ++n;
+  return n;
+}
+
+}  // namespace planetp

@@ -1,0 +1,59 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+/// \file bitio.hpp
+/// Bit-granular writer/reader over a byte buffer. Used by the Golomb-coded
+/// run-length compressor that PlanetP applies to Bloom filters on the wire.
+
+namespace planetp {
+
+class BitWriter {
+ public:
+  /// Append the low \p nbits bits of \p value (LSB first).
+  void write_bits(std::uint64_t value, unsigned nbits);
+
+  /// Append a single bit.
+  void write_bit(bool bit) { write_bits(bit ? 1 : 0, 1); }
+
+  /// Append \p n one-bits followed by a zero bit (unary code for n).
+  void write_unary(std::uint64_t n);
+
+  /// Number of bits written so far.
+  std::size_t bit_count() const { return bit_count_; }
+
+  /// Finish and return the packed bytes (padded with zero bits).
+  std::vector<std::uint8_t> take();
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+  std::size_t bit_count_ = 0;
+};
+
+class BitReader {
+ public:
+  BitReader(const std::uint8_t* data, std::size_t size_bytes)
+      : data_(data), size_bits_(size_bytes * 8) {}
+
+  explicit BitReader(const std::vector<std::uint8_t>& bytes)
+      : BitReader(bytes.data(), bytes.size()) {}
+
+  /// Read \p nbits bits (LSB first). Throws std::out_of_range past the end.
+  std::uint64_t read_bits(unsigned nbits);
+
+  bool read_bit() { return read_bits(1) != 0; }
+
+  /// Read a unary code: count of one-bits before the terminating zero.
+  std::uint64_t read_unary();
+
+  std::size_t bits_remaining() const { return size_bits_ - pos_; }
+
+ private:
+  const std::uint8_t* data_;
+  std::size_t size_bits_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace planetp

@@ -1,0 +1,62 @@
+#include "util/bitvector.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+
+namespace planetp {
+
+std::size_t BitVector::count() const {
+  std::size_t n = 0;
+  for (Word w : words_) n += static_cast<std::size_t>(std::popcount(w));
+  return n;
+}
+
+void BitVector::clear() { std::fill(words_.begin(), words_.end(), Word{0}); }
+
+void BitVector::resize(std::size_t nbits) {
+  nbits_ = nbits;
+  words_.resize((nbits + kWordBits - 1) / kWordBits, 0);
+  // Clear any bits beyond the new logical size in the last word so that
+  // equality and popcount stay exact.
+  const std::size_t tail = nbits % kWordBits;
+  if (tail != 0 && !words_.empty()) {
+    words_.back() &= (Word{1} << tail) - 1;
+  }
+}
+
+namespace {
+void check_same_size(const BitVector& a, const BitVector& b) {
+  if (a.size() != b.size()) {
+    throw std::invalid_argument("BitVector size mismatch");
+  }
+}
+}  // namespace
+
+BitVector& BitVector::operator|=(const BitVector& o) {
+  check_same_size(*this, o);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= o.words_[i];
+  return *this;
+}
+
+BitVector& BitVector::operator&=(const BitVector& o) {
+  check_same_size(*this, o);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= o.words_[i];
+  return *this;
+}
+
+BitVector& BitVector::operator^=(const BitVector& o) {
+  check_same_size(*this, o);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] ^= o.words_[i];
+  return *this;
+}
+
+bool BitVector::contains_all(const BitVector& o) const {
+  check_same_size(*this, o);
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    if ((words_[i] & o.words_[i]) != o.words_[i]) return false;
+  }
+  return true;
+}
+
+}  // namespace planetp

@@ -1,0 +1,81 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+/// \file bitvector.hpp
+/// Fixed/dynamically sized packed bit vector; the storage behind Bloom
+/// filters and the run-length coder. Unlike std::vector<bool> it exposes the
+/// word array for fast popcount, bulk boolean ops and serialization.
+
+namespace planetp {
+
+class BitVector {
+ public:
+  using Word = std::uint64_t;
+  static constexpr std::size_t kWordBits = 64;
+
+  BitVector() = default;
+
+  /// Create a vector of \p nbits bits, all zero.
+  explicit BitVector(std::size_t nbits)
+      : nbits_(nbits), words_((nbits + kWordBits - 1) / kWordBits, 0) {}
+
+  std::size_t size() const { return nbits_; }
+  bool empty() const { return nbits_ == 0; }
+
+  /// Number of set bits.
+  std::size_t count() const;
+
+  bool test(std::size_t i) const {
+    return (words_[i / kWordBits] >> (i % kWordBits)) & 1u;
+  }
+
+  void set(std::size_t i) { words_[i / kWordBits] |= Word{1} << (i % kWordBits); }
+  void reset(std::size_t i) { words_[i / kWordBits] &= ~(Word{1} << (i % kWordBits)); }
+  void assign(std::size_t i, bool v) { v ? set(i) : reset(i); }
+
+  /// Set all bits to zero without changing the size.
+  void clear();
+
+  /// Resize to \p nbits; new bits are zero, excess bits are dropped.
+  void resize(std::size_t nbits);
+
+  /// Bulk boolean operations; both operands must have equal size.
+  BitVector& operator|=(const BitVector& o);
+  BitVector& operator&=(const BitVector& o);
+  BitVector& operator^=(const BitVector& o);
+
+  friend BitVector operator|(BitVector a, const BitVector& b) { return a |= b; }
+  friend BitVector operator&(BitVector a, const BitVector& b) { return a &= b; }
+  friend BitVector operator^(BitVector a, const BitVector& b) { return a ^= b; }
+
+  bool operator==(const BitVector& o) const = default;
+
+  /// True if every set bit of \p o is also set here (superset test).
+  bool contains_all(const BitVector& o) const;
+
+  /// Invoke \p fn(index) for each set bit in ascending order.
+  template <typename Fn>
+  void for_each_set(Fn&& fn) const {
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+      Word word = words_[w];
+      while (word != 0) {
+        const int bit = __builtin_ctzll(word);
+        fn(w * kWordBits + static_cast<std::size_t>(bit));
+        word &= word - 1;
+      }
+    }
+  }
+
+  /// Raw word access for serialization / hashing.
+  const std::vector<Word>& words() const { return words_; }
+  std::vector<Word>& mutable_words() { return words_; }
+
+ private:
+  std::size_t nbits_ = 0;
+  std::vector<Word> words_;
+};
+
+}  // namespace planetp

@@ -1,0 +1,68 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/varint.hpp"
+
+/// \file byte_buffer.hpp
+/// Bounds-checked binary serialization used by all PlanetP wire messages.
+/// Fixed-width integers are little-endian; sizes and counts are varints.
+
+namespace planetp {
+
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void f64(double v);
+  void varint(std::uint64_t v) { put_varint(buf_, v); }
+  void svarint(std::int64_t v) { put_varint(buf_, zigzag_encode(v)); }
+
+  /// Length-prefixed byte string.
+  void bytes(std::span<const std::uint8_t> data);
+  void str(std::string_view s);
+
+  /// Raw append without a length prefix (caller handles framing).
+  void raw(std::span<const std::uint8_t> data);
+
+  std::size_t size() const { return buf_.size(); }
+  const std::vector<std::uint8_t>& data() const { return buf_; }
+  std::vector<std::uint8_t> take() { return std::move(buf_); }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+/// Reader over a borrowed byte span; throws std::out_of_range on underflow.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  std::uint8_t u8();
+  std::uint16_t u16();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  double f64();
+  std::uint64_t varint() { return get_varint(data_.data(), data_.size(), pos_); }
+  std::int64_t svarint() { return zigzag_decode(varint()); }
+
+  std::vector<std::uint8_t> bytes();
+  std::string str();
+
+  std::size_t remaining() const { return data_.size() - pos_; }
+  bool done() const { return pos_ == data_.size(); }
+
+ private:
+  void need(std::size_t n) const;
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace planetp

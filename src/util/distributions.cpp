@@ -1,0 +1,140 @@
+#include "util/distributions.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace planetp {
+
+// ---------------------------------------------------------------------------
+// ZipfSampler — rejection-inversion (Hormann & Derflinger 1996), as used by
+// Apache Commons Math. Exact for all s > 0, O(1) expected time per sample.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Helper: (exp(x) - 1) / x, numerically stable near zero.
+double expm1_over_x(double x) {
+  return std::abs(x) > 1e-8 ? std::expm1(x) / x : 1.0 + x / 2.0 * (1.0 + x / 3.0);
+}
+
+/// Helper: log1p(x)/x, numerically stable near zero.
+double log1p_over_x(double x) {
+  return std::abs(x) > 1e-8 ? std::log1p(x) / x : 1.0 - x / 2.0 + x * x / 3.0;
+}
+
+}  // namespace
+
+ZipfSampler::ZipfSampler(std::size_t n, double s) : n_(n), s_(s) {
+  if (n == 0) throw std::invalid_argument("ZipfSampler: n must be > 0");
+  if (s <= 0.0) throw std::invalid_argument("ZipfSampler: s must be > 0");
+  h_integral_x1_ = h_integral(1.5) - 1.0;
+  h_integral_n_ = h_integral(static_cast<double>(n) + 0.5);
+  sval_ = 2.0 - h_integral_inverse(h_integral(2.5) - h(2.0));
+}
+
+double ZipfSampler::h(double x) const { return std::exp(-s_ * std::log(x)); }
+
+double ZipfSampler::h_integral(double x) const {
+  const double log_x = std::log(x);
+  return expm1_over_x((1.0 - s_) * log_x) * log_x;
+}
+
+double ZipfSampler::h_integral_inverse(double x) const {
+  double t = x * (1.0 - s_);
+  if (t < -1.0) t = -1.0;  // guard rounding
+  return std::exp(log1p_over_x(t) * x);
+}
+
+std::size_t ZipfSampler::sample(Rng& rng) const {
+  while (true) {
+    const double u = h_integral_n_ + rng.uniform() * (h_integral_x1_ - h_integral_n_);
+    const double x = h_integral_inverse(u);
+    std::size_t k = static_cast<std::size_t>(x + 0.5);
+    k = std::clamp<std::size_t>(k, 1, n_);
+    const double kd = static_cast<double>(k);
+    if (kd - x <= sval_ || u >= h_integral(kd + 0.5) - h(kd)) {
+      return k;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Exponential / Weibull / Poisson
+// ---------------------------------------------------------------------------
+
+double ExponentialSampler::sample(Rng& rng) const {
+  // Inversion; 1 - uniform() avoids log(0).
+  return -mean_ * std::log(1.0 - rng.uniform());
+}
+
+Duration ExponentialSampler::interval(Rng& rng, Duration mean) {
+  const double d = -static_cast<double>(mean) * std::log(1.0 - rng.uniform());
+  return static_cast<Duration>(d);
+}
+
+double WeibullSampler::sample(Rng& rng) const {
+  const double u = 1.0 - rng.uniform();
+  return scale_ * std::pow(-std::log(u), 1.0 / shape_);
+}
+
+std::uint64_t poisson_sample(Rng& rng, double lambda) {
+  if (lambda <= 0.0) return 0;
+  if (lambda < 30.0) {
+    // Knuth's multiplicative method.
+    const double limit = std::exp(-lambda);
+    double product = rng.uniform();
+    std::uint64_t k = 0;
+    while (product > limit) {
+      ++k;
+      product *= rng.uniform();
+    }
+    return k;
+  }
+  // Normal approximation with continuity correction for large lambda.
+  const double u1 = 1.0 - rng.uniform();
+  const double u2 = rng.uniform();
+  const double z = std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+  const double v = lambda + z * std::sqrt(lambda) + 0.5;
+  return v < 0.0 ? 0 : static_cast<std::uint64_t>(v);
+}
+
+std::vector<std::size_t> weibull_partition(Rng& rng, std::size_t total, std::size_t bins,
+                                           double shape, double scale,
+                                           std::size_t min_per_bin) {
+  if (bins == 0) return {};
+  WeibullSampler w(shape, scale);
+  std::vector<double> weights(bins);
+  double sum = 0.0;
+  for (auto& wt : weights) {
+    wt = w.sample(rng) + 1e-12;
+    sum += wt;
+  }
+
+  const std::size_t reserved = std::min(total, min_per_bin * bins);
+  const std::size_t distributable = total - reserved;
+
+  std::vector<std::size_t> counts(bins, reserved / bins >= min_per_bin ? min_per_bin : reserved / bins);
+  // Largest-remainder apportionment of the distributable mass.
+  std::vector<double> exact(bins);
+  std::size_t assigned = 0;
+  for (std::size_t i = 0; i < bins; ++i) {
+    exact[i] = static_cast<double>(distributable) * weights[i] / sum;
+    counts[i] += static_cast<std::size_t>(exact[i]);
+    assigned += static_cast<std::size_t>(exact[i]);
+  }
+  std::vector<std::size_t> order(bins);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    const double fa = exact[a] - std::floor(exact[a]);
+    const double fb = exact[b] - std::floor(exact[b]);
+    return fa > fb;
+  });
+  for (std::size_t i = 0; assigned < distributable && i < bins; ++i, ++assigned) {
+    ++counts[order[i]];
+  }
+  return counts;
+}
+
+}  // namespace planetp

@@ -1,0 +1,82 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/time.hpp"
+
+/// \file distributions.hpp
+/// Samplers for the stochastic processes the PlanetP evaluation relies on:
+/// Zipf (term popularity), Weibull (documents per peer), Poisson processes
+/// (peer arrival / online-offline churn) and exponential inter-arrivals.
+
+namespace planetp {
+
+/// Zipf(s, n) sampler over ranks {1..n} with P(rank k) proportional to
+/// 1/k^s. Uses the rejection-inversion method of Hormann & Derflinger, which
+/// is O(1) per sample and exact, so it stays fast for vocabulary-sized n.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::size_t n, double s);
+
+  /// Draw a rank in [1, n].
+  std::size_t sample(Rng& rng) const;
+
+  std::size_t n() const { return n_; }
+  double s() const { return s_; }
+
+ private:
+  double h(double x) const;
+  double h_integral(double x) const;
+  double h_integral_inverse(double x) const;
+
+  std::size_t n_;
+  double s_;
+  double h_integral_x1_;
+  double h_integral_n_;
+  double sval_;
+};
+
+/// Exponential inter-arrival sampler with mean \p mean (a Poisson process).
+class ExponentialSampler {
+ public:
+  explicit ExponentialSampler(double mean) : mean_(mean) {}
+
+  double sample(Rng& rng) const;
+
+  /// Sample an inter-arrival duration given a mean duration.
+  static Duration interval(Rng& rng, Duration mean);
+
+ private:
+  double mean_;
+};
+
+/// Weibull(shape k, scale lambda) sampler via inversion.
+class WeibullSampler {
+ public:
+  WeibullSampler(double shape, double scale) : shape_(shape), scale_(scale) {}
+
+  double sample(Rng& rng) const;
+
+  double shape() const { return shape_; }
+  double scale() const { return scale_; }
+
+ private:
+  double shape_;
+  double scale_;
+};
+
+/// Draw a Poisson(lambda)-distributed count (Knuth for small lambda, normal
+/// approximation for large lambda).
+std::uint64_t poisson_sample(Rng& rng, double lambda);
+
+/// Partition \p total items across \p bins proportionally to Weibull(shape,
+/// scale) weights drawn per bin; every bin receives at least min_per_bin when
+/// total allows. This reproduces the paper's Weibull document placement.
+std::vector<std::size_t> weibull_partition(Rng& rng, std::size_t total, std::size_t bins,
+                                           double shape, double scale,
+                                           std::size_t min_per_bin = 0);
+
+}  // namespace planetp

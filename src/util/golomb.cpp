@@ -1,0 +1,104 @@
+#include "util/golomb.hpp"
+
+#include <bit>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/bitio.hpp"
+
+namespace planetp {
+
+namespace {
+
+/// Number of bits needed to represent values in [0, m).
+unsigned bits_for_remainder(std::uint64_t m) {
+  return m <= 1 ? 0 : static_cast<unsigned>(std::bit_width(m - 1));
+}
+
+/// Truncated-binary codes are prefix codes only when written MSB-first; the
+/// generic BitWriter/BitReader are LSB-first, so the remainder path uses
+/// these helpers.
+void write_msb(BitWriter& out, std::uint64_t value, unsigned nbits) {
+  for (unsigned i = nbits; i-- > 0;) out.write_bit((value >> i) & 1);
+}
+
+std::uint64_t read_msb(BitReader& in, unsigned nbits) {
+  std::uint64_t v = 0;
+  for (unsigned i = 0; i < nbits; ++i) v = (v << 1) | (in.read_bit() ? 1 : 0);
+  return v;
+}
+
+}  // namespace
+
+void golomb_encode(BitWriter& out, std::uint64_t value, std::uint64_t m) {
+  if (m == 0) throw std::invalid_argument("golomb_encode: m must be > 0");
+  const std::uint64_t q = value / m;
+  const std::uint64_t r = value % m;
+  out.write_unary(q);
+  if (m == 1) return;  // remainder always 0
+  // Truncated binary encoding of the remainder.
+  const unsigned b = bits_for_remainder(m);
+  const std::uint64_t cutoff = (std::uint64_t{1} << b) - m;
+  if (r < cutoff) {
+    write_msb(out, r, b - 1);
+  } else {
+    write_msb(out, r + cutoff, b);
+  }
+}
+
+std::uint64_t golomb_decode(BitReader& in, std::uint64_t m) {
+  if (m == 0) throw std::invalid_argument("golomb_decode: m must be > 0");
+  const std::uint64_t q = in.read_unary();
+  if (m == 1) return q;
+  const unsigned b = bits_for_remainder(m);
+  const std::uint64_t cutoff = (std::uint64_t{1} << b) - m;
+  std::uint64_t r = read_msb(in, b - 1);
+  if (r >= cutoff) {
+    r = (r << 1) | (in.read_bit() ? 1 : 0);
+    r -= cutoff;
+  }
+  return q * m + r;
+}
+
+std::uint64_t golomb_optimal_m(std::size_t set_bits, std::size_t total_bits) {
+  if (set_bits == 0 || total_bits == 0) return 1;
+  const double p = static_cast<double>(set_bits) / static_cast<double>(total_bits);
+  if (p >= 1.0) return 1;
+  // M = ceil(log(2 - p) / -log(1 - p)) ~= 0.69 / p for small p.
+  const double m = std::ceil(std::log(2.0 - p) / -std::log(1.0 - p));
+  return m < 1.0 ? 1 : static_cast<std::uint64_t>(m);
+}
+
+CompressedBits compress_bits(const BitVector& bits) {
+  CompressedBits c;
+  c.nbits = bits.size();
+  c.set_bits = bits.count();
+  c.m = golomb_optimal_m(c.set_bits, c.nbits);
+
+  BitWriter writer;
+  std::size_t prev = 0;
+  bool first = true;
+  bits.for_each_set([&](std::size_t idx) {
+    const std::uint64_t gap = first ? idx : idx - prev - 1;
+    golomb_encode(writer, gap, c.m);
+    prev = idx;
+    first = false;
+  });
+  c.payload = writer.take();
+  return c;
+}
+
+BitVector decompress_bits(const CompressedBits& c) {
+  BitVector bits(static_cast<std::size_t>(c.nbits));
+  BitReader reader(c.payload);
+  std::size_t pos = 0;
+  for (std::uint64_t i = 0; i < c.set_bits; ++i) {
+    const std::uint64_t gap = golomb_decode(reader, c.m);
+    pos = (i == 0) ? gap : pos + gap + 1;
+    if (pos >= c.nbits) throw std::out_of_range("decompress_bits: corrupt stream");
+    bits.set(pos);
+  }
+  return bits;
+}
+
+}  // namespace planetp

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/bitio.hpp"
+#include "util/bitvector.hpp"
+
+/// \file golomb.hpp
+/// Golomb run-length compression of sparse bit vectors.
+///
+/// PlanetP gossips fixed-size (50 KB) Bloom filters; because filters are
+/// sparse, the paper compresses them with a run-length scheme whose run
+/// lengths are Golomb-coded (Golomb, 1966), which it found outperformed gzip
+/// for this workload. We encode the gaps between consecutive set bits: for a
+/// filter with density p, gaps are geometrically distributed and the optimal
+/// Golomb parameter is M ~= 0.69/p (Witten, Moffat & Bell, "Managing
+/// Gigabytes").
+
+namespace planetp {
+
+/// Encode a single non-negative integer with Golomb parameter \p m (> 0).
+void golomb_encode(BitWriter& out, std::uint64_t value, std::uint64_t m);
+
+/// Decode a single value previously written by golomb_encode with the same m.
+std::uint64_t golomb_decode(BitReader& in, std::uint64_t m);
+
+/// Compute the near-optimal Golomb parameter for gap coding a bit vector
+/// with \p set_bits ones out of \p total_bits. Returns at least 1.
+std::uint64_t golomb_optimal_m(std::size_t set_bits, std::size_t total_bits);
+
+/// Compressed form of a bit vector: header (size, #set bits, parameter m)
+/// plus Golomb-coded gaps. Decompression restores the exact vector.
+struct CompressedBits {
+  std::uint64_t nbits = 0;      ///< logical size of the original vector
+  std::uint64_t set_bits = 0;   ///< number of ones
+  std::uint64_t m = 1;          ///< Golomb parameter used
+  std::vector<std::uint8_t> payload;  ///< Golomb-coded gap stream
+
+  /// Total serialized size in bytes (payload + fixed header fields).
+  std::size_t byte_size() const { return payload.size() + 3 * sizeof(std::uint64_t); }
+};
+
+/// Compress \p bits with gap + Golomb coding.
+CompressedBits compress_bits(const BitVector& bits);
+
+/// Exact inverse of compress_bits.
+BitVector decompress_bits(const CompressedBits& c);
+
+}  // namespace planetp

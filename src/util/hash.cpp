@@ -1,0 +1,71 @@
+#include "util/hash.hpp"
+
+#include <cstring>
+
+namespace planetp {
+
+std::uint64_t fnv1a64(std::string_view data) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : data) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+namespace {
+
+std::uint64_t load64(const char* p) {
+  std::uint64_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+}  // namespace
+
+std::uint64_t murmur64(std::string_view data, std::uint64_t seed) {
+  // MurmurHash64A (Austin Appleby), public domain.
+  const std::uint64_t m = 0xc6a4a7935bd1e995ULL;
+  const int r = 47;
+  std::uint64_t h = seed ^ (data.size() * m);
+
+  const char* p = data.data();
+  const char* end = p + (data.size() / 8) * 8;
+  while (p != end) {
+    std::uint64_t k = load64(p);
+    p += 8;
+    k *= m;
+    k ^= k >> r;
+    k *= m;
+    h ^= k;
+    h *= m;
+  }
+
+  const unsigned char* tail = reinterpret_cast<const unsigned char*>(p);
+  switch (data.size() & 7) {
+    case 7: h ^= static_cast<std::uint64_t>(tail[6]) << 48; [[fallthrough]];
+    case 6: h ^= static_cast<std::uint64_t>(tail[5]) << 40; [[fallthrough]];
+    case 5: h ^= static_cast<std::uint64_t>(tail[4]) << 32; [[fallthrough]];
+    case 4: h ^= static_cast<std::uint64_t>(tail[3]) << 24; [[fallthrough]];
+    case 3: h ^= static_cast<std::uint64_t>(tail[2]) << 16; [[fallthrough]];
+    case 2: h ^= static_cast<std::uint64_t>(tail[1]) << 8; [[fallthrough]];
+    case 1: h ^= static_cast<std::uint64_t>(tail[0]); h *= m;
+  }
+
+  h ^= h >> r;
+  h *= m;
+  h ^= h >> r;
+  return h;
+}
+
+HashPair hash_pair(std::string_view term) {
+  HashPair hp;
+  hp.h1 = fnv1a64(term);
+  hp.h2 = murmur64(term);
+  // h2 must be odd so that double-hashed probe sequences cover power-of-two
+  // tables; harmless for other moduli.
+  hp.h2 |= 1;
+  return hp;
+}
+
+}  // namespace planetp

@@ -1,0 +1,45 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+/// \file hash.hpp
+/// Hash primitives used across PlanetP: FNV-1a and MurmurHash3-style 64-bit
+/// hashing for strings, splitmix64 for integer mixing, and the double-hashing
+/// scheme (Kirsch & Mitzenmacher) used by the Bloom filter to derive k
+/// indices from two base hashes.
+
+namespace planetp {
+
+/// 64-bit FNV-1a over an arbitrary byte string.
+std::uint64_t fnv1a64(std::string_view data);
+
+/// 64-bit MurmurHash3 finalizer-based hash over an arbitrary byte string.
+/// Independent from fnv1a64 so the pair can seed double hashing.
+std::uint64_t murmur64(std::string_view data, std::uint64_t seed = 0x9747b28c);
+
+/// splitmix64 integer mixer; good avalanche, used for seeding RNG streams
+/// and mixing integer keys.
+constexpr std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Pair of independent 64-bit hashes of one key; the basis for simulating
+/// any number of hash functions via double hashing:
+///   g_i(x) = h1(x) + i * h2(x)   (Kirsch & Mitzenmacher, 2006)
+struct HashPair {
+  std::uint64_t h1 = 0;
+  std::uint64_t h2 = 0;
+
+  /// i-th derived hash value.
+  constexpr std::uint64_t ith(std::uint32_t i) const { return h1 + static_cast<std::uint64_t>(i) * h2; }
+};
+
+/// Compute the double-hashing pair for a term.
+HashPair hash_pair(std::string_view term);
+
+}  // namespace planetp

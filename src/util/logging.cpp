@@ -1,0 +1,20 @@
+#include "util/logging.hpp"
+
+#include <cstdio>
+
+namespace planetp {
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::log(LogLevel level, std::string_view component, std::string_view message) {
+  static constexpr const char* kTags[] = {"DEBUG", "INFO", "WARN", "ERROR", "OFF"};
+  const char* tag = kTags[static_cast<int>(level)];
+  std::lock_guard<std::mutex> lock(mu_);
+  std::fprintf(stderr, "[%s] %.*s: %.*s\n", tag, static_cast<int>(component.size()),
+               component.data(), static_cast<int>(message.size()), message.data());
+}
+
+}  // namespace planetp

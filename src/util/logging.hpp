@@ -1,0 +1,57 @@
+#pragma once
+
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+/// \file logging.hpp
+/// Small leveled logger. Thread-safe; the live TCP runtime logs from reactor
+/// and timer threads concurrently. Defaults to warnings-only so benchmarks
+/// stay quiet.
+
+namespace planetp {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+class Logger {
+ public:
+  static Logger& instance();
+
+  void set_level(LogLevel level) { level_ = level; }
+  LogLevel level() const { return level_; }
+
+  bool enabled(LogLevel level) const { return level >= level_; }
+
+  /// Write one line; includes the level tag and component name.
+  void log(LogLevel level, std::string_view component, std::string_view message);
+
+ private:
+  Logger() = default;
+  LogLevel level_ = LogLevel::kWarn;
+  std::mutex mu_;
+};
+
+namespace detail {
+template <typename... Args>
+std::string format_parts(Args&&... args) {
+  std::ostringstream os;
+  (os << ... << args);
+  return os.str();
+}
+}  // namespace detail
+
+#define PLANETP_LOG(level, component, ...)                                          \
+  do {                                                                              \
+    if (::planetp::Logger::instance().enabled(level)) {                             \
+      ::planetp::Logger::instance().log(                                            \
+          level, component, ::planetp::detail::format_parts(__VA_ARGS__));          \
+    }                                                                               \
+  } while (0)
+
+#define PLOG_DEBUG(component, ...) PLANETP_LOG(::planetp::LogLevel::kDebug, component, __VA_ARGS__)
+#define PLOG_INFO(component, ...) PLANETP_LOG(::planetp::LogLevel::kInfo, component, __VA_ARGS__)
+#define PLOG_WARN(component, ...) PLANETP_LOG(::planetp::LogLevel::kWarn, component, __VA_ARGS__)
+#define PLOG_ERROR(component, ...) PLANETP_LOG(::planetp::LogLevel::kError, component, __VA_ARGS__)
+
+}  // namespace planetp

@@ -1,0 +1,90 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "util/hash.hpp"
+
+/// \file rng.hpp
+/// Deterministic random number generation. PlanetP experiments must be
+/// reproducible, so every stochastic component takes an explicit Rng seeded
+/// from the experiment seed — never global state.
+
+namespace planetp {
+
+/// xoshiro256** 1.0 (Blackman & Vigna). Fast, high-quality, and each instance
+/// is independent: suitable for giving every simulated peer its own stream.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x853c49e6748fea9bULL) { reseed(seed); }
+
+  /// Re-initialize the state from a single 64-bit seed via splitmix64.
+  void reseed(std::uint64_t seed) {
+    for (auto& word : s_) {
+      seed = splitmix64(seed);
+      word = seed;
+    }
+    // All-zero state is invalid for xoshiro; splitmix64 of anything cannot
+    // produce four zero words in a row, but guard anyway.
+    if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return std::numeric_limits<result_type>::max(); }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, n). n must be > 0.
+  std::uint64_t below(std::uint64_t n) {
+    // Lemire's nearly-divisionless bounded generation.
+    std::uint64_t x = (*this)();
+    __uint128_t m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(n);
+    std::uint64_t l = static_cast<std::uint64_t>(m);
+    if (l < n) {
+      std::uint64_t t = (0 - n) % n;
+      while (l < t) {
+        x = (*this)();
+        m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(n);
+        l = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Bernoulli trial with probability p of returning true.
+  bool chance(double p) { return uniform() < p; }
+
+  /// Derive an independent child stream (e.g. one per simulated peer).
+  Rng fork(std::uint64_t stream_id) {
+    return Rng(splitmix64(s_[0] ^ splitmix64(stream_id)));
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t s_[4];
+};
+
+}  // namespace planetp

@@ -1,0 +1,94 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+/// \file stats.hpp
+/// Summary statistics, percentiles, CDFs and least-squares fits used by the
+/// benchmark harnesses to report experiment results in the paper's terms.
+
+namespace planetp {
+
+/// Online mean/variance/min/max accumulator (Welford's algorithm).
+class RunningStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const;  ///< sample variance (n-1 denominator)
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Collects raw samples for percentile queries and CDF export.
+class SampleSet {
+ public:
+  void add(double x) { samples_.push_back(x); }
+  void reserve(std::size_t n) { samples_.reserve(n); }
+
+  std::size_t size() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+
+  /// Percentile in [0, 100], linear interpolation between order statistics.
+  double percentile(double pct) const;
+
+  double mean() const;
+  double min() const;
+  double max() const;
+
+  /// Return (value, cumulative fraction) pairs at \p points evenly spaced
+  /// quantiles — the series plotted by the paper's CDF figures.
+  std::vector<std::pair<double, double>> cdf(std::size_t points = 100) const;
+
+  const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+
+  void ensure_sorted() const;
+};
+
+/// Least-squares fit y = a + b*x; reproduces Table 1's "fixed overhead plus
+/// marginal per-key cost" models.
+struct LinearFit {
+  double intercept = 0.0;  ///< a
+  double slope = 0.0;      ///< b
+  double r2 = 0.0;         ///< coefficient of determination
+};
+
+LinearFit fit_linear(const std::vector<double>& x, const std::vector<double>& y);
+
+/// Fixed-width histogram over [lo, hi) with \p buckets buckets; out-of-range
+/// samples clamp to the edge buckets.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t buckets);
+
+  void add(double x);
+  std::size_t total() const { return total_; }
+  const std::vector<std::size_t>& buckets() const { return counts_; }
+  double bucket_low(std::size_t i) const;
+
+  /// Render as "low..high: count" lines for reports.
+  std::string to_string() const;
+
+ private:
+  double lo_, hi_, width_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace planetp

@@ -1,0 +1,29 @@
+#pragma once
+
+#include <cstdint>
+
+namespace planetp {
+
+/// Simulation / protocol time. All PlanetP components express time as
+/// microseconds since an arbitrary epoch so that the discrete-event simulator
+/// and the live runtime share one representation.
+using TimePoint = std::int64_t;  ///< microseconds since epoch
+using Duration = std::int64_t;   ///< microseconds
+
+inline constexpr Duration kMicrosecond = 1;
+inline constexpr Duration kMillisecond = 1000;
+inline constexpr Duration kSecond = 1'000'000;
+inline constexpr Duration kMinute = 60 * kSecond;
+inline constexpr Duration kHour = 60 * kMinute;
+
+/// Convert a duration in (possibly fractional) seconds to microseconds.
+constexpr Duration seconds(double s) {
+  return static_cast<Duration>(s * static_cast<double>(kSecond));
+}
+
+/// Convert a microsecond duration to fractional seconds (for reporting).
+constexpr double to_seconds(Duration d) {
+  return static_cast<double>(d) / static_cast<double>(kSecond);
+}
+
+}  // namespace planetp

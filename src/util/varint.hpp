@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+/// \file varint.hpp
+/// LEB128 variable-length integers for compact message encoding.
+
+namespace planetp {
+
+/// Append \p v to \p out as unsigned LEB128 (1-10 bytes).
+inline void put_varint(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+/// Decode an unsigned LEB128 integer starting at \p pos; advances pos.
+inline std::uint64_t get_varint(const std::uint8_t* data, std::size_t size, std::size_t& pos) {
+  std::uint64_t v = 0;
+  unsigned shift = 0;
+  while (true) {
+    if (pos >= size) throw std::out_of_range("get_varint: truncated");
+    const std::uint8_t b = data[pos++];
+    if (shift >= 63 && (b & 0x7e) != 0) throw std::overflow_error("get_varint: overflow");
+    v |= static_cast<std::uint64_t>(b & 0x7f) << shift;
+    if ((b & 0x80) == 0) return v;
+    shift += 7;
+  }
+}
+
+/// ZigZag mapping so small negative numbers stay short.
+inline std::uint64_t zigzag_encode(std::int64_t v) {
+  return (static_cast<std::uint64_t>(v) << 1) ^ static_cast<std::uint64_t>(v >> 63);
+}
+
+inline std::int64_t zigzag_decode(std::uint64_t v) {
+  return static_cast<std::int64_t>((v >> 1) ^ (~(v & 1) + 1));
+}
+
+}  // namespace planetp

@@ -1,0 +1,155 @@
+/// Focused tests for the bandwidth-aware two-class gossiping of §7.2 and its
+/// interaction with target selection, plus scenario-level checks that the
+/// class split behaves as specified.
+
+#include <gtest/gtest.h>
+
+#include "gossip/protocol.hpp"
+#include "sim/scenarios.hpp"
+
+namespace planetp::gossip {
+namespace {
+
+GossipConfig aware_config() {
+  GossipConfig cfg;
+  cfg.bandwidth_aware = true;
+  return cfg;
+}
+
+/// Build a protocol with one fast and one slow neighbour.
+Protocol make_peer(PeerId self, LinkClass self_class, GossipConfig cfg) {
+  Protocol p(self, cfg, Rng(self * 101 + 7));
+  p.quiet_start("self", self_class, 0, {});
+  PeerRecord fast;
+  fast.id = 100;
+  fast.version = 1;
+  fast.address = "fast";
+  fast.link_class = LinkClass::kFast;
+  PeerRecord slow;
+  slow.id = 200;
+  slow.version = 1;
+  slow.address = "slow";
+  slow.link_class = LinkClass::kSlow;
+  p.directory().apply(fast);
+  p.directory().apply(slow);
+  return p;
+}
+
+TEST(BandwidthAware, FastPeerAntiEntropyAlwaysTargetsFast) {
+  // "When performing anti-entropy, a fast peer always chooses another fast
+  // peer."
+  Protocol p = make_peer(1, LinkClass::kFast, aware_config());
+  for (int i = 0; i < 40; ++i) {
+    const auto batch = p.on_round(0);  // no hot rumors: every round is AE
+    for (const auto& out : batch) {
+      ASSERT_TRUE(std::holds_alternative<SummaryRequestMsg>(out.msg));
+      EXPECT_EQ(out.to, 100u);
+    }
+  }
+}
+
+TEST(BandwidthAware, SlowPeerAntiEntropyUsesAnyone) {
+  // "When performing anti-entropy, a slow peer chooses any node with equal
+  // probability."
+  Protocol p = make_peer(1, LinkClass::kSlow, aware_config());
+  std::set<PeerId> targets;
+  for (int i = 0; i < 60; ++i) {
+    for (const auto& out : p.on_round(0)) targets.insert(out.to);
+  }
+  EXPECT_TRUE(targets.contains(100u));
+  EXPECT_TRUE(targets.contains(200u));
+}
+
+TEST(BandwidthAware, SlowOriginatorRumorsToFastFirst) {
+  // "a slow peer always chooses another slow guy ... unless it is the
+  // source of the rumor; in this case, it chooses a fast peer."
+  GossipConfig cfg = aware_config();
+  Protocol p = make_peer(1, LinkClass::kSlow, cfg);
+  p.local_filter_change(10, 10, {}, {}, 0);
+  bool saw_rumor = false;
+  for (int i = 0; i < 20; ++i) {
+    for (const auto& out : p.on_round(0)) {
+      if (std::holds_alternative<RumorMsg>(out.msg)) {
+        saw_rumor = true;
+        EXPECT_EQ(out.to, 100u);  // fast target for locally originated rumor
+      }
+    }
+  }
+  EXPECT_TRUE(saw_rumor);
+}
+
+TEST(BandwidthAware, SlowRelayRumorsToSlowPeers) {
+  // A slow peer relaying someone else's rumor must pick slow targets, so it
+  // cannot impede fast peers.
+  GossipConfig cfg = aware_config();
+  Protocol p = make_peer(1, LinkClass::kSlow, cfg);
+  RumorMsg incoming;
+  RumorPayload payload;
+  payload.origin = 100;
+  payload.version = 2;
+  payload.address = "fast";
+  payload.link_class = LinkClass::kFast;
+  incoming.rumors.push_back(std::move(payload));
+  p.on_message(0, 100, incoming);
+  ASSERT_EQ(p.hot_rumor_count(), 1u);
+
+  for (int i = 0; i < 20; ++i) {
+    for (const auto& out : p.on_round(0)) {
+      if (std::holds_alternative<RumorMsg>(out.msg)) {
+        EXPECT_EQ(out.to, 200u);  // slow target for relayed rumor
+      }
+    }
+  }
+}
+
+TEST(BandwidthAware, FlatSelectionWhenDisabled) {
+  GossipConfig cfg;  // bandwidth_aware = false
+  Protocol p = make_peer(1, LinkClass::kFast, cfg);
+  std::set<PeerId> targets;
+  for (int i = 0; i < 60; ++i) {
+    for (const auto& out : p.on_round(0)) targets.insert(out.to);
+  }
+  EXPECT_EQ(targets.size(), 2u);  // both classes reachable
+}
+
+}  // namespace
+}  // namespace planetp::gossip
+
+namespace planetp::sim {
+namespace {
+
+TEST(BandwidthAwareScenario, MixFastEventsConvergeFasterThanAll) {
+  DynamicOptions o;
+  o.members = 120;
+  o.profile = BandwidthProfile::kMix;
+  o.bandwidth_aware = true;
+  o.warmup = 5 * kMinute;
+  o.duration = 90 * kMinute;
+  o.mean_online = 30 * kMinute;
+  o.mean_offline = 45 * kMinute;
+  o.seed = 99;
+  const auto r = run_dynamic(o);
+  ASSERT_GT(r.fast_only.converged, 0u);
+  ASSERT_GT(r.all.converged, 0u);
+  // Fast-origin events judged on fast peers only cannot be slower on
+  // average than full convergence over everyone.
+  EXPECT_LE(r.fast_only.p50, r.all.p50 * 1.5);
+}
+
+TEST(BandwidthAwareScenario, ResultFieldsArePopulated) {
+  DynamicOptions o;
+  o.members = 60;
+  o.profile = BandwidthProfile::kMix;
+  o.bandwidth_aware = true;
+  o.warmup = 2 * kMinute;
+  o.duration = 30 * kMinute;
+  o.mean_online = 15 * kMinute;
+  o.mean_offline = 20 * kMinute;
+  const auto r = run_dynamic(o);
+  EXPECT_EQ(r.fast_only.events + r.slow_only.events, r.all.events);
+  EXPECT_FALSE(r.bandwidth_series.empty());
+  EXPECT_GT(r.total_bytes, 0u);
+}
+
+}  // namespace
+}  // namespace planetp::sim

@@ -1,0 +1,192 @@
+#include "bloom/bloom_filter.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "bloom/counting_bloom.hpp"
+#include "util/rng.hpp"
+
+namespace planetp::bloom {
+namespace {
+
+std::vector<std::string> make_terms(std::size_t n, std::uint64_t seed) {
+  std::vector<std::string> terms;
+  terms.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    terms.push_back("term_" + std::to_string(seed) + "_" + std::to_string(i));
+  }
+  return terms;
+}
+
+TEST(BloomFilter, NoFalseNegatives) {
+  BloomFilter filter;
+  const auto terms = make_terms(5000, 1);
+  for (const auto& t : terms) filter.insert(t);
+  for (const auto& t : terms) EXPECT_TRUE(filter.contains(t)) << t;
+}
+
+TEST(BloomFilter, EmptyContainsNothing) {
+  BloomFilter filter;
+  for (const auto& t : make_terms(100, 2)) EXPECT_FALSE(filter.contains(t));
+}
+
+class BloomFprSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BloomFprSweep, FalsePositiveRateNearTheory) {
+  const std::size_t n = GetParam();
+  BloomFilter filter;  // the paper's 50 KB / 2 hash geometry
+  for (const auto& t : make_terms(n, 3)) filter.insert(t);
+
+  const auto probes = make_terms(20000, 999);  // disjoint from inserted set
+  std::size_t hits = 0;
+  for (const auto& t : probes) hits += filter.contains(t) ? 1 : 0;
+  const double measured = static_cast<double>(hits) / static_cast<double>(probes.size());
+  const double predicted = filter.params().false_positive_rate(n);
+  EXPECT_NEAR(measured, predicted, std::max(0.01, predicted * 0.5))
+      << "n=" << n << " predicted=" << predicted;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BloomFprSweep,
+                         ::testing::Values(1000, 10000, 25000, 50000));
+
+TEST(BloomFilter, PaperGeometryMeetsFivePercentAt50kTerms) {
+  // §7.1: "The chosen size let us summarize up to 50,000 terms with less
+  // than 5% error."
+  BloomParams params;  // 50 KB, 2 hashes
+  EXPECT_LT(params.false_positive_rate(50'000), 0.05);
+}
+
+TEST(BloomFilter, ForCapacityMeetsTarget) {
+  const BloomParams p = BloomParams::for_capacity(10'000, 0.01, 2);
+  EXPECT_LE(p.false_positive_rate(10'000), 0.0101);
+  // And is not grossly oversized: 2x fewer bits must violate the target.
+  BloomParams half = p;
+  half.bits /= 2;
+  EXPECT_GT(half.false_positive_rate(10'000), 0.01);
+}
+
+TEST(BloomFilter, ForCapacityRejectsBadFpr) {
+  EXPECT_THROW(BloomParams::for_capacity(10, 0.0), std::invalid_argument);
+  EXPECT_THROW(BloomParams::for_capacity(10, 1.0), std::invalid_argument);
+}
+
+TEST(BloomFilter, EstimatedCardinality) {
+  BloomFilter filter;
+  const std::size_t n = 10'000;
+  for (const auto& t : make_terms(n, 4)) filter.insert(t);
+  const double est = filter.estimated_cardinality();
+  EXPECT_NEAR(est, static_cast<double>(n), static_cast<double>(n) * 0.05);
+}
+
+TEST(BloomFilter, MergeIsUnion) {
+  BloomFilter a, b;
+  const auto ta = make_terms(500, 5);
+  const auto tb = make_terms(500, 6);
+  for (const auto& t : ta) a.insert(t);
+  for (const auto& t : tb) b.insert(t);
+  a.merge(b);
+  for (const auto& t : ta) EXPECT_TRUE(a.contains(t));
+  for (const auto& t : tb) EXPECT_TRUE(a.contains(t));
+}
+
+TEST(BloomFilter, MergeGeometryMismatchThrows) {
+  BloomFilter a(BloomParams{1024, 2});
+  BloomFilter b(BloomParams{2048, 2});
+  EXPECT_THROW(a.merge(b), std::invalid_argument);
+}
+
+TEST(BloomFilter, DiffAndApplyRestoresExactly) {
+  BloomFilter base, updated;
+  for (const auto& t : make_terms(1000, 7)) {
+    base.insert(t);
+    updated.insert(t);
+  }
+  for (const auto& t : make_terms(200, 8)) updated.insert(t);
+
+  const BitVector diff = updated.diff_from(base);
+  BloomFilter restored = base;
+  restored.apply_diff(diff);
+  EXPECT_EQ(restored, updated);
+}
+
+TEST(BloomFilter, DiffOfIdenticalFiltersIsEmpty) {
+  BloomFilter a, b;
+  for (const auto& t : make_terms(100, 9)) {
+    a.insert(t);
+    b.insert(t);
+  }
+  EXPECT_EQ(a.diff_from(b).count(), 0u);
+}
+
+TEST(BloomFilter, DiffSizeScalesWithChange) {
+  BloomFilter base;
+  for (const auto& t : make_terms(10'000, 10)) base.insert(t);
+  BloomFilter updated = base;
+  for (const auto& t : make_terms(100, 11)) updated.insert(t);
+  // ~100 new terms with 2 hashes: at most 200 changed bits.
+  EXPECT_LE(updated.diff_from(base).count(), 200u);
+}
+
+TEST(BloomFilter, ZeroGeometryThrows) {
+  EXPECT_THROW(BloomFilter(BloomParams{0, 2}), std::invalid_argument);
+  EXPECT_THROW(BloomFilter(BloomParams{100, 0}), std::invalid_argument);
+}
+
+TEST(CountingBloom, InsertRemoveRoundtrip) {
+  CountingBloomFilter cbf(BloomParams{65536, 2});
+  cbf.insert("alpha");
+  cbf.insert("beta");
+  EXPECT_TRUE(cbf.contains("alpha"));
+  cbf.remove("alpha");
+  EXPECT_FALSE(cbf.contains("alpha"));
+  EXPECT_TRUE(cbf.contains("beta"));
+}
+
+TEST(CountingBloom, MultiplicityRespected) {
+  CountingBloomFilter cbf(BloomParams{65536, 2});
+  cbf.insert("x");
+  cbf.insert("x");
+  cbf.remove("x");
+  EXPECT_TRUE(cbf.contains("x"));  // one reference left
+  cbf.remove("x");
+  EXPECT_FALSE(cbf.contains("x"));
+}
+
+TEST(CountingBloom, ProjectionMatchesMembership) {
+  CountingBloomFilter cbf;
+  const auto terms = make_terms(2000, 12);
+  for (const auto& t : terms) cbf.insert(t);
+  const BloomFilter bf = cbf.to_bloom_filter();
+  for (const auto& t : terms) EXPECT_TRUE(bf.contains(t));
+  // Remove half; the projection must forget them (no other term shares
+  // their slots with overwhelming probability at this density).
+  for (std::size_t i = 0; i < 1000; ++i) cbf.remove(terms[i]);
+  const BloomFilter after = cbf.to_bloom_filter();
+  std::size_t still = 0;
+  for (std::size_t i = 0; i < 1000; ++i) still += after.contains(terms[i]) ? 1 : 0;
+  EXPECT_LT(still, 50u);  // a few slot collisions are acceptable
+  for (std::size_t i = 1000; i < 2000; ++i) EXPECT_TRUE(after.contains(terms[i]));
+}
+
+TEST(CountingBloom, SaturationNeverUnderflows) {
+  CountingBloomFilter cbf(BloomParams{1024, 2});
+  // Saturate a term's counters.
+  for (int i = 0; i < 300; ++i) cbf.insert("hot");
+  // Removing more times than the (saturated) counter can track must keep the
+  // term present: saturated counters are pinned.
+  for (int i = 0; i < 1000; ++i) cbf.remove("hot");
+  EXPECT_TRUE(cbf.contains("hot"));
+}
+
+TEST(CountingBloom, NonzeroCount) {
+  CountingBloomFilter cbf(BloomParams{65536, 2});
+  EXPECT_EQ(cbf.nonzero_count(), 0u);
+  cbf.insert("one");
+  EXPECT_GT(cbf.nonzero_count(), 0u);
+  EXPECT_LE(cbf.nonzero_count(), 2u);
+}
+
+}  // namespace
+}  // namespace planetp::bloom

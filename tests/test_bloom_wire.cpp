@@ -1,0 +1,100 @@
+#include "bloom/wire.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace planetp::bloom {
+namespace {
+
+BloomFilter filter_with_terms(std::size_t n, std::uint64_t seed) {
+  BloomFilter f;
+  for (std::size_t i = 0; i < n; ++i) {
+    f.insert("w" + std::to_string(seed) + "_" + std::to_string(i));
+  }
+  return f;
+}
+
+TEST(BloomWire, FilterRoundtrip) {
+  const BloomFilter original = filter_with_terms(5000, 1);
+  ByteWriter w;
+  encode_filter(w, original);
+  const auto buf = w.take();
+  ByteReader r(buf);
+  const BloomFilter decoded = decode_filter(r);
+  EXPECT_EQ(decoded, original);
+  EXPECT_TRUE(r.done());
+}
+
+TEST(BloomWire, EmptyFilterRoundtrip) {
+  const BloomFilter original;
+  ByteWriter w;
+  encode_filter(w, original);
+  const auto buf = w.take();
+  ByteReader r(buf);
+  EXPECT_EQ(decode_filter(r), original);
+}
+
+class WireSizeSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(WireSizeSweep, CompressedSizeTracksTable2) {
+  // Table 2 prices a 1000-key filter at 3000 bytes and a 20000-key filter at
+  // 16000 bytes on the wire. Our Golomb coder should land within 2x of
+  // those anchors for the same 50 KB filter geometry.
+  const std::size_t keys = GetParam();
+  const BloomFilter f = filter_with_terms(keys, 2);
+  const std::size_t size = encoded_filter_size(f);
+  const double expected = 2315.8 + 0.6842 * static_cast<double>(keys);
+  EXPECT_LT(static_cast<double>(size), expected * 2.0) << keys;
+  EXPECT_GT(static_cast<double>(size), expected * 0.4) << keys;
+}
+
+INSTANTIATE_TEST_SUITE_P(Keys, WireSizeSweep, ::testing::Values(1000, 5000, 20000));
+
+TEST(BloomWire, EncodedSizeMatchesActualEncoding) {
+  const BloomFilter f = filter_with_terms(3000, 3);
+  ByteWriter w;
+  encode_filter(w, f);
+  EXPECT_EQ(encoded_filter_size(f), w.size());
+}
+
+TEST(BloomWire, DiffRoundtrip) {
+  const BloomFilter base = filter_with_terms(2000, 4);
+  BloomFilter updated = base;
+  for (int i = 0; i < 100; ++i) updated.insert("new_" + std::to_string(i));
+
+  const BitVector diff = updated.diff_from(base);
+  ByteWriter w;
+  encode_diff(w, diff);
+  const auto buf = w.take();
+  ByteReader r(buf);
+  const BitVector decoded = decode_diff(r);
+  EXPECT_EQ(decoded, diff);
+
+  BloomFilter restored = base;
+  restored.apply_diff(decoded);
+  EXPECT_EQ(restored, updated);
+}
+
+TEST(BloomWire, DiffIsMuchSmallerThanFullFilter) {
+  // §7.2: "PlanetP sends diffs of the Bloom filters to save bandwidth."
+  const BloomFilter base = filter_with_terms(20000, 5);
+  BloomFilter updated = base;
+  for (int i = 0; i < 50; ++i) updated.insert("delta_" + std::to_string(i));
+  const std::size_t diff_size = encoded_diff_size(updated.diff_from(base));
+  const std::size_t full_size = encoded_filter_size(updated);
+  EXPECT_LT(diff_size * 5, full_size);
+}
+
+TEST(BloomWire, TruncatedInputThrows) {
+  const BloomFilter f = filter_with_terms(1000, 6);
+  ByteWriter w;
+  encode_filter(w, f);
+  auto buf = w.take();
+  buf.resize(buf.size() / 2);
+  ByteReader r(buf);
+  EXPECT_THROW(decode_filter(r), std::exception);
+}
+
+}  // namespace
+}  // namespace planetp::bloom

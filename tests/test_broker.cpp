@@ -1,0 +1,284 @@
+#include <gtest/gtest.h>
+
+#include "broker/broker_network.hpp"
+#include "broker/hash_ring.hpp"
+#include "broker/snippet_store.hpp"
+
+namespace planetp::broker {
+namespace {
+
+TEST(HashRing, EmptyRingHasNoOwner) {
+  HashRing ring;
+  EXPECT_FALSE(ring.responsible_for("key").has_value());
+  EXPECT_TRUE(ring.empty());
+}
+
+TEST(HashRing, SingleNodeOwnsEverything) {
+  HashRing ring;
+  ring.add(7, 1000);
+  for (const char* key : {"a", "b", "zzz", "gossip"}) {
+    EXPECT_EQ(ring.responsible_for(key), 7u);
+  }
+}
+
+TEST(HashRing, SuccessorSemantics) {
+  HashRing ring(1000);
+  ring.add(1, 100);
+  ring.add(2, 500);
+  ring.add(3, 900);
+  EXPECT_EQ(ring.successor_of(50), 1u);
+  EXPECT_EQ(ring.successor_of(100), 1u);   // least successor includes equality
+  EXPECT_EQ(ring.successor_of(101), 2u);
+  EXPECT_EQ(ring.successor_of(501), 3u);
+  EXPECT_EQ(ring.successor_of(950), 1u);   // wraps around
+}
+
+TEST(HashRing, DuplicatePositionRejected) {
+  HashRing ring;
+  EXPECT_TRUE(ring.add(1, 42));
+  EXPECT_FALSE(ring.add(2, 42));
+  EXPECT_FALSE(ring.add(1, 43));  // node already present
+}
+
+TEST(HashRing, RemoveTransfersOwnership) {
+  HashRing ring(1000);
+  ring.add(1, 100);
+  ring.add(2, 500);
+  EXPECT_EQ(ring.successor_of(300), 2u);
+  ring.remove(2);
+  EXPECT_EQ(ring.successor_of(300), 1u);  // wraps to the only node
+}
+
+TEST(HashRing, SuccessorNode) {
+  HashRing ring(1000);
+  ring.add(1, 100);
+  ring.add(2, 500);
+  ring.add(3, 900);
+  EXPECT_EQ(ring.successor_node(1), 2u);
+  EXPECT_EQ(ring.successor_node(3), 1u);  // wrap
+  ring.remove(2);
+  ring.remove(3);
+  EXPECT_FALSE(ring.successor_node(1).has_value());  // alone
+}
+
+TEST(HashRing, AddByHashBalancesKeys) {
+  HashRing ring;
+  const std::size_t nodes = 50;
+  for (NodeId n = 0; n < nodes; ++n) ring.add_by_hash(n);
+
+  std::unordered_map<NodeId, std::size_t> load;
+  const std::size_t keys = 20000;
+  for (std::size_t i = 0; i < keys; ++i) {
+    const auto owner = ring.responsible_for("key" + std::to_string(i));
+    ASSERT_TRUE(owner.has_value());
+    ++load[*owner];
+  }
+  // Plain consistent hashing without virtual nodes is unbalanced but every
+  // node should own a nonempty, non-majority share in aggregate terms.
+  std::size_t max_load = 0;
+  for (const auto& [node, count] : load) max_load = std::max(max_load, count);
+  EXPECT_GT(load.size(), nodes / 2);      // most nodes own something
+  EXPECT_LT(max_load, keys / 2);          // nobody owns half the space
+}
+
+TEST(SnippetStore, PutGetAndExpiry) {
+  SnippetStore store;
+  Snippet s{1, 10, "<x/>", {"key"}, 100 * kSecond};
+  store.put("key", s);
+  EXPECT_EQ(store.get("key", 50 * kSecond).size(), 1u);
+  EXPECT_TRUE(store.get("key", 100 * kSecond).empty());  // discard time hit
+  EXPECT_EQ(store.key_count(), 0u);                      // pruned
+}
+
+TEST(SnippetStore, RefreshUpdatesExpiry) {
+  SnippetStore store;
+  Snippet s{1, 10, "<x/>", {"k"}, 100};
+  store.put("k", s);
+  s.discard_at = 500;
+  store.put("k", s);  // same (publisher, id): refresh
+  EXPECT_EQ(store.snippet_count(), 1u);
+  EXPECT_EQ(store.get("k", 200).size(), 1u);
+}
+
+TEST(SnippetStore, SweepDropsExpired) {
+  SnippetStore store;
+  store.put("a", Snippet{1, 1, "<a/>", {"a"}, 10});
+  store.put("b", Snippet{2, 1, "<b/>", {"b"}, 1000});
+  EXPECT_EQ(store.sweep(100), 1u);
+  EXPECT_EQ(store.snippet_count(), 1u);
+}
+
+TEST(SnippetStore, EraseSnippetRemovesAllKeys) {
+  SnippetStore store;
+  Snippet s{5, 3, "<x/>", {"k1", "k2"}, 1000};
+  store.put("k1", s);
+  store.put("k2", s);
+  EXPECT_EQ(store.erase_snippet(3, 5), 2u);
+  EXPECT_TRUE(store.get("k1", 0).empty());
+}
+
+TEST(BrokerNetwork, PublishAndLookup) {
+  BrokerNetwork net;
+  net.join(1);
+  net.join(2);
+  net.join(3);
+
+  Snippet s{1, 9, "<doc>hello</doc>", {"alpha", "beta"}, 10 * kMinute};
+  net.publish(s);
+  EXPECT_EQ(net.lookup("alpha", 0).size(), 1u);
+  EXPECT_EQ(net.lookup("beta", 0).size(), 1u);
+  EXPECT_TRUE(net.lookup("gamma", 0).empty());
+}
+
+TEST(BrokerNetwork, ExpiryAcrossBrokers) {
+  BrokerNetwork net;
+  net.join(1);
+  net.publish(Snippet{1, 9, "<x/>", {"k"}, 60 * kSecond});
+  EXPECT_FALSE(net.lookup("k", 30 * kSecond).empty());
+  EXPECT_TRUE(net.lookup("k", 61 * kSecond).empty());
+}
+
+TEST(BrokerNetwork, JoinHandoffPreservesLookups) {
+  BrokerNetwork net;
+  net.join(1);
+  // Publish many keys while only broker 1 exists.
+  for (int i = 0; i < 200; ++i) {
+    const std::string key = "key" + std::to_string(i);
+    net.publish(Snippet{static_cast<std::uint64_t>(i), 1, "<x/>", {key}, kHour});
+  }
+  // New brokers join; their key ranges must move, and every key must still
+  // resolve.
+  net.join(2);
+  net.join(3);
+  net.join(4);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(net.lookup("key" + std::to_string(i), 0).size(), 1u) << i;
+  }
+  // And the load actually spread.
+  const auto load = net.load();
+  EXPECT_GT(load.size(), 1u);
+}
+
+TEST(BrokerNetwork, GracefulLeavePreservesData) {
+  BrokerNetwork net;
+  net.join(1);
+  net.join(2);
+  for (int i = 0; i < 100; ++i) {
+    const std::string key = "g" + std::to_string(i);
+    net.publish(Snippet{static_cast<std::uint64_t>(i), 1, "<x/>", {key}, kHour});
+  }
+  net.leave_gracefully(1);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(net.lookup("g" + std::to_string(i), 0).size(), 1u) << i;
+  }
+}
+
+TEST(BrokerNetwork, AbruptLeaveLosesItsShare) {
+  // §4: "If a member leaves abruptly without passing on its portion of the
+  // published data, that data will be lost."
+  BrokerNetwork net;
+  net.join(1);
+  net.join(2);
+  std::size_t before = 0;
+  for (int i = 0; i < 100; ++i) {
+    const std::string key = "a" + std::to_string(i);
+    net.publish(Snippet{static_cast<std::uint64_t>(i), 1, "<x/>", {key}, kHour});
+  }
+  before = net.total_snippets();
+  ASSERT_GT(before, 0u);
+
+  net.leave_abruptly(1);
+  std::size_t reachable = 0;
+  for (int i = 0; i < 100; ++i) {
+    reachable += net.lookup("a" + std::to_string(i), 0).size();
+  }
+  EXPECT_LT(reachable, 100u);  // some data is gone
+  EXPECT_GT(reachable, 0u);    // but broker 2's share survives
+}
+
+TEST(BrokerNetwork, WithdrawRemovesEverywhere) {
+  BrokerNetwork net;
+  net.join(1);
+  net.join(2);
+  net.publish(Snippet{7, 1, "<x/>", {"k1", "k2", "k3"}, kHour});
+  net.withdraw(1, 7);
+  EXPECT_TRUE(net.lookup("k1", 0).empty());
+  EXPECT_TRUE(net.lookup("k2", 0).empty());
+  EXPECT_EQ(net.total_snippets(), 0u);
+}
+
+TEST(BrokerNetwork, PublishToEmptyRingIsNoop) {
+  BrokerNetwork net;
+  net.publish(Snippet{1, 1, "<x/>", {"k"}, kHour});
+  EXPECT_TRUE(net.lookup("k", 0).empty());
+}
+
+TEST(BrokerNetwork, SweepReturnsDropCount) {
+  BrokerNetwork net;
+  net.join(1);
+  net.publish(Snippet{1, 1, "<x/>", {"a", "b"}, 10});
+  net.publish(Snippet{2, 1, "<y/>", {"c"}, 1000});
+  EXPECT_EQ(net.sweep(100), 2u);  // both keys of the first snippet
+  EXPECT_EQ(net.total_snippets(), 1u);
+}
+
+
+TEST(HashRing, ReplicasAreDistinctAndOrdered) {
+  HashRing ring(1000);
+  ring.add(1, 100);
+  ring.add(2, 500);
+  ring.add(3, 900);
+  const auto replicas = ring.replicas_for("anything", 2);
+  ASSERT_EQ(replicas.size(), 2u);
+  EXPECT_NE(replicas[0], replicas[1]);
+  EXPECT_EQ(replicas[0], *ring.responsible_for("anything"));
+  // Asking for more replicas than nodes returns all nodes.
+  EXPECT_EQ(ring.replicas_for("anything", 10).size(), 3u);
+  EXPECT_TRUE(HashRing(1000).replicas_for("x", 2).empty());
+}
+
+TEST(BrokerNetwork, ReplicationSurvivesAbruptLeave) {
+  // With replication 2, one abrupt departure loses nothing.
+  BrokerNetwork net(RingPoint{1} << 32, /*replication=*/2);
+  net.join(1);
+  net.join(2);
+  net.join(3);
+  for (int i = 0; i < 100; ++i) {
+    const std::string key = "r" + std::to_string(i);
+    net.publish(Snippet{static_cast<std::uint64_t>(i), 1, "<x/>", {key}, kHour});
+  }
+  net.leave_abruptly(2);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_GE(net.lookup("r" + std::to_string(i), 0).size(), 1u) << i;
+  }
+}
+
+TEST(BrokerNetwork, ReplicatedJoinKeepsLookupsWorking) {
+  BrokerNetwork net(RingPoint{1} << 32, /*replication=*/2);
+  net.join(1);
+  for (int i = 0; i < 50; ++i) {
+    const std::string key = "j" + std::to_string(i);
+    net.publish(Snippet{static_cast<std::uint64_t>(i), 1, "<x/>", {key}, kHour});
+  }
+  net.join(2);
+  net.join(3);
+  net.join(4);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_GE(net.lookup("j" + std::to_string(i), 0).size(), 1u) << i;
+  }
+  // And a post-join abrupt departure still loses nothing.
+  net.leave_abruptly(1);
+  std::size_t reachable = 0;
+  for (int i = 0; i < 50; ++i) {
+    reachable += net.lookup("j" + std::to_string(i), 0).empty() ? 0 : 1;
+  }
+  EXPECT_EQ(reachable, 50u);
+}
+
+TEST(BrokerNetwork, UnreplicatedDefaultUnchanged) {
+  BrokerNetwork net;
+  EXPECT_EQ(net.replication(), 1u);
+}
+
+}  // namespace
+}  // namespace planetp::broker

@@ -1,0 +1,126 @@
+#include "search/compact_directory.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace planetp::search {
+namespace {
+
+bloom::BloomParams small_params() { return bloom::BloomParams{65536, 2}; }
+
+/// Build n peers, each holding the terms "p<i>_t<j>" for j in [0, per_peer).
+std::vector<bloom::BloomFilter> make_filters(std::size_t n, std::size_t per_peer) {
+  std::vector<bloom::BloomFilter> filters;
+  for (std::size_t i = 0; i < n; ++i) {
+    bloom::BloomFilter f(small_params());
+    for (std::size_t j = 0; j < per_peer; ++j) {
+      f.insert("p" + std::to_string(i) + "_t" + std::to_string(j));
+    }
+    filters.push_back(std::move(f));
+  }
+  return filters;
+}
+
+TEST(CompactDirectory, GroupSizeOneIsExact) {
+  const auto filters = make_filters(10, 20);
+  CompactDirectory dir(1);
+  for (std::size_t i = 0; i < filters.size(); ++i) {
+    dir.add_peer(static_cast<std::uint32_t>(i), filters[i]);
+  }
+  EXPECT_EQ(dir.group_count(), 10u);
+  const auto c = dir.candidates({"p3_t0"});
+  ASSERT_EQ(c.size(), 1u);
+  EXPECT_EQ(c[0], 3u);
+}
+
+TEST(CompactDirectory, NeverMissesTrueOwner) {
+  const auto filters = make_filters(20, 50);
+  for (std::size_t g : {2u, 4u, 8u}) {
+    CompactDirectory dir(g);
+    for (std::size_t i = 0; i < filters.size(); ++i) {
+      dir.add_peer(static_cast<std::uint32_t>(i), filters[i]);
+    }
+    for (std::size_t i = 0; i < filters.size(); ++i) {
+      const auto c = dir.candidates({"p" + std::to_string(i) + "_t1"});
+      EXPECT_NE(std::find(c.begin(), c.end(), i), c.end()) << "g=" << g << " peer " << i;
+    }
+  }
+}
+
+TEST(CompactDirectory, CandidatesAreWholeGroups) {
+  const auto filters = make_filters(8, 10);
+  CompactDirectory dir(4);
+  for (std::size_t i = 0; i < filters.size(); ++i) {
+    dir.add_peer(static_cast<std::uint32_t>(i), filters[i]);
+  }
+  EXPECT_EQ(dir.group_count(), 2u);
+  // A hit on peer 1's terms implicates its whole group {0,1,2,3}.
+  const auto c = dir.candidates({"p1_t0"});
+  EXPECT_EQ(std::set<std::uint32_t>(c.begin(), c.end()),
+            (std::set<std::uint32_t>{0, 1, 2, 3}));
+}
+
+TEST(CompactDirectory, MemoryShrinksWithGroupSize) {
+  const auto filters = make_filters(16, 10);
+  CompactDirectory fine(1), coarse(8);
+  for (std::size_t i = 0; i < filters.size(); ++i) {
+    fine.add_peer(static_cast<std::uint32_t>(i), filters[i]);
+    coarse.add_peer(static_cast<std::uint32_t>(i), filters[i]);
+  }
+  EXPECT_GT(fine.memory_bytes(), 4 * coarse.memory_bytes());
+}
+
+class CompactTradeoff : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(CompactTradeoff, MoreCompactionMoreCandidates) {
+  // The §2 trade-off: as group size grows, storage falls and the candidate
+  // set (peers to contact) can only grow.
+  const std::size_t g = GetParam();
+  const auto filters = make_filters(32, 40);
+  CompactDirectory exact(1), compact(g);
+  for (std::size_t i = 0; i < filters.size(); ++i) {
+    exact.add_peer(static_cast<std::uint32_t>(i), filters[i]);
+    compact.add_peer(static_cast<std::uint32_t>(i), filters[i]);
+  }
+  const std::vector<std::string> query = {"p7_t3"};
+  const auto exact_c = exact.candidates(query);
+  const auto compact_c = compact.candidates(query);
+  EXPECT_GE(compact_c.size(), exact_c.size());
+  EXPECT_LE(compact.memory_bytes(), exact.memory_bytes());
+  // Superset property.
+  for (auto peer : exact_c) {
+    EXPECT_NE(std::find(compact_c.begin(), compact_c.end(), peer), compact_c.end());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(GroupSizes, CompactTradeoff, ::testing::Values(1, 2, 4, 8, 16));
+
+TEST(CompactDirectory, CandidatesAnyIsUnion) {
+  const auto filters = make_filters(6, 5);
+  CompactDirectory dir(1);
+  for (std::size_t i = 0; i < filters.size(); ++i) {
+    dir.add_peer(static_cast<std::uint32_t>(i), filters[i]);
+  }
+  const auto any = dir.candidates_any({"p0_t0", "p5_t0"});
+  EXPECT_EQ(std::set<std::uint32_t>(any.begin(), any.end()),
+            (std::set<std::uint32_t>{0, 5}));
+  // Conjunctive candidates for terms on different peers: none.
+  EXPECT_TRUE(dir.candidates({"p0_t0", "p5_t0"}).empty());
+}
+
+TEST(CompactDirectory, GeometryMismatchThrows) {
+  CompactDirectory dir(4);
+  dir.add_peer(0, bloom::BloomFilter(small_params()));
+  EXPECT_THROW(dir.add_peer(1, bloom::BloomFilter(bloom::BloomParams{1024, 2})),
+               std::invalid_argument);
+}
+
+TEST(CompactDirectory, ZeroGroupSizeBecomesOne) {
+  CompactDirectory dir(0);
+  EXPECT_EQ(dir.group_size(), 1u);
+}
+
+}  // namespace
+}  // namespace planetp::search

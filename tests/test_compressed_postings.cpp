@@ -1,0 +1,141 @@
+#include "index/compressed_postings.hpp"
+
+#include <gtest/gtest.h>
+
+#include "search/ranker.hpp"
+#include "util/rng.hpp"
+
+namespace planetp::index {
+namespace {
+
+using Freqs = std::unordered_map<std::string, std::uint32_t>;
+
+InvertedIndex small_index() {
+  InvertedIndex idx;
+  idx.add_document({0, 1}, Freqs{{"alpha", 3}, {"beta", 1}});
+  idx.add_document({0, 5}, Freqs{{"alpha", 1}, {"gamma", 2}});
+  idx.add_document({2, 0}, Freqs{{"beta", 4}});
+  return idx;
+}
+
+TEST(CompressedIndex, StatisticsMatchSource) {
+  const InvertedIndex src = small_index();
+  const CompressedIndex ci = CompressedIndex::build(src);
+
+  EXPECT_EQ(ci.num_documents(), src.num_documents());
+  EXPECT_EQ(ci.num_terms(), src.num_terms());
+  for (const char* term : {"alpha", "beta", "gamma", "absent"}) {
+    EXPECT_EQ(ci.document_frequency(term), src.document_frequency(term)) << term;
+    EXPECT_EQ(ci.collection_frequency(term), src.collection_frequency(term)) << term;
+  }
+  for (const DocumentId& doc : src.documents()) {
+    EXPECT_EQ(ci.document_length(doc), src.document_length(doc));
+  }
+  EXPECT_EQ(ci.document_length(DocumentId{9, 9}), 0u);
+}
+
+TEST(CompressedIndex, DecodeMatchesSourcePostings) {
+  const InvertedIndex src = small_index();
+  const CompressedIndex ci = CompressedIndex::build(src);
+
+  for (const char* term : {"alpha", "beta", "gamma"}) {
+    auto expected = src.postings(term);
+    std::sort(expected.begin(), expected.end(),
+              [](const Posting& a, const Posting& b) { return a.doc < b.doc; });
+    const auto decoded = ci.decode(term);
+    ASSERT_EQ(decoded.size(), expected.size()) << term;
+    for (std::size_t i = 0; i < decoded.size(); ++i) {
+      EXPECT_EQ(decoded[i].doc, expected[i].doc) << term;
+      EXPECT_EQ(decoded[i].term_freq, expected[i].term_freq) << term;
+    }
+  }
+  EXPECT_TRUE(ci.decode("absent").empty());
+}
+
+TEST(CompressedIndex, CursorIteratesInDocOrder) {
+  const CompressedIndex ci = CompressedIndex::build(small_index());
+  DocumentId prev{0, 0};
+  bool first = true;
+  for (auto c = ci.postings("alpha"); !c.done(); c.next()) {
+    if (!first) EXPECT_LT(prev, c.doc());
+    prev = c.doc();
+    first = false;
+  }
+  EXPECT_FALSE(first);  // visited at least one posting
+}
+
+TEST(CompressedIndex, EmptySource) {
+  const CompressedIndex ci = CompressedIndex::build(InvertedIndex{});
+  EXPECT_EQ(ci.num_documents(), 0u);
+  EXPECT_EQ(ci.num_terms(), 0u);
+  EXPECT_TRUE(ci.postings("x").done());
+}
+
+TEST(CompressedIndex, ScoreMatchesUncompressedRanking) {
+  // Property: scoring the snapshot must equal search::score_documents over
+  // the source, for random corpora and queries.
+  Rng rng(42);
+  InvertedIndex src;
+  for (std::uint32_t d = 0; d < 120; ++d) {
+    Freqs freqs;
+    const std::size_t nterms = 3 + rng.below(12);
+    for (std::size_t t = 0; t < nterms; ++t) {
+      freqs["w" + std::to_string(rng.below(60))] =
+          static_cast<std::uint32_t>(1 + rng.below(5));
+    }
+    src.add_document({d % 7, d}, freqs);
+  }
+  const CompressedIndex ci = CompressedIndex::build(src);
+
+  for (int q = 0; q < 20; ++q) {
+    std::unordered_map<std::string, double> weights;
+    for (int t = 0; t < 3; ++t) {
+      weights["w" + std::to_string(rng.below(60))] = 0.5 + rng.uniform();
+    }
+    const auto expected = search::score_documents(src, weights);
+    const auto got = ci.score(weights);
+    ASSERT_EQ(got.size(), expected.size()) << "query " << q;
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i].first, expected[i].doc) << "query " << q << " rank " << i;
+      EXPECT_NEAR(got[i].second, expected[i].score, 1e-9);
+    }
+  }
+}
+
+TEST(CompressedIndex, CompressionSavesSpaceOnRealisticCorpus) {
+  // A corpus with long posting lists (common terms) compresses well: the
+  // snapshot must be much smaller than a naive 12-bytes-per-posting layout.
+  Rng rng(7);
+  InvertedIndex src;
+  std::size_t total_postings = 0;
+  for (std::uint32_t d = 0; d < 2000; ++d) {
+    Freqs freqs;
+    for (int t = 0; t < 30; ++t) {
+      freqs["t" + std::to_string(rng.below(500))] =
+          static_cast<std::uint32_t>(1 + rng.below(4));
+    }
+    total_postings += freqs.size();
+    src.add_document({0, d}, freqs);
+  }
+  const CompressedIndex ci = CompressedIndex::build(src);
+  const std::size_t naive = total_postings * (sizeof(DocumentId) + sizeof(std::uint32_t));
+  EXPECT_LT(ci.memory_bytes(), naive / 2);
+  // And it still answers correctly.
+  EXPECT_EQ(ci.num_documents(), 2000u);
+  EXPECT_EQ(ci.decode("t0").size(), src.postings("t0").size());
+}
+
+TEST(CompressedIndex, SparseDocIdsHandled) {
+  // Dense renumbering must cope with arbitrary (peer, local) ids.
+  InvertedIndex src;
+  src.add_document({0, 0}, Freqs{{"x", 1}});
+  src.add_document({4000000, 123456}, Freqs{{"x", 2}});
+  src.add_document({77, 9}, Freqs{{"x", 3}});
+  const CompressedIndex ci = CompressedIndex::build(src);
+  const auto decoded = ci.decode("x");
+  ASSERT_EQ(decoded.size(), 3u);
+  EXPECT_EQ(decoded.back().doc, (DocumentId{4000000, 123456}));
+}
+
+}  // namespace
+}  // namespace planetp::index

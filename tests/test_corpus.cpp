@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <unordered_set>
+
+#include "corpus/placement.hpp"
+#include "corpus/synthetic.hpp"
+
+namespace planetp::corpus {
+namespace {
+
+TEST(Synthetic, GeneratesRequestedShape) {
+  const auto col = generate(preset_tiny());
+  EXPECT_EQ(col.docs.size(), 200u);
+  EXPECT_EQ(col.queries.size(), 12u);
+  EXPECT_GT(col.distinct_terms, 100u);
+  EXPECT_GT(col.approx_bytes(), 0u);
+}
+
+TEST(Synthetic, DeterministicForSeed) {
+  const auto a = generate(preset_tiny());
+  const auto b = generate(preset_tiny());
+  ASSERT_EQ(a.docs.size(), b.docs.size());
+  for (std::size_t i = 0; i < a.docs.size(); ++i) {
+    EXPECT_EQ(a.docs[i].terms, b.docs[i].terms);
+  }
+  for (std::size_t i = 0; i < a.queries.size(); ++i) {
+    EXPECT_EQ(a.queries[i].terms, b.queries[i].terms);
+    EXPECT_EQ(a.queries[i].relevant_docs, b.queries[i].relevant_docs);
+  }
+}
+
+TEST(Synthetic, DifferentSeedsDiffer) {
+  auto spec = preset_tiny();
+  const auto a = generate(spec);
+  spec.seed ^= 0xdeadbeef;
+  const auto b = generate(spec);
+  bool any_diff = false;
+  for (std::size_t i = 0; i < a.docs.size() && !any_diff; ++i) {
+    any_diff = a.docs[i].terms != b.docs[i].terms;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Synthetic, DocsRespectLengthBounds) {
+  const auto spec = preset_tiny();
+  const auto col = generate(spec);
+  for (const auto& doc : col.docs) {
+    EXPECT_GE(doc.length(), spec.min_doc_tokens) << doc.id;
+  }
+}
+
+TEST(Synthetic, QueriesHaveJudgmentsAndTerms) {
+  const auto spec = preset_tiny();
+  const auto col = generate(spec);
+  for (const auto& q : col.queries) {
+    EXPECT_GE(q.terms.size(), spec.query_terms_min);
+    EXPECT_LE(q.terms.size(), spec.query_terms_max);
+    EXPECT_FALSE(q.relevant_docs.empty());
+    EXPECT_LE(q.relevant_docs.size(), spec.max_relevant_per_query);
+  }
+}
+
+TEST(Synthetic, RelevantDocsMatchQueryTopic) {
+  const auto col = generate(preset_tiny());
+  for (const auto& q : col.queries) {
+    for (std::uint32_t doc_id : q.relevant_docs) {
+      EXPECT_EQ(col.docs[doc_id].primary_topic, q.topic);
+    }
+  }
+}
+
+TEST(Synthetic, QueryTermsAppearInRelevantDocs) {
+  // A query's terms are drawn from its topic's signature, so a decent share
+  // of its relevant documents must actually contain at least one term —
+  // otherwise the judgments would be unreachable by any ranker.
+  const auto col = generate(preset_tiny());
+  for (const auto& q : col.queries) {
+    std::size_t reachable = 0;
+    for (std::uint32_t doc_id : q.relevant_docs) {
+      const auto& doc = col.docs[doc_id];
+      for (const auto& [term, freq] : doc.terms) {
+        if (std::find(q.terms.begin(), q.terms.end(), term) != q.terms.end()) {
+          ++reachable;
+          break;
+        }
+      }
+    }
+    EXPECT_GT(reachable * 2, q.relevant_docs.size()) << "query " << q.id;
+  }
+}
+
+TEST(Synthetic, TermStringsAreStable) {
+  EXPECT_EQ(SynthCollection::term_string(0), "t000000");
+  EXPECT_EQ(SynthCollection::term_string(123456), "t123456");
+}
+
+TEST(Synthetic, PresetsMirrorTable3) {
+  EXPECT_EQ(preset_cacm().num_docs, 3204u);
+  EXPECT_EQ(preset_cacm().num_queries, 52u);
+  EXPECT_EQ(preset_med().num_docs, 1033u);
+  EXPECT_EQ(preset_cran().num_queries, 152u);
+  EXPECT_EQ(preset_cisi().num_docs, 1460u);
+  EXPECT_EQ(preset_ap89(1).num_docs, 84678u);
+  EXPECT_EQ(preset_ap89(8).num_docs, 84678u / 8);
+}
+
+TEST(Placement, WeibullSumsAndCoversPeers) {
+  PlacementOptions opts;
+  const auto owners = place_documents(5000, 100, opts);
+  EXPECT_EQ(owners.size(), 5000u);
+  std::vector<std::size_t> counts(100, 0);
+  for (auto o : owners) {
+    ASSERT_LT(o, 100u);
+    ++counts[o];
+  }
+  for (std::size_t i = 0; i < 100; ++i) EXPECT_GE(counts[i], 1u) << i;  // min 1 doc/peer
+}
+
+TEST(Placement, WeibullIsSkewed) {
+  PlacementOptions opts;
+  const auto owners = place_documents(20000, 100, opts);
+  std::vector<std::size_t> counts(100, 0);
+  for (auto o : owners) ++counts[o];
+  const auto maxc = *std::max_element(counts.begin(), counts.end());
+  EXPECT_GT(maxc, 600u);  // 3x the uniform share — heavy-tailed sharing
+}
+
+TEST(Placement, UniformIsBalanced) {
+  PlacementOptions opts;
+  opts.kind = PlacementKind::kUniform;
+  const auto owners = place_documents(1000, 10, opts);
+  std::vector<std::size_t> counts(10, 0);
+  for (auto o : owners) ++counts[o];
+  for (auto c : counts) EXPECT_EQ(c, 100u);
+}
+
+TEST(Placement, DeterministicForSeed) {
+  PlacementOptions opts;
+  EXPECT_EQ(place_documents(1000, 20, opts), place_documents(1000, 20, opts));
+  PlacementOptions other = opts;
+  other.seed ^= 1;
+  EXPECT_NE(place_documents(1000, 20, opts), place_documents(1000, 20, other));
+}
+
+TEST(Placement, FewerDocsThanPeers) {
+  PlacementOptions opts;
+  const auto owners = place_documents(5, 100, opts);
+  EXPECT_EQ(owners.size(), 5u);
+  for (auto o : owners) EXPECT_LT(o, 100u);
+}
+
+}  // namespace
+}  // namespace planetp::corpus

@@ -1,0 +1,143 @@
+#include "index/data_store.hpp"
+
+#include <gtest/gtest.h>
+
+namespace planetp::index {
+namespace {
+
+TEST(DataStore, PublishIndexesText) {
+  DataStore store(1);
+  const DocumentId id = store.publish_text("Doc One", "gossip protocols spread rumors");
+  EXPECT_EQ(id.peer, 1u);
+  EXPECT_EQ(store.num_documents(), 1u);
+
+  const Document* doc = store.document(id);
+  ASSERT_NE(doc, nullptr);
+  EXPECT_EQ(doc->title, "Doc One");
+
+  // Terms are analyzed (stemmed): "protocols" -> "protocol".
+  EXPECT_TRUE(store.index().contains_term("gossip"));
+  EXPECT_TRUE(store.index().contains_term("protocol"));
+  EXPECT_FALSE(store.index().contains_term("the"));
+}
+
+TEST(DataStore, BloomFilterCoversTerms) {
+  DataStore store(1);
+  store.publish_text("t", "epidemic algorithms for replicated databases");
+  const auto filter = store.bloom_filter();
+  EXPECT_TRUE(filter.contains("epidem"));  // stem of "epidemic"
+  EXPECT_TRUE(filter.contains("algorithm"));
+  EXPECT_FALSE(filter.contains("unrelated_term_xyz"));
+}
+
+TEST(DataStore, SearchAllTermsIsConjunctive) {
+  DataStore store(1);
+  const auto d1 = store.publish_text("a", "distributed gossip search");
+  const auto d2 = store.publish_text("b", "distributed hash tables");
+  store.publish_text("c", "centralized search engines");
+
+  const auto both = store.search_all_terms("distributed search");
+  ASSERT_EQ(both.size(), 1u);
+  EXPECT_EQ(both[0], d1);
+
+  const auto one = store.search_all_terms("distributed");
+  EXPECT_EQ(one.size(), 2u);
+  EXPECT_NE(std::find(one.begin(), one.end(), d2), one.end());
+
+  EXPECT_TRUE(store.search_all_terms("distributed nonexistent").empty());
+  EXPECT_TRUE(store.search_all_terms("").empty());
+}
+
+TEST(DataStore, UnpublishRemovesEverywhere) {
+  DataStore store(1);
+  const auto id = store.publish_text("doomed", "unique zanzibar marker");
+  EXPECT_TRUE(store.index().contains_term("zanzibar"));
+  EXPECT_TRUE(store.bloom_filter().contains("zanzibar"));
+
+  EXPECT_TRUE(store.unpublish(id));
+  EXPECT_FALSE(store.unpublish(id));
+  EXPECT_EQ(store.document(id), nullptr);
+  EXPECT_FALSE(store.index().contains_term("zanzibar"));
+  EXPECT_FALSE(store.bloom_filter().contains("zanzibar"));
+}
+
+TEST(DataStore, SharedTermsSurviveUnpublish) {
+  DataStore store(1);
+  const auto d1 = store.publish_text("a", "shared quokka term");
+  store.publish_text("b", "shared quokka elsewhere");
+  store.unpublish(d1);
+  EXPECT_TRUE(store.bloom_filter().contains("quokka"));
+  EXPECT_TRUE(store.index().contains_term("quokka"));
+}
+
+TEST(DataStore, FilterVersionIncrements) {
+  DataStore store(1);
+  const auto v0 = store.filter_version();
+  const auto id = store.publish_text("x", "content");
+  EXPECT_GT(store.filter_version(), v0);
+  const auto v1 = store.filter_version();
+  store.unpublish(id);
+  EXPECT_GT(store.filter_version(), v1);
+}
+
+TEST(DataStore, PublishRawXmlWithLinks) {
+  DataStore store(2);
+  const auto id = store.publish(
+      R"(<document title="Linked"><link href="notes.txt" type="text">searchable note body</link></document>)");
+  const Document* doc = store.document(id);
+  ASSERT_NE(doc, nullptr);
+  ASSERT_EQ(doc->links.size(), 1u);
+  // Linked text content is indexed.
+  EXPECT_FALSE(store.search_all_terms("searchable note").empty());
+}
+
+TEST(DataStore, MalformedXmlRejected) {
+  DataStore store(1);
+  EXPECT_THROW(store.publish("<broken"), std::runtime_error);
+  EXPECT_EQ(store.num_documents(), 0u);
+}
+
+TEST(DataStore, LocalIdsIncrease) {
+  DataStore store(9);
+  const auto a = store.publish_text("a", "one");
+  const auto b = store.publish_text("b", "two");
+  EXPECT_EQ(a.peer, 9u);
+  EXPECT_LT(a.local, b.local);
+}
+
+TEST(DataStore, DocumentsListing) {
+  DataStore store(1);
+  store.publish_text("a", "alpha");
+  store.publish_text("b", "beta");
+  EXPECT_EQ(store.documents().size(), 2u);
+}
+
+
+TEST(DataStore, RepublishReplacesContent) {
+  DataStore store(1);
+  const auto id = store.publish_text("v1", "original ocelot content");
+  ASSERT_TRUE(store.republish(id, wrap_text_as_xml("v2", "updated lynx content")));
+
+  EXPECT_TRUE(store.search_all_terms("original ocelot").empty());
+  ASSERT_EQ(store.search_all_terms("updated lynx").size(), 1u);
+  EXPECT_EQ(store.document(id)->title, "v2");
+  EXPECT_FALSE(store.bloom_filter().contains("ocelot"));
+  EXPECT_TRUE(store.bloom_filter().contains("lynx"));
+  EXPECT_EQ(store.num_documents(), 1u);
+}
+
+TEST(DataStore, RepublishUnknownIdFails) {
+  DataStore store(1);
+  EXPECT_FALSE(store.republish(DocumentId{1, 99}, wrap_text_as_xml("x", "y")));
+}
+
+TEST(DataStore, RepublishMalformedXmlLeavesOldVersion) {
+  DataStore store(1);
+  const auto id = store.publish_text("keep", "surviving capybara content");
+  EXPECT_THROW(store.republish(id, "<broken"), std::runtime_error);
+  EXPECT_EQ(store.search_all_terms("surviving capybara").size(), 1u);
+  EXPECT_EQ(store.document(id)->title, "keep");
+}
+
+}  // namespace
+}  // namespace planetp::index

@@ -1,0 +1,173 @@
+/// Cross-module edge cases: empty inputs, degenerate communities, unusual
+/// queries, and boundary conditions not covered by the per-module suites.
+
+#include <gtest/gtest.h>
+
+#include "core/community.hpp"
+#include "search/distributed.hpp"
+#include "search/ipf.hpp"
+#include "text/analyzer.hpp"
+
+namespace planetp {
+namespace {
+
+using core::Community;
+using core::Node;
+using core::NodeConfig;
+
+NodeConfig small_config() {
+  NodeConfig cfg;
+  cfg.bloom.bits = 65536;
+  return cfg;
+}
+
+TEST(EdgeCases, EmptyQueryReturnsNothing) {
+  Community community(small_config());
+  Node& a = community.create_node();
+  a.publish_text("doc", "some content");
+  EXPECT_TRUE(a.exhaustive_search("").hits.empty());
+  EXPECT_TRUE(a.ranked_search("", 10).empty());
+}
+
+TEST(EdgeCases, StopWordOnlyQueryReturnsNothing) {
+  Community community(small_config());
+  Node& a = community.create_node();
+  a.publish_text("doc", "the and of it");
+  EXPECT_TRUE(a.exhaustive_search("the and of").hits.empty());
+  EXPECT_TRUE(a.ranked_search("the of", 10).empty());
+}
+
+TEST(EdgeCases, SingleNodeCommunityWorks) {
+  Community community(small_config());
+  Node& solo = community.create_node();
+  solo.publish_text("mine", "solitary narwhal studies");
+  EXPECT_EQ(solo.exhaustive_search("narwhal").hits.size(), 1u);
+  EXPECT_EQ(solo.ranked_search("narwhal", 5).size(), 1u);
+}
+
+TEST(EdgeCases, KLargerThanCorpus) {
+  Community community(small_config());
+  Node& a = community.create_node();
+  Node& b = community.create_node();
+  a.publish_text("one", "shared tapir content");
+  b.publish_text("two", "more tapir content");
+  const auto hits = a.ranked_search("tapir", 1000);
+  EXPECT_EQ(hits.size(), 2u);
+}
+
+TEST(EdgeCases, KZeroReturnsEmpty) {
+  Community community(small_config());
+  Node& a = community.create_node();
+  a.publish_text("doc", "zero k query");
+  EXPECT_TRUE(a.ranked_search("query", 0).empty());
+}
+
+TEST(EdgeCases, RepeatedQueryTermsCountOnce) {
+  // "gossip gossip gossip" must rank like "gossip": IpfTable deduplicates.
+  bloom::BloomParams params{65536, 2};
+  bloom::BloomFilter filter(params);
+  filter.insert("gossip");
+  const std::vector<search::PeerFilter> views = {{1, &filter}};
+  const search::IpfTable once({"gossip"}, views);
+  const search::IpfTable thrice({"gossip", "gossip", "gossip"}, views);
+  const auto ranked_once = search::rank_peers(once);
+  const auto ranked_thrice = search::rank_peers(thrice);
+  ASSERT_EQ(ranked_once.size(), 1u);
+  ASSERT_EQ(ranked_thrice.size(), 1u);
+  EXPECT_DOUBLE_EQ(ranked_once[0].rank, ranked_thrice[0].rank);
+}
+
+TEST(EdgeCases, Utf8BytesActAsSeparators) {
+  // The tokenizer is ASCII-alnum-based; multibyte sequences split tokens
+  // rather than corrupting them.
+  text::Analyzer analyzer;
+  const auto terms = analyzer.analyze("caf\xC3\xA9 r\xC3\xA9sum\xC3\xA9 plain");
+  EXPECT_NE(std::find(terms.begin(), terms.end(), "plain"), terms.end());
+  for (const auto& t : terms) {
+    for (char c : t) {
+      EXPECT_TRUE((c >= 'a' && c <= 'z') || (c >= '0' && c <= '9')) << t;
+    }
+  }
+}
+
+TEST(EdgeCases, VeryLongDocumentIndexes) {
+  Community community(small_config());
+  Node& a = community.create_node();
+  std::string body;
+  for (int i = 0; i < 20000; ++i) {
+    body += "word" + std::to_string(i % 1500) + " ";
+  }
+  a.publish_text("long", body);
+  EXPECT_EQ(a.exhaustive_search("word42").hits.size(), 1u);
+}
+
+TEST(EdgeCases, ManyDocumentsOnOnePeer) {
+  Community community(small_config());
+  Node& a = community.create_node();
+  Node& searcher = community.create_node();
+  for (int i = 0; i < 200; ++i) {
+    a.publish_text("d" + std::to_string(i),
+                   "bulk corpus document mentioning ibis number " + std::to_string(i));
+  }
+  EXPECT_EQ(searcher.exhaustive_search("ibis").hits.size(), 200u);
+  EXPECT_EQ(searcher.ranked_search("ibis", 10).size(), 10u);
+}
+
+TEST(EdgeCases, UnpublishTwiceAndUnknownIds) {
+  Community community(small_config());
+  Node& a = community.create_node();
+  const auto id = a.publish_text("doc", "content");
+  EXPECT_TRUE(a.unpublish(id));
+  EXPECT_FALSE(a.unpublish(id));
+  EXPECT_FALSE(a.unpublish(core::DocumentId{a.id(), 9999}));
+  EXPECT_FALSE(a.unpublish(core::DocumentId{77, 0}));  // someone else's doc
+}
+
+TEST(EdgeCases, OfflineSearcherStillSearchesLocally) {
+  Community community(small_config());
+  Node& a = community.create_node();
+  community.create_node();
+  a.publish_text("local", "offline heron notes");
+  community.set_online(a.id(), false);
+  // a's own store keeps working even while it is unreachable to others.
+  EXPECT_EQ(a.exhaustive_search("heron").hits.size(), 1u);
+}
+
+TEST(EdgeCases, WholeCommunnityOfflineExceptSearcher) {
+  Community community(small_config());
+  Node& searcher = community.create_node();
+  Node& b = community.create_node();
+  Node& c = community.create_node();
+  b.publish_text("bdoc", "elusive kakapo recordings");
+  c.publish_text("cdoc", "more kakapo recordings");
+  community.set_online(b.id(), false);
+  community.set_online(c.id(), false);
+
+  const auto result = searcher.exhaustive_search("kakapo");
+  EXPECT_TRUE(result.hits.empty());
+  EXPECT_EQ(result.offline_candidates.size(), 2u);
+  EXPECT_TRUE(searcher.ranked_search("kakapo", 5).empty());
+}
+
+TEST(EdgeCases, PersistentQueryWithStopWordsOnly) {
+  Community community(small_config());
+  Node& a = community.create_node();
+  int calls = 0;
+  a.add_persistent_query("the of and", [&](const core::SearchHit&) { ++calls; });
+  Node& b = community.create_node();
+  b.publish_text("doc", "the quick fox");
+  EXPECT_EQ(calls, 0);  // no effective terms: never fires
+}
+
+TEST(EdgeCases, DistributedSearchWithNoFilters) {
+  search::DistributedSearchOptions opts;
+  opts.k = 5;
+  const auto result = search::tfipf_search(
+      {"term"}, {}, [](std::uint32_t, const auto&) { return std::vector<search::ScoredDoc>{}; },
+      opts);
+  EXPECT_TRUE(result.docs.empty());
+  EXPECT_TRUE(result.contacted.empty());
+}
+
+}  // namespace
+}  // namespace planetp

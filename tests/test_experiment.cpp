@@ -1,0 +1,114 @@
+#include "search/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+namespace planetp::search {
+namespace {
+
+class ExperimentFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    collection_ = corpus::generate(corpus::preset_tiny());
+    setup_ = distribute_collection(collection_, 20, corpus::PlacementOptions{});
+  }
+
+  corpus::SynthCollection collection_;
+  RetrievalSetup setup_;
+};
+
+TEST_F(ExperimentFixture, SetupIndexesEveryDocumentOnce) {
+  std::size_t indexed = 0;
+  for (const auto& idx : setup_.peer_indexes) indexed += idx.num_documents();
+  EXPECT_EQ(indexed, collection_.docs.size());
+  EXPECT_EQ(setup_.global_index.num_documents(), collection_.docs.size());
+  EXPECT_EQ(setup_.owner_of.size(), collection_.docs.size());
+}
+
+TEST_F(ExperimentFixture, FiltersCoverPeerTerms) {
+  // Every term of every document must hit its owner's Bloom filter (no
+  // false negatives anywhere in the pipeline).
+  for (const auto& doc : collection_.docs) {
+    const std::uint32_t peer = setup_.owner_of.at(index::DocumentId{0, doc.id});
+    for (const auto& [term, freq] : doc.terms) {
+      EXPECT_TRUE(setup_.peer_filters[peer].contains(
+          corpus::SynthCollection::term_string(term)));
+    }
+  }
+}
+
+TEST_F(ExperimentFixture, IpfTracksIdfRecall) {
+  // The paper's headline claim (Fig 6a): TFxIPF with adaptive stopping
+  // tracks centralized TFxIDF closely.
+  RetrievalOptions opts;
+  const auto p = evaluate_at_k(collection_, setup_, 20, opts);
+  EXPECT_GT(p.idf_recall, 0.1);
+  EXPECT_NEAR(p.ipf_recall, p.idf_recall, 0.08);
+  EXPECT_NEAR(p.ipf_precision, p.idf_precision, 0.08);
+}
+
+TEST_F(ExperimentFixture, RecallGrowsWithK) {
+  RetrievalOptions opts;
+  const auto p10 = evaluate_at_k(collection_, setup_, 10, opts);
+  const auto p40 = evaluate_at_k(collection_, setup_, 40, opts);
+  EXPECT_GE(p40.idf_recall, p10.idf_recall);
+  EXPECT_GE(p40.ipf_recall, p10.ipf_recall);
+  // Precision typically decreases (or stays) as k grows.
+  EXPECT_LE(p40.ipf_precision, p10.ipf_precision + 0.05);
+}
+
+TEST_F(ExperimentFixture, BestIsLowerBoundOnPeersContacted) {
+  RetrievalOptions opts;
+  for (std::size_t k : {10u, 20u, 40u}) {
+    const auto p = evaluate_at_k(collection_, setup_, k, opts);
+    EXPECT_LE(p.best_peers, p.ipf_peers + 1e-9) << k;
+  }
+}
+
+TEST_F(ExperimentFixture, KSweepReturnsAllPoints) {
+  RetrievalOptions opts;
+  opts.ks = {5, 10, 20};
+  const auto points = run_k_sweep(collection_, setup_, opts);
+  ASSERT_EQ(points.size(), 3u);
+  EXPECT_EQ(points[0].k, 5u);
+  EXPECT_EQ(points[2].k, 20u);
+}
+
+TEST(Experiment, CommunitySweepRecallIsStable) {
+  // Fig 6b: recall at fixed k should be roughly flat across community sizes.
+  const auto collection = corpus::generate(corpus::preset_tiny());
+  RetrievalOptions opts;
+  const auto points = run_community_sweep(collection, {5, 10, 20, 40}, 20,
+                                          corpus::PlacementOptions{}, opts);
+  ASSERT_EQ(points.size(), 4u);
+  double min_recall = 1.0, max_recall = 0.0;
+  for (const auto& p : points) {
+    min_recall = std::min(min_recall, p.ipf_recall);
+    max_recall = std::max(max_recall, p.ipf_recall);
+  }
+  EXPECT_GT(min_recall, 0.0);
+  EXPECT_LT(max_recall - min_recall, 0.15);
+}
+
+TEST(Experiment, UniformPlacementAlsoWorks) {
+  const auto collection = corpus::generate(corpus::preset_tiny());
+  corpus::PlacementOptions uniform;
+  uniform.kind = corpus::PlacementKind::kUniform;
+  const auto setup = distribute_collection(collection, 20, uniform);
+  RetrievalOptions opts;
+  const auto p = evaluate_at_k(collection, setup, 20, opts);
+  EXPECT_NEAR(p.ipf_recall, p.idf_recall, 0.1);
+}
+
+TEST(Experiment, QueryHelpers) {
+  corpus::SynthQuery q;
+  q.terms = {1, 2};
+  q.relevant_docs = {10, 20};
+  const auto terms = query_term_strings(q);
+  EXPECT_EQ(terms, (std::vector<std::string>{"t000001", "t000002"}));
+  const auto rel = judgment_set(q);
+  EXPECT_EQ(rel.size(), 2u);
+  EXPECT_TRUE(rel.contains(index::DocumentId{0, 10}));
+}
+
+}  // namespace
+}  // namespace planetp::search

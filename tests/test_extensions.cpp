@@ -1,0 +1,167 @@
+/// Tests for the §7.2 future-work extensions: proxy search for slow peers
+/// and incremental (chunked) directory acquisition for bandwidth-limited
+/// joiners.
+
+#include <gtest/gtest.h>
+
+#include "core/community.hpp"
+#include "gossip/protocol.hpp"
+
+namespace planetp {
+namespace {
+
+using core::Community;
+using core::Node;
+using core::NodeConfig;
+using core::SearchHit;
+
+NodeConfig small_config(gossip::LinkClass cls = gossip::LinkClass::kFast) {
+  NodeConfig cfg;
+  cfg.bloom.bits = 65536;
+  cfg.link_class = cls;
+  return cfg;
+}
+
+TEST(ProxySearch, SlowPeerDelegatesToFastPeer) {
+  Community community(small_config());
+  Node& fast = community.create_node();  // fast by default
+  Node& publisher = community.create_node();
+  Node& modem = community.create_node(small_config(gossip::LinkClass::kSlow));
+
+  publisher.publish_text("Heavy Paper", "petabyte archival storage systems design");
+
+  const auto hits = modem.proxy_ranked_search("petabyte archival storage", 5, fast.id());
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].title, "Heavy Paper");
+}
+
+TEST(ProxySearch, AutomaticProxyPicksAFastPeer) {
+  Community community(small_config());
+  Node& fast = community.create_node();
+  Node& modem = community.create_node(small_config(gossip::LinkClass::kSlow));
+  (void)fast;
+  Node& publisher = community.create_node();
+  publisher.publish_text("Findable", "glacier movement measurements");
+
+  const auto hits = modem.proxy_ranked_search("glacier movement", 5);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].title, "Findable");
+}
+
+TEST(ProxySearch, FallsBackToLocalWhenNoFastPeer) {
+  Community community(small_config(gossip::LinkClass::kSlow));
+  Node& a = community.create_node(small_config(gossip::LinkClass::kSlow));
+  Node& b = community.create_node(small_config(gossip::LinkClass::kSlow));
+  b.publish_text("Still Works", "fallback beaver dam engineering");
+
+  const auto hits = a.proxy_ranked_search("beaver dam", 5);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].title, "Still Works");
+}
+
+TEST(ProxySearch, OfflineProxyDegradesToLocalSearch) {
+  Community community(small_config());
+  Node& proxy = community.create_node();
+  Node& modem = community.create_node(small_config(gossip::LinkClass::kSlow));
+  Node& publisher = community.create_node();
+  publisher.publish_text("Resilient", "failover condor migration data");
+  community.set_online(proxy.id(), false);
+
+  const auto hits = modem.proxy_ranked_search("condor migration", 5, proxy.id());
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].title, "Resilient");
+}
+
+TEST(ChunkedPull, JoinerAcquiresDirectoryInPieces) {
+  // A joiner with max_pull_per_exchange = 3 must pull the 10-record
+  // directory over multiple anti-entropy exchanges, never more than 3 ids
+  // per request.
+  gossip::GossipConfig introducer_cfg;
+  gossip::Protocol introducer(0, introducer_cfg, Rng(1));
+  introducer.quiet_start("intro", gossip::LinkClass::kFast, 0, {});
+  for (gossip::PeerId id = 10; id < 20; ++id) {
+    gossip::PeerRecord r;
+    r.id = id;
+    r.version = 2;
+    r.address = "peer" + std::to_string(id);
+    r.key_count = 100;
+    introducer.directory().apply(r);
+  }
+
+  gossip::GossipConfig modem_cfg;
+  modem_cfg.max_pull_per_exchange = 3;
+  gossip::Protocol modem(1, modem_cfg, Rng(2));
+  modem.local_join("modem", gossip::LinkClass::kSlow, 0, {}, 0);
+
+  std::size_t exchanges = 0;
+  std::size_t max_request = 0;
+  // Drive repeated anti-entropy exchanges by hand.
+  while (modem.directory().size() < 12 && exchanges < 20) {
+    ++exchanges;
+    auto request = modem.join_via(0);
+    auto summary_replies = introducer.on_message(0, 1, request.msg);
+    ASSERT_FALSE(summary_replies.empty());
+    auto pulls = modem.on_message(0, 0, summary_replies[0].msg);
+    if (pulls.empty()) break;  // nothing missing anymore
+    if (const auto* pull = std::get_if<gossip::PullRequestMsg>(&pulls[0].msg)) {
+      max_request = std::max(max_request, pull->ids.size());
+    }
+    auto data = introducer.on_message(0, 1, pulls[0].msg);
+    ASSERT_FALSE(data.empty());
+    modem.on_message(0, 0, data[0].msg);
+  }
+  EXPECT_EQ(modem.directory().size(), 12u);  // self + introducer + 10 records
+  EXPECT_LE(max_request, 3u);
+  EXPECT_GE(exchanges, 4u);  // 11 records at <=3 per exchange
+}
+
+TEST(ChunkedPull, UnlimitedByDefault) {
+  gossip::GossipConfig cfg;
+  EXPECT_EQ(cfg.max_pull_per_exchange, 0u);
+
+  gossip::Protocol a(0, cfg, Rng(1));
+  a.quiet_start("a", gossip::LinkClass::kFast, 0, {});
+  for (gossip::PeerId id = 10; id < 40; ++id) {
+    gossip::PeerRecord r;
+    r.id = id;
+    r.version = 1;
+    a.directory().apply(r);
+  }
+  gossip::Protocol b(1, cfg, Rng(2));
+  b.quiet_start("b", gossip::LinkClass::kFast, 0, {});
+
+  auto summary_replies = a.on_message(0, 1, gossip::SummaryRequestMsg{});
+  auto pulls = b.on_message(0, 0, summary_replies[0].msg);
+  ASSERT_FALSE(pulls.empty());
+  const auto* pull = std::get_if<gossip::PullRequestMsg>(&pulls[0].msg);
+  ASSERT_NE(pull, nullptr);
+  EXPECT_EQ(pull->ids.size(), 31u);  // everything at once
+}
+
+
+TEST(GossipModeCatchUp, RejoinerLearnsMissedEventsQuickly) {
+  // In gossip-step mode, a peer that was offline during a publish must pull
+  // the missed filter change via its rejoin catch-up anti-entropy.
+  NodeConfig cfg = small_config();
+  Community community(cfg, core::SyncMode::kGossipStep);
+  Node& a = community.create_node();
+  Node& b = community.create_node();
+  Node& sleeper = community.create_node();
+  (void)b;
+  ASSERT_TRUE(community.step_until_converged(30 * kMinute));
+
+  community.set_online(sleeper.id(), false);
+  a.publish_text("Missed", "events during albatross absence");
+  ASSERT_TRUE(community.step_until_converged(30 * kMinute));
+
+  community.set_online(sleeper.id(), true);
+  // The catch-up pull is synchronous in the in-process community; the
+  // sleeper already holds a's newest record.
+  const gossip::PeerRecord* r = sleeper.protocol().directory().find(a.id());
+  ASSERT_NE(r, nullptr);
+  EXPECT_EQ(r->version, 2u);
+  EXPECT_EQ(sleeper.exhaustive_search("albatross absence").hits.size(), 1u);
+}
+
+}  // namespace
+}  // namespace planetp

@@ -1,0 +1,181 @@
+#include "gossip/directory.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace planetp::gossip {
+namespace {
+
+PeerRecord record(PeerId id, std::uint64_t version, LinkClass cls = LinkClass::kFast) {
+  PeerRecord r;
+  r.id = id;
+  r.address = "peer://" + std::to_string(id);
+  r.version = version;
+  r.link_class = cls;
+  return r;
+}
+
+TEST(Directory, ApplyInsertsUnknownPeer) {
+  Directory dir(0);
+  EXPECT_TRUE(dir.apply(record(1, 1)));
+  EXPECT_EQ(dir.size(), 1u);
+  ASSERT_NE(dir.find(1), nullptr);
+  EXPECT_EQ(dir.find(1)->version, 1u);
+}
+
+TEST(Directory, ApplyRejectsStaleAndEqualVersions) {
+  Directory dir(0);
+  dir.apply(record(1, 5));
+  EXPECT_FALSE(dir.apply(record(1, 5)));
+  EXPECT_FALSE(dir.apply(record(1, 4)));
+  EXPECT_TRUE(dir.apply(record(1, 6)));
+  EXPECT_EQ(dir.find(1)->version, 6u);
+}
+
+TEST(Directory, ApplyNewVersionFlipsPeerBackOnline) {
+  Directory dir(0);
+  dir.apply(record(1, 1));
+  dir.mark_offline(1, 100);
+  EXPECT_FALSE(dir.find(1)->online);
+  dir.apply(record(1, 2));
+  EXPECT_TRUE(dir.find(1)->online);
+}
+
+TEST(Directory, MarkOfflineRecordsFirstFailureTime) {
+  Directory dir(0);
+  dir.apply(record(1, 1));
+  dir.mark_offline(1, 12345);
+  EXPECT_EQ(dir.find(1)->offline_since, 12345);
+  // Second mark must not reset the clock (T_dead counts from first failure).
+  dir.mark_offline(1, 99999);
+  EXPECT_EQ(dir.find(1)->offline_since, 12345);
+}
+
+TEST(Directory, ExpireDeadDropsLongOfflinePeers) {
+  Directory dir(0);
+  dir.put_self(record(0, 1));
+  dir.apply(record(1, 1));
+  dir.apply(record(2, 1));
+  dir.mark_offline(1, 0);
+
+  const auto dropped = dir.expire_dead(10 * kHour, 6 * kHour);
+  ASSERT_EQ(dropped.size(), 1u);
+  EXPECT_EQ(dropped[0], 1u);
+  EXPECT_EQ(dir.find(1), nullptr);
+  EXPECT_NE(dir.find(2), nullptr);
+}
+
+TEST(Directory, ExpireDeadSparesRecentlyOffline) {
+  Directory dir(0);
+  dir.apply(record(1, 1));
+  dir.mark_offline(1, 5 * kHour);
+  EXPECT_TRUE(dir.expire_dead(10 * kHour, 6 * kHour).empty());
+}
+
+TEST(Directory, ExpireNeverDropsSelf) {
+  Directory dir(7);
+  dir.put_self(record(7, 1));
+  dir.mark_offline(7, 0);
+  EXPECT_TRUE(dir.expire_dead(100 * kHour, kHour).empty());
+}
+
+TEST(Directory, RandomOnlineExcludesSelfAndOffline) {
+  Directory dir(0);
+  dir.put_self(record(0, 1));
+  dir.apply(record(1, 1));
+  dir.apply(record(2, 1));
+  dir.mark_offline(2, 0);
+
+  Rng rng(1);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(dir.random_online(rng), 1u);
+  }
+}
+
+TEST(Directory, RandomOnlineReturnsInvalidWhenAlone) {
+  Directory dir(0);
+  dir.put_self(record(0, 1));
+  Rng rng(2);
+  EXPECT_EQ(dir.random_online(rng), kInvalidPeer);
+}
+
+TEST(Directory, RandomOnlineOfClass) {
+  Directory dir(0);
+  dir.put_self(record(0, 1));
+  dir.apply(record(1, 1, LinkClass::kFast));
+  dir.apply(record(2, 1, LinkClass::kSlow));
+  Rng rng(3);
+  for (int i = 0; i < 30; ++i) {
+    EXPECT_EQ(dir.random_online_of_class(rng, LinkClass::kSlow), 2u);
+    EXPECT_EQ(dir.random_online_of_class(rng, LinkClass::kFast), 1u);
+  }
+}
+
+TEST(Directory, RandomOnlineCoversAllCandidates) {
+  Directory dir(0);
+  dir.put_self(record(0, 1));
+  for (PeerId id = 1; id <= 10; ++id) dir.apply(record(id, 1));
+  Rng rng(4);
+  std::set<PeerId> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(dir.random_online(rng));
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(Directory, SummarySortedByPeer) {
+  Directory dir(0);
+  dir.apply(record(5, 2));
+  dir.apply(record(1, 7));
+  dir.apply(record(3, 1));
+  const auto summary = dir.summary();
+  ASSERT_EQ(summary.size(), 3u);
+  EXPECT_EQ(summary[0].id, 1u);
+  EXPECT_EQ(summary[0].version, 7u);
+  EXPECT_EQ(summary[2].id, 5u);
+}
+
+TEST(Directory, NewerInFindsMissingAndStale) {
+  Directory dir(0);
+  dir.apply(record(1, 3));
+  dir.apply(record(2, 1));
+
+  const std::vector<PeerSummary> remote = {{1, 3}, {2, 5}, {9, 1}};
+  const auto missing = dir.newer_in(remote);
+  ASSERT_EQ(missing.size(), 2u);
+  EXPECT_EQ(missing[0].origin, 2u);
+  EXPECT_EQ(missing[0].version, 5u);
+  EXPECT_EQ(missing[1].origin, 9u);
+}
+
+TEST(Directory, SameAsExactMatchOnly) {
+  Directory dir(0);
+  dir.apply(record(1, 1));
+  dir.apply(record(2, 2));
+  EXPECT_TRUE(dir.same_as({{1, 1}, {2, 2}}));
+  EXPECT_FALSE(dir.same_as({{1, 1}}));
+  EXPECT_FALSE(dir.same_as({{1, 1}, {2, 3}}));
+  EXPECT_FALSE(dir.same_as({{1, 1}, {2, 2}, {3, 1}}));
+}
+
+TEST(Directory, OnlineCount) {
+  Directory dir(0);
+  dir.put_self(record(0, 1));
+  dir.apply(record(1, 1));
+  dir.apply(record(2, 1));
+  EXPECT_EQ(dir.online_count(), 3u);
+  dir.mark_offline(1, 0);
+  EXPECT_EQ(dir.online_count(), 2u);
+  dir.mark_online(1);
+  EXPECT_EQ(dir.online_count(), 3u);
+}
+
+TEST(Directory, ForEachVisitsEveryRecord) {
+  Directory dir(0);
+  for (PeerId id = 1; id <= 5; ++id) dir.apply(record(id, id));
+  std::set<PeerId> seen;
+  dir.for_each([&](const PeerRecord& r) { seen.insert(r.id); });
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+}  // namespace
+}  // namespace planetp::gossip

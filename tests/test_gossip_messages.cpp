@@ -1,0 +1,172 @@
+#include "gossip/messages.hpp"
+
+#include <gtest/gtest.h>
+
+namespace planetp::gossip {
+namespace {
+
+RumorPayload payload(PeerId origin, std::uint64_t version, bool with_filter,
+                     std::uint32_t new_keys = 0) {
+  RumorPayload p;
+  p.origin = origin;
+  p.version = version;
+  p.address = "host:" + std::to_string(1000 + origin);
+  p.link_class = origin % 2 ? LinkClass::kSlow : LinkClass::kFast;
+  p.kind = EventKind::kFilterChange;
+  p.key_count = 5000;
+  if (with_filter) {
+    FilterUpdate f;
+    f.base_version = version - 1;
+    f.key_count = 5000;
+    f.new_keys = new_keys;
+    p.filter = std::move(f);
+  }
+  return p;
+}
+
+TEST(SizeModel, Table2FilterAnchors) {
+  // The linear model must pass (approximately) through Table 2's anchors:
+  // 1000 keys -> 3000 bytes, 20000 keys -> 16000 bytes.
+  SizeModel m;
+  EXPECT_NEAR(static_cast<double>(m.filter_bytes(1000)), 3000.0, 30.0);
+  EXPECT_NEAR(static_cast<double>(m.filter_bytes(20000)), 16000.0, 150.0);
+  EXPECT_EQ(m.filter_bytes(0), 0u);
+}
+
+TEST(SizeModel, SummaryRequestIsHeaderOnly) {
+  SizeModel m;
+  EXPECT_EQ(wire_size(SummaryRequestMsg{}, m), m.header_bytes);
+}
+
+TEST(SizeModel, SummaryScalesWithDirectorySize) {
+  SizeModel m;
+  SummaryMsg msg;
+  for (PeerId i = 0; i < 1000; ++i) msg.entries.push_back(PeerSummary{i, 1});
+  EXPECT_EQ(wire_size(msg, m), m.header_bytes + 1000 * m.summary_entry_bytes);
+}
+
+TEST(SizeModel, RumorWithDiffPricedByNewKeys) {
+  SizeModel m;
+  RumorMsg msg;
+  msg.rumors.push_back(payload(1, 2, true, 1000));
+  const std::size_t size = wire_size(msg, m);
+  EXPECT_NEAR(static_cast<double>(size),
+              static_cast<double>(m.header_bytes + m.record_base_bytes) + 3000.0, 40.0);
+}
+
+TEST(SizeModel, RumorWithoutFilterIsSmall) {
+  SizeModel m;
+  RumorMsg msg;
+  msg.rumors.push_back(payload(1, 2, false));
+  EXPECT_EQ(wire_size(msg, m), m.header_bytes + m.record_base_bytes);
+}
+
+TEST(SizeModel, PiggybackIdsCostSixBytesEach) {
+  SizeModel m;
+  RumorMsg msg;
+  msg.recent_ids = {{1, 1}, {2, 2}, {3, 3}};
+  EXPECT_EQ(wire_size(msg, m), m.header_bytes + 3 * m.rumor_id_bytes);
+}
+
+TEST(SizeModel, RealFilterBytesOverrideModel) {
+  SizeModel m;
+  RumorMsg msg;
+  RumorPayload p = payload(1, 2, true, 1000);
+  p.filter->bits.assign(777, 0);  // live mode: real encoded bytes dominate
+  msg.rumors.push_back(std::move(p));
+  EXPECT_EQ(wire_size(msg, m), m.header_bytes + m.record_base_bytes + 777);
+}
+
+TEST(Messages, RumorRoundtrip) {
+  RumorMsg msg;
+  msg.rumors.push_back(payload(1, 2, true, 42));
+  msg.rumors.back().filter->bits = {1, 2, 3};
+  msg.rumors.push_back(payload(7, 9, false));
+  msg.recent_ids = {{3, 4}, {5, 6}};
+
+  const auto bytes = encode_message(msg);
+  const Message decoded = decode_message(bytes);
+  const auto* out = std::get_if<RumorMsg>(&decoded);
+  ASSERT_NE(out, nullptr);
+  ASSERT_EQ(out->rumors.size(), 2u);
+  EXPECT_EQ(out->rumors[0].origin, 1u);
+  EXPECT_EQ(out->rumors[0].version, 2u);
+  EXPECT_EQ(out->rumors[0].address, "host:1001");
+  ASSERT_TRUE(out->rumors[0].filter.has_value());
+  EXPECT_EQ(out->rumors[0].filter->bits, (std::vector<std::uint8_t>{1, 2, 3}));
+  EXPECT_EQ(out->rumors[0].filter->new_keys, 42u);
+  EXPECT_FALSE(out->rumors[1].filter.has_value());
+  EXPECT_EQ(out->recent_ids, msg.recent_ids);
+}
+
+TEST(Messages, RumorAckRoundtrip) {
+  RumorAckMsg msg;
+  msg.already_knew = {{1, 1}};
+  msg.recent_ids = {{2, 3}, {4, 5}};
+  msg.pull_ids = {{6, 7}};
+  const Message decoded = decode_message(encode_message(msg));
+  const auto* out = std::get_if<RumorAckMsg>(&decoded);
+  ASSERT_NE(out, nullptr);
+  EXPECT_EQ(out->already_knew, msg.already_knew);
+  EXPECT_EQ(out->recent_ids, msg.recent_ids);
+  EXPECT_EQ(out->pull_ids, msg.pull_ids);
+}
+
+TEST(Messages, SummaryRoundtrip) {
+  SummaryMsg msg;
+  msg.push = true;
+  msg.entries = {{1, 10}, {2, 20}};
+  const Message decoded = decode_message(encode_message(msg));
+  const auto* out = std::get_if<SummaryMsg>(&decoded);
+  ASSERT_NE(out, nullptr);
+  EXPECT_TRUE(out->push);
+  ASSERT_EQ(out->entries.size(), 2u);
+  EXPECT_EQ(out->entries[1].id, 2u);
+  EXPECT_EQ(out->entries[1].version, 20u);
+}
+
+TEST(Messages, SummaryRequestRoundtrip) {
+  const Message decoded = decode_message(encode_message(SummaryRequestMsg{}));
+  EXPECT_NE(std::get_if<SummaryRequestMsg>(&decoded), nullptr);
+}
+
+TEST(Messages, PullRequestRoundtrip) {
+  PullRequestMsg msg;
+  msg.ids = {{9, 1}, {8, 2}};
+  const Message decoded = decode_message(encode_message(msg));
+  const auto* out = std::get_if<PullRequestMsg>(&decoded);
+  ASSERT_NE(out, nullptr);
+  EXPECT_EQ(out->ids, msg.ids);
+}
+
+TEST(Messages, PullResponseRoundtrip) {
+  PullResponseMsg msg;
+  msg.rumors.push_back(payload(3, 4, true, 100));
+  const Message decoded = decode_message(encode_message(msg));
+  const auto* out = std::get_if<PullResponseMsg>(&decoded);
+  ASSERT_NE(out, nullptr);
+  ASSERT_EQ(out->rumors.size(), 1u);
+  EXPECT_EQ(out->rumors[0].id(), (RumorId{3, 4}));
+}
+
+TEST(Messages, UnknownTagThrows) {
+  const std::vector<std::uint8_t> bogus = {0x7f};
+  EXPECT_THROW(decode_message(bogus), std::exception);
+}
+
+TEST(Messages, TruncatedMessageThrows) {
+  RumorMsg msg;
+  msg.rumors.push_back(payload(1, 2, true, 42));
+  auto bytes = encode_message(msg);
+  bytes.resize(bytes.size() / 2);
+  EXPECT_THROW(decode_message(bytes), std::exception);
+}
+
+TEST(Messages, MessageNames) {
+  EXPECT_STREQ(message_name(Message{RumorMsg{}}), "Rumor");
+  EXPECT_STREQ(message_name(Message{SummaryMsg{}}), "Summary");
+  EXPECT_STREQ(message_name(Message{PullRequestMsg{}}), "PullRequest");
+}
+
+}  // namespace
+}  // namespace planetp::gossip

@@ -1,0 +1,130 @@
+#include "index/inverted_index.hpp"
+
+#include <gtest/gtest.h>
+
+#include "index/document.hpp"
+
+namespace planetp::index {
+namespace {
+
+using Freqs = std::unordered_map<std::string, std::uint32_t>;
+
+TEST(InvertedIndex, AddAndQuery) {
+  InvertedIndex idx;
+  idx.add_document({0, 1}, Freqs{{"apple", 3}, {"banana", 1}});
+  idx.add_document({0, 2}, Freqs{{"apple", 1}, {"cherry", 2}});
+
+  EXPECT_EQ(idx.num_documents(), 2u);
+  EXPECT_EQ(idx.num_terms(), 3u);
+  EXPECT_EQ(idx.document_frequency("apple"), 2u);
+  EXPECT_EQ(idx.document_frequency("banana"), 1u);
+  EXPECT_EQ(idx.document_frequency("durian"), 0u);
+  EXPECT_EQ(idx.collection_frequency("apple"), 4u);
+  EXPECT_EQ(idx.term_frequency("apple", {0, 1}), 3u);
+  EXPECT_EQ(idx.term_frequency("apple", {0, 2}), 1u);
+  EXPECT_EQ(idx.term_frequency("cherry", {0, 1}), 0u);
+}
+
+TEST(InvertedIndex, DocumentLengths) {
+  InvertedIndex idx;
+  idx.add_document({0, 1}, Freqs{{"a", 2}, {"b", 3}});
+  EXPECT_EQ(idx.document_length({0, 1}), 5u);
+  EXPECT_EQ(idx.document_length({0, 9}), 0u);
+}
+
+TEST(InvertedIndex, DuplicateAddThrows) {
+  InvertedIndex idx;
+  idx.add_document({0, 1}, Freqs{{"a", 1}});
+  EXPECT_THROW(idx.add_document({0, 1}, Freqs{{"b", 1}}), std::invalid_argument);
+}
+
+TEST(InvertedIndex, RemoveDocument) {
+  InvertedIndex idx;
+  idx.add_document({0, 1}, Freqs{{"shared", 1}, {"only1", 1}});
+  idx.add_document({0, 2}, Freqs{{"shared", 2}});
+
+  EXPECT_TRUE(idx.remove_document({0, 1}));
+  EXPECT_FALSE(idx.remove_document({0, 1}));  // already gone
+  EXPECT_EQ(idx.num_documents(), 1u);
+  EXPECT_FALSE(idx.contains_term("only1"));
+  EXPECT_EQ(idx.collection_frequency("shared"), 2u);
+  EXPECT_EQ(idx.document_frequency("shared"), 1u);
+}
+
+TEST(InvertedIndex, PostingsContent) {
+  InvertedIndex idx;
+  idx.add_document({1, 5}, Freqs{{"x", 7}});
+  const auto& plist = idx.postings("x");
+  ASSERT_EQ(plist.size(), 1u);
+  EXPECT_EQ(plist[0].doc, (DocumentId{1, 5}));
+  EXPECT_EQ(plist[0].term_freq, 7u);
+  EXPECT_TRUE(idx.postings("absent").empty());
+}
+
+TEST(InvertedIndex, ForEachTermVisitsAll) {
+  InvertedIndex idx;
+  idx.add_document({0, 1}, Freqs{{"a", 1}, {"b", 1}, {"c", 1}});
+  std::size_t count = 0;
+  idx.for_each_term([&](const std::string&) { ++count; });
+  EXPECT_EQ(count, 3u);
+}
+
+TEST(InvertedIndex, DocumentsSorted) {
+  InvertedIndex idx;
+  idx.add_document({0, 3}, Freqs{{"a", 1}});
+  idx.add_document({0, 1}, Freqs{{"a", 1}});
+  idx.add_document({0, 2}, Freqs{{"a", 1}});
+  const auto docs = idx.documents();
+  ASSERT_EQ(docs.size(), 3u);
+  EXPECT_EQ(docs[0].local, 1u);
+  EXPECT_EQ(docs[2].local, 3u);
+}
+
+TEST(Document, MakeDocumentExtractsEverything) {
+  const std::string xml = R"(<document title="Gossip Paper">
+      <abstract>We present PlanetP.</abstract>
+      <link href="paper.ps" type="postscript">full postscript text here</link>
+    </document>)";
+  const Document doc = make_document({3, 7}, xml);
+  EXPECT_EQ(doc.id, (DocumentId{3, 7}));
+  EXPECT_EQ(doc.title, "Gossip Paper");
+  EXPECT_NE(doc.text.find("PlanetP"), std::string::npos);
+  EXPECT_NE(doc.text.find("postscript text"), std::string::npos);
+  ASSERT_EQ(doc.links.size(), 1u);
+  EXPECT_EQ(doc.links[0].href, "paper.ps");
+  EXPECT_EQ(doc.links[0].content_type, "postscript");
+  EXPECT_FALSE(doc.links[0].content.empty());
+}
+
+TEST(Document, TitleFromChildElement) {
+  const Document doc = make_document({0, 0}, "<doc><title>Child Title</title>body</doc>");
+  EXPECT_EQ(doc.title, "Child Title");
+}
+
+TEST(Document, UnknownLinkTypeNotExtracted) {
+  const Document doc = make_document(
+      {0, 0}, R"(<doc><link href="img.png" type="image">alt text</link></doc>)");
+  ASSERT_EQ(doc.links.size(), 1u);
+  EXPECT_TRUE(doc.links[0].content.empty());
+}
+
+TEST(Document, MalformedXmlThrows) {
+  EXPECT_THROW(make_document({0, 0}, "<doc>unclosed"), std::runtime_error);
+}
+
+TEST(Document, WrapTextEscapes) {
+  const std::string xml = wrap_text_as_xml("A & B", "body with <angle>");
+  const Document doc = make_document({0, 0}, xml);
+  EXPECT_EQ(doc.title, "A & B");
+  EXPECT_NE(doc.text.find("<angle>"), std::string::npos);
+}
+
+TEST(DocumentId, OrderingAndHash) {
+  const DocumentId a{1, 2}, b{1, 3}, c{2, 0};
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, c);
+  EXPECT_NE(DocumentIdHash{}(a), DocumentIdHash{}(b));
+}
+
+}  // namespace
+}  // namespace planetp::index

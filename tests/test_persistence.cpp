@@ -1,0 +1,121 @@
+#include "index/persistence.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+namespace planetp::index {
+namespace {
+
+bloom::BloomParams small_bloom() { return bloom::BloomParams{65536, 2}; }
+
+DataStore make_store() {
+  DataStore store(7, small_bloom());
+  store.publish_text("First", "gossip protocols spread rumors epidemically");
+  store.publish_text("Second", "bloom filters summarize sets compactly");
+  store.publish_text("Third", "consistent hashing balances load");
+  return store;
+}
+
+TEST(Persistence, RoundtripPreservesDocuments) {
+  const DataStore original = make_store();
+  const auto bytes = serialize_data_store(original);
+  const DataStore restored = deserialize_data_store(bytes, small_bloom());
+
+  EXPECT_EQ(restored.peer_id(), original.peer_id());
+  EXPECT_EQ(restored.num_documents(), 3u);
+  ASSERT_EQ(restored.documents(), original.documents());
+  for (const DocumentId& id : original.documents()) {
+    const Document* a = original.document(id);
+    const Document* b = restored.document(id);
+    ASSERT_NE(b, nullptr);
+    EXPECT_EQ(a->title, b->title);
+    EXPECT_EQ(a->xml_source, b->xml_source);
+  }
+}
+
+TEST(Persistence, RestoredIndexAnswersQueries) {
+  const auto bytes = serialize_data_store(make_store());
+  const DataStore restored = deserialize_data_store(bytes, small_bloom());
+  EXPECT_EQ(restored.search_all_terms("gossip rumors").size(), 1u);
+  EXPECT_EQ(restored.search_all_terms("bloom filters").size(), 1u);
+  EXPECT_TRUE(restored.search_all_terms("nonexistent").empty());
+}
+
+TEST(Persistence, RestoredBloomFilterMatches) {
+  const DataStore original = make_store();
+  const auto bytes = serialize_data_store(original);
+  const DataStore restored = deserialize_data_store(bytes, small_bloom());
+  EXPECT_EQ(restored.bloom_filter(), original.bloom_filter());
+}
+
+TEST(Persistence, IdGapsAreNotReused) {
+  DataStore store(1, small_bloom());
+  store.publish_text("keep", "alpha");
+  const DocumentId doomed = store.publish_text("drop", "beta");
+  store.publish_text("keep2", "gamma");
+  store.unpublish(doomed);
+
+  const auto bytes = serialize_data_store(store);
+  DataStore restored = deserialize_data_store(bytes, small_bloom());
+  EXPECT_EQ(restored.num_documents(), 2u);
+  // New publishes continue after the highest ever-assigned id.
+  const DocumentId fresh = restored.publish_text("new", "delta");
+  EXPECT_GE(fresh.local, 3u);
+}
+
+TEST(Persistence, EmptyStoreRoundtrip) {
+  DataStore empty(42, small_bloom());
+  const auto bytes = serialize_data_store(empty);
+  const DataStore restored = deserialize_data_store(bytes, small_bloom());
+  EXPECT_EQ(restored.peer_id(), 42u);
+  EXPECT_EQ(restored.num_documents(), 0u);
+}
+
+TEST(Persistence, CorruptMagicRejected) {
+  auto bytes = serialize_data_store(make_store());
+  bytes[0] = 'X';
+  EXPECT_THROW(deserialize_data_store(bytes, small_bloom()), std::runtime_error);
+}
+
+TEST(Persistence, UnsupportedVersionRejected) {
+  auto bytes = serialize_data_store(make_store());
+  bytes[4] = 99;  // version field
+  EXPECT_THROW(deserialize_data_store(bytes, small_bloom()), std::runtime_error);
+}
+
+TEST(Persistence, TruncatedSnapshotRejected) {
+  auto bytes = serialize_data_store(make_store());
+  bytes.resize(bytes.size() / 2);
+  EXPECT_THROW(deserialize_data_store(bytes, small_bloom()), std::exception);
+}
+
+TEST(Persistence, FileRoundtrip) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "planetp_store_test.ppds").string();
+  const DataStore original = make_store();
+  ASSERT_TRUE(save_data_store(original, path));
+  const DataStore restored = load_data_store(path, small_bloom());
+  EXPECT_EQ(restored.num_documents(), original.num_documents());
+  EXPECT_EQ(restored.bloom_filter(), original.bloom_filter());
+  std::remove(path.c_str());
+}
+
+TEST(Persistence, LoadMissingFileThrows) {
+  EXPECT_THROW(load_data_store("/nonexistent/path/store.ppds", small_bloom()),
+               std::runtime_error);
+}
+
+TEST(Persistence, PublishAsRejectsDuplicates) {
+  DataStore store(1, small_bloom());
+  store.publish_as(5, wrap_text_as_xml("five", "content"));
+  EXPECT_THROW(store.publish_as(5, wrap_text_as_xml("again", "content")),
+               std::invalid_argument);
+  // And the counter advanced past the explicit id.
+  const DocumentId next = store.publish_text("auto", "more");
+  EXPECT_EQ(next.local, 6u);
+}
+
+}  // namespace
+}  // namespace planetp::index

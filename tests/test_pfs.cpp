@@ -1,0 +1,149 @@
+#include "pfs/pfs.hpp"
+
+#include <gtest/gtest.h>
+
+namespace planetp::pfs {
+namespace {
+
+core::NodeConfig small_config() {
+  core::NodeConfig cfg;
+  cfg.bloom.bits = 65536;
+  return cfg;
+}
+
+TEST(FileServer, UrlAndGetRoundtrip) {
+  FileServer fs(3);
+  const std::string url = fs.put("papers/gossip.txt", "epidemic algorithms");
+  EXPECT_EQ(url, "pfs://3/papers/gossip.txt");
+  EXPECT_EQ(fs.url_for("papers/gossip.txt"), url);
+  EXPECT_EQ(fs.get(url), "epidemic algorithms");
+  EXPECT_FALSE(fs.url_for("missing").has_value());
+  EXPECT_FALSE(fs.get("pfs://3/missing").has_value());
+  EXPECT_FALSE(fs.get("pfs://9/papers/gossip.txt").has_value());  // wrong server
+}
+
+TEST(FileServer, RemoveFile) {
+  FileServer fs(1);
+  fs.put("a.txt", "content");
+  EXPECT_TRUE(fs.remove("a.txt"));
+  EXPECT_FALSE(fs.remove("a.txt"));
+  EXPECT_EQ(fs.file_count(), 0u);
+}
+
+class PfsFixture : public ::testing::Test {
+ protected:
+  PfsFixture()
+      : community_(small_config()),
+        alice_(community_.create_node()),
+        bob_(community_.create_node()),
+        // Zero staleness threshold: every open() re-runs the query, so tests
+        // observe removals immediately (the community's virtual clock does
+        // not advance in instant mode).
+        alice_pfs_(alice_, /*stale_threshold=*/0),
+        bob_pfs_(bob_, /*stale_threshold=*/0) {}
+
+  core::Community community_;
+  core::Node& alice_;
+  core::Node& bob_;
+  Pfs alice_pfs_;
+  Pfs bob_pfs_;
+};
+
+TEST_F(PfsFixture, PublishedFileIsCommunitySearchable) {
+  alice_pfs_.publish_file("notes/raft.txt", "raft consensus leader election");
+  const auto result = bob_.exhaustive_search("raft consensus");
+  ASSERT_EQ(result.hits.size(), 1u);
+  EXPECT_EQ(result.hits[0].title, "notes/raft.txt");
+}
+
+TEST_F(PfsFixture, DirectoryListsMatchingFiles) {
+  alice_pfs_.publish_file("a.txt", "gossip protocols for membership");
+  alice_pfs_.publish_file("b.txt", "gossip about celebrities");
+  alice_pfs_.publish_file("c.txt", "btrees and storage engines");
+
+  const std::string dir = bob_pfs_.create_directory("gossip");
+  const auto entries = bob_pfs_.open(dir);
+  EXPECT_EQ(entries.size(), 2u);
+}
+
+TEST_F(PfsFixture, DirectoryUpdatesOnNewPublish) {
+  const std::string dir = bob_pfs_.create_directory("lighthouse");
+  EXPECT_TRUE(bob_pfs_.open(dir).empty());
+
+  alice_pfs_.publish_file("keeper.txt", "the lighthouse keeper's journal");
+  const auto entries = bob_pfs_.open(dir);
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].url, "pfs://0/keeper.txt");
+}
+
+TEST_F(PfsFixture, SubdirectoryRefinesQuery) {
+  alice_pfs_.publish_file("p1.txt", "distributed systems consensus paxos");
+  alice_pfs_.publish_file("p2.txt", "distributed systems gossip epidemics");
+
+  const std::string parent = bob_pfs_.create_directory("distributed systems");
+  const std::string child = bob_pfs_.create_subdirectory(parent, "gossip");
+  EXPECT_EQ(child, "/distributed systems/gossip");
+  EXPECT_EQ(bob_pfs_.open(parent).size(), 2u);
+  const auto refined = bob_pfs_.open(child);
+  ASSERT_EQ(refined.size(), 1u);
+  EXPECT_EQ(refined[0].url, "pfs://0/p2.txt");
+}
+
+TEST_F(PfsFixture, UnpublishedFileDisappearsOnRefresh) {
+  alice_pfs_.publish_file("gone.txt", "vanishing albatross records");
+  const std::string dir = bob_pfs_.create_directory("albatross");
+  ASSERT_EQ(bob_pfs_.open(dir).size(), 1u);
+
+  alice_pfs_.unpublish_file("gone.txt");
+  // open() re-runs the query when the directory is stale or on the next
+  // refresh; entries must drop the dead link.
+  const auto entries = bob_pfs_.open(dir);
+  EXPECT_TRUE(entries.empty());
+}
+
+TEST_F(PfsFixture, OwnNamespaceSeesOwnFiles) {
+  alice_pfs_.publish_file("self.txt", "introspective squid essays");
+  const std::string dir = alice_pfs_.create_directory("squid");
+  EXPECT_EQ(alice_pfs_.open(dir).size(), 1u);
+}
+
+TEST_F(PfsFixture, DirectoriesListing) {
+  bob_pfs_.create_directory("one");
+  bob_pfs_.create_directory("two");
+  const auto dirs = bob_pfs_.directories();
+  EXPECT_EQ(dirs.size(), 2u);
+}
+
+TEST_F(PfsFixture, RemoveDirectoryStopsTracking) {
+  const std::string dir = bob_pfs_.create_directory("meteor");
+  EXPECT_TRUE(bob_pfs_.remove_directory(dir));
+  EXPECT_FALSE(bob_pfs_.remove_directory(dir));
+  alice_pfs_.publish_file("m.txt", "meteor shower schedule");
+  EXPECT_TRUE(bob_pfs_.open(dir).empty());  // unknown directory now
+}
+
+TEST_F(PfsFixture, FileContentServedByUrl) {
+  const std::string url = alice_pfs_.publish_file("data.txt", "payload bytes here");
+  EXPECT_EQ(alice_pfs_.file_server().get(url), "payload bytes here");
+}
+
+
+TEST_F(PfsFixture, UpdatedFileMatchesNewQueries) {
+  alice_pfs_.publish_file("draft.txt", "early thoughts about nothing");
+  const std::string dir = bob_pfs_.create_directory("pelican");
+  EXPECT_TRUE(bob_pfs_.open(dir).empty());
+
+  ASSERT_TRUE(alice_pfs_.update_file("draft.txt", "notes on pelican migration"));
+  ASSERT_EQ(bob_pfs_.open(dir).size(), 1u);
+
+  // And the old content no longer matches.
+  const std::string old_dir = bob_pfs_.create_directory("thoughts");
+  EXPECT_TRUE(bob_pfs_.open(old_dir).empty());
+}
+
+TEST_F(PfsFixture, UpdateUnknownFileFails) {
+  EXPECT_FALSE(alice_pfs_.update_file("never-published.txt", "content"));
+}
+
+}  // namespace
+}  // namespace planetp::pfs

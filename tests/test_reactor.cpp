@@ -1,0 +1,222 @@
+#include "net/reactor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+namespace planetp::net {
+namespace {
+
+/// Collects frames/failures with waitable accessors.
+class Sink {
+ public:
+  void on_frame(const Frame& frame) {
+    std::lock_guard<std::mutex> lock(mu_);
+    frames_.push_back(frame);
+    cv_.notify_all();
+  }
+  void on_failure(const std::string& address) {
+    std::lock_guard<std::mutex> lock(mu_);
+    failures_.push_back(address);
+    cv_.notify_all();
+  }
+
+  bool wait_for_frames(std::size_t n, int seconds = 5) {
+    std::unique_lock<std::mutex> lock(mu_);
+    return cv_.wait_for(lock, std::chrono::seconds(seconds),
+                        [&] { return frames_.size() >= n; });
+  }
+  bool wait_for_failures(std::size_t n, int seconds = 5) {
+    std::unique_lock<std::mutex> lock(mu_);
+    return cv_.wait_for(lock, std::chrono::seconds(seconds),
+                        [&] { return failures_.size() >= n; });
+  }
+
+  std::vector<Frame> frames() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return frames_;
+  }
+  std::vector<std::string> failures() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return failures_;
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<Frame> frames_;
+  std::vector<std::string> failures_;
+};
+
+TEST(Reactor, DeliversFramesBetweenEndpoints) {
+  Reactor a, b;
+  Sink sink_a, sink_b;
+  a.listen(0);
+  b.listen(0);
+  a.start([&](const Frame& f) { sink_a.on_frame(f); },
+          [&](const std::string& addr) { sink_a.on_failure(addr); });
+  b.start([&](const Frame& f) { sink_b.on_frame(f); },
+          [&](const std::string& addr) { sink_b.on_failure(addr); });
+
+  Frame frame;
+  frame.sender = 1;
+  frame.channel = Channel::kGossip;
+  frame.payload = {10, 20, 30};
+  a.send(b.address(), frame);
+
+  ASSERT_TRUE(sink_b.wait_for_frames(1));
+  const auto frames = sink_b.frames();
+  EXPECT_EQ(frames[0].sender, 1u);
+  EXPECT_EQ(frames[0].payload, (std::vector<std::uint8_t>{10, 20, 30}));
+
+  // And the reverse direction (separate connection).
+  Frame reply;
+  reply.sender = 2;
+  b.send(a.address(), reply);
+  ASSERT_TRUE(sink_a.wait_for_frames(1));
+  EXPECT_EQ(sink_a.frames()[0].sender, 2u);
+
+  a.stop();
+  b.stop();
+}
+
+TEST(Reactor, ManyFramesArriveInOrder) {
+  Reactor a, b;
+  Sink sink_b;
+  a.listen(0);
+  b.listen(0);
+  a.start(nullptr, nullptr);
+  b.start([&](const Frame& f) { sink_b.on_frame(f); }, nullptr);
+
+  constexpr std::size_t kFrames = 200;
+  for (std::size_t i = 0; i < kFrames; ++i) {
+    Frame frame;
+    frame.sender = static_cast<std::uint32_t>(i);
+    frame.payload.assign(i % 50 + 1, static_cast<std::uint8_t>(i));
+    a.send(b.address(), frame);
+  }
+  ASSERT_TRUE(sink_b.wait_for_frames(kFrames, 10));
+  const auto frames = sink_b.frames();
+  for (std::size_t i = 0; i < kFrames; ++i) {
+    EXPECT_EQ(frames[i].sender, i) << i;  // single TCP stream preserves order
+  }
+  a.stop();
+  b.stop();
+}
+
+TEST(Reactor, SendToDeadPortReportsFailure) {
+  Reactor a;
+  Sink sink_a;
+  a.listen(0);
+  a.start(nullptr, [&](const std::string& addr) { sink_a.on_failure(addr); });
+
+  // Nothing listens on this port (we grab one, then close it by scoping a
+  // reactor that never starts).
+  std::uint16_t dead_port;
+  {
+    Reactor ephemeral;
+    dead_port = ephemeral.listen(0);
+  }
+  Frame frame;
+  frame.sender = 9;
+  a.send("127.0.0.1:" + std::to_string(dead_port), frame);
+  ASSERT_TRUE(sink_a.wait_for_failures(1, 10));
+  EXPECT_NE(sink_a.failures()[0].find(std::to_string(dead_port)), std::string::npos);
+  a.stop();
+}
+
+TEST(Reactor, UnparseableAddressFailsImmediately) {
+  Reactor a;
+  Sink sink_a;
+  a.listen(0);
+  a.start(nullptr, [&](const std::string& addr) { sink_a.on_failure(addr); });
+  a.send("not-an-address", Frame{});
+  ASSERT_TRUE(sink_a.wait_for_failures(1));
+  EXPECT_EQ(sink_a.failures()[0], "not-an-address");
+  a.stop();
+}
+
+TEST(Reactor, TimersFireInOrder) {
+  Reactor a;
+  a.listen(0);
+  a.start(nullptr, nullptr);
+
+  std::mutex mu;
+  std::condition_variable cv;
+  std::vector<int> order;
+  a.schedule(60 * kMillisecond, [&] {
+    std::lock_guard<std::mutex> lock(mu);
+    order.push_back(2);
+    cv.notify_all();
+  });
+  a.schedule(20 * kMillisecond, [&] {
+    std::lock_guard<std::mutex> lock(mu);
+    order.push_back(1);
+    cv.notify_all();
+  });
+
+  std::unique_lock<std::mutex> lock(mu);
+  ASSERT_TRUE(cv.wait_for(lock, std::chrono::seconds(5), [&] { return order.size() == 2; }));
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  a.stop();
+}
+
+TEST(Reactor, CancelledTimerDoesNotFire) {
+  Reactor a;
+  a.listen(0);
+  a.start(nullptr, nullptr);
+
+  std::atomic<int> fired{0};
+  const auto token = a.schedule(100 * kMillisecond, [&] { fired.fetch_add(1); });
+  a.cancel_timer(token);
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  EXPECT_EQ(fired.load(), 0);
+  a.stop();
+}
+
+TEST(Reactor, PostRunsOnReactorThread) {
+  Reactor a;
+  a.listen(0);
+  a.start(nullptr, nullptr);
+  std::atomic<bool> ran{false};
+  a.post([&] { ran.store(true); });
+  for (int i = 0; i < 100 && !ran.load(); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_TRUE(ran.load());
+  a.stop();
+}
+
+TEST(Reactor, StopIsIdempotent) {
+  Reactor a;
+  a.listen(0);
+  a.start(nullptr, nullptr);
+  a.stop();
+  a.stop();
+  SUCCEED();
+}
+
+TEST(Reactor, LargeFrameRoundtrip) {
+  Reactor a, b;
+  Sink sink_b;
+  a.listen(0);
+  b.listen(0);
+  a.start(nullptr, nullptr);
+  b.start([&](const Frame& f) { sink_b.on_frame(f); }, nullptr);
+
+  Frame frame;
+  frame.sender = 3;
+  frame.payload.assign(2 << 20, 0x5a);  // 2 MiB: exercises partial writes
+  a.send(b.address(), frame);
+  ASSERT_TRUE(sink_b.wait_for_frames(1, 15));
+  EXPECT_EQ(sink_b.frames()[0].payload.size(), frame.payload.size());
+  a.stop();
+  b.stop();
+}
+
+}  // namespace
+}  // namespace planetp::net

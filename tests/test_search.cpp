@@ -1,0 +1,284 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "search/distributed.hpp"
+#include "search/evaluation.hpp"
+#include "search/experiment.hpp"
+#include "search/ipf.hpp"
+#include "search/ranker.hpp"
+#include "search/vector_model.hpp"
+
+namespace planetp::search {
+namespace {
+
+using index::DocumentId;
+using index::InvertedIndex;
+using Freqs = std::unordered_map<std::string, std::uint32_t>;
+
+TEST(VectorModel, IdfFormula) {
+  // IDF_t = log(1 + N/f_t)
+  EXPECT_DOUBLE_EQ(idf(100, 10), std::log(11.0));
+  EXPECT_DOUBLE_EQ(idf(100, 100), std::log(2.0));
+  EXPECT_EQ(idf(100, 0), 0.0);
+}
+
+TEST(VectorModel, IpfFormula) {
+  EXPECT_DOUBLE_EQ(ipf(400, 4), std::log(101.0));
+  EXPECT_EQ(ipf(400, 0), 0.0);
+}
+
+TEST(VectorModel, DocWeight) {
+  EXPECT_DOUBLE_EQ(doc_weight(1), 1.0);
+  EXPECT_DOUBLE_EQ(doc_weight(10), 1.0 + std::log(10.0));
+  EXPECT_EQ(doc_weight(0), 0.0);
+}
+
+TEST(VectorModel, RareTermsWeighMore) {
+  EXPECT_GT(idf(1000, 5), idf(1000, 500));
+  EXPECT_GT(ipf(1000, 5), ipf(1000, 500));
+}
+
+TEST(Ranker, ScoreMatchesHandComputation) {
+  InvertedIndex idx;
+  idx.add_document({0, 1}, Freqs{{"apple", 4}, {"pear", 1}});  // |D| = 5
+  idx.add_document({0, 2}, Freqs{{"apple", 1}, {"plum", 3}});  // |D| = 4
+
+  const std::unordered_map<std::string, double> weights = {{"apple", 2.0}};
+  const auto scored = score_documents(idx, weights);
+  ASSERT_EQ(scored.size(), 2u);
+
+  const double s1 = (1.0 + std::log(4.0)) * 2.0 / std::sqrt(5.0);
+  const double s2 = 1.0 * 2.0 / std::sqrt(4.0);
+  EXPECT_EQ(scored[0].doc, (DocumentId{0, 1}));
+  EXPECT_NEAR(scored[0].score, s1, 1e-12);
+  EXPECT_NEAR(scored[1].score, s2, 1e-12);
+}
+
+TEST(Ranker, MultiTermAccumulates) {
+  InvertedIndex idx;
+  idx.add_document({0, 1}, Freqs{{"a", 1}, {"b", 1}});  // matches both
+  idx.add_document({0, 2}, Freqs{{"a", 1}, {"c", 1}});  // matches one
+  const auto scored =
+      score_documents(idx, {{"a", 1.0}, {"b", 1.0}});
+  ASSERT_EQ(scored.size(), 2u);
+  EXPECT_EQ(scored[0].doc, (DocumentId{0, 1}));
+  EXPECT_GT(scored[0].score, scored[1].score);
+}
+
+TEST(Ranker, ZeroWeightTermsIgnored) {
+  InvertedIndex idx;
+  idx.add_document({0, 1}, Freqs{{"common", 1}});
+  const auto scored = score_documents(idx, {{"common", 0.0}});
+  EXPECT_TRUE(scored.empty());
+}
+
+TEST(Ranker, TfIdfTopKOrdersByRelevance) {
+  InvertedIndex idx;
+  // "rare" appears in one doc, "common" in all: querying both should rank
+  // the rare-containing doc first.
+  idx.add_document({0, 1}, Freqs{{"rare", 2}, {"common", 1}});
+  idx.add_document({0, 2}, Freqs{{"common", 2}});
+  idx.add_document({0, 3}, Freqs{{"common", 1}});
+
+  TfIdfRanker ranker(idx);
+  const auto top = ranker.top_k({"rare", "common"}, 2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].doc, (DocumentId{0, 1}));
+}
+
+TEST(Ipf, TableCountsPeersWithTerm) {
+  bloom::BloomParams params{65536, 2};
+  bloom::BloomFilter f1(params), f2(params), f3(params);
+  f1.insert("gossip");
+  f2.insert("gossip");
+  f2.insert("bloom");
+  f3.insert("chord");
+
+  const std::vector<PeerFilter> filters = {{1, &f1}, {2, &f2}, {3, &f3}};
+  const IpfTable table({"gossip", "bloom", "nowhere"}, filters);
+  EXPECT_EQ(table.peers_with("gossip").size(), 2u);
+  EXPECT_EQ(table.peers_with("bloom").size(), 1u);
+  EXPECT_TRUE(table.peers_with("nowhere").empty());
+  EXPECT_DOUBLE_EQ(table.weight("gossip"), ipf(3, 2));
+  EXPECT_DOUBLE_EQ(table.weight("bloom"), ipf(3, 1));
+  EXPECT_EQ(table.weight("nowhere"), 0.0);
+}
+
+TEST(RankPeers, Equation3Ordering) {
+  bloom::BloomParams params{65536, 2};
+  bloom::BloomFilter both(params), one(params), none(params);
+  both.insert("x");
+  both.insert("y");
+  one.insert("x");
+  none.insert("z");
+
+  const std::vector<PeerFilter> filters = {{1, &both}, {2, &one}, {3, &none}};
+  const IpfTable table({"x", "y"}, filters);
+  const auto ranked = rank_peers(table);
+  // Peer 3 has no query term: omitted. Peer 1 holds both terms: first.
+  ASSERT_EQ(ranked.size(), 2u);
+  EXPECT_EQ(ranked[0].peer, 1u);
+  EXPECT_EQ(ranked[1].peer, 2u);
+  EXPECT_GT(ranked[0].rank, ranked[1].rank);
+}
+
+TEST(StoppingHeuristic, Equation4Values) {
+  StoppingHeuristic h;
+  // p = floor(2 + N/300) + 2*floor(k/50)
+  EXPECT_EQ(h.patience(0, 10), 2u);
+  EXPECT_EQ(h.patience(300, 10), 3u);
+  EXPECT_EQ(h.patience(400, 20), 3u);
+  EXPECT_EQ(h.patience(400, 50), 5u);
+  EXPECT_EQ(h.patience(400, 100), 7u);
+  EXPECT_EQ(h.patience(3000, 500), 32u);
+}
+
+TEST(DistributedSearch, SinglePeerEqualsLocalRanking) {
+  // Degenerate community: TFxIPF over one peer must return exactly that
+  // peer's ranked documents.
+  InvertedIndex idx;
+  idx.add_document({0, 1}, Freqs{{"alpha", 3}});
+  idx.add_document({0, 2}, Freqs{{"alpha", 1}, {"beta", 1}});
+  bloom::BloomParams params{65536, 2};
+  bloom::BloomFilter filter(params);
+  filter.insert("alpha");
+  filter.insert("beta");
+
+  const std::vector<PeerFilter> views = {{0, &filter}};
+  DistributedSearchOptions opts;
+  opts.k = 10;
+  const auto result = tfipf_search(
+      {"alpha"}, views,
+      [&](std::uint32_t, const std::unordered_map<std::string, double>& w) {
+        return score_documents(idx, w);
+      },
+      opts);
+  ASSERT_EQ(result.docs.size(), 2u);
+  EXPECT_EQ(result.contacted.size(), 1u);
+  EXPECT_EQ(result.docs[0].doc, (DocumentId{0, 1}));
+}
+
+TEST(DistributedSearch, ContactsPeersInRankOrder) {
+  bloom::BloomParams params{65536, 2};
+  bloom::BloomFilter strong(params), weak(params);
+  strong.insert("q1");
+  strong.insert("q2");
+  weak.insert("q1");
+  const std::vector<PeerFilter> views = {{5, &weak}, {9, &strong}};
+
+  std::vector<std::uint32_t> order;
+  DistributedSearchOptions opts;
+  opts.k = 5;
+  tfipf_search(
+      {"q1", "q2"}, views,
+      [&](std::uint32_t peer, const auto&) {
+        order.push_back(peer);
+        return std::vector<ScoredDoc>{};
+      },
+      opts);
+  ASSERT_GE(order.size(), 1u);
+  EXPECT_EQ(order[0], 9u);  // both-terms peer ranked first
+}
+
+TEST(DistributedSearch, StopsAfterNonContributingStreak) {
+  // 30 candidate peers all claim the term, but only the first returns
+  // documents; the adaptive heuristic must stop long before 30 contacts.
+  bloom::BloomParams params{65536, 2};
+  bloom::BloomFilter filter(params);
+  filter.insert("term");
+  std::vector<PeerFilter> views;
+  views.reserve(30);
+  for (std::uint32_t i = 0; i < 30; ++i) views.push_back({i, &filter});
+
+  std::size_t contacts = 0;
+  DistributedSearchOptions opts;
+  opts.k = 5;
+  const auto result = tfipf_search(
+      {"term"}, views,
+      [&](std::uint32_t peer, const auto& w) {
+        ++contacts;
+        std::vector<ScoredDoc> docs;
+        if (peer == 0) {
+          for (std::uint32_t d = 0; d < 5; ++d) docs.push_back({{0, d}, 1.0});
+        }
+        (void)w;
+        return docs;
+      },
+      opts);
+  const std::size_t patience = opts.stopping.patience(views.size(), opts.k);
+  EXPECT_LE(contacts, 1 + patience + 1);
+  EXPECT_EQ(result.docs.size(), 5u);
+}
+
+TEST(DistributedSearch, GroupContactIsEquivalentButBatched) {
+  bloom::BloomParams params{65536, 2};
+  bloom::BloomFilter filter(params);
+  filter.insert("t");
+  std::vector<PeerFilter> views;
+  for (std::uint32_t i = 0; i < 10; ++i) views.push_back({i, &filter});
+
+  auto contact = [&](std::uint32_t peer, const auto&) {
+    std::vector<ScoredDoc> docs;
+    docs.push_back({{peer, 0}, 1.0 / (peer + 1.0)});
+    return docs;
+  };
+  DistributedSearchOptions seq;
+  seq.k = 3;
+  DistributedSearchOptions par = seq;
+  par.group_size = 4;
+  const auto r1 = tfipf_search({"t"}, views, contact, seq);
+  const auto r2 = tfipf_search({"t"}, views, contact, par);
+  ASSERT_EQ(r1.docs.size(), r2.docs.size());
+  for (std::size_t i = 0; i < r1.docs.size(); ++i) {
+    EXPECT_EQ(r1.docs[i].doc, r2.docs[i].doc);
+  }
+  // The parallel variant may contact somewhat more peers (the §5.2 tradeoff).
+  EXPECT_GE(r2.contacted.size(), r1.contacted.size());
+}
+
+TEST(DistributedSearch, MaxPeersCapRespected) {
+  bloom::BloomParams params{65536, 2};
+  bloom::BloomFilter filter(params);
+  filter.insert("t");
+  std::vector<PeerFilter> views;
+  for (std::uint32_t i = 0; i < 20; ++i) views.push_back({i, &filter});
+  DistributedSearchOptions opts;
+  opts.k = 100;  // huge k: would contact everyone
+  opts.max_peers = 4;
+  const auto r = tfipf_search({"t"}, views,
+                              [](std::uint32_t, const auto&) {
+                                return std::vector<ScoredDoc>{};
+                              },
+                              opts);
+  EXPECT_LE(r.contacted.size(), 4u);
+}
+
+TEST(Evaluation, RecallAndPrecision) {
+  RelevantSet relevant = {{0, 1}, {0, 2}, {0, 3}, {0, 4}};
+  std::vector<ScoredDoc> presented = {{{0, 1}, 1.0}, {{0, 2}, 0.9}, {{0, 99}, 0.5}};
+  EXPECT_DOUBLE_EQ(recall(presented, relevant), 0.5);
+  EXPECT_NEAR(precision(presented, relevant), 2.0 / 3.0, 1e-12);
+}
+
+TEST(Evaluation, EdgeCases) {
+  EXPECT_DOUBLE_EQ(recall({}, {}), 1.0);
+  EXPECT_DOUBLE_EQ(precision({}, {{0, 1}}), 1.0);
+  EXPECT_DOUBLE_EQ(recall({}, {{0, 1}}), 0.0);
+}
+
+TEST(Evaluation, BestPeersGreedyCover) {
+  RelevantSet relevant = {{0, 1}, {0, 2}, {0, 3}, {0, 4}, {0, 5}};
+  std::unordered_map<DocumentId, std::uint32_t, index::DocumentIdHash> owner = {
+      {{0, 1}, 10}, {{0, 2}, 10}, {{0, 3}, 10},  // peer 10 holds three
+      {{0, 4}, 20}, {{0, 5}, 30},
+  };
+  EXPECT_EQ(best_peers_for_k(relevant, 3, owner), 1u);   // peer 10 suffices
+  EXPECT_EQ(best_peers_for_k(relevant, 4, owner), 2u);
+  EXPECT_EQ(best_peers_for_k(relevant, 5, owner), 3u);
+  EXPECT_EQ(best_peers_for_k(relevant, 100, owner), 3u); // capped at |relevant|
+  EXPECT_EQ(best_peers_for_k({}, 5, owner), 0u);
+}
+
+}  // namespace
+}  // namespace planetp::search

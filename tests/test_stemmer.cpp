@@ -1,0 +1,131 @@
+#include "text/porter_stemmer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace planetp::text {
+namespace {
+
+using Pair = std::pair<const char*, const char*>;
+
+class PorterVectors : public ::testing::TestWithParam<Pair> {};
+
+TEST_P(PorterVectors, StemsCorrectly) {
+  const auto [input, expected] = GetParam();
+  EXPECT_EQ(porter_stem_copy(input), expected) << input;
+}
+
+// Examples from Porter's 1980 paper, step by step.
+INSTANTIATE_TEST_SUITE_P(
+    Step1a, PorterVectors,
+    ::testing::Values(Pair{"caresses", "caress"}, Pair{"ponies", "poni"},
+                      Pair{"ties", "ti"}, Pair{"caress", "caress"}, Pair{"cats", "cat"}));
+
+INSTANTIATE_TEST_SUITE_P(
+    Step1b, PorterVectors,
+    ::testing::Values(Pair{"feed", "feed"}, Pair{"agreed", "agre"},
+                      Pair{"plastered", "plaster"}, Pair{"bled", "bled"},
+                      Pair{"motoring", "motor"}, Pair{"sing", "sing"}));
+
+INSTANTIATE_TEST_SUITE_P(
+    Step1bCleanup, PorterVectors,
+    ::testing::Values(Pair{"conflated", "conflat"}, Pair{"troubled", "troubl"},
+                      Pair{"sized", "size"}, Pair{"hopping", "hop"}, Pair{"tanned", "tan"},
+                      Pair{"falling", "fall"}, Pair{"hissing", "hiss"},
+                      Pair{"fizzed", "fizz"}, Pair{"failing", "fail"},
+                      Pair{"filing", "file"}));
+
+INSTANTIATE_TEST_SUITE_P(Step1c, PorterVectors,
+                         ::testing::Values(Pair{"happy", "happi"}, Pair{"sky", "sky"}));
+
+INSTANTIATE_TEST_SUITE_P(
+    Step2, PorterVectors,
+    ::testing::Values(Pair{"relational", "relat"}, Pair{"conditional", "condit"},
+                      Pair{"rational", "ration"}, Pair{"valenci", "valenc"},
+                      Pair{"hesitanci", "hesit"}, Pair{"digitizer", "digit"},
+                      Pair{"operator", "oper"}, Pair{"feudalism", "feudal"},
+                      Pair{"decisiveness", "decis"}, Pair{"hopefulness", "hope"},
+                      Pair{"callousness", "callous"}, Pair{"formaliti", "formal"},
+                      Pair{"sensitiviti", "sensit"}, Pair{"sensibiliti", "sensibl"}));
+
+INSTANTIATE_TEST_SUITE_P(
+    Step3, PorterVectors,
+    ::testing::Values(Pair{"triplicate", "triplic"}, Pair{"formative", "form"},
+                      // Step 3 maps -iciti/-ical to -ic; step 4 then strips
+                      // the residual -ic (m > 1), so the full pipeline yields
+                      // "electr" (matching Porter's reference output).
+                      Pair{"formalize", "formal"}, Pair{"electriciti", "electr"},
+                      Pair{"electrical", "electr"}, Pair{"hopeful", "hope"},
+                      Pair{"goodness", "good"}));
+
+INSTANTIATE_TEST_SUITE_P(
+    Step4, PorterVectors,
+    ::testing::Values(Pair{"revival", "reviv"}, Pair{"allowance", "allow"},
+                      Pair{"inference", "infer"}, Pair{"airliner", "airlin"},
+                      Pair{"gyroscopic", "gyroscop"}, Pair{"adjustable", "adjust"},
+                      Pair{"defensible", "defens"}, Pair{"irritant", "irrit"},
+                      Pair{"replacement", "replac"}, Pair{"adjustment", "adjust"},
+                      Pair{"dependent", "depend"}, Pair{"adoption", "adopt"},
+                      Pair{"communism", "commun"}, Pair{"activate", "activ"},
+                      Pair{"angulariti", "angular"}, Pair{"homologous", "homolog"},
+                      Pair{"effective", "effect"}, Pair{"bowdlerize", "bowdler"}));
+
+INSTANTIATE_TEST_SUITE_P(
+    Step5, PorterVectors,
+    ::testing::Values(Pair{"probate", "probat"}, Pair{"rate", "rate"},
+                      Pair{"cease", "ceas"}, Pair{"controll", "control"},
+                      Pair{"roll", "roll"}));
+
+INSTANTIATE_TEST_SUITE_P(
+    CommonEnglish, PorterVectors,
+    ::testing::Values(Pair{"running", "run"}, Pair{"jumped", "jump"},
+                      Pair{"flies", "fli"}, Pair{"dogs", "dog"},
+                      Pair{"networks", "network"}, Pair{"searching", "search"},
+                      Pair{"retrieval", "retriev"}, Pair{"gossiping", "gossip"},
+                      Pair{"communities", "commun"}, Pair{"documents", "document"}));
+
+TEST(Porter, ShortWordsUnchanged) {
+  for (const char* w : {"a", "ab", "is", "be", "we"}) {
+    EXPECT_EQ(porter_stem_copy(w), w);
+  }
+}
+
+TEST(Porter, IdempotentOnItsOutput) {
+  // Stemming a stem is common in pipelines; it must be stable for typical
+  // vocabulary (Porter is not formally idempotent, but is for these).
+  for (const char* w : {"running", "caresses", "relational", "hopefulness",
+                        "adjustable", "motoring"}) {
+    const std::string once = porter_stem_copy(w);
+    const std::string twice = porter_stem_copy(once);
+    EXPECT_EQ(once, twice) << w;
+  }
+}
+
+TEST(Porter, InPlaceMatchesCopy) {
+  std::string w = "generalizations";
+  const std::string copy_result = porter_stem_copy(w);
+  porter_stem(w);
+  EXPECT_EQ(w, copy_result);
+}
+
+TEST(Porter, HandlesAllSameLetter) {
+  // Degenerate inputs must not crash or loop.
+  for (const char* w : {"aaa", "sss", "eee", "yyy", "lll"}) {
+    const std::string out = porter_stem_copy(w);
+    EXPECT_LE(out.size(), 3u);
+  }
+}
+
+TEST(Porter, GeneralizationChain) {
+  // The classic demonstration from the paper's introduction.
+  EXPECT_EQ(porter_stem_copy("generalizations"), "gener");
+  EXPECT_EQ(porter_stem_copy("generalization"), "gener");
+  EXPECT_EQ(porter_stem_copy("generalize"), "gener");
+  EXPECT_EQ(porter_stem_copy("general"), "gener");
+}
+
+}  // namespace
+}  // namespace planetp::text

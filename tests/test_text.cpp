@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include "text/analyzer.hpp"
+#include "text/stopwords.hpp"
+#include "text/tokenizer.hpp"
+
+namespace planetp::text {
+namespace {
+
+TEST(Tokenizer, LowercasesAndSplits) {
+  const auto toks = tokenize("Hello, World! Foo-bar");
+  EXPECT_EQ(toks, (std::vector<std::string>{"hello", "world", "foo", "bar"}));
+}
+
+TEST(Tokenizer, DropsShortTokens) {
+  const auto toks = tokenize("a an the xy z");
+  // min_length defaults to 2: "a" and "z" are dropped.
+  EXPECT_EQ(toks, (std::vector<std::string>{"an", "the", "xy"}));
+}
+
+TEST(Tokenizer, MergesApostrophes) {
+  const auto toks = tokenize("don't can't O'Brien");
+  EXPECT_EQ(toks, (std::vector<std::string>{"dont", "cant", "obrien"}));
+}
+
+TEST(Tokenizer, KeepsNumbersByDefault) {
+  const auto toks = tokenize("route 66 and 1989");
+  EXPECT_EQ(toks, (std::vector<std::string>{"route", "66", "and", "1989"}));
+}
+
+TEST(Tokenizer, CanDropNumbers) {
+  TokenizerOptions opts;
+  opts.keep_numbers = false;
+  const auto toks = tokenize("route 66", opts);
+  EXPECT_EQ(toks, (std::vector<std::string>{"route"}));
+}
+
+TEST(Tokenizer, DropsOverlongTokens) {
+  TokenizerOptions opts;
+  opts.max_length = 5;
+  const auto toks = tokenize("tiny enormous", opts);
+  EXPECT_EQ(toks, (std::vector<std::string>{"tiny"}));
+}
+
+TEST(Tokenizer, EmptyAndPunctuationOnly) {
+  EXPECT_TRUE(tokenize("").empty());
+  EXPECT_TRUE(tokenize("!!! ... ---").empty());
+}
+
+TEST(Tokenizer, AlphanumericMix) {
+  const auto toks = tokenize("ipv6 x86b two2three");
+  EXPECT_EQ(toks, (std::vector<std::string>{"ipv6", "x86b", "two2three"}));
+}
+
+TEST(Stopwords, CommonWordsAreStopwords) {
+  for (const char* w : {"the", "of", "and", "is", "to", "a", "in"}) {
+    EXPECT_TRUE(is_stopword(w)) << w;
+  }
+}
+
+TEST(Stopwords, ContentWordsAreNot) {
+  for (const char* w : {"gossip", "bloom", "filter", "peer", "network"}) {
+    EXPECT_FALSE(is_stopword(w)) << w;
+  }
+}
+
+TEST(Stopwords, CountIsStable) { EXPECT_EQ(stopword_count(), 174u); }
+
+TEST(Analyzer, FullPipeline) {
+  Analyzer analyzer;
+  const auto terms = analyzer.analyze("The running dogs are jumping quickly");
+  // "the"/"are" are stop words; remaining words are stemmed.
+  EXPECT_EQ(terms, (std::vector<std::string>{"run", "dog", "jump", "quickli"}));
+}
+
+TEST(Analyzer, StemmingOffKeepsWords) {
+  AnalyzerOptions opts;
+  opts.stem = false;
+  Analyzer analyzer(opts);
+  const auto terms = analyzer.analyze("running dogs");
+  EXPECT_EQ(terms, (std::vector<std::string>{"running", "dogs"}));
+}
+
+TEST(Analyzer, StopwordsOffKeepsThem) {
+  AnalyzerOptions opts;
+  opts.remove_stopwords = false;
+  opts.stem = false;
+  Analyzer analyzer(opts);
+  const auto terms = analyzer.analyze("the cat");
+  EXPECT_EQ(terms, (std::vector<std::string>{"the", "cat"}));
+}
+
+TEST(Analyzer, TermFrequencies) {
+  Analyzer analyzer;
+  const auto freqs = analyzer.term_frequencies("cat cat dog cats");
+  // "cats" stems to "cat": frequency 3.
+  EXPECT_EQ(freqs.at("cat"), 3u);
+  EXPECT_EQ(freqs.at("dog"), 1u);
+  EXPECT_EQ(freqs.size(), 2u);
+}
+
+TEST(Analyzer, ProcessTokenLowercasesAndStems) {
+  Analyzer analyzer;
+  EXPECT_EQ(analyzer.process_token("Running"), "run");
+  EXPECT_EQ(analyzer.process_token("THE"), "");  // stop word dropped
+}
+
+TEST(Analyzer, QueryAndDocumentAgree) {
+  // The same pipeline must map query words and document words to the same
+  // terms, or search would silently fail.
+  Analyzer analyzer;
+  const auto doc_terms = analyzer.analyze("distributed systems are fascinating");
+  const auto query_terms = analyzer.analyze("Distributed Systems");
+  for (const auto& qt : query_terms) {
+    EXPECT_NE(std::find(doc_terms.begin(), doc_terms.end(), qt), doc_terms.end()) << qt;
+  }
+}
+
+}  // namespace
+}  // namespace planetp::text

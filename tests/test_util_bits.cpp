@@ -1,0 +1,169 @@
+#include "util/bitvector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace planetp {
+namespace {
+
+TEST(BitVector, StartsAllZero) {
+  BitVector bits(100);
+  EXPECT_EQ(bits.size(), 100u);
+  EXPECT_EQ(bits.count(), 0u);
+  for (std::size_t i = 0; i < 100; ++i) EXPECT_FALSE(bits.test(i));
+}
+
+TEST(BitVector, SetAndTest) {
+  BitVector bits(130);  // crosses a word boundary
+  bits.set(0);
+  bits.set(63);
+  bits.set(64);
+  bits.set(129);
+  EXPECT_TRUE(bits.test(0));
+  EXPECT_TRUE(bits.test(63));
+  EXPECT_TRUE(bits.test(64));
+  EXPECT_TRUE(bits.test(129));
+  EXPECT_FALSE(bits.test(1));
+  EXPECT_EQ(bits.count(), 4u);
+}
+
+TEST(BitVector, ResetClearsBit) {
+  BitVector bits(64);
+  bits.set(10);
+  bits.reset(10);
+  EXPECT_FALSE(bits.test(10));
+  EXPECT_EQ(bits.count(), 0u);
+}
+
+TEST(BitVector, AssignSelectsOperation) {
+  BitVector bits(8);
+  bits.assign(3, true);
+  EXPECT_TRUE(bits.test(3));
+  bits.assign(3, false);
+  EXPECT_FALSE(bits.test(3));
+}
+
+TEST(BitVector, ClearZeroesEverything) {
+  BitVector bits(200);
+  for (std::size_t i = 0; i < 200; i += 3) bits.set(i);
+  bits.clear();
+  EXPECT_EQ(bits.count(), 0u);
+  EXPECT_EQ(bits.size(), 200u);
+}
+
+TEST(BitVector, BooleanOps) {
+  BitVector a(65), b(65);
+  a.set(0);
+  a.set(64);
+  b.set(64);
+  b.set(32);
+
+  const BitVector o = a | b;
+  EXPECT_TRUE(o.test(0));
+  EXPECT_TRUE(o.test(32));
+  EXPECT_TRUE(o.test(64));
+
+  const BitVector n = a & b;
+  EXPECT_EQ(n.count(), 1u);
+  EXPECT_TRUE(n.test(64));
+
+  const BitVector x = a ^ b;
+  EXPECT_EQ(x.count(), 2u);
+  EXPECT_TRUE(x.test(0));
+  EXPECT_TRUE(x.test(32));
+  EXPECT_FALSE(x.test(64));
+}
+
+TEST(BitVector, XorIsInvolution) {
+  Rng rng(123);
+  BitVector a(500), b(500);
+  for (int i = 0; i < 100; ++i) a.set(rng.below(500));
+  for (int i = 0; i < 100; ++i) b.set(rng.below(500));
+  BitVector c = a;
+  c ^= b;
+  c ^= b;
+  EXPECT_EQ(c, a);
+}
+
+TEST(BitVector, SizeMismatchThrows) {
+  BitVector a(10), b(11);
+  EXPECT_THROW(a |= b, std::invalid_argument);
+  EXPECT_THROW(a &= b, std::invalid_argument);
+  EXPECT_THROW(a ^= b, std::invalid_argument);
+}
+
+TEST(BitVector, ContainsAll) {
+  BitVector super(100), sub(100);
+  super.set(1);
+  super.set(50);
+  super.set(99);
+  sub.set(50);
+  EXPECT_TRUE(super.contains_all(sub));
+  sub.set(2);
+  EXPECT_FALSE(super.contains_all(sub));
+  // Every vector contains the empty set.
+  EXPECT_TRUE(super.contains_all(BitVector(100)));
+}
+
+TEST(BitVector, ForEachSetVisitsAscending) {
+  BitVector bits(300);
+  const std::vector<std::size_t> want = {0, 7, 64, 65, 128, 299};
+  for (std::size_t i : want) bits.set(i);
+  std::vector<std::size_t> got;
+  bits.for_each_set([&](std::size_t i) { got.push_back(i); });
+  EXPECT_EQ(got, want);
+}
+
+TEST(BitVector, ResizeGrowKeepsBits) {
+  BitVector bits(10);
+  bits.set(3);
+  bits.resize(100);
+  EXPECT_TRUE(bits.test(3));
+  EXPECT_FALSE(bits.test(99));
+  EXPECT_EQ(bits.count(), 1u);
+}
+
+TEST(BitVector, ResizeShrinkDropsTail) {
+  BitVector bits(100);
+  bits.set(3);
+  bits.set(99);
+  bits.resize(10);
+  EXPECT_EQ(bits.count(), 1u);
+  EXPECT_TRUE(bits.test(3));
+}
+
+TEST(BitVector, EqualityIncludesSize) {
+  BitVector a(64), b(64), c(65);
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a == c);
+  a.set(1);
+  EXPECT_FALSE(a == b);
+}
+
+class BitVectorRandomOps : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BitVectorRandomOps, CountMatchesReference) {
+  const std::size_t nbits = GetParam();
+  Rng rng(nbits);
+  BitVector bits(nbits);
+  std::vector<bool> ref(nbits, false);
+  for (std::size_t i = 0; i < nbits; ++i) {
+    if (rng.chance(0.3)) {
+      bits.set(i);
+      ref[i] = true;
+    }
+  }
+  std::size_t expected = 0;
+  for (bool b : ref) expected += b;
+  EXPECT_EQ(bits.count(), expected);
+  for (std::size_t i = 0; i < nbits; ++i) EXPECT_EQ(bits.test(i), ref[i]);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BitVectorRandomOps,
+                         ::testing::Values(1, 63, 64, 65, 127, 128, 1000, 4096));
+
+}  // namespace
+}  // namespace planetp

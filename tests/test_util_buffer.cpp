@@ -1,0 +1,135 @@
+#include "util/byte_buffer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "util/varint.hpp"
+
+namespace planetp {
+namespace {
+
+TEST(Varint, RoundtripBoundaries) {
+  for (std::uint64_t v : std::vector<std::uint64_t>{
+           0, 1, 127, 128, 16383, 16384, std::numeric_limits<std::uint64_t>::max()}) {
+    std::vector<std::uint8_t> buf;
+    put_varint(buf, v);
+    std::size_t pos = 0;
+    EXPECT_EQ(get_varint(buf.data(), buf.size(), pos), v);
+    EXPECT_EQ(pos, buf.size());
+  }
+}
+
+TEST(Varint, EncodedLengths) {
+  std::vector<std::uint8_t> buf;
+  put_varint(buf, 127);
+  EXPECT_EQ(buf.size(), 1u);
+  buf.clear();
+  put_varint(buf, 128);
+  EXPECT_EQ(buf.size(), 2u);
+}
+
+TEST(Varint, TruncatedThrows) {
+  std::vector<std::uint8_t> buf;
+  put_varint(buf, 300);
+  std::size_t pos = 0;
+  EXPECT_THROW(get_varint(buf.data(), 1, pos), std::out_of_range);
+}
+
+TEST(Varint, ZigzagRoundtrip) {
+  for (std::int64_t v : std::vector<std::int64_t>{
+           0, 1, -1, 2, -2, 1000000, -1000000, std::numeric_limits<std::int64_t>::max(),
+           std::numeric_limits<std::int64_t>::min()}) {
+    EXPECT_EQ(zigzag_decode(zigzag_encode(v)), v);
+  }
+}
+
+TEST(Varint, ZigzagSmallMagnitudesAreSmall) {
+  EXPECT_EQ(zigzag_encode(0), 0u);
+  EXPECT_EQ(zigzag_encode(-1), 1u);
+  EXPECT_EQ(zigzag_encode(1), 2u);
+  EXPECT_EQ(zigzag_encode(-2), 3u);
+}
+
+TEST(ByteBuffer, FixedWidthRoundtrip) {
+  ByteWriter w;
+  w.u8(0xab);
+  w.u16(0x1234);
+  w.u32(0xdeadbeef);
+  w.u64(0x0123456789abcdefULL);
+  w.f64(3.14159);
+  const auto buf = w.take();
+
+  ByteReader r(buf);
+  EXPECT_EQ(r.u8(), 0xab);
+  EXPECT_EQ(r.u16(), 0x1234);
+  EXPECT_EQ(r.u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.u64(), 0x0123456789abcdefULL);
+  EXPECT_DOUBLE_EQ(r.f64(), 3.14159);
+  EXPECT_TRUE(r.done());
+}
+
+TEST(ByteBuffer, StringsAndBytes) {
+  ByteWriter w;
+  w.str("hello world");
+  w.str("");
+  std::vector<std::uint8_t> blob = {1, 2, 3, 255};
+  w.bytes(blob);
+  const auto buf = w.take();
+
+  ByteReader r(buf);
+  EXPECT_EQ(r.str(), "hello world");
+  EXPECT_EQ(r.str(), "");
+  EXPECT_EQ(r.bytes(), blob);
+}
+
+TEST(ByteBuffer, VarintsInterleaved) {
+  ByteWriter w;
+  w.varint(0);
+  w.svarint(-42);
+  w.varint(1'000'000);
+  const auto buf = w.take();
+  ByteReader r(buf);
+  EXPECT_EQ(r.varint(), 0u);
+  EXPECT_EQ(r.svarint(), -42);
+  EXPECT_EQ(r.varint(), 1'000'000u);
+}
+
+TEST(ByteBuffer, UnderflowThrows) {
+  ByteWriter w;
+  w.u16(7);
+  const auto buf = w.take();
+  ByteReader r(buf);
+  EXPECT_THROW(r.u32(), std::out_of_range);
+}
+
+TEST(ByteBuffer, TruncatedStringThrows) {
+  ByteWriter w;
+  w.varint(100);  // claims 100 bytes follow
+  const auto buf = w.take();
+  ByteReader r(buf);
+  EXPECT_THROW(r.str(), std::out_of_range);
+}
+
+TEST(ByteBuffer, RawHasNoLengthPrefix) {
+  ByteWriter w;
+  std::vector<std::uint8_t> raw = {9, 8, 7};
+  w.raw(raw);
+  EXPECT_EQ(w.size(), 3u);
+}
+
+TEST(ByteBuffer, RemainingTracksPosition) {
+  ByteWriter w;
+  w.u32(1);
+  w.u32(2);
+  const auto buf = w.take();
+  ByteReader r(buf);
+  EXPECT_EQ(r.remaining(), 8u);
+  r.u32();
+  EXPECT_EQ(r.remaining(), 4u);
+  r.u32();
+  EXPECT_TRUE(r.done());
+}
+
+}  // namespace
+}  // namespace planetp

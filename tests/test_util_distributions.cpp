@@ -1,0 +1,160 @@
+#include "util/distributions.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+namespace planetp {
+namespace {
+
+TEST(Zipf, SamplesStayInRange) {
+  ZipfSampler zipf(1000, 1.0);
+  Rng rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    const std::size_t k = zipf.sample(rng);
+    ASSERT_GE(k, 1u);
+    ASSERT_LE(k, 1000u);
+  }
+}
+
+TEST(Zipf, LowRanksDominate) {
+  ZipfSampler zipf(10000, 1.1);
+  Rng rng(2);
+  std::size_t rank1 = 0, rank100plus = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const std::size_t k = zipf.sample(rng);
+    if (k == 1) ++rank1;
+    if (k > 100) ++rank100plus;
+  }
+  EXPECT_GT(rank1, static_cast<std::size_t>(n / 50));  // rank 1 is common
+  EXPECT_GT(rank100plus, 0u);                          // but the tail is reachable
+}
+
+TEST(Zipf, FrequencyRatioApproximatesPowerLaw) {
+  // P(1)/P(2) should be about 2^s for Zipf(s).
+  const double s = 1.0;
+  ZipfSampler zipf(1000, s);
+  Rng rng(3);
+  std::size_t c1 = 0, c2 = 0;
+  for (int i = 0; i < 400000; ++i) {
+    const std::size_t k = zipf.sample(rng);
+    if (k == 1) ++c1;
+    if (k == 2) ++c2;
+  }
+  const double ratio = static_cast<double>(c1) / static_cast<double>(c2);
+  EXPECT_NEAR(ratio, std::pow(2.0, s), 0.3);
+}
+
+TEST(Zipf, InvalidParamsThrow) {
+  EXPECT_THROW(ZipfSampler(0, 1.0), std::invalid_argument);
+  EXPECT_THROW(ZipfSampler(10, 0.0), std::invalid_argument);
+  EXPECT_THROW(ZipfSampler(10, -1.0), std::invalid_argument);
+}
+
+TEST(Zipf, SingleElement) {
+  ZipfSampler zipf(1, 1.0);
+  Rng rng(4);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(zipf.sample(rng), 1u);
+}
+
+TEST(Exponential, MeanMatches) {
+  ExponentialSampler exp_sampler(5.0);
+  Rng rng(5);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += exp_sampler.sample(rng);
+  EXPECT_NEAR(sum / n, 5.0, 0.15);
+}
+
+TEST(Exponential, IntervalMeanMatches) {
+  Rng rng(6);
+  const Duration mean = 90 * kSecond;
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    sum += static_cast<double>(ExponentialSampler::interval(rng, mean));
+  }
+  EXPECT_NEAR(sum / n / static_cast<double>(kSecond), 90.0, 3.0);
+}
+
+TEST(Weibull, ShapeOneIsExponential) {
+  WeibullSampler w(1.0, 2.0);
+  Rng rng(7);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += w.sample(rng);
+  EXPECT_NEAR(sum / n, 2.0, 0.1);  // mean of Exp(scale=2) is 2
+}
+
+TEST(Weibull, HeavyTailForSmallShape) {
+  // shape < 1 gives a heavier tail: the max sample should far exceed the
+  // mean over many draws.
+  WeibullSampler w(0.5, 1.0);
+  Rng rng(8);
+  double sum = 0, maxv = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double x = w.sample(rng);
+    sum += x;
+    maxv = std::max(maxv, x);
+  }
+  EXPECT_GT(maxv, 10.0 * sum / n);
+}
+
+TEST(Poisson, SmallLambdaMean) {
+  Rng rng(9);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(poisson_sample(rng, 3.0));
+  EXPECT_NEAR(sum / n, 3.0, 0.1);
+}
+
+TEST(Poisson, LargeLambdaMean) {
+  Rng rng(10);
+  double sum = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(poisson_sample(rng, 180.0));
+  EXPECT_NEAR(sum / n, 180.0, 2.0);
+}
+
+TEST(Poisson, ZeroLambda) {
+  Rng rng(11);
+  EXPECT_EQ(poisson_sample(rng, 0.0), 0u);
+  EXPECT_EQ(poisson_sample(rng, -1.0), 0u);
+}
+
+TEST(WeibullPartition, SumsToTotal) {
+  Rng rng(12);
+  for (std::size_t total : {0u, 1u, 100u, 12345u}) {
+    const auto counts = weibull_partition(rng, total, 37, 0.7, 1.0);
+    EXPECT_EQ(std::accumulate(counts.begin(), counts.end(), std::size_t{0}), total);
+    EXPECT_EQ(counts.size(), 37u);
+  }
+}
+
+TEST(WeibullPartition, MinPerBinRespected) {
+  Rng rng(13);
+  const auto counts = weibull_partition(rng, 1000, 50, 0.7, 1.0, 1);
+  for (std::size_t c : counts) EXPECT_GE(c, 1u);
+  EXPECT_EQ(std::accumulate(counts.begin(), counts.end(), std::size_t{0}), 1000u);
+}
+
+TEST(WeibullPartition, SkewedDistribution) {
+  // Low shape should concentrate mass: the max bin should hold far more
+  // than the average.
+  Rng rng(14);
+  const auto counts = weibull_partition(rng, 100000, 100, 0.5, 1.0);
+  const std::size_t maxc = *std::max_element(counts.begin(), counts.end());
+  EXPECT_GT(maxc, 3000u);  // >3x the uniform share of 1000
+}
+
+TEST(WeibullPartition, ZeroBins) {
+  Rng rng(15);
+  EXPECT_TRUE(weibull_partition(rng, 100, 0, 0.7, 1.0).empty());
+}
+
+}  // namespace
+}  // namespace planetp

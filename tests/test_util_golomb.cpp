@@ -1,0 +1,144 @@
+#include "util/golomb.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/bitio.hpp"
+#include "util/rng.hpp"
+
+namespace planetp {
+namespace {
+
+TEST(BitIo, WriteReadBits) {
+  BitWriter w;
+  w.write_bits(0b1011, 4);
+  w.write_bits(0xff, 8);
+  w.write_bits(0, 3);
+  w.write_bits(1, 1);
+  const auto bytes = w.take();
+  BitReader r(bytes);
+  EXPECT_EQ(r.read_bits(4), 0b1011u);
+  EXPECT_EQ(r.read_bits(8), 0xffu);
+  EXPECT_EQ(r.read_bits(3), 0u);
+  EXPECT_EQ(r.read_bits(1), 1u);
+}
+
+TEST(BitIo, UnaryRoundtrip) {
+  BitWriter w;
+  for (std::uint64_t n : {0u, 1u, 5u, 17u}) w.write_unary(n);
+  const auto bytes = w.take();
+  BitReader r(bytes);
+  EXPECT_EQ(r.read_unary(), 0u);
+  EXPECT_EQ(r.read_unary(), 1u);
+  EXPECT_EQ(r.read_unary(), 5u);
+  EXPECT_EQ(r.read_unary(), 17u);
+}
+
+TEST(BitIo, ReadPastEndThrows) {
+  BitWriter w;
+  w.write_bits(1, 1);
+  const auto bytes = w.take();
+  BitReader r(bytes);
+  r.read_bits(8);  // padded byte readable
+  EXPECT_THROW(r.read_bits(1), std::out_of_range);
+}
+
+TEST(BitIo, SixtyFourBitValues) {
+  BitWriter w;
+  const std::uint64_t big = 0xfedcba9876543210ULL;
+  w.write_bits(big, 64);
+  const auto bytes = w.take();
+  BitReader r(bytes);
+  EXPECT_EQ(r.read_bits(64), big);
+}
+
+class GolombRoundtrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GolombRoundtrip, EncodeDecodeIdentity) {
+  const std::uint64_t m = GetParam();
+  Rng rng(m);
+  std::vector<std::uint64_t> values = {0, 1, m, m + 1, 2 * m, 1000};
+  for (int i = 0; i < 50; ++i) values.push_back(rng.below(100000));
+
+  BitWriter w;
+  for (std::uint64_t v : values) golomb_encode(w, v, m);
+  const auto bytes = w.take();
+  BitReader r(bytes);
+  for (std::uint64_t v : values) {
+    EXPECT_EQ(golomb_decode(r, m), v) << "m=" << m;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Params, GolombRoundtrip,
+                         ::testing::Values(1, 2, 3, 4, 5, 7, 8, 10, 16, 63, 64, 100, 1000));
+
+TEST(Golomb, ZeroMThrows) {
+  BitWriter w;
+  EXPECT_THROW(golomb_encode(w, 1, 0), std::invalid_argument);
+}
+
+TEST(Golomb, OptimalMGrowsWithSparsity) {
+  // Sparser vectors need a larger parameter (longer expected gaps).
+  const auto dense = golomb_optimal_m(1000, 2000);
+  const auto sparse = golomb_optimal_m(10, 2000);
+  EXPECT_LT(dense, sparse);
+  EXPECT_GE(dense, 1u);
+}
+
+TEST(Golomb, OptimalMDegenerateCases) {
+  EXPECT_EQ(golomb_optimal_m(0, 100), 1u);
+  EXPECT_EQ(golomb_optimal_m(100, 0), 1u);
+  EXPECT_EQ(golomb_optimal_m(100, 100), 1u);
+}
+
+class CompressBitsDensity : public ::testing::TestWithParam<double> {};
+
+TEST_P(CompressBitsDensity, Roundtrip) {
+  const double density = GetParam();
+  Rng rng(static_cast<std::uint64_t>(density * 1000));
+  BitVector bits(50'000);
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    if (rng.chance(density)) bits.set(i);
+  }
+  const CompressedBits c = compress_bits(bits);
+  const BitVector back = decompress_bits(c);
+  EXPECT_EQ(back, bits);
+}
+
+INSTANTIATE_TEST_SUITE_P(Densities, CompressBitsDensity,
+                         ::testing::Values(0.0, 0.0001, 0.001, 0.01, 0.05, 0.2, 0.5, 0.9));
+
+TEST(CompressBits, SparseVectorsCompressWell) {
+  // The wire-cost model in Table 2 prices a 1000-key filter at ~3 KB; with
+  // two hashes that is ~2000 set bits in 409,600. Our Golomb coder should be
+  // in that ballpark (it is the same scheme the paper used).
+  Rng rng(77);
+  BitVector bits(409'600);
+  for (int i = 0; i < 2000; ++i) bits.set(rng.below(409'600));
+  const CompressedBits c = compress_bits(bits);
+  EXPECT_LT(c.byte_size(), 4500u);
+  EXPECT_GT(c.byte_size(), 1500u);
+}
+
+TEST(CompressBits, EmptyVector) {
+  const CompressedBits c = compress_bits(BitVector(1000));
+  EXPECT_EQ(c.set_bits, 0u);
+  EXPECT_EQ(decompress_bits(c), BitVector(1000));
+}
+
+TEST(CompressBits, FirstAndLastBits) {
+  BitVector bits(1000);
+  bits.set(0);
+  bits.set(999);
+  EXPECT_EQ(decompress_bits(compress_bits(bits)), bits);
+}
+
+TEST(CompressBits, CorruptStreamThrows) {
+  BitVector bits(100);
+  bits.set(50);
+  CompressedBits c = compress_bits(bits);
+  c.nbits = 40;  // claimed size smaller than encoded position
+  EXPECT_THROW(decompress_bits(c), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace planetp

@@ -1,0 +1,131 @@
+#include "util/hash.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "util/rng.hpp"
+
+namespace planetp {
+namespace {
+
+TEST(Hash, Fnv1aIsDeterministic) {
+  EXPECT_EQ(fnv1a64("hello"), fnv1a64("hello"));
+  EXPECT_NE(fnv1a64("hello"), fnv1a64("hellp"));
+}
+
+TEST(Hash, Fnv1aKnownValues) {
+  // FNV-1a 64-bit reference values.
+  EXPECT_EQ(fnv1a64(""), 0xcbf29ce484222325ULL);
+  EXPECT_EQ(fnv1a64("a"), 0xaf63dc4c8601ec8cULL);
+}
+
+TEST(Hash, MurmurDiffersFromFnv) {
+  // The Bloom filter's double hashing requires the two base hashes to be
+  // effectively independent; at minimum they must differ.
+  for (const char* s : {"alpha", "beta", "gamma", "x", ""}) {
+    EXPECT_NE(fnv1a64(s), murmur64(s)) << s;
+  }
+}
+
+TEST(Hash, MurmurSeedChangesValue) {
+  EXPECT_NE(murmur64("seedtest", 1), murmur64("seedtest", 2));
+}
+
+TEST(Hash, MurmurHandlesAllTailLengths) {
+  const std::string base = "abcdefghijklmnop";
+  std::set<std::uint64_t> values;
+  for (std::size_t len = 0; len <= base.size(); ++len) {
+    values.insert(murmur64(std::string_view(base).substr(0, len)));
+  }
+  EXPECT_EQ(values.size(), base.size() + 1);  // all prefixes hash distinctly
+}
+
+TEST(Hash, SplitmixAvalanche) {
+  // Flipping one input bit should flip roughly half the output bits.
+  int total = 0;
+  for (int bit = 0; bit < 64; ++bit) {
+    const std::uint64_t a = splitmix64(0x123456789abcdefULL);
+    const std::uint64_t b = splitmix64(0x123456789abcdefULL ^ (1ULL << bit));
+    total += __builtin_popcountll(a ^ b);
+  }
+  const double avg = static_cast<double>(total) / 64.0;
+  EXPECT_GT(avg, 24.0);
+  EXPECT_LT(avg, 40.0);
+}
+
+TEST(Hash, HashPairH2IsOdd) {
+  for (const char* s : {"a", "bb", "ccc", "planetp", "gossip"}) {
+    EXPECT_EQ(hash_pair(s).h2 & 1u, 1u) << s;
+  }
+}
+
+TEST(Hash, HashPairDerivedSequenceCoversDistinctSlots) {
+  const HashPair hp = hash_pair("term");
+  std::set<std::uint64_t> slots;
+  for (std::uint32_t i = 0; i < 16; ++i) slots.insert(hp.ith(i) % 1024);
+  EXPECT_GT(slots.size(), 12u);  // near-distinct probes in a 1K table
+}
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (a() == b());
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.below(17), 17u);
+  }
+}
+
+TEST(Rng, BelowIsRoughlyUniform) {
+  Rng rng(11);
+  std::vector<int> counts(10, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[rng.below(10)];
+  for (int c : counts) {
+    EXPECT_GT(c, n / 10 - n / 50);
+    EXPECT_LT(c, n / 10 + n / 50);
+  }
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(3);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng parent(5);
+  Rng child = parent.fork(1);
+  Rng child2 = parent.fork(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (child() == child2());
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(9);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+}  // namespace
+}  // namespace planetp

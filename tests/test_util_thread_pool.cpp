@@ -1,0 +1,62 @@
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+namespace planetp {
+namespace {
+
+TEST(ThreadPool, RunsSubmittedTask) {
+  ThreadPool pool(2);
+  auto fut = pool.submit([] { return 42; });
+  EXPECT_EQ(fut.get(), 42);
+}
+
+TEST(ThreadPool, RunsManyTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futs;
+  for (int i = 0; i < 500; ++i) {
+    futs.push_back(pool.submit([&counter] { counter.fetch_add(1); }));
+  }
+  for (auto& f : futs) f.get();
+  EXPECT_EQ(counter.load(), 500);
+}
+
+TEST(ThreadPool, ResultsAreCorrectPerTask) {
+  ThreadPool pool(3);
+  std::vector<std::future<int>> futs;
+  for (int i = 0; i < 100; ++i) {
+    futs.push_back(pool.submit([i] { return i * i; }));
+  }
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(futs[i].get(), i * i);
+}
+
+TEST(ThreadPool, ExceptionPropagatesThroughFuture) {
+  ThreadPool pool(1);
+  auto fut = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(fut.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, DefaultSizeIsPositive) {
+  ThreadPool pool;
+  EXPECT_GE(pool.size(), 1u);
+}
+
+TEST(ThreadPool, DestructorDrainsQueue) {
+  std::atomic<int> done{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      pool.submit([&done] { done.fetch_add(1); });
+    }
+    // Destructor joins workers; queued tasks may or may not all run before
+    // shutdown is signalled, but the process must not hang or crash.
+  }
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace planetp

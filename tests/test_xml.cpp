@@ -1,0 +1,114 @@
+#include "index/xml.hpp"
+
+#include <gtest/gtest.h>
+
+namespace planetp::xml {
+namespace {
+
+TEST(Xml, ParsesSimpleDocument) {
+  const auto root = parse("<doc>hello world</doc>");
+  EXPECT_EQ(root->tag, "doc");
+  EXPECT_EQ(root->text, "hello world");
+  EXPECT_TRUE(root->children.empty());
+}
+
+TEST(Xml, ParsesAttributes) {
+  const auto root = parse(R"(<doc title="My Title" lang='en'>body</doc>)");
+  EXPECT_EQ(root->attr("title"), "My Title");
+  EXPECT_EQ(root->attr("lang"), "en");
+  EXPECT_EQ(root->attr("missing"), "");
+}
+
+TEST(Xml, ParsesNestedElements) {
+  const auto root = parse("<a><b>one</b><c><d>two</d></c></a>");
+  ASSERT_EQ(root->children.size(), 2u);
+  EXPECT_EQ(root->children[0]->tag, "b");
+  EXPECT_EQ(root->children[0]->text, "one");
+  EXPECT_EQ(root->children[1]->child("d")->text, "two");
+  EXPECT_EQ(root->child("missing"), nullptr);
+}
+
+TEST(Xml, AllTextConcatenatesSubtree) {
+  const auto root = parse("<a>x<b>y</b><c>z</c></a>");
+  EXPECT_EQ(root->all_text(), "x y z");
+}
+
+TEST(Xml, SelfClosingTags) {
+  const auto root = parse(R"(<doc><link href="file.ps" type="postscript"/>text</doc>)");
+  ASSERT_EQ(root->children.size(), 1u);
+  EXPECT_EQ(root->children[0]->tag, "link");
+  EXPECT_EQ(root->children[0]->attr("href"), "file.ps");
+  EXPECT_EQ(root->text, "text");
+}
+
+TEST(Xml, DecodesEntities) {
+  const auto root = parse("<d>&lt;tag&gt; &amp; &quot;quotes&quot; &apos;</d>");
+  EXPECT_EQ(root->text, "<tag> & \"quotes\" '");
+}
+
+TEST(Xml, DecodesNumericReferences) {
+  const auto root = parse("<d>&#65;&#x42;</d>");
+  EXPECT_EQ(root->text, "AB");
+}
+
+TEST(Xml, UnknownEntityPassesThrough) {
+  const auto root = parse("<d>&nbsp;</d>");
+  EXPECT_EQ(root->text, "&nbsp;");
+}
+
+TEST(Xml, SkipsCommentsAndProlog) {
+  const auto root = parse(
+      "<?xml version=\"1.0\"?><!-- header --><doc><!-- inner -->ok</doc><!-- post -->");
+  EXPECT_EQ(root->tag, "doc");
+  EXPECT_EQ(root->text, "ok");
+}
+
+TEST(Xml, ParsesCdata) {
+  const auto root = parse("<d><![CDATA[<not>parsed &amp;]]></d>");
+  EXPECT_EQ(root->text, "<not>parsed &amp;");
+}
+
+TEST(Xml, AttributeEntities) {
+  const auto root = parse(R"(<d name="a &amp; b"/>)");
+  EXPECT_EQ(root->attr("name"), "a & b");
+}
+
+TEST(Xml, MismatchedTagsThrow) {
+  EXPECT_THROW(parse("<a><b></a></b>"), std::runtime_error);
+}
+
+TEST(Xml, UnterminatedElementThrows) {
+  EXPECT_THROW(parse("<a>unclosed"), std::runtime_error);
+}
+
+TEST(Xml, TrailingContentThrows) {
+  EXPECT_THROW(parse("<a/>extra"), std::runtime_error);
+}
+
+TEST(Xml, UnquotedAttributeThrows) {
+  EXPECT_THROW(parse("<a x=1/>"), std::runtime_error);
+}
+
+TEST(Xml, EscapeCoversSpecials) {
+  EXPECT_EQ(escape("<a & \"b\"'>"), "&lt;a &amp; &quot;b&quot;&apos;&gt;");
+  EXPECT_EQ(escape("plain"), "plain");
+}
+
+TEST(Xml, SerializeParseRoundtrip) {
+  const auto root = parse(R"(<doc title="T &amp; U"><sec>alpha</sec><sec>beta</sec></doc>)");
+  const std::string text = serialize(*root);
+  const auto back = parse(text);
+  EXPECT_EQ(back->tag, "doc");
+  EXPECT_EQ(back->attr("title"), "T & U");
+  ASSERT_EQ(back->children.size(), 2u);
+  EXPECT_EQ(back->children[0]->text, "alpha");
+  EXPECT_EQ(back->children[1]->text, "beta");
+}
+
+TEST(Xml, WhitespaceBetweenChildren) {
+  const auto root = parse("<a>\n  <b>x</b>\n  <c>y</c>\n</a>");
+  EXPECT_EQ(root->children.size(), 2u);
+}
+
+}  // namespace
+}  // namespace planetp::xml
