@@ -1,13 +1,22 @@
 #!/usr/bin/env bash
-# Full verification: configure, build, test, and run every benchmark.
+# Full verification: configure, build, test (plain and under ASan/UBSan),
+# and run every benchmark.
 # Usage: scripts/check.sh [--quick]   (--quick shrinks the benchmark sweeps)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 QUICK="${1:-}"
-cmake -B build -G Ninja
-cmake --build build
-ctest --test-dir build --output-on-failure
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+cmake -B build -S .
+cmake --build build -j "$JOBS"
+ctest --test-dir build --output-on-failure -j "$JOBS"
+
+# Tier-1 tests again under the sanitizer preset (-DPLANETP_SANITIZE accepts a
+# -fsanitize list). A separate build dir keeps instrumented objects apart.
+cmake -B build-asan -S . -DPLANETP_SANITIZE=address,undefined
+cmake --build build-asan -j "$JOBS"
+ctest --test-dir build-asan --output-on-failure -j "$JOBS"
 
 for b in build/bench/*; do
   echo "=== $(basename "$b") ==="

@@ -46,7 +46,7 @@ Node& Community::create_node(const NodeConfig& config) {
   } else if (nodes_.size() > 1) {
     // Bootstrap through a random existing member (§3's join flow).
     const PeerId introducer = static_cast<PeerId>(rng_.below(nodes_.size() - 1));
-    deliver_all(id, {node.protocol().join_via(introducer)});
+    deliver_all(id, {node.protocol().join_via(introducer, clock_.now())});
   }
 
   brokers_.join(id);
@@ -88,7 +88,7 @@ void Community::set_online(PeerId id, bool online) {
       Rng& rng = rng_;
       const PeerId target = nodes_[id]->protocol().directory().random_online(rng);
       if (target != gossip::kInvalidPeer) {
-        deliver_all(id, {nodes_[id]->protocol().join_via(target)});
+        deliver_all(id, {nodes_[id]->protocol().join_via(target, clock_.now())});
       }
     }
     brokers_.join(id);

@@ -70,6 +70,27 @@ struct GossipConfig {
   /// Probability that a fast peer rumors to a slow peer when bandwidth_aware.
   double fast_to_slow_prob = 0.01;
 
+  /// An anti-entropy pull (summary request) still unanswered after this many
+  /// gossip rounds is retried against a fresh target, doubling the wait each
+  /// attempt. Lossy links and partitions otherwise leave a catching-up peer
+  /// waiting on a reply that will never come. Measured in rounds so the
+  /// retry cadence scales with the gossip interval (live tests run 100 ms
+  /// rounds; the paper's communities run 30 s ones).
+  int ae_retry_rounds = 2;
+
+  /// Bound on consecutive unanswered anti-entropy attempts while catching up
+  /// after a rejoin. Once exhausted the peer abandons the catch-up priority
+  /// and falls back to the normal round cadence (whose idle-round
+  /// anti-entropy still converges it eventually).
+  int max_ae_retries = 4;
+
+  /// Probability that an anti-entropy round probes a peer currently believed
+  /// offline instead of an online one. Offline beliefs are local and never
+  /// gossiped (§3), so after a network partition heals *nobody* selects the
+  /// other side and the split would persist until T_dead erased it; the
+  /// occasional probe rediscovers reachable peers and re-merges the halves.
+  double offline_probe_prob = 0.1;
+
   /// Cap on record ids pulled per anti-entropy exchange; 0 = unlimited.
   /// §7.2's future-work item for modem peers: "allow a new modem-connected
   /// peer to acquire the directory in pieces over a much longer period of

@@ -12,6 +12,10 @@ void Directory::put_self(PeerRecord record) {
 }
 
 bool Directory::apply(const PeerRecord& record) {
+  if (auto t = tombstones_.find(record.id); t != tombstones_.end()) {
+    if (record.version <= t->second) return false;  // expired stays expired
+    tombstones_.erase(t);  // a genuinely newer version is a real rejoin
+  }
   auto it = records_.find(record.id);
   if (it == records_.end()) {
     records_.emplace(record.id, record);
@@ -60,6 +64,7 @@ std::vector<PeerId> Directory::expire_dead(TimePoint now, Duration t_dead) {
     const PeerRecord& r = it->second;
     if (!r.online && r.id != self_ && now - r.offline_since >= t_dead) {
       dropped.push_back(r.id);
+      tombstones_[r.id] = r.version;
       remove_id(r.id);
       it = records_.erase(it);
     } else {
@@ -108,6 +113,17 @@ PeerId Directory::random_online_of_class(Rng& rng, LinkClass cls) const {
   return online[rng.below(online.size())];
 }
 
+PeerId Directory::random_offline(Rng& rng) const {
+  std::vector<PeerId> offline;
+  for (PeerId id : ids_) {
+    if (id == self_) continue;
+    const PeerRecord* r = find(id);
+    if (r != nullptr && !r->online) offline.push_back(id);
+  }
+  if (offline.empty()) return kInvalidPeer;
+  return offline[rng.below(offline.size())];
+}
+
 std::vector<PeerSummary> Directory::summary() const {
   std::vector<PeerSummary> out;
   out.reserve(records_.size());
@@ -120,12 +136,21 @@ std::vector<PeerSummary> Directory::summary() const {
 std::vector<RumorId> Directory::newer_in(const std::vector<PeerSummary>& remote) const {
   std::vector<RumorId> out;
   for (const PeerSummary& s : remote) {
+    if (auto t = tombstones_.find(s.id); t != tombstones_.end() && s.version <= t->second) {
+      continue;  // we expired this record; don't pull it back
+    }
     const PeerRecord* r = find(s.id);
     if (r == nullptr || r->version < s.version) {
       out.push_back(RumorId{s.id, s.version});
     }
   }
   return out;
+}
+
+std::optional<std::uint64_t> Directory::tombstone_version(PeerId id) const {
+  auto it = tombstones_.find(id);
+  if (it == tombstones_.end()) return std::nullopt;
+  return it->second;
 }
 
 bool Directory::same_as(const std::vector<PeerSummary>& remote) const {

@@ -42,13 +42,26 @@ class Directory {
 
   /// Drop every record that has been continuously offline for at least
   /// \p t_dead, assuming permanent departure. Returns the dropped ids.
+  /// Each drop leaves a local tombstone: anti-entropy with peers that have
+  /// not expired the record yet would otherwise resurrect it (it looks
+  /// brand-new to us), flip it back online, and keep a departed peer's
+  /// record bouncing around the community forever. Only a strictly newer
+  /// version — an actual rejoin — clears the tombstone.
   std::vector<PeerId> expire_dead(TimePoint now, Duration t_dead);
+
+  /// Version at which \p id was expired, if we hold a tombstone for it.
+  std::optional<std::uint64_t> tombstone_version(PeerId id) const;
 
   /// Random peer believed online, excluding self; kInvalidPeer if none.
   PeerId random_online(Rng& rng) const;
 
   /// Random online peer of the given class, excluding self.
   PeerId random_online_of_class(Rng& rng, LinkClass cls) const;
+
+  /// Random peer currently believed offline, excluding self; kInvalidPeer if
+  /// none. Used to probe for peers that became reachable again (e.g. after a
+  /// partition healed) without anyone rumoring about it.
+  PeerId random_offline(Rng& rng) const;
 
   /// Directory summary for anti-entropy exchanges.
   std::vector<PeerSummary> summary() const;
@@ -68,6 +81,7 @@ class Directory {
  private:
   PeerId self_;
   std::unordered_map<PeerId, PeerRecord> records_;
+  std::unordered_map<PeerId, std::uint64_t> tombstones_;  ///< expired id -> version
   // Flat id list kept in sync for O(1) random selection.
   std::vector<PeerId> ids_;
 

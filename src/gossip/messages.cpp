@@ -81,7 +81,7 @@ void encode_rumor_ids(ByteWriter& w, const std::vector<RumorId>& ids) {
 }
 
 std::vector<RumorId> decode_rumor_ids(ByteReader& r) {
-  const std::size_t n = static_cast<std::size_t>(r.varint());
+  const std::size_t n = r.count(5);  // u32 + varint
   std::vector<RumorId> ids;
   ids.reserve(n);
   for (std::size_t i = 0; i < n; ++i) ids.push_back(decode_rumor_id(r));
@@ -129,7 +129,7 @@ void encode_payloads(ByteWriter& w, const std::vector<RumorPayload>& ps) {
 }
 
 std::vector<RumorPayload> decode_payloads(ByteReader& r) {
-  const std::size_t n = static_cast<std::size_t>(r.varint());
+  const std::size_t n = r.count(10);  // minimum encoded RumorPayload
   std::vector<RumorPayload> ps;
   ps.reserve(n);
   for (std::size_t i = 0; i < n; ++i) ps.push_back(decode_payload(r));
@@ -161,6 +161,7 @@ struct EncodeVisitor {
       w.u32(e.id);
       w.varint(e.version);
     }
+    w.varint(msg.rejoin_floor);
   }
   void operator()(const PullRequestMsg& msg) const {
     w.u8(static_cast<std::uint8_t>(Tag::kPullRequest));
@@ -210,7 +211,7 @@ Message decode_message(std::span<const std::uint8_t> data) {
     case Tag::kSummary: {
       SummaryMsg m;
       m.push = r.u8() != 0;
-      const std::size_t n = static_cast<std::size_t>(r.varint());
+      const std::size_t n = r.count(5);  // u32 + varint
       m.entries.reserve(n);
       for (std::size_t i = 0; i < n; ++i) {
         PeerSummary s;
@@ -218,6 +219,7 @@ Message decode_message(std::span<const std::uint8_t> data) {
         s.version = r.varint();
         m.entries.push_back(s);
       }
+      m.rejoin_floor = r.varint();
       return m;
     }
     case Tag::kPullRequest: {

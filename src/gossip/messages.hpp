@@ -43,6 +43,11 @@ struct SummaryRequestMsg {};
 struct SummaryMsg {
   std::vector<PeerSummary> entries;
   bool push = false;
+  /// Non-zero when the replier holds a T_dead tombstone for the *asker*: the
+  /// version the asker's record was expired at. The asker restarted below it
+  /// (lost its version counter in a crash), so every update it gossips at or
+  /// below this version will be refused as stale — it must jump past it.
+  std::uint64_t rejoin_floor = 0;
 };
 
 /// Ask the target for full records of these rumor ids (anti-entropy pull, or

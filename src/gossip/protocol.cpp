@@ -85,11 +85,28 @@ void Protocol::local_rejoin(TimePoint now) {
   // and prioritizes anti-entropy until it has synced the events it missed.
   reset_interval();
   catch_up_pending_ = true;
+  pending_pull_.reset();
   (void)now;
 }
 
-Protocol::Outgoing Protocol::join_via(PeerId introducer) {
-  return Outgoing{introducer, SummaryRequestMsg{}};
+Protocol::Outgoing Protocol::join_via(PeerId introducer, TimePoint now) {
+  // The §3 join flow pulls the directory before anything else; prioritize
+  // anti-entropy (with retries, below) until that pull completes.
+  catch_up_pending_ = true;
+  pending_pull_.reset();
+  return issue_summary_request(introducer, now);
+}
+
+Protocol::Outgoing Protocol::issue_summary_request(PeerId target, TimePoint now) {
+  const int attempts = pending_pull_ ? pending_pull_->attempts + 1 : 1;
+  // Exponential backoff per unanswered attempt; the shift is capped so the
+  // wait stays sane whatever max_ae_retries is configured to. Counted in
+  // rounds, not wall-clock, so it scales with the gossip interval.
+  const std::uint64_t wait =
+      static_cast<std::uint64_t>(config_.ae_retry_rounds) << std::min(attempts - 1, 6);
+  pending_pull_ = PendingPull{target, round_counter_ + wait, attempts};
+  (void)now;
+  return Outgoing{target, SummaryRequestMsg{}};
 }
 
 void Protocol::bootstrap(const std::vector<PeerRecord>& records) {
@@ -213,15 +230,57 @@ std::vector<Protocol::Outgoing> Protocol::on_round(TimePoint now) {
     return out;
   }
 
+  // Catch-up anti-entropy (after join/rejoin): issue a summary pull, and if
+  // its reply never arrives — lossy link, partition — retry against a fresh
+  // target with backoff. Bounded: after max_ae_retries unanswered attempts
+  // we abandon the priority and fall back to the normal cadence, whose
+  // idle-round anti-entropy below still converges us eventually.
+  if (catch_up_pending_) {
+    bool reissue = !pending_pull_.has_value();
+    const PeerId last_target = pending_pull_ ? pending_pull_->target : kInvalidPeer;
+    if (pending_pull_ && round_counter_ >= pending_pull_->retry_round) {
+      // Abandon the priority only when the normal cadence below can take
+      // over. A peer that knows nobody else — restarted with a lost
+      // directory, its one join message to the introducer lost too — must
+      // keep retrying that introducer or it is isolated forever.
+      if (pending_pull_->attempts >= config_.max_ae_retries &&
+          directory_.online_count() > 1) {
+        catch_up_pending_ = false;
+        pending_pull_.reset();
+      } else {
+        reissue = true;
+      }
+    }
+    if (reissue) {
+      PeerId target = pick_ae_target();
+      if (target == kInvalidPeer) target = last_target;
+      if (target != kInvalidPeer) {
+        out.push_back(issue_summary_request(target, now));
+        return out;
+      }
+    }
+    if (catch_up_pending_) {
+      // Pull outstanding and not yet timed out: spend the round rumoring
+      // (e.g. our own rejoin) instead of duplicating the request.
+      if (hot_.empty()) return out;
+    }
+  }
+
   const bool do_ae =
-      catch_up_pending_ || hot_.empty() ||
-      (config_.anti_entropy_every > 0 &&
-       round_counter_ % static_cast<std::uint64_t>(config_.anti_entropy_every) == 0);
+      hot_.empty() || (config_.anti_entropy_every > 0 &&
+                       round_counter_ % static_cast<std::uint64_t>(config_.anti_entropy_every) == 0);
 
   if (do_ae) {
-    const PeerId target = pick_ae_target();
+    // Occasionally probe a peer believed offline: offline beliefs are never
+    // gossiped (§3), so after a partition heals no one would otherwise
+    // re-contact the other side until T_dead erased it.
+    PeerId target = kInvalidPeer;
+    if (config_.offline_probe_prob > 0.0 && rng_.chance(config_.offline_probe_prob)) {
+      target = directory_.random_offline(rng_);
+    }
+    if (target == kInvalidPeer) target = pick_ae_target();
     if (target == kInvalidPeer) return out;
-    out.push_back(Outgoing{target, SummaryRequestMsg{}});
+    out.push_back(issue_summary_request(target, now));
     return out;
   }
 
@@ -255,9 +314,33 @@ std::vector<Protocol::Outgoing> Protocol::on_round(TimePoint now) {
 // Message handling
 // ---------------------------------------------------------------------------
 
+bool Protocol::adopt_own_version(std::uint64_t seen_version, TimePoint now) {
+  PeerRecord* self = directory_.find_mutable(directory_.self());
+  if (self == nullptr || seen_version <= self->version) return false;
+  // The community remembers a newer us than we do: we crashed and lost our
+  // version counter. Jump past the remembered version and re-rumor, so our
+  // fresh record supersedes the stale one everywhere.
+  jump_own_version(seen_version);
+  (void)now;
+  return true;
+}
+
+void Protocol::jump_own_version(std::uint64_t past) {
+  PeerRecord* self = directory_.find_mutable(directory_.self());
+  self->version = past + 1;
+  self->online = true;
+  make_hot(payload_from_record(*self, EventKind::kRejoin));
+  reset_interval();
+}
+
 bool Protocol::apply_payload(const RumorPayload& p, TimePoint now, PeerId from,
                              std::vector<Outgoing>& out) {
-  if (p.origin == directory_.self()) return false;  // our own record is authoritative
+  if (p.origin == directory_.self()) {
+    // Our own record is authoritative — unless the community's copy has a
+    // higher version than ours (we lost state in a crash): adopt it.
+    adopt_own_version(p.version, now);
+    return false;
+  }
   const PeerRecord* existing = directory_.find(p.origin);
   if (existing != nullptr && p.version <= existing->version) {
     // Stale or already known. One exception: a full-filter payload for the
@@ -397,18 +480,58 @@ std::vector<Protocol::Outgoing> Protocol::on_message(TimePoint now, PeerId from,
   }
 
   if (std::get_if<SummaryRequestMsg>(&msg) != nullptr) {
-    out.push_back(Outgoing{from, SummaryMsg{directory_.summary(), /*push=*/false}});
+    SummaryMsg reply{directory_.summary(), /*push=*/false};
+    if (const auto tomb = directory_.tombstone_version(from); tomb.has_value()) {
+      // The asker is a peer we expired — it is clearly back. If it restarted
+      // below the tombstoned version, everything it gossips would be refused
+      // as stale; tell it the floor it must jump past to be re-admitted.
+      reply.rejoin_floor = *tomb;
+    }
+    out.push_back(Outgoing{from, std::move(reply)});
     return out;
   }
 
   if (const auto* summary = std::get_if<SummaryMsg>(&msg)) {
-    if (!summary->push) catch_up_pending_ = false;  // our pull round-trip completed
+    if (summary->rejoin_floor > 0) {
+      // The replier expired us under T_dead and remembers this version:
+      // nothing we gossip at or below it will be accepted. Unlike the
+      // entry-based adoption below, equality also forces a jump — the
+      // community refuses the floor version itself (tombstones are <=).
+      const PeerRecord* self = directory_.find(directory_.self());
+      if (self != nullptr && self->version <= summary->rejoin_floor) {
+        jump_own_version(summary->rejoin_floor);
+      }
+    }
+    for (const PeerSummary& s : summary->entries) {
+      if (s.id == directory_.self()) {
+        adopt_own_version(s.version, now);
+        break;
+      }
+    }
     std::vector<RumorId> missing = directory_.newer_in(summary->entries);
+    // Never pull our own record: we are its origin (a remote-newer own entry
+    // was adopted above instead).
+    std::erase_if(missing,
+                  [this](const RumorId& id) { return id.origin == directory_.self(); });
     if (config_.max_pull_per_exchange != 0 &&
         missing.size() > config_.max_pull_per_exchange) {
       // Incremental directory acquisition (§7.2 future work): fetch only a
       // chunk now; later anti-entropy rounds pull the rest.
       missing.resize(config_.max_pull_per_exchange);
+    }
+    if (!summary->push) {  // our pull round-trip completed
+      // ...but a peer that knows nobody yet has only learned *of* records,
+      // not acquired them. If the pull below is lost there is no normal
+      // cadence to recover (no known targets), so stay in catch-up with the
+      // replier re-armed as the retry target.
+      if (!missing.empty() && directory_.online_count() <= 1) {
+        catch_up_pending_ = true;
+        pending_pull_ = PendingPull{
+            from, round_counter_ + static_cast<std::uint64_t>(config_.ae_retry_rounds), 1};
+      } else {
+        catch_up_pending_ = false;
+        pending_pull_.reset();
+      }
     }
     if (!missing.empty()) {
       out.push_back(Outgoing{from, PullRequestMsg{std::move(missing)}});
@@ -447,6 +570,12 @@ std::vector<Protocol::Outgoing> Protocol::on_message(TimePoint now, PeerId from,
 
 void Protocol::on_send_failed(PeerId to, TimePoint now) {
   directory_.mark_offline(to, now);
+  if (pending_pull_ && pending_pull_->target == to) {
+    // The pull target is unreachable — no reply will ever come. Allow an
+    // immediate retry at the next round; the attempt still counts toward
+    // the catch-up bound.
+    pending_pull_->retry_round = round_counter_;
+  }
 }
 
 }  // namespace planetp::gossip

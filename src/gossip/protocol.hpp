@@ -2,6 +2,7 @@
 
 #include <deque>
 #include <functional>
+#include <optional>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -73,7 +74,10 @@ class Protocol {
 
   /// First contact of a brand-new (or returning) member: ask \p introducer
   /// for its full directory. The reply path downloads every record we lack.
-  Outgoing join_via(PeerId introducer);
+  /// The pull is tracked: if the reply never arrives (lossy link, partition)
+  /// it is retried with backoff on subsequent rounds, bounded by
+  /// config.max_ae_retries.
+  Outgoing join_via(PeerId introducer, TimePoint now = 0);
 
   /// Install initial directory state without generating rumors (used to
   /// set up pre-converged communities in experiments).
@@ -129,6 +133,13 @@ class Protocol {
   PeerId pick_rumor_target();
   PeerId pick_ae_target();
   bool has_local_origin_rumor() const;
+  Outgoing issue_summary_request(PeerId target, TimePoint now);
+  /// The community holds a newer version of *our own* record than we do —
+  /// we crashed and lost state. Adopt that version (jump past it) and
+  /// re-rumor so our presence wins everywhere. Returns true if adopted.
+  bool adopt_own_version(std::uint64_t seen_version, TimePoint now);
+  /// Set our own version to \p past + 1 and re-rumor our record (kRejoin).
+  void jump_own_version(std::uint64_t past);
 
   RumorPayload payload_for_pull(const PeerRecord& record) const;
 
@@ -146,10 +157,20 @@ class Protocol {
   int gossipless_count_ = 0;
   Duration interval_;
   LinkClass self_class_ = LinkClass::kFast;
-  /// Set on rejoin: we slept through events and must anti-entropy before
-  /// resuming normal rumoring priorities; cleared by the first summary
-  /// reply. Retries automatically when the chosen target is unreachable.
+  /// Set on join/rejoin: we slept through events and must anti-entropy
+  /// before resuming normal rumoring priorities; cleared by the first
+  /// summary reply, by send failure to the chosen target (retry next round)
+  /// or after max_ae_retries unanswered attempts.
   bool catch_up_pending_ = false;
+
+  /// The most recent summary request still awaiting its reply; drives the
+  /// bounded backed-off retry of unanswered anti-entropy pulls.
+  struct PendingPull {
+    PeerId target = kInvalidPeer;
+    std::uint64_t retry_round = 0;  ///< round from which an unanswered pull may be reissued
+    int attempts = 0;
+  };
+  std::optional<PendingPull> pending_pull_;
 };
 
 }  // namespace planetp::gossip

@@ -24,9 +24,18 @@ LiveNode::LiveNode(PeerId id, LiveNodeConfig config, std::uint16_t port)
 
 LiveNode::~LiveNode() { stop(); }
 
+namespace {
+TimePoint steady_micros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+}  // namespace
+
 void LiveNode::start() {
   if (started_) return;
   started_ = true;
+  fault_origin_ = steady_micros();
   reactor_.start([this](const Frame& f) { on_frame(f); },
                  [this](const std::string& addr) { on_send_failure(addr); });
   {
@@ -58,18 +67,10 @@ void LiveNode::join(PeerId introducer, const std::string& introducer_address) {
     seed.address = introducer_address;
     seed.version = 0;
     protocol_.directory().apply(seed);
-    out.push_back(protocol_.join_via(introducer));
+    out.push_back(protocol_.join_via(introducer, steady_micros()));
   }
   send_outgoing(std::move(out));
 }
-
-namespace {
-TimePoint steady_micros() {
-  return std::chrono::duration_cast<std::chrono::microseconds>(
-             std::chrono::steady_clock::now().time_since_epoch())
-      .count();
-}
-}  // namespace
 
 void LiveNode::gossip_round() {
   if (!started_) return;
@@ -101,6 +102,25 @@ void LiveNode::send_outgoing(std::vector<gossip::Protocol::Outgoing> batch) {
     frame.sender = id_;
     frame.channel = Channel::kGossip;
     frame.payload = gossip::encode_message(out.msg);
+
+    if (config_.faults) {
+      // The fault-wrapping transport: the same FaultPlan the simulator runs,
+      // applied to real frames. Drops are silent wire loss; delayed and
+      // duplicate copies ride the reactor's timer heap.
+      const sim::FaultDecision fault =
+          config_.faults->decide(id_, out.to, steady_micros() - fault_origin_);
+      if (fault.drop) continue;
+      for (const Duration lag : fault.duplicate_lags) {
+        reactor_.schedule(fault.extra_delay + std::max<Duration>(lag, 1),
+                          [this, addr, frame] { reactor_.send(addr, Frame(frame)); });
+      }
+      if (fault.extra_delay > 0) {
+        reactor_.schedule(fault.extra_delay, [this, addr, frame]() mutable {
+          reactor_.send(addr, std::move(frame));
+        });
+        continue;
+      }
+    }
     reactor_.send(addr, std::move(frame));
   }
 }

@@ -15,6 +15,7 @@
 #include "net/reactor.hpp"
 #include "net/rpc.hpp"
 #include "search/distributed.hpp"
+#include "sim/faults.hpp"
 
 /// \file live_node.hpp
 /// A PlanetP peer running over real TCP sockets: the same gossip::Protocol
@@ -31,6 +32,13 @@ struct LiveNodeConfig {
   Duration rpc_timeout = 3 * kSecond;
   search::StoppingHeuristic stopping;
   std::size_t search_group_size = 1;
+
+  /// Optional fault injection wrapping the gossip send path: the same
+  /// FaultPlan the simulator consumes drives drop/duplicate/delay over real
+  /// TCP, so live tests replay identical scenarios. Share one injector
+  /// across a community's nodes (it is thread-safe) for plan-wide
+  /// determinism; time is measured from this node's start().
+  std::shared_ptr<sim::FaultInjector> faults;
 };
 
 struct LiveHit {
@@ -135,6 +143,7 @@ class LiveNode {
   gossip::PeerId id_;
   LiveNodeConfig config_;
   Reactor reactor_;
+  TimePoint fault_origin_ = 0;  ///< start() time; faults run on node-relative time
 
   mutable std::mutex mu_;  ///< guards store_, protocol_, filter bookkeeping
   index::DataStore store_;

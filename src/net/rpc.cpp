@@ -32,7 +32,7 @@ WireSnippet decode_snippet(ByteReader& r) {
   s.publisher = r.u32();
   s.snippet_id = r.u64();
   s.xml = r.str();
-  const std::size_t n = static_cast<std::size_t>(r.varint());
+  const std::size_t n = r.count();
   s.keys.reserve(n);
   for (std::size_t i = 0; i < n; ++i) s.keys.push_back(r.str());
   s.ttl_us = r.svarint();
@@ -50,7 +50,7 @@ void encode_docs(ByteWriter& w, const std::vector<RemoteDoc>& docs) {
 }
 
 std::vector<RemoteDoc> decode_docs(ByteReader& r) {
-  const std::size_t n = static_cast<std::size_t>(r.varint());
+  const std::size_t n = r.count(17);  // u32 + u32 + f64 + 1-byte str prefix
   std::vector<RemoteDoc> docs;
   docs.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
@@ -137,7 +137,7 @@ RpcMessage decode_rpc(std::span<const std::uint8_t> data) {
     case Tag::kRankedRequest: {
       RankedRequest m;
       m.request_id = r.u64();
-      const std::size_t n = static_cast<std::size_t>(r.varint());
+      const std::size_t n = r.count(9);  // str + f64
       m.weights.reserve(n);
       for (std::size_t i = 0; i < n; ++i) {
         WeightedTerm t;
@@ -195,7 +195,7 @@ RpcMessage decode_rpc(std::span<const std::uint8_t> data) {
     case Tag::kLookupSnippetResponse: {
       LookupSnippetResponse m;
       m.request_id = r.u64();
-      const std::size_t n = static_cast<std::size_t>(r.varint());
+      const std::size_t n = r.count(15);  // minimum encoded WireSnippet
       m.snippets.reserve(n);
       for (std::size_t i = 0; i < n; ++i) m.snippets.push_back(decode_snippet(r));
       return m;

@@ -67,9 +67,22 @@ void ConvergenceTracker::maybe_converge(const RumorId& id, Active& a, TimePoint 
 // SimCommunity
 // ---------------------------------------------------------------------------
 
+namespace {
+/// The plan actually injected: the configured one plus the legacy
+/// message_drop_prob knob mapped onto a uniform-drop rule.
+FaultPlan effective_fault_plan(const SimConfig& config) {
+  FaultPlan plan = config.faults;
+  if (config.message_drop_prob > 0.0) {
+    plan.drop(FaultScope::any(), TimeWindow::always(), config.message_drop_prob);
+  }
+  return plan;
+}
+}  // namespace
+
 SimCommunity::SimCommunity(SimConfig config)
     : config_(config),
       rng_(config.seed),
+      faults_(effective_fault_plan(config), splitmix64(config.seed ^ 0xfa017u)),
       links_(std::make_unique<LinkModel>(config.network)),
       stats_(std::make_unique<NetworkStats>(0, config.network.bandwidth_bucket)) {}
 
@@ -117,6 +130,17 @@ void SimCommunity::start_converged() {
     schedule_round(id, static_cast<Duration>(
                            rng_.below(static_cast<std::uint64_t>(config_.gossip.base_interval))));
   }
+  schedule_crash_events();
+}
+
+void SimCommunity::schedule_crash_events() {
+  for (const CrashEvent& c : faults_.plan().crashes()) {
+    if (c.peer >= peers_.size()) continue;
+    queue_.schedule_at(c.at, [this, c] { crash(c.peer, c.lose_directory); });
+    if (c.restart_at > 0) {
+      queue_.schedule_at(c.restart_at, [this, peer = c.peer] { restart(peer); });
+    }
+  }
 }
 
 void SimCommunity::join(PeerId id, PeerId introducer) {
@@ -127,7 +151,7 @@ void SimCommunity::join(PeerId id, PeerId introducer) {
   peer.online = true;
   peer.member = true;
   track_event(RumorId{id, 1}, id);
-  dispatch(id, peer.protocol->join_via(introducer));
+  dispatch(id, peer.protocol->join_via(introducer, queue_.now()));
   schedule_round(id, static_cast<Duration>(
                          rng_.below(static_cast<std::uint64_t>(config_.gossip.base_interval))));
 }
@@ -150,6 +174,48 @@ void SimCommunity::go_offline(PeerId id) {
   for (auto& t : trackers_) t->peer_offline(id, queue_.now());
 }
 
+void SimCommunity::crash(PeerId id, bool lose_directory) {
+  go_offline(id);
+  if (!lose_directory) return;
+  // Process crash without persistence: all protocol state is gone. The peer
+  // must re-enter like a newcomer (restart() routes it through join()) and
+  // recover its version counter from the community's memory of it.
+  SimPeer& peer = peers_[id];
+  peer.protocol = std::make_unique<Protocol>(id, config_.gossip, rng_.fork(id ^ 0x9e3779b9u));
+  peer.protocol->hooks().on_apply = [this, id](const RumorPayload& p, TimePoint now) {
+    on_peer_applied(id, p, now);
+  };
+  peer.member = false;
+}
+
+gossip::RumorId SimCommunity::restart(PeerId id, PeerId introducer) {
+  SimPeer& peer = peers_[id];
+  if (peer.member) return rejoin(id, 0);  // directory survived the crash
+
+  if (introducer == kInvalidPeer) {
+    for (PeerId p = 0; p < peers_.size(); ++p) {
+      if (p != id && peers_[p].online && peers_[p].member) {
+        introducer = p;
+        break;
+      }
+    }
+  }
+  if (introducer == kInvalidPeer) {
+    throw std::logic_error("SimCommunity::restart: no online introducer");
+  }
+  // Like join(), but untracked: the join rumor carries version 1, which the
+  // community (still holding this peer's pre-crash record) will ignore; the
+  // peer converges by adopting its remembered version and re-rumoring.
+  const PeerRecord self = record_of(id);
+  peer.protocol->local_join(self.address, self.link_class, peer.key_count, {}, queue_.now());
+  peer.online = true;
+  peer.member = true;
+  dispatch(id, peer.protocol->join_via(introducer, queue_.now()));
+  schedule_round(id, static_cast<Duration>(
+                         rng_.below(static_cast<std::uint64_t>(config_.gossip.base_interval))));
+  return RumorId{id, 1};
+}
+
 RumorId SimCommunity::rejoin(PeerId id, std::uint32_t new_keys) {
   SimPeer& peer = peers_[id];
   if (!peer.member) throw std::logic_error("SimCommunity::rejoin: never joined");
@@ -170,7 +236,7 @@ RumorId SimCommunity::rejoin(PeerId id, std::uint32_t new_keys) {
   Rng& rng = rng_;
   const PeerId target = peer.protocol->directory().random_online(rng);
   if (target != gossip::kInvalidPeer) {
-    dispatch(id, peer.protocol->join_via(target));
+    dispatch(id, peer.protocol->join_via(target, queue_.now()));
   }
   schedule_round(id, static_cast<Duration>(rng_.below(
                          static_cast<std::uint64_t>(config_.gossip.base_interval))));
@@ -261,18 +327,34 @@ void SimCommunity::dispatch(PeerId from, const Protocol::Outgoing& out) {
   stats_->record(from, bytes, queue_.now(),
                  is_ae ? TrafficKind::kAntiEntropy : TrafficKind::kRumor);
 
-  if (config_.message_drop_prob > 0.0 && rng_.chance(config_.message_drop_prob)) {
-    return;  // silently lost; sender learns nothing (UDP-like loss)
+  FaultDecision fault = faults_.decide(from, out.to, queue_.now());
+  if (fault.drop) {
+    stats_->record_dropped(fault.partition_drop);
+    if (fault.notify_sender && peers_[from].online) {
+      // TCP-like refusal (partitioned links, not lossy ones): the sender
+      // discovers the peer is unreachable and marks it offline.
+      peers_[from].protocol->on_send_failed(out.to, queue_.now());
+    }
+    return;  // otherwise silently lost; sender learns nothing (UDP-like loss)
   }
+  if (fault.delayed) stats_->record_delayed();
+  if (fault.reordered) stats_->record_reordered();
+  if (!fault.duplicate_lags.empty()) stats_->record_duplicated(fault.duplicate_lags.size());
 
   const TimePoint arrival = links_->transfer(from, out.to, bytes, queue_.now());
-  const TimePoint processed = arrival + config_.network.cpu_gossip_time;
+  const TimePoint processed = arrival + config_.network.cpu_gossip_time + fault.extra_delay;
   // Share rather than copy: summary messages are O(community) in size and
   // thousands can be in flight at once.
   auto msg = std::make_shared<Message>(out.msg);
-  queue_.schedule_at(processed, [this, from, to = out.to, msg = std::move(msg)]() {
+  queue_.schedule_at(processed, [this, from, to = out.to, msg]() {
     deliver(from, to, *msg);
   });
+  // Duplicate copies trail the primary; the receiver must treat them as the
+  // no-ops the protocol's versioning makes them.
+  for (const Duration lag : fault.duplicate_lags) {
+    queue_.schedule_at(processed + std::max<Duration>(lag, 1),
+                       [this, from, to = out.to, msg]() { deliver(from, to, *msg); });
+  }
 }
 
 void SimCommunity::deliver(PeerId from, PeerId to, const Message& msg) {

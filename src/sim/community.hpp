@@ -9,6 +9,7 @@
 
 #include "gossip/protocol.hpp"
 #include "sim/event_queue.hpp"
+#include "sim/faults.hpp"
 #include "sim/network.hpp"
 #include "util/stats.hpp"
 
@@ -83,7 +84,13 @@ struct SimConfig {
   gossip::SizeModel sizes;
   NetworkParams network;
   std::uint64_t seed = 42;
-  double message_drop_prob = 0.0;  ///< failure injection for tests
+  /// Scheduled fault injection (drops, duplicates, delays, reordering,
+  /// partitions, crash/restarts); see sim/faults.hpp. Everything the plan
+  /// injects is reproducible from `seed`.
+  FaultPlan faults;
+  /// Legacy uniform-loss knob, kept as a compatibility shim: a non-zero
+  /// value appends `FaultPlan::uniform_drop(p)` to `faults`.
+  double message_drop_prob = 0.0;
 };
 
 class SimCommunity {
@@ -108,6 +115,18 @@ class SimCommunity {
 
   /// Take a peer offline (silently, as peers do — §3).
   void go_offline(gossip::PeerId id);
+
+  /// Crash a member: it goes offline and, with \p lose_directory, forgets
+  /// all protocol state (directory, hot rumors, version counter) as a
+  /// process crash without persistence would.
+  void crash(gossip::PeerId id, bool lose_directory);
+
+  /// Bring a crashed (or merely offline) member back. A peer that kept its
+  /// directory rejoins in place; one that lost it re-enters through
+  /// \p introducer (default: the lowest-id online member), re-learning the
+  /// community and recovering its own version via gossip. Returns the rumor
+  /// id of the restart event.
+  gossip::RumorId restart(gossip::PeerId id, gossip::PeerId introducer = gossip::kInvalidPeer);
 
   /// Bring a previously joined peer back online; with \p new_keys > 0 the
   /// rejoin also shares that many new keys (Fig 4b's "Join" events).
@@ -140,6 +159,9 @@ class SimCommunity {
 
   EventQueue& queue() { return queue_; }
   NetworkStats& stats() { return *stats_; }
+  /// The effective fault injector (config.faults plus the message_drop_prob
+  /// shim). Its plan and counters are introspectable for tests and benches.
+  FaultInjector& faults() { return faults_; }
   gossip::Protocol& protocol(gossip::PeerId id) { return *peers_[id].protocol; }
   const SimConfig& config() const { return config_; }
 
@@ -158,6 +180,7 @@ class SimCommunity {
   };
 
   void schedule_round(gossip::PeerId id, Duration delay);
+  void schedule_crash_events();
   void run_round(gossip::PeerId id, std::uint64_t epoch);
   void maybe_pull_round_forward(gossip::PeerId id);
   void dispatch(gossip::PeerId from, const gossip::Protocol::Outgoing& out);
@@ -169,6 +192,7 @@ class SimCommunity {
   SimConfig config_;
   EventQueue queue_;
   Rng rng_;
+  FaultInjector faults_;
   std::vector<SimPeer> peers_;
   std::unique_ptr<LinkModel> links_;
   std::unique_ptr<NetworkStats> stats_;

@@ -1,0 +1,143 @@
+#include "sim/faults.hpp"
+
+namespace planetp::sim {
+
+FaultPlan& FaultPlan::drop(FaultScope scope, TimeWindow window, double probability,
+                           bool notify_sender) {
+  FaultRule r;
+  r.action = FaultAction::kDrop;
+  r.scope = scope;
+  r.window = window;
+  r.probability = probability;
+  r.notify_sender = notify_sender;
+  rules_.push_back(r);
+  return *this;
+}
+
+FaultPlan& FaultPlan::duplicate(FaultScope scope, TimeWindow window, double probability,
+                                Duration min_lag, Duration jitter) {
+  FaultRule r;
+  r.action = FaultAction::kDuplicate;
+  r.scope = scope;
+  r.window = window;
+  r.probability = probability;
+  r.delay = min_lag;
+  r.jitter = jitter;
+  rules_.push_back(r);
+  return *this;
+}
+
+FaultPlan& FaultPlan::delay(FaultScope scope, TimeWindow window, Duration extra, Duration jitter,
+                            double probability) {
+  FaultRule r;
+  r.action = FaultAction::kDelay;
+  r.scope = scope;
+  r.window = window;
+  r.probability = probability;
+  r.delay = extra;
+  r.jitter = jitter;
+  rules_.push_back(r);
+  return *this;
+}
+
+FaultPlan& FaultPlan::reorder(FaultScope scope, TimeWindow window, double probability,
+                              Duration min_hold, Duration jitter) {
+  FaultRule r;
+  r.action = FaultAction::kReorder;
+  r.scope = scope;
+  r.window = window;
+  r.probability = probability;
+  r.delay = min_hold;
+  r.jitter = jitter;
+  rules_.push_back(r);
+  return *this;
+}
+
+FaultPlan& FaultPlan::partition(TimeWindow window,
+                                const std::vector<std::vector<gossip::PeerId>>& groups) {
+  PartitionSpec spec;
+  spec.window = window;
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    for (gossip::PeerId id : groups[g]) spec.group_of[id] = static_cast<int>(g);
+  }
+  partitions_.push_back(std::move(spec));
+  return *this;
+}
+
+FaultPlan& FaultPlan::crash(gossip::PeerId peer, TimePoint at, TimePoint restart_at,
+                            bool lose_directory) {
+  crashes_.push_back(CrashEvent{peer, at, restart_at, lose_directory});
+  return *this;
+}
+
+FaultPlan FaultPlan::uniform_drop(double p) {
+  FaultPlan plan;
+  plan.drop(FaultScope::any(), TimeWindow::always(), p);
+  return plan;
+}
+
+FaultInjector::FaultInjector(FaultPlan plan, std::uint64_t seed)
+    : plan_(std::move(plan)), rng_(seed) {}
+
+FaultDecision FaultInjector::decide(gossip::PeerId from, gossip::PeerId to, TimePoint now) {
+  std::lock_guard<std::mutex> lock(mu_);
+  FaultDecision d;
+
+  // Partitions first: a cut link refuses everything regardless of rules.
+  for (const PartitionSpec& p : plan_.partitions()) {
+    if (!p.window.contains(now)) continue;
+    const auto fg = p.group_of.find(from);
+    const auto tg = p.group_of.find(to);
+    if (fg != p.group_of.end() && tg != p.group_of.end() && fg->second != tg->second) {
+      d.drop = true;
+      d.partition_drop = true;
+      d.notify_sender = true;
+      ++counters_.dropped;
+      ++counters_.partition_dropped;
+      return d;
+    }
+  }
+
+  for (const FaultRule& r : plan_.rules()) {
+    if (!r.window.contains(now) || !r.scope.matches(from, to)) continue;
+    if (r.probability < 1.0 && !rng_.chance(r.probability)) continue;
+    const Duration spread =
+        r.delay + (r.jitter > 0 ? static_cast<Duration>(rng_.below(
+                                      static_cast<std::uint64_t>(r.jitter)))
+                                : 0);
+    switch (r.action) {
+      case FaultAction::kDrop:
+        d.drop = true;
+        d.notify_sender = r.notify_sender;
+        ++counters_.dropped;
+        return d;
+      case FaultAction::kDuplicate:
+        d.duplicate_lags.push_back(spread);
+        ++counters_.duplicated;
+        break;
+      case FaultAction::kDelay:
+        d.delayed = true;
+        d.extra_delay += spread;
+        ++counters_.delayed;
+        break;
+      case FaultAction::kReorder:
+        d.reordered = true;
+        d.extra_delay += spread;
+        ++counters_.reordered;
+        break;
+    }
+  }
+  return d;
+}
+
+FaultCounters FaultInjector::counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_;
+}
+
+void FaultInjector::reset_counters() {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_ = FaultCounters{};
+}
+
+}  // namespace planetp::sim

@@ -46,6 +46,11 @@ void NetworkStats::reset() {
   total_bytes_ = 0;
   rumor_bytes_ = 0;
   total_messages_ = 0;
+  dropped_messages_ = 0;
+  partition_dropped_messages_ = 0;
+  duplicated_messages_ = 0;
+  delayed_messages_ = 0;
+  reordered_messages_ = 0;
   std::fill(per_peer_bytes_.begin(), per_peer_bytes_.end(), 0);
   buckets_.clear();
   origin_set_ = false;

@@ -52,6 +52,23 @@ class NetworkStats {
   void record(std::uint32_t sender, std::size_t bytes, TimePoint at,
               TrafficKind kind = TrafficKind::kRumor);
 
+  /// Injected-fault accounting (see sim/faults.hpp). Drops include both the
+  /// FaultPlan's rules and the legacy `message_drop_prob` shim, so loss
+  /// experiments no longer under-report traffic.
+  void record_dropped(bool partition) {
+    ++dropped_messages_;
+    if (partition) ++partition_dropped_messages_;
+  }
+  void record_duplicated(std::size_t copies) { duplicated_messages_ += copies; }
+  void record_delayed() { ++delayed_messages_; }
+  void record_reordered() { ++reordered_messages_; }
+
+  std::uint64_t dropped_messages() const { return dropped_messages_; }
+  std::uint64_t partition_dropped_messages() const { return partition_dropped_messages_; }
+  std::uint64_t duplicated_messages() const { return duplicated_messages_; }
+  std::uint64_t delayed_messages() const { return delayed_messages_; }
+  std::uint64_t reordered_messages() const { return reordered_messages_; }
+
   std::uint64_t total_bytes() const { return total_bytes_; }
   std::uint64_t rumor_bytes() const { return rumor_bytes_; }
   std::uint64_t anti_entropy_bytes() const { return total_bytes_ - rumor_bytes_; }
@@ -68,6 +85,11 @@ class NetworkStats {
   std::uint64_t total_bytes_ = 0;
   std::uint64_t rumor_bytes_ = 0;
   std::uint64_t total_messages_ = 0;
+  std::uint64_t dropped_messages_ = 0;
+  std::uint64_t partition_dropped_messages_ = 0;
+  std::uint64_t duplicated_messages_ = 0;
+  std::uint64_t delayed_messages_ = 0;
+  std::uint64_t reordered_messages_ = 0;
   std::vector<std::uint64_t> per_peer_bytes_;
   Duration bucket_;
   std::vector<std::uint64_t> buckets_;

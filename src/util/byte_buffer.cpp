@@ -77,6 +77,14 @@ double ByteReader::f64() {
   return v;
 }
 
+std::size_t ByteReader::count(std::size_t min_elem_bytes) {
+  const std::uint64_t n = varint();
+  if (n > remaining() / (min_elem_bytes == 0 ? 1 : min_elem_bytes)) {
+    throw std::out_of_range("ByteReader: list count exceeds remaining bytes");
+  }
+  return static_cast<std::size_t>(n);
+}
+
 std::vector<std::uint8_t> ByteReader::bytes() {
   const std::size_t n = static_cast<std::size_t>(varint());
   need(n);

@@ -52,6 +52,11 @@ class ByteReader {
   std::uint64_t varint() { return get_varint(data_.data(), data_.size(), pos_); }
   std::int64_t svarint() { return zigzag_decode(varint()); }
 
+  /// Read a list count, rejecting any value that cannot possibly fit in the
+  /// bytes left (each element consumes at least \p min_elem_bytes). Guards
+  /// the reserve() that follows against corrupt or hostile length prefixes.
+  std::size_t count(std::size_t min_elem_bytes = 1);
+
   std::vector<std::uint8_t> bytes();
   std::string str();
 

@@ -1,0 +1,295 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <tuple>
+#include <vector>
+
+#include "net/live_node.hpp"
+#include "sim/community.hpp"
+#include "sim/faults.hpp"
+#include "sim/network.hpp"
+
+/// \file test_fault_scenarios.cpp
+/// End-to-end fault scenarios: the FaultPlan driving a full SimCommunity
+/// (partitions that heal, crash/restart with and without persisted state,
+/// sustained uniform loss) plus one live-TCP run sharing the same injector
+/// machinery. Every scenario is asserted bit-reproducible from its seed.
+
+namespace planetp::sim {
+namespace {
+
+gossip::PeerId pid(int i) { return static_cast<gossip::PeerId>(i); }
+
+// ---------------------------------------------------------------------------
+// Partition and heal
+// ---------------------------------------------------------------------------
+
+/// 12 peers split three ways for 20 minutes; one filter change happens inside
+/// each island while the network is cut.
+std::unique_ptr<SimCommunity> run_three_way_partition(std::uint64_t seed, bool* converged) {
+  SimConfig cfg;
+  cfg.seed = seed;
+  // Probe aggressively so the healed halves re-merge well inside the test
+  // horizon (the default 0.1 converges too, just more slowly).
+  cfg.gossip.anti_entropy_every = 5;
+  cfg.gossip.offline_probe_prob = 0.3;
+  cfg.faults.partition({2 * kMinute, 22 * kMinute},
+                       {{pid(0), pid(1), pid(2), pid(3)},
+                        {pid(4), pid(5), pid(6), pid(7)},
+                        {pid(8), pid(9), pid(10), pid(11)}});
+
+  auto community = std::make_unique<SimCommunity>(cfg);
+  for (int i = 0; i < 12; ++i) community->add_peer({link_speed::kLan45M, 1000});
+  community->add_tracker("all", [](gossip::PeerId) { return true; });
+  community->start_converged();
+
+  community->run_until(5 * kMinute);  // partition is up
+  community->inject_filter_change(0, 100);   // one event per island
+  community->inject_filter_change(5, 100);
+  community->inject_filter_change(10, 100);
+  community->run_until(22 * kMinute);
+
+  // While cut, no island can have learned the other islands' events.
+  EXPECT_EQ(community->tracker(0).pending_events(), 3u);
+  EXPECT_GT(community->faults().counters().partition_dropped, 0u);
+  EXPECT_EQ(community->protocol(0).directory().find(5)->version, 1u);
+
+  community->run_until(4 * kHour);  // healed; offline probes re-merge the halves
+  *converged = community->tracker(0).pending_events() == 0 &&
+               community->directories_consistent();
+  return community;
+}
+
+std::tuple<std::uint64_t, std::uint64_t, std::size_t> fingerprint(SimCommunity& community) {
+  return {community.stats().total_bytes(), community.faults().counters().dropped,
+          community.tracker(0).converged_events()};
+}
+
+TEST(FaultScenarios, ThreeWayPartitionHealsAndConverges) {
+  bool converged = false;
+  const auto community = run_three_way_partition(21, &converged);
+  EXPECT_TRUE(converged);
+  // Every island's event reached every peer.
+  for (int i = 0; i < 12; ++i) {
+    EXPECT_EQ(community->protocol(pid(i)).directory().find(0)->version, 2u) << i;
+    EXPECT_EQ(community->protocol(pid(i)).directory().find(5)->version, 2u) << i;
+    EXPECT_EQ(community->protocol(pid(i)).directory().find(10)->version, 2u) << i;
+  }
+  // Partition drops were mirrored into the traffic accounting.
+  EXPECT_EQ(community->stats().partition_dropped_messages(),
+            community->faults().counters().partition_dropped);
+}
+
+TEST(FaultScenarios, PartitionScenarioIsReproducibleFromSeed) {
+  bool c1 = false;
+  bool c2 = false;
+  const auto a = run_three_way_partition(33, &c1);
+  const auto b = run_three_way_partition(33, &c2);
+  EXPECT_EQ(fingerprint(*a), fingerprint(*b));
+  EXPECT_EQ(c1, c2);
+}
+
+// ---------------------------------------------------------------------------
+// Crash and restart: no T_dead limbo
+// ---------------------------------------------------------------------------
+
+TEST(FaultScenarios, CrashRestartKeepingDirectoryReadmitsAfterTDead) {
+  // T_dead is short enough that the community *expires* the crashed peer's
+  // record before it returns; the rejoin rumor must re-admit it everywhere at
+  // its newest version instead of leaving it in limbo.
+  SimConfig cfg;
+  cfg.seed = 14;
+  cfg.gossip.t_dead = 10 * kMinute;
+  cfg.faults.crash(pid(3), /*at=*/2 * kMinute, /*restart_at=*/40 * kMinute,
+                   /*lose_directory=*/false);
+  SimCommunity community(cfg);
+  for (int i = 0; i < 8; ++i) community.add_peer({link_speed::kLan45M, 1000});
+  community.start_converged();
+
+  community.run_until(35 * kMinute);
+  EXPECT_FALSE(community.is_online(3));
+  // At least someone already expired the dead peer (probes marked it offline
+  // at different local times, so expiry is not simultaneous).
+  std::size_t expired = 0;
+  for (int i = 0; i < 8; ++i) {
+    if (i != 3 && community.protocol(pid(i)).directory().find(3) == nullptr) ++expired;
+  }
+  EXPECT_GT(expired, 0u);
+
+  community.run_until(3 * kHour);
+  EXPECT_TRUE(community.is_online(3));
+  const std::uint64_t version = community.protocol(3).directory().find(3)->version;
+  EXPECT_GE(version, 2u);  // rejoin bumped it
+  for (int i = 0; i < 8; ++i) {
+    const auto* r = community.protocol(pid(i)).directory().find(3);
+    ASSERT_NE(r, nullptr) << "peer " << i << " left 3 in T_dead limbo";
+    EXPECT_EQ(r->version, version) << i;
+  }
+  EXPECT_TRUE(community.directories_consistent());
+}
+
+TEST(FaultScenarios, CrashLosingDirectoryRecoversOwnVersion) {
+  // The peer's process dies without persistence: directory, hot rumors and —
+  // critically — its own version counter are gone. On restart it must notice
+  // the community remembers a higher version of itself and jump past it
+  // (adopt_own_version), or its future updates would be ignored as stale.
+  SimConfig cfg;
+  cfg.seed = 15;
+  cfg.faults.crash(pid(2), /*at=*/5 * kMinute, /*restart_at=*/30 * kMinute,
+                   /*lose_directory=*/true);
+  SimCommunity community(cfg);
+  for (int i = 0; i < 8; ++i) community.add_peer({link_speed::kLan45M, 1000});
+  community.start_converged();
+
+  community.run_until(2 * kMinute);
+  community.inject_filter_change(2, 50);  // bump 2's version to 2 pre-crash
+  community.run_until(20 * kMinute);
+  EXPECT_FALSE(community.is_online(2));
+  EXPECT_EQ(community.protocol(2).directory().size(), 0u);  // state truly lost
+
+  community.run_until(3 * kHour);
+  EXPECT_TRUE(community.is_online(2));
+  const auto* self = community.protocol(2).directory().find(2);
+  ASSERT_NE(self, nullptr);
+  EXPECT_GT(self->version, 2u) << "restarted peer must supersede its pre-crash version";
+  EXPECT_EQ(community.protocol(2).directory().size(), 8u);  // relearned everyone
+  for (int i = 0; i < 8; ++i) {
+    const auto* r = community.protocol(pid(i)).directory().find(2);
+    ASSERT_NE(r, nullptr) << i;
+    EXPECT_EQ(r->version, self->version) << i;
+  }
+  EXPECT_TRUE(community.directories_consistent());
+}
+
+TEST(FaultScenarios, LossyCrashRestartCannotStrandThePeer) {
+  // A peer that loses its directory restarts knowing exactly one address —
+  // its introducer — and under uniform loss any leg of the catch-up exchange
+  // (request, summary, pull request, pull response) can vanish. Whichever leg
+  // is lost, the peer must keep re-asking the introducer rather than ending
+  // permanently isolated while the rest of the community still believes it
+  // is online. Several seeds so different legs get to be the lost one.
+  for (const std::uint64_t seed : {1u, 7u, 42u, 101u}) {
+    SimConfig cfg;
+    cfg.seed = seed;
+    cfg.faults.drop(FaultScope::any(), TimeWindow::always(), 0.15)
+        .partition({5 * kMinute, 35 * kMinute}, {{0, 1, 2, 3, 4}, {5, 6, 7, 8, 9}})
+        .crash(pid(2), /*at=*/10 * kMinute, /*restart_at=*/50 * kMinute,
+               /*lose_directory=*/true);
+    cfg.gossip.offline_probe_prob = 0.3;
+    SimCommunity community(cfg);
+    for (int i = 0; i < 10; ++i) community.add_peer({link_speed::kLan45M, 500});
+    community.start_converged();
+    community.inject_filter_change(6, 40);
+    community.run_until(3 * kHour);
+    EXPECT_EQ(community.protocol(2).directory().size(), 10u) << "seed " << seed;
+    EXPECT_TRUE(community.directories_consistent()) << "seed " << seed;
+  }
+}
+
+TEST(FaultScenarios, CrashLosingDirectoryAfterExpiryJumpsRejoinFloor) {
+  // Worst case: the peer loses its state AND stays away past T_dead, so the
+  // community both expired its record and holds tombstones at the very
+  // version the peer restarts with (1). Without the summary reply's
+  // rejoin_floor the restarted peer would gossip v1 forever and every copy
+  // would be refused as tombstoned.
+  SimConfig cfg;
+  cfg.seed = 18;
+  cfg.gossip.t_dead = 8 * kMinute;
+  cfg.faults.crash(pid(4), /*at=*/2 * kMinute, /*restart_at=*/45 * kMinute,
+                   /*lose_directory=*/true);
+  SimCommunity community(cfg);
+  for (int i = 0; i < 8; ++i) community.add_peer({link_speed::kLan45M, 1000});
+  community.start_converged();
+
+  community.run_until(40 * kMinute);
+  for (int i = 0; i < 8; ++i) {  // everyone expired the crashed peer
+    if (i == 4) continue;
+    EXPECT_EQ(community.protocol(pid(i)).directory().find(4), nullptr) << i;
+  }
+
+  community.run_until(3 * kHour);
+  EXPECT_TRUE(community.is_online(4));
+  const auto* self = community.protocol(4).directory().find(4);
+  ASSERT_NE(self, nullptr);
+  EXPECT_GE(self->version, 2u);  // jumped past the tombstoned version 1
+  for (int i = 0; i < 8; ++i) {
+    const auto* r = community.protocol(pid(i)).directory().find(4);
+    ASSERT_NE(r, nullptr) << "peer " << i << " still refuses the restarted peer";
+    EXPECT_EQ(r->version, self->version) << i;
+  }
+  EXPECT_TRUE(community.directories_consistent());
+}
+
+// ---------------------------------------------------------------------------
+// Sustained uniform loss
+// ---------------------------------------------------------------------------
+
+std::tuple<std::uint64_t, std::uint64_t, std::size_t> run_lossy(std::uint64_t seed,
+                                                                bool* converged) {
+  SimConfig cfg;
+  cfg.seed = seed;
+  cfg.faults = FaultPlan::uniform_drop(0.20);
+  SimCommunity community(cfg);
+  for (int i = 0; i < 20; ++i) community.add_peer({link_speed::kLan45M, 1000});
+  const auto t = community.add_tracker("all", [](gossip::PeerId) { return true; });
+  community.start_converged();
+  community.run_until(kMinute);
+  community.inject_filter_change(0, 100);
+  community.run_until(2 * kHour);  // bounded horizon: ~240 base rounds
+  *converged = community.tracker(t).pending_events() == 0;
+  EXPECT_GT(community.stats().dropped_messages(), 0u);
+  EXPECT_EQ(community.stats().dropped_messages(), community.faults().counters().dropped);
+  return {community.stats().total_bytes(), community.stats().dropped_messages(),
+          community.tracker(t).converged_events()};
+}
+
+TEST(FaultScenarios, TwentyPercentLossConvergesInBoundedTime) {
+  bool converged = false;
+  run_lossy(16, &converged);
+  EXPECT_TRUE(converged);
+}
+
+TEST(FaultScenarios, LossScenarioIsReproducibleFromSeed) {
+  bool c1 = false;
+  bool c2 = false;
+  const auto a = run_lossy(27, &c1);
+  const auto b = run_lossy(27, &c2);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(c1, c2);
+}
+
+// ---------------------------------------------------------------------------
+// The same injector machinery wraps the live TCP stack
+// ---------------------------------------------------------------------------
+
+TEST(FaultScenarios, LiveNodesConvergeThroughLossyInjector) {
+  auto faults = std::make_shared<FaultInjector>(FaultPlan::uniform_drop(0.3), 77);
+  net::LiveNodeConfig cfg;
+  cfg.bloom.bits = 65536;
+  cfg.gossip.base_interval = 100 * kMillisecond;
+  cfg.gossip.max_interval = 400 * kMillisecond;
+  cfg.gossip.slow_down = 100 * kMillisecond;
+  cfg.faults = faults;
+
+  net::LiveNode a(0, cfg);
+  net::LiveNode b(1, cfg);
+  net::LiveNode c(2, cfg);
+  a.start();
+  b.start();
+  c.start();
+  b.join(0, a.address());
+  c.join(0, a.address());
+
+  // Push retries and anti-entropy shrug off the 30% loss.
+  EXPECT_TRUE(a.wait_for_peers(3, 30 * kSecond));
+  EXPECT_TRUE(b.wait_for_peers(3, 30 * kSecond));
+  EXPECT_TRUE(c.wait_for_peers(3, 30 * kSecond));
+  EXPECT_GT(faults->counters().dropped, 0u);
+
+  c.stop();
+  b.stop();
+  a.stop();
+}
+
+}  // namespace
+}  // namespace planetp::sim

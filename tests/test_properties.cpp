@@ -4,6 +4,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+#include <tuple>
+
 #include "gossip/messages.hpp"
 #include "index/xml.hpp"
 #include "net/framing.hpp"
@@ -69,8 +74,81 @@ INSTANTIATE_TEST_SUITE_P(Seeds, ChurnConvergence,
                          ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
 
 // ---------------------------------------------------------------------------
+// Fault tolerance as a property: directory updates are versioned and
+// idempotent, so duplicating and reordering traffic may change *when* the
+// community converges but never *what* it converges to.
+// ---------------------------------------------------------------------------
+
+/// Fixed event script (filter changes, one offline/rejoin) under the given
+/// fault plan; returns the converged directory as (id, version, key_count)
+/// triples, asserting the community did converge.
+std::vector<std::tuple<gossip::PeerId, std::uint64_t, std::uint32_t>> converged_directory(
+    sim::FaultPlan faults) {
+  sim::SimConfig cfg;
+  cfg.seed = 4242;
+  cfg.faults = std::move(faults);
+  sim::SimCommunity community(cfg);
+  constexpr std::size_t kPeers = 12;
+  for (std::size_t i = 0; i < kPeers; ++i) {
+    community.add_peer({sim::link_speed::kLan45M, 500});
+  }
+  community.start_converged();
+  community.run_until(kMinute);
+  community.inject_filter_change(0, 100);
+  community.inject_filter_change(5, 50);
+  community.run_until(5 * kMinute);
+  community.go_offline(7);
+  community.inject_filter_change(3, 25);
+  community.run_until(15 * kMinute);
+  community.rejoin(7, 10);
+  community.run_until(2 * kHour);
+
+  EXPECT_TRUE(community.directories_consistent());
+  std::vector<std::tuple<gossip::PeerId, std::uint64_t, std::uint32_t>> out;
+  community.protocol(0).directory().for_each([&](const gossip::PeerRecord& r) {
+    out.emplace_back(r.id, r.version, r.key_count);
+  });
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+TEST(FaultProperties, DuplicatingAndReorderingAnyPrefixPreservesFinalState) {
+  const auto baseline = converged_directory({});
+  ASSERT_EQ(baseline.size(), 12u);
+
+  // Duplicate and reorder aggressively over growing prefixes of the run,
+  // including the whole of it. Whatever the fault window, the converged
+  // directory must be byte-for-byte the baseline.
+  for (const TimePoint window_end :
+       {10 * kMinute, 30 * kMinute, std::numeric_limits<TimePoint>::max()}) {
+    sim::FaultPlan plan;
+    plan.duplicate(sim::FaultScope::any(), {0, window_end}, 0.5, 0, 5 * kSecond)
+        .reorder(sim::FaultScope::any(), {0, window_end}, 0.5, 0, 10 * kSecond);
+    EXPECT_EQ(converged_directory(std::move(plan)), baseline)
+        << "fault window ends at " << window_end;
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Decoder robustness: corrupted inputs must throw, never crash or hang
 // ---------------------------------------------------------------------------
+
+TEST(DecoderBounds, HostileListCountsAreRejectedBeforeAllocation) {
+  // A tiny message claiming a 2^40-element list must throw up front, not
+  // reserve() terabytes (found by the fuzz tests under ASan, whose allocator
+  // refuses what Linux overcommit would silently grant).
+  ByteWriter ranked;
+  ranked.u8(2);  // RankedResponse
+  ranked.u64(1);
+  ranked.varint(std::uint64_t{1} << 40);  // doc count
+  EXPECT_THROW((void)net::decode_rpc(ranked.data()), std::out_of_range);
+
+  ByteWriter summary;
+  summary.u8(4);  // Summary
+  summary.u8(0);  // push
+  summary.varint(std::uint64_t{1} << 40);  // entry count
+  EXPECT_THROW((void)gossip::decode_message(summary.data()), std::out_of_range);
+}
 
 class FuzzDecoders : public ::testing::TestWithParam<std::uint64_t> {};
 
