@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
-# Full verification: configure, build, test (plain and under ASan/UBSan),
-# and run every benchmark.
+# Full verification: configure, build, test (plain, under ASan/UBSan, and the
+# concurrent search tests under TSan), and run every benchmark.
 # Usage: scripts/check.sh [--quick]   (--quick shrinks the benchmark sweeps)
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -17,6 +17,14 @@ ctest --test-dir build --output-on-failure -j "$JOBS"
 cmake -B build-asan -S . -DPLANETP_SANITIZE=address,undefined
 cmake --build build-asan -j "$JOBS"
 ctest --test-dir build-asan --output-on-failure -j "$JOBS"
+
+# The concurrent hedged-search tests again under ThreadSanitizer (the `tsan`
+# preset uses the same build dir). TSan and ASan cannot share a build, hence
+# the third tree; the -R scope keeps the (slow) TSan pass to the tests that
+# actually exercise cross-thread retrieval.
+cmake -B build-tsan -S . -DPLANETP_SANITIZE=thread
+cmake --build build-tsan -j "$JOBS" --target test_search test_search_faults
+ctest --test-dir build-tsan --output-on-failure -j "$JOBS" -R DistributedSearchConcurrent
 
 for b in build/bench/*; do
   echo "=== $(basename "$b") ==="

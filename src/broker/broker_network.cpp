@@ -60,6 +60,22 @@ void BrokerNetwork::leave_abruptly(NodeId node) {
   // Data on the departed broker is simply lost.
   ring_.remove(node);
   stores_.erase(node);
+  // Re-replication heal: surviving copies are re-published to each key's
+  // (new) replica set, restoring the replication factor so a *second* abrupt
+  // departure loses nothing either. With the paper's unreplicated service
+  // (replication == 1) there are no surviving copies to heal from and the
+  // departed broker's data stays lost, as §4 documents.
+  if (replication_ > 1 && !stores_.empty()) {
+    std::vector<std::pair<std::string, Snippet>> survivors;
+    for (const auto& [owner, store] : stores_) {
+      for (const auto& [key, snippet] : store.all()) survivors.emplace_back(key, snippet);
+    }
+    for (const auto& [key, snippet] : survivors) {
+      for (NodeId owner : ring_.replicas_for(key, replication_)) {
+        stores_[owner].put(key, snippet);
+      }
+    }
+  }
 }
 
 void BrokerNetwork::publish(const Snippet& snippet) {

@@ -162,16 +162,16 @@ bool Community::step_until_converged(Duration limit, Duration stride) {
   return false;
 }
 
-std::vector<search::ScoredDoc> Community::contact_ranked(
+search::PeerSearchResult Community::contact_ranked(
     PeerId caller, PeerId target,
     const std::unordered_map<std::string, double>& term_weights) {
   if (target >= nodes_.size() || !online_[target]) {
     if (caller < nodes_.size()) {
       nodes_[caller]->protocol().on_send_failed(target, clock_.now());
     }
-    return {};
+    return search::PeerSearchResult::failure(search::ContactStatus::kUnreachable);
   }
-  return nodes_[target]->handle_ranked_query(term_weights);
+  return search::PeerSearchResult::ok(nodes_[target]->handle_ranked_query(term_weights));
 }
 
 std::vector<SearchHit> Community::contact_exhaustive(PeerId caller, PeerId target,

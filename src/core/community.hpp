@@ -68,8 +68,10 @@ class Community {
   // Node-to-node transport (in-process "RPC")
   // ------------------------------------------------------------------
 
-  /// Ranked-query a peer; empty when the target is offline.
-  std::vector<search::ScoredDoc> contact_ranked(
+  /// Ranked-query a peer; reports kUnreachable when the target is offline
+  /// (and notifies the caller's gossip protocol, which marks the peer
+  /// offline locally).
+  search::PeerSearchResult contact_ranked(
       PeerId caller, PeerId target,
       const std::unordered_map<std::string, double>& term_weights);
 

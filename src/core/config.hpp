@@ -27,6 +27,13 @@ struct NodeConfig {
   search::StoppingHeuristic stopping;  ///< eq. 4 constants
   std::size_t search_group_size = 1;   ///< m peers contacted in parallel
 
+  /// Failure-aware retrieval knobs (docs/SEARCH.md). Defaults keep ranked
+  /// search behaviour identical to the failure-oblivious implementation when
+  /// every contact succeeds.
+  search::RetryPolicy search_retry;    ///< per-peer retry budget
+  Duration search_deadline = 0;        ///< whole-query budget; 0 = unlimited
+  Duration search_hedge_threshold = 0; ///< hedge slow contacts; 0 = off
+
   /// Connectivity class advertised in the directory; slow (modem) peers are
   /// avoided by bandwidth-aware gossiping and prefer proxy search (§7.2).
   gossip::LinkClass link_class = gossip::LinkClass::kFast;

@@ -184,7 +184,9 @@ std::vector<SearchHit> Node::ranked_search(std::string_view query, std::size_t k
   protocol_.directory().for_each([&](const gossip::PeerRecord& record) {
     if (record.id == id_) return;
     const bloom::BloomFilter* f = filter_of(record.id);
-    if (f != nullptr && record.online) views.push_back(search::PeerFilter{record.id, f});
+    if (f != nullptr && record.online) {
+      views.push_back(search::PeerFilter{record.id, f, record.suspicion});
+    }
   });
   views.push_back(search::PeerFilter{id_, &own});
 
@@ -192,14 +194,31 @@ std::vector<SearchHit> Node::ranked_search(std::string_view query, std::size_t k
   opts.k = k;
   opts.group_size = config_.search_group_size;
   opts.stopping = config_.stopping;
+  opts.retry = config_.search_retry;
+  opts.deadline = config_.search_deadline;
+  opts.hedge_threshold = config_.search_hedge_threshold;
+  opts.seed = static_cast<std::uint64_t>(id_) << 32 | protocol_.directory().size();
 
   const auto contact = [this](std::uint32_t peer,
-                              const std::unordered_map<std::string, double>& weights) {
+                              const std::unordered_map<std::string, double>& weights)
+      -> search::PeerSearchResult {
     if (peer == id_) return handle_ranked_query(weights);
     return community_->contact_ranked(id_, peer, weights);
   };
 
   const auto result = search::tfipf_search(terms, views, contact, opts);
+
+  // Feed contact outcomes back into the directory: repeated query failures
+  // make a peer SUSPECT (demoted in future rankings, eventually marked
+  // offline); any success clears the suspicion.
+  for (const search::PeerOutcome& outcome : result.outcomes) {
+    if (outcome.peer == id_) continue;
+    if (outcome.status == search::ContactStatus::kOk) {
+      protocol_.directory().record_query_success(outcome.peer);
+    } else {
+      protocol_.directory().record_query_failure(outcome.peer, community_->now());
+    }
+  }
 
   std::vector<SearchHit> hits;
   hits.reserve(result.docs.size());

@@ -30,6 +30,7 @@ bool Directory::apply(const PeerRecord& record) {
   PeerRecord updated = record;
   updated.online = true;
   updated.offline_since = 0;
+  updated.suspicion = 0;  // fresh presence knowledge resets local suspicion
   it->second = std::move(updated);
   return true;
 }
@@ -55,7 +56,25 @@ void Directory::mark_online(PeerId id) {
   if (PeerRecord* r = find_mutable(id); r != nullptr) {
     r->online = true;
     r->offline_since = 0;
+    r->suspicion = 0;
   }
+}
+
+std::uint32_t Directory::record_query_failure(PeerId id, TimePoint now) {
+  PeerRecord* r = find_mutable(id);
+  if (r == nullptr || id == self_) return 0;
+  ++r->suspicion;
+  if (r->suspicion >= kSuspectThreshold) mark_offline(id, now);
+  return r->suspicion;
+}
+
+void Directory::record_query_success(PeerId id) {
+  if (PeerRecord* r = find_mutable(id); r != nullptr) r->suspicion = 0;
+}
+
+std::uint32_t Directory::suspicion(PeerId id) const {
+  const PeerRecord* r = find(id);
+  return r == nullptr ? 0 : r->suspicion;
 }
 
 std::vector<PeerId> Directory::expire_dead(TimePoint now, Duration t_dead) {

@@ -40,6 +40,23 @@ class Directory {
   void mark_offline(PeerId id, TimePoint now);
   void mark_online(PeerId id);
 
+  /// Consecutive query failures before a SUSPECT peer is marked offline.
+  static constexpr std::uint32_t kSuspectThreshold = 3;
+
+  /// Record a query-time failure against \p id (timeout or garbage reply,
+  /// not gossiped). Each failure raises the peer's SUSPECT level, demoting
+  /// it in rank_peers; at kSuspectThreshold the peer is marked offline so
+  /// subsequent gossip rounds and queries skip it until it proves itself
+  /// again (offline probe or a newer gossiped version). Returns the new
+  /// suspicion level (0 when the peer is unknown).
+  std::uint32_t record_query_failure(PeerId id, TimePoint now);
+
+  /// A successful query contact clears any SUSPECT state on \p id.
+  void record_query_success(PeerId id);
+
+  /// Current SUSPECT level of \p id (0 when unknown or trusted).
+  std::uint32_t suspicion(PeerId id) const;
+
   /// Drop every record that has been continuously offline for at least
   /// \p t_dead, assuming permanent departure. Returns the dropped ids.
   /// Each drop leaves a local tombstone: anti-entropy with peers that have

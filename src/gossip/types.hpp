@@ -70,6 +70,12 @@ struct PeerRecord {
   // --- local-only state, never serialized ---
   bool online = true;
   TimePoint offline_since = 0;
+  /// SUSPECT level: consecutive query-time failures (timeouts, garbage
+  /// replies) observed against this peer. Demotes it in query-time peer
+  /// ranking; at Directory::kSuspectThreshold the peer is marked offline so
+  /// the next gossip round stops selecting it. Cleared by any successful
+  /// contact or by a newer gossiped version.
+  std::uint32_t suspicion = 0;
 
   RumorId rumor_id() const { return RumorId{id, version}; }
 };

@@ -250,6 +250,19 @@ void LiveNode::handle_rpc(std::uint32_t sender, const RpcMessage& msg) {
       resp.found = true;
       resp.title = doc->title;
       resp.xml = doc->xml_source;
+    } else {
+      // Replica fallback: we may hold the document as a brokered snippet
+      // (publisher + snippet id addressing), letting a fetch succeed after
+      // the publisher died. Snippet ids are only meaningful to the caller
+      // when it published the document's snippet under its local id.
+      const TimePoint now = steady_micros();
+      for (const auto& [key, s] : broker_store_.all()) {
+        if (s.publisher == req->peer && s.id == req->local && s.discard_at > now) {
+          resp.found = true;
+          resp.xml = s.xml;
+          break;
+        }
+      }
     }
     lock.unlock();
     reply_rpc(sender, resp);
@@ -265,7 +278,10 @@ void LiveNode::handle_rpc(std::uint32_t sender, const RpcMessage& msg) {
     local.discard_at = steady_micros() + req->snippet.ttl_us;
     std::lock_guard<std::mutex> lock(mu_);
     for (const std::string& key : local.keys) {
-      if (broker_for(key) == id_) broker_store_.put(key, local);
+      const auto replicas = broker_replicas_for(key);
+      if (std::find(replicas.begin(), replicas.end(), id_) != replicas.end()) {
+        broker_store_.put(key, local);
+      }
     }
     return;  // fire-and-forget
   }
@@ -333,7 +349,7 @@ std::vector<LiveHit> LiveNode::ranked_search(std::string_view query, std::size_t
       try {
         ByteReader reader(r.filter_wire);
         decoded.push_back(std::make_unique<bloom::BloomFilter>(bloom::decode_filter(reader)));
-        views.push_back(search::PeerFilter{r.id, decoded.back().get()});
+        views.push_back(search::PeerFilter{r.id, decoded.back().get(), r.suspicion});
       } catch (const std::exception&) {
       }
     });
@@ -344,7 +360,7 @@ std::vector<LiveHit> LiveNode::ranked_search(std::string_view query, std::size_t
   std::unordered_map<index::DocumentId, std::string, index::DocumentIdHash> titles;
   const auto contact = [&](std::uint32_t peer,
                            const std::unordered_map<std::string, double>& weights)
-      -> std::vector<search::ScoredDoc> {
+      -> search::PeerSearchResult {
     if (peer == id_) {
       std::lock_guard<std::mutex> lock(mu_);
       auto docs = search::score_documents(store_.index(), weights);
@@ -352,7 +368,7 @@ std::vector<LiveHit> LiveNode::ranked_search(std::string_view query, std::size_t
         const index::Document* doc = store_.document(d.doc);
         if (doc != nullptr) titles[d.doc] = doc->title;
       }
-      return docs;
+      return search::PeerSearchResult::ok(std::move(docs));
     }
     RankedRequest req;
     {
@@ -360,25 +376,47 @@ std::vector<LiveHit> LiveNode::ranked_search(std::string_view query, std::size_t
       req.request_id = next_request_id_++;
     }
     for (const auto& [term, weight] : weights) req.weights.push_back({term, weight});
+    const TimePoint sent_at = steady_micros();
     const auto resp = call(peer, req);
-    std::vector<search::ScoredDoc> docs;
-    if (resp) {
-      if (const auto* r = std::get_if<RankedResponse>(&*resp)) {
-        for (const RemoteDoc& d : r->docs) {
-          const index::DocumentId doc_id{d.peer, d.local};
-          docs.push_back(search::ScoredDoc{doc_id, d.score});
-          titles[doc_id] = d.title;
-        }
-      }
+    const Duration latency = steady_micros() - sent_at;
+    if (!resp) {
+      // No answer within rpc_timeout: the searcher cannot tell loss from
+      // slowness, so this is a timeout (retryable).
+      return search::PeerSearchResult::failure(search::ContactStatus::kTimeout, latency);
     }
-    return docs;
+    if (const auto* r = std::get_if<RankedResponse>(&*resp)) {
+      std::vector<search::ScoredDoc> docs;
+      for (const RemoteDoc& d : r->docs) {
+        const index::DocumentId doc_id{d.peer, d.local};
+        docs.push_back(search::ScoredDoc{doc_id, d.score});
+        titles[doc_id] = d.title;
+      }
+      return search::PeerSearchResult::ok(std::move(docs), latency);
+    }
+    // Wrong variant or an explicit ErrorResponse: the peer answered but
+    // could not serve the query.
+    return search::PeerSearchResult::failure(search::ContactStatus::kError, latency);
   };
 
   search::DistributedSearchOptions opts;
   opts.k = k;
   opts.group_size = config_.search_group_size;
   opts.stopping = config_.stopping;
+  opts.retry = config_.search_retry;
+  opts.deadline = config_.search_deadline;
+  opts.hedge_threshold = config_.search_hedge_threshold;
+  opts.seed = 0x5ea2c4u ^ id_;
+  opts.clock = [] { return steady_micros(); };
+  opts.sleep = [](Duration d) {
+    if (d > 0) std::this_thread::sleep_for(std::chrono::microseconds(d));
+  };
   const auto result = search::tfipf_search(terms, views, contact, opts);
+
+  // SUSPECT feedback: repeated query failures demote a peer in future
+  // rankings and eventually mark it offline locally.
+  for (const search::PeerOutcome& outcome : result.outcomes) {
+    note_contact_outcome(outcome.peer, outcome.status == search::ContactStatus::kOk);
+  }
 
   std::vector<LiveHit> hits;
   for (const auto& d : result.docs) {
@@ -432,23 +470,54 @@ std::vector<LiveHit> LiveNode::exhaustive_search(std::string_view query) {
 }
 
 std::optional<std::string> LiveNode::fetch_document(std::uint32_t peer, std::uint32_t local) {
+  return fetch_document(peer, local, {});
+}
+
+std::optional<std::string> LiveNode::fetch_document(
+    std::uint32_t peer, std::uint32_t local, const std::vector<gossip::PeerId>& alternates) {
   if (peer == id_) {
     std::lock_guard<std::mutex> lock(mu_);
     const index::Document* doc = store_.document(index::DocumentId{peer, local});
     if (doc == nullptr) return std::nullopt;
     return doc->xml_source;
   }
-  FetchRequest req;
-  {
-    std::lock_guard<std::mutex> lock(rpc_mu_);
-    req.request_id = next_request_id_++;
+
+  // Owner first (with the configured retry budget), then each alternate
+  // replica once: a broker holding the document's snippet can serve it when
+  // the publisher is gone.
+  std::vector<gossip::PeerId> targets{peer};
+  for (const gossip::PeerId alt : alternates) {
+    if (alt != id_ && std::find(targets.begin(), targets.end(), alt) == targets.end()) {
+      targets.push_back(alt);
+    }
   }
-  req.peer = peer;
-  req.local = local;
-  const auto resp = call(peer, req);
-  if (!resp) return std::nullopt;
-  if (const auto* r = std::get_if<FetchResponse>(&*resp); r != nullptr && r->found) {
-    return r->xml;
+  Rng rng(0xfe7c4u ^ id_ ^ (static_cast<std::uint64_t>(peer) << 32 | local));
+  for (std::size_t t = 0; t < targets.size(); ++t) {
+    const gossip::PeerId target = targets[t];
+    const std::uint32_t attempts =
+        t == 0 ? std::max<std::uint32_t>(1, config_.search_retry.max_attempts) : 1;
+    for (std::uint32_t attempt = 1; attempt <= attempts; ++attempt) {
+      FetchRequest req;
+      {
+        std::lock_guard<std::mutex> lock(rpc_mu_);
+        req.request_id = next_request_id_++;
+      }
+      req.peer = peer;
+      req.local = local;
+      const auto resp = call(target, req);
+      if (resp) {
+        note_contact_outcome(target, true);
+        if (const auto* r = std::get_if<FetchResponse>(&*resp); r != nullptr && r->found) {
+          return r->xml;
+        }
+        break;  // the peer answered "not found" — retrying won't change that
+      }
+      note_contact_outcome(target, false);
+      if (attempt < attempts) {
+        const Duration backoff = config_.search_retry.backoff_before(attempt, rng);
+        if (backoff > 0) std::this_thread::sleep_for(std::chrono::microseconds(backoff));
+      }
+    }
   }
   return std::nullopt;
 }
@@ -479,6 +548,24 @@ gossip::PeerId LiveNode::broker_for(const std::string& key) const {
   return owner.value_or(gossip::kInvalidPeer);
 }
 
+std::vector<gossip::PeerId> LiveNode::broker_replicas_for(const std::string& key) const {
+  broker::HashRing ring;
+  protocol_.directory().for_each([&](const gossip::PeerRecord& r) {
+    if (r.online || r.id == id_) ring.add_by_hash(r.id);
+  });
+  return ring.replicas_for(key, std::max<std::size_t>(1, config_.broker_replication));
+}
+
+void LiveNode::note_contact_outcome(PeerId peer, bool ok) {
+  if (peer == id_) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ok) {
+    protocol_.directory().record_query_success(peer);
+  } else {
+    protocol_.directory().record_query_failure(peer, steady_micros());
+  }
+}
+
 std::uint64_t LiveNode::publish_snippet(std::string xml, std::vector<std::string> keys,
                                         Duration ttl) {
   WireSnippet snippet;
@@ -491,26 +578,33 @@ std::uint64_t LiveNode::publish_snippet(std::string xml, std::vector<std::string
     snippet.snippet_id = next_snippet_id_++;
   }
 
-  // Route each key to its responsible broker; self-owned keys store locally.
-  std::vector<std::pair<gossip::PeerId, std::string>> routes;
+  // Route each key to its full replica set (the owner plus the configured
+  // number of ring successors); replicas that are this node store locally.
+  std::vector<gossip::PeerId> remote_targets;
   {
     std::lock_guard<std::mutex> lock(mu_);
     for (const std::string& key : snippet.keys) {
-      const gossip::PeerId owner = broker_for(key);
-      if (owner == id_ || owner == gossip::kInvalidPeer) {
-        broker::Snippet local;
-        local.id = snippet.snippet_id;
-        local.publisher = id_;
-        local.xml = snippet.xml;
-        local.keys = snippet.keys;
-        local.discard_at = steady_micros() + ttl;
-        broker_store_.put(key, local);
-      } else {
-        routes.emplace_back(owner, key);
+      auto replicas = broker_replicas_for(key);
+      if (replicas.empty()) replicas.push_back(id_);  // empty directory: keep it ourselves
+      for (const gossip::PeerId owner : replicas) {
+        if (owner == id_) {
+          broker::Snippet local;
+          local.id = snippet.snippet_id;
+          local.publisher = id_;
+          local.xml = snippet.xml;
+          local.keys = snippet.keys;
+          local.discard_at = steady_micros() + ttl;
+          broker_store_.put(key, local);
+        } else if (std::find(remote_targets.begin(), remote_targets.end(), owner) ==
+                   remote_targets.end()) {
+          remote_targets.push_back(owner);
+        }
       }
     }
   }
-  for (const auto& [owner, key] : routes) {
+  // One StoreSnippetRequest per distinct remote replica: the receiver keeps
+  // the keys it is responsible for and ignores the rest.
+  for (const gossip::PeerId owner : remote_targets) {
     std::string addr;
     {
       std::lock_guard<std::mutex> lock(mu_);
@@ -529,28 +623,40 @@ std::uint64_t LiveNode::publish_snippet(std::string xml, std::vector<std::string
 }
 
 std::vector<WireSnippet> LiveNode::lookup_snippets(const std::string& key) {
-  gossip::PeerId owner;
+  // Walk the key's replica set in ring order: the owner first, failing over
+  // to each successor replica when a broker is dead or answers empty.
+  std::vector<gossip::PeerId> replicas;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    owner = broker_for(key);
-    if (owner == id_ || owner == gossip::kInvalidPeer) {
+    replicas = broker_replicas_for(key);
+  }
+  if (replicas.empty()) replicas.push_back(id_);
+  for (const gossip::PeerId owner : replicas) {
+    if (owner == id_) {
+      std::lock_guard<std::mutex> lock(mu_);
       std::vector<WireSnippet> out;
       const TimePoint now = steady_micros();
       for (const broker::Snippet& s : broker_store_.get(key, now)) {
         out.push_back(WireSnippet{s.publisher, s.id, s.xml, s.keys, s.discard_at - now});
       }
-      return out;
+      if (!out.empty()) return out;
+      continue;
     }
-  }
-  LookupSnippetRequest req;
-  {
-    std::lock_guard<std::mutex> lock(rpc_mu_);
-    req.request_id = next_request_id_++;
-  }
-  req.key = key;
-  const auto resp = call(owner, req);
-  if (resp) {
-    if (const auto* r = std::get_if<LookupSnippetResponse>(&*resp)) return r->snippets;
+    LookupSnippetRequest req;
+    {
+      std::lock_guard<std::mutex> lock(rpc_mu_);
+      req.request_id = next_request_id_++;
+    }
+    req.key = key;
+    const auto resp = call(owner, req);
+    if (!resp) {
+      note_contact_outcome(owner, false);
+      continue;  // broker unreachable: fail over to the next replica
+    }
+    note_contact_outcome(owner, true);
+    if (const auto* r = std::get_if<LookupSnippetResponse>(&*resp)) {
+      if (!r->snippets.empty()) return r->snippets;
+    }
   }
   return {};
 }

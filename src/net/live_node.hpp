@@ -33,6 +33,17 @@ struct LiveNodeConfig {
   search::StoppingHeuristic stopping;
   std::size_t search_group_size = 1;
 
+  /// Failure-aware retrieval knobs (docs/SEARCH.md); defaults reproduce the
+  /// failure-oblivious behaviour on a healthy community.
+  search::RetryPolicy search_retry;     ///< per-peer retry budget for query RPCs
+  Duration search_deadline = 0;         ///< whole-query wall-clock budget; 0 = unlimited
+  Duration search_hedge_threshold = 0;  ///< hedge contacts slower than this; 0 = off
+
+  /// Brokers per key: the owner plus this many minus one ring successors.
+  /// 1 is the paper's unreplicated brokerage; > 1 survives broker failure
+  /// (publish/lookup fail over along the replica set).
+  std::size_t broker_replication = 1;
+
   /// Optional fault injection wrapping the gossip send path: the same
   /// FaultPlan the simulator consumes drives drop/duplicate/delay over real
   /// TCP, so live tests replay identical scenarios. Share one injector
@@ -80,8 +91,15 @@ class LiveNode {
   /// Blocking exhaustive (conjunctive) search.
   std::vector<LiveHit> exhaustive_search(std::string_view query);
 
-  /// Fetch a document's XML from its owner. Empty optional on timeout.
+  /// Fetch a document's XML from its owner, retrying per the configured
+  /// retry policy. Empty optional when every attempt times out.
   std::optional<std::string> fetch_document(std::uint32_t peer, std::uint32_t local);
+
+  /// Fetch with failover: try the owner first, then each of \p alternates
+  /// (peers believed to hold a replica — e.g. brokers storing the document's
+  /// snippet) before giving up.
+  std::optional<std::string> fetch_document(std::uint32_t peer, std::uint32_t local,
+                                            const std::vector<gossip::PeerId>& alternates);
 
   // ------------------------------------------------------------------
   // Information brokerage (§4) over the live community
@@ -138,6 +156,11 @@ class LiveNode {
   /// Broker responsible for \p key given the current directory (requires
   /// mu_ held). kInvalidPeer when the directory is empty.
   gossip::PeerId broker_for(const std::string& key) const;
+  /// The key's full replica set — the owner plus broker_replication - 1 ring
+  /// successors (requires mu_ held). Empty when the directory is empty.
+  std::vector<gossip::PeerId> broker_replicas_for(const std::string& key) const;
+  /// Feed a query-RPC outcome into the directory's SUSPECT tracking.
+  void note_contact_outcome(gossip::PeerId peer, bool ok);
   void sweep_broker_store();
 
   gossip::PeerId id_;

@@ -2,8 +2,35 @@
 
 #include <algorithm>
 #include <unordered_set>
+#include <utility>
 
 namespace planetp::search {
+
+const char* contact_status_name(ContactStatus status) {
+  switch (status) {
+    case ContactStatus::kOk: return "ok";
+    case ContactStatus::kTimeout: return "timeout";
+    case ContactStatus::kError: return "error";
+    case ContactStatus::kUnreachable: return "unreachable";
+  }
+  return "unknown";
+}
+
+Duration RetryPolicy::backoff_before(std::uint32_t retry, Rng& rng) const {
+  if (retry == 0 || base_backoff <= 0) return 0;
+  Duration backoff = base_backoff;
+  for (std::uint32_t i = 1; i < retry && backoff < max_backoff; ++i) backoff *= 2;
+  if (max_backoff > 0) backoff = std::min(backoff, max_backoff);
+  const double slice = std::clamp(jitter, 0.0, 1.0);
+  if (slice > 0.0) {
+    const auto window = static_cast<Duration>(static_cast<double>(backoff) * slice);
+    if (window > 0) {
+      backoff = backoff - window +
+                static_cast<Duration>(rng.below(static_cast<std::uint64_t>(window) + 1));
+    }
+  }
+  return backoff;
+}
 
 std::vector<RankedPeer> rank_peers(const IpfTable& ipf) {
   std::unordered_map<std::uint32_t, double> acc;
@@ -14,10 +41,14 @@ std::vector<RankedPeer> rank_peers(const IpfTable& ipf) {
   }
   std::vector<RankedPeer> out;
   out.reserve(acc.size());
-  for (const auto& [peer, rank] : acc) out.push_back(RankedPeer{peer, rank});
+  for (const auto& [peer, rank] : acc) {
+    out.push_back(RankedPeer{peer, rank, ipf.suspicion_of(peer)});
+  }
   std::sort(out.begin(), out.end(), [](const RankedPeer& a, const RankedPeer& b) {
-    if (a.rank != b.rank) return a.rank > b.rank;
-    return a.peer < b.peer;
+    const double ra = a.effective_rank();
+    const double rb = b.effective_rank();
+    if (ra != rb) return ra > rb;
+    return a.peer < b.peer;  // deterministic: equal mass resolves to lowest id
   });
   return out;
 }
@@ -36,49 +67,146 @@ DistributedSearchResult tfipf_search(const std::vector<std::string>& query_terms
   const std::size_t patience = opts.stopping.patience(filters.size(), opts.k);
   const std::size_t group = std::max<std::size_t>(1, opts.group_size);
 
+  Rng rng(opts.seed);
+  const TimePoint start = opts.clock ? opts.clock() : 0;
+  Duration virtual_elapsed = 0;  // latency + backoff accounting when no clock
+  auto elapsed_now = [&]() -> Duration {
+    return opts.clock ? (opts.clock() - start) : virtual_elapsed;
+  };
+  auto charge = [&](Duration d) {
+    if (!opts.clock && d > 0) virtual_elapsed += d;
+  };
+  auto over_deadline = [&]() { return opts.deadline > 0 && elapsed_now() >= opts.deadline; };
+
+  double attempted_mass = 0.0;
+  double ok_mass = 0.0;
+
+  // Contact one peer with bounded retry (single attempt for hedges). Records
+  // the outcome, the time charged, and the coverage masses.
+  auto contact_peer = [&](const RankedPeer& rp,
+                          bool hedged) -> std::pair<bool, std::vector<ScoredDoc>> {
+    PeerOutcome outcome;
+    outcome.peer = rp.peer;
+    outcome.hedged = hedged;
+    result.contacted.push_back(rp.peer);
+    attempted_mass += rp.rank;
+
+    std::vector<ScoredDoc> docs;
+    const std::uint32_t budget =
+        hedged ? 1u : std::max<std::uint32_t>(1, opts.retry.max_attempts);
+    for (std::uint32_t attempt = 1; attempt <= budget; ++attempt) {
+      PeerSearchResult res = contact(rp.peer, weights);
+      outcome.attempts = attempt;
+      outcome.status = res.status;
+      outcome.latency += res.latency;
+      charge(res.latency);
+      if (res.is_ok()) {
+        docs = std::move(res.docs);
+        break;
+      }
+      // No route at all: retrying immediately cannot help inside one query.
+      if (res.status == ContactStatus::kUnreachable) break;
+      if (attempt >= budget || over_deadline()) break;
+      const Duration backoff = opts.retry.backoff_before(attempt, rng);
+      if (opts.sleep) opts.sleep(backoff);
+      charge(backoff);
+      outcome.latency += backoff;
+      ++result.retries;
+    }
+
+    const bool ok = outcome.status == ContactStatus::kOk;
+    if (ok) {
+      ok_mass += rp.rank;
+    } else {
+      ++result.failed_peers;
+    }
+    result.outcomes.push_back(outcome);
+    return {ok, std::move(docs)};
+  };
+
   std::vector<ScoredDoc> merged;
   std::size_t no_contribution_streak = 0;
 
-  for (std::size_t i = 0; i < peers.size();) {
+  auto merge_docs = [&](const std::vector<ScoredDoc>& local) {
+    merged.insert(merged.end(), local.begin(), local.end());
+    std::sort(merged.begin(), merged.end(), [](const ScoredDoc& a, const ScoredDoc& b) {
+      if (a.score != b.score) return a.score > b.score;
+      return a.doc < b.doc;
+    });
+  };
+  auto contributed_to_top_k = [&](const std::vector<ScoredDoc>& local) {
+    std::unordered_set<index::DocumentId, index::DocumentIdHash> top;
+    const std::size_t top_n = std::min(opts.k, merged.size());
+    for (std::size_t t = 0; t < top_n; ++t) top.insert(merged[t].doc);
+    for (const ScoredDoc& d : local) {
+      if (top.contains(d.doc)) return true;
+    }
+    return false;
+  };
+
+  // Candidate walk: a single cursor over the eq. 3 ranking. Hedges and
+  // substitutions consume candidates from the same cursor, so every peer is
+  // contacted at most once per query.
+  std::size_t cursor = 0;
+  auto next_candidate = [&]() -> const RankedPeer* {
+    return cursor < peers.size() ? &peers[cursor++] : nullptr;
+  };
+
+  bool stop = false;
+  while (cursor < peers.size() && !stop) {
     if (opts.max_peers != 0 && result.contacted.size() >= opts.max_peers) break;
 
-    // Contact the next group of peers (the paper's latency optimization;
-    // group = 1 reproduces the sequential algorithm).
-    const std::size_t end = std::min(i + group, peers.size());
-    bool stop = false;
-    for (std::size_t j = i; j < end; ++j) {
-      const std::uint32_t peer = peers[j].peer;
-      result.contacted.push_back(peer);
-      std::vector<ScoredDoc> local = contact(peer, weights);
+    // One group step (the paper's latency optimization; group = 1 reproduces
+    // the sequential algorithm). A failed peer does not consume a slot or
+    // touch the stopping streak: the next candidate is substituted in its
+    // place so eq. 4 still judges `patience` *productive* contacts.
+    std::size_t slots = 0;
+    while (slots < group) {
+      if (over_deadline()) {
+        result.deadline_exceeded = true;
+        stop = true;
+        break;
+      }
+      const RankedPeer* next = next_candidate();
+      if (next == nullptr) {
+        stop = true;
+        break;
+      }
+      const RankedPeer rp = *next;
+      auto [ok, local] = contact_peer(rp, /*hedged=*/false);
+      if (!ok) {
+        if (cursor < peers.size()) ++result.substituted_peers;
+        continue;  // substitution: same slot, next candidate
+      }
 
-      // Merge and re-rank.
-      merged.insert(merged.end(), local.begin(), local.end());
-      std::sort(merged.begin(), merged.end(), [](const ScoredDoc& a, const ScoredDoc& b) {
-        if (a.score != b.score) return a.score > b.score;
-        return a.doc < b.doc;
-      });
+      merge_docs(local);
+      const bool contributed = contributed_to_top_k(local);
 
-      // Did this peer contribute to the current top-k?
-      std::unordered_set<index::DocumentId, index::DocumentIdHash> top;
-      const std::size_t top_n = std::min(opts.k, merged.size());
-      for (std::size_t t = 0; t < top_n; ++t) top.insert(merged[t].doc);
-      bool contributed = false;
-      for (const ScoredDoc& d : local) {
-        if (top.contains(d.doc)) {
-          contributed = true;
-          break;
+      // Hedging: a successful-but-slow contact also fires one duplicate
+      // request at the next-ranked candidate to cut tail latency.
+      if (opts.hedge_threshold > 0 &&
+          result.outcomes.back().latency >= opts.hedge_threshold) {
+        if (const RankedPeer* hp = next_candidate()) {
+          const RankedPeer hedge = *hp;
+          ++result.hedged_contacts;
+          auto [hok, hlocal] = contact_peer(hedge, /*hedged=*/true);
+          if (hok) merge_docs(hlocal);
         }
       }
+
       if (contributed) {
         no_contribution_streak = 0;
       } else if (++no_contribution_streak >= patience && merged.size() >= opts.k) {
         stop = true;
-        break;
       }
+      ++slots;
+      if (stop) break;
     }
-    if (stop) break;
-    i = end;
   }
+
+  result.coverage =
+      (result.failed_peers == 0 || attempted_mass <= 0.0) ? 1.0 : ok_mass / attempted_mass;
+  result.elapsed = elapsed_now();
 
   truncate_top_k(merged, opts.k);
   result.docs = std::move(merged);

@@ -15,6 +15,9 @@ IpfTable::IpfTable(const std::vector<std::string>& terms,
   // must not multiply a peer's rank.
   std::sort(terms_.begin(), terms_.end());
   terms_.erase(std::unique(terms_.begin(), terms_.end()), terms_.end());
+  for (const PeerFilter& pf : filters) {
+    if (pf.suspicion != 0) suspicion_[pf.peer] = pf.suspicion;
+  }
   for (const std::string& term : terms_) {
     if (entries_.contains(term)) continue;
     Entry entry;
@@ -35,6 +38,11 @@ double IpfTable::weight(std::string_view term) const {
 const std::vector<std::uint32_t>& IpfTable::peers_with(std::string_view term) const {
   auto it = entries_.find(std::string(term));
   return it == entries_.end() ? kNoPeers : it->second.peers;
+}
+
+std::uint32_t IpfTable::suspicion_of(std::uint32_t peer) const {
+  auto it = suspicion_.find(peer);
+  return it == suspicion_.end() ? 0 : it->second;
 }
 
 std::unordered_map<std::string, double> IpfTable::weights() const {

@@ -20,6 +20,9 @@ namespace planetp::search {
 struct PeerFilter {
   std::uint32_t peer = 0;
   const bloom::BloomFilter* filter = nullptr;
+  /// Local SUSPECT level (consecutive query-time failures recorded against
+  /// this peer). Carried into rank_peers to demote flaky peers.
+  std::uint32_t suspicion = 0;
 };
 
 /// Per-query IPF table: for each query term, which peers hit and the IPF
@@ -38,6 +41,9 @@ class IpfTable {
   std::size_t num_peers() const { return num_peers_; }
   const std::vector<std::string>& terms() const { return terms_; }
 
+  /// SUSPECT level the searcher recorded against \p peer (0 = trusted).
+  std::uint32_t suspicion_of(std::uint32_t peer) const;
+
   /// Term -> weight map (for shipping with a remote query).
   std::unordered_map<std::string, double> weights() const;
 
@@ -49,6 +55,7 @@ class IpfTable {
 
   std::vector<std::string> terms_;
   std::unordered_map<std::string, Entry> entries_;
+  std::unordered_map<std::uint32_t, std::uint32_t> suspicion_;  ///< non-zero levels only
   std::size_t num_peers_ = 0;
 };
 

@@ -372,4 +372,65 @@ void SimCommunity::deliver(PeerId from, PeerId to, const Message& msg) {
   maybe_pull_round_forward(to);
 }
 
+// ---------------------------------------------------------------------------
+// Query-time RPCs
+// ---------------------------------------------------------------------------
+
+search::PeerSearchResult SimCommunity::query_rpc(PeerId from, PeerId to) {
+  using search::ContactStatus;
+  using search::PeerSearchResult;
+
+  stats_->record_query_sent();
+  auto fail = [&](ContactStatus status, Duration latency = 0) {
+    stats_->record_query_failed();
+    return PeerSearchResult::failure(status, latency);
+  };
+
+  if (to >= peers_.size() || !peers_[to].online) {
+    return fail(ContactStatus::kUnreachable);
+  }
+
+  // Request leg. A notified/partition drop is a refused connection, so the
+  // searcher learns the peer is unreachable; a silent drop looks like a
+  // timeout from the searcher's side.
+  FaultDecision request = faults_.decide(from, to, queue_.now());
+  if (request.drop) {
+    stats_->record_dropped(request.partition_drop);
+    return fail((request.notify_sender || request.partition_drop)
+                    ? ContactStatus::kUnreachable
+                    : ContactStatus::kTimeout);
+  }
+  // Response leg: a lost answer is always a timeout — the request was
+  // delivered, so the searcher has no way to tell loss from slowness.
+  FaultDecision response = faults_.decide(to, from, queue_.now());
+  if (response.drop) {
+    stats_->record_dropped(response.partition_drop);
+    return fail(ContactStatus::kTimeout, request.extra_delay);
+  }
+
+  PeerSearchResult ok;
+  ok.latency = request.extra_delay + response.extra_delay;
+  return ok;
+}
+
+search::PeerSearchFn SimCommunity::search_contact(PeerId searcher, LocalEvalFn local_eval) {
+  return [this, searcher, local_eval = std::move(local_eval)](
+             std::uint32_t peer, const std::unordered_map<std::string, double>& weights)
+             -> search::PeerSearchResult {
+    if (peer == searcher) {
+      // Local evaluation: no network involved, cannot fail.
+      return search::PeerSearchResult::ok(local_eval(peer, weights));
+    }
+    search::PeerSearchResult probe = query_rpc(searcher, peer);
+    if (!probe.is_ok()) return probe;
+    probe.docs = local_eval(peer, weights);
+    return probe;
+  };
+}
+
+void SimCommunity::note_search(const search::DistributedSearchResult& result) {
+  if (result.retries > 0) stats_->record_query_retried(result.retries);
+  if (result.hedged_contacts > 0) stats_->record_query_hedged(result.hedged_contacts);
+}
+
 }  // namespace planetp::sim

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "gossip/protocol.hpp"
+#include "search/distributed.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/faults.hpp"
 #include "sim/network.hpp"
@@ -167,6 +168,30 @@ class SimCommunity {
 
   /// Run the simulation until \p limit.
   void run_until(TimePoint limit) { queue_.run_until(limit); }
+
+  // ------------------------------------------------------------------
+  // Query-time RPCs (failure-aware retrieval, docs/SEARCH.md)
+  // ------------------------------------------------------------------
+
+  /// Decide the fate of one query RPC from \p from to \p to at the current
+  /// simulation time: both the request and the response leg pass through the
+  /// fault injector, so a query sees exactly the loss/partition behaviour
+  /// that gossip sees. Returns a result with no documents — kOk means the
+  /// caller may evaluate the query at the target; any fault latency is
+  /// reported in the result. Counts sent/failed RPCs into stats().
+  search::PeerSearchResult query_rpc(gossip::PeerId from, gossip::PeerId to);
+
+  /// Local query evaluation: score the weighted terms against a peer's data.
+  using LocalEvalFn = std::function<std::vector<search::ScoredDoc>(
+      gossip::PeerId, const std::unordered_map<std::string, double>&)>;
+
+  /// Wrap \p local_eval into a PeerSearchFn whose contacts are routed
+  /// through query_rpc (self-contacts bypass the network). Pass the result
+  /// to search::tfipf_search, then report the search back via note_search.
+  search::PeerSearchFn search_contact(gossip::PeerId searcher, LocalEvalFn local_eval);
+
+  /// Mirror a finished search's retry/hedge totals into stats().
+  void note_search(const search::DistributedSearchResult& result);
 
  private:
   struct SimPeer {

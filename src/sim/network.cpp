@@ -51,6 +51,10 @@ void NetworkStats::reset() {
   duplicated_messages_ = 0;
   delayed_messages_ = 0;
   reordered_messages_ = 0;
+  query_rpcs_sent_ = 0;
+  query_rpcs_retried_ = 0;
+  query_rpcs_hedged_ = 0;
+  query_rpcs_failed_ = 0;
   std::fill(per_peer_bytes_.begin(), per_peer_bytes_.end(), 0);
   buckets_.clear();
   origin_set_ = false;

@@ -63,11 +63,24 @@ class NetworkStats {
   void record_delayed() { ++delayed_messages_; }
   void record_reordered() { ++reordered_messages_; }
 
+  /// Query/search RPC accounting (failure-aware retrieval, docs/SEARCH.md):
+  /// first attempts, extra retry attempts, hedged duplicates, and contacts
+  /// that never produced an answer.
+  void record_query_sent() { ++query_rpcs_sent_; }
+  void record_query_retried(std::uint64_t attempts) { query_rpcs_retried_ += attempts; }
+  void record_query_hedged(std::uint64_t contacts) { query_rpcs_hedged_ += contacts; }
+  void record_query_failed() { ++query_rpcs_failed_; }
+
   std::uint64_t dropped_messages() const { return dropped_messages_; }
   std::uint64_t partition_dropped_messages() const { return partition_dropped_messages_; }
   std::uint64_t duplicated_messages() const { return duplicated_messages_; }
   std::uint64_t delayed_messages() const { return delayed_messages_; }
   std::uint64_t reordered_messages() const { return reordered_messages_; }
+
+  std::uint64_t query_rpcs_sent() const { return query_rpcs_sent_; }
+  std::uint64_t query_rpcs_retried() const { return query_rpcs_retried_; }
+  std::uint64_t query_rpcs_hedged() const { return query_rpcs_hedged_; }
+  std::uint64_t query_rpcs_failed() const { return query_rpcs_failed_; }
 
   std::uint64_t total_bytes() const { return total_bytes_; }
   std::uint64_t rumor_bytes() const { return rumor_bytes_; }
@@ -90,6 +103,10 @@ class NetworkStats {
   std::uint64_t duplicated_messages_ = 0;
   std::uint64_t delayed_messages_ = 0;
   std::uint64_t reordered_messages_ = 0;
+  std::uint64_t query_rpcs_sent_ = 0;
+  std::uint64_t query_rpcs_retried_ = 0;
+  std::uint64_t query_rpcs_hedged_ = 0;
+  std::uint64_t query_rpcs_failed_ = 0;
   std::vector<std::uint64_t> per_peer_bytes_;
   Duration bucket_;
   std::vector<std::uint64_t> buckets_;

@@ -275,6 +275,29 @@ TEST(BrokerNetwork, ReplicatedJoinKeepsLookupsWorking) {
   EXPECT_EQ(reachable, 50u);
 }
 
+TEST(BrokerNetwork, AbruptLeaveHealRestoresReplicationFactor) {
+  // After an abrupt departure the surviving copies are re-replicated to each
+  // key's new replica set, so a *second* abrupt departure loses nothing
+  // either. Without the heal the keys whose two replicas were exactly the
+  // two departed brokers would vanish.
+  BrokerNetwork net(RingPoint{1} << 32, /*replication=*/2);
+  net.join(1);
+  net.join(2);
+  net.join(3);
+  net.join(4);
+  for (int i = 0; i < 100; ++i) {
+    const std::string key = "h" + std::to_string(i);
+    net.publish(Snippet{static_cast<std::uint64_t>(i), 1, "<x/>", {key}, kHour});
+  }
+  net.leave_abruptly(2);
+  // Replication factor restored: every key is back to 2 copies.
+  EXPECT_EQ(net.total_snippets(), 200u);
+  net.leave_abruptly(3);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_GE(net.lookup("h" + std::to_string(i), 0).size(), 1u) << i;
+  }
+}
+
 TEST(BrokerNetwork, UnreplicatedDefaultUnchanged) {
   BrokerNetwork net;
   EXPECT_EQ(net.replication(), 1u);

@@ -169,6 +169,60 @@ TEST(Directory, OnlineCount) {
   EXPECT_EQ(dir.online_count(), 3u);
 }
 
+TEST(Directory, QueryFailuresAccumulateIntoSuspectOffline) {
+  // Repeated query-time failures raise the local SUSPECT level; at the
+  // threshold the peer is demoted to offline exactly as a failed gossip
+  // contact would demote it (docs/SEARCH.md).
+  Directory dir(0);
+  dir.apply(record(1, 1));
+  EXPECT_EQ(dir.suspicion(1), 0u);
+
+  for (std::uint32_t i = 1; i < Directory::kSuspectThreshold; ++i) {
+    EXPECT_EQ(dir.record_query_failure(1, 100), i);
+    EXPECT_TRUE(dir.find(1)->online) << "below threshold must not demote";
+  }
+  EXPECT_EQ(dir.record_query_failure(1, 100), Directory::kSuspectThreshold);
+  EXPECT_FALSE(dir.find(1)->online);
+  EXPECT_EQ(dir.suspicion(1), Directory::kSuspectThreshold);
+}
+
+TEST(Directory, QuerySuccessClearsSuspicion) {
+  Directory dir(0);
+  dir.apply(record(1, 1));
+  dir.record_query_failure(1, 100);
+  dir.record_query_failure(1, 100);
+  EXPECT_EQ(dir.suspicion(1), 2u);
+  dir.record_query_success(1);
+  EXPECT_EQ(dir.suspicion(1), 0u);
+  EXPECT_TRUE(dir.find(1)->online);
+}
+
+TEST(Directory, SuspicionIsLocalAndResetByNewerGossip) {
+  // A newer gossiped version is fresh evidence the peer lives: it resets the
+  // local SUSPECT level (which is never serialized in the first place).
+  Directory dir(0);
+  dir.apply(record(1, 1));
+  dir.record_query_failure(1, 100);
+  dir.record_query_failure(1, 100);
+  EXPECT_TRUE(dir.apply(record(1, 2)));
+  EXPECT_EQ(dir.suspicion(1), 0u);
+
+  // mark_online (anti-entropy contact, rejoin) clears it too.
+  dir.record_query_failure(1, 100);
+  dir.mark_online(1);
+  EXPECT_EQ(dir.suspicion(1), 0u);
+}
+
+TEST(Directory, QueryFailureIgnoresSelfAndUnknownPeers) {
+  Directory dir(0);
+  dir.put_self(record(0, 1));
+  EXPECT_EQ(dir.record_query_failure(0, 100), 0u);   // never suspect yourself
+  EXPECT_EQ(dir.record_query_failure(42, 100), 0u);  // unknown peer: no-op
+  EXPECT_EQ(dir.suspicion(0), 0u);
+  EXPECT_EQ(dir.suspicion(42), 0u);
+  EXPECT_TRUE(dir.find(0)->online);
+}
+
 TEST(Directory, ForEachVisitsEveryRecord) {
   Directory dir(0);
   for (PeerId id = 1; id <= 5; ++id) dir.apply(record(id, id));

@@ -1,6 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
+#include <limits>
+#include <thread>
 
 #include "search/distributed.hpp"
 #include "search/evaluation.hpp"
@@ -252,6 +255,354 @@ TEST(DistributedSearch, MaxPeersCapRespected) {
                               },
                               opts);
   EXPECT_LE(r.contacted.size(), 4u);
+}
+
+TEST(StoppingHeuristic, Equation4PinnedGrid) {
+  // p = floor(2 + N/300) + 2*floor(k/50) pinned over the N x k grid the
+  // paper's communities actually span. Any change to the guard logic that
+  // shifts these values is a behavioural regression, not a refactor.
+  StoppingHeuristic h;
+  EXPECT_EQ(h.patience(100, 20), 2u);
+  EXPECT_EQ(h.patience(100, 50), 4u);
+  EXPECT_EQ(h.patience(100, 100), 6u);
+  EXPECT_EQ(h.patience(300, 20), 3u);
+  EXPECT_EQ(h.patience(300, 50), 5u);
+  EXPECT_EQ(h.patience(300, 100), 7u);
+  EXPECT_EQ(h.patience(1000, 20), 5u);
+  EXPECT_EQ(h.patience(1000, 50), 7u);
+  EXPECT_EQ(h.patience(1000, 100), 9u);
+}
+
+TEST(StoppingHeuristic, DegenerateDivisorsAreGuarded) {
+  // A zero/negative/non-finite divisor must contribute nothing instead of
+  // dividing by zero; huge configurations clamp instead of overflowing the
+  // size_t cast.
+  StoppingHeuristic h;
+  h.community_divisor = 0.0;
+  EXPECT_EQ(h.patience(1000, 10), 2u);
+  h.community_divisor = -5.0;
+  EXPECT_EQ(h.patience(1000, 10), 2u);
+  h.community_divisor = std::numeric_limits<double>::infinity();
+  EXPECT_EQ(h.patience(1000, 10), 2u);
+  h.community_divisor = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_EQ(h.patience(1000, 10), 2u);
+
+  h = StoppingHeuristic{};
+  h.k_divisor = 0.0;
+  EXPECT_EQ(h.patience(0, 500), 2u);
+  h.k_divisor = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_EQ(h.patience(0, 500), 2u);
+  h = StoppingHeuristic{};
+  h.k_multiplier = std::numeric_limits<double>::infinity();
+  EXPECT_EQ(h.patience(0, 500), 2u);
+
+  h = StoppingHeuristic{};
+  h.base = 1e18;  // clamps to the documented ceiling
+  EXPECT_EQ(h.patience(0, 10), 1'000'000'000u);
+  h.base = -10.0;  // never negative
+  EXPECT_EQ(h.patience(0, 10), 0u);
+}
+
+TEST(RetryPolicy, BackoffGrowsExponentiallyAndCaps) {
+  RetryPolicy policy;
+  policy.base_backoff = 50 * kMillisecond;
+  policy.max_backoff = 150 * kMillisecond;
+  policy.jitter = 0.0;  // deterministic spine
+  Rng rng(1);
+  EXPECT_EQ(policy.backoff_before(0, rng), 0);
+  EXPECT_EQ(policy.backoff_before(1, rng), 50 * kMillisecond);
+  EXPECT_EQ(policy.backoff_before(2, rng), 100 * kMillisecond);
+  EXPECT_EQ(policy.backoff_before(3, rng), 150 * kMillisecond);
+  EXPECT_EQ(policy.backoff_before(9, rng), 150 * kMillisecond);
+
+  policy.jitter = 0.5;  // jittered value stays inside (backoff/2, backoff]
+  for (int i = 0; i < 100; ++i) {
+    const Duration b = policy.backoff_before(1, rng);
+    EXPECT_GE(b, 25 * kMillisecond);
+    EXPECT_LE(b, 50 * kMillisecond);
+  }
+}
+
+TEST(RankPeers, EqualMassTieBreaksByAscendingId) {
+  // Identical filters produce identical eq. 3 mass; the order must still be
+  // deterministic (ascending id) regardless of the input view order.
+  bloom::BloomParams params{65536, 2};
+  bloom::BloomFilter filter(params);
+  filter.insert("t");
+  const std::vector<PeerFilter> shuffled = {{7, &filter}, {3, &filter}, {5, &filter}, {1, &filter}};
+  const std::vector<PeerFilter> sorted = {{1, &filter}, {3, &filter}, {5, &filter}, {7, &filter}};
+
+  const auto a = rank_peers(IpfTable({"t"}, shuffled));
+  const auto b = rank_peers(IpfTable({"t"}, sorted));
+  ASSERT_EQ(a.size(), 4u);
+  ASSERT_EQ(b.size(), 4u);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].peer, b[i].peer);
+  }
+  EXPECT_EQ(a[0].peer, 1u);
+  EXPECT_EQ(a[1].peer, 3u);
+  EXPECT_EQ(a[2].peer, 5u);
+  EXPECT_EQ(a[3].peer, 7u);
+}
+
+TEST(RankPeers, SuspicionDemotesWithoutErasingMass) {
+  // Peer 2 holds both query terms (more eq. 3 mass) but carries a SUSPECT
+  // level; its effective rank drops below the clean single-term peer while
+  // the raw mass stays intact for coverage accounting.
+  bloom::BloomParams params{65536, 2};
+  bloom::BloomFilter both(params), one(params);
+  both.insert("x");
+  both.insert("y");
+  one.insert("x");
+  const std::vector<PeerFilter> views = {{1, &one, 0}, {2, &both, 2}};
+  const auto ranked = rank_peers(IpfTable({"x", "y"}, views));
+  ASSERT_EQ(ranked.size(), 2u);
+  EXPECT_EQ(ranked[0].peer, 1u);  // clean peer promoted ahead of the suspect
+  EXPECT_EQ(ranked[1].peer, 2u);
+  EXPECT_GT(ranked[1].rank, ranked[0].rank);  // raw mass unchanged
+  EXPECT_LT(ranked[1].effective_rank(), ranked[0].effective_rank());
+}
+
+TEST(DistributedSearch, AllPeersFailingYieldsEmptyZeroCoverageResult) {
+  bloom::BloomParams params{65536, 2};
+  bloom::BloomFilter filter(params);
+  filter.insert("t");
+  std::vector<PeerFilter> views;
+  for (std::uint32_t i = 0; i < 6; ++i) views.push_back({i, &filter});
+
+  DistributedSearchOptions opts;
+  opts.k = 5;
+  const auto r = tfipf_search(
+      {"t"}, views,
+      [](std::uint32_t, const auto&) {
+        return PeerSearchResult::failure(ContactStatus::kUnreachable);
+      },
+      opts);
+  EXPECT_TRUE(r.docs.empty());
+  EXPECT_EQ(r.contacted.size(), 6u);  // substitution walks the whole ranking
+  EXPECT_EQ(r.failed_peers, 6u);
+  EXPECT_EQ(r.substituted_peers, 5u);  // the last failure had no replacement
+  EXPECT_EQ(r.retries, 0u);            // unreachable is not retried in-query
+  EXPECT_DOUBLE_EQ(r.coverage, 0.0);
+  EXPECT_FALSE(r.deadline_exceeded);
+  ASSERT_EQ(r.outcomes.size(), 6u);
+  for (const auto& o : r.outcomes) {
+    EXPECT_EQ(o.status, ContactStatus::kUnreachable);
+    EXPECT_EQ(o.attempts, 1u);
+  }
+}
+
+TEST(DistributedSearch, TopRankedTimeoutIsRetriedThenSubstituted) {
+  // The strongest candidate never answers: after its retry budget it must be
+  // substituted by the next-ranked peer so the search still returns results.
+  bloom::BloomParams params{65536, 2};
+  bloom::BloomFilter strong(params), weak(params);
+  strong.insert("q1");
+  strong.insert("q2");
+  weak.insert("q1");
+  const std::vector<PeerFilter> views = {{5, &weak}, {9, &strong}};
+
+  DistributedSearchOptions opts;
+  opts.k = 5;
+  opts.retry.max_attempts = 2;
+  const auto r = tfipf_search(
+      {"q1", "q2"}, views,
+      [](std::uint32_t peer, const auto&) {
+        if (peer == 9) return PeerSearchResult::failure(ContactStatus::kTimeout);
+        std::vector<ScoredDoc> docs;
+        docs.push_back({{peer, 0}, 1.0});
+        return PeerSearchResult::ok(std::move(docs));
+      },
+      opts);
+  ASSERT_EQ(r.contacted.size(), 2u);
+  EXPECT_EQ(r.contacted[0], 9u);  // ranked first, attempted first
+  EXPECT_EQ(r.contacted[1], 5u);  // substituted in
+  ASSERT_EQ(r.docs.size(), 1u);
+  EXPECT_EQ(r.docs[0].doc.peer, 5u);
+  EXPECT_EQ(r.failed_peers, 1u);
+  EXPECT_EQ(r.substituted_peers, 1u);
+  EXPECT_EQ(r.retries, 1u);  // max_attempts = 2 => one retry
+  ASSERT_GE(r.outcomes.size(), 1u);
+  EXPECT_EQ(r.outcomes[0].peer, 9u);
+  EXPECT_EQ(r.outcomes[0].status, ContactStatus::kTimeout);
+  EXPECT_EQ(r.outcomes[0].attempts, 2u);
+  EXPECT_LT(r.coverage, 1.0);
+  EXPECT_GT(r.coverage, 0.0);
+}
+
+TEST(DistributedSearch, RetryRecoversFlakyPeer) {
+  bloom::BloomParams params{65536, 2};
+  bloom::BloomFilter filter(params);
+  filter.insert("t");
+  const std::vector<PeerFilter> views = {{1, &filter}};
+
+  int calls = 0;
+  DistributedSearchOptions opts;
+  opts.k = 5;
+  opts.retry.max_attempts = 3;
+  const auto r = tfipf_search(
+      {"t"}, views,
+      [&](std::uint32_t, const auto&) {
+        if (++calls == 1) return PeerSearchResult::failure(ContactStatus::kError);
+        std::vector<ScoredDoc> docs;
+        docs.push_back({{1, 0}, 1.0});
+        return PeerSearchResult::ok(std::move(docs));
+      },
+      opts);
+  EXPECT_EQ(calls, 2);
+  ASSERT_EQ(r.docs.size(), 1u);
+  EXPECT_EQ(r.failed_peers, 0u);
+  EXPECT_EQ(r.retries, 1u);
+  EXPECT_DOUBLE_EQ(r.coverage, 1.0);  // the peer did answer in the end
+  ASSERT_EQ(r.outcomes.size(), 1u);
+  EXPECT_EQ(r.outcomes[0].attempts, 2u);
+  EXPECT_EQ(r.outcomes[0].status, ContactStatus::kOk);
+}
+
+TEST(DistributedSearch, SlowContactHedgesNextCandidate) {
+  // Equal-mass peers rank 1, 2, 3. Peer 1 answers slowly, which must fire
+  // exactly one hedged duplicate at peer 2; peer 3 is then contacted as a
+  // regular candidate.
+  bloom::BloomParams params{65536, 2};
+  bloom::BloomFilter filter(params);
+  filter.insert("t");
+  const std::vector<PeerFilter> views = {{1, &filter}, {2, &filter}, {3, &filter}};
+
+  DistributedSearchOptions opts;
+  opts.k = 10;
+  opts.hedge_threshold = 10 * kMillisecond;
+  const auto r = tfipf_search(
+      {"t"}, views,
+      [](std::uint32_t peer, const auto&) {
+        std::vector<ScoredDoc> docs;
+        docs.push_back({{peer, 0}, 1.0 / (peer + 1.0)});
+        const Duration latency = peer == 1 ? 20 * kMillisecond : 0;
+        return PeerSearchResult::ok(std::move(docs), latency);
+      },
+      opts);
+  ASSERT_EQ(r.contacted.size(), 3u);
+  EXPECT_EQ(r.contacted[0], 1u);
+  EXPECT_EQ(r.contacted[1], 2u);  // consumed by the hedge
+  EXPECT_EQ(r.contacted[2], 3u);
+  EXPECT_EQ(r.hedged_contacts, 1u);
+  ASSERT_EQ(r.outcomes.size(), 3u);
+  EXPECT_FALSE(r.outcomes[0].hedged);
+  EXPECT_TRUE(r.outcomes[1].hedged);
+  EXPECT_FALSE(r.outcomes[2].hedged);
+  EXPECT_EQ(r.docs.size(), 3u);  // hedged results merge into the answer
+  EXPECT_DOUBLE_EQ(r.coverage, 1.0);
+}
+
+TEST(DistributedSearch, DeadlineStopsSearchAndIsReported) {
+  // Every contact charges 50ms of virtual latency against a 120ms deadline:
+  // the third contact crosses it and the fourth must never happen.
+  bloom::BloomParams params{65536, 2};
+  bloom::BloomFilter filter(params);
+  filter.insert("t");
+  std::vector<PeerFilter> views;
+  for (std::uint32_t i = 0; i < 5; ++i) views.push_back({i, &filter});
+
+  DistributedSearchOptions opts;
+  opts.k = 100;  // large k: only the deadline can stop this search
+  opts.deadline = 120 * kMillisecond;
+  const auto r = tfipf_search(
+      {"t"}, views,
+      [](std::uint32_t peer, const auto&) {
+        std::vector<ScoredDoc> docs;
+        docs.push_back({{peer, 0}, 1.0});
+        return PeerSearchResult::ok(std::move(docs), 50 * kMillisecond);
+      },
+      opts);
+  EXPECT_TRUE(r.deadline_exceeded);
+  EXPECT_EQ(r.contacted.size(), 3u);
+  EXPECT_GE(r.elapsed, opts.deadline);
+  EXPECT_EQ(r.docs.size(), 3u);  // partial results are still returned
+  EXPECT_DOUBLE_EQ(r.coverage, 1.0);
+}
+
+TEST(DistributedSearch, FailureKnobsAreInertOnHealthyCommunity) {
+  // With an infallible, fast contact function, turning on retry budget,
+  // hedging and a deadline must not change the result at all — the
+  // compatibility guarantee the refactor promises.
+  bloom::BloomParams params{65536, 2};
+  bloom::BloomFilter filter(params);
+  filter.insert("t");
+  std::vector<PeerFilter> views;
+  for (std::uint32_t i = 0; i < 12; ++i) views.push_back({i, &filter});
+
+  auto contact = [](std::uint32_t peer, const auto&) {
+    std::vector<ScoredDoc> docs;
+    docs.push_back({{peer, 0}, 1.0 / (peer + 1.0)});
+    return docs;
+  };
+  DistributedSearchOptions plain;
+  plain.k = 4;
+  DistributedSearchOptions knobs = plain;
+  knobs.retry.max_attempts = 5;
+  knobs.deadline = 10 * kSecond;
+  knobs.hedge_threshold = 1 * kSecond;  // no contact is that slow
+  knobs.seed = 99;
+
+  const auto a = tfipf_search({"t"}, views, contact, plain);
+  const auto b = tfipf_search({"t"}, views, contact, knobs);
+  ASSERT_EQ(a.docs.size(), b.docs.size());
+  for (std::size_t i = 0; i < a.docs.size(); ++i) {
+    EXPECT_EQ(a.docs[i].doc, b.docs[i].doc);
+    EXPECT_DOUBLE_EQ(a.docs[i].score, b.docs[i].score);
+  }
+  EXPECT_EQ(a.contacted, b.contacted);
+  EXPECT_EQ(b.retries, 0u);
+  EXPECT_EQ(b.hedged_contacts, 0u);
+  EXPECT_EQ(b.failed_peers, 0u);
+  EXPECT_DOUBLE_EQ(b.coverage, 1.0);
+  EXPECT_FALSE(b.deadline_exceeded);
+}
+
+TEST(DistributedSearchConcurrent, HedgedSearchesAreThreadSafe) {
+  // Several searches run concurrently against shared views with hedging and
+  // retries active; the contact function touches shared atomic state. Run
+  // under TSan (scripts/check.sh) this pins the documented requirement that
+  // tfipf_search only needs re-entrancy from its contact function.
+  bloom::BloomParams params{65536, 2};
+  bloom::BloomFilter filter(params);
+  filter.insert("t");
+  std::vector<PeerFilter> views;
+  for (std::uint32_t i = 0; i < 16; ++i) views.push_back({i, &filter});
+
+  std::atomic<std::uint64_t> calls{0};
+  auto contact = [&](std::uint32_t peer, const auto&) {
+    const std::uint64_t n = calls.fetch_add(1, std::memory_order_relaxed);
+    if (peer % 5 == 3 && n % 2 == 0) {
+      return PeerSearchResult::failure(ContactStatus::kTimeout);
+    }
+    std::vector<ScoredDoc> docs;
+    docs.push_back({{peer, 0}, 1.0 / (peer + 1.0)});
+    const Duration latency = peer % 4 == 1 ? 20 * kMillisecond : 0;
+    return PeerSearchResult::ok(std::move(docs), latency);
+  };
+
+  constexpr int kThreads = 8;
+  std::vector<std::thread> workers;
+  std::vector<DistributedSearchResult> results(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      DistributedSearchOptions opts;
+      opts.k = 6;
+      opts.retry.max_attempts = 2;
+      opts.hedge_threshold = 10 * kMillisecond;
+      opts.seed = static_cast<std::uint64_t>(t) + 1;
+      results[t] = tfipf_search({"t"}, views, contact, opts);
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  EXPECT_GT(calls.load(), 0u);
+  for (const auto& r : results) {
+    EXPECT_FALSE(r.docs.empty());
+    EXPECT_GE(r.coverage, 0.0);
+    EXPECT_LE(r.coverage, 1.0);
+    EXPECT_EQ(r.candidate_peers, 16u);
+  }
 }
 
 TEST(Evaluation, RecallAndPrecision) {
