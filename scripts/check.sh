@@ -26,7 +26,18 @@ cmake -B build-tsan -S . -DPLANETP_SANITIZE=thread
 cmake --build build-tsan -j "$JOBS" --target test_search test_search_faults
 ctest --test-dir build-tsan --output-on-failure -j "$JOBS" -R DistributedSearchConcurrent
 
+# Query hot-path smoke run + perf-regression guard: search_throughput exits
+# non-zero when the warm CandidateCache is not >=5x the uncached scan at 5000
+# peers, or when warm qps falls below half the committed baseline.
+echo "=== search_throughput ==="
+if [ "$QUICK" = "--quick" ]; then
+  build/bench/search_throughput --quick --baseline bench/baselines/search_throughput.json
+else
+  build/bench/search_throughput --baseline bench/baselines/search_throughput.json
+fi
+
 for b in build/bench/*; do
+  [ "$(basename "$b")" = "search_throughput" ] && continue
   echo "=== $(basename "$b") ==="
   if [ "$QUICK" = "--quick" ]; then
     "$b" --quick

@@ -32,7 +32,14 @@ Node& Community::create_node(const NodeConfig& config) {
                              filter_writer.take(), clock_.now());
   node.protocol().hooks().on_apply = [this, id](const gossip::RumorPayload& payload,
                                                 TimePoint) {
+    // Candidate-cache maintenance first (surgical diff application keeps
+    // warm entries warm), then the persistent-query/rendezvous machinery,
+    // which may decode the updated filter.
+    nodes_[id]->on_rumor_applied(payload);
     applied_update(id, payload.origin);
+  };
+  node.protocol().hooks().on_expire = [this, id](PeerId peer) {
+    nodes_[id]->on_peer_expired(peer);
   };
 
   if (mode_ == SyncMode::kInstant) {

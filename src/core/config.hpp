@@ -3,6 +3,7 @@
 #include "bloom/bloom_filter.hpp"
 #include "gossip/config.hpp"
 #include "gossip/types.hpp"
+#include "search/candidate_cache.hpp"
 #include "search/distributed.hpp"
 #include "text/analyzer.hpp"
 #include "util/time.hpp"
@@ -33,6 +34,10 @@ struct NodeConfig {
   search::RetryPolicy search_retry;    ///< per-peer retry budget
   Duration search_deadline = 0;        ///< whole-query budget; 0 = unlimited
   Duration search_hedge_threshold = 0; ///< hedge slow contacts; 0 = off
+
+  /// Query hot path (docs/SEARCH.md): the term→candidate-peers cache kept
+  /// warm by gossiped filter diffs, plus the batched/parallel probe kernel.
+  search::CandidateCacheConfig candidate_cache;
 
   /// Connectivity class advertised in the directory; slow (modem) peers are
   /// avoided by bandwidth-aware gossiping and prefer proxy search (§7.2).

@@ -14,7 +14,8 @@ Node::Node(PeerId id, NodeConfig config, Community* community)
       community_(community),
       store_(id, config_.bloom, config_.analyzer),
       protocol_(id, config_.gossip, Rng(0xbadc0ffeULL ^ id)),
-      last_announced_(config_.bloom) {}
+      last_announced_(config_.bloom),
+      filter_cache_(config_.candidate_cache) {}
 
 std::vector<std::uint8_t> Node::encoded_filter() const {
   ByteWriter w;
@@ -94,32 +95,74 @@ bool Node::republish(DocumentId doc, std::string xml) {
 }
 
 const bloom::BloomFilter* Node::filter_of(PeerId peer) const {
+  if (peer == id_) return own_filter();
   const gossip::PeerRecord* record = protocol_.directory().find(peer);
   if (record == nullptr || record->filter_wire.empty()) return nullptr;
-  auto it = filter_cache_.find(peer);
-  if (it != filter_cache_.end() && it->second.first == record->version) {
-    return &it->second.second;
+  if (auto cached = filter_cache_.version_of(peer);
+      cached.has_value() && *cached == record->version) {
+    return filter_cache_.filter_ptr(peer);
   }
   try {
     ByteReader reader(record->filter_wire);
-    auto [slot, inserted] =
-        filter_cache_.insert_or_assign(peer, std::make_pair(record->version,
-                                                            bloom::decode_filter(reader)));
-    return &slot->second.second;
+    auto filter = std::make_shared<bloom::BloomFilter>(bloom::decode_filter(reader));
+    const bloom::BloomFilter* ptr = filter.get();
+    filter_cache_.update_peer(peer, std::move(filter), record->version);
+    return ptr;
   } catch (const std::exception&) {
     return nullptr;
   }
 }
 
+const bloom::BloomFilter* Node::own_filter() const {
+  // Cache versions are non-zero; the store's version starts at 0.
+  const std::uint64_t version = store_.filter_version() + 1;
+  if (auto cached = filter_cache_.version_of(id_); !cached.has_value() || *cached != version) {
+    filter_cache_.update_peer(id_, std::make_shared<bloom::BloomFilter>(store_.bloom_filter()),
+                              version);
+  }
+  return filter_cache_.filter_ptr(id_);
+}
+
+void Node::on_rumor_applied(const gossip::RumorPayload& payload) {
+  if (payload.origin == id_) return;
+  if (!payload.filter.has_value() || payload.kind == gossip::EventKind::kRejoin) {
+    // Version bump with unchanged content: keep the filter and entries warm.
+    filter_cache_.touch_peer(payload.origin, payload.version);
+    return;
+  }
+  const gossip::FilterUpdate& fu = *payload.filter;
+  if (fu.base_version != 0 && !fu.bits.empty()) {
+    try {
+      ByteReader reader(fu.bits);
+      const BitVector diff = bloom::decode_diff(reader);
+      if (filter_cache_.apply_peer_diff(payload.origin, diff, fu.base_version,
+                                        payload.version)) {
+        return;  // surgical: untouched cached terms stayed warm
+      }
+    } catch (const std::exception&) {
+      // Corrupt diff: fall through and drop the stale filter.
+    }
+  }
+  // Full update, or a diff whose base we do not hold: drop the stale filter;
+  // the next filter_of re-decodes the record's full wire and re-warms.
+  filter_cache_.remove_peer(payload.origin);
+}
+
+void Node::on_peer_expired(PeerId peer) { filter_cache_.remove_peer(peer); }
+
 std::vector<PeerId> Node::candidates_for(const std::vector<std::string>& terms) const {
   std::vector<PeerId> out;
   if (terms.empty()) return out;  // a term-less conjunction matches nothing
+  // Hash once, not once per (peer, term).
+  std::vector<HashPair> hashes;
+  hashes.reserve(terms.size());
+  for (const std::string& t : terms) hashes.push_back(hash_pair(t));
   protocol_.directory().for_each([&](const gossip::PeerRecord& record) {
     if (record.id == id_) return;
     const bloom::BloomFilter* filter = filter_of(record.id);
     if (filter == nullptr) return;
-    for (const std::string& t : terms) {
-      if (!filter->contains(t)) return;
+    for (const HashPair& hp : hashes) {
+      if (!filter->contains(hp)) return;
     }
     out.push_back(record.id);
   });
@@ -178,9 +221,10 @@ std::vector<SearchHit> Node::ranked_search(std::string_view query, std::size_t k
   if (terms.empty() || community_ == nullptr) return {};
 
   // Assemble the searcher's view: one filter per directory record (self
-  // included — our own documents compete in the ranking too).
+  // included — our own documents compete in the ranking too). Filters come
+  // from the candidate cache's store, so the hot-path lookup below resolves
+  // them through warm term entries instead of probing each one.
   std::vector<search::PeerFilter> views;
-  const bloom::BloomFilter own = store_.bloom_filter();
   protocol_.directory().for_each([&](const gossip::PeerRecord& record) {
     if (record.id == id_) return;
     const bloom::BloomFilter* f = filter_of(record.id);
@@ -188,7 +232,7 @@ std::vector<SearchHit> Node::ranked_search(std::string_view query, std::size_t k
       views.push_back(search::PeerFilter{record.id, f, record.suspicion});
     }
   });
-  views.push_back(search::PeerFilter{id_, &own});
+  views.push_back(search::PeerFilter{id_, own_filter()});
 
   search::DistributedSearchOptions opts;
   opts.k = k;
@@ -198,6 +242,7 @@ std::vector<SearchHit> Node::ranked_search(std::string_view query, std::size_t k
   opts.deadline = config_.search_deadline;
   opts.hedge_threshold = config_.search_hedge_threshold;
   opts.seed = static_cast<std::uint64_t>(id_) << 32 | protocol_.directory().size();
+  opts.cache = &filter_cache_;
 
   const auto contact = [this](std::uint32_t peer,
                               const std::unordered_map<std::string, double>& weights)
@@ -274,6 +319,8 @@ std::uint64_t Node::add_persistent_query(std::string query, QueryCallback cb) {
   PersistentQuery pq;
   pq.raw = query;
   pq.terms = store_.analyzer().analyze(query);
+  pq.term_hashes.reserve(pq.terms.size());
+  for (const std::string& t : pq.terms) pq.term_hashes.push_back(hash_pair(t));
   pq.callback = std::move(cb);
   const std::uint64_t handle = next_query_handle_++;
 
@@ -310,8 +357,8 @@ void Node::on_directory_update(PeerId origin) {
     for (auto& [handle, q] : persistent_queries_) {
       if (q.terms.empty()) continue;  // no effective terms: matches nothing
       const bool candidate =
-          std::all_of(q.terms.begin(), q.terms.end(),
-                      [&](const std::string& t) { return filter->contains(t); });
+          std::all_of(q.term_hashes.begin(), q.term_hashes.end(),
+                      [&](const HashPair& hp) { return filter->contains(hp); });
       if (candidate) run_persistent_query_against(q, origin);
     }
   }

@@ -13,6 +13,7 @@
 #include "core/config.hpp"
 #include "gossip/protocol.hpp"
 #include "index/data_store.hpp"
+#include "search/candidate_cache.hpp"
 #include "search/distributed.hpp"
 
 /// \file node.hpp
@@ -147,18 +148,34 @@ class Node {
   /// arrives: re-evaluates persistent queries against that peer.
   void on_directory_update(PeerId origin);
 
+  /// Gossip-layer hook: a strictly newer rumor for \p payload.origin was
+  /// applied. Keeps the candidate cache warm — XOR filter diffs are applied
+  /// surgically (only cached terms whose bits the diff touches are fixed),
+  /// rejoin version bumps are recorded without re-decoding, and anything
+  /// else drops the stale filter for lazy re-decode by filter_of.
+  void on_rumor_applied(const gossip::RumorPayload& payload);
+
+  /// Gossip-layer hook: \p peer expired from the directory (T_dead).
+  void on_peer_expired(PeerId peer);
+
   /// Called by the community when a broker snippet is published whose keys
   /// cover one of our persistent queries.
   void on_broker_snippet(const broker::Snippet& snippet);
 
   /// Decoded Bloom filter of a peer as recorded in our directory (nullptr
-  /// when unknown). Cached per (peer, version).
+  /// when unknown). Served from the candidate cache's filter store, keyed
+  /// by the record version.
   const bloom::BloomFilter* filter_of(PeerId peer) const;
+
+  /// The query hot-path cache (stats/introspection; tests and benches).
+  search::CandidateCache& candidate_cache() { return filter_cache_; }
+  const search::CandidateCache& candidate_cache() const { return filter_cache_; }
 
  private:
   struct PersistentQuery {
     std::string raw;
     std::vector<std::string> terms;
+    std::vector<HashPair> term_hashes;  ///< hash_pair(terms[i]), computed once
     QueryCallback callback;
     std::unordered_set<DocumentId, index::DocumentIdHash> seen;
   };
@@ -179,6 +196,11 @@ class Node {
   /// Candidate peers whose filters contain every term.
   std::vector<PeerId> candidates_for(const std::vector<std::string>& terms) const;
 
+  /// Own Bloom filter, projected from the counting filter once per
+  /// store_.filter_version() and kept in the candidate cache (so the self
+  /// row of a ranked search resolves through warm entries too).
+  const bloom::BloomFilter* own_filter() const;
+
   void run_persistent_query_against(PersistentQuery& q, PeerId target);
 
   PeerId id_;
@@ -192,8 +214,10 @@ class Node {
   std::unordered_map<DocumentId, std::uint64_t, index::DocumentIdHash> doc_snippets_;
   std::map<std::uint64_t, Rendezvous> rendezvous_;
   std::map<std::uint64_t, PersistentQuery> persistent_queries_;
-  mutable std::unordered_map<PeerId, std::pair<std::uint64_t, bloom::BloomFilter>>
-      filter_cache_;
+  /// Decoded-filter store + term→candidate cache + probe kernel (the query
+  /// hot path). mutable: filter_of/own_filter fill it lazily from const
+  /// accessors; the cache itself is internally synchronized.
+  mutable search::CandidateCache filter_cache_;
 };
 
 }  // namespace planetp::core

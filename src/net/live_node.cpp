@@ -18,8 +18,34 @@ LiveNode::LiveNode(PeerId id, LiveNodeConfig config, std::uint16_t port)
       config_(config),
       store_(id, config.bloom, config.analyzer),
       protocol_(id, config.gossip, Rng(0x11fe00d ^ id)),
-      last_announced_(config.bloom) {
+      last_announced_(config.bloom),
+      filter_cache_(config.candidate_cache) {
   reactor_.listen(port);
+  // Keep the candidate cache warm from the gossip stream: XOR filter diffs
+  // apply surgically (cached terms whose bits the diff misses stay warm),
+  // rejoins are version touches, anything else drops the stale filter for
+  // lazy re-decode on the next query. Both hooks fire under mu_.
+  protocol_.hooks().on_apply = [this](const gossip::RumorPayload& payload, TimePoint) {
+    if (payload.origin == id_) return;
+    if (!payload.filter.has_value() || payload.kind == gossip::EventKind::kRejoin) {
+      filter_cache_.touch_peer(payload.origin, payload.version);
+      return;
+    }
+    const gossip::FilterUpdate& fu = *payload.filter;
+    if (fu.base_version != 0 && !fu.bits.empty()) {
+      try {
+        ByteReader reader(fu.bits);
+        const BitVector diff = bloom::decode_diff(reader);
+        if (filter_cache_.apply_peer_diff(payload.origin, diff, fu.base_version,
+                                          payload.version)) {
+          return;
+        }
+      } catch (const std::exception&) {
+      }
+    }
+    filter_cache_.remove_peer(payload.origin);
+  };
+  protocol_.hooks().on_expire = [this](PeerId peer) { filter_cache_.remove_peer(peer); };
 }
 
 LiveNode::~LiveNode() { stop(); }
@@ -335,26 +361,52 @@ std::optional<RpcMessage> LiveNode::call(PeerId peer, RpcMessage request) {
   return std::move(node.mapped());
 }
 
+std::shared_ptr<const bloom::BloomFilter> LiveNode::cached_filter(
+    const gossip::PeerRecord& record) {
+  if (auto cached = filter_cache_.version_of(record.id);
+      !cached.has_value() || *cached != record.version) {
+    try {
+      ByteReader reader(record.filter_wire);
+      filter_cache_.update_peer(
+          record.id, std::make_shared<bloom::BloomFilter>(bloom::decode_filter(reader)),
+          record.version);
+    } catch (const std::exception&) {
+      return nullptr;
+    }
+  }
+  return filter_cache_.filter_of(record.id);
+}
+
+std::shared_ptr<const bloom::BloomFilter> LiveNode::own_filter() {
+  // Cache versions are non-zero; the store's version starts at 0.
+  const std::uint64_t version = store_.filter_version() + 1;
+  if (auto cached = filter_cache_.version_of(id_); !cached.has_value() || *cached != version) {
+    filter_cache_.update_peer(id_, std::make_shared<bloom::BloomFilter>(store_.bloom_filter()),
+                              version);
+  }
+  return filter_cache_.filter_of(id_);
+}
+
 std::vector<LiveHit> LiveNode::ranked_search(std::string_view query, std::size_t k) {
   std::vector<std::string> terms;
   std::vector<search::PeerFilter> views;
-  std::vector<std::unique_ptr<bloom::BloomFilter>> decoded;  // keep views alive
-  bloom::BloomFilter own(config_.bloom);
+  // Shared ownership pins the view's filters: a concurrent gossip update
+  // swaps the cache's copy (copy-on-write) without invalidating this query.
+  std::vector<std::shared_ptr<const bloom::BloomFilter>> pinned;
   {
     std::lock_guard<std::mutex> lock(mu_);
     terms = store_.analyzer().analyze(query);
-    own = store_.bloom_filter();
     protocol_.directory().for_each([&](const gossip::PeerRecord& r) {
       if (r.id == id_ || !r.online || r.filter_wire.empty()) return;
-      try {
-        ByteReader reader(r.filter_wire);
-        decoded.push_back(std::make_unique<bloom::BloomFilter>(bloom::decode_filter(reader)));
-        views.push_back(search::PeerFilter{r.id, decoded.back().get(), r.suspicion});
-      } catch (const std::exception&) {
-      }
+      auto f = cached_filter(r);
+      if (f == nullptr) return;
+      views.push_back(search::PeerFilter{r.id, f.get(), r.suspicion});
+      pinned.push_back(std::move(f));
     });
+    auto own = own_filter();
+    views.push_back(search::PeerFilter{id_, own.get()});
+    pinned.push_back(std::move(own));
   }
-  views.push_back(search::PeerFilter{id_, &own});
   if (terms.empty()) return {};
 
   std::unordered_map<index::DocumentId, std::string, index::DocumentIdHash> titles;
@@ -406,6 +458,7 @@ std::vector<LiveHit> LiveNode::ranked_search(std::string_view query, std::size_t
   opts.deadline = config_.search_deadline;
   opts.hedge_threshold = config_.search_hedge_threshold;
   opts.seed = 0x5ea2c4u ^ id_;
+  opts.cache = &filter_cache_;
   opts.clock = [] { return steady_micros(); };
   opts.sleep = [](Duration d) {
     if (d > 0) std::this_thread::sleep_for(std::chrono::microseconds(d));
@@ -437,17 +490,18 @@ std::vector<LiveHit> LiveNode::exhaustive_search(std::string_view query) {
       const index::Document* doc = store_.document(d);
       hits.push_back(LiveHit{d.peer, d.local, 0.0, doc != nullptr ? doc->title : ""});
     }
+    // Hash once per query, probe cached filters (no per-query decode).
+    std::vector<HashPair> hashes;
+    hashes.reserve(terms.size());
+    for (const std::string& t : terms) hashes.push_back(hash_pair(t));
     protocol_.directory().for_each([&](const gossip::PeerRecord& r) {
       if (r.id == id_ || !r.online || r.filter_wire.empty()) return;
-      try {
-        ByteReader reader(r.filter_wire);
-        const bloom::BloomFilter f = bloom::decode_filter(reader);
-        for (const std::string& t : terms) {
-          if (!f.contains(t)) return;
-        }
-        candidates.push_back(r.id);
-      } catch (const std::exception&) {
+      const auto f = cached_filter(r);
+      if (f == nullptr) return;
+      for (const HashPair& hp : hashes) {
+        if (!f->contains(hp)) return;
       }
+      candidates.push_back(r.id);
     });
   }
   for (PeerId peer : candidates) {

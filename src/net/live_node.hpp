@@ -14,6 +14,7 @@
 #include "index/data_store.hpp"
 #include "net/reactor.hpp"
 #include "net/rpc.hpp"
+#include "search/candidate_cache.hpp"
 #include "search/distributed.hpp"
 #include "sim/faults.hpp"
 
@@ -38,6 +39,11 @@ struct LiveNodeConfig {
   search::RetryPolicy search_retry;     ///< per-peer retry budget for query RPCs
   Duration search_deadline = 0;         ///< whole-query wall-clock budget; 0 = unlimited
   Duration search_hedge_threshold = 0;  ///< hedge contacts slower than this; 0 = off
+
+  /// Query hot path (docs/SEARCH.md): decoded-filter store + term→candidate
+  /// cache kept warm by gossiped XOR diffs. Replaces the old per-query
+  /// decode of every directory filter.
+  search::CandidateCacheConfig candidate_cache;
 
   /// Brokers per key: the owner plus this many minus one ring successors.
   /// 1 is the paper's unreplicated brokerage; > 1 survives broker failure
@@ -143,6 +149,9 @@ class LiveNode {
   /// Wait until this node's view of \p peer has version >= \p version.
   bool wait_for_version(gossip::PeerId peer, std::uint64_t version, Duration timeout);
 
+  /// The query hot-path cache (stats/introspection; tests and benches).
+  const search::CandidateCache& candidate_cache() const { return filter_cache_; }
+
  private:
   void on_frame(const Frame& frame);
   void on_send_failure(const std::string& address);
@@ -162,6 +171,11 @@ class LiveNode {
   /// Feed a query-RPC outcome into the directory's SUSPECT tracking.
   void note_contact_outcome(gossip::PeerId peer, bool ok);
   void sweep_broker_store();
+  /// \p record's decoded filter via the cache, decoding (and re-warming the
+  /// term entries) only when the cached version is stale. Requires mu_ held.
+  std::shared_ptr<const bloom::BloomFilter> cached_filter(const gossip::PeerRecord& record);
+  /// Own filter, projected once per store_.filter_version(). Requires mu_ held.
+  std::shared_ptr<const bloom::BloomFilter> own_filter();
 
   gossip::PeerId id_;
   LiveNodeConfig config_;
@@ -173,6 +187,9 @@ class LiveNode {
   gossip::Protocol protocol_;
   bloom::BloomFilter last_announced_;
   broker::SnippetStore broker_store_;  ///< this node's broker role (guarded by mu_)
+  /// Internally synchronized; maintained by the gossip on_apply/on_expire
+  /// hooks (which run under mu_) and read by the query paths.
+  search::CandidateCache filter_cache_;
   std::uint64_t next_snippet_id_ = 1;
 
   // Synchronous RPC bookkeeping.

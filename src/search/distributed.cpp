@@ -1,6 +1,8 @@
 #include "search/distributed.hpp"
 
 #include <algorithm>
+
+#include "search/candidate_cache.hpp"
 #include <unordered_set>
 #include <utility>
 
@@ -33,16 +35,49 @@ Duration RetryPolicy::backoff_before(std::uint32_t retry, Rng& rng) const {
 }
 
 std::vector<RankedPeer> rank_peers(const IpfTable& ipf) {
-  std::unordered_map<std::uint32_t, double> acc;
+  // Gossip allocates peer ids densely, so the eq. 3 mass almost always
+  // accumulates into a flat array (one indexed add per candidate instead of
+  // a hashed insert); sparse/huge id spaces fall back to the map. Both paths
+  // add each peer's terms in the same (sorted-term) order and the sort below
+  // is a total order, so the output is identical either way. A zero mass
+  // means "untouched": every accumulated weight is > 0.
+  static constexpr std::uint32_t kDenseLimit = 1u << 22;  // 32 MB accumulator cap
+  std::uint32_t max_id = 0;
+  std::size_t candidates = 0;
   for (const std::string& term : ipf.terms()) {
-    const double w = ipf.weight(term);
-    if (w <= 0.0) continue;
-    for (std::uint32_t peer : ipf.peers_with(term)) acc[peer] += w;
+    for (std::uint32_t peer : ipf.peers_with(term)) {
+      max_id = std::max(max_id, peer);
+      ++candidates;
+    }
   }
   std::vector<RankedPeer> out;
-  out.reserve(acc.size());
-  for (const auto& [peer, rank] : acc) {
-    out.push_back(RankedPeer{peer, rank, ipf.suspicion_of(peer)});
+  if (candidates > 0 && max_id < kDenseLimit) {
+    std::vector<double> mass(static_cast<std::size_t>(max_id) + 1, 0.0);
+    std::vector<std::uint32_t> touched;
+    touched.reserve(candidates);
+    for (const std::string& term : ipf.terms()) {
+      const double w = ipf.weight(term);
+      if (w <= 0.0) continue;
+      for (std::uint32_t peer : ipf.peers_with(term)) {
+        if (mass[peer] == 0.0) touched.push_back(peer);
+        mass[peer] += w;
+      }
+    }
+    out.reserve(touched.size());
+    for (std::uint32_t peer : touched) {
+      out.push_back(RankedPeer{peer, mass[peer], ipf.suspicion_of(peer)});
+    }
+  } else {
+    std::unordered_map<std::uint32_t, double> acc;
+    for (const std::string& term : ipf.terms()) {
+      const double w = ipf.weight(term);
+      if (w <= 0.0) continue;
+      for (std::uint32_t peer : ipf.peers_with(term)) acc[peer] += w;
+    }
+    out.reserve(acc.size());
+    for (const auto& [peer, rank] : acc) {
+      out.push_back(RankedPeer{peer, rank, ipf.suspicion_of(peer)});
+    }
   }
   std::sort(out.begin(), out.end(), [](const RankedPeer& a, const RankedPeer& b) {
     const double ra = a.effective_rank();
@@ -59,7 +94,11 @@ DistributedSearchResult tfipf_search(const std::vector<std::string>& query_terms
                                      const DistributedSearchOptions& opts) {
   DistributedSearchResult result;
 
-  const IpfTable ipf(query_terms, filters);
+  // Hash the query once; the eq. 3 table (cached or scanned) and every
+  // downstream probe reuse the HashPairs.
+  const HashedTerms hashed = HashedTerms::from(query_terms);
+  const IpfTable ipf = opts.cache != nullptr ? opts.cache->lookup(hashed, filters)
+                                             : IpfTable(hashed, filters);
   const auto weights = ipf.weights();
   const auto peers = rank_peers(ipf);
   result.candidate_peers = peers.size();

@@ -146,6 +146,10 @@ struct DistributedSearchOptions {
   /// ("hedged") request to the next-ranked uncontacted candidate; 0 = off.
   Duration hedge_threshold = 0;
   std::uint64_t seed = 0;      ///< jitter stream; fixed seed => reproducible schedule
+  /// Optional query-hot-path cache (docs/SEARCH.md). When set, the eq. 3
+  /// IpfTable is assembled from warm term→candidate entries instead of
+  /// probing every filter; results are byte-identical to the uncached scan.
+  CandidateCache* cache = nullptr;
   /// Backoff sleep hook for live runtimes; nullptr = don't sleep (in-process
   /// and simulated communities have no wall clock to burn).
   std::function<void(Duration)> sleep;

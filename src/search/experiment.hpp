@@ -33,6 +33,11 @@ struct RetrievalSetup {
 
   /// Contact function evaluating queries directly against peer indexes.
   PeerSearchFn local_contact() const;
+
+  /// Register every peer filter with \p cache (non-owning: the setup must
+  /// outlive the cache), so filter_views() rows resolve through warm
+  /// term→candidate entries instead of per-query probes.
+  void prime_cache(CandidateCache& cache) const;
 };
 
 /// Build the setup: place documents, index them per peer, build filters.
@@ -57,6 +62,9 @@ struct RetrievalOptions {
   std::vector<std::size_t> ks = {10, 20, 50, 100, 150, 200, 300, 400, 500};
   std::size_t group_size = 1;
   StoppingHeuristic stopping;
+  /// Optional query hot-path cache (prime it with RetrievalSetup::prime_cache
+  /// first); results are byte-identical with or without it.
+  CandidateCache* cache = nullptr;
 };
 
 /// Evaluate one k across all queries of the collection.

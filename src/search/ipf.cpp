@@ -8,35 +8,45 @@ namespace {
 const std::vector<std::uint32_t> kNoPeers;
 }
 
-IpfTable::IpfTable(const std::vector<std::string>& terms,
-                   const std::vector<PeerFilter>& filters)
-    : terms_(terms), num_peers_(filters.size()) {
+HashedTerms HashedTerms::from(const std::vector<std::string>& raw) {
+  HashedTerms out;
+  out.terms = raw;
   // Eq. 3 sums over the *set* of query terms: repeated words in a query
   // must not multiply a peer's rank.
-  std::sort(terms_.begin(), terms_.end());
-  terms_.erase(std::unique(terms_.begin(), terms_.end()), terms_.end());
+  std::sort(out.terms.begin(), out.terms.end());
+  out.terms.erase(std::unique(out.terms.begin(), out.terms.end()), out.terms.end());
+  out.hashes.reserve(out.terms.size());
+  for (const std::string& term : out.terms) out.hashes.push_back(hash_pair(term));
+  return out;
+}
+
+IpfTable::IpfTable(const std::vector<std::string>& terms,
+                   const std::vector<PeerFilter>& filters)
+    : IpfTable(HashedTerms::from(terms), filters) {}
+
+IpfTable::IpfTable(const HashedTerms& terms, const std::vector<PeerFilter>& filters)
+    : terms_(terms.terms), num_peers_(filters.size()) {
   for (const PeerFilter& pf : filters) {
     if (pf.suspicion != 0) suspicion_[pf.peer] = pf.suspicion;
   }
-  for (const std::string& term : terms_) {
-    if (entries_.contains(term)) continue;
+  for (std::size_t i = 0; i < terms_.size(); ++i) {
     Entry entry;
-    const HashPair hp = hash_pair(term);
+    const HashPair& hp = terms.hashes[i];
     for (const PeerFilter& pf : filters) {
       if (pf.filter != nullptr && pf.filter->contains(hp)) entry.peers.push_back(pf.peer);
     }
     entry.ipf = ipf(num_peers_, entry.peers.size());
-    entries_.emplace(term, std::move(entry));
+    entries_.emplace(terms_[i], std::move(entry));
   }
 }
 
 double IpfTable::weight(std::string_view term) const {
-  auto it = entries_.find(std::string(term));
+  auto it = entries_.find(term);
   return it == entries_.end() ? 0.0 : it->second.ipf;
 }
 
 const std::vector<std::uint32_t>& IpfTable::peers_with(std::string_view term) const {
-  auto it = entries_.find(std::string(term));
+  auto it = entries_.find(term);
   return it == entries_.end() ? kNoPeers : it->second.peers;
 }
 

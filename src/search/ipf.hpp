@@ -7,6 +7,7 @@
 
 #include "bloom/bloom_filter.hpp"
 #include "search/vector_model.hpp"
+#include "util/hash.hpp"
 
 /// \file ipf.hpp
 /// Inverse Peer Frequency over a collection of gossiped Bloom filters (§5.2):
@@ -15,6 +16,8 @@
 /// for term t against these Bloom filters."
 
 namespace planetp::search {
+
+class CandidateCache;
 
 /// A peer's filter as seen in the searcher's directory.
 struct PeerFilter {
@@ -25,12 +28,29 @@ struct PeerFilter {
   std::uint32_t suspicion = 0;
 };
 
+/// A query's term set prepared once: deduplicated, sorted, and double-hashed.
+/// Every stage that probes Bloom filters — the eq. 3 ranking, the candidate
+/// cache, retry/substitution re-walks — reuses these HashPairs instead of
+/// re-hashing the terms.
+struct HashedTerms {
+  std::vector<std::string> terms;   ///< sorted, unique
+  std::vector<HashPair> hashes;     ///< hashes[i] = hash_pair(terms[i])
+
+  static HashedTerms from(const std::vector<std::string>& raw);
+};
+
 /// Per-query IPF table: for each query term, which peers hit and the IPF
-/// weight. Computed once per query by scanning the filter set.
+/// weight. Computed once per query by scanning the filter set — or assembled
+/// from warm CandidateCache entries on the query hot path (byte-identical
+/// results either way; candidate lists are sets, their order carries no
+/// meaning).
 class IpfTable {
  public:
   /// Scan \p filters for each term of \p terms.
   IpfTable(const std::vector<std::string>& terms, const std::vector<PeerFilter>& filters);
+
+  /// Same scan with the terms already deduplicated/sorted/hashed.
+  IpfTable(const HashedTerms& terms, const std::vector<PeerFilter>& filters);
 
   /// IPF weight of a query term (0 when no peer has it).
   double weight(std::string_view term) const;
@@ -48,13 +68,19 @@ class IpfTable {
   std::unordered_map<std::string, double> weights() const;
 
  private:
+  friend class CandidateCache;  ///< assembles tables from cached candidate sets
+
   struct Entry {
     double ipf = 0.0;
     std::vector<std::uint32_t> peers;
   };
 
+  IpfTable() = default;
+
   std::vector<std::string> terms_;
-  std::unordered_map<std::string, Entry> entries_;
+  /// Transparent hashing: weight()/peers_with() look up by string_view
+  /// without allocating a temporary key.
+  std::unordered_map<std::string, Entry, StringHash, std::equal_to<>> entries_;
   std::unordered_map<std::uint32_t, std::uint32_t> suspicion_;  ///< non-zero levels only
   std::size_t num_peers_ = 0;
 };

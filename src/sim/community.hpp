@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "gossip/protocol.hpp"
+#include "search/candidate_cache.hpp"
 #include "search/distributed.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/faults.hpp"
@@ -92,6 +93,8 @@ struct SimConfig {
   /// Legacy uniform-loss knob, kept as a compatibility shim: a non-zero
   /// value appends `FaultPlan::uniform_drop(p)` to `faults`.
   double message_drop_prob = 0.0;
+  /// Configuration for per-searcher query hot-path caches (searcher_cache()).
+  search::CandidateCacheConfig candidate_cache;
 };
 
 class SimCommunity {
@@ -193,6 +196,14 @@ class SimCommunity {
   /// Mirror a finished search's retry/hedge totals into stats().
   void note_search(const search::DistributedSearchResult& result);
 
+  /// Per-searcher query hot-path cache, created on first use. Simulated
+  /// rumors carry no filter bits (sizes are modeled), so the harness primes
+  /// filters itself (e.g. via RetrievalSetup::prime_cache with peer ids
+  /// matching sim ids); the community honours the invalidation contract by
+  /// dropping a peer from every searcher cache when a filter-change rumor
+  /// for it is applied at that searcher, and on expiry.
+  search::CandidateCache& searcher_cache(gossip::PeerId searcher);
+
  private:
   struct SimPeer {
     std::unique_ptr<gossip::Protocol> protocol;
@@ -222,6 +233,7 @@ class SimCommunity {
   std::unique_ptr<LinkModel> links_;
   std::unique_ptr<NetworkStats> stats_;
   std::vector<std::unique_ptr<ConvergenceTracker>> trackers_;
+  std::unordered_map<gossip::PeerId, std::unique_ptr<search::CandidateCache>> searcher_caches_;
   bool started_ = false;
   bool tracking_enabled_ = true;
 };

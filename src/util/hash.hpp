@@ -42,4 +42,15 @@ struct HashPair {
 /// Compute the double-hashing pair for a term.
 HashPair hash_pair(std::string_view term);
 
+/// Transparent (heterogeneous) string hasher for unordered containers keyed
+/// by std::string: lets find()/contains() take a string_view without
+/// materializing a temporary std::string per lookup. Pair with
+/// std::equal_to<> as the key-equality functor.
+struct StringHash {
+  using is_transparent = void;
+  std::size_t operator()(std::string_view s) const {
+    return static_cast<std::size_t>(fnv1a64(s));
+  }
+};
+
 }  // namespace planetp

@@ -5,6 +5,7 @@
 #include <limits>
 #include <thread>
 
+#include "search/candidate_cache.hpp"
 #include "search/distributed.hpp"
 #include "search/evaluation.hpp"
 #include "search/experiment.hpp"
@@ -603,6 +604,95 @@ TEST(DistributedSearchConcurrent, HedgedSearchesAreThreadSafe) {
     EXPECT_LE(r.coverage, 1.0);
     EXPECT_EQ(r.candidate_peers, 16u);
   }
+}
+
+TEST(DistributedSearchConcurrent, CandidateCacheScanIsThreadSafe) {
+  // Searches resolve their IpfTables through one shared CandidateCache while
+  // a mutator concurrently replaces filters, applies XOR diffs, touches
+  // versions and removes/re-adds peers. Run under TSan (scripts/check.sh)
+  // this pins the cache's documented thread-safety: every public method may
+  // race with lookup(), and queries stay consistent with the caller's view
+  // (whose filters the test owns and keeps alive).
+  bloom::BloomParams params{65536, 2};
+  std::vector<std::shared_ptr<bloom::BloomFilter>> owned;
+  for (std::uint32_t i = 0; i < 16; ++i) {
+    auto f = std::make_shared<bloom::BloomFilter>(params);
+    f->insert("t");
+    f->insert("peer" + std::to_string(i));
+    owned.push_back(std::move(f));
+  }
+
+  CandidateCacheConfig cfg;
+  cfg.max_terms = 8;  // force evictions under contention
+  CandidateCache cache(cfg);
+  for (std::uint32_t i = 0; i < 16; ++i) cache.update_peer(i, owned[i], 1);
+
+  std::atomic<bool> stop{false};
+  std::thread mutator([&] {
+    std::uint64_t version = 1;
+    std::uint32_t peer = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      switch (peer % 4) {
+        case 0:
+          cache.update_peer(peer, owned[(peer + 1) % 16], ++version);
+          break;
+        case 1: {
+          auto base = cache.filter_of(peer);
+          const auto at = cache.version_of(peer);
+          if (base != nullptr && at.has_value()) {
+            bloom::BloomFilter modified = *base;
+            modified.insert("delta" + std::to_string(version));
+            cache.apply_peer_diff(peer, modified.diff_from(*base), *at, ++version);
+          }
+          break;
+        }
+        case 2:
+          cache.touch_peer(peer, ++version);
+          break;
+        default:
+          cache.remove_peer(peer);
+          cache.update_peer(peer, owned[peer], ++version);
+          break;
+      }
+      peer = (peer + 1) % 16;
+    }
+  });
+
+  auto contact = [](std::uint32_t peer, const auto&) {
+    std::vector<ScoredDoc> docs;
+    docs.push_back({{peer, 0}, 1.0 / (peer + 1.0)});
+    return PeerSearchResult::ok(std::move(docs));
+  };
+
+  constexpr int kThreads = 4;
+  constexpr int kSearches = 40;
+  std::vector<std::thread> workers;
+  std::vector<DistributedSearchResult> results(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      std::vector<PeerFilter> views;
+      for (std::uint32_t i = 0; i < 16; ++i) views.push_back({i, owned[i].get()});
+      for (int s = 0; s < kSearches; ++s) {
+        DistributedSearchOptions opts;
+        opts.k = 8;
+        opts.seed = static_cast<std::uint64_t>(t) * kSearches + s;
+        opts.cache = &cache;
+        results[t] = tfipf_search({"t", "peer" + std::to_string(s % 16)}, views,
+                                  contact, opts);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  stop.store(true);
+  mutator.join();
+
+  // Every view row carries "t", so regardless of interleaving each search
+  // must rank all 16 peers and find their documents.
+  for (const auto& r : results) {
+    EXPECT_EQ(r.candidate_peers, 16u);
+    EXPECT_FALSE(r.docs.empty());
+  }
+  EXPECT_GT(cache.stats().lookups, 0u);
 }
 
 TEST(Evaluation, RecallAndPrecision) {
