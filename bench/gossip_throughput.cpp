@@ -1,0 +1,316 @@
+/// \file gossip_throughput.cpp
+/// Gossip-plane throughput (docs/PROTOCOL.md "The gossip hot path"): a
+/// converged community absorbing a stream of filter-change events at 1000 and
+/// 5000 peers, comparing
+///   uncached — the pre-cache cost model: every summary() call rebuilds the
+///              sorted snapshot and newer_in/same_as probe the directory
+///              hash map per entry (Directory::set_summary_caching(false)),
+///   cached   — the epoch-cached snapshot plus merge-scan comparisons (the
+///              shipping configuration),
+///   parallel — cached, plus deterministic parallel round stepping
+///              (SimConfig::parallel_round_tick; same-tick rounds step on a
+///              thread pool and commit in node-id order).
+///
+/// Reports wall-clock gossip rounds/sec (numerator: SimCommunity::
+/// rounds_executed), simulated bytes per round, and heap allocations per
+/// round (counted by this TU's operator new). Emits
+/// BENCH_gossip_throughput.json. Three built-in gates:
+///   1. cached and uncached runs must be behaviourally identical — same
+///      bytes, messages, rounds, and convergence samples for the same seed
+///      (the cache must be invisible);
+///   2. cached must be >= 3x uncached rounds/sec at 5000 peers;
+///   3. with --baseline <json>, cached rounds/sec must stay above half the
+///      recorded baseline (scripts/check.sh runs this against
+///      bench/baselines/).
+/// Usage: gossip_throughput [--quick] [--baseline <file>]
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <new>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sim/community.hpp"
+
+// ---------------------------------------------------------------------------
+// Allocation counter: every throwing/sized/array operator new in the process
+// funnels through here (this TU's definitions replace the library's), so the
+// delta across a timed window counts real heap allocations on the gossip
+// path. Aligned variants keep their default definitions; plain delete always
+// pairs with plain new, so free() is the right inverse.
+// ---------------------------------------------------------------------------
+
+namespace {
+std::atomic<std::uint64_t> g_allocs{0};
+
+void* counted_alloc(std::size_t n) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n != 0 ? n : 1)) return p;
+  throw std::bad_alloc();
+}
+}  // namespace
+
+void* operator new(std::size_t n) { return counted_alloc(n); }
+void* operator new[](std::size_t n) { return counted_alloc(n); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+using namespace planetp;
+using namespace planetp::sim;
+
+namespace {
+
+enum class Mode { kUncached, kCached, kParallel };
+
+const char* mode_name(Mode m) {
+  switch (m) {
+    case Mode::kUncached: return "uncached";
+    case Mode::kCached: return "cached";
+    case Mode::kParallel: return "parallel";
+  }
+  return "?";
+}
+
+struct RunResult {
+  double wall_s = 0.0;
+  std::uint64_t rounds = 0;
+  double rounds_per_sec = 0.0;
+  std::uint64_t bytes = 0;
+  std::uint64_t messages = 0;
+  std::uint64_t allocs = 0;
+  std::uint64_t summary_builds = 0;
+  std::vector<double> durations;  ///< convergence samples (seconds)
+  bool consistent = false;
+  std::size_t events = 0;
+};
+
+double wall_now_s() {
+  return static_cast<double>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                 std::chrono::steady_clock::now().time_since_epoch())
+                                 .count()) /
+         1e9;
+}
+
+/// One community absorbing `events` filter changes (one every 15 simulated
+/// seconds, rotating origins), then draining until quiet. Only the absorb +
+/// drain window is timed: community construction and the converged bootstrap
+/// are setup, not gossip.
+RunResult run_mode(Mode mode, std::size_t peers, std::size_t events) {
+  SimConfig cfg;
+  cfg.seed = 4242;  // identical for every mode: the equivalence gate needs it
+  if (mode == Mode::kParallel) {
+    cfg.parallel_round_tick = kSecond;
+    cfg.parallel_threads = 0;  // hardware concurrency
+  }
+  SimCommunity community(cfg);
+  for (std::size_t i = 0; i < peers; ++i) {
+    community.add_peer({link_speed::kLan45M, 1000});
+  }
+  const auto t = community.add_tracker("all", [](gossip::PeerId) { return true; });
+  community.start_converged();
+  if (mode == Mode::kUncached) {
+    for (std::size_t id = 0; id < peers; ++id) {
+      community.protocol(static_cast<gossip::PeerId>(id)).directory().set_summary_caching(false);
+    }
+  }
+
+  const std::uint64_t rounds0 = community.rounds_executed();
+  const std::uint64_t bytes0 = community.stats().total_bytes();
+  const std::uint64_t msgs0 = community.stats().total_messages();
+  const std::uint64_t allocs0 = g_allocs.load(std::memory_order_relaxed);
+  const double t0 = wall_now_s();
+
+  TimePoint at = kMinute;
+  community.run_until(at);
+  for (std::size_t e = 0; e < events; ++e) {
+    community.inject_filter_change(static_cast<gossip::PeerId>((e * 997) % peers), 100);
+    at += 15 * kSecond;
+    community.run_until(at);
+  }
+  community.set_tracking(false);
+  community.run_until(at + 12 * kMinute);
+
+  RunResult r;
+  r.wall_s = wall_now_s() - t0;
+  r.allocs = g_allocs.load(std::memory_order_relaxed) - allocs0;
+  r.rounds = community.rounds_executed() - rounds0;
+  r.rounds_per_sec = r.wall_s > 0.0 ? static_cast<double>(r.rounds) / r.wall_s : 0.0;
+  r.bytes = community.stats().total_bytes() - bytes0;
+  r.messages = community.stats().total_messages() - msgs0;
+  r.durations = community.tracker(t).durations().samples();
+  r.consistent = community.directories_consistent();
+  r.events = events;
+  for (std::size_t id = 0; id < peers; ++id) {
+    r.summary_builds +=
+        community.protocol(static_cast<gossip::PeerId>(id)).directory().summary_builds();
+  }
+  return r;
+}
+
+void print_mode(Mode m, const RunResult& r) {
+  std::printf(
+      "  %-9s %7.2f s   %8llu rounds   %9.0f rounds/s   %7.1f B/round   %6.1f allocs/round   "
+      "%llu summary builds%s\n",
+      mode_name(m), r.wall_s, static_cast<unsigned long long>(r.rounds), r.rounds_per_sec,
+      r.rounds > 0 ? static_cast<double>(r.bytes) / static_cast<double>(r.rounds) : 0.0,
+      r.rounds > 0 ? static_cast<double>(r.allocs) / static_cast<double>(r.rounds) : 0.0,
+      static_cast<unsigned long long>(r.summary_builds), r.consistent ? "" : "   (INCONSISTENT)");
+}
+
+/// The cache must be invisible: same seed, same trace.
+bool equivalent(const RunResult& a, const RunResult& b) {
+  return a.bytes == b.bytes && a.messages == b.messages && a.rounds == b.rounds &&
+         a.durations == b.durations && a.consistent && b.consistent;
+}
+
+struct SizeResult {
+  std::size_t peers = 0;
+  RunResult uncached, cached, parallel;
+  double speedup = 0.0;
+};
+
+SizeResult run_size(std::size_t peers, std::size_t events) {
+  SizeResult out;
+  out.peers = peers;
+  std::printf("%5zu peers, %zu filter-change events:\n", peers, events);
+  out.uncached = run_mode(Mode::kUncached, peers, events);
+  print_mode(Mode::kUncached, out.uncached);
+  out.cached = run_mode(Mode::kCached, peers, events);
+  print_mode(Mode::kCached, out.cached);
+  out.parallel = run_mode(Mode::kParallel, peers, events);
+  print_mode(Mode::kParallel, out.parallel);
+  out.speedup =
+      out.uncached.rounds_per_sec > 0.0 ? out.cached.rounds_per_sec / out.uncached.rounds_per_sec
+                                        : 0.0;
+  std::printf("  cached speedup vs uncached: %.1fx\n\n", out.speedup);
+  return out;
+}
+
+void append_mode(std::ostringstream& os, const char* name, const RunResult& r) {
+  os << "\"" << name << "\": {\"wall_s\": " << r.wall_s << ", \"rounds\": " << r.rounds
+     << ", \"rounds_per_sec\": " << r.rounds_per_sec << ", \"bytes_per_round\": "
+     << (r.rounds > 0 ? static_cast<double>(r.bytes) / static_cast<double>(r.rounds) : 0.0)
+     << ", \"allocs_per_round\": "
+     << (r.rounds > 0 ? static_cast<double>(r.allocs) / static_cast<double>(r.rounds) : 0.0)
+     << ", \"summary_builds\": " << r.summary_builds
+     << ", \"converged_events\": " << r.durations.size() << "}";
+}
+
+/// Minimal key lookup in the baseline JSON: finds "key" and parses the
+/// number after the following ':'.
+double parse_key(const std::string& json, const std::string& key) {
+  const std::size_t at = json.find("\"" + key + "\"");
+  if (at == std::string::npos) return -1.0;
+  const std::size_t colon = json.find(':', at);
+  if (colon == std::string::npos) return -1.0;
+  return std::strtod(json.c_str() + colon + 1, nullptr);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::string baseline_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strcmp(argv[i], "--baseline") == 0 && i + 1 < argc) {
+      baseline_path = argv[++i];
+    }
+  }
+
+  const std::size_t events = quick ? 4 : 12;
+  std::vector<SizeResult> results;
+  results.push_back(run_size(1000, events));
+  results.push_back(run_size(5000, events));
+
+  std::ostringstream os;
+  os << "{\n  \"bench\": \"gossip_throughput\",\n  \"quick\": " << (quick ? "true" : "false")
+     << ",\n  \"results\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const SizeResult& r = results[i];
+    os << "    {\"peers\": " << r.peers << ", \"events\": " << r.cached.events << ", ";
+    append_mode(os, "uncached", r.uncached);
+    os << ", ";
+    append_mode(os, "cached", r.cached);
+    os << ", ";
+    append_mode(os, "parallel", r.parallel);
+    os << ", \"cached_speedup_vs_uncached\": " << r.speedup << "}"
+       << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  os << "  ],\n";
+  for (const SizeResult& r : results) {
+    os << "  \"cached_rps_" << r.peers << "\": " << r.cached.rounds_per_sec << ",\n";
+  }
+  os << "  \"cached_speedup_5000\": " << results.back().speedup << "\n}\n";
+
+  std::ofstream("BENCH_gossip_throughput.json") << os.str();
+  std::printf("wrote BENCH_gossip_throughput.json\n");
+
+  int rc = 0;
+  for (const SizeResult& r : results) {
+    if (!equivalent(r.uncached, r.cached)) {
+      std::fprintf(stderr,
+                   "FAIL: cached run diverges from uncached at %zu peers "
+                   "(bytes %llu vs %llu, msgs %llu vs %llu, rounds %llu vs %llu, "
+                   "converged %zu vs %zu)\n",
+                   r.peers, static_cast<unsigned long long>(r.uncached.bytes),
+                   static_cast<unsigned long long>(r.cached.bytes),
+                   static_cast<unsigned long long>(r.uncached.messages),
+                   static_cast<unsigned long long>(r.cached.messages),
+                   static_cast<unsigned long long>(r.uncached.rounds),
+                   static_cast<unsigned long long>(r.cached.rounds),
+                   r.uncached.durations.size(), r.cached.durations.size());
+      rc = 1;
+    }
+    if (r.cached.durations.size() != r.cached.events || !r.cached.consistent) {
+      std::fprintf(stderr, "FAIL: cached run at %zu peers did not converge (%zu/%zu events)\n",
+                   r.peers, r.cached.durations.size(), r.cached.events);
+      rc = 1;
+    }
+    if (!r.parallel.consistent || r.parallel.durations.size() != r.parallel.events) {
+      std::fprintf(stderr, "FAIL: parallel run at %zu peers did not converge (%zu/%zu events)\n",
+                   r.peers, r.parallel.durations.size(), r.parallel.events);
+      rc = 1;
+    }
+  }
+  if (results.back().speedup < 3.0) {
+    std::fprintf(stderr, "FAIL: cached only %.1fx vs uncached at 5000 peers (need >= 3x)\n",
+                 results.back().speedup);
+    rc = 1;
+  }
+
+  if (!baseline_path.empty()) {
+    std::ifstream in(baseline_path);
+    if (!in) {
+      std::fprintf(stderr, "FAIL: cannot read baseline %s\n", baseline_path.c_str());
+      return 1;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const std::string baseline = buf.str();
+    for (const SizeResult& r : results) {
+      const std::string key = "cached_rps_" + std::to_string(r.peers);
+      const double recorded = parse_key(baseline, key);
+      if (recorded <= 0.0) continue;
+      if (r.cached.rounds_per_sec < recorded / 2.0) {
+        std::fprintf(stderr,
+                     "FAIL: cached rounds/s at %zu peers regressed: %.0f vs baseline %.0f "
+                     "(>2x drop)\n",
+                     r.peers, r.cached.rounds_per_sec, recorded);
+        rc = 1;
+      } else {
+        std::printf("baseline check at %zu peers: %.0f rounds/s vs recorded %.0f — ok\n", r.peers,
+                    r.cached.rounds_per_sec, recorded);
+      }
+    }
+  }
+  return rc;
+}

@@ -18,13 +18,14 @@ cmake -B build-asan -S . -DPLANETP_SANITIZE=address,undefined
 cmake --build build-asan -j "$JOBS"
 ctest --test-dir build-asan --output-on-failure -j "$JOBS"
 
-# The concurrent hedged-search tests again under ThreadSanitizer (the `tsan`
-# preset uses the same build dir). TSan and ASan cannot share a build, hence
-# the third tree; the -R scope keeps the (slow) TSan pass to the tests that
-# actually exercise cross-thread retrieval.
+# The concurrent hedged-search tests and the parallel gossip stepping again
+# under ThreadSanitizer (the `tsan` preset uses the same build dir). TSan and
+# ASan cannot share a build, hence the third tree; the -R scope keeps the
+# (slow) TSan pass to the tests that actually exercise cross-thread code.
 cmake -B build-tsan -S . -DPLANETP_SANITIZE=thread
-cmake --build build-tsan -j "$JOBS" --target test_search test_search_faults
-ctest --test-dir build-tsan --output-on-failure -j "$JOBS" -R DistributedSearchConcurrent
+cmake --build build-tsan -j "$JOBS" --target test_search test_search_faults test_sim
+ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
+  -R 'DistributedSearchConcurrent|ParallelStepping'
 
 # Query hot-path smoke run + perf-regression guard: search_throughput exits
 # non-zero when the warm CandidateCache is not >=5x the uncached scan at 5000
@@ -36,8 +37,21 @@ else
   build/bench/search_throughput --baseline bench/baselines/search_throughput.json
 fi
 
+# Gossip-plane smoke run + perf-regression guard: gossip_throughput exits
+# non-zero when the epoch-cached summary path is not >=3x the uncached cost
+# model at 5000 peers, when cached/uncached traces diverge (the cache must be
+# behaviourally invisible), or when cached rounds/sec falls below half the
+# committed baseline.
+echo "=== gossip_throughput ==="
+if [ "$QUICK" = "--quick" ]; then
+  build/bench/gossip_throughput --quick --baseline bench/baselines/gossip_throughput.json
+else
+  build/bench/gossip_throughput --baseline bench/baselines/gossip_throughput.json
+fi
+
 for b in build/bench/*; do
   [ "$(basename "$b")" = "search_throughput" ] && continue
+  [ "$(basename "$b")" = "gossip_throughput" ] && continue
   echo "=== $(basename "$b") ==="
   if [ "$QUICK" = "--quick" ]; then
     "$b" --quick

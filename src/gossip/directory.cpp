@@ -6,9 +6,16 @@ namespace planetp::gossip {
 
 void Directory::put_self(PeerRecord record) {
   const PeerId id = record.id;
-  auto [it, inserted] = records_.insert_or_assign(id, std::move(record));
-  if (inserted) add_id(id);
-  it->second.online = true;
+  record.online = true;  // we are definitionally online
+  auto it = records_.find(id);
+  if (it == records_.end()) {
+    records_.emplace(id, std::move(record));
+    add_id(id);
+  } else {
+    if (!it->second.online) --offline_count_;
+    it->second = std::move(record);
+  }
+  bump_epoch();
 }
 
 bool Directory::apply(const PeerRecord& record) {
@@ -18,8 +25,10 @@ bool Directory::apply(const PeerRecord& record) {
   }
   auto it = records_.find(record.id);
   if (it == records_.end()) {
+    if (!record.online) ++offline_count_;
     records_.emplace(record.id, record);
     add_id(record.id);
+    bump_epoch();
     return true;
   }
   if (record.version <= it->second.version) {
@@ -27,11 +36,13 @@ bool Directory::apply(const PeerRecord& record) {
   }
   // Preserve nothing local: a newer version means fresh presence knowledge,
   // so the peer is believed online again.
+  if (!it->second.online) --offline_count_;
   PeerRecord updated = record;
   updated.online = true;
   updated.offline_since = 0;
   updated.suspicion = 0;  // fresh presence knowledge resets local suspicion
   it->second = std::move(updated);
+  bump_epoch();
   return true;
 }
 
@@ -41,19 +52,28 @@ const PeerRecord* Directory::find(PeerId id) const {
 }
 
 PeerRecord* Directory::find_mutable(PeerId id) {
+  // Callers hold a mutable record to bump its version (local filter changes,
+  // rejoin jumps) or complete its filter — assume the summary may change.
+  bump_epoch();
+  return lookup(id);
+}
+
+PeerRecord* Directory::lookup(PeerId id) {
   auto it = records_.find(id);
   return it == records_.end() ? nullptr : &it->second;
 }
 
 void Directory::mark_offline(PeerId id, TimePoint now) {
-  if (PeerRecord* r = find_mutable(id); r != nullptr && r->online) {
+  if (PeerRecord* r = lookup(id); r != nullptr && r->online) {
     r->online = false;
     r->offline_since = now;
+    ++offline_count_;
   }
 }
 
 void Directory::mark_online(PeerId id) {
-  if (PeerRecord* r = find_mutable(id); r != nullptr) {
+  if (PeerRecord* r = lookup(id); r != nullptr) {
+    if (!r->online) --offline_count_;
     r->online = true;
     r->offline_since = 0;
     r->suspicion = 0;
@@ -61,7 +81,7 @@ void Directory::mark_online(PeerId id) {
 }
 
 std::uint32_t Directory::record_query_failure(PeerId id, TimePoint now) {
-  PeerRecord* r = find_mutable(id);
+  PeerRecord* r = lookup(id);
   if (r == nullptr || id == self_) return 0;
   ++r->suspicion;
   if (r->suspicion >= kSuspectThreshold) mark_offline(id, now);
@@ -69,7 +89,7 @@ std::uint32_t Directory::record_query_failure(PeerId id, TimePoint now) {
 }
 
 void Directory::record_query_success(PeerId id) {
-  if (PeerRecord* r = find_mutable(id); r != nullptr) r->suspicion = 0;
+  if (PeerRecord* r = lookup(id); r != nullptr) r->suspicion = 0;
 }
 
 std::uint32_t Directory::suspicion(PeerId id) const {
@@ -79,17 +99,22 @@ std::uint32_t Directory::suspicion(PeerId id) const {
 
 std::vector<PeerId> Directory::expire_dead(TimePoint now, Duration t_dead) {
   std::vector<PeerId> dropped;
+  // Every round calls this; with nobody believed offline (the common steady
+  // state) there is nothing to scan.
+  if (offline_count_ == 0) return dropped;
   for (auto it = records_.begin(); it != records_.end();) {
     const PeerRecord& r = it->second;
     if (!r.online && r.id != self_ && now - r.offline_since >= t_dead) {
       dropped.push_back(r.id);
       tombstones_[r.id] = r.version;
       remove_id(r.id);
+      --offline_count_;
       it = records_.erase(it);
     } else {
       ++it;
     }
   }
+  if (!dropped.empty()) bump_epoch();
   return dropped;
 }
 
@@ -133,6 +158,7 @@ PeerId Directory::random_online_of_class(Rng& rng, LinkClass cls) const {
 }
 
 PeerId Directory::random_offline(Rng& rng) const {
+  if (offline_count_ == 0) return kInvalidPeer;  // skip the scan, common case
   std::vector<PeerId> offline;
   for (PeerId id : ids_) {
     if (id == self_) continue;
@@ -143,16 +169,65 @@ PeerId Directory::random_offline(Rng& rng) const {
   return offline[rng.below(offline.size())];
 }
 
-std::vector<PeerSummary> Directory::summary() const {
-  std::vector<PeerSummary> out;
-  out.reserve(records_.size());
-  for (const auto& [id, r] : records_) out.push_back(PeerSummary{id, r.version});
-  std::sort(out.begin(), out.end(),
+SummarySnapshot Directory::summary() const {
+  if (summary_caching_ && cached_summary_ != nullptr && cached_epoch_ == epoch_) {
+    return cached_summary_;
+  }
+  auto out = std::make_shared<std::vector<PeerSummary>>();
+  out->reserve(records_.size());
+  for (const auto& [id, r] : records_) out->push_back(PeerSummary{id, r.version});
+  std::sort(out->begin(), out->end(),
             [](const PeerSummary& a, const PeerSummary& b) { return a.id < b.id; });
+  ++summary_builds_;
+  cached_summary_ = std::move(out);
+  cached_epoch_ = epoch_;
+  return cached_summary_;
+}
+
+void Directory::set_summary_caching(bool enabled) {
+  summary_caching_ = enabled;
+  if (!enabled) cached_summary_.reset();
+}
+
+namespace {
+/// Strictly increasing by id — what a snapshot-built summary always is.
+/// Anything else (hand-built or hostile input) takes the probe fallback.
+bool sorted_unique_by_id(const std::vector<PeerSummary>& v) {
+  return std::adjacent_find(v.begin(), v.end(), [](const PeerSummary& a, const PeerSummary& b) {
+           return a.id >= b.id;
+         }) == v.end();
+}
+}  // namespace
+
+std::vector<RumorId> Directory::newer_in(const std::vector<PeerSummary>& remote) const {
+  // With caching disabled we also fall back to probing — together with the
+  // per-call summary rebuild this reproduces the pre-cache cost model that
+  // bench/gossip_throughput measures against.
+  if (!summary_caching_ || !sorted_unique_by_id(remote)) return newer_in_probe(remote);
+  const std::vector<PeerSummary>& local = *summary();
+  std::vector<RumorId> out;
+  std::size_t i = 0;
+  // Merge-scan: both sides sorted by id, so each remote entry resolves
+  // against the local record in O(1) amortized instead of a hash probe.
+  // Tombstones stay a probe — expired peers are rare and scattered.
+  const auto want = [&](const PeerSummary& s) {
+    if (auto t = tombstones_.find(s.id); t != tombstones_.end() && s.version <= t->second) {
+      return;  // we expired this record; don't pull it back
+    }
+    out.push_back(RumorId{s.id, s.version});
+  };
+  for (const PeerSummary& s : remote) {
+    while (i < local.size() && local[i].id < s.id) ++i;
+    if (i >= local.size() || local[i].id != s.id) {
+      want(s);  // unknown peer
+    } else if (local[i].version < s.version) {
+      want(s);  // remote holds a newer version
+    }
+  }
   return out;
 }
 
-std::vector<RumorId> Directory::newer_in(const std::vector<PeerSummary>& remote) const {
+std::vector<RumorId> Directory::newer_in_probe(const std::vector<PeerSummary>& remote) const {
   std::vector<RumorId> out;
   for (const PeerSummary& s : remote) {
     if (auto t = tombstones_.find(s.id); t != tombstones_.end() && s.version <= t->second) {
@@ -173,6 +248,12 @@ std::optional<std::uint64_t> Directory::tombstone_version(PeerId id) const {
 }
 
 bool Directory::same_as(const std::vector<PeerSummary>& remote) const {
+  if (!summary_caching_ || !sorted_unique_by_id(remote)) return same_as_probe(remote);
+  const std::vector<PeerSummary>& local = *summary();
+  return local.size() == remote.size() && std::equal(local.begin(), local.end(), remote.begin());
+}
+
+bool Directory::same_as_probe(const std::vector<PeerSummary>& remote) const {
   if (remote.size() != records_.size()) return false;
   for (const PeerSummary& s : remote) {
     const PeerRecord* r = find(s.id);
@@ -181,11 +262,7 @@ bool Directory::same_as(const std::vector<PeerSummary>& remote) const {
   return true;
 }
 
-std::size_t Directory::online_count() const {
-  std::size_t n = 0;
-  for (const auto& [id, r] : records_) n += r.online ? 1 : 0;
-  return n;
-}
+std::size_t Directory::online_count() const { return records_.size() - offline_count_; }
 
 void Directory::for_each(const std::function<void(const PeerRecord&)>& fn) const {
   for (const auto& [id, r] : records_) fn(r);

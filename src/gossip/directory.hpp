@@ -32,7 +32,10 @@ class Directory {
   /// the peer back online (§3: a rejoin rumor flips off-line beliefs).
   bool apply(const PeerRecord& record);
 
-  /// Record lookup (nullptr when unknown).
+  /// Record lookup (nullptr when unknown). find_mutable callers may bump the
+  /// version or complete the filter, but must not flip `online` — online
+  /// transitions go through mark_offline/mark_online, which maintain the
+  /// offline-record count behind the O(1) expire_dead fast path.
   const PeerRecord* find(PeerId id) const;
   PeerRecord* find_mutable(PeerId id);
 
@@ -80,15 +83,43 @@ class Directory {
   /// partition healed) without anyone rumoring about it.
   PeerId random_offline(Rng& rng) const;
 
-  /// Directory summary for anti-entropy exchanges.
-  std::vector<PeerSummary> summary() const;
+  /// Directory summary for anti-entropy exchanges: one (id, version) entry
+  /// per known record, sorted by id. Cached per mutation epoch — repeated
+  /// calls between directory changes return the same shared snapshot, so a
+  /// gossip round costs no summary rebuild and a SummaryMsg carries a
+  /// pointer, not a copy. The snapshot is immutable; holders are unaffected
+  /// by later directory mutations.
+  SummarySnapshot summary() const;
+
+  /// Mutation counter: bumped whenever the set of (id, version) pairs may
+  /// have changed. Local-only belief updates (mark_offline, suspicion) do
+  /// not bump it — they are invisible in summaries.
+  std::uint64_t epoch() const { return epoch_; }
+
+  /// How many times summary() actually rebuilt the snapshot (introspection
+  /// for tests and the gossip_throughput bench).
+  std::uint64_t summary_builds() const { return summary_builds_; }
+
+  /// Disable the epoch cache: every summary() call rebuilds and
+  /// newer_in/same_as fall back to per-entry probing — the pre-cache cost
+  /// model. Only used by bench/gossip_throughput as its baseline mode.
+  void set_summary_caching(bool enabled);
 
   /// Versions that \p remote has but we lack or hold older (what to pull).
+  /// A merge-scan over our sorted snapshot when \p remote is sorted (the
+  /// wire format always is — it is built from a snapshot); falls back to
+  /// per-entry probing otherwise.
   std::vector<RumorId> newer_in(const std::vector<PeerSummary>& remote) const;
 
   /// True when \p remote and our summary match exactly (same peers, same
   /// versions) — the "same directory" test of the adaptive interval (§3).
   bool same_as(const std::vector<PeerSummary>& remote) const;
+
+  /// Reference implementations of newer_in/same_as via per-entry hash
+  /// probes, independent of the snapshot cache. The property tests pin the
+  /// merge-scan results against these; not used on the hot path.
+  std::vector<RumorId> newer_in_probe(const std::vector<PeerSummary>& remote) const;
+  bool same_as_probe(const std::vector<PeerSummary>& remote) const;
 
   std::size_t size() const { return records_.size(); }
   std::size_t online_count() const;
@@ -101,9 +132,26 @@ class Directory {
   std::unordered_map<PeerId, std::uint64_t> tombstones_;  ///< expired id -> version
   // Flat id list kept in sync for O(1) random selection.
   std::vector<PeerId> ids_;
+  // Records currently believed offline. Lets the per-round expire_dead and
+  // the offline probe skip their full scans in the steady state where
+  // everyone is online, and makes online_count() O(1).
+  std::size_t offline_count_ = 0;
+
+  // Epoch-cached summary snapshot. `epoch_` advances on any mutation that can
+  // change the (id, version) set; summary() rebuilds lazily when the cached
+  // snapshot's epoch is stale. Mutable: summary() is logically const.
+  std::uint64_t epoch_ = 1;
+  mutable SummarySnapshot cached_summary_;
+  mutable std::uint64_t cached_epoch_ = 0;
+  mutable std::uint64_t summary_builds_ = 0;
+  bool summary_caching_ = true;
 
   void add_id(PeerId id);
   void remove_id(PeerId id);
+  void bump_epoch() { ++epoch_; }
+  /// Record lookup for local-only belief updates (online/suspicion): does
+  /// not invalidate the summary cache, which only reflects (id, version).
+  PeerRecord* lookup(PeerId id);
 };
 
 }  // namespace planetp::gossip

@@ -1,5 +1,6 @@
 #include "gossip/messages.hpp"
 
+#include <cassert>
 #include <stdexcept>
 
 namespace planetp::gossip {
@@ -123,18 +124,54 @@ RumorPayload decode_payload(ByteReader& r) {
   return p;
 }
 
-void encode_payloads(ByteWriter& w, const std::vector<RumorPayload>& ps) {
+void encode_payloads(ByteWriter& w, const RumorList& ps) {
   w.varint(ps.size());
-  for (const auto& p : ps) encode_payload(w, p);
+  // Splice each rumor's cached encoding: byte-identical to encode_payload,
+  // but serialized once per rumor lifetime instead of once per send.
+  for (const RumorPtr& p : ps.shared()) w.raw(p->wire());
 }
 
-std::vector<RumorPayload> decode_payloads(ByteReader& r) {
+RumorList decode_payloads(ByteReader& r) {
   const std::size_t n = r.count(10);  // minimum encoded RumorPayload
-  std::vector<RumorPayload> ps;
+  RumorList ps;
   ps.reserve(n);
   for (std::size_t i = 0; i < n; ++i) ps.push_back(decode_payload(r));
   return ps;
 }
+
+std::size_t rumor_id_list_size(const std::vector<RumorId>& ids) {
+  std::size_t s = varint_size(ids.size());
+  for (const RumorId& id : ids) s += 4 + varint_size(id.version);
+  return s;
+}
+
+std::size_t rumor_list_size(const RumorList& ps) {
+  std::size_t s = varint_size(ps.size());
+  for (const RumorPtr& p : ps.shared()) s += p->wire().size();
+  return s;
+}
+
+struct EncodedSizeVisitor {
+  std::size_t operator()(const RumorMsg& msg) const {
+    return 1 + rumor_list_size(msg.rumors) + rumor_id_list_size(msg.recent_ids);
+  }
+  std::size_t operator()(const RumorAckMsg& msg) const {
+    return 1 + rumor_id_list_size(msg.already_knew) + rumor_id_list_size(msg.recent_ids) +
+           rumor_id_list_size(msg.pull_ids);
+  }
+  std::size_t operator()(const SummaryRequestMsg&) const { return 1; }
+  std::size_t operator()(const SummaryMsg& msg) const {
+    std::size_t s = 1 + 1 + varint_size(msg.entries.size()) + varint_size(msg.rejoin_floor);
+    for (const PeerSummary& e : msg.entries) s += 4 + varint_size(e.version);
+    return s;
+  }
+  std::size_t operator()(const PullRequestMsg& msg) const {
+    return 1 + rumor_id_list_size(msg.ids);
+  }
+  std::size_t operator()(const PullResponseMsg& msg) const {
+    return 1 + rumor_list_size(msg.rumors);
+  }
+};
 
 struct EncodeVisitor {
   ByteWriter& w;
@@ -175,6 +212,15 @@ struct EncodeVisitor {
 
 }  // namespace
 
+std::span<const std::uint8_t> SharedRumor::wire() const {
+  std::call_once(wire_once_, [this] {
+    ByteWriter w;
+    encode_payload(w, payload_);
+    wire_ = w.take();
+  });
+  return wire_;
+}
+
 std::size_t wire_size(const Message& msg, const SizeModel& model) {
   return std::visit(SizeVisitor{model}, msg);
 }
@@ -183,10 +229,29 @@ std::size_t payload_wire_size(const RumorPayload& payload, const SizeModel& mode
   return payload_size(payload, model);
 }
 
+std::size_t encoded_size(const Message& msg) { return std::visit(EncodedSizeVisitor{}, msg); }
+
 std::vector<std::uint8_t> encode_message(const Message& msg) {
   ByteWriter w;
-  std::visit(EncodeVisitor{w}, msg);
+  encode_message_into(w, msg);
   return w.take();
+}
+
+void encode_message_into(ByteWriter& w, const Message& msg) {
+  w.clear();
+  const std::size_t predicted = encoded_size(msg);
+  w.reserve(predicted);
+#ifndef NDEBUG
+  const std::size_t cap_before = w.capacity();
+#endif
+  std::visit(EncodeVisitor{w}, msg);
+  // The reservation above must have been exact: a mismatch means an encoder
+  // and its EncodedSizeVisitor entry drifted apart (and the write path
+  // reallocated mid-message).
+  assert(w.size() == predicted && "encoded_size out of sync with encoder");
+#ifndef NDEBUG
+  assert(w.capacity() == cap_before && "encode_message reallocated despite pre-sizing");
+#endif
 }
 
 Message decode_message(std::span<const std::uint8_t> data) {
@@ -212,13 +277,15 @@ Message decode_message(std::span<const std::uint8_t> data) {
       SummaryMsg m;
       m.push = r.u8() != 0;
       const std::size_t n = r.count(5);  // u32 + varint
-      m.entries.reserve(n);
+      std::vector<PeerSummary> entries;
+      entries.reserve(n);
       for (std::size_t i = 0; i < n; ++i) {
         PeerSummary s;
         s.id = r.u32();
         s.version = r.varint();
-        m.entries.push_back(s);
+        entries.push_back(s);
       }
+      m.entries = SummaryEntries::adopt(std::move(entries));
       m.rejoin_floor = r.varint();
       return m;
     }

@@ -1,6 +1,9 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
 #include <variant>
 #include <vector>
 
@@ -13,14 +16,90 @@
 /// header, 48-byte peer summaries, 6-byte rumor-id/BF summaries, and a
 /// linear-in-keys Bloom filter cost anchored at 1000 keys = 3000 B and
 /// 20000 keys = 16000 B).
+///
+/// Rumor payloads are *interned*: a RumorPayload entering the hot set is
+/// wrapped once in an immutable SharedRumor and every message that carries it
+/// — across fanout targets, rounds, and re-gossip hops — holds the same
+/// shared_ptr. The wire encoding is computed lazily, once per SharedRumor,
+/// and spliced into each message verbatim, so a rumor's address string and
+/// filter bytes are serialized exactly once no matter how often it is sent.
 
 namespace planetp::gossip {
+
+/// An immutable rumor payload plus its lazily-computed wire encoding.
+/// Thread-safe: the live runtime encodes outside the node lock, so the wire
+/// cache is guarded by a once_flag. The payload itself never changes after
+/// construction.
+class SharedRumor {
+ public:
+  explicit SharedRumor(RumorPayload payload) : payload_(std::move(payload)) {}
+
+  const RumorPayload& payload() const { return payload_; }
+  RumorId id() const { return payload_.id(); }
+
+  /// The payload's binary encoding (exactly what encode_payload emits),
+  /// produced on first use and reused for every subsequent send.
+  std::span<const std::uint8_t> wire() const;
+
+ private:
+  RumorPayload payload_;
+  mutable std::once_flag wire_once_;
+  mutable std::vector<std::uint8_t> wire_;
+};
+
+using RumorPtr = std::shared_ptr<const SharedRumor>;
+
+/// Wrap a payload for sharing.
+inline RumorPtr intern_rumor(RumorPayload payload) {
+  return std::make_shared<SharedRumor>(std::move(payload));
+}
+
+/// An ordered list of shared rumors. Iteration and operator[] yield the
+/// payloads (what protocol logic and tests read); ptr()/shared() expose the
+/// interned handles for zero-copy forwarding.
+class RumorList {
+ public:
+  RumorList() = default;
+
+  void push_back(RumorPayload p) { items_.push_back(intern_rumor(std::move(p))); }
+  void push_back(RumorPtr p) { items_.push_back(std::move(p)); }
+  void reserve(std::size_t n) { items_.reserve(n); }
+
+  std::size_t size() const { return items_.size(); }
+  bool empty() const { return items_.empty(); }
+  const RumorPayload& operator[](std::size_t i) const { return items_[i]->payload(); }
+  const RumorPayload& back() const { return items_.back()->payload(); }
+  const RumorPtr& ptr(std::size_t i) const { return items_[i]; }
+  const std::vector<RumorPtr>& shared() const { return items_; }
+
+  /// Payload-view iterator, so `for (const RumorPayload& p : msg.rumors)`
+  /// reads naturally at every consumer.
+  class const_iterator {
+   public:
+    explicit const_iterator(std::vector<RumorPtr>::const_iterator it) : it_(it) {}
+    const RumorPayload& operator*() const { return (*it_)->payload(); }
+    const RumorPayload* operator->() const { return &(*it_)->payload(); }
+    const_iterator& operator++() {
+      ++it_;
+      return *this;
+    }
+    bool operator==(const const_iterator&) const = default;
+
+   private:
+    std::vector<RumorPtr>::const_iterator it_;
+  };
+  const_iterator begin() const { return const_iterator(items_.begin()); }
+  const_iterator end() const { return const_iterator(items_.end()); }
+
+ private:
+  std::vector<RumorPtr> items_;
+};
 
 /// Push rumoring: the sender's currently-hot rumors, plus the partial
 /// anti-entropy piggyback — ids of the most recent rumors the sender learned
 /// but is no longer actively spreading (§3).
 struct RumorMsg {
-  std::vector<RumorPayload> rumors;
+  RumorList rumors;
   std::vector<RumorId> recent_ids;
 };
 
@@ -37,11 +116,50 @@ struct RumorAckMsg {
 /// Pull anti-entropy step 1: ask the target for its directory summary.
 struct SummaryRequestMsg {};
 
+/// Directory summary entries: either a Directory snapshot shared as-is (the
+/// hot path — building a SummaryMsg is then a pointer copy) or a locally
+/// built list (decode, tests). Reads see one id-sorted vector either way.
+class SummaryEntries {
+ public:
+  SummaryEntries() = default;
+  SummaryEntries(SummarySnapshot snap) : snap_(std::move(snap)) {}
+  SummaryEntries(std::initializer_list<PeerSummary> init) : own_(init) {}
+
+  static SummaryEntries adopt(std::vector<PeerSummary> v) {
+    SummaryEntries e;
+    e.own_ = std::move(v);
+    return e;
+  }
+
+  /// Builder-path append (decode, tests). Detaches from a shared snapshot.
+  void push_back(const PeerSummary& s) {
+    if (snap_ != nullptr) {
+      own_ = *snap_;
+      snap_.reset();
+    }
+    own_.push_back(s);
+  }
+  void reserve(std::size_t n) {
+    if (snap_ == nullptr) own_.reserve(n);
+  }
+
+  const std::vector<PeerSummary>& list() const { return snap_ != nullptr ? *snap_ : own_; }
+  std::size_t size() const { return list().size(); }
+  bool empty() const { return list().empty(); }
+  const PeerSummary& operator[](std::size_t i) const { return list()[i]; }
+  std::vector<PeerSummary>::const_iterator begin() const { return list().begin(); }
+  std::vector<PeerSummary>::const_iterator end() const { return list().end(); }
+
+ private:
+  SummarySnapshot snap_;
+  std::vector<PeerSummary> own_;
+};
+
 /// Directory summary: one PeerSummary per known record. Sent as the reply in
 /// pull anti-entropy, or unsolicited in push-anti-entropy-only mode (the
 /// paper's LAN-AE baseline). `push` distinguishes the two on receipt.
 struct SummaryMsg {
-  std::vector<PeerSummary> entries;
+  SummaryEntries entries;
   bool push = false;
   /// Non-zero when the replier holds a T_dead tombstone for the *asker*: the
   /// version the asker's record was expired at. The asker restarted below it
@@ -59,7 +177,7 @@ struct PullRequestMsg {
 /// Full records answering a PullRequestMsg. Filters are sent whole here
 /// (base_version == 0), since the requester may hold no usable base.
 struct PullResponseMsg {
-  std::vector<RumorPayload> rumors;
+  RumorList rumors;
 };
 
 using Message = std::variant<RumorMsg, RumorAckMsg, SummaryRequestMsg, SummaryMsg,
@@ -88,8 +206,17 @@ std::size_t wire_size(const Message& msg, const SizeModel& model);
 /// Modeled wire size of one rumor payload (record base + filter cost).
 std::size_t payload_wire_size(const RumorPayload& payload, const SizeModel& model);
 
+/// Exact binary encoding size of \p msg (tag byte included). encode_message
+/// pre-sizes its output from this, so encoding never reallocates.
+std::size_t encoded_size(const Message& msg);
+
 /// Binary encoding (live runtime). The first byte is the variant tag.
 std::vector<std::uint8_t> encode_message(const Message& msg);
+
+/// Encode into a caller-owned writer (cleared first), reserving exactly
+/// encoded_size(msg) so the write path performs at most one allocation —
+/// zero when the writer's buffer is reused and already large enough.
+void encode_message_into(ByteWriter& w, const Message& msg);
 
 /// Inverse of encode_message; throws on malformed input.
 Message decode_message(std::span<const std::uint8_t> data);

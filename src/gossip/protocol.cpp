@@ -31,7 +31,7 @@ void Protocol::local_join(std::string address, LinkClass link_class, std::uint32
   full.bits = record.filter_wire;
   full.key_count = key_count;
   full.new_keys = key_count;
-  make_hot(payload_from_record(record, EventKind::kJoin, std::move(full)));
+  make_hot(intern_rumor(payload_from_record(record, EventKind::kJoin, std::move(full))));
   (void)now;
 }
 
@@ -69,7 +69,7 @@ void Protocol::local_filter_change(std::uint32_t key_count, std::uint32_t new_ke
     // still advertise the diff semantics via base_version.
     update.base_version = base_version;
   }
-  make_hot(payload_from_record(*self, EventKind::kFilterChange, std::move(update)));
+  make_hot(intern_rumor(payload_from_record(*self, EventKind::kFilterChange, std::move(update))));
   // Local news restarts eager gossiping just like received news does.
   reset_interval();
   (void)now;
@@ -80,7 +80,7 @@ void Protocol::local_rejoin(TimePoint now) {
   if (self == nullptr) return;
   ++self->version;
   self->online = true;
-  make_hot(payload_from_record(*self, EventKind::kRejoin));
+  make_hot(intern_rumor(payload_from_record(*self, EventKind::kRejoin)));
   // A returning peer gossips eagerly to catch up and to spread its presence,
   // and prioritizes anti-entropy until it has synced the events it missed.
   reset_interval();
@@ -125,20 +125,25 @@ std::uint64_t Protocol::own_version() const {
 // Rumor bookkeeping
 // ---------------------------------------------------------------------------
 
-void Protocol::make_hot(const RumorPayload& p) {
-  const RumorId id = p.id();
-  // A newer version of the same origin supersedes any older hot rumor.
-  for (auto it = hot_.begin(); it != hot_.end();) {
-    if (it->first.origin == id.origin && it->first.version < id.version) {
-      hot_order_.erase(std::find(hot_order_.begin(), hot_order_.end(), it->first));
-      it = hot_.erase(it);
+void Protocol::make_hot(RumorPtr p) {
+  const RumorId id = p->id();
+  // A newer version of the same origin supersedes any older hot rumor. Scan
+  // hot_order_ (stable insertion order), not the hash map, so behavior never
+  // depends on hash layout.
+  for (std::size_t i = 0; i < hot_order_.size();) {
+    const RumorId cur = hot_order_[i];
+    if (cur.origin == id.origin && cur.version < id.version) {
+      hot_.erase(cur);
+      hot_order_.erase(hot_order_.begin() + static_cast<std::ptrdiff_t>(i));
+      if (cur.origin == directory_.self()) --self_hot_count_;
     } else {
-      ++it;
+      ++i;
     }
   }
   if (hot_.contains(id)) return;
-  hot_.emplace(id, HotRumor{p, 0});
+  hot_.emplace(id, HotRumor{std::move(p), 0});
   hot_order_.push_back(id);
+  if (id.origin == directory_.self()) ++self_hot_count_;
 }
 
 void Protocol::retire_rumor(const RumorId& id) {
@@ -146,6 +151,7 @@ void Protocol::retire_rumor(const RumorId& id) {
   if (it == hot_.end()) return;
   hot_.erase(it);
   hot_order_.erase(std::find(hot_order_.begin(), hot_order_.end(), id));
+  if (id.origin == directory_.self()) --self_hot_count_;
   note_recent(id);
 }
 
@@ -176,12 +182,7 @@ void Protocol::register_gossipless_contact() {
 // Target selection (flat and bandwidth-aware, §7.2)
 // ---------------------------------------------------------------------------
 
-bool Protocol::has_local_origin_rumor() const {
-  for (const auto& [id, hot] : hot_) {
-    if (id.origin == directory_.self()) return true;
-  }
-  return false;
-}
+bool Protocol::has_local_origin_rumor() const { return self_hot_count_ != 0; }
 
 PeerId Protocol::pick_rumor_target() {
   if (!config_.bandwidth_aware) return directory_.random_online(rng_);
@@ -219,6 +220,7 @@ std::vector<Protocol::Outgoing> Protocol::on_round(TimePoint now) {
   ++round_counter_;
 
   for (PeerId dropped : directory_.expire_dead(now, config_.t_dead)) {
+    pull_cache_.erase(dropped);
     if (hooks_.on_expire) hooks_.on_expire(dropped);
   }
 
@@ -293,9 +295,10 @@ std::vector<Protocol::Outgoing> Protocol::on_round(TimePoint now) {
   std::size_t budget = config_.max_rumor_bytes_per_message;
   std::size_t take = 0;
   for (; take < hot_order_.size(); ++take) {
-    const std::size_t cost = payload_wire_size(hot_.at(hot_order_[take]).payload, kSizes);
+    const HotRumor& hot = hot_.at(hot_order_[take]);
+    const std::size_t cost = payload_wire_size(hot.rumor->payload(), kSizes);
     if (take > 0 && cost > budget) break;
-    msg.rumors.push_back(hot_.at(hot_order_[take]).payload);
+    msg.rumors.push_back(hot.rumor);  // shared: no payload copy per target
     budget -= std::min(budget, cost);
   }
   // Rotate so rumors beyond the budget get their turn next round.
@@ -315,7 +318,9 @@ std::vector<Protocol::Outgoing> Protocol::on_round(TimePoint now) {
 // ---------------------------------------------------------------------------
 
 bool Protocol::adopt_own_version(std::uint64_t seen_version, TimePoint now) {
-  PeerRecord* self = directory_.find_mutable(directory_.self());
+  // Read-only probe (runs on every summary receipt — must not invalidate the
+  // snapshot cache); jump_own_version does the mutation when needed.
+  const PeerRecord* self = directory_.find(directory_.self());
   if (self == nullptr || seen_version <= self->version) return false;
   // The community remembers a newer us than we do: we crashed and lost our
   // version counter. Jump past the remembered version and re-rumor, so our
@@ -329,7 +334,7 @@ void Protocol::jump_own_version(std::uint64_t past) {
   PeerRecord* self = directory_.find_mutable(directory_.self());
   self->version = past + 1;
   self->online = true;
-  make_hot(payload_from_record(*self, EventKind::kRejoin));
+  make_hot(intern_rumor(payload_from_record(*self, EventKind::kRejoin)));
   reset_interval();
 }
 
@@ -403,13 +408,26 @@ bool Protocol::apply_payload(const RumorPayload& p, TimePoint now, PeerId from,
   return true;
 }
 
-RumorPayload Protocol::payload_for_pull(const PeerRecord& record) const {
+RumorPtr Protocol::pull_rumor_for(const PeerRecord& record) {
+  if (auto it = pull_cache_.find(record.id); it != pull_cache_.end()) {
+    const RumorPayload& p = it->second->payload();
+    // Valid while the record is unchanged: version catches updates, and the
+    // key-count/filter-size pair catches the one same-version mutation (a
+    // later full filter completing a diff we could not apply).
+    if (p.version == record.version && p.key_count == record.key_count && p.filter &&
+        p.filter->bits.size() == record.filter_wire.size()) {
+      return it->second;
+    }
+  }
   FilterUpdate full;
   full.base_version = 0;
   full.bits = record.filter_wire;
   full.key_count = record.key_count;
   full.new_keys = record.key_count;
-  return payload_from_record(record, EventKind::kFilterChange, std::move(full));
+  RumorPtr rumor =
+      intern_rumor(payload_from_record(record, EventKind::kFilterChange, std::move(full)));
+  pull_cache_.insert_or_assign(record.id, rumor);
+  return rumor;
 }
 
 std::vector<Protocol::Outgoing> Protocol::on_message(TimePoint now, PeerId from,
@@ -422,12 +440,12 @@ std::vector<Protocol::Outgoing> Protocol::on_message(TimePoint now, PeerId from,
   if (const auto* rumor = std::get_if<RumorMsg>(&msg)) {
     RumorAckMsg ack;
     bool any_new = false;
-    for (const RumorPayload& p : rumor->rumors) {
-      if (apply_payload(p, now, from, out)) {
+    for (const RumorPtr& p : rumor->rumors.shared()) {
+      if (apply_payload(p->payload(), now, from, out)) {
         any_new = true;
-        make_hot(p);  // we now spread it too
+        make_hot(p);  // we now spread it too — sharing the sender's encoding
       } else {
-        ack.already_knew.push_back(p.id());
+        ack.already_knew.push_back(p->id());
       }
     }
     if (config_.enable_partial_ae) {
@@ -451,7 +469,8 @@ std::vector<Protocol::Outgoing> Protocol::on_message(TimePoint now, PeerId from,
     std::unordered_set<RumorId, RumorIdHash> knew(ack->already_knew.begin(),
                                                   ack->already_knew.end());
     std::vector<RumorId> to_retire;
-    for (auto& [id, hot] : hot_) {
+    for (const RumorId& id : hot_order_) {  // stable order, not hash order
+      HotRumor& hot = hot_.at(id);
       if (knew.contains(id)) {
         if (++hot.consecutive_known >= config_.stop_count) to_retire.push_back(id);
       } else {
@@ -465,7 +484,7 @@ std::vector<Protocol::Outgoing> Protocol::on_message(TimePoint now, PeerId from,
       PullResponseMsg resp;
       for (const RumorId& id : ack->pull_ids) {
         const PeerRecord* r = directory_.find(id.origin);
-        if (r != nullptr && r->version >= id.version) resp.rumors.push_back(payload_for_pull(*r));
+        if (r != nullptr && r->version >= id.version) resp.rumors.push_back(pull_rumor_for(*r));
       }
       if (!resp.rumors.empty()) out.push_back(Outgoing{from, std::move(resp)});
     }
@@ -508,7 +527,7 @@ std::vector<Protocol::Outgoing> Protocol::on_message(TimePoint now, PeerId from,
         break;
       }
     }
-    std::vector<RumorId> missing = directory_.newer_in(summary->entries);
+    std::vector<RumorId> missing = directory_.newer_in(summary->entries.list());
     // Never pull our own record: we are its origin (a remote-newer own entry
     // was adopted above instead).
     std::erase_if(missing,
@@ -535,7 +554,7 @@ std::vector<Protocol::Outgoing> Protocol::on_message(TimePoint now, PeerId from,
     }
     if (!missing.empty()) {
       out.push_back(Outgoing{from, PullRequestMsg{std::move(missing)}});
-    } else if (!summary->push && directory_.same_as(summary->entries)) {
+    } else if (!summary->push && directory_.same_as(summary->entries.list())) {
       // Pull-anti-entropy reply showed an identical directory: one more
       // gossip-less contact toward slowing down.
       register_gossipless_contact();
@@ -547,7 +566,7 @@ std::vector<Protocol::Outgoing> Protocol::on_message(TimePoint now, PeerId from,
     PullResponseMsg resp;
     for (const RumorId& id : pull->ids) {
       const PeerRecord* r = directory_.find(id.origin);
-      if (r != nullptr && r->version >= id.version) resp.rumors.push_back(payload_for_pull(*r));
+      if (r != nullptr && r->version >= id.version) resp.rumors.push_back(pull_rumor_for(*r));
     }
     if (!resp.rumors.empty()) out.push_back(Outgoing{from, std::move(resp)});
     return out;
@@ -555,8 +574,8 @@ std::vector<Protocol::Outgoing> Protocol::on_message(TimePoint now, PeerId from,
 
   if (const auto* resp = std::get_if<PullResponseMsg>(&msg)) {
     bool any_new = false;
-    for (const RumorPayload& p : resp->rumors) {
-      if (apply_payload(p, now, from, out)) {
+    for (const RumorPtr& p : resp->rumors.shared()) {
+      if (apply_payload(p->payload(), now, from, out)) {
         any_new = true;
         make_hot(p);  // pulled news spreads onward like any rumor
       }

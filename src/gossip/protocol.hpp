@@ -114,7 +114,7 @@ class Protocol {
 
  private:
   struct HotRumor {
-    RumorPayload payload;
+    RumorPtr rumor;  ///< interned: every send shares one payload + encoding
     int consecutive_known = 0;
   };
 
@@ -124,7 +124,7 @@ class Protocol {
   bool apply_payload(const RumorPayload& p, TimePoint now, PeerId from,
                      std::vector<Outgoing>& out);
 
-  void make_hot(const RumorPayload& p);
+  void make_hot(RumorPtr p);
   void retire_rumor(const RumorId& id);
   void note_recent(const RumorId& id);
   void reset_interval();
@@ -141,7 +141,11 @@ class Protocol {
   /// Set our own version to \p past + 1 and re-rumor our record (kRejoin).
   void jump_own_version(std::uint64_t past);
 
-  RumorPayload payload_for_pull(const PeerRecord& record) const;
+  /// Interned full-filter payload answering a pull for \p record. Cached per
+  /// origin so concurrent pulls for the same record (common right after a
+  /// filter change floods the piggybacks) reuse one payload and encoding;
+  /// invalidated by version/key-count/filter changes and on expiry.
+  RumorPtr pull_rumor_for(const PeerRecord& record);
 
   GossipConfig config_;
   Directory directory_;
@@ -152,6 +156,10 @@ class Protocol {
   std::vector<RumorId> hot_order_;             ///< stable iteration order
   std::deque<RumorId> recent_;                 ///< retired ids for piggybacking
   std::unordered_set<RumorId, RumorIdHash> recent_set_;
+  std::unordered_map<PeerId, RumorPtr> pull_cache_;  ///< per-origin pull payloads
+  /// Hot rumors originated by us, maintained on insert/erase so the
+  /// bandwidth-aware target pick does not scan the hot set every round.
+  std::size_t self_hot_count_ = 0;
 
   std::uint64_t round_counter_ = 0;
   int gossipless_count_ = 0;

@@ -1,10 +1,12 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "util/hash.hpp"
 #include "util/time.hpp"
 
 /// \file types.hpp
@@ -38,9 +40,15 @@ struct RumorId {
   auto operator<=>(const RumorId&) const = default;
 };
 
+/// Hash for RumorId-keyed tables. The obvious `(origin << 32) ^ version`
+/// collides badly in practice: versions are small integers, so every origin's
+/// first few rumors land in the same low-bit-poor region and unordered_map
+/// degenerates at community scale. Mix through splitmix64 instead, which
+/// avalanche-mixes every input bit into every output bit.
 struct RumorIdHash {
   std::size_t operator()(const RumorId& id) const {
-    return (static_cast<std::size_t>(id.origin) << 32) ^ id.version;
+    return static_cast<std::size_t>(
+        splitmix64((static_cast<std::uint64_t>(id.origin) << 32) ^ id.version));
   }
 };
 
@@ -99,7 +107,15 @@ struct RumorPayload {
 struct PeerSummary {
   PeerId id = kInvalidPeer;
   std::uint64_t version = 0;
+
+  bool operator==(const PeerSummary&) const = default;
 };
+
+/// An immutable, id-sorted directory summary shared between the Directory's
+/// epoch cache, every SummaryMsg built from it, and every in-flight simulated
+/// delivery. Sharing is what makes per-exchange summaries O(1): the vector is
+/// built once per directory mutation epoch, never copied per message.
+using SummarySnapshot = std::shared_ptr<const std::vector<PeerSummary>>;
 
 /// Build the rumor payload describing \p record's latest state.
 RumorPayload payload_from_record(const PeerRecord& record, EventKind kind,

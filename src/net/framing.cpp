@@ -20,13 +20,20 @@ std::uint32_t read_u32(const std::uint8_t* p) {
 
 std::vector<std::uint8_t> encode_frame(const Frame& frame) {
   std::vector<std::uint8_t> out;
+  out.reserve(frame_size(frame));
+  append_frame(out, frame);
+  return out;
+}
+
+std::size_t frame_size(const Frame& frame) { return 4 + 4 + 1 + frame.payload.size(); }
+
+void append_frame(std::vector<std::uint8_t>& out, const Frame& frame) {
+  out.reserve(out.size() + frame_size(frame));
   const std::uint32_t body = 4 + 1 + static_cast<std::uint32_t>(frame.payload.size());
-  out.reserve(4 + body);
   put_u32(out, body);
   put_u32(out, frame.sender);
   out.push_back(static_cast<std::uint8_t>(frame.channel));
   out.insert(out.end(), frame.payload.begin(), frame.payload.end());
-  return out;
 }
 
 void FrameDecoder::feed(std::span<const std::uint8_t> data) {

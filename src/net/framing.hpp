@@ -32,6 +32,14 @@ inline constexpr std::uint32_t kMaxFrameBytes = 64u << 20;
 /// Serialize a frame (length prefix included).
 std::vector<std::uint8_t> encode_frame(const Frame& frame);
 
+/// Exact serialized size of \p frame (length prefix included).
+std::size_t frame_size(const Frame& frame);
+
+/// Serialize \p frame appending to \p out (caller-owned buffer — e.g. a
+/// connection's outbound queue), growing it by exactly frame_size(frame).
+/// Skips the intermediate per-frame vector that encode_frame allocates.
+void append_frame(std::vector<std::uint8_t>& out, const Frame& frame);
+
 class FrameDecoder {
  public:
   /// Append raw stream bytes.

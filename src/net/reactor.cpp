@@ -101,8 +101,9 @@ void Reactor::send(const std::string& address, Frame frame) {
       if (on_failure_) on_failure_(address);
       return;
     }
-    const auto bytes = encode_frame(frame);
-    conn->out.insert(conn->out.end(), bytes.begin(), bytes.end());
+    // Serialize straight into the connection's outbound queue: no per-frame
+    // intermediate buffer on the send path.
+    append_frame(conn->out, frame);
     if (!conn->connecting) flush(*conn);
   });
 }

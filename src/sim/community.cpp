@@ -84,7 +84,11 @@ SimCommunity::SimCommunity(SimConfig config)
       rng_(config.seed),
       faults_(effective_fault_plan(config), splitmix64(config.seed ^ 0xfa017u)),
       links_(std::make_unique<LinkModel>(config.network)),
-      stats_(std::make_unique<NetworkStats>(0, config.network.bandwidth_bucket)) {}
+      stats_(std::make_unique<NetworkStats>(0, config.network.bandwidth_bucket)) {
+  if (config_.parallel_round_tick > 0) {
+    pool_ = std::make_unique<ThreadPool>(config_.parallel_threads);
+  }
+}
 
 PeerId SimCommunity::add_peer(const SimPeerSpec& spec) {
   const PeerId id = static_cast<PeerId>(peers_.size());
@@ -328,6 +332,20 @@ search::CandidateCache& SimCommunity::searcher_cache(PeerId searcher) {
 void SimCommunity::schedule_round(PeerId id, Duration delay) {
   SimPeer& peer = peers_[id];
   const std::uint64_t epoch = ++peer.round_epoch;
+  if (config_.parallel_round_tick > 0) {
+    // Quantize the firing time up to the tick grid and batch every round
+    // landing on the same tick behind one queue event, so they can step
+    // concurrently in run_tick.
+    const Duration tick = config_.parallel_round_tick;
+    TimePoint at = queue_.now() + delay;
+    at = ((at + tick - 1) / tick) * tick;
+    if (at <= queue_.now()) at += tick;
+    peer.next_round_at = at;
+    auto [it, inserted] = pending_rounds_.try_emplace(at);
+    it->second.emplace_back(id, epoch);
+    if (inserted) queue_.schedule_at(at, [this, at] { run_tick(at); });
+    return;
+  }
   peer.next_round_at = queue_.now() + delay;
   queue_.schedule(delay, [this, id, epoch] { run_round(id, epoch); });
 }
@@ -335,8 +353,54 @@ void SimCommunity::schedule_round(PeerId id, Duration delay) {
 void SimCommunity::run_round(PeerId id, std::uint64_t epoch) {
   SimPeer& peer = peers_[id];
   if (peer.round_epoch != epoch || !peer.online) return;
+  ++rounds_executed_;
   for (const auto& out : peer.protocol->on_round(queue_.now())) dispatch(id, out);
   schedule_round(id, peer.protocol->current_interval());
+}
+
+void SimCommunity::run_tick(TimePoint at) {
+  auto pending = pending_rounds_.extract(at);
+  if (pending.empty()) return;
+  std::vector<std::pair<PeerId, std::uint64_t>> batch = std::move(pending.mapped());
+  // Deterministic regardless of insertion order: sort, then drop entries
+  // whose round was cancelled (epoch bumped) or whose peer went offline.
+  std::sort(batch.begin(), batch.end());
+  std::vector<PeerId> eligible;
+  eligible.reserve(batch.size());
+  for (const auto& [id, epoch] : batch) {
+    if (peers_[id].round_epoch == epoch && peers_[id].online) eligible.push_back(id);
+  }
+  if (eligible.empty()) return;
+
+  const TimePoint now = queue_.now();
+  std::vector<std::vector<Protocol::Outgoing>> outs(eligible.size());
+  if (pool_ != nullptr && eligible.size() > 1) {
+    // Step all same-tick nodes concurrently. Safe because on_round touches
+    // only that node's protocol (its directory, hot set, and forked RNG
+    // stream) — never the queue, links, stats, or another node.
+    std::vector<std::future<void>> done;
+    done.reserve(eligible.size());
+    for (std::size_t i = 0; i < eligible.size(); ++i) {
+      done.push_back(pool_->submit(
+          [this, &outs, &eligible, i, now] { outs[i] = peers_[eligible[i]].protocol->on_round(now); }));
+    }
+    for (auto& f : done) f.get();
+  } else {
+    for (std::size_t i = 0; i < eligible.size(); ++i) {
+      outs[i] = peers_[eligible[i]].protocol->on_round(now);
+    }
+  }
+  rounds_executed_ += eligible.size();
+
+  // Commit in node-id order: dispatches (link-model busy horizons, fault
+  // decisions, stats) and next-round scheduling happen exactly as if the
+  // nodes had stepped sequentially — traces are identical across thread
+  // counts.
+  for (std::size_t i = 0; i < eligible.size(); ++i) {
+    const PeerId id = eligible[i];
+    for (const auto& out : outs[i]) dispatch(id, out);
+    schedule_round(id, peers_[id].protocol->current_interval());
+  }
 }
 
 void SimCommunity::maybe_pull_round_forward(PeerId id) {

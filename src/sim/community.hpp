@@ -14,6 +14,7 @@
 #include "sim/faults.hpp"
 #include "sim/network.hpp"
 #include "util/stats.hpp"
+#include "util/thread_pool.hpp"
 
 /// \file community.hpp
 /// Simulated PlanetP community: wires one gossip::Protocol per peer to the
@@ -95,6 +96,17 @@ struct SimConfig {
   double message_drop_prob = 0.0;
   /// Configuration for per-searcher query hot-path caches (searcher_cache()).
   search::CandidateCacheConfig candidate_cache;
+
+  /// Deterministic parallel round stepping. 0 (default) keeps the fully
+  /// sequential event order — bit-identical to all prior releases. A positive
+  /// tick quantizes gossip-round firing times up to multiples of the tick;
+  /// all rounds landing on one tick step concurrently on a thread pool (each
+  /// node only touches its own protocol state and forked RNG stream) and
+  /// their outgoing messages commit in node-id order, so traces are
+  /// identical across thread counts for a fixed seed.
+  Duration parallel_round_tick = 0;
+  /// Worker threads for parallel stepping (0 = hardware concurrency).
+  std::size_t parallel_threads = 0;
 };
 
 class SimCommunity {
@@ -172,6 +184,10 @@ class SimCommunity {
   /// Run the simulation until \p limit.
   void run_until(TimePoint limit) { queue_.run_until(limit); }
 
+  /// Gossip rounds executed so far (across all peers); the numerator of the
+  /// gossip_throughput bench's rounds/sec.
+  std::uint64_t rounds_executed() const { return rounds_executed_; }
+
   // ------------------------------------------------------------------
   // Query-time RPCs (failure-aware retrieval, docs/SEARCH.md)
   // ------------------------------------------------------------------
@@ -218,6 +234,7 @@ class SimCommunity {
   void schedule_round(gossip::PeerId id, Duration delay);
   void schedule_crash_events();
   void run_round(gossip::PeerId id, std::uint64_t epoch);
+  void run_tick(TimePoint at);
   void maybe_pull_round_forward(gossip::PeerId id);
   void dispatch(gossip::PeerId from, const gossip::Protocol::Outgoing& out);
   void deliver(gossip::PeerId from, gossip::PeerId to, const gossip::Message& msg);
@@ -236,6 +253,13 @@ class SimCommunity {
   std::unordered_map<gossip::PeerId, std::unique_ptr<search::CandidateCache>> searcher_caches_;
   bool started_ = false;
   bool tracking_enabled_ = true;
+  std::uint64_t rounds_executed_ = 0;
+
+  // Parallel stepping state (active only with config.parallel_round_tick > 0):
+  // rounds batched per quantized tick, one queue event per occupied tick.
+  std::unordered_map<TimePoint, std::vector<std::pair<gossip::PeerId, std::uint64_t>>>
+      pending_rounds_;
+  std::unique_ptr<ThreadPool> pool_;
 };
 
 }  // namespace planetp::sim

@@ -31,7 +31,14 @@ class ByteWriter {
   /// Raw append without a length prefix (caller handles framing).
   void raw(std::span<const std::uint8_t> data);
 
+  /// Pre-allocate for \p n total bytes; with an exact size from the caller
+  /// (see gossip::encoded_size) the writer never reallocates mid-message.
+  void reserve(std::size_t n) { buf_.reserve(n); }
+  /// Drop contents but keep the allocation, for buffer reuse across messages.
+  void clear() { buf_.clear(); }
+
   std::size_t size() const { return buf_.size(); }
+  std::size_t capacity() const { return buf_.capacity(); }
   const std::vector<std::uint8_t>& data() const { return buf_; }
   std::vector<std::uint8_t> take() { return std::move(buf_); }
 

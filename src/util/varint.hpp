@@ -18,6 +18,17 @@ inline void put_varint(std::vector<std::uint8_t>& out, std::uint64_t v) {
   out.push_back(static_cast<std::uint8_t>(v));
 }
 
+/// Encoded byte length of \p v as unsigned LEB128 (1-10 bytes). Lets writers
+/// pre-size output buffers exactly.
+inline constexpr std::size_t varint_size(std::uint64_t v) {
+  std::size_t n = 1;
+  while (v >= 0x80) {
+    v >>= 7;
+    ++n;
+  }
+  return n;
+}
+
 /// Decode an unsigned LEB128 integer starting at \p pos; advances pos.
 inline std::uint64_t get_varint(const std::uint8_t* data, std::size_t size, std::size_t& pos) {
   std::uint64_t v = 0;

@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <set>
+#include <vector>
 
 namespace planetp::gossip {
 namespace {
@@ -127,7 +129,7 @@ TEST(Directory, SummarySortedByPeer) {
   dir.apply(record(5, 2));
   dir.apply(record(1, 7));
   dir.apply(record(3, 1));
-  const auto summary = dir.summary();
+  const auto& summary = *dir.summary();
   ASSERT_EQ(summary.size(), 3u);
   EXPECT_EQ(summary[0].id, 1u);
   EXPECT_EQ(summary[0].version, 7u);
@@ -155,6 +157,125 @@ TEST(Directory, SameAsExactMatchOnly) {
   EXPECT_FALSE(dir.same_as({{1, 1}}));
   EXPECT_FALSE(dir.same_as({{1, 1}, {2, 3}}));
   EXPECT_FALSE(dir.same_as({{1, 1}, {2, 2}, {3, 1}}));
+}
+
+TEST(Directory, SummarySnapshotSharedUntilMutation) {
+  Directory dir(0);
+  dir.apply(record(1, 1));
+  dir.apply(record(2, 1));
+
+  const SummarySnapshot a = dir.summary();
+  const SummarySnapshot b = dir.summary();
+  EXPECT_EQ(a.get(), b.get()) << "no mutation: same cached snapshot";
+  EXPECT_EQ(dir.summary_builds(), 1u);
+
+  // Local-only belief updates are invisible in summaries: no invalidation.
+  dir.mark_offline(1, 100);
+  dir.record_query_failure(2, 100);
+  EXPECT_EQ(dir.summary().get(), a.get());
+  EXPECT_EQ(dir.summary_builds(), 1u);
+
+  // A version change invalidates; the old snapshot is untouched.
+  dir.apply(record(1, 9));
+  const SummarySnapshot c = dir.summary();
+  EXPECT_NE(c.get(), a.get());
+  EXPECT_EQ(dir.summary_builds(), 2u);
+  ASSERT_EQ(a->size(), 2u);
+  EXPECT_EQ((*a)[0].version, 1u) << "held snapshots are immutable";
+  EXPECT_EQ((*c)[0].version, 9u);
+}
+
+TEST(Directory, EpochBumpsOnMembershipChangesOnly) {
+  Directory dir(0);
+  const std::uint64_t e0 = dir.epoch();
+  dir.apply(record(1, 1));
+  EXPECT_GT(dir.epoch(), e0);
+
+  const std::uint64_t e1 = dir.epoch();
+  EXPECT_FALSE(dir.apply(record(1, 1)));  // stale: no change
+  dir.mark_offline(1, 0);
+  dir.mark_online(1);
+  EXPECT_EQ(dir.epoch(), e1);
+
+  dir.expire_dead(0, kHour);  // nothing expires: no bump
+  EXPECT_EQ(dir.epoch(), e1);
+
+  dir.mark_offline(1, 0);
+  const auto dropped = dir.expire_dead(10 * kHour, kHour);
+  ASSERT_EQ(dropped.size(), 1u);
+  EXPECT_GT(dir.epoch(), e1);
+}
+
+TEST(Directory, CachedSummaryMatchesFreshBuildUnderRandomOps) {
+  // Property test: after any interleaving of apply / mark_offline /
+  // expire_dead / rejoin / put_self / find_mutable, the epoch-cached
+  // snapshot is element-identical to a summary built from scratch, and the
+  // merge-scan newer_in/same_as agree with the probe reference.
+  Directory dir(0);
+  dir.put_self(record(0, 1));
+  Rng rng(0xD1CE);
+  std::uint64_t next_version = 2;
+
+  const auto fresh_summary = [&] {
+    std::vector<PeerSummary> out;
+    dir.for_each([&](const PeerRecord& r) { out.push_back(PeerSummary{r.id, r.version}); });
+    std::sort(out.begin(), out.end(),
+              [](const PeerSummary& a, const PeerSummary& b) { return a.id < b.id; });
+    return out;
+  };
+
+  const auto random_remote = [&] {
+    std::vector<PeerSummary> remote;
+    for (PeerId id = 1; id <= 24; ++id) {
+      if (rng.below(3) == 0) continue;  // remote doesn't know this peer
+      remote.push_back(PeerSummary{id, rng.below(8) + 1});
+    }
+    return remote;
+  };
+
+  for (int step = 0; step < 500; ++step) {
+    const PeerId id = static_cast<PeerId>(1 + rng.below(24));
+    switch (rng.below(6)) {
+      case 0:
+      case 1:
+        dir.apply(record(id, next_version++));  // insert or update
+        break;
+      case 2:
+        dir.apply(record(id, 1 + rng.below(4)));  // often stale
+        break;
+      case 3:
+        dir.mark_offline(id, 0);
+        break;
+      case 4:
+        dir.expire_dead(10 * kHour, kHour);
+        break;
+      case 5:
+        if (PeerRecord* r = dir.find_mutable(id); r != nullptr) {
+          r->version = next_version++;  // local version jump (rejoin path)
+        }
+        break;
+    }
+
+    const std::vector<PeerSummary> expect = fresh_summary();
+    EXPECT_EQ(*dir.summary(), expect) << "step " << step;
+    EXPECT_EQ(dir.summary().get(), dir.summary().get()) << "cache must hold";
+
+    std::size_t online = 0;
+    dir.for_each([&](const PeerRecord& r) { online += r.online ? 1 : 0; });
+    EXPECT_EQ(dir.online_count(), online) << "step " << step;
+
+    const std::vector<PeerSummary> remote = random_remote();
+    const auto lt = [](const RumorId& a, const RumorId& b) {
+      return a.origin != b.origin ? a.origin < b.origin : a.version < b.version;
+    };
+    auto merged = dir.newer_in(remote);
+    auto probed = dir.newer_in_probe(remote);
+    std::sort(merged.begin(), merged.end(), lt);
+    std::sort(probed.begin(), probed.end(), lt);
+    EXPECT_EQ(merged, probed) << "step " << step;
+    EXPECT_EQ(dir.same_as(remote), dir.same_as_probe(remote)) << "step " << step;
+    EXPECT_TRUE(dir.same_as(expect)) << "step " << step;
+  }
 }
 
 TEST(Directory, OnlineCount) {

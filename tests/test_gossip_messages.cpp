@@ -79,8 +79,9 @@ TEST(SizeModel, RealFilterBytesOverrideModel) {
 
 TEST(Messages, RumorRoundtrip) {
   RumorMsg msg;
-  msg.rumors.push_back(payload(1, 2, true, 42));
-  msg.rumors.back().filter->bits = {1, 2, 3};
+  RumorPayload first = payload(1, 2, true, 42);
+  first.filter->bits = {1, 2, 3};
+  msg.rumors.push_back(std::move(first));
   msg.rumors.push_back(payload(7, 9, false));
   msg.recent_ids = {{3, 4}, {5, 6}};
 
@@ -147,6 +148,82 @@ TEST(Messages, PullResponseRoundtrip) {
   ASSERT_NE(out, nullptr);
   ASSERT_EQ(out->rumors.size(), 1u);
   EXPECT_EQ(out->rumors[0].id(), (RumorId{3, 4}));
+}
+
+TEST(Messages, EncodedSizeIsExactForEveryKind) {
+  std::vector<Message> battery;
+  {
+    RumorMsg m;
+    RumorPayload p = payload(1, 2, true, 42);
+    p.filter->bits = {9, 8, 7, 6};
+    m.rumors.push_back(std::move(p));
+    m.rumors.push_back(payload(300, 1 << 20, false));  // multi-byte varints
+    m.recent_ids = {{3, 4}, {5, 600}};
+    battery.emplace_back(std::move(m));
+  }
+  battery.emplace_back(RumorAckMsg{{{1, 1}}, {{2, 3}}, {{6, 7}, {8, 9}}});
+  battery.emplace_back(SummaryRequestMsg{});
+  {
+    SummaryMsg m;
+    m.push = true;
+    m.rejoin_floor = 1234567;
+    m.entries = {{1, 10}, {2, 200000}};
+    battery.emplace_back(std::move(m));
+  }
+  battery.emplace_back(PullRequestMsg{{{9, 1}, {8, 2}}});
+  {
+    PullResponseMsg m;
+    m.rumors.push_back(payload(3, 4, true, 100));
+    battery.emplace_back(std::move(m));
+  }
+  for (std::size_t i = 0; i < battery.size(); ++i) {
+    EXPECT_EQ(encode_message(battery[i]).size(), encoded_size(battery[i]))
+        << message_name(battery[i]) << " (battery entry " << i << ")";
+  }
+}
+
+TEST(Messages, SharedRumorEncodingIsReusedAndByteIdentical) {
+  RumorPayload p = payload(1, 2, true, 42);
+  p.filter->bits = {1, 2, 3};
+  const RumorPtr shared = intern_rumor(p);
+
+  // The same interned rumor carried by different messages is the same object
+  // with the same lazily-built wire bytes.
+  RumorMsg push;
+  push.rumors.push_back(shared);
+  PullResponseMsg pull;
+  pull.rumors.push_back(shared);
+  EXPECT_EQ(push.rumors.ptr(0).get(), pull.rumors.ptr(0).get());
+  EXPECT_EQ(push.rumors.ptr(0)->wire().data(), pull.rumors.ptr(0)->wire().data());
+
+  // Splicing the cached encoding must be byte-identical to encoding a freshly
+  // interned copy of the same payload value.
+  RumorMsg fresh;
+  fresh.rumors.push_back(p);
+  EXPECT_NE(fresh.rumors.ptr(0).get(), shared.get());
+  EXPECT_EQ(encode_message(push), encode_message(fresh));
+
+  // Re-gossip path: forwarding a decoded rumor by its interned handle
+  // reproduces the original bytes exactly.
+  const auto bytes = encode_message(push);
+  Message decoded = decode_message(bytes);
+  auto& in = std::get<RumorMsg>(decoded);
+  RumorMsg forwarded;
+  forwarded.rumors.push_back(in.rumors.ptr(0));
+  EXPECT_EQ(encode_message(forwarded), bytes);
+}
+
+TEST(Messages, SummaryEntriesShareDirectorySnapshot) {
+  auto snap = std::make_shared<std::vector<PeerSummary>>(
+      std::vector<PeerSummary>{{1, 10}, {2, 20}});
+  SummaryMsg msg;
+  msg.entries = SummaryEntries(SummarySnapshot(snap));
+  // Building the message did not copy the snapshot...
+  EXPECT_EQ(&msg.entries.list(), snap.get());
+  // ...and a builder-path append detaches instead of mutating it.
+  msg.entries.push_back(PeerSummary{3, 30});
+  EXPECT_EQ(snap->size(), 2u);
+  EXPECT_EQ(msg.entries.size(), 3u);
 }
 
 TEST(Messages, UnknownTagThrows) {

@@ -166,6 +166,41 @@ TEST(Protocol, AntiEntropyPullsMissingRecords) {
   EXPECT_EQ(seen->key_count, 77u);
 }
 
+TEST(Protocol, PullResponsesShareOneRumorEncoding) {
+  // Serving the same record to repeated pulls must hand out one interned
+  // rumor (one wire encoding), and invalidate it when the record changes.
+  Pump pump;
+  auto& a = pump.add(1);
+  auto& b = pump.add(2);
+  a.quiet_start("a", LinkClass::kFast, 100, {});
+  b.quiet_start("b", LinkClass::kFast, 0, {});
+  a.bootstrap({*b.directory().find(2)});
+  b.bootstrap({*a.directory().find(1)});
+
+  const std::uint64_t v = a.directory().find(1)->version;
+  auto r1 = a.on_message(0, 2, PullRequestMsg{{{1, v}}});
+  auto r2 = a.on_message(0, 2, PullRequestMsg{{{1, v}}});
+  ASSERT_EQ(r1.size(), 1u);
+  ASSERT_EQ(r2.size(), 1u);
+  const auto* p1 = std::get_if<PullResponseMsg>(&r1[0].msg);
+  const auto* p2 = std::get_if<PullResponseMsg>(&r2[0].msg);
+  ASSERT_NE(p1, nullptr);
+  ASSERT_NE(p2, nullptr);
+  ASSERT_EQ(p1->rumors.size(), 1u);
+  EXPECT_EQ(p1->rumors.ptr(0).get(), p2->rumors.ptr(0).get());
+
+  a.local_filter_change(150, 50, {}, {}, 0);  // version bump stales the cache
+  const std::uint64_t v2 = a.directory().find(1)->version;
+  ASSERT_GT(v2, v);
+  auto r3 = a.on_message(0, 2, PullRequestMsg{{{1, v2}}});
+  const auto* p3 = std::get_if<PullResponseMsg>(&r3[0].msg);
+  ASSERT_NE(p3, nullptr);
+  ASSERT_EQ(p3->rumors.size(), 1u);
+  EXPECT_NE(p3->rumors.ptr(0).get(), p1->rumors.ptr(0).get());
+  EXPECT_EQ(p3->rumors[0].version, v2);
+  EXPECT_EQ(p3->rumors[0].key_count, 150u);
+}
+
 TEST(Protocol, PartialAntiEntropyRecoversRetiredRumor) {
   // c missed the rumor while a spread and retired it; when a rumors
   // something else to c, the piggybacked recent ids let c pull the miss.

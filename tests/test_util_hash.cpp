@@ -2,9 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <set>
 #include <string>
+#include <vector>
 
+#include "gossip/types.hpp"
 #include "util/rng.hpp"
 
 namespace planetp {
@@ -53,6 +56,32 @@ TEST(Hash, SplitmixAvalanche) {
   const double avg = static_cast<double>(total) / 64.0;
   EXPECT_GT(avg, 24.0);
   EXPECT_LT(avg, 40.0);
+}
+
+TEST(Hash, RumorIdHashSpreadsLowBits) {
+  // The realistic RumorId population is many origins with tiny version
+  // numbers. A naive (origin << 32) ^ version hash puts all entropy in the
+  // high bits, so any power-of-two bucket count collapses to a handful of
+  // buckets. RumorIdHash must mix through splitmix64 so the LOW bits spread.
+  constexpr std::size_t kBuckets = 4096;
+  constexpr std::uint32_t kOrigins = 2048;
+  constexpr std::uint64_t kVersions = 4;
+  gossip::RumorIdHash h;
+  std::vector<int> load(kBuckets, 0);
+  std::set<std::size_t> distinct;
+  for (std::uint32_t origin = 0; origin < kOrigins; ++origin) {
+    for (std::uint64_t v = 1; v <= kVersions; ++v) {
+      const std::size_t x = h(gossip::RumorId{origin, v});
+      distinct.insert(x);
+      ++load[x % kBuckets];
+    }
+  }
+  EXPECT_EQ(distinct.size(), std::size_t{kOrigins} * kVersions);  // no collisions
+  // 8192 keys into 4096 buckets: mean load 2. The unmixed hash would put all
+  // 8192 keys into kVersions buckets (max load 2048); a decent mix keeps the
+  // maximum within a small multiple of the mean.
+  const int max_load = *std::max_element(load.begin(), load.end());
+  EXPECT_LE(max_load, 16);
 }
 
 TEST(Hash, HashPairH2IsOdd) {
