@@ -18,14 +18,15 @@ cmake -B build-asan -S . -DPLANETP_SANITIZE=address,undefined
 cmake --build build-asan -j "$JOBS"
 ctest --test-dir build-asan --output-on-failure -j "$JOBS"
 
-# The concurrent hedged-search tests and the parallel gossip stepping again
-# under ThreadSanitizer (the `tsan` preset uses the same build dir). TSan and
-# ASan cannot share a build, hence the third tree; the -R scope keeps the
-# (slow) TSan pass to the tests that actually exercise cross-thread code.
+# The concurrent hedged-search tests, the parallel gossip stepping and the
+# parallel batch publish again under ThreadSanitizer (the `tsan` preset uses
+# the same build dir). TSan and ASan cannot share a build, hence the third
+# tree; the -R scope keeps the (slow) TSan pass to the tests that actually
+# exercise cross-thread code.
 cmake -B build-tsan -S . -DPLANETP_SANITIZE=thread
-cmake --build build-tsan -j "$JOBS" --target test_search test_search_faults test_sim
+cmake --build build-tsan -j "$JOBS" --target test_search test_search_faults test_sim test_data_store
 ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
-  -R 'DistributedSearchConcurrent|ParallelStepping'
+  -R 'DistributedSearchConcurrent|ParallelStepping|ParallelPublish'
 
 # Query hot-path smoke run + perf-regression guard: search_throughput exits
 # non-zero when the warm CandidateCache is not >=5x the uncached scan at 5000
@@ -49,9 +50,25 @@ else
   build/bench/gossip_throughput --baseline bench/baselines/gossip_throughput.json
 fi
 
+# Indexing/ranking hot-path smoke run + perf-regression guard:
+# index_throughput exits non-zero when the interned pipeline's combined
+# (publish x eval) speedup over the legacy string-keyed cost model drops
+# below 3x at 10k docs, when the two paths rank different documents, or when
+# publish docs/sec or eval qps falls below half the committed baseline.
+echo "=== index_throughput ==="
+if [ "$QUICK" = "--quick" ]; then
+  build/bench/index_throughput --quick --baseline bench/baselines/index_throughput.json
+else
+  build/bench/index_throughput --baseline bench/baselines/index_throughput.json
+fi
+
 for b in build/bench/*; do
+  # Skip build-system files (Makefiles generator) and BENCH_*.json emissions;
+  # only regular executables are benchmarks.
+  { [ -f "$b" ] && [ -x "$b" ]; } || continue
   [ "$(basename "$b")" = "search_throughput" ] && continue
   [ "$(basename "$b")" = "gossip_throughput" ] && continue
+  [ "$(basename "$b")" = "index_throughput" ] && continue
   echo "=== $(basename "$b") ==="
   if [ "$QUICK" = "--quick" ]; then
     "$b" --quick

@@ -112,12 +112,19 @@ std::size_t CompressedIndex::memory_bytes() const {
 
 std::vector<std::pair<DocumentId, double>> CompressedIndex::score(
     const std::unordered_map<std::string, double>& term_weights) const {
-  // Accumulate over dense ids (a flat array beats a hash map here).
+  // Accumulate over dense ids (a flat array beats a hash map here). Terms
+  // are visited in lexicographic order — the same canonical order as
+  // search::score_documents — so per-document sums are bitwise identical to
+  // the uncompressed ranking.
   std::vector<double> acc(docs_.size(), 0.0);
   std::vector<bool> touched(docs_.size(), false);
-  for (const auto& [term, weight] : term_weights) {
+  std::vector<std::pair<std::string_view, double>> sorted_terms;
+  sorted_terms.reserve(term_weights.size());
+  for (const auto& [term, weight] : term_weights) sorted_terms.emplace_back(term, weight);
+  std::sort(sorted_terms.begin(), sorted_terms.end());
+  for (const auto& [term, weight] : sorted_terms) {
     if (weight <= 0.0) continue;
-    auto it = terms_.find(term);
+    auto it = terms_.find(std::string(term));
     if (it == terms_.end()) continue;
     const TermEntry& te = it->second;
     PostingCursor c(this, blob_.data() + te.offset, te.length, te.doc_freq);

@@ -1,13 +1,30 @@
 #include "index/data_store.hpp"
 
 #include <algorithm>
+#include <future>
 #include <stdexcept>
+
+#include "util/thread_pool.hpp"
 
 namespace planetp::index {
 
 DataStore::DataStore(std::uint32_t peer_id, bloom::BloomParams bloom_params,
                      text::AnalyzerOptions analyzer_opts)
     : peer_id_(peer_id), analyzer_(analyzer_opts), counting_filter_(bloom_params) {}
+
+void DataStore::index_document(const Document& doc) {
+  counts_.clear();
+  analyzer_.for_each_term(doc.text, scratch_, [&](std::string_view term) {
+    counts_.add(index_.intern_term(term));
+  });
+  index_.add_document_counts(doc.id, counts_);
+  // Feed the counting filter from the dictionary's pre-computed hashes: one
+  // hash per distinct term per store lifetime, shared with index lookups.
+  const TermDictionary& dict = index_.dictionary();
+  for (const TermId term : counts_.terms()) {
+    counting_filter_.insert(dict.hash(term));
+  }
+}
 
 DocumentId DataStore::publish(std::string xml_source) {
   return publish_as(next_local_id_, std::move(xml_source));
@@ -18,22 +35,93 @@ DocumentId DataStore::publish_as(std::uint32_t local_id, std::string xml_source)
   if (docs_.contains(id)) {
     throw std::invalid_argument("DataStore::publish_as: local id already in use");
   }
-  if (local_id >= next_local_id_) next_local_id_ = local_id + 1;
+  // Parse before burning the id: a malformed document leaves the store (and
+  // the id counter) untouched, whether published directly or via a batch.
   Document doc = make_document(id, std::move(xml_source));
+  if (local_id >= next_local_id_) next_local_id_ = local_id + 1;
 
-  const auto freqs = analyzer_.term_frequencies(doc.text);
-  index_.add_document(id, freqs);
-
-  std::vector<std::string> terms;
-  terms.reserve(freqs.size());
-  for (const auto& [term, freq] : freqs) {
-    counting_filter_.insert(term);
-    terms.push_back(term);
-  }
-  doc_terms_[id] = std::move(terms);
+  index_document(doc);
   docs_[id] = std::move(doc);
   ++filter_version_;
   return id;
+}
+
+DataStore::PreparedDoc DataStore::prepare(DocumentId id, std::string xml_source) const {
+  PreparedDoc out;
+  out.doc = make_document(id, std::move(xml_source));
+  // Aggregate term counts in first-occurrence order so the commit interns
+  // terms exactly as the streaming (sequential) path would. The scratch and
+  // the position map are per-worker-thread (one task runs at a time on a
+  // thread), so their buffers and the analyzer memo survive across tasks.
+  static thread_local text::AnalyzerScratch scratch;
+  static thread_local std::unordered_map<std::string, std::size_t, StringHash, std::equal_to<>>
+      position;
+  position.clear();
+  analyzer_.for_each_term(out.doc.text, scratch, [&](std::string_view term) {
+    auto it = position.find(term);
+    if (it == position.end()) {
+      position.emplace(std::string(term), out.term_counts.size());
+      out.term_counts.emplace_back(std::string(term), 1);
+    } else {
+      ++out.term_counts[it->second].second;
+    }
+  });
+  return out;
+}
+
+void DataStore::commit_prepared(PreparedDoc&& prepared) {
+  const DocumentId id = prepared.doc.id;
+  if (docs_.contains(id)) {
+    throw std::invalid_argument("DataStore::publish_batch: local id already in use");
+  }
+  if (id.local >= next_local_id_) next_local_id_ = id.local + 1;
+
+  counts_.clear();
+  for (const auto& [term, freq] : prepared.term_counts) {
+    counts_.add(index_.intern_term(term), freq);
+  }
+  index_.add_document_counts(id, counts_);
+  const TermDictionary& dict = index_.dictionary();
+  for (const TermId term : counts_.terms()) {
+    counting_filter_.insert(dict.hash(term));
+  }
+  docs_[id] = std::move(prepared.doc);
+  ++filter_version_;
+}
+
+std::vector<DocumentId> DataStore::publish_batch(std::vector<std::string> xml_sources,
+                                                 ThreadPool* pool) {
+  std::vector<DocumentId> ids;
+  ids.reserve(xml_sources.size());
+  if (pool == nullptr || xml_sources.size() < 2) {
+    for (std::string& xml : xml_sources) {
+      ids.push_back(publish(std::move(xml)));
+    }
+    return ids;
+  }
+
+  // Parse + analyze in parallel; commit strictly in document order below, so
+  // the resulting dictionary/index/filter are identical to a sequential
+  // publish loop regardless of worker count or completion order.
+  const std::uint32_t base = next_local_id_;
+  std::vector<std::future<PreparedDoc>> prepared;
+  prepared.reserve(xml_sources.size());
+  for (std::size_t i = 0; i < xml_sources.size(); ++i) {
+    const DocumentId id{peer_id_, base + static_cast<std::uint32_t>(i)};
+    prepared.push_back(pool->submit(
+        [this, id, xml = std::move(xml_sources[i])]() mutable {
+          return prepare(id, std::move(xml));
+        }));
+  }
+  for (std::future<PreparedDoc>& fut : prepared) {
+    // get() rethrows a malformed-XML error after all earlier documents were
+    // committed — the same state a sequential loop leaves behind.
+    PreparedDoc doc = fut.get();
+    const DocumentId id = doc.doc.id;
+    commit_prepared(std::move(doc));
+    ids.push_back(id);
+  }
+  return ids;
 }
 
 DocumentId DataStore::publish_text(std::string_view title, std::string_view body) {
@@ -44,12 +132,13 @@ bool DataStore::unpublish(DocumentId id) {
   auto it = docs_.find(id);
   if (it == docs_.end()) return false;
   docs_.erase(it);
-  index_.remove_document(id);
-  auto terms_it = doc_terms_.find(id);
-  if (terms_it != doc_terms_.end()) {
-    for (const auto& term : terms_it->second) counting_filter_.remove(term);
-    doc_terms_.erase(terms_it);
+  // Remove the document's distinct terms from the counting filter before
+  // the index forgets them; hashes come pre-computed from the dictionary.
+  const TermDictionary& dict = index_.dictionary();
+  for (const TermId term : index_.document_term_ids(id)) {
+    counting_filter_.remove(dict.hash(term));
   }
+  index_.remove_document(id);
   ++filter_version_;
   return true;
 }
@@ -60,15 +149,7 @@ bool DataStore::republish(DocumentId id, std::string xml_source) {
   Document replacement = make_document(id, std::move(xml_source));
 
   unpublish(id);
-  const auto freqs = analyzer_.term_frequencies(replacement.text);
-  index_.add_document(id, freqs);
-  std::vector<std::string> terms;
-  terms.reserve(freqs.size());
-  for (const auto& [term, freq] : freqs) {
-    counting_filter_.insert(term);
-    terms.push_back(term);
-  }
-  doc_terms_[id] = std::move(terms);
+  index_document(replacement);
   docs_[id] = std::move(replacement);
   ++filter_version_;
   return true;

@@ -18,6 +18,18 @@
 /// index's term set. The plain projection of that filter is what the peer
 /// gossips; a monotonically increasing version number tracks changes so the
 /// directory can tell stale summaries from fresh ones.
+///
+/// Publishing is the store's hot path: text streams through the analyzer's
+/// allocation-free pipeline straight into the interned term dictionary, and
+/// the counting Bloom filter is fed from the dictionary's pre-computed
+/// hashes (each distinct term is hashed exactly once per store lifetime).
+/// publish_batch can additionally shard the parse+analyze work across a
+/// ThreadPool while committing in document order, so the resulting store is
+/// identical to a sequential publish loop. See docs/INDEX.md.
+
+namespace planetp {
+class ThreadPool;
+}
 
 namespace planetp::index {
 
@@ -37,6 +49,15 @@ class DataStore {
   /// Publish under a caller-chosen local id (snapshot restore: documents
   /// must keep their community-visible ids). Throws if the id is taken.
   DocumentId publish_as(std::uint32_t local_id, std::string xml_source);
+
+  /// Publish a batch of XML documents. With \p pool, parsing and analysis
+  /// run in parallel and results are committed in document order, producing
+  /// a store (index, dictionary, filter, versions) identical to publishing
+  /// the batch sequentially. On a malformed document the exception
+  /// propagates after all earlier documents in the batch were committed —
+  /// the same state a sequential loop would leave behind.
+  std::vector<DocumentId> publish_batch(std::vector<std::string> xml_sources,
+                                        ThreadPool* pool = nullptr);
 
   /// The next local id publish() would assign (snapshot metadata).
   std::uint32_t next_local_id() const { return next_local_id_; }
@@ -78,6 +99,20 @@ class DataStore {
   std::vector<DocumentId> documents() const { return index_.documents(); }
 
  private:
+  /// Analyzed term counts of one document, pre-aggregated off the store
+  /// (used by the parallel batch path; terms are strings because dictionary
+  /// interning must stay single-threaded). First-occurrence order, so
+  /// committing interns terms in the same order a sequential publish would.
+  struct PreparedDoc {
+    Document doc;
+    std::vector<std::pair<std::string, std::uint32_t>> term_counts;
+  };
+
+  PreparedDoc prepare(DocumentId id, std::string xml_source) const;
+  void commit_prepared(PreparedDoc&& prepared);
+  /// Streaming index+filter update for an already-parsed document.
+  void index_document(const Document& doc);
+
   std::uint32_t peer_id_;
   std::uint32_t next_local_id_ = 0;
   text::Analyzer analyzer_;
@@ -85,9 +120,10 @@ class DataStore {
   bloom::CountingBloomFilter counting_filter_;
   std::uint64_t filter_version_ = 0;
   std::unordered_map<DocumentId, Document, DocumentIdHash> docs_;
-  /// Distinct-term reference counts so the counting filter sees one
-  /// insert/remove per (document, distinct term).
-  std::unordered_map<DocumentId, std::vector<std::string>, DocumentIdHash> doc_terms_;
+  /// Reusable analysis buffers (single publish is single-threaded; the
+  /// parallel batch path uses per-task scratches instead).
+  text::AnalyzerScratch scratch_;
+  TermCounts counts_;
 };
 
 }  // namespace planetp::index

@@ -5,63 +5,92 @@
 
 namespace planetp::index {
 
-namespace {
-const std::vector<Posting> kEmptyPostings;
-
-/// Heterogeneous lookup shim: unordered_map<string, V> with string_view key.
-template <typename Map>
-auto find_sv(Map& map, std::string_view key) {
-  // std::unordered_map does not support heterogeneous lookup pre-C++20 tags;
-  // materialize only on miss-prone path. Term strings are short (SSO), so
-  // this stays cheap.
-  return map.find(std::string(key));
+const std::vector<Posting>& InvertedIndex::empty_postings_() {
+  static const std::vector<Posting> empty;
+  return empty;
 }
-}  // namespace
+
+const std::vector<std::uint32_t>& InvertedIndex::empty_slots_() {
+  static const std::vector<std::uint32_t> empty;
+  return empty;
+}
+
+TermId InvertedIndex::intern_term(std::string_view term) {
+  const TermId id = dict_.intern(term);
+  if (id >= terms_.size()) terms_.resize(id + 1);
+  return id;
+}
+
+void InvertedIndex::add_document_counts(DocumentId doc, const TermCounts& counts) {
+  if (slot_of_.contains(doc)) {
+    throw std::invalid_argument("InvertedIndex::add_document: document already indexed");
+  }
+
+  // Assign a dense slot (reusing freed ones keeps the accumulator domain
+  // compact under churn).
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+    slot_docs_[slot] = doc;
+  } else {
+    slot = static_cast<std::uint32_t>(slot_docs_.size());
+    slot_docs_.push_back(doc);
+    slot_lengths_.push_back(0);
+    slot_terms_.emplace_back();
+  }
+  slot_of_.emplace(doc, slot);
+
+  std::uint32_t length = 0;
+  std::vector<TermId>& doc_terms = slot_terms_[slot];
+  doc_terms.reserve(counts.terms().size());
+  for (const TermId term : counts.terms()) {
+    const std::uint32_t freq = counts.count(term);
+    TermEntry& entry = terms_[term];
+    if (entry.postings.empty()) ++nonempty_terms_;
+    entry.postings.push_back(Posting{doc, freq});
+    entry.slots.push_back(slot);
+    entry.collection_freq += freq;
+    length += freq;
+    doc_terms.push_back(term);
+  }
+  slot_lengths_[slot] = length;
+}
 
 void InvertedIndex::add_document(
     DocumentId doc, const std::unordered_map<std::string, std::uint32_t>& term_freqs) {
-  if (doc_lengths_.contains(doc)) {
+  if (slot_of_.contains(doc)) {
     throw std::invalid_argument("InvertedIndex::add_document: document already indexed");
   }
-  std::uint32_t length = 0;
+  TermCounts counts;
   for (const auto& [term, freq] : term_freqs) {
-    auto& entry = postings_[term];
-    entry.postings.push_back(Posting{doc, freq});
-    entry.collection_freq += freq;
-    length += freq;
+    counts.add(intern_term(term), freq);
   }
-  doc_lengths_[doc] = length;
+  add_document_counts(doc, counts);
 }
 
 bool InvertedIndex::remove_document(DocumentId doc) {
-  auto it = doc_lengths_.find(doc);
-  if (it == doc_lengths_.end()) return false;
-  doc_lengths_.erase(it);
+  auto it = slot_of_.find(doc);
+  if (it == slot_of_.end()) return false;
+  const std::uint32_t slot = it->second;
+  slot_of_.erase(it);
 
-  for (auto entry_it = postings_.begin(); entry_it != postings_.end();) {
-    auto& entry = entry_it->second;
-    auto posting_it = std::find_if(entry.postings.begin(), entry.postings.end(),
-                                   [&](const Posting& p) { return p.doc == doc; });
-    if (posting_it != entry.postings.end()) {
-      entry.collection_freq -= posting_it->term_freq;
-      entry.postings.erase(posting_it);
+  for (const TermId term : slot_terms_[slot]) {
+    TermEntry& entry = terms_[term];
+    for (std::size_t i = 0; i < entry.slots.size(); ++i) {
+      if (entry.slots[i] == slot) {
+        entry.collection_freq -= entry.postings[i].term_freq;
+        entry.postings.erase(entry.postings.begin() + static_cast<std::ptrdiff_t>(i));
+        entry.slots.erase(entry.slots.begin() + static_cast<std::ptrdiff_t>(i));
+        break;
+      }
     }
-    if (entry.postings.empty()) {
-      entry_it = postings_.erase(entry_it);
-    } else {
-      ++entry_it;
-    }
+    if (entry.postings.empty()) --nonempty_terms_;
   }
+  slot_terms_[slot].clear();
+  slot_lengths_[slot] = 0;
+  free_slots_.push_back(slot);
   return true;
-}
-
-const std::vector<Posting>& InvertedIndex::postings(std::string_view term) const {
-  auto it = find_sv(postings_, term);
-  return it == postings_.end() ? kEmptyPostings : it->second.postings;
-}
-
-bool InvertedIndex::contains_term(std::string_view term) const {
-  return find_sv(postings_, term) != postings_.end();
 }
 
 std::uint32_t InvertedIndex::term_frequency(std::string_view term, DocumentId doc) const {
@@ -72,27 +101,29 @@ std::uint32_t InvertedIndex::term_frequency(std::string_view term, DocumentId do
 }
 
 std::uint32_t InvertedIndex::document_length(DocumentId doc) const {
-  auto it = doc_lengths_.find(doc);
-  return it == doc_lengths_.end() ? 0 : it->second;
+  auto it = slot_of_.find(doc);
+  return it == slot_of_.end() ? 0 : slot_lengths_[it->second];
 }
 
-std::uint64_t InvertedIndex::collection_frequency(std::string_view term) const {
-  auto it = find_sv(postings_, term);
-  return it == postings_.end() ? 0 : it->second.collection_freq;
-}
-
-std::uint32_t InvertedIndex::document_frequency(std::string_view term) const {
-  return static_cast<std::uint32_t>(postings(term).size());
+const std::vector<TermId>& InvertedIndex::document_term_ids(DocumentId doc) const {
+  static const std::vector<TermId> empty;
+  auto it = slot_of_.find(doc);
+  return it == slot_of_.end() ? empty : slot_terms_[it->second];
 }
 
 void InvertedIndex::for_each_term(const std::function<void(const std::string&)>& fn) const {
-  for (const auto& [term, entry] : postings_) fn(term);
+  std::string term;
+  for (TermId id = 0; id < terms_.size(); ++id) {
+    if (terms_[id].postings.empty()) continue;
+    term.assign(dict_.term(id));
+    fn(term);
+  }
 }
 
 std::vector<DocumentId> InvertedIndex::documents() const {
   std::vector<DocumentId> out;
-  out.reserve(doc_lengths_.size());
-  for (const auto& [doc, len] : doc_lengths_) out.push_back(doc);
+  out.reserve(slot_of_.size());
+  for (const auto& [doc, slot] : slot_of_) out.push_back(doc);
   std::sort(out.begin(), out.end());
   return out;
 }

@@ -1,0 +1,71 @@
+#include "index/term_dictionary.hpp"
+
+#include <algorithm>
+
+namespace planetp::index {
+
+TermId TermDictionary::intern(std::string_view term) {
+  if (table_.empty()) grow_table();
+  const HashPair hp = hash_pair(term);
+  std::size_t slot = static_cast<std::size_t>(hp.h1) & table_mask_;
+  while (table_[slot] != 0) {
+    const TermId id = table_[slot] - 1;
+    if (hashes_[id].h1 == hp.h1 && this->term(id) == term) return id;
+    slot = (slot + 1) & table_mask_;
+  }
+
+  // New term: append the bytes to the arena. Blocks never grow past their
+  // reserved capacity, so existing term() views stay valid.
+  if (blocks_.empty() || blocks_.back().size() + term.size() > blocks_.back().capacity()) {
+    std::string block;
+    block.reserve(std::max(kBlockBytes, term.size()));
+    blocks_.push_back(std::move(block));
+  }
+  std::string& block = blocks_.back();
+  Ref ref;
+  ref.block = static_cast<std::uint32_t>(blocks_.size() - 1);
+  ref.offset = static_cast<std::uint32_t>(block.size());
+  ref.length = static_cast<std::uint32_t>(term.size());
+  block.append(term);
+
+  const TermId id = static_cast<TermId>(refs_.size());
+  refs_.push_back(ref);
+  hashes_.push_back(hp);
+  table_[slot] = id + 1;
+
+  // Keep the table under ~70% load.
+  if ((refs_.size() + 1) * 10 > table_.size() * 7) grow_table();
+  return id;
+}
+
+TermId TermDictionary::find(std::string_view term) const {
+  if (table_.empty()) return kInvalidTermId;
+  const std::uint64_t h1 = fnv1a64(term);  // == hash_pair(term).h1, without the murmur half
+  std::size_t slot = static_cast<std::size_t>(h1) & table_mask_;
+  while (table_[slot] != 0) {
+    const TermId id = table_[slot] - 1;
+    if (hashes_[id].h1 == h1 && this->term(id) == term) return id;
+    slot = (slot + 1) & table_mask_;
+  }
+  return kInvalidTermId;
+}
+
+void TermDictionary::grow_table() {
+  const std::size_t new_size = table_.empty() ? 1024 : table_.size() * 2;
+  table_.assign(new_size, 0);
+  table_mask_ = new_size - 1;
+  for (TermId id = 0; id < refs_.size(); ++id) {
+    std::size_t slot = static_cast<std::size_t>(hashes_[id].h1) & table_mask_;
+    while (table_[slot] != 0) slot = (slot + 1) & table_mask_;
+    table_[slot] = id + 1;
+  }
+}
+
+std::size_t TermDictionary::memory_bytes() const {
+  std::size_t bytes = table_.size() * sizeof(std::uint32_t);
+  bytes += refs_.size() * (sizeof(Ref) + sizeof(HashPair));
+  for (const std::string& block : blocks_) bytes += block.capacity();
+  return bytes;
+}
+
+}  // namespace planetp::index

@@ -1,0 +1,90 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/hash.hpp"
+
+/// \file term_dictionary.hpp
+/// Per-store interned term dictionary: term string -> dense TermId. This is
+/// the "Managing Gigabytes" style term numbering that lets the rest of the
+/// local hot path (inverted index, Bloom filter feed, eq. 2 scoring) work on
+/// small integers and pre-computed hashes instead of std::string keys.
+///
+/// Properties:
+///   - ids are dense and append-only: the i-th distinct term interned gets
+///     id i, and ids are never reused or freed (a store's term vocabulary
+///     only grows; postings for a term may empty out, but the id stays),
+///   - term bytes live in append-only arena blocks, so a string_view
+///     returned by term() stays valid for the dictionary's lifetime and the
+///     hash table needs no per-term allocation,
+///   - the double-hashing HashPair of every term is computed once at intern
+///     time and reused for both Bloom-filter updates and lookups.
+///
+/// Term ids are STORE-LOCAL. They must never appear in any wire or on-disk
+/// format: two stores (or one store before/after a snapshot restore) may
+/// assign different ids to the same term. Everything leaving the process
+/// speaks term *strings* (or their hashes); see docs/INDEX.md.
+
+namespace planetp::index {
+
+/// Dense store-local term number.
+using TermId = std::uint32_t;
+
+/// Sentinel for "term not present".
+inline constexpr TermId kInvalidTermId = 0xFFFF'FFFFu;
+
+class TermDictionary {
+ public:
+  TermDictionary() = default;
+
+  /// Id of \p term, interning it if new. Amortized O(1); at most one arena
+  /// growth per kBlockBytes of term text.
+  TermId intern(std::string_view term);
+
+  /// Id of \p term, or kInvalidTermId when never interned. Never allocates.
+  TermId find(std::string_view term) const;
+
+  /// The interned spelling of \p id. Valid for the dictionary's lifetime.
+  std::string_view term(TermId id) const {
+    const Ref& r = refs_[id];
+    return std::string_view(blocks_[r.block].data() + r.offset, r.length);
+  }
+
+  /// Double-hashing pair of \p id, computed once at intern time. Feeds the
+  /// Bloom filter without re-hashing the term string.
+  const HashPair& hash(TermId id) const { return hashes_[id]; }
+
+  /// Number of distinct terms ever interned.
+  std::size_t size() const { return refs_.size(); }
+
+  /// Approximate heap footprint (arena + tables), for stats/benchmarks.
+  std::size_t memory_bytes() const;
+
+ private:
+  struct Ref {
+    std::uint32_t block = 0;
+    std::uint32_t offset = 0;
+    std::uint32_t length = 0;
+  };
+
+  static constexpr std::size_t kBlockBytes = 64 * 1024;
+
+  void grow_table();
+
+  /// Arena blocks. Each block's capacity is fixed at creation, so data()
+  /// never moves while terms are appended (copying the dictionary copies the
+  /// blocks; Refs are indices, not pointers, so copies stay valid).
+  std::vector<std::string> blocks_;
+  std::vector<Ref> refs_;        ///< by TermId
+  std::vector<HashPair> hashes_; ///< by TermId
+  /// Open-addressing table of TermId+1 (0 = empty), probed by HashPair::h1.
+  /// Stores only ids, so the default copy/move of the whole dictionary is
+  /// correct — nothing points into the arena.
+  std::vector<std::uint32_t> table_;
+  std::size_t table_mask_ = 0;
+};
+
+}  // namespace planetp::index

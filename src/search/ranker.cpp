@@ -1,30 +1,89 @@
 #include "search/ranker.hpp"
 
 #include <algorithm>
+#include <string_view>
 
 #include "search/vector_model.hpp"
 
 namespace planetp::search {
 
+namespace {
+
+using index::InvertedIndex;
+using index::Posting;
+using index::TermId;
+
+/// Resolved (term id, weight) pairs of a query, in lexicographic term order.
+/// The canonical order makes the floating-point accumulation below bitwise
+/// reproducible no matter how the caller's container iterates — so the heap
+/// top-k, the full-sort path, and CompressedIndex::score all agree exactly.
+struct ResolvedTerms {
+  std::vector<std::pair<TermId, double>> entries;
+};
+
+template <typename WeightFn>
+void resolve_term(const InvertedIndex& idx, std::string_view term, ResolvedTerms& out,
+                  WeightFn&& weight_of) {
+  const TermId id = idx.term_id(term);
+  if (id == index::kInvalidTermId) return;
+  for (const auto& [prev, w] : out.entries) {
+    if (prev == id) return;  // queries hold a handful of terms: linear dedup
+  }
+  const double weight = weight_of(id);
+  if (weight <= 0.0) return;
+  out.entries.emplace_back(id, weight);
+}
+
+/// Accumulate eq. 2 partial sums into a dense per-slot array. Returns the
+/// touched slots (each once, in first-touch order).
+std::vector<std::uint32_t> accumulate(const InvertedIndex& idx, const ResolvedTerms& terms,
+                                      std::vector<double>& acc) {
+  acc.assign(idx.doc_slot_count(), 0.0);
+  std::vector<std::uint32_t> touched;
+  for (const auto& [term, weight] : terms.entries) {
+    const std::vector<Posting>& postings = idx.postings_by_id(term);
+    const std::vector<std::uint32_t>& slots = idx.posting_slots(term);
+    for (std::size_t i = 0; i < postings.size(); ++i) {
+      const std::uint32_t slot = slots[i];
+      // Contributions are strictly positive (weight > 0, freq >= 1), so an
+      // exact zero means "first touch".
+      if (acc[slot] == 0.0) touched.push_back(slot);
+      acc[slot] += doc_weight(postings[i].term_freq) * weight;
+    }
+  }
+  return touched;
+}
+
+ScoredDoc scored_at(const InvertedIndex& idx, std::uint32_t slot, double sum) {
+  return ScoredDoc{idx.doc_at_slot(slot), sum * length_norm(idx.doc_length_at_slot(slot))};
+}
+
+}  // namespace
+
 std::vector<ScoredDoc> score_documents(
     const index::InvertedIndex& idx,
     const std::unordered_map<std::string, double>& term_weights) {
-  std::unordered_map<index::DocumentId, double, index::DocumentIdHash> acc;
-  for (const auto& [term, weight] : term_weights) {
-    if (weight <= 0.0) continue;
-    for (const index::Posting& p : idx.postings(term)) {
-      acc[p.doc] += doc_weight(p.term_freq) * weight;
-    }
+  // Canonical accumulation order: lexicographic by term.
+  std::vector<std::pair<std::string_view, double>> sorted;
+  sorted.reserve(term_weights.size());
+  for (const auto& [term, weight] : term_weights) sorted.emplace_back(term, weight);
+  std::sort(sorted.begin(), sorted.end());
+
+  ResolvedTerms resolved;
+  resolved.entries.reserve(sorted.size());
+  for (const auto& [term, weight] : sorted) {
+    resolve_term(idx, term, resolved, [&](TermId) { return weight; });
   }
+
+  std::vector<double> acc;
+  const std::vector<std::uint32_t> touched = accumulate(idx, resolved, acc);
+
   std::vector<ScoredDoc> out;
-  out.reserve(acc.size());
-  for (const auto& [doc, sum] : acc) {
-    out.push_back(ScoredDoc{doc, sum * length_norm(idx.document_length(doc))});
+  out.reserve(touched.size());
+  for (const std::uint32_t slot : touched) {
+    out.push_back(scored_at(idx, slot, acc[slot]));
   }
-  std::sort(out.begin(), out.end(), [](const ScoredDoc& a, const ScoredDoc& b) {
-    if (a.score != b.score) return a.score > b.score;
-    return a.doc < b.doc;
-  });
+  std::sort(out.begin(), out.end(), ranks_before);
   return out;
 }
 
@@ -40,9 +99,45 @@ std::unordered_map<std::string, double> TfIdfRanker::idf_weights(
 
 std::vector<ScoredDoc> TfIdfRanker::top_k(const std::vector<std::string>& terms,
                                           std::size_t k) const {
-  auto docs = score_documents(*index_, idf_weights(terms));
-  truncate_top_k(docs, k);
-  return docs;
+  const InvertedIndex& idx = *index_;
+  // Same canonical lexicographic order as score_documents, so the heap path
+  // scores every document bitwise identically to the sort path.
+  std::vector<std::string_view> sorted(terms.begin(), terms.end());
+  std::sort(sorted.begin(), sorted.end());
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+
+  ResolvedTerms resolved;
+  resolved.entries.reserve(sorted.size());
+  for (const std::string_view term : sorted) {
+    resolve_term(idx, term, resolved, [&](TermId id) {
+      return idf(idx.num_documents(), idx.collection_frequency_by_id(id));
+    });
+  }
+
+  std::vector<double> acc;
+  const std::vector<std::uint32_t> touched = accumulate(idx, resolved, acc);
+  if (k == 0) return {};
+
+  // Bounded selection: a heap of the k best seen so far whose root is the
+  // *worst* kept entry (std::*_heap with ranks_before as the "less than"
+  // puts the entry that ranks after all others at the root). ranks_before
+  // is a strict total order — docs are distinct — so the selected set,
+  // sorted, is byte-identical to sorting all matches and truncating.
+  std::vector<ScoredDoc> heap;
+  heap.reserve(std::min(k, touched.size()));
+  for (const std::uint32_t slot : touched) {
+    const ScoredDoc cand = scored_at(idx, slot, acc[slot]);
+    if (heap.size() < k) {
+      heap.push_back(cand);
+      std::push_heap(heap.begin(), heap.end(), ranks_before);
+    } else if (ranks_before(cand, heap.front())) {
+      std::pop_heap(heap.begin(), heap.end(), ranks_before);
+      heap.back() = cand;
+      std::push_heap(heap.begin(), heap.end(), ranks_before);
+    }
+  }
+  std::sort(heap.begin(), heap.end(), ranks_before);
+  return heap;
 }
 
 void truncate_top_k(std::vector<ScoredDoc>& docs, std::size_t k) {

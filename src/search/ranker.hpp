@@ -11,6 +11,13 @@
 /// TFxIDF baseline (term weights = IDF over the global index) and PlanetP's
 /// local evaluation of a remote query (term weights = IPF shipped by the
 /// searcher).
+///
+/// Scoring follows Witten, Moffat & Bell's accumulator-array organization:
+/// postings carry dense document slots, so per-query work is additions into
+/// a flat double array (no string- or id-keyed hash map), and the top-k path
+/// selects results with a bounded min-heap instead of sorting every matched
+/// document. The heap's tie-break (equal scores -> ascending DocumentId) is
+/// pinned to be byte-identical to the full-sort path.
 
 namespace planetp::search {
 
@@ -18,6 +25,12 @@ struct ScoredDoc {
   index::DocumentId doc;
   double score = 0.0;
 };
+
+/// Strict ranking order: descending score, ties by ascending DocumentId.
+inline bool ranks_before(const ScoredDoc& a, const ScoredDoc& b) {
+  if (a.score != b.score) return a.score > b.score;
+  return a.doc < b.doc;
+}
 
 /// Score all documents of \p idx against the weighted query terms:
 ///   score(D) = sum_t w_{D,t} * weight_t / sqrt(|D|)
@@ -38,7 +51,8 @@ class TfIdfRanker {
   std::unordered_map<std::string, double> idf_weights(
       const std::vector<std::string>& terms) const;
 
-  /// Top-k documents by eq. 2.
+  /// Top-k documents by eq. 2. Uses the dense accumulator plus a bounded
+  /// min-heap; the result is identical to full scoring + truncate_top_k.
   std::vector<ScoredDoc> top_k(const std::vector<std::string>& terms, std::size_t k) const;
 
  private:

@@ -1,34 +1,31 @@
 #include "text/analyzer.hpp"
 
-#include "text/porter_stemmer.hpp"
-#include "text/stopwords.hpp"
-
 namespace planetp::text {
+
+namespace {
+/// Scratch for the compatibility wrappers. thread_local so concurrent
+/// callers (e.g. hedged searches analyzing queries on worker threads) never
+/// share buffers; the memo it accumulates is option-independent (see
+/// AnalyzerScratch), so different Analyzer instances may share it.
+AnalyzerScratch& wrapper_scratch() {
+  thread_local AnalyzerScratch scratch;
+  return scratch;
+}
+}  // namespace
 
 std::vector<std::string> Analyzer::analyze(std::string_view input) const {
   std::vector<std::string> out;
-  for_each_token(input, opts_.tokenizer, [&](const std::string& tok) {
-    if (opts_.remove_stopwords && is_stopword(tok)) return;
-    if (opts_.stem) {
-      std::string stemmed = tok;
-      porter_stem(stemmed);
-      // A stem can collapse onto a stop word ("having" -> "have"); drop those
-      // too so queries and documents agree.
-      if (opts_.remove_stopwords && is_stopword(stemmed)) return;
-      out.push_back(std::move(stemmed));
-    } else {
-      out.push_back(tok);
-    }
-  });
+  for_each_term(input, wrapper_scratch(), [&](std::string_view term) { out.emplace_back(term); });
   return out;
 }
 
 std::unordered_map<std::string, std::uint32_t> Analyzer::term_frequencies(
     std::string_view input) const {
   std::unordered_map<std::string, std::uint32_t> freq;
-  for (auto& term : analyze(input)) {
-    ++freq[std::move(term)];
-  }
+  for_each_term(input, wrapper_scratch(), [&](std::string_view term) {
+    // SSO keeps the key temporary heap-free for realistic term lengths.
+    ++freq[std::string(term)];
+  });
   return freq;
 }
 

@@ -1,16 +1,28 @@
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <unordered_map>
 #include <vector>
 
+#include "text/porter_stemmer.hpp"
+#include "text/stopwords.hpp"
 #include "text/tokenizer.hpp"
+#include "util/hash.hpp"
 
 /// \file analyzer.hpp
 /// The full indexing pipeline of §7.3: tokenize -> stop-word removal ->
 /// Porter stemming. Both documents and queries pass through the same
 /// analyzer so their term spaces agree.
+///
+/// The hot path is the streaming form, Analyzer::for_each_term: tokens are
+/// built in a reusable scratch buffer, stemming runs in a second scratch
+/// buffer, and a bounded direct-mapped memo caches the token -> stemmed-term
+/// decision so repeated tokens (the common case under a Zipf vocabulary)
+/// skip the stemmer entirely. Steady state, the whole pipeline performs no
+/// heap allocations. The string-vector and frequency-map entry points are
+/// kept as thin wrappers. See docs/INDEX.md for the scratch/memo contract.
 
 namespace planetp::text {
 
@@ -20,15 +32,110 @@ struct AnalyzerOptions {
   bool stem = true;
 };
 
+/// Reusable per-caller working state for Analyzer::for_each_term. Owning one
+/// of these and passing it to every call is what makes the pipeline
+/// allocation-free; the buffers and memo only ever grow to a small bounded
+/// size and their capacity is reused across calls.
+///
+/// Contract:
+///   - a scratch is NOT thread-safe: one scratch per thread;
+///   - the memo stores option-independent facts only (Porter stems and the
+///     global stop-word list), so a scratch may be shared across analyzers —
+///     but only analyzers with the default memoable configuration
+///     (stem && remove_stopwords) consult it;
+///   - entries are evicted by overwrite (direct-mapped, kMemoSlots slots),
+///     so memory stays bounded no matter how large the input vocabulary is.
+class AnalyzerScratch {
+ public:
+  AnalyzerScratch() = default;
+
+  /// Drop all memoized entries (buffer capacity is kept).
+  void reset() { memo_.clear(); }
+
+ private:
+  friend class Analyzer;
+
+  struct MemoEntry {
+    std::uint64_t hash = 0;
+    bool used = false;
+    bool dropped = false;  ///< token (or its stem) was a stop word
+    std::string raw;       ///< the lower-cased token this entry answers for
+    std::string out;       ///< its stemmed form (empty when dropped)
+  };
+
+  static constexpr std::size_t kMemoSlots = 2048;  // power of two
+
+  MemoEntry& slot(std::uint64_t h) {
+    if (memo_.empty()) memo_.resize(kMemoSlots);
+    return memo_[static_cast<std::size_t>(h) & (kMemoSlots - 1)];
+  }
+
+  std::string token_;  ///< tokenizer build buffer
+  std::string stem_;   ///< stemmer in-place buffer
+  std::vector<MemoEntry> memo_;
+};
+
 class Analyzer {
  public:
   explicit Analyzer(AnalyzerOptions opts = {}) : opts_(opts) {}
+
+  /// Streaming core of the pipeline: invoke \p fn(term) for every processed
+  /// term of \p input, in document order, duplicates kept. The string_view
+  /// handed to \p fn aliases \p scratch and is only valid during the
+  /// callback — consumers must copy or intern it before returning.
+  template <typename Fn>
+  void for_each_term(std::string_view input, AnalyzerScratch& scratch, Fn&& fn) const {
+    // The memo records stems + stop-word verdicts, which are global facts —
+    // but only valid as a full-pipeline answer under the default options.
+    const bool memoable = opts_.stem && opts_.remove_stopwords;
+    for_each_token(input, opts_.tokenizer, scratch.token_, [&](std::string_view tok) {
+      if (!opts_.stem) {
+        if (opts_.remove_stopwords && is_stopword(tok)) return;
+        fn(tok);
+        return;
+      }
+      if (memoable) {
+        const std::uint64_t h = fnv1a64(tok);
+        AnalyzerScratch::MemoEntry& e = scratch.slot(h);
+        if (e.used && e.hash == h && e.raw == tok) {
+          if (!e.dropped) fn(std::string_view(e.out));
+          return;
+        }
+        bool dropped = true;
+        if (!is_stopword(tok)) {
+          scratch.stem_.assign(tok);
+          porter_stem(scratch.stem_);
+          // A stem can collapse onto a stop word ("having" -> "have"); drop
+          // those too so queries and documents agree.
+          dropped = is_stopword(scratch.stem_);
+        }
+        e.used = true;
+        e.hash = h;
+        e.dropped = dropped;
+        e.raw.assign(tok);
+        if (dropped) {
+          e.out.clear();
+        } else {
+          e.out.assign(scratch.stem_);
+          fn(std::string_view(e.out));
+        }
+        return;
+      }
+      // Non-default options: stem directly in the scratch buffer.
+      if (opts_.remove_stopwords && is_stopword(tok)) return;
+      scratch.stem_.assign(tok);
+      porter_stem(scratch.stem_);
+      if (opts_.remove_stopwords && is_stopword(scratch.stem_)) return;
+      fn(std::string_view(scratch.stem_));
+    });
+  }
 
   /// Analyze \p input into the processed term sequence (duplicates kept, in
   /// document order — term frequency is derived by the index).
   std::vector<std::string> analyze(std::string_view input) const;
 
-  /// Analyze and aggregate into term -> frequency.
+  /// Analyze and aggregate into term -> frequency (single pass; terms are
+  /// counted directly in the token loop, no intermediate vector).
   std::unordered_map<std::string, std::uint32_t> term_frequencies(std::string_view input) const;
 
   /// Process a single raw token; returns empty string if it is dropped.

@@ -4,7 +4,7 @@ namespace planetp::text {
 
 std::vector<std::string> tokenize(std::string_view input, const TokenizerOptions& opts) {
   std::vector<std::string> out;
-  for_each_token(input, opts, [&](const std::string& tok) { out.push_back(tok); });
+  for_each_token(input, opts, [&](std::string_view tok) { out.emplace_back(tok); });
   return out;
 }
 

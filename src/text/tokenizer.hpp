@@ -18,27 +18,30 @@ struct TokenizerOptions {
   bool keep_numbers = true;     ///< whether pure-digit tokens survive
 };
 
-/// Invoke \p fn(token) for every token in \p input without allocating a
-/// vector. Token boundaries are maximal runs of [A-Za-z0-9]; letters are
-/// lower-cased. Apostrophes inside words are dropped ("don't" -> "dont").
+/// Invoke \p fn(token) for every token in \p input, building tokens in the
+/// caller-supplied \p buf so a hot loop reuses one buffer's capacity across
+/// calls (zero steady-state allocations). The string_view handed to \p fn
+/// aliases \p buf and is only valid during the callback. Token boundaries
+/// are maximal runs of [A-Za-z0-9]; letters are lower-cased. Apostrophes
+/// inside words are dropped ("don't" -> "dont").
 template <typename Fn>
-void for_each_token(std::string_view input, const TokenizerOptions& opts, Fn&& fn) {
-  std::string token;
-  token.reserve(16);
+void for_each_token(std::string_view input, const TokenizerOptions& opts, std::string& buf,
+                    Fn&& fn) {
+  buf.clear();
   auto flush = [&] {
-    if (token.size() >= opts.min_length && token.size() <= opts.max_length) {
+    if (buf.size() >= opts.min_length && buf.size() <= opts.max_length) {
       if (opts.keep_numbers ||
-          token.find_first_not_of("0123456789") != std::string::npos) {
-        fn(token);
+          buf.find_first_not_of("0123456789") != std::string::npos) {
+        fn(std::string_view(buf));
       }
     }
-    token.clear();
+    buf.clear();
   };
   for (char c : input) {
     if ((c >= 'a' && c <= 'z') || (c >= '0' && c <= '9')) {
-      token.push_back(c);
+      buf.push_back(c);
     } else if (c >= 'A' && c <= 'Z') {
-      token.push_back(static_cast<char>(c - 'A' + 'a'));
+      buf.push_back(static_cast<char>(c - 'A' + 'a'));
     } else if (c == '\'') {
       // skip: merges contractions
     } else {
@@ -46,6 +49,15 @@ void for_each_token(std::string_view input, const TokenizerOptions& opts, Fn&& f
     }
   }
   flush();
+}
+
+/// Convenience overload with a local buffer (one allocation per call for
+/// tokens that outgrow the small-string optimization).
+template <typename Fn>
+void for_each_token(std::string_view input, const TokenizerOptions& opts, Fn&& fn) {
+  std::string buf;
+  buf.reserve(16);
+  for_each_token(input, opts, buf, std::forward<Fn>(fn));
 }
 
 /// Tokenize \p input into a vector with default options.

@@ -102,6 +102,55 @@ TEST(CompressedIndex, ScoreMatchesUncompressedRanking) {
   }
 }
 
+TEST(CompressedIndex, CursorMatchesTermIdIndexForEveryTerm) {
+  // Property: for a random corpus, every term's PostingCursor walk must
+  // reproduce the TermId-backed mutable index exactly — including terms whose
+  // postings emptied out after remove_document, and documents added into
+  // reused slots afterwards.
+  Rng rng(99);
+  InvertedIndex src;
+  for (std::uint32_t d = 0; d < 200; ++d) {
+    Freqs freqs;
+    const std::size_t nterms = 1 + rng.below(20);
+    for (std::size_t t = 0; t < nterms; ++t) {
+      freqs["w" + std::to_string(rng.below(150))] =
+          static_cast<std::uint32_t>(1 + rng.below(6));
+    }
+    src.add_document({d % 3, d}, freqs);
+  }
+  for (std::uint32_t d = 0; d < 200; d += 3) src.remove_document({d % 3, d});
+  for (std::uint32_t d = 200; d < 230; ++d) {
+    Freqs freqs;
+    const std::size_t nterms = 1 + rng.below(8);
+    for (std::size_t t = 0; t < nterms; ++t) {
+      freqs["w" + std::to_string(rng.below(150))] =
+          static_cast<std::uint32_t>(1 + rng.below(6));
+    }
+    src.add_document({d % 3, d}, freqs);
+  }
+
+  const CompressedIndex ci = CompressedIndex::build(src);
+  EXPECT_EQ(ci.num_documents(), src.num_documents());
+  EXPECT_EQ(ci.num_terms(), src.num_terms());
+
+  const TermDictionary& dict = src.dictionary();
+  for (TermId id = 0; id < dict.size(); ++id) {
+    const std::string term(dict.term(id));
+    std::vector<Posting> expected = src.postings_by_id(id);
+    std::sort(expected.begin(), expected.end(),
+              [](const Posting& a, const Posting& b) { return a.doc < b.doc; });
+    std::size_t i = 0;
+    for (auto c = ci.postings(term); !c.done(); c.next(), ++i) {
+      ASSERT_LT(i, expected.size()) << term;
+      EXPECT_EQ(c.doc(), expected[i].doc) << term << " posting " << i;
+      EXPECT_EQ(c.term_freq(), expected[i].term_freq) << term << " posting " << i;
+    }
+    EXPECT_EQ(i, expected.size()) << term;
+    EXPECT_EQ(ci.document_frequency(term), src.document_frequency_by_id(id)) << term;
+    EXPECT_EQ(ci.collection_frequency(term), src.collection_frequency_by_id(id)) << term;
+  }
+}
+
 TEST(CompressedIndex, CompressionSavesSpaceOnRealisticCorpus) {
   // A corpus with long posting lists (common terms) compresses well: the
   // snapshot must be much smaller than a naive 12-bytes-per-posting layout.

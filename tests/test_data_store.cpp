@@ -2,8 +2,56 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+#include <vector>
+
+#include "util/thread_pool.hpp"
+
 namespace planetp::index {
 namespace {
+
+/// Synthetic corpus with heavy vocabulary overlap across documents, so the
+/// dictionary intern order is sensitive to commit order.
+std::vector<std::string> batch_corpus(std::size_t n) {
+  std::vector<std::string> xml;
+  xml.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::string body = "gossip replication epidemic ";
+    body += "topic" + std::to_string(i % 7) + " ";
+    body += "entity" + std::to_string(i % 13) + " ";
+    body += "unique" + std::to_string(i);
+    xml.push_back(wrap_text_as_xml("doc" + std::to_string(i), body));
+  }
+  return xml;
+}
+
+/// Assert two stores are identical down to the store-local term ids: same
+/// dictionary intern order, same postings per id, same filter and versions.
+void expect_identical_stores(const DataStore& a, const DataStore& b) {
+  ASSERT_EQ(a.documents(), b.documents());
+  EXPECT_EQ(a.next_local_id(), b.next_local_id());
+  EXPECT_EQ(a.filter_version(), b.filter_version());
+  EXPECT_EQ(a.bloom_filter(), b.bloom_filter());
+
+  const TermDictionary& da = a.index().dictionary();
+  const TermDictionary& db = b.index().dictionary();
+  ASSERT_EQ(da.size(), db.size());
+  for (TermId id = 0; id < da.size(); ++id) {
+    EXPECT_EQ(da.term(id), db.term(id)) << "id " << id;
+    EXPECT_EQ(a.index().postings_by_id(id), b.index().postings_by_id(id))
+        << da.term(id);
+    EXPECT_EQ(a.index().posting_slots(id), b.index().posting_slots(id))
+        << da.term(id);
+    EXPECT_EQ(a.index().collection_frequency_by_id(id),
+              b.index().collection_frequency_by_id(id))
+        << da.term(id);
+  }
+  for (const DocumentId& id : a.documents()) {
+    EXPECT_EQ(a.index().document_length(id), b.index().document_length(id));
+    ASSERT_NE(b.document(id), nullptr);
+    EXPECT_EQ(a.document(id)->title, b.document(id)->title);
+  }
+}
 
 TEST(DataStore, PublishIndexesText) {
   DataStore store(1);
@@ -137,6 +185,65 @@ TEST(DataStore, RepublishMalformedXmlLeavesOldVersion) {
   EXPECT_THROW(store.republish(id, "<broken"), std::runtime_error);
   EXPECT_EQ(store.search_all_terms("surviving capybara").size(), 1u);
   EXPECT_EQ(store.document(id)->title, "keep");
+}
+
+TEST(DataStore, BatchPublishSequentialFallbackMatchesLoop) {
+  // publish_batch with no pool must behave exactly like a publish() loop.
+  const auto corpus = batch_corpus(24);
+  DataStore loop(4);
+  for (const std::string& xml : corpus) loop.publish(xml);
+  DataStore batch(4);
+  const auto ids = batch.publish_batch(corpus, nullptr);
+  ASSERT_EQ(ids.size(), corpus.size());
+  for (std::size_t i = 1; i < ids.size(); ++i) EXPECT_LT(ids[i - 1].local, ids[i].local);
+  expect_identical_stores(loop, batch);
+}
+
+TEST(DataStore, ParallelPublishMatchesSequential) {
+  // The tentpole determinism guarantee: sharding parse+analyze across a pool
+  // while committing in document order yields a store identical to the
+  // sequential path — including the dictionary's intern order, the posting
+  // slots and the filter version. Runs under TSan via scripts/check.sh.
+  const auto corpus = batch_corpus(64);
+  DataStore seq(4);
+  seq.publish_batch(corpus, nullptr);
+
+  ThreadPool pool(4);
+  DataStore par(4);
+  const auto ids = par.publish_batch(corpus, &pool);
+  ASSERT_EQ(ids.size(), corpus.size());
+  expect_identical_stores(seq, par);
+
+  // A second batch through the same pool keeps extending both identically.
+  const auto more = batch_corpus(16);
+  seq.publish_batch(more, nullptr);
+  par.publish_batch(more, &pool);
+  expect_identical_stores(seq, par);
+}
+
+TEST(DataStore, ParallelPublishMalformedDocKeepsEarlierCommits) {
+  // A malformed document aborts the batch exactly where a sequential loop
+  // would: everything before it is committed, nothing after it is.
+  auto corpus = batch_corpus(10);
+  corpus[6] = "<broken";
+  ThreadPool pool(3);
+  DataStore store(4);
+  EXPECT_THROW(store.publish_batch(corpus, &pool), std::runtime_error);
+  EXPECT_EQ(store.num_documents(), 6u);
+
+  DataStore sequential(4);
+  EXPECT_THROW(sequential.publish_batch(corpus, nullptr), std::runtime_error);
+  expect_identical_stores(sequential, store);
+}
+
+TEST(DataStore, ParallelPublishEmptyAndTinyBatches) {
+  ThreadPool pool(2);
+  DataStore store(4);
+  EXPECT_TRUE(store.publish_batch({}, &pool).empty());
+  const auto one = store.publish_batch({wrap_text_as_xml("solo", "lone wolverine")}, &pool);
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_EQ(store.num_documents(), 1u);
+  EXPECT_TRUE(store.index().contains_term("wolverin"));
 }
 
 }  // namespace

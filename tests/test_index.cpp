@@ -3,11 +3,161 @@
 #include <gtest/gtest.h>
 
 #include "index/document.hpp"
+#include "index/term_dictionary.hpp"
 
 namespace planetp::index {
 namespace {
 
 using Freqs = std::unordered_map<std::string, std::uint32_t>;
+
+TEST(TermDictionary, InternAssignsDenseStableIds) {
+  TermDictionary dict;
+  const TermId a = dict.intern("alpha");
+  const TermId b = dict.intern("beta");
+  EXPECT_EQ(a, 0u);
+  EXPECT_EQ(b, 1u);
+  EXPECT_EQ(dict.intern("alpha"), a);  // idempotent
+  EXPECT_EQ(dict.size(), 2u);
+  EXPECT_EQ(dict.term(a), "alpha");
+  EXPECT_EQ(dict.term(b), "beta");
+  EXPECT_EQ(dict.find("alpha"), a);
+  EXPECT_EQ(dict.find("missing"), kInvalidTermId);
+}
+
+TEST(TermDictionary, HashMatchesHashPair) {
+  TermDictionary dict;
+  const TermId id = dict.intern("gossip");
+  const HashPair expected = hash_pair("gossip");
+  EXPECT_EQ(dict.hash(id).h1, expected.h1);
+  EXPECT_EQ(dict.hash(id).h2, expected.h2);
+}
+
+TEST(TermDictionary, SurvivesTableGrowthAndLargeVocabulary) {
+  TermDictionary dict;
+  std::vector<TermId> ids;
+  for (int i = 0; i < 5000; ++i) {
+    ids.push_back(dict.intern("term" + std::to_string(i)));
+  }
+  EXPECT_EQ(dict.size(), 5000u);
+  for (int i = 0; i < 5000; ++i) {
+    const std::string term = "term" + std::to_string(i);
+    EXPECT_EQ(dict.find(term), ids[static_cast<std::size_t>(i)]) << term;
+    EXPECT_EQ(dict.term(ids[static_cast<std::size_t>(i)]), term);
+  }
+}
+
+TEST(TermDictionary, CopyIsIndependentAndValid) {
+  TermDictionary dict;
+  for (int i = 0; i < 300; ++i) dict.intern("w" + std::to_string(i));
+  TermDictionary copy = dict;
+  dict.intern("only-in-original");
+  EXPECT_EQ(copy.find("only-in-original"), kInvalidTermId);
+  for (int i = 0; i < 300; ++i) {
+    const std::string term = "w" + std::to_string(i);
+    EXPECT_EQ(copy.find(term), dict.find(term)) << term;
+    EXPECT_EQ(copy.term(copy.find(term)), term);
+  }
+}
+
+TEST(TermDictionary, OverlongTermGetsDedicatedBlock) {
+  TermDictionary dict;
+  const std::string huge(200 * 1024, 'x');
+  const TermId small1 = dict.intern("small");
+  const TermId big = dict.intern(huge);
+  const TermId small2 = dict.intern("after");
+  EXPECT_EQ(dict.term(big), huge);
+  EXPECT_EQ(dict.term(small1), "small");
+  EXPECT_EQ(dict.term(small2), "after");
+}
+
+TEST(TermCounts, AggregatesInFirstOccurrenceOrder) {
+  TermCounts counts;
+  counts.add(7);
+  counts.add(3);
+  counts.add(7);
+  counts.add(3, 4);
+  EXPECT_EQ(counts.terms(), (std::vector<TermId>{7, 3}));
+  EXPECT_EQ(counts.count(7), 2u);
+  EXPECT_EQ(counts.count(3), 5u);
+  EXPECT_EQ(counts.count(99), 0u);
+  counts.clear();
+  EXPECT_TRUE(counts.empty());
+  EXPECT_EQ(counts.count(7), 0u);
+}
+
+TEST(InvertedIndex, TermIdApiMirrorsStringApi) {
+  InvertedIndex idx;
+  idx.add_document({0, 1}, Freqs{{"apple", 3}, {"banana", 1}});
+  idx.add_document({0, 2}, Freqs{{"apple", 1}});
+
+  const TermId apple = idx.term_id("apple");
+  ASSERT_NE(apple, kInvalidTermId);
+  EXPECT_EQ(idx.term_id("durian"), kInvalidTermId);
+  EXPECT_EQ(&idx.postings_by_id(apple), &idx.postings("apple"));
+  EXPECT_EQ(idx.collection_frequency_by_id(apple), idx.collection_frequency("apple"));
+  EXPECT_EQ(idx.document_frequency_by_id(apple), idx.document_frequency("apple"));
+  EXPECT_EQ(idx.dictionary().term(apple), "apple");
+  EXPECT_TRUE(idx.postings_by_id(kInvalidTermId).empty());
+}
+
+TEST(InvertedIndex, PostingSlotsParallelPostings) {
+  InvertedIndex idx;
+  idx.add_document({0, 1}, Freqs{{"x", 1}, {"y", 2}});
+  idx.add_document({0, 2}, Freqs{{"x", 3}});
+
+  const TermId x = idx.term_id("x");
+  const auto& postings = idx.postings_by_id(x);
+  const auto& slots = idx.posting_slots(x);
+  ASSERT_EQ(postings.size(), slots.size());
+  for (std::size_t i = 0; i < postings.size(); ++i) {
+    EXPECT_EQ(idx.doc_at_slot(slots[i]), postings[i].doc);
+    EXPECT_EQ(idx.doc_length_at_slot(slots[i]), idx.document_length(postings[i].doc));
+  }
+  EXPECT_EQ(idx.doc_slot(DocumentId{9, 9}), InvertedIndex::kNoSlot);
+}
+
+TEST(InvertedIndex, SlotsReusedAfterRemoval) {
+  InvertedIndex idx;
+  idx.add_document({0, 1}, Freqs{{"a", 1}});
+  idx.add_document({0, 2}, Freqs{{"a", 1}});
+  const std::size_t slots_before = idx.doc_slot_count();
+  idx.remove_document({0, 1});
+  idx.add_document({0, 3}, Freqs{{"a", 1}, {"b", 2}});
+  // The freed slot is reused: the accumulator domain stays compact.
+  EXPECT_EQ(idx.doc_slot_count(), slots_before);
+  EXPECT_EQ(idx.document_length({0, 3}), 3u);
+  EXPECT_EQ(idx.document_frequency("a"), 2u);
+}
+
+TEST(InvertedIndex, DocumentTermIdsTrackInsertionOrder) {
+  InvertedIndex idx;
+  TermCounts counts;
+  counts.add(idx.intern_term("zebra"));
+  counts.add(idx.intern_term("apple"), 2);
+  idx.add_document_counts({0, 1}, counts);
+
+  const auto& ids = idx.document_term_ids({0, 1});
+  ASSERT_EQ(ids.size(), 2u);
+  EXPECT_EQ(idx.dictionary().term(ids[0]), "zebra");
+  EXPECT_EQ(idx.dictionary().term(ids[1]), "apple");
+  EXPECT_TRUE(idx.document_term_ids({5, 5}).empty());
+}
+
+TEST(InvertedIndex, TermIdStaysAfterPostingsEmptyOut) {
+  InvertedIndex idx;
+  idx.add_document({0, 1}, Freqs{{"ephemeral", 1}});
+  const TermId id = idx.term_id("ephemeral");
+  idx.remove_document({0, 1});
+  // The dictionary never forgets a term; only the postings empty out.
+  EXPECT_EQ(idx.term_id("ephemeral"), id);
+  EXPECT_FALSE(idx.contains_term("ephemeral"));
+  EXPECT_EQ(idx.num_terms(), 0u);
+  EXPECT_TRUE(idx.postings_by_id(id).empty());
+  // Re-adding reuses the same id.
+  idx.add_document({0, 2}, Freqs{{"ephemeral", 2}});
+  EXPECT_EQ(idx.term_id("ephemeral"), id);
+  EXPECT_EQ(idx.collection_frequency_by_id(id), 2u);
+}
 
 TEST(InvertedIndex, AddAndQuery) {
   InvertedIndex idx;

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <filesystem>
 
@@ -105,6 +106,53 @@ TEST(Persistence, FileRoundtrip) {
 TEST(Persistence, LoadMissingFileThrows) {
   EXPECT_THROW(load_data_store("/nonexistent/path/store.ppds", small_bloom()),
                std::runtime_error);
+}
+
+TEST(Persistence, TermIdsAreStoreLocalAndNotSerialized) {
+  // TermIds must never cross the wire or disk: a snapshot round-trip that
+  // interns terms in a different order has to produce a store that is
+  // string-level identical even though the ids differ. Unpublishing the
+  // first document shifts the restore's intern order (its terms were
+  // interned first originally but are re-encountered later — or never —
+  // after restore).
+  DataStore store(3, small_bloom());
+  const DocumentId first = store.publish_text("first", "zebra yak xylophone");
+  store.publish_text("second", "apple banana cherry");
+  store.unpublish(first);
+  store.publish_text("third", "zebra walrus");
+
+  const auto bytes = serialize_data_store(store);
+  const DataStore restored = deserialize_data_store(bytes, small_bloom());
+
+  // String-level equality: same term set, same statistics, same postings,
+  // same Bloom filter.
+  std::vector<std::string> orig_terms, rest_terms;
+  store.index().for_each_term([&](const std::string& t) { orig_terms.push_back(t); });
+  restored.index().for_each_term([&](const std::string& t) { rest_terms.push_back(t); });
+  std::sort(orig_terms.begin(), orig_terms.end());
+  std::sort(rest_terms.begin(), rest_terms.end());
+  ASSERT_EQ(orig_terms, rest_terms);
+  for (const std::string& t : orig_terms) {
+    EXPECT_EQ(restored.index().collection_frequency(t), store.index().collection_frequency(t)) << t;
+    EXPECT_EQ(restored.index().document_frequency(t), store.index().document_frequency(t)) << t;
+    auto a = store.index().postings(t);
+    auto b = restored.index().postings(t);
+    const auto by_doc = [](const Posting& x, const Posting& y) { return x.doc < y.doc; };
+    std::sort(a.begin(), a.end(), by_doc);
+    std::sort(b.begin(), b.end(), by_doc);
+    EXPECT_EQ(a, b) << t;
+  }
+  EXPECT_EQ(restored.bloom_filter(), store.bloom_filter());
+
+  // ...while the ids themselves genuinely differ: "zebra" was the very first
+  // term interned originally, but the restore interns "second"'s terms
+  // before re-encountering it. Ids are store-local bookkeeping only.
+  const TermId before = store.index().term_id("zebra");
+  const TermId after = restored.index().term_id("zebra");
+  ASSERT_NE(before, kInvalidTermId);
+  ASSERT_NE(after, kInvalidTermId);
+  EXPECT_EQ(before, 0u);
+  EXPECT_NE(before, after);
 }
 
 TEST(Persistence, PublishAsRejectsDuplicates) {

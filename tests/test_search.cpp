@@ -91,6 +91,55 @@ TEST(Ranker, TfIdfTopKOrdersByRelevance) {
   EXPECT_EQ(top[0].doc, (DocumentId{0, 1}));
 }
 
+TEST(Ranker, TopKTieBreaksByAscendingDocId) {
+  // Byte-identical documents score exactly equal; the bounded heap must
+  // break the tie by ascending DocumentId, same as the full-sort path.
+  InvertedIndex idx;
+  for (std::uint32_t d : {7u, 1u, 5u}) idx.add_document({0, d}, Freqs{{"t", 2}});
+  TfIdfRanker ranker(idx);
+  const auto top = ranker.top_k({"t"}, 2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].doc, (DocumentId{0, 1}));
+  EXPECT_EQ(top[1].doc, (DocumentId{0, 5}));
+  EXPECT_EQ(top[0].score, top[1].score);  // genuinely tied, not approximately
+}
+
+TEST(Ranker, TopKHeapIsByteIdenticalToSortPath) {
+  // Property: top_k == score_documents(idf_weights) + truncate_top_k, with
+  // EXACT score equality (same FP accumulation order) and pinned tie-breaks.
+  // Duplicate-document clusters force genuine score ties.
+  Rng rng(1234);
+  InvertedIndex idx;
+  std::uint32_t next = 0;
+  for (int cluster = 0; cluster < 40; ++cluster) {
+    Freqs freqs;
+    const std::size_t nterms = 2 + rng.below(6);
+    for (std::size_t t = 0; t < nterms; ++t) {
+      freqs["q" + std::to_string(rng.below(12))] =
+          static_cast<std::uint32_t>(1 + rng.below(4));
+    }
+    const std::uint64_t copies = 1 + rng.below(4);
+    for (std::uint64_t c = 0; c < copies; ++c) {
+      idx.add_document({next % 5, next}, freqs);
+      ++next;
+    }
+  }
+
+  TfIdfRanker ranker(idx);
+  const std::vector<std::string> query = {"q3", "q0", "q7", "q0", "q11"};
+  for (const std::size_t k : {std::size_t{0}, std::size_t{1}, std::size_t{7},
+                              std::size_t{25}, std::size_t{10000}}) {
+    const auto heap_path = ranker.top_k(query, k);
+    auto sort_path = score_documents(idx, ranker.idf_weights(query));
+    truncate_top_k(sort_path, k);
+    ASSERT_EQ(heap_path.size(), sort_path.size()) << "k=" << k;
+    for (std::size_t i = 0; i < heap_path.size(); ++i) {
+      EXPECT_EQ(heap_path[i].doc, sort_path[i].doc) << "k=" << k << " rank " << i;
+      EXPECT_EQ(heap_path[i].score, sort_path[i].score) << "k=" << k << " rank " << i;
+    }
+  }
+}
+
 TEST(Ipf, TableCountsPeersWithTerm) {
   bloom::BloomParams params{65536, 2};
   bloom::BloomFilter f1(params), f2(params), f3(params);

@@ -105,6 +105,62 @@ TEST(Analyzer, ProcessTokenLowercasesAndStems) {
   EXPECT_EQ(analyzer.process_token("THE"), "");  // stop word dropped
 }
 
+TEST(Tokenizer, ForEachTokenMatchesTokenize) {
+  const std::string input = "Hello, World! don't drop-me 1989 antidisestablishmentarianism";
+  const auto expected = tokenize(input);
+  std::vector<std::string> streamed;
+  std::string buf;
+  for_each_token(input, TokenizerOptions{}, buf,
+                 [&](std::string_view tok) { streamed.emplace_back(tok); });
+  EXPECT_EQ(streamed, expected);
+}
+
+TEST(Analyzer, ScratchReuseIsIdempotent) {
+  // One scratch (memo + buffers) across many calls must never change the
+  // output: repeated analysis of the same text — and of texts sharing its
+  // vocabulary — stays identical to a fresh-scratch run.
+  Analyzer analyzer;
+  AnalyzerScratch shared;
+  const std::string text =
+      "the running dogs are jumping quickly over running dogs and lazily "
+      "jumping foxes while the quick dogs keep running";
+  auto collect = [&](AnalyzerScratch& scratch) {
+    std::vector<std::string> out;
+    analyzer.for_each_term(text, scratch,
+                           [&](std::string_view term) { out.emplace_back(term); });
+    return out;
+  };
+  const auto first = collect(shared);
+  EXPECT_EQ(first, analyzer.analyze(text));
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(collect(shared), first) << "pass " << i;
+  AnalyzerScratch fresh;
+  EXPECT_EQ(collect(fresh), first);
+  shared.reset();
+  EXPECT_EQ(collect(shared), first);
+}
+
+TEST(Analyzer, SharedScratchAcrossOptionSets) {
+  // The memo only caches option-independent facts, so a scratch that served
+  // a default analyzer must not poison a non-stemming one (and vice versa).
+  const std::string text = "the running dogs";
+  Analyzer stemming;
+  AnalyzerOptions raw_opts;
+  raw_opts.stem = false;
+  raw_opts.remove_stopwords = false;
+  Analyzer raw(raw_opts);
+
+  AnalyzerScratch scratch;
+  std::vector<std::string> a, b;
+  stemming.for_each_term(text, scratch, [&](std::string_view t) { a.emplace_back(t); });
+  raw.for_each_term(text, scratch, [&](std::string_view t) { b.emplace_back(t); });
+  EXPECT_EQ(a, (std::vector<std::string>{"run", "dog"}));
+  EXPECT_EQ(b, (std::vector<std::string>{"the", "running", "dogs"}));
+  // And the default analyzer still answers correctly afterwards.
+  a.clear();
+  stemming.for_each_term(text, scratch, [&](std::string_view t) { a.emplace_back(t); });
+  EXPECT_EQ(a, (std::vector<std::string>{"run", "dog"}));
+}
+
 TEST(Analyzer, QueryAndDocumentAgree) {
   // The same pipeline must map query words and document words to the same
   // terms, or search would silently fail.
