@@ -18,15 +18,17 @@ cmake -B build-asan -S . -DPLANETP_SANITIZE=address,undefined
 cmake --build build-asan -j "$JOBS"
 ctest --test-dir build-asan --output-on-failure -j "$JOBS"
 
-# The concurrent hedged-search tests, the parallel gossip stepping and the
-# parallel batch publish again under ThreadSanitizer (the `tsan` preset uses
-# the same build dir). TSan and ASan cannot share a build, hence the third
-# tree; the -R scope keeps the (slow) TSan pass to the tests that actually
-# exercise cross-thread code.
+# The concurrent hedged-search tests, the parallel gossip stepping, the
+# parallel batch publish and the epoch-snapshot mixed-workload stress (8
+# readers ranking live snapshots while a writer publishes/merges) again under
+# ThreadSanitizer (the `tsan` preset uses the same build dir). TSan and ASan
+# cannot share a build, hence the third tree; the -R scope keeps the (slow)
+# TSan pass to the tests that actually exercise cross-thread code.
 cmake -B build-tsan -S . -DPLANETP_SANITIZE=thread
-cmake --build build-tsan -j "$JOBS" --target test_search test_search_faults test_sim test_data_store
+cmake --build build-tsan -j "$JOBS" \
+  --target test_search test_search_faults test_sim test_data_store test_epoch_snapshot
 ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
-  -R 'DistributedSearchConcurrent|ParallelStepping|ParallelPublish'
+  -R 'DistributedSearchConcurrent|ParallelStepping|ParallelPublish|MixedWorkload'
 
 # Query hot-path smoke run + perf-regression guard: search_throughput exits
 # non-zero when the warm CandidateCache is not >=5x the uncached scan at 5000
@@ -62,6 +64,18 @@ else
   build/bench/index_throughput --baseline bench/baselines/index_throughput.json
 fi
 
+# Concurrent-serving smoke run + perf-regression guard: mixed_workload exits
+# non-zero when any published epoch ranks differently from a sequential
+# single-threaded oracle, when 1->8 reader qps misses the hardware-adaptive
+# scaling gate, or when 1-/8-reader qps falls below half the committed
+# baseline.
+echo "=== mixed_workload ==="
+if [ "$QUICK" = "--quick" ]; then
+  build/bench/mixed_workload --quick --baseline bench/baselines/mixed_workload.json
+else
+  build/bench/mixed_workload --baseline bench/baselines/mixed_workload.json
+fi
+
 for b in build/bench/*; do
   # Skip build-system files (Makefiles generator) and BENCH_*.json emissions;
   # only regular executables are benchmarks.
@@ -69,6 +83,7 @@ for b in build/bench/*; do
   [ "$(basename "$b")" = "search_throughput" ] && continue
   [ "$(basename "$b")" = "gossip_throughput" ] && continue
   [ "$(basename "$b")" = "index_throughput" ] && continue
+  [ "$(basename "$b")" = "mixed_workload" ] && continue
   echo "=== $(basename "$b") ==="
   if [ "$QUICK" = "--quick" ]; then
     "$b" --quick

@@ -303,7 +303,9 @@ std::vector<SearchHit> Node::proxy_ranked_search(std::string_view query, std::si
 
 std::vector<search::ScoredDoc> Node::handle_ranked_query(
     const std::unordered_map<std::string, double>& term_weights) const {
-  return search::score_documents(store_.index(), term_weights);
+  // Rank against the published epoch snapshot — byte-identical to scoring
+  // the live index, and safe against concurrent publishes on this store.
+  return search::score_snapshot(*store_.snapshot(), term_weights);
 }
 
 std::vector<SearchHit> Node::handle_exhaustive_query(std::string_view query) const {

@@ -72,7 +72,7 @@ void CompressedIndex::PostingCursor::next() {
 }
 
 CompressedIndex::PostingCursor CompressedIndex::postings(std::string_view term) const {
-  auto it = terms_.find(std::string(term));
+  auto it = terms_.find(term);
   if (it == terms_.end()) return PostingCursor(this, nullptr, 0, 0);
   const TermEntry& te = it->second;
   return PostingCursor(this, blob_.data() + te.offset, te.length, te.doc_freq);
@@ -87,13 +87,46 @@ std::vector<Posting> CompressedIndex::decode(std::string_view term) const {
 }
 
 std::uint32_t CompressedIndex::document_frequency(std::string_view term) const {
-  auto it = terms_.find(std::string(term));
+  auto it = terms_.find(term);
   return it == terms_.end() ? 0 : it->second.doc_freq;
 }
 
 std::uint64_t CompressedIndex::collection_frequency(std::string_view term) const {
-  auto it = terms_.find(std::string(term));
+  auto it = terms_.find(term);
   return it == terms_.end() ? 0 : it->second.collection_freq;
+}
+
+void CompressedIndex::for_each_term(const std::function<void(std::string_view)>& fn) const {
+  for (const auto& [term, te] : terms_) fn(term);
+}
+
+CompressedIndex::Builder::Builder(std::vector<DocumentId> docs,
+                                  std::vector<std::uint32_t> lengths) {
+  out_.docs_ = std::move(docs);
+  out_.doc_lengths_ = std::move(lengths);
+  for (std::uint32_t dense = 0; dense < out_.docs_.size(); ++dense) {
+    out_.dense_of_.emplace(out_.docs_[dense], dense);
+  }
+}
+
+void CompressedIndex::Builder::add_term(
+    std::string_view term,
+    const std::vector<std::pair<std::uint32_t, std::uint32_t>>& postings) {
+  if (postings.empty()) return;
+  TermEntry te;
+  te.offset = static_cast<std::uint32_t>(out_.blob_.size());
+  te.doc_freq = static_cast<std::uint32_t>(postings.size());
+  std::uint32_t prev = 0;
+  bool first = true;
+  for (const auto& [dense, freq] : postings) {
+    put_varint(out_.blob_, first ? dense : dense - prev - 1);
+    put_varint(out_.blob_, freq);
+    te.collection_freq += freq;
+    prev = dense;
+    first = false;
+  }
+  te.length = static_cast<std::uint32_t>(out_.blob_.size()) - te.offset;
+  out_.terms_.emplace(std::string(term), te);
 }
 
 std::uint32_t CompressedIndex::document_length(DocumentId doc) const {
@@ -124,7 +157,7 @@ std::vector<std::pair<DocumentId, double>> CompressedIndex::score(
   std::sort(sorted_terms.begin(), sorted_terms.end());
   for (const auto& [term, weight] : sorted_terms) {
     if (weight <= 0.0) continue;
-    auto it = terms_.find(std::string(term));
+    auto it = terms_.find(term);
     if (it == terms_.end()) continue;
     const TermEntry& te = it->second;
     PostingCursor c(this, blob_.data() + te.offset, te.length, te.doc_freq);

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "index/inverted_index.hpp"
+#include "util/hash.hpp"
 
 /// \file compressed_postings.hpp
 /// Compressed, immutable posting lists in the style of Witten, Moffat &
@@ -23,6 +24,12 @@
 /// system citations) can serve queries from a snapshot several times
 /// smaller than the hash-map index, rebuilding it only when enough changes
 /// accumulate.
+///
+/// A CompressedIndex is also the read-optimized *base* of the epoch
+/// snapshots in epoch_index.hpp: the background segment merge folds pending
+/// in-memory segments into a fresh CompressedIndex via Builder, and readers
+/// walk base postings through PostingCursor (dense() doubles as the
+/// snapshot's accumulator slot).
 
 namespace planetp::index {
 
@@ -42,6 +49,9 @@ class CompressedIndex {
     void next();
     DocumentId doc() const { return doc_; }
     std::uint32_t term_freq() const { return freq_; }
+    /// Dense id of doc() (ascending along the cursor; the epoch snapshot's
+    /// accumulator slot for base documents).
+    std::uint32_t dense() const { return dense_; }
 
    private:
     friend class CompressedIndex;
@@ -70,6 +80,21 @@ class CompressedIndex {
   std::size_t num_documents() const { return docs_.size(); }
   std::size_t num_terms() const { return terms_.size(); }
 
+  /// Dense-id accessors (the epoch snapshot's slot domain for base docs).
+  const std::vector<DocumentId>& documents() const { return docs_; }
+  DocumentId doc_at(std::uint32_t dense) const { return docs_[dense]; }
+  std::uint32_t doc_length_at(std::uint32_t dense) const { return doc_lengths_[dense]; }
+
+  /// Visit every term once (unspecified order; used by the segment merge to
+  /// build the term-set union).
+  void for_each_term(const std::function<void(std::string_view)>& fn) const;
+
+  /// Assemble a CompressedIndex directly from merge output (dense postings
+  /// per term), bypassing an intermediate InvertedIndex. Produces exactly
+  /// the layout build() would for the same logical content. Defined after
+  /// the class (it holds a CompressedIndex by value).
+  class Builder;
+
   /// Total bytes of the compressed structure (postings + dictionaries).
   std::size_t memory_bytes() const;
 
@@ -86,11 +111,29 @@ class CompressedIndex {
     std::uint64_t collection_freq = 0;
   };
 
-  std::unordered_map<std::string, TermEntry> terms_;
+  /// Transparent hashing: the epoch read path looks terms up by
+  /// string_view, so find() must not materialize a std::string per probe.
+  std::unordered_map<std::string, TermEntry, StringHash, std::equal_to<>> terms_;
   std::vector<std::uint8_t> blob_;         ///< all posting runs, concatenated
   std::vector<DocumentId> docs_;           ///< dense id -> original id
   std::vector<std::uint32_t> doc_lengths_; ///< by dense id
   std::unordered_map<DocumentId, std::uint32_t, DocumentIdHash> dense_of_;
+};
+
+class CompressedIndex::Builder {
+ public:
+  /// \p docs ascending by DocumentId, \p lengths parallel.
+  Builder(std::vector<DocumentId> docs, std::vector<std::uint32_t> lengths);
+
+  /// Add one term's postings as (dense id, freq), sorted ascending by
+  /// dense id. Must be called at most once per term.
+  void add_term(std::string_view term,
+                const std::vector<std::pair<std::uint32_t, std::uint32_t>>& postings);
+
+  CompressedIndex take() { return std::move(out_); }
+
+ private:
+  CompressedIndex out_;
 };
 
 }  // namespace planetp::index

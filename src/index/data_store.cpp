@@ -9,8 +9,11 @@
 namespace planetp::index {
 
 DataStore::DataStore(std::uint32_t peer_id, bloom::BloomParams bloom_params,
-                     text::AnalyzerOptions analyzer_opts)
-    : peer_id_(peer_id), analyzer_(analyzer_opts), counting_filter_(bloom_params) {}
+                     text::AnalyzerOptions analyzer_opts, EpochConfig epoch_config)
+    : peer_id_(peer_id),
+      analyzer_(analyzer_opts),
+      counting_filter_(bloom_params),
+      epochs_(std::make_unique<EpochIndex>(epoch_config)) {}
 
 void DataStore::index_document(const Document& doc) {
   counts_.clear();
@@ -24,6 +27,7 @@ void DataStore::index_document(const Document& doc) {
   for (const TermId term : counts_.terms()) {
     counting_filter_.insert(dict.hash(term));
   }
+  epochs_->commit_publish(doc.id, dict, counts_);
 }
 
 DocumentId DataStore::publish(std::string xml_source) {
@@ -85,6 +89,7 @@ void DataStore::commit_prepared(PreparedDoc&& prepared) {
   for (const TermId term : counts_.terms()) {
     counting_filter_.insert(dict.hash(term));
   }
+  epochs_->commit_publish(id, dict, counts_);
   docs_[id] = std::move(prepared.doc);
   ++filter_version_;
 }
@@ -132,13 +137,22 @@ bool DataStore::unpublish(DocumentId id) {
   auto it = docs_.find(id);
   if (it == docs_.end()) return false;
   docs_.erase(it);
-  // Remove the document's distinct terms from the counting filter before
-  // the index forgets them; hashes come pre-computed from the dictionary.
+  // Capture the document's exact postings before the index forgets them:
+  // the epoch tombstone needs them so snapshot-wide collection statistics
+  // keep matching a store that never indexed the document. The counting
+  // filter is fed from the same pass (hashes pre-computed by the
+  // dictionary).
   const TermDictionary& dict = index_.dictionary();
-  for (const TermId term : index_.document_term_ids(id)) {
+  const std::uint32_t doc_length = index_.document_length(id);
+  std::vector<std::pair<std::string, std::uint32_t>> term_freqs;
+  const std::vector<TermId>& term_ids = index_.document_term_ids(id);
+  term_freqs.reserve(term_ids.size());
+  for (const TermId term : term_ids) {
     counting_filter_.remove(dict.hash(term));
+    term_freqs.emplace_back(std::string(dict.term(term)), index_.term_frequency_by_id(term, id));
   }
   index_.remove_document(id);
+  epochs_->commit_remove(id, doc_length, std::move(term_freqs));
   ++filter_version_;
   return true;
 }

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -9,6 +10,7 @@
 
 #include "bloom/counting_bloom.hpp"
 #include "index/document.hpp"
+#include "index/epoch_index.hpp"
 #include "index/inverted_index.hpp"
 #include "text/analyzer.hpp"
 
@@ -26,6 +28,12 @@
 /// publish_batch can additionally shard the parse+analyze work across a
 /// ThreadPool while committing in document order, so the resulting store is
 /// identical to a sequential publish loop. See docs/INDEX.md.
+///
+/// Mutation stays single-writer, but every commit also publishes an
+/// immutable EpochSnapshot (epoch_index.hpp): concurrent readers call
+/// snapshot() — thread-safe, a bounded pointer copy — and rank against it while further
+/// publishes and removals proceed. See docs/INDEX.md "Epochs & concurrent
+/// readers".
 
 namespace planetp {
 class ThreadPool;
@@ -36,7 +44,7 @@ namespace planetp::index {
 class DataStore {
  public:
   explicit DataStore(std::uint32_t peer_id, bloom::BloomParams bloom_params = {},
-                     text::AnalyzerOptions analyzer_opts = {});
+                     text::AnalyzerOptions analyzer_opts = {}, EpochConfig epoch_config = {});
 
   /// Publish an XML document; indexes its text and updates the Bloom filter.
   /// Returns the new document's id. Throws on malformed XML.
@@ -91,6 +99,17 @@ class DataStore {
   std::uint64_t filter_version() const { return filter_version_; }
 
   const InvertedIndex& index() const { return index_; }
+
+  /// The current published index epoch. Thread-safe against concurrent
+  /// publishes/removals (the wait is bounded by a pointer copy); the
+  /// snapshot is immutable and stays valid for as long as the caller holds
+  /// it.
+  std::shared_ptr<const EpochSnapshot> snapshot() const { return epochs_->snapshot(); }
+
+  /// The epoch pipeline (stats, merge waits; writer-side configuration).
+  EpochIndex& epochs() { return *epochs_; }
+  const EpochIndex& epochs() const { return *epochs_; }
+
   const text::Analyzer& analyzer() const { return analyzer_; }
   std::uint32_t peer_id() const { return peer_id_; }
   std::size_t num_documents() const { return docs_.size(); }
@@ -124,6 +143,9 @@ class DataStore {
   /// parallel batch path uses per-task scratches instead).
   text::AnalyzerScratch scratch_;
   TermCounts counts_;
+  /// Epoch pipeline (owns the background merge thread and the published
+  /// snapshot). unique_ptr keeps DataStore movable.
+  std::unique_ptr<EpochIndex> epochs_;
 };
 
 }  // namespace planetp::index

@@ -135,6 +135,14 @@ class InvertedIndex {
     return term < terms_.size() ? terms_[term].postings : empty_postings_();
   }
 
+  /// f_{D,t} by term id (0 when absent); linear scan of the posting list.
+  std::uint32_t term_frequency_by_id(TermId term, DocumentId doc) const {
+    for (const Posting& p : postings_by_id(term)) {
+      if (p.doc == doc) return p.term_freq;
+    }
+    return 0;
+  }
+
   /// Dense doc slots parallel to postings_by_id(term): slots()[i] is the
   /// accumulator index of postings()[i].doc.
   const std::vector<std::uint32_t>& posting_slots(TermId term) const {

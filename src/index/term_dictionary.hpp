@@ -27,6 +27,12 @@
 /// format: two stores (or one store before/after a snapshot restore) may
 /// assign different ids to the same term. Everything leaving the process
 /// speaks term *strings* (or their hashes); see docs/INDEX.md.
+///
+/// Concurrency contract: the dictionary is single-writer, writer-side only.
+/// Concurrent query threads never touch it — published EpochSnapshots
+/// (epoch_index.hpp) carry their own term strings (segment entries and the
+/// base CompressedIndex own copies), precisely so that readers need no
+/// synchronization with interning.
 
 namespace planetp::index {
 

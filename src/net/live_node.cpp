@@ -242,9 +242,12 @@ void LiveNode::handle_rpc(std::uint32_t sender, const RpcMessage& msg) {
     resp.request_id = req->request_id;
     std::unordered_map<std::string, double> weights;
     for (const WeightedTerm& t : req->weights) weights.emplace(t.term, t.weight);
+    // Rank lock-free against the published epoch snapshot; mu_ is only taken
+    // afterwards for the title lookups.
+    const auto scored = search::score_snapshot(*store_.snapshot(), weights);
     {
       std::lock_guard<std::mutex> lock(mu_);
-      for (const auto& d : search::score_documents(store_.index(), weights)) {
+      for (const auto& d : scored) {
         const index::Document* doc = store_.document(d.doc);
         resp.docs.push_back(
             RemoteDoc{d.doc.peer, d.doc.local, d.score, doc != nullptr ? doc->title : ""});
@@ -414,8 +417,10 @@ std::vector<LiveHit> LiveNode::ranked_search(std::string_view query, std::size_t
                            const std::unordered_map<std::string, double>& weights)
       -> search::PeerSearchResult {
     if (peer == id_) {
+      // Self-evaluation ranks lock-free against the epoch snapshot; mu_
+      // guards only the title map.
+      auto docs = search::score_snapshot(*store_.snapshot(), weights);
       std::lock_guard<std::mutex> lock(mu_);
-      auto docs = search::score_documents(store_.index(), weights);
       for (const auto& d : docs) {
         const index::Document* doc = store_.document(d.doc);
         if (doc != nullptr) titles[d.doc] = doc->title;

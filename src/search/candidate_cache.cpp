@@ -416,6 +416,11 @@ std::size_t CandidateCache::cached_terms() const {
   return entries_.size();
 }
 
+std::uint64_t CandidateCache::population_epoch() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return epoch_;
+}
+
 std::size_t CandidateCache::known_peers() const {
   std::lock_guard<std::mutex> lock(mu_);
   return peers_.size();

@@ -138,6 +138,14 @@ class CandidateCache {
   std::size_t known_peers() const;
   const CandidateCacheConfig& config() const { return config_; }
 
+  /// Population epoch: bumped on every content change (update_peer,
+  /// apply_peer_diff, remove_peer, clear; touch_peer leaves content — and
+  /// so the epoch — alone). A lookup runs entirely against one epoch: a
+  /// cache primed on epoch E serves E-consistent results, and a population
+  /// change re-probes every cached entry (full_reprobes / surgical_* count
+  /// which path) before epoch E+1 answers — never a mix of the two.
+  std::uint64_t population_epoch() const;
+
  private:
   struct TermEntry {
     HashPair hp;

@@ -48,7 +48,7 @@ std::vector<std::uint32_t> accumulate(const InvertedIndex& idx, const ResolvedTe
       // Contributions are strictly positive (weight > 0, freq >= 1), so an
       // exact zero means "first touch".
       if (acc[slot] == 0.0) touched.push_back(slot);
-      acc[slot] += doc_weight(postings[i].term_freq) * weight;
+      acc[slot] += score_contribution(postings[i].term_freq, weight);
     }
   }
   return touched;
@@ -56,6 +56,67 @@ std::vector<std::uint32_t> accumulate(const InvertedIndex& idx, const ResolvedTe
 
 ScoredDoc scored_at(const InvertedIndex& idx, std::uint32_t slot, double sum) {
   return ScoredDoc{idx.doc_at_slot(slot), sum * length_norm(idx.doc_length_at_slot(slot))};
+}
+
+/// Deduplicated (term, weight) pairs in lexicographic term order — the
+/// string-keyed analogue of ResolvedTerms for snapshot scoring, where terms
+/// resolve by string lookup instead of TermId.
+std::vector<std::pair<std::string_view, double>> sort_weighted_terms(
+    const std::unordered_map<std::string, double>& term_weights) {
+  std::vector<std::pair<std::string_view, double>> sorted;
+  sorted.reserve(term_weights.size());
+  for (const auto& [term, weight] : term_weights) {
+    if (weight > 0.0) sorted.emplace_back(term, weight);
+  }
+  std::sort(sorted.begin(), sorted.end());
+  return sorted;
+}
+
+/// Accumulate eq. 2 partial sums over a snapshot's slot domain. Per
+/// document, contributions arrive in the same lexicographic term order as
+/// accumulate() above (a document has at most one live posting per term),
+/// so the per-slot sums are bitwise identical to a sequential store's.
+std::vector<std::uint32_t> accumulate_snapshot(
+    const index::EpochSnapshot& snap,
+    const std::vector<std::pair<std::string_view, double>>& terms, std::vector<double>& acc) {
+  acc.assign(snap.slot_count(), 0.0);
+  std::vector<std::uint32_t> touched;
+  for (const auto& [term, weight] : terms) {
+    const double w = weight;
+    snap.for_each_posting(term, [&acc, &touched, w](std::uint32_t slot, std::uint32_t freq) {
+      if (acc[slot] == 0.0) touched.push_back(slot);
+      acc[slot] += score_contribution(freq, w);
+    });
+  }
+  return touched;
+}
+
+ScoredDoc snapshot_scored_at(const index::EpochSnapshot& snap, std::uint32_t slot, double sum) {
+  return ScoredDoc{snap.doc_at_slot(slot), sum * length_norm(snap.doc_length_at_slot(slot))};
+}
+
+/// Bounded top-k selection over touched slots: a heap of the k best seen so
+/// far whose root is the *worst* kept entry. ranks_before is a strict total
+/// order (docs are distinct), so the selected set, sorted, is byte-identical
+/// to sorting all matches and truncating.
+template <typename ScoreAt>
+std::vector<ScoredDoc> select_top_k(const std::vector<std::uint32_t>& touched, std::size_t k,
+                                    ScoreAt&& scored) {
+  std::vector<ScoredDoc> heap;
+  heap.reserve(std::min(k, touched.size()));
+  for (const std::uint32_t slot : touched) {
+    const ScoredDoc cand = scored(slot);
+    if (heap.size() < k) {
+      heap.push_back(cand);
+      std::push_heap(heap.begin(), heap.end(), ranks_before);
+    } else if (ranks_before(cand, heap.front())) {
+      std::pop_heap(heap.begin(), heap.end(), ranks_before);
+      heap.back() = cand;
+      std::push_heap(heap.begin(), heap.end(), ranks_before);
+    }
+  }
+  std::sort(heap.begin(), heap.end(), ranks_before);
+  return heap;
 }
 
 }  // namespace
@@ -117,27 +178,56 @@ std::vector<ScoredDoc> TfIdfRanker::top_k(const std::vector<std::string>& terms,
   std::vector<double> acc;
   const std::vector<std::uint32_t> touched = accumulate(idx, resolved, acc);
   if (k == 0) return {};
+  return select_top_k(touched, k,
+                      [&](std::uint32_t slot) { return scored_at(idx, slot, acc[slot]); });
+}
 
-  // Bounded selection: a heap of the k best seen so far whose root is the
-  // *worst* kept entry (std::*_heap with ranks_before as the "less than"
-  // puts the entry that ranks after all others at the root). ranks_before
-  // is a strict total order — docs are distinct — so the selected set,
-  // sorted, is byte-identical to sorting all matches and truncating.
-  std::vector<ScoredDoc> heap;
-  heap.reserve(std::min(k, touched.size()));
+std::vector<ScoredDoc> score_snapshot(
+    const index::EpochSnapshot& snap,
+    const std::unordered_map<std::string, double>& term_weights) {
+  const auto sorted = sort_weighted_terms(term_weights);
+  std::vector<double> acc;
+  const std::vector<std::uint32_t> touched = accumulate_snapshot(snap, sorted, acc);
+  std::vector<ScoredDoc> out;
+  out.reserve(touched.size());
   for (const std::uint32_t slot : touched) {
-    const ScoredDoc cand = scored_at(idx, slot, acc[slot]);
-    if (heap.size() < k) {
-      heap.push_back(cand);
-      std::push_heap(heap.begin(), heap.end(), ranks_before);
-    } else if (ranks_before(cand, heap.front())) {
-      std::pop_heap(heap.begin(), heap.end(), ranks_before);
-      heap.back() = cand;
-      std::push_heap(heap.begin(), heap.end(), ranks_before);
-    }
+    out.push_back(snapshot_scored_at(snap, slot, acc[slot]));
   }
-  std::sort(heap.begin(), heap.end(), ranks_before);
-  return heap;
+  std::sort(out.begin(), out.end(), ranks_before);
+  return out;
+}
+
+std::unordered_map<std::string, double> SnapshotRanker::idf_weights(
+    const std::vector<std::string>& terms) const {
+  std::unordered_map<std::string, double> weights;
+  for (const std::string& t : terms) {
+    if (weights.contains(t)) continue;
+    weights.emplace(t, idf(snap_->num_documents(), snap_->collection_frequency(t)));
+  }
+  return weights;
+}
+
+std::vector<ScoredDoc> SnapshotRanker::top_k(const std::vector<std::string>& terms,
+                                             std::size_t k) const {
+  const index::EpochSnapshot& snap = *snap_;
+  // Same canonical lexicographic order as TfIdfRanker::top_k, with IDF
+  // inputs from the snapshot's exact live statistics.
+  std::vector<std::string_view> sorted(terms.begin(), terms.end());
+  std::sort(sorted.begin(), sorted.end());
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+
+  std::vector<std::pair<std::string_view, double>> weighted;
+  weighted.reserve(sorted.size());
+  for (const std::string_view term : sorted) {
+    const double weight = idf(snap.num_documents(), snap.collection_frequency(term));
+    if (weight > 0.0) weighted.emplace_back(term, weight);
+  }
+
+  std::vector<double> acc;
+  const std::vector<std::uint32_t> touched = accumulate_snapshot(snap, weighted, acc);
+  if (k == 0) return {};
+  return select_top_k(
+      touched, k, [&](std::uint32_t slot) { return snapshot_scored_at(snap, slot, acc[slot]); });
 }
 
 void truncate_top_k(std::vector<ScoredDoc>& docs, std::size_t k) {

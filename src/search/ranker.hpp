@@ -4,6 +4,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "index/epoch_index.hpp"
 #include "index/inverted_index.hpp"
 
 /// \file ranker.hpp
@@ -40,6 +41,15 @@ std::vector<ScoredDoc> score_documents(
     const index::InvertedIndex& idx,
     const std::unordered_map<std::string, double>& term_weights);
 
+/// Score all live documents of an immutable epoch snapshot — the lock-free
+/// concurrent-reader path (DataStore::snapshot()). Byte-identical to
+/// score_documents over a sequential store holding the same documents: both
+/// accumulate score_contribution in lexicographic term order and tie-break
+/// with ranks_before.
+std::vector<ScoredDoc> score_snapshot(
+    const index::EpochSnapshot& snap,
+    const std::unordered_map<std::string, double>& term_weights);
+
 /// The centralized TFxIDF baseline of §7.3: assumes full knowledge of the
 /// community's merged index, scores with IDF weights and returns the top-k.
 class TfIdfRanker {
@@ -57,6 +67,26 @@ class TfIdfRanker {
 
  private:
   const index::InvertedIndex* index_;
+};
+
+/// TFxIDF ranking over an immutable epoch snapshot: the concurrent-reader
+/// analogue of TfIdfRanker. IDF inputs come from the snapshot's exact live
+/// statistics, so results are byte-identical (scores, documents, tie-breaks)
+/// to TfIdfRanker over a sequential store with the same documents.
+class SnapshotRanker {
+ public:
+  explicit SnapshotRanker(const index::EpochSnapshot& snap) : snap_(&snap) {}
+
+  /// IDF weights for the query terms over the snapshot's live collection.
+  std::unordered_map<std::string, double> idf_weights(
+      const std::vector<std::string>& terms) const;
+
+  /// Top-k documents by eq. 2; bounded min-heap, identical result to full
+  /// scoring + truncate_top_k.
+  std::vector<ScoredDoc> top_k(const std::vector<std::string>& terms, std::size_t k) const;
+
+ private:
+  const index::EpochSnapshot* snap_;
 };
 
 /// Keep the top-k of a scored list (already sorted descending).

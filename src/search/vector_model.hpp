@@ -44,4 +44,12 @@ inline double length_norm(std::uint32_t doc_length) {
   return doc_length == 0 ? 0.0 : 1.0 / std::sqrt(static_cast<double>(doc_length));
 }
 
+/// One posting's contribution to eq. 2: w_{D,t} * weight_t. Every scoring
+/// path (live index, epoch snapshot, compressed snapshot) must accumulate
+/// exactly this expression in lexicographic term order — that is what makes
+/// their per-document sums bitwise identical.
+inline double score_contribution(std::uint32_t term_freq, double weight) {
+  return doc_weight(term_freq) * weight;
+}
+
 }  // namespace planetp::search

@@ -369,3 +369,57 @@ TEST(CandidateCacheProperty, RandomInterleavingsMatchUncachedTables) {
   EXPECT_GT(stats.full_reprobes, 0u);
   EXPECT_GT(stats.evictions, 0u);
 }
+
+// ---------------------------------------------------------------------------
+// Epoch advance: E-consistent or transparently re-probed to E+1 — never a mix
+// ---------------------------------------------------------------------------
+
+TEST(CandidateCache, EpochAdvanceServesConsistentResultsNeverAMix) {
+  CandidateCache cache;
+  auto f0 = make_filter({1, 2, 3});
+  auto f1 = make_filter({2, 3, 4});
+  cache.update_peer(0, f0, 1);
+  cache.update_peer(1, f1, 1);
+  const std::uint64_t epoch_e = cache.population_epoch();
+  EXPECT_EQ(epoch_e, 2u);
+
+  // Prime on epoch E: both terms cached, answers E-consistent.
+  const std::vector<std::string> terms = {term_name(2), term_name(4)};
+  const HashedTerms hashed = HashedTerms::from(terms);
+  const std::vector<PeerFilter> view_e = {{0, cache.filter_ptr(0), 0},
+                                          {1, cache.filter_ptr(1), 0}};
+  expect_identical(cache.lookup(hashed, view_e), IpfTable(hashed, view_e));
+  EXPECT_EQ(cache.stats().term_misses, 2u);
+  EXPECT_EQ(cache.cached_terms(), 2u);
+  EXPECT_EQ(cache.population_epoch(), epoch_e);  // queries never advance the epoch
+
+  // A warm E lookup is pure epoch-E state: hits only, no re-probe counters.
+  expect_identical(cache.lookup(hashed, view_e), IpfTable(hashed, view_e));
+  EXPECT_EQ(cache.stats().term_hits, 2u);
+  EXPECT_EQ(cache.stats().full_reprobes, 0u);
+
+  // Population change -> epoch E+1: peer 1's filter flips membership of both
+  // cached terms (drops term 2 and 4, gains term 9). The cache must re-probe
+  // its entries *at update time*, so the next lookup serves E+1 throughout.
+  auto f1b = make_filter({3, 9});
+  cache.update_peer(1, f1b, 2);
+  EXPECT_EQ(cache.population_epoch(), epoch_e + 1);
+  // The counter pinning which path ran: a full filter replacement re-probes
+  // every cached entry (2 of them) in place.
+  EXPECT_EQ(cache.stats().full_reprobes, 2u);
+
+  const std::vector<PeerFilter> view_e1 = {{0, cache.filter_ptr(0), 0},
+                                           {1, cache.filter_ptr(1), 0}};
+  const IpfTable after = cache.lookup(hashed, view_e1);
+  // Fully E+1-consistent: identical to a from-scratch table over the new
+  // view. In particular peer 1 is out of term 2's and term 4's candidates —
+  // an E/E+1 mix would have kept it for the warm entries.
+  expect_identical(after, IpfTable(hashed, view_e1));
+  std::vector<std::uint32_t> t2 = after.peers_with(term_name(2));
+  EXPECT_EQ(t2, std::vector<std::uint32_t>{0});
+  EXPECT_TRUE(after.peers_with(term_name(4)).empty());
+  // ...and it was served from the re-probed (warm) entries, not from fresh
+  // kernel probes: hits advanced, misses did not.
+  EXPECT_EQ(cache.stats().term_hits, 4u);
+  EXPECT_EQ(cache.stats().term_misses, 2u);
+}
