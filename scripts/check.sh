@@ -24,11 +24,15 @@ ctest --test-dir build-asan --output-on-failure -j "$JOBS"
 # ThreadSanitizer (the `tsan` preset uses the same build dir). TSan and ASan
 # cannot share a build, hence the third tree; the -R scope keeps the (slow)
 # TSan pass to the tests that actually exercise cross-thread code.
+# test_reactor and test_net ride along: the reactor's cross-thread surface
+# (send/post/schedule vs the loop thread, LiveNode RPC wakeups, cluster churn)
+# is exactly the kind of code TSan exists for.
 cmake -B build-tsan -S . -DPLANETP_SANITIZE=thread
 cmake --build build-tsan -j "$JOBS" \
-  --target test_search test_search_faults test_sim test_data_store test_epoch_snapshot
+  --target test_search test_search_faults test_sim test_data_store test_epoch_snapshot \
+           test_reactor test_net
 ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
-  -R 'DistributedSearchConcurrent|ParallelStepping|ParallelPublish|MixedWorkload'
+  -R 'DistributedSearchConcurrent|ParallelStepping|ParallelPublish|MixedWorkload|Reactor|LiveNode.RpcFailsFastWhenPeerCrashes'
 
 # Query hot-path smoke run + perf-regression guard: search_throughput exits
 # non-zero when the warm CandidateCache is not >=5x the uncached scan at 5000
@@ -50,6 +54,17 @@ if [ "$QUICK" = "--quick" ]; then
   build/bench/gossip_throughput --quick --baseline bench/baselines/gossip_throughput.json
 else
   build/bench/gossip_throughput --baseline bench/baselines/gossip_throughput.json
+fi
+
+# Live TCP runtime smoke run + perf-regression guard: live_throughput exits
+# non-zero when a 100/500/1000-node loopback cluster fails to gossip, leaks
+# descriptors across a cluster lifecycle, exceeds the global outbound byte
+# cap, or when msgs/sec falls below half the committed baseline.
+echo "=== live_throughput ==="
+if [ "$QUICK" = "--quick" ]; then
+  build/bench/live_throughput --quick --baseline bench/baselines/live_throughput.json
+else
+  build/bench/live_throughput --baseline bench/baselines/live_throughput.json
 fi
 
 # Indexing/ranking hot-path smoke run + perf-regression guard:
@@ -82,6 +97,7 @@ for b in build/bench/*; do
   { [ -f "$b" ] && [ -x "$b" ]; } || continue
   [ "$(basename "$b")" = "search_throughput" ] && continue
   [ "$(basename "$b")" = "gossip_throughput" ] && continue
+  [ "$(basename "$b")" = "live_throughput" ] && continue
   [ "$(basename "$b")" = "index_throughput" ] && continue
   [ "$(basename "$b")" = "mixed_workload" ] && continue
   echo "=== $(basename "$b") ==="

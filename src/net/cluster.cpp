@@ -1,0 +1,251 @@
+#include "net/cluster.hpp"
+
+#include <dirent.h>
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+
+namespace planetp::net {
+
+namespace {
+
+TimePoint steady_micros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+LiveCluster::LiveCluster(std::size_t n, LiveNodeConfig config) : config_(std::move(config)) {
+  slots_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    slots_[i].node = std::make_unique<LiveNode>(static_cast<gossip::PeerId>(i + 1), config_);
+    slots_[i].port = port_of(slots_[i].node->address());
+  }
+}
+
+LiveCluster::~LiveCluster() { stop(); }
+
+std::uint16_t LiveCluster::port_of(const std::string& address) {
+  const auto colon = address.rfind(':');
+  return static_cast<std::uint16_t>(std::stoul(address.substr(colon + 1)));
+}
+
+LiveNode& LiveCluster::node(std::size_t index) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (slots_[index].node == nullptr) throw std::runtime_error("LiveCluster: node is down");
+  return *slots_[index].node;
+}
+
+bool LiveCluster::is_up(std::size_t index) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return slots_[index].node != nullptr;
+}
+
+std::size_t LiveCluster::up_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t n = 0;
+  for (const Slot& slot : slots_) n += slot.node != nullptr;
+  return n;
+}
+
+void LiveCluster::start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (started_) return;
+  started_ = true;
+  initial_records_.clear();
+  initial_records_.reserve(slots_.size());
+  for (const Slot& slot : slots_) {
+    initial_records_.push_back(slot.node->bootstrap_record());
+  }
+  for (Slot& slot : slots_) {
+    slot.node->bootstrap_converged(initial_records_);
+    slot.node->start();
+  }
+}
+
+void LiveCluster::retire_locked(Slot& slot) {
+  retired_ += slot.node->net_stats();
+  retired_rounds_ += slot.node->gossip_rounds();
+  const auto jitter = slot.node->round_jitter_samples();
+  retired_jitter_.insert(retired_jitter_.end(), jitter.begin(), jitter.end());
+}
+
+void LiveCluster::crash(std::size_t index) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Slot& slot = slots_[index];
+  if (slot.node == nullptr) return;
+  slot.crash_version = 1;
+  const auto id = static_cast<gossip::PeerId>(index + 1);
+  for (const auto& info : slot.node->directory_snapshot()) {
+    if (info.id == id) slot.crash_version = info.version;
+  }
+  retire_locked(slot);
+  slot.node.reset();  // reactor stops, every fd closes — a real process death
+}
+
+void LiveCluster::restart(std::size_t index, bool lose_directory) {
+  std::unique_lock<std::mutex> lock(mu_);
+  Slot& slot = slots_[index];
+  if (slot.node != nullptr) return;
+  const auto id = static_cast<gossip::PeerId>(index + 1);
+  slot.node = std::make_unique<LiveNode>(id, config_, slot.port);
+
+  if (!lose_directory) {
+    // Restart keeping the directory: the initial membership plus our own
+    // pre-crash version, then a rejoin rumor bumping past it so everyone
+    // learns we are back (and our catch-up pull syncs what we missed).
+    std::vector<gossip::PeerRecord> records = initial_records_;
+    for (gossip::PeerRecord& r : records) {
+      if (r.id == id) r.version = slot.crash_version;
+    }
+    slot.node->bootstrap_converged(std::move(records));
+    slot.node->start();
+    slot.node->announce_rejoin();
+    return;
+  }
+
+  // Cold rejoin: empty directory, introduce through the lowest live node.
+  gossip::PeerId introducer = gossip::kInvalidPeer;
+  std::string introducer_address;
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    if (i != index && slots_[i].node != nullptr) {
+      introducer = static_cast<gossip::PeerId>(i + 1);
+      introducer_address = slots_[i].node->address();
+      break;
+    }
+  }
+  slot.node->start();
+  lock.unlock();
+  if (introducer != gossip::kInvalidPeer) {
+    slots_[index].node->join(introducer, introducer_address);
+  }
+}
+
+void LiveCluster::run_churn(std::vector<sim::CrashEvent> events) {
+  join_churn();
+  struct Action {
+    TimePoint at;
+    std::size_t index;
+    bool is_restart;
+    bool lose_directory;
+  };
+  std::vector<Action> actions;
+  for (const sim::CrashEvent& ev : events) {
+    if (ev.peer == gossip::kInvalidPeer || ev.peer == 0) continue;
+    const std::size_t index = static_cast<std::size_t>(ev.peer) - 1;
+    if (index >= slots_.size()) continue;
+    actions.push_back(Action{ev.at, index, false, false});
+    if (ev.restart_at > ev.at) {
+      actions.push_back(Action{ev.restart_at, index, true, ev.lose_directory});
+    }
+  }
+  std::stable_sort(actions.begin(), actions.end(),
+                   [](const Action& a, const Action& b) { return a.at < b.at; });
+
+  churn_ = std::thread([this, actions = std::move(actions)] {
+    const TimePoint origin = steady_micros();
+    for (const Action& action : actions) {
+      const TimePoint due = origin + action.at;
+      for (;;) {
+        const TimePoint now = steady_micros();
+        if (now >= due) break;
+        std::this_thread::sleep_for(std::chrono::microseconds(due - now));
+      }
+      if (action.is_restart) {
+        restart(action.index, action.lose_directory);
+      } else {
+        crash(action.index);
+      }
+    }
+  });
+}
+
+void LiveCluster::join_churn() {
+  if (churn_.joinable()) churn_.join();
+}
+
+void LiveCluster::stop() {
+  join_churn();
+  std::lock_guard<std::mutex> lock(mu_);
+  for (Slot& slot : slots_) {
+    if (slot.node != nullptr) {
+      retire_locked(slot);
+      slot.node.reset();
+    }
+  }
+  started_ = false;
+}
+
+NetStats LiveCluster::total_net_stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  NetStats total = retired_;
+  for (const Slot& slot : slots_) {
+    if (slot.node != nullptr) total += slot.node->net_stats();
+  }
+  return total;
+}
+
+std::uint64_t LiveCluster::total_rounds() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::uint64_t total = retired_rounds_;
+  for (const Slot& slot : slots_) {
+    if (slot.node != nullptr) total += slot.node->gossip_rounds();
+  }
+  return total;
+}
+
+std::vector<Duration> LiveCluster::merged_round_jitter() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Duration> merged = retired_jitter_;
+  for (const Slot& slot : slots_) {
+    if (slot.node == nullptr) continue;
+    const auto samples = slot.node->round_jitter_samples();
+    merged.insert(merged.end(), samples.begin(), samples.end());
+  }
+  return merged;
+}
+
+bool LiveCluster::wait_for_version_all(gossip::PeerId peer, std::uint64_t version,
+                                       Duration timeout) {
+  const TimePoint deadline = steady_micros() + timeout;
+  for (;;) {
+    bool all = true;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (const Slot& slot : slots_) {
+        if (slot.node == nullptr) continue;
+        bool seen = false;
+        for (const auto& info : slot.node->directory_snapshot()) {
+          if (info.id == peer && info.version >= version) {
+            seen = true;
+            break;
+          }
+        }
+        if (!seen) {
+          all = false;
+          break;
+        }
+      }
+    }
+    if (all) return true;
+    if (steady_micros() >= deadline) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+}
+
+std::size_t LiveCluster::open_fd_count() {
+  DIR* dir = ::opendir("/proc/self/fd");
+  if (dir == nullptr) return 0;
+  std::size_t count = 0;
+  while (const dirent* entry = ::readdir(dir)) {
+    if (entry->d_name[0] == '.') continue;
+    ++count;
+  }
+  ::closedir(dir);
+  return count - 1;  // exclude the directory stream's own fd
+}
+
+}  // namespace planetp::net

@@ -1,0 +1,101 @@
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "net/live_node.hpp"
+#include "sim/faults.hpp"
+
+/// \file cluster.hpp
+/// In-process loopback community of LiveNodes — the harness behind the
+/// sim-vs-live cross-validation (docs/NET.md): converged bootstrap of N
+/// nodes, a wall-clock churn driver replaying a FaultPlan's crash/restart
+/// events against real sockets, and aggregate NetStats / round-jitter /
+/// fd accounting that survives node crashes (a crashed node's totals are
+/// retired into the aggregate, not lost).
+
+namespace planetp::net {
+
+class LiveCluster {
+ public:
+  /// Construct \p n nodes with ids 1..n, each listening on an ephemeral
+  /// loopback port. Nothing gossips until start(). Publish documents on
+  /// individual nodes before start() to have their filters in everyone's
+  /// bootstrap directory.
+  LiveCluster(std::size_t n, LiveNodeConfig config);
+  ~LiveCluster();
+
+  LiveCluster(const LiveCluster&) = delete;
+  LiveCluster& operator=(const LiveCluster&) = delete;
+
+  std::size_t size() const { return slots_.size(); }
+
+  /// The node at \p index (id = index + 1). The caller must not race this
+  /// against churn crashing the same node.
+  LiveNode& node(std::size_t index);
+  bool is_up(std::size_t index) const;
+  std::size_t up_count() const;
+
+  /// Start every node with the full membership pre-seeded (the live
+  /// counterpart of SimCommunity::start_converged — no join storm).
+  void start();
+
+  /// Stop everything (idempotent); joins the churn driver first.
+  void stop();
+
+  /// Crash node \p index now: its reactor stops, every fd closes, its
+  /// counters/jitter/rounds are retired into the aggregate. Its directory
+  /// self-version is remembered for a directory-keeping restart.
+  void crash(std::size_t index);
+
+  /// Restart a crashed node on its original port. Keeps the directory
+  /// (bootstrap + rejoin rumor resuming past the pre-crash version) unless
+  /// \p lose_directory, which rejoins empty through the lowest live node.
+  void restart(std::size_t index, bool lose_directory);
+
+  /// Replay \p events (node-relative microseconds, as built by
+  /// FaultPlan::crash) against wall-clock time on a background driver
+  /// thread. Returns immediately; join_churn() blocks until done.
+  void run_churn(std::vector<sim::CrashEvent> events);
+  void join_churn();
+
+  /// Aggregate transport counters: every live node plus everything retired
+  /// by crashes and stop().
+  NetStats total_net_stats() const;
+  std::uint64_t total_rounds() const;
+  std::vector<Duration> merged_round_jitter() const;
+
+  /// True once every currently-up node sees \p peer at >= \p version.
+  bool wait_for_version_all(gossip::PeerId peer, std::uint64_t version, Duration timeout);
+
+  /// Open descriptors of this process (via /proc/self/fd) — the fd-hygiene
+  /// ground truth for leak tests.
+  static std::size_t open_fd_count();
+
+ private:
+  struct Slot {
+    std::unique_ptr<LiveNode> node;
+    std::uint16_t port = 0;           ///< pinned across restarts
+    std::uint64_t crash_version = 0;  ///< self directory version at crash
+  };
+
+  void retire_locked(Slot& slot);
+  static std::uint16_t port_of(const std::string& address);
+
+  LiveNodeConfig config_;
+  mutable std::mutex mu_;
+  std::vector<Slot> slots_;
+  std::vector<gossip::PeerRecord> initial_records_;
+
+  // Retired accounting from crashed/stopped nodes.
+  NetStats retired_;
+  std::uint64_t retired_rounds_ = 0;
+  std::vector<Duration> retired_jitter_;
+
+  std::thread churn_;
+  bool started_ = false;
+};
+
+}  // namespace planetp::net

@@ -40,11 +40,15 @@ void FrameDecoder::feed(std::span<const std::uint8_t> data) {
   buf_.insert(buf_.end(), data.begin(), data.end());
 }
 
+void FrameDecoder::set_max_frame_bytes(std::size_t cap) {
+  max_frame_bytes_ = cap < kMaxFrameBytes ? cap : kMaxFrameBytes;
+}
+
 std::optional<Frame> FrameDecoder::next() {
   const std::size_t avail = buf_.size() - consumed_;
   if (avail < 4) return std::nullopt;
   const std::uint32_t body = read_u32(buf_.data() + consumed_);
-  if (body < 5 || body > kMaxFrameBytes) {
+  if (body < 5 || body > max_frame_bytes_) {
     throw std::runtime_error("FrameDecoder: corrupt frame length");
   }
   if (avail < 4 + static_cast<std::size_t>(body)) return std::nullopt;

@@ -46,16 +46,26 @@ class FrameDecoder {
   void feed(std::span<const std::uint8_t> data);
 
   /// Pop the next complete frame, if any. Throws std::runtime_error when the
-  /// stream is corrupt (oversized frame).
+  /// stream is corrupt (oversized frame, per the configured cap).
   std::optional<Frame> next();
 
   std::size_t buffered() const { return buf_.size() - consumed_; }
+
+  /// Lower the acceptable frame-body bound below the wire-format maximum.
+  /// With the default (kMaxFrameBytes) a peer streaming just-under-limit
+  /// headers can pin 64MB of undecoded buffer per connection; the reactor
+  /// configures a tighter cap (ReactorConfig::max_frame_bytes) so such a
+  /// stream is rejected as corrupt instead. Values above kMaxFrameBytes are
+  /// clamped to it.
+  void set_max_frame_bytes(std::size_t cap);
+  std::size_t max_frame_bytes() const { return max_frame_bytes_; }
 
  private:
   void compact();
 
   std::vector<std::uint8_t> buf_;
   std::size_t consumed_ = 0;
+  std::size_t max_frame_bytes_ = kMaxFrameBytes;
 };
 
 }  // namespace planetp::net

@@ -16,6 +16,7 @@ using gossip::PeerId;
 LiveNode::LiveNode(PeerId id, LiveNodeConfig config, std::uint16_t port)
     : id_(id),
       config_(config),
+      reactor_(config.reactor),
       store_(id, config.bloom, config.analyzer),
       protocol_(id, config.gossip, Rng(0x11fe00d ^ id)),
       last_announced_(config.bloom),
@@ -68,12 +69,65 @@ void LiveNode::start() {
     std::lock_guard<std::mutex> lock(mu_);
     ByteWriter w;
     bloom::encode_filter(w, store_.bloom_filter());
-    protocol_.local_join(address(), gossip::LinkClass::kFast,
-                         static_cast<std::uint32_t>(store_.index().num_terms()), w.take(),
-                         0);
+    const auto key_count = static_cast<std::uint32_t>(store_.index().num_terms());
+    if (bootstrap_requested_) {
+      // Converged start: install everyone quietly, no join rumor. When the
+      // seeded records carried a version for ourselves (restart keeping the
+      // directory) resume from it so peers' stale records lose to ours.
+      protocol_.quiet_start(address(), gossip::LinkClass::kFast, key_count, w.take());
+      protocol_.bootstrap(bootstrap_records_);
+      if (bootstrap_self_version_ > 1) {
+        if (const gossip::PeerRecord* self = protocol_.directory().find(id_)) {
+          gossip::PeerRecord resumed = *self;
+          resumed.version = bootstrap_self_version_;
+          protocol_.directory().put_self(std::move(resumed));
+        }
+      }
+      bootstrap_records_.clear();
+    } else {
+      protocol_.local_join(address(), gossip::LinkClass::kFast, key_count, w.take(), 0);
+    }
   }
-  reactor_.schedule(protocol_.current_interval(), [this] { gossip_round(); });
+  const Duration first = protocol_.current_interval();
+  {
+    std::lock_guard<std::mutex> lock(jitter_mu_);
+    last_round_due_ = steady_micros() + first;
+  }
+  reactor_.schedule(first, [this] { gossip_round(); });
   reactor_.schedule(5 * kSecond, [this] { sweep_broker_store(); });
+}
+
+void LiveNode::bootstrap_converged(std::vector<gossip::PeerRecord> records) {
+  std::lock_guard<std::mutex> lock(mu_);
+  bootstrap_self_version_ = 0;
+  for (const gossip::PeerRecord& r : records) {
+    if (r.id == id_) bootstrap_self_version_ = r.version;
+  }
+  bootstrap_records_ = std::move(records);
+  bootstrap_requested_ = true;
+}
+
+gossip::PeerRecord LiveNode::bootstrap_record(bool include_filter) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  gossip::PeerRecord r;
+  r.id = id_;
+  r.address = reactor_.address();
+  r.link_class = gossip::LinkClass::kFast;
+  r.version = 1;
+  r.online = true;
+  r.key_count = static_cast<std::uint32_t>(store_.index().num_terms());
+  if (include_filter && r.key_count > 0) {
+    ByteWriter w;
+    bloom::encode_filter(w, store_.bloom_filter());
+    r.filter_wire = w.take();
+  }
+  return r;
+}
+
+void LiveNode::announce_rejoin() {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Bumps our version and rumors presence; the rumor rides the next round.
+  protocol_.local_rejoin(steady_micros());
 }
 
 void LiveNode::stop() {
@@ -98,8 +152,25 @@ void LiveNode::join(PeerId introducer, const std::string& introducer_address) {
   send_outgoing(std::move(out));
 }
 
+namespace {
+constexpr std::size_t kJitterWindow = 512;
+}
+
 void LiveNode::gossip_round() {
   if (!started_) return;
+  const TimePoint entered = steady_micros();
+  rounds_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(jitter_mu_);
+    if (last_round_due_ != 0) {
+      const Duration jitter =
+          entered > last_round_due_ ? entered - last_round_due_ : last_round_due_ - entered;
+      if (jitter_samples_.size() >= kJitterWindow) {
+        jitter_samples_.erase(jitter_samples_.begin());
+      }
+      jitter_samples_.push_back(jitter);
+    }
+  }
   std::vector<gossip::Protocol::Outgoing> out;
   Duration next;
   {
@@ -108,7 +179,16 @@ void LiveNode::gossip_round() {
     next = protocol_.current_interval();
   }
   send_outgoing(std::move(out));
+  {
+    std::lock_guard<std::mutex> lock(jitter_mu_);
+    last_round_due_ = steady_micros() + next;
+  }
   reactor_.schedule(next, [this] { gossip_round(); });
+}
+
+std::vector<Duration> LiveNode::round_jitter_samples() const {
+  std::lock_guard<std::mutex> lock(jitter_mu_);
+  return jitter_samples_;
 }
 
 std::string LiveNode::address_of(PeerId peer) const {
@@ -173,13 +253,28 @@ void LiveNode::on_frame(const Frame& frame) {
 }
 
 void LiveNode::on_send_failure(const std::string& address) {
-  std::lock_guard<std::mutex> lock(mu_);
-  // Identify which peer the address belongs to and mark it offline (§3).
-  PeerId failed = gossip::kInvalidPeer;
-  protocol_.directory().for_each([&](const gossip::PeerRecord& r) {
-    if (r.address == address) failed = r.id;
-  });
-  if (failed != gossip::kInvalidPeer) protocol_.on_send_failed(failed, 0);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // Identify which peer the address belongs to and mark it offline (§3).
+    PeerId failed = gossip::kInvalidPeer;
+    protocol_.directory().for_each([&](const gossip::PeerRecord& r) {
+      if (r.address == address) failed = r.id;
+    });
+    if (failed != gossip::kInvalidPeer) protocol_.on_send_failed(failed, 0);
+  }
+  // Fail any synchronous RPC waiting on this address now rather than letting
+  // it burn the full rpc_timeout against a dead socket.
+  bool woke = false;
+  {
+    std::lock_guard<std::mutex> lock(rpc_mu_);
+    for (auto& [id, pending] : rpc_pending_) {
+      if (pending.address == address && !pending.failed) {
+        pending.failed = true;
+        woke = true;
+      }
+    }
+  }
+  if (woke) rpc_cv_.notify_all();
 }
 
 // ---------------------------------------------------------------------------
@@ -233,7 +328,7 @@ void LiveNode::reply_rpc(std::uint32_t peer, const RpcMessage& msg) {
   frame.sender = id_;
   frame.channel = Channel::kRpc;
   frame.payload = encode_rpc(msg);
-  reactor_.send(addr, std::move(frame));
+  reactor_.send(addr, std::move(frame), SendClass::kRpc);
 }
 
 void LiveNode::handle_rpc(std::uint32_t sender, const RpcMessage& msg) {
@@ -340,26 +435,48 @@ void LiveNode::handle_rpc(std::uint32_t sender, const RpcMessage& msg) {
 // RPC client side
 // ---------------------------------------------------------------------------
 
-std::optional<RpcMessage> LiveNode::call(PeerId peer, RpcMessage request) {
+std::optional<RpcMessage> LiveNode::call(PeerId peer, RpcMessage request,
+                                         search::ContactStatus* status) {
+  const auto fail = [&](search::ContactStatus s) {
+    if (status != nullptr) *status = s;
+    return std::nullopt;
+  };
   std::string addr;
   {
     std::lock_guard<std::mutex> lock(mu_);
     addr = address_of(peer);
   }
-  if (addr.empty()) return std::nullopt;
+  if (addr.empty()) return fail(search::ContactStatus::kUnreachable);
 
   const std::uint64_t request_id = rpc_request_id(request);
   Frame frame;
   frame.sender = id_;
   frame.channel = Channel::kRpc;
   frame.payload = encode_rpc(request);
-  reactor_.send(addr, std::move(frame));
+  {
+    std::lock_guard<std::mutex> lock(rpc_mu_);
+    rpc_pending_.emplace(request_id, PendingRpc{addr, false});
+  }
+  if (reactor_.send(addr, std::move(frame), SendClass::kRpc) != SendResult::kEnqueued) {
+    std::lock_guard<std::mutex> lock(rpc_mu_);
+    rpc_pending_.erase(request_id);
+    return fail(search::ContactStatus::kUnreachable);
+  }
 
   std::unique_lock<std::mutex> lock(rpc_mu_);
   const bool got = rpc_cv_.wait_for(
-      lock, std::chrono::microseconds(config_.rpc_timeout),
-      [&] { return rpc_responses_.contains(request_id); });
-  if (!got) return std::nullopt;
+      lock, std::chrono::microseconds(config_.rpc_timeout), [&] {
+        return rpc_responses_.contains(request_id) || rpc_pending_[request_id].failed;
+      });
+  const bool transport_failed = rpc_pending_[request_id].failed;
+  rpc_pending_.erase(request_id);
+  if (!got || !rpc_responses_.contains(request_id)) {
+    // Transport gave up (connect refused / dropped frame) => unreachable,
+    // reported in far less than rpc_timeout; silence => timeout.
+    return fail(transport_failed ? search::ContactStatus::kUnreachable
+                                 : search::ContactStatus::kTimeout);
+  }
+  if (status != nullptr) *status = search::ContactStatus::kOk;
   auto node = rpc_responses_.extract(request_id);
   return std::move(node.mapped());
 }
@@ -434,12 +551,13 @@ std::vector<LiveHit> LiveNode::ranked_search(std::string_view query, std::size_t
     }
     for (const auto& [term, weight] : weights) req.weights.push_back({term, weight});
     const TimePoint sent_at = steady_micros();
-    const auto resp = call(peer, req);
+    search::ContactStatus status = search::ContactStatus::kTimeout;
+    const auto resp = call(peer, req, &status);
     const Duration latency = steady_micros() - sent_at;
     if (!resp) {
-      // No answer within rpc_timeout: the searcher cannot tell loss from
-      // slowness, so this is a timeout (retryable).
-      return search::PeerSearchResult::failure(search::ContactStatus::kTimeout, latency);
+      // kTimeout: silence within rpc_timeout (retryable). kUnreachable: the
+      // transport itself gave up on the peer — no point retrying in-query.
+      return search::PeerSearchResult::failure(status, latency);
     }
     if (const auto* r = std::get_if<RankedResponse>(&*resp)) {
       std::vector<search::ScoredDoc> docs;
@@ -676,7 +794,7 @@ std::uint64_t LiveNode::publish_snippet(std::string xml, std::vector<std::string
     frame.sender = id_;
     frame.channel = Channel::kRpc;
     frame.payload = encode_rpc(req);
-    reactor_.send(addr, std::move(frame));
+    reactor_.send(addr, std::move(frame), SendClass::kRpc);
   }
   return snippet.snippet_id;
 }

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <memory>
 #include <mutex>
@@ -30,6 +31,7 @@ struct LiveNodeConfig {
   bloom::BloomParams bloom;
   text::AnalyzerOptions analyzer;
   gossip::GossipConfig gossip;          ///< use short intervals for local tests
+  ReactorConfig reactor;                ///< transport caps, backoff, idle reaping
   Duration rpc_timeout = 3 * kSecond;
   search::StoppingHeuristic stopping;
   std::size_t search_group_size = 1;
@@ -84,6 +86,23 @@ class LiveNode {
 
   /// Bootstrap into an existing community through one known member.
   void join(gossip::PeerId introducer, const std::string& introducer_address);
+
+  /// Pre-seed the directory of an already-converged community (the live
+  /// counterpart of SimCommunity::start_converged): call before start(),
+  /// which will then install our own record quietly instead of rumoring a
+  /// join. Lets N-node experiments skip the O(N²) bootstrap gossip storm.
+  void bootstrap_converged(std::vector<gossip::PeerRecord> records);
+
+  /// Bump our directory version and rumor presence (gossip::local_rejoin) —
+  /// the restart half of a crash/restart churn event.
+  void announce_rejoin();
+
+  /// This node's own directory record as another node would bootstrap it
+  /// (version 1, online, current key count). The filter wire is included only
+  /// when requested and non-empty — at 1000 nodes, replicating every filter
+  /// into every bootstrap set is O(N²) memory for nothing when most nodes
+  /// publish no documents.
+  gossip::PeerRecord bootstrap_record(bool include_filter = true) const;
 
   /// Publish a plain-text document (wrapped in the XML envelope).
   index::DocumentId publish_text(std::string_view title, std::string_view body);
@@ -152,6 +171,16 @@ class LiveNode {
   /// The query hot-path cache (stats/introspection; tests and benches).
   const search::CandidateCache& candidate_cache() const { return filter_cache_; }
 
+  /// Transport counters (docs/NET.md "NetStats"): this node's reactor.
+  NetStats net_stats() const { return reactor_.stats(); }
+
+  /// Gossip rounds executed since start().
+  std::uint64_t gossip_rounds() const { return rounds_.load(std::memory_order_relaxed); }
+
+  /// |actual − scheduled| gap per gossip round, newest last (bounded window;
+  /// feeds the live_throughput bench's p99 round-jitter figure).
+  std::vector<Duration> round_jitter_samples() const;
+
  private:
   void on_frame(const Frame& frame);
   void on_send_failure(const std::string& address);
@@ -159,7 +188,12 @@ class LiveNode {
   void send_outgoing(std::vector<gossip::Protocol::Outgoing> batch);
   void handle_rpc(std::uint32_t sender, const RpcMessage& msg);
   void reply_rpc(std::uint32_t peer, const RpcMessage& msg);
-  std::optional<RpcMessage> call(gossip::PeerId peer, RpcMessage request);
+  /// Synchronous RPC. Returns the response, or nullopt with \p status (when
+  /// given) distinguishing kTimeout from kUnreachable — the latter reported
+  /// the moment the transport gives up on the address (connect refused,
+  /// backoff, frame dropped) instead of burning the full rpc_timeout.
+  std::optional<RpcMessage> call(gossip::PeerId peer, RpcMessage request,
+                                 search::ContactStatus* status = nullptr);
   std::string address_of(gossip::PeerId peer) const;
   void announce_filter_change(std::uint32_t new_keys);
   /// Broker responsible for \p key given the current directory (requires
@@ -192,11 +226,31 @@ class LiveNode {
   search::CandidateCache filter_cache_;
   std::uint64_t next_snippet_id_ = 1;
 
-  // Synchronous RPC bookkeeping.
+  // Synchronous RPC bookkeeping. Pending calls are keyed by request id and
+  // remember the address the request went to, so a transport failure on that
+  // address fails them fast (rpc_cv_ wakes with failed = true) instead of
+  // letting the caller wait out rpc_timeout.
+  struct PendingRpc {
+    std::string address;
+    bool failed = false;
+  };
   std::mutex rpc_mu_;
   std::condition_variable rpc_cv_;
   std::uint64_t next_request_id_ = 1;
   std::unordered_map<std::uint64_t, RpcMessage> rpc_responses_;
+  std::unordered_map<std::uint64_t, PendingRpc> rpc_pending_;
+
+  // Converged-start state: records installed at start() instead of a join
+  // rumor, plus our own pre-crash version to resume from (0 = fresh join).
+  std::vector<gossip::PeerRecord> bootstrap_records_;
+  std::uint64_t bootstrap_self_version_ = 0;
+  bool bootstrap_requested_ = false;
+
+  // Round accounting for observability and the live_throughput bench.
+  std::atomic<std::uint64_t> rounds_{0};
+  mutable std::mutex jitter_mu_;
+  std::vector<Duration> jitter_samples_;  ///< bounded ring, newest last
+  TimePoint last_round_due_ = 0;          ///< when the pending round should fire
 
   bool started_ = false;
 };

@@ -1,111 +1,156 @@
 #include "net/reactor.hpp"
 
 #include <arpa/inet.h>
-#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
-#include <poll.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
-#include <algorithm>
+#include <cerrno>
 #include <chrono>
 #include <cstring>
 #include <stdexcept>
-
-#include "util/logging.hpp"
 
 namespace planetp::net {
 
 namespace {
 
-void set_nonblocking(int fd) {
-  const int flags = ::fcntl(fd, F_GETFL, 0);
-  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
-}
-
 /// Parse "host:port"; only IPv4 dotted quads (or localhost) are supported —
 /// the runtime targets LAN/loopback deployments and tests.
 bool parse_address(const std::string& address, sockaddr_in& out) {
   const auto colon = address.rfind(':');
-  if (colon == std::string::npos) return false;
+  if (colon == std::string::npos || colon == 0 || colon + 1 >= address.size()) return false;
   std::string host = address.substr(0, colon);
   if (host == "localhost") host = "127.0.0.1";
-  const int port = std::atoi(address.c_str() + colon + 1);
-  if (port <= 0 || port > 65535) return false;
+  unsigned long port = 0;
+  for (std::size_t i = colon + 1; i < address.size(); ++i) {
+    const char c = address[i];
+    if (c < '0' || c > '9') return false;
+    port = port * 10 + static_cast<unsigned long>(c - '0');
+    if (port > 65535) return false;
+  }
+  if (port == 0) return false;
   std::memset(&out, 0, sizeof(out));
   out.sin_family = AF_INET;
   out.sin_port = htons(static_cast<std::uint16_t>(port));
   return ::inet_pton(AF_INET, host.c_str(), &out.sin_addr) == 1;
 }
 
+void set_nodelay(int fd) {
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+}
+
+constexpr auto kRelaxed = std::memory_order_relaxed;
+
 }  // namespace
 
-Reactor::Reactor() {
-  int pipe_fds[2];
-  if (::pipe(pipe_fds) != 0) throw std::runtime_error("Reactor: pipe() failed");
-  wake_read_ = pipe_fds[0];
-  wake_write_ = pipe_fds[1];
-  set_nonblocking(wake_read_);
-  set_nonblocking(wake_write_);
+TimePoint Reactor::steady_now() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
 }
 
-Reactor::~Reactor() {
-  stop();
-  if (listen_fd_ >= 0) ::close(listen_fd_);
-  for (auto& [fd, conn] : conns_) ::close(fd);
-  ::close(wake_read_);
-  ::close(wake_write_);
+Reactor::Reactor(ReactorConfig config) : config_(config) {
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd_ < 0) throw std::runtime_error("Reactor: epoll_create1 failed");
+  wake_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (wake_fd_ < 0) throw std::runtime_error("Reactor: eventfd failed");
 }
+
+Reactor::~Reactor() { stop(); }
 
 std::uint16_t Reactor::listen(std::uint16_t port) {
-  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
   if (listen_fd_ < 0) throw std::runtime_error("Reactor: socket() failed");
-  const int one = 1;
-  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(port);
-  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-    throw std::runtime_error("Reactor: bind() failed");
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in sa{};
+  sa.sin_family = AF_INET;
+  sa.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &sa.sin_addr);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&sa), sizeof sa) < 0 ||
+      ::listen(listen_fd_, SOMAXCONN) < 0) {
+    throw std::runtime_error("Reactor: bind/listen failed");
   }
-  if (::listen(listen_fd_, 64) != 0) throw std::runtime_error("Reactor: listen() failed");
-
-  socklen_t len = sizeof(addr);
-  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
-  port_ = ntohs(addr.sin_port);
-  set_nonblocking(listen_fd_);
+  socklen_t len = sizeof sa;
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&sa), &len);
+  port_ = ntohs(sa.sin_port);
   return port_;
 }
 
 void Reactor::start(FrameHandler on_frame, FailureHandler on_failure) {
   on_frame_ = std::move(on_frame);
   on_failure_ = std::move(on_failure);
+
+  // Sentinel fds carry generation 0 in the upper half of the epoll data word;
+  // connection fds always carry gen >= 1, so the two can never collide.
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.u64 = static_cast<std::uint64_t>(wake_fd_);
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev);
+  if (listen_fd_ >= 0) {
+    ev.events = EPOLLIN;
+    ev.data.u64 = static_cast<std::uint64_t>(listen_fd_);
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev);
+  }
+
   running_.store(true);
   thread_ = std::thread([this] { loop(); });
 }
 
 void Reactor::stop() {
-  if (!running_.exchange(false)) return;
-  const char byte = 1;
-  [[maybe_unused]] ssize_t n = ::write(wake_write_, &byte, 1);
-  if (thread_.joinable()) thread_.join();
+  running_.store(false);
+  if (thread_.joinable()) {
+    wake();
+    thread_.join();
+  }
+  counters_.closes.fetch_add(conns_.size(), kRelaxed);
+  for (auto& [fd, conn] : conns_) ::close(fd);
+  conns_.clear();
+  links_.clear();
+  pending_reads_.clear();
+  counters_.connections.store(0, kRelaxed);
+  counters_.queued_bytes.store(0, kRelaxed);
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  if (wake_fd_ >= 0) {
+    ::close(wake_fd_);
+    wake_fd_ = -1;
+  }
+  if (epoll_fd_ >= 0) {
+    ::close(epoll_fd_);
+    epoll_fd_ = -1;
+  }
 }
 
-void Reactor::send(const std::string& address, Frame frame) {
-  post([this, address, frame = std::move(frame)]() mutable {
-    Connection* conn = connection_to(address);
-    if (conn == nullptr) {
-      if (on_failure_) on_failure_(address);
-      return;
-    }
-    // Serialize straight into the connection's outbound queue: no per-frame
-    // intermediate buffer on the send path.
-    append_frame(conn->out, frame);
-    if (!conn->connecting) flush(*conn);
+void Reactor::wake() {
+  if (wake_fd_ < 0) return;
+  const std::uint64_t one = 1;
+  [[maybe_unused]] const ssize_t r = ::write(wake_fd_, &one, sizeof one);
+}
+
+SendResult Reactor::send(const std::string& address, Frame frame, SendClass cls) {
+  const std::size_t fsz = frame_size(frame);
+  if (fsz - 4 > config_.max_frame_bytes) {
+    counters_.drops_backpressure.fetch_add(1, kRelaxed);
+    return SendResult::kRejectedOversize;
+  }
+  // Fast-path RPC admission off-thread; the authoritative check re-runs on
+  // the reactor thread where the gauge cannot race with the enqueue.
+  if (cls == SendClass::kRpc &&
+      counters_.queued_bytes.load(kRelaxed) + fsz > config_.global_outbound_cap) {
+    counters_.rpc_rejected_full.fetch_add(1, kRelaxed);
+    return SendResult::kRejectedFull;
+  }
+  post([this, address, frame = std::move(frame), cls]() mutable {
+    enqueue_on_reactor(address, std::move(frame), cls);
   });
+  return SendResult::kEnqueued;
 }
 
 void Reactor::post(std::function<void()> fn) {
@@ -113,136 +158,105 @@ void Reactor::post(std::function<void()> fn) {
     std::lock_guard<std::mutex> lock(mu_);
     tasks_.push_back(std::move(fn));
   }
-  const char byte = 1;
-  [[maybe_unused]] ssize_t n = ::write(wake_write_, &byte, 1);
+  wake();
 }
 
 std::uint64_t Reactor::schedule(Duration delay, std::function<void()> fn) {
   const std::uint64_t token = next_timer_token_.fetch_add(1);
-  Timer t{steady_now() + delay, token, std::move(fn)};
   {
     std::lock_guard<std::mutex> lock(timer_mu_);
-    pending_timers_.push_back(std::move(t));
+    pending_timers_.push_back(Timer{steady_now() + delay, token, std::move(fn)});
   }
-  const char byte = 1;
-  [[maybe_unused]] ssize_t n = ::write(wake_write_, &byte, 1);
+  wake();
   return token;
 }
 
 void Reactor::cancel_timer(std::uint64_t token) {
-  std::lock_guard<std::mutex> lock(timer_mu_);
-  cancelled_timers_.push_back(token);
-}
-
-TimePoint Reactor::steady_now() const {
-  return std::chrono::duration_cast<std::chrono::microseconds>(
-             std::chrono::steady_clock::now().time_since_epoch())
-      .count();
-}
-
-Reactor::Connection* Reactor::connection_to(const std::string& address) {
-  auto it = outbound_.find(address);
-  if (it != outbound_.end()) return &conns_[it->second];
-
-  sockaddr_in addr{};
-  if (!parse_address(address, addr)) return nullptr;
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) return nullptr;
-  set_nonblocking(fd);
-  const int one = 1;
-  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-
-  Connection conn;
-  conn.fd = fd;
-  conn.address = address;
-  const int rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
-  if (rc != 0 && errno != EINPROGRESS) {
-    ::close(fd);
-    return nullptr;
+  {
+    std::lock_guard<std::mutex> lock(timer_mu_);
+    cancelled_timers_.push_back(token);
   }
-  conn.connecting = (rc != 0);
-  conns_.emplace(fd, std::move(conn));
-  outbound_.emplace(address, fd);
-  return &conns_[fd];
+  wake();
 }
 
-void Reactor::flush(Connection& conn) {
-  while (conn.out_pos < conn.out.size()) {
-    const ssize_t n = ::send(conn.fd, conn.out.data() + conn.out_pos,
-                             conn.out.size() - conn.out_pos, MSG_NOSIGNAL);
-    if (n > 0) {
-      conn.out_pos += static_cast<std::size_t>(n);
-    } else if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
-      break;
-    } else {
-      close_connection(conn.fd, /*notify_failure=*/true);
-      return;
+void Reactor::loop() {
+  next_maintenance_ = steady_now() + config_.maintenance_interval;
+  epoll_event events[128];
+
+  while (running_.load()) {
+    drain_tasks();
+    fire_timers();
+
+    TimePoint now = steady_now();
+    if (now >= next_maintenance_) {
+      maintenance_sweep();
+      now = steady_now();
+      next_maintenance_ = now + config_.maintenance_interval;
     }
-  }
-  if (conn.out_pos == conn.out.size()) {
-    conn.out.clear();
-    conn.out_pos = 0;
-  } else if (conn.out_pos > 65536) {
-    conn.out.erase(conn.out.begin(), conn.out.begin() + static_cast<std::ptrdiff_t>(conn.out_pos));
-    conn.out_pos = 0;
-  }
-}
+    process_pending_reads();
 
-void Reactor::close_connection(int fd, bool notify_failure) {
-  auto it = conns_.find(fd);
-  if (it == conns_.end()) return;
-  const bool had_pending = it->second.out_pos < it->second.out.size();
-  const std::string address = it->second.address;
-  if (!address.empty()) outbound_.erase(address);
-  ::close(fd);
-  conns_.erase(it);
-  if (notify_failure && had_pending && !address.empty() && on_failure_) {
-    on_failure_(address);
-  }
-}
+    // Timeout: zero when work is already pending, else until the nearest of
+    // the next timer and the maintenance sweep (so connect timeouts and idle
+    // reaping run without traffic). Round up to avoid a sub-ms busy spin.
+    int timeout_ms;
+    bool work_pending = !pending_reads_.empty();
+    if (!work_pending) {
+      std::lock_guard<std::mutex> lock(mu_);
+      work_pending = !tasks_.empty();
+    }
+    if (work_pending) {
+      timeout_ms = 0;
+    } else {
+      TimePoint next = next_maintenance_;
+      if (!timers_.empty() && timers_.begin()->first < next) next = timers_.begin()->first;
+      const TimePoint wait_us = next > now ? next - now : 0;
+      timeout_ms = static_cast<int>((wait_us + 999) / 1000);
+    }
 
-void Reactor::handle_readable(int fd) {
-  auto it = conns_.find(fd);
-  if (it == conns_.end()) return;
-  Connection& conn = it->second;
-  std::uint8_t buf[16384];
-  while (true) {
-    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
-    if (n > 0) {
-      conn.decoder.feed(std::span<const std::uint8_t>(buf, static_cast<std::size_t>(n)));
-      try {
-        while (auto frame = conn.decoder.next()) {
-          if (on_frame_) on_frame_(*frame);
+    const int n = ::epoll_wait(epoll_fd_, events, 128, timeout_ms);
+    for (int i = 0; i < n; ++i) {
+      const std::uint32_t flags = events[i].events;
+      const std::uint64_t data = events[i].data.u64;
+      const int fd = static_cast<int>(data & 0xffffffffu);
+      const std::uint64_t gen = data >> 32;
+
+      if (gen == 0) {
+        if (fd == wake_fd_) {
+          std::uint64_t v;
+          [[maybe_unused]] const ssize_t r = ::read(wake_fd_, &v, sizeof v);
+        } else if (fd == listen_fd_) {
+          accept_new();
         }
-      } catch (const std::exception& e) {
-        PLOG_WARN("net", "corrupt stream from fd ", fd, ": ", e.what());
-        close_connection(fd, true);
-        return;
+        continue;
       }
-    } else if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
-      return;
-    } else {
-      close_connection(fd, n < 0);
-      return;
-    }
-  }
-}
 
-void Reactor::handle_writable(int fd) {
-  auto it = conns_.find(fd);
-  if (it == conns_.end()) return;
-  Connection& conn = it->second;
-  if (conn.connecting) {
-    int err = 0;
-    socklen_t len = sizeof(err);
-    ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len);
-    if (err != 0) {
-      close_connection(fd, true);
-      return;
+      // A connection closed earlier in this batch may have let accept() reuse
+      // its fd number; the generation tag rejects such stale events.
+      auto alive = [&]() -> Connection* {
+        auto it = conns_.find(fd);
+        if (it == conns_.end() || (it->second.gen & 0xffffffffu) != gen) return nullptr;
+        return &it->second;
+      };
+
+      Connection* conn = alive();
+      if (!conn) continue;
+      if (flags & (EPOLLERR | EPOLLHUP)) {
+        // Let the normal paths classify it: a pending connect reads SO_ERROR,
+        // an established stream sees EOF/reset on read.
+        if (conn->connecting) {
+          handle_writable(*conn);
+        } else {
+          handle_readable(*conn);
+        }
+        if (!(conn = alive())) continue;
+      }
+      if (flags & EPOLLIN) {
+        handle_readable(*conn);
+        if (!(conn = alive())) continue;
+      }
+      if (flags & EPOLLOUT) handle_writable(*conn);
     }
-    conn.connecting = false;
   }
-  flush(conn);
 }
 
 void Reactor::drain_tasks() {
@@ -257,75 +271,357 @@ void Reactor::drain_tasks() {
 void Reactor::fire_timers() {
   {
     std::lock_guard<std::mutex> lock(timer_mu_);
-    for (auto& t : pending_timers_) timers_.emplace(t.at, std::move(t));
+    for (auto& timer : pending_timers_) {
+      const TimePoint at = timer.at;
+      timers_.emplace(at, std::move(timer));
+    }
     pending_timers_.clear();
-    for (std::uint64_t token : cancelled_timers_) {
-      for (auto it = timers_.begin(); it != timers_.end();) {
-        it = it->second.token == token ? timers_.erase(it) : std::next(it);
+    for (const std::uint64_t token : cancelled_timers_) {
+      for (auto it = timers_.begin(); it != timers_.end(); ++it) {
+        if (it->second.token == token) {
+          timers_.erase(it);
+          break;
+        }
       }
     }
     cancelled_timers_.clear();
   }
   const TimePoint now = steady_now();
   while (!timers_.empty() && timers_.begin()->first <= now) {
-    auto node = timers_.extract(timers_.begin());
-    node.mapped().fn();
+    auto fn = std::move(timers_.begin()->second.fn);
+    timers_.erase(timers_.begin());
+    if (fn) fn();
   }
 }
 
-void Reactor::loop() {
-  while (running_.load()) {
-    drain_tasks();
-    fire_timers();
+void Reactor::process_pending_reads() {
+  if (pending_reads_.empty()) return;
+  std::vector<int> ready;
+  ready.swap(pending_reads_);
+  for (const int fd : ready) {
+    auto it = conns_.find(fd);
+    if (it == conns_.end() || !it->second.read_pending) continue;
+    it->second.read_pending = false;
+    handle_readable(it->second);
+  }
+}
 
-    std::vector<pollfd> fds;
-    fds.push_back(pollfd{wake_read_, POLLIN, 0});
-    if (listen_fd_ >= 0) fds.push_back(pollfd{listen_fd_, POLLIN, 0});
-    for (const auto& [fd, conn] : conns_) {
-      short events = POLLIN;
-      if (conn.connecting || conn.out_pos < conn.out.size()) events |= POLLOUT;
-      fds.push_back(pollfd{fd, events, 0});
+void Reactor::accept_new() {
+  for (;;) {
+    const int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // EAGAIN: batch drained; EMFILE etc.: retry on the next event
     }
+    set_nodelay(fd);
 
-    int timeout_ms = 200;
-    if (!timers_.empty()) {
-      const auto until = timers_.begin()->first - steady_now();
-      timeout_ms = static_cast<int>(std::clamp<Duration>(until / kMillisecond, 0, 200));
+    if ((next_gen_ & 0xffffffffu) == 0) ++next_gen_;  // gen 0 is the sentinel
+    Connection conn;
+    conn.fd = fd;
+    conn.gen = next_gen_++;
+    conn.decoder.set_max_frame_bytes(config_.max_frame_bytes);
+    conn.created_at = conn.last_activity = steady_now();
+
+    epoll_event ev{};
+    ev.events = EPOLLIN | EPOLLOUT | EPOLLET;
+    ev.data.u64 = (conn.gen << 32) | static_cast<std::uint32_t>(fd);
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) < 0) {
+      ::close(fd);
+      continue;
     }
-    const int rc = ::poll(fds.data(), fds.size(), timeout_ms);
-    if (rc < 0 && errno != EINTR) break;
+    conns_.emplace(fd, std::move(conn));
+    counters_.accepts.fetch_add(1, kRelaxed);
+    counters_.connections.fetch_add(1, kRelaxed);
+  }
+}
 
-    for (const pollfd& p : fds) {
-      if (p.revents == 0) continue;
-      if (p.fd == wake_read_) {
-        char buf[256];
-        while (::read(wake_read_, buf, sizeof(buf)) > 0) {
-        }
-        continue;
-      }
-      if (p.fd == listen_fd_) {
-        while (true) {
-          const int client = ::accept(listen_fd_, nullptr, nullptr);
-          if (client < 0) break;
-          set_nonblocking(client);
-          const int one = 1;
-          ::setsockopt(client, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-          Connection conn;
-          conn.fd = client;
-          conns_.emplace(client, std::move(conn));
-        }
-        continue;
-      }
-      if (p.revents & (POLLERR | POLLHUP)) {
-        // Flush any readable data first, then close.
-        if (p.revents & POLLIN) handle_readable(p.fd);
-        close_connection(p.fd, (p.revents & POLLERR) != 0);
-        continue;
-      }
-      if (p.revents & POLLIN) handle_readable(p.fd);
-      if (p.revents & POLLOUT) handle_writable(p.fd);
+Reactor::Connection* Reactor::ensure_connection(const std::string& address, TimePoint now) {
+  Link& link = links_[address];
+  if (link.fd >= 0) {
+    auto it = conns_.find(link.fd);
+    if (it != conns_.end()) return &it->second;
+    link.fd = -1;
+  }
+
+  sockaddr_in sa{};
+  if (!parse_address(address, sa)) {
+    counters_.drops_unroutable.fetch_add(1, kRelaxed);
+    if (on_failure_) on_failure_(address);
+    return nullptr;
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    counters_.drops_unroutable.fetch_add(1, kRelaxed);
+    if (on_failure_) on_failure_(address);
+    return nullptr;
+  }
+  set_nodelay(fd);
+  if (config_.socket_send_buffer > 0) {
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &config_.socket_send_buffer,
+                 sizeof config_.socket_send_buffer);
+  }
+
+  bool connecting = false;
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&sa), sizeof sa) < 0) {
+    if (errno == EINPROGRESS) {
+      connecting = true;
+    } else {
+      ::close(fd);
+      counters_.connects_failed.fetch_add(1, kRelaxed);
+      note_delivery_failure(address, now);
+      return nullptr;
+    }
+  } else {
+    counters_.connects_ok.fetch_add(1, kRelaxed);
+    link.failures = 0;
+    link.next_attempt = 0;
+  }
+
+  if ((next_gen_ & 0xffffffffu) == 0) ++next_gen_;
+  Connection conn;
+  conn.fd = fd;
+  conn.gen = next_gen_++;
+  conn.address = address;
+  conn.connecting = connecting;
+  conn.decoder.set_max_frame_bytes(config_.max_frame_bytes);
+  conn.created_at = conn.last_activity = now;
+
+  epoll_event ev{};
+  ev.events = EPOLLIN | EPOLLOUT | EPOLLET;
+  ev.data.u64 = (conn.gen << 32) | static_cast<std::uint32_t>(fd);
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) < 0) {
+    ::close(fd);
+    counters_.drops_unroutable.fetch_add(1, kRelaxed);
+    if (on_failure_) on_failure_(address);
+    return nullptr;
+  }
+  auto [it, inserted] = conns_.emplace(fd, std::move(conn));
+  link.fd = fd;
+  counters_.connections.fetch_add(1, kRelaxed);
+  return &it->second;
+}
+
+void Reactor::enqueue_on_reactor(const std::string& address, Frame frame, SendClass cls) {
+  const TimePoint now = steady_now();
+
+  auto lit = links_.find(address);
+  if (lit != links_.end() && lit->second.fd < 0 && now < lit->second.next_attempt) {
+    counters_.drops_backoff.fetch_add(1, kRelaxed);
+    if (on_failure_) on_failure_(address);
+    return;
+  }
+
+  Connection* conn = ensure_connection(address, now);
+  if (!conn) return;
+
+  OutFrame out;
+  out.cls = cls;
+  out.bytes.reserve(frame_size(frame));
+  append_frame(out.bytes, frame);
+  const std::size_t fsz = out.bytes.size();
+
+  bool dropped = false;
+  if (cls == SendClass::kRpc) {
+    // Authoritative admission: an RPC may displace this connection's queued
+    // gossip, but is rejected rather than pushing the gauge over the global
+    // cap — RPC frames are never evicted once queued.
+    while (counters_.queued_bytes.load(kRelaxed) + fsz > config_.global_outbound_cap) {
+      if (!drop_oldest_gossip(*conn)) break;
+      dropped = true;
+    }
+    if (counters_.queued_bytes.load(kRelaxed) + fsz > config_.global_outbound_cap) {
+      counters_.rpc_rejected_full.fetch_add(1, kRelaxed);
+      if (on_failure_) on_failure_(address);
+      return;
     }
   }
+
+  conn->out.push_back(std::move(out));
+  conn->queued_bytes += fsz;
+  counters_.queued_bytes.fetch_add(fsz, kRelaxed);
+  dropped |= enforce_caps(*conn);
+  counters_.note_queued_peak();
+  if (dropped && on_failure_) on_failure_(address);
+
+  if (!conn->connecting) flush(*conn);
+}
+
+bool Reactor::enforce_caps(Connection& conn) {
+  bool dropped = false;
+  while (conn.queued_bytes > config_.per_connection_outbound_cap ||
+         counters_.queued_bytes.load(kRelaxed) > config_.global_outbound_cap) {
+    if (!drop_oldest_gossip(conn)) break;
+    dropped = true;
+  }
+  return dropped;
+}
+
+bool Reactor::drop_oldest_gossip(Connection& conn) {
+  // The front frame is unevictable once partially written: dropping it would
+  // desynchronize the stream mid-frame.
+  const std::size_t start = conn.front_pos > 0 ? 1 : 0;
+  for (std::size_t i = start; i < conn.out.size(); ++i) {
+    if (conn.out[i].cls != SendClass::kGossip) continue;
+    const std::size_t sz = conn.out[i].bytes.size();
+    conn.out.erase(conn.out.begin() + static_cast<std::ptrdiff_t>(i));
+    conn.queued_bytes -= sz;
+    counters_.queued_bytes.fetch_sub(sz, kRelaxed);
+    counters_.drops_backpressure.fetch_add(1, kRelaxed);
+    return true;
+  }
+  return false;
+}
+
+void Reactor::flush(Connection& conn) {
+  const int fd = conn.fd;
+  while (!conn.out.empty()) {
+    OutFrame& front = conn.out.front();
+    const std::size_t remaining = front.bytes.size() - conn.front_pos;
+    const ssize_t n = ::send(fd, front.bytes.data() + conn.front_pos, remaining, MSG_NOSIGNAL);
+    if (n > 0) {
+      counters_.bytes_out.fetch_add(static_cast<std::uint64_t>(n), kRelaxed);
+      conn.last_activity = steady_now();
+      conn.front_pos += static_cast<std::size_t>(n);
+      if (conn.front_pos == front.bytes.size()) {
+        counters_.frames_out.fetch_add(1, kRelaxed);
+        conn.queued_bytes -= front.bytes.size();
+        counters_.queued_bytes.fetch_sub(front.bytes.size(), kRelaxed);
+        conn.out.pop_front();
+        conn.front_pos = 0;
+      }
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;  // EPOLLOUT rearms
+    close_connection(fd, CloseReason::kError);
+    return;
+  }
+}
+
+void Reactor::handle_readable(Connection& conn) {
+  const int fd = conn.fd;
+  std::size_t budget = config_.read_budget_per_wakeup;
+  std::uint8_t buf[65536];
+  for (;;) {
+    if (budget == 0) {
+      // Budget spent; be fair to other connections and resume next iteration.
+      if (!conn.read_pending) {
+        conn.read_pending = true;
+        pending_reads_.push_back(fd);
+      }
+      return;
+    }
+    const std::size_t want = budget < sizeof buf ? budget : sizeof buf;
+    const ssize_t n = ::recv(fd, buf, want, 0);
+    if (n > 0) {
+      counters_.bytes_in.fetch_add(static_cast<std::uint64_t>(n), kRelaxed);
+      conn.last_activity = steady_now();
+      conn.decoder.feed({buf, static_cast<std::size_t>(n)});
+      try {
+        while (auto frame = conn.decoder.next()) {
+          counters_.frames_in.fetch_add(1, kRelaxed);
+          if (on_frame_) on_frame_(*frame);
+        }
+      } catch (const std::exception&) {
+        counters_.oversize_closes.fetch_add(1, kRelaxed);
+        close_connection(fd, CloseReason::kError);
+        return;
+      }
+      budget -= static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        conn.read_pending = false;
+        return;
+      }
+    }
+    // EOF or reset. A close with nothing queued on an established connection
+    // is benign (the remote idle-reaper RSTs on purpose); anything else is a
+    // delivery failure.
+    const bool clean = conn.out.empty() && !conn.connecting;
+    close_connection(fd, clean ? CloseReason::kRemoteClose : CloseReason::kError);
+    return;
+  }
+}
+
+void Reactor::handle_writable(Connection& conn) {
+  if (conn.connecting) {
+    int err = 0;
+    socklen_t len = sizeof err;
+    ::getsockopt(conn.fd, SOL_SOCKET, SO_ERROR, &err, &len);
+    if (err != 0) {
+      close_connection(conn.fd, CloseReason::kError);
+      return;
+    }
+    conn.connecting = false;
+    conn.last_activity = steady_now();
+    counters_.connects_ok.fetch_add(1, kRelaxed);
+    Link& link = links_[conn.address];
+    link.failures = 0;
+    link.next_attempt = 0;
+  }
+  flush(conn);
+}
+
+void Reactor::close_connection(int fd, CloseReason reason) {
+  auto it = conns_.find(fd);
+  if (it == conns_.end()) return;
+  Connection conn = std::move(it->second);
+  conns_.erase(it);
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  if (reason == CloseReason::kIdle) {
+    // RST instead of FIN: loopback churn soaks would otherwise pile up
+    // TIME_WAIT entries and exhaust the ephemeral port range.
+    const linger lg{1, 0};
+    ::setsockopt(fd, SOL_SOCKET, SO_LINGER, &lg, sizeof lg);
+  }
+  ::close(fd);
+
+  counters_.closes.fetch_add(1, kRelaxed);
+  counters_.connections.fetch_sub(1, kRelaxed);
+  if (reason == CloseReason::kIdle) counters_.idle_reaped.fetch_add(1, kRelaxed);
+  if (conn.queued_bytes > 0) counters_.queued_bytes.fetch_sub(conn.queued_bytes, kRelaxed);
+
+  if (conn.address.empty()) return;  // inbound: nothing to report or reconnect
+  auto lit = links_.find(conn.address);
+  if (lit != links_.end() && lit->second.fd == fd) lit->second.fd = -1;
+  if (reason == CloseReason::kError) {
+    if (conn.connecting) counters_.connects_failed.fetch_add(1, kRelaxed);
+    // Definitive failure — queued output or not: a refused connect with an
+    // empty queue still means the peer is unreachable, and SUSPECT demotion
+    // must hear about it.
+    note_delivery_failure(conn.address, steady_now());
+  }
+}
+
+void Reactor::note_delivery_failure(const std::string& address, TimePoint now) {
+  Link& link = links_[address];
+  link.failures += 1;
+  const std::uint32_t shift = link.failures - 1 < 20 ? link.failures - 1 : 20;
+  Duration delay = config_.reconnect_backoff_base << shift;
+  if (delay > config_.reconnect_backoff_max || delay <= 0) delay = config_.reconnect_backoff_max;
+  delay = static_cast<Duration>(static_cast<double>(delay) * rng_.uniform(0.5, 1.5));
+  link.next_attempt = now + delay;
+  counters_.backoffs_engaged.fetch_add(1, kRelaxed);
+  if (on_failure_) on_failure_(address);
+}
+
+void Reactor::maintenance_sweep() {
+  const TimePoint now = steady_now();
+  std::vector<int> timed_out;
+  std::vector<int> idle;
+  for (const auto& [fd, conn] : conns_) {
+    if (conn.connecting) {
+      if (now - conn.created_at > config_.connect_timeout) timed_out.push_back(fd);
+    } else if (config_.idle_timeout > 0 && conn.out.empty() &&
+               now - conn.last_activity > config_.idle_timeout) {
+      idle.push_back(fd);
+    }
+  }
+  for (const int fd : timed_out) close_connection(fd, CloseReason::kError);
+  for (const int fd : idle) close_connection(fd, CloseReason::kIdle);
 }
 
 }  // namespace planetp::net

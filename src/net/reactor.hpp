@@ -12,25 +12,84 @@
 #include <vector>
 
 #include "net/framing.hpp"
+#include "net/net_stats.hpp"
+#include "util/rng.hpp"
 #include "util/time.hpp"
 
 /// \file reactor.hpp
-/// Single-threaded poll(2) event loop for the live runtime: one listening
-/// socket, connect-on-demand outbound connections keyed by "host:port"
-/// address, buffered non-blocking writes, incremental frame decoding, a
-/// timer heap, and a self-pipe for cross-thread task injection.
+/// Production event loop of the live runtime (docs/NET.md): an epoll
+/// edge-triggered reactor with a persistent interest set, per-wakeup read
+/// budgets, bounded classed outbound queues with an explicit backpressure
+/// policy, a jittered-exponential reconnect state machine per outbound
+/// address, idle-connection reaping, and a NetStats observability surface.
 ///
 /// All callbacks run on the reactor thread. Other threads interact only via
 /// send() / post() / schedule(), which are thread-safe.
 
 namespace planetp::net {
 
+/// Delivery class of an outbound frame; drives the backpressure policy.
+/// Gossip is redundant by design (anti-entropy repairs any loss), so gossip
+/// frames are droppable — oldest first — when a queue exceeds its caps. RPC
+/// frames are never evicted once queued; when one cannot even be admitted the
+/// sender is told so it can fail fast instead of silently buffering.
+enum class SendClass : std::uint8_t { kGossip = 0, kRpc = 1 };
+
+/// What send() did with the frame. kEnqueued means "accepted for a delivery
+/// attempt" — a later asynchronous failure is still reported via on_failure.
+enum class SendResult : std::uint8_t {
+  kEnqueued = 0,
+  kRejectedFull = 1,     ///< global outbound byte cap reached (RPC admission)
+  kRejectedOversize = 2, ///< frame larger than ReactorConfig::max_frame_bytes
+};
+
+struct ReactorConfig {
+  /// Largest acceptable frame, inbound and outbound. Feeds the per-connection
+  /// FrameDecoder cap, so a peer streaming just-under-limit headers can hold
+  /// at most this much undecoded buffer per connection (it used to be a hard
+  /// 64 MB). Also rejects oversize outbound frames at send().
+  std::size_t max_frame_bytes = 16u << 20;
+
+  /// Outbound byte caps: per connection and across all connections. When a
+  /// queue exceeds a cap, queued gossip frames are evicted oldest-first; if
+  /// nothing droppable remains the incoming frame itself is dropped and the
+  /// failure handler fires.
+  std::size_t per_connection_outbound_cap = 4u << 20;
+  std::size_t global_outbound_cap = 64u << 20;
+
+  /// Per-connection read budget per wakeup: one chatty peer cannot starve
+  /// the loop — once exhausted, the connection re-queues for the next
+  /// iteration and other fds get served.
+  std::size_t read_budget_per_wakeup = 256 * 1024;
+
+  /// Connections with no traffic and an empty queue for this long are closed
+  /// (with an RST so loopback soaks do not accumulate TIME_WAIT state).
+  /// 0 disables reaping.
+  Duration idle_timeout = 30 * kSecond;
+
+  /// Cadence of the maintenance sweep (idle reaping + connect timeouts).
+  Duration maintenance_interval = 500 * kMillisecond;
+
+  /// A non-blocking connect still pending after this long counts as failed.
+  Duration connect_timeout = 2 * kSecond;
+
+  /// Reconnect backoff: after the n-th consecutive failure to an address the
+  /// next attempt waits min(base << (n-1), max), scaled by a uniform jitter
+  /// in [0.5, 1.5). Any successful connect resets the streak.
+  Duration reconnect_backoff_base = 50 * kMillisecond;
+  Duration reconnect_backoff_max = 5 * kSecond;
+
+  /// SO_SNDBUF for outbound sockets (0 = kernel default). Tests use tiny
+  /// buffers to exercise backpressure without megabytes of traffic.
+  int socket_send_buffer = 0;
+};
+
 class Reactor {
  public:
   using FrameHandler = std::function<void(const Frame&)>;
   using FailureHandler = std::function<void(const std::string& address)>;
 
-  Reactor();
+  explicit Reactor(ReactorConfig config = {});
   ~Reactor();
 
   Reactor(const Reactor&) = delete;
@@ -41,16 +100,19 @@ class Reactor {
   std::uint16_t listen(std::uint16_t port);
 
   /// Start the loop on its own thread. \p on_frame receives every inbound
-  /// frame; \p on_failure fires when a send to an address definitively
-  /// failed (connect refused or connection reset with data pending).
+  /// frame; \p on_failure fires when delivery to an address definitively
+  /// failed: connect refused/reset/timed out (queued output or not), a frame
+  /// dropped by backpressure or backoff, or an established connection dying
+  /// with output pending.
   void start(FrameHandler on_frame, FailureHandler on_failure);
 
-  /// Stop the loop and join the thread. Idempotent.
+  /// Stop the loop, join the thread and close every connection. Idempotent.
   void stop();
 
   /// Queue a frame to \p address ("host:port"), connecting if needed.
-  /// Thread-safe; returns immediately.
-  void send(const std::string& address, Frame frame);
+  /// Thread-safe; returns immediately. See SendResult for the admission
+  /// outcome; asynchronous failures are reported via on_failure.
+  SendResult send(const std::string& address, Frame frame, SendClass cls = SendClass::kGossip);
 
   /// Run \p fn on the reactor thread as soon as possible. Thread-safe.
   void post(std::function<void()> fn);
@@ -63,36 +125,80 @@ class Reactor {
   std::uint16_t port() const { return port_; }
   std::string address() const { return "127.0.0.1:" + std::to_string(port_); }
 
+  /// Counter snapshot (thread-safe; relaxed reads).
+  NetStats stats() const { return counters_.snapshot(); }
+  const ReactorConfig& config() const { return config_; }
+
  private:
+  /// One queued outbound frame: its full wire encoding plus its class.
+  struct OutFrame {
+    std::vector<std::uint8_t> bytes;
+    SendClass cls = SendClass::kGossip;
+  };
+
   struct Connection {
     int fd = -1;
+    std::uint64_t gen = 0;    ///< guards against same-batch fd reuse
     std::string address;      ///< outbound target, empty for inbound
     bool connecting = false;  ///< non-blocking connect in flight
-    std::vector<std::uint8_t> out;
-    std::size_t out_pos = 0;
+    bool read_pending = false;  ///< budget exhausted; more data may be buffered
+    std::deque<OutFrame> out;
+    std::size_t front_pos = 0;    ///< bytes of out.front() already written
+    std::size_t queued_bytes = 0; ///< sum of queued frame sizes
     FrameDecoder decoder;
+    TimePoint created_at = 0;
+    TimePoint last_activity = 0;
+  };
+
+  /// Reconnect state machine per outbound address.
+  struct Link {
+    int fd = -1;                 ///< live connection, -1 when none
+    std::uint32_t failures = 0;  ///< consecutive connect/delivery failures
+    TimePoint next_attempt = 0;  ///< earliest allowed reconnect time
+  };
+
+  enum class CloseReason : std::uint8_t {
+    kError = 0,       ///< reset / connect failure / corrupt stream
+    kRemoteClose = 1, ///< clean EOF with nothing pending
+    kIdle = 2,        ///< reaped by the idle sweep
+    kShutdown = 3,    ///< reactor stop
   };
 
   void loop();
-  void handle_readable(int fd);
-  void handle_writable(int fd);
-  void close_connection(int fd, bool notify_failure);
-  Connection* connection_to(const std::string& address);
+  void wake();
+  void handle_readable(Connection& conn);
+  void handle_writable(Connection& conn);
+  void close_connection(int fd, CloseReason reason);
+  void enqueue_on_reactor(const std::string& address, Frame frame, SendClass cls);
+  Connection* ensure_connection(const std::string& address, TimePoint now);
+  bool enforce_caps(Connection& conn);
+  bool drop_oldest_gossip(Connection& conn);
   void flush(Connection& conn);
+  void note_delivery_failure(const std::string& address, TimePoint now);
+  void maintenance_sweep();
   void drain_tasks();
   void fire_timers();
-  TimePoint steady_now() const;
+  void process_pending_reads();
+  void accept_new();
+  static TimePoint steady_now();
 
+  ReactorConfig config_;
+  int epoll_fd_ = -1;
   int listen_fd_ = -1;
-  int wake_read_ = -1;
-  int wake_write_ = -1;
+  int wake_fd_ = -1;  ///< eventfd for cross-thread wakeups
   std::uint16_t port_ = 0;
+  std::uint64_t next_gen_ = 1;
+  TimePoint next_maintenance_ = 0;
 
   FrameHandler on_frame_;
   FailureHandler on_failure_;
 
   std::unordered_map<int, Connection> conns_;
-  std::unordered_map<std::string, int> outbound_;  ///< address -> fd
+  std::unordered_map<std::string, Link> links_;  ///< address -> reconnect state
+  std::vector<int> pending_reads_;               ///< budget-exhausted fds
+
+  NetCounters counters_;
+  Rng rng_{0x9e3779b97f4a7c15ULL};  ///< backoff jitter only (reactor thread)
 
   std::mutex mu_;
   std::deque<std::function<void()>> tasks_;

@@ -1,0 +1,202 @@
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+#include "net/cluster.hpp"
+#include "sim/community.hpp"
+
+/// \file test_live_scale.cpp
+/// The cross-validation run of docs/NET.md: a 1000-node LiveCluster on
+/// loopback, crash/restart churn included, must reproduce the simulator's
+/// convergence behaviour — same scenario, same gossip configuration, results
+/// compared in *ticks* (multiples of the fixed gossip interval) so the two
+/// time bases are commensurable. This closes the loop between the paper's
+/// simulated §7 results and the live TCP runtime.
+
+#if defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+#define PLANETP_SANITIZED 1
+#endif
+#endif
+#if !defined(PLANETP_SANITIZED) && (defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__))
+#define PLANETP_SANITIZED 1
+#endif
+#ifndef PLANETP_SANITIZED
+#define PLANETP_SANITIZED 0
+#endif
+
+namespace planetp::net {
+namespace {
+
+// Sanitizers multiply CPU cost 5-20x on this single-threaded-hardware
+// machine; the sanitized run keeps the same scenario shape at reduced scale.
+constexpr std::size_t kNodes = PLANETP_SANITIZED ? 128 : 1000;
+constexpr std::size_t kPublishers = 10;
+constexpr std::size_t kChurned = PLANETP_SANITIZED ? 8 : 20;
+constexpr Duration kInterval = 300 * kMillisecond;
+
+TimePoint steady_micros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Node-index layout (live id = index + 1, sim id = index):
+///   index 0                      — introducer-ish bystander, never touched
+///   1 .. kPublishers             — publishers of the shared rare term
+///   kPublishers+1 .. +kChurned   — crash/restart victims
+///   kNodes-1                     — the far searcher
+constexpr std::size_t kFirstPublisher = 1;
+constexpr std::size_t kFirstChurned = kPublishers + 1;
+constexpr std::size_t kSearcher = kNodes - 1;
+
+gossip::GossipConfig fixed_interval_gossip() {
+  gossip::GossipConfig g;
+  g.base_interval = kInterval;
+  g.max_interval = kInterval;  // adaptive slow-down off: ticks stay comparable
+  g.slow_down = 0;
+  return g;
+}
+
+TEST(LiveScale, ThousandNodeChurnMatchesSimulator) {
+  static_assert(kFirstChurned + kChurned < kNodes - 1, "index layout overlaps");
+
+  LiveNodeConfig cfg;
+  cfg.bloom.bits = 65536;
+  cfg.gossip = fixed_interval_gossip();
+  cfg.rpc_timeout = 2 * kSecond;
+  cfg.search_retry.max_attempts = 2;
+  cfg.search_group_size = 16;
+  // Transport sized for a 1000-node single-process soak: small per-conn
+  // budgets, a global cap the test asserts against, and aggressive idle
+  // reaping to stay far below the process fd ceiling.
+  cfg.reactor.per_connection_outbound_cap = 256 * 1024;
+  cfg.reactor.global_outbound_cap = 16u << 20;
+  cfg.reactor.idle_timeout = 750 * kMillisecond;
+  cfg.reactor.maintenance_interval = 200 * kMillisecond;
+
+  // Warm up lazily-created process state so fd accounting is exact.
+  {
+    LiveCluster warmup(2, cfg);
+    warmup.start();
+    warmup.stop();
+  }
+  const std::size_t fds_before = LiveCluster::open_fd_count();
+
+  double ticks_live = 0.0;
+  double recall_live = 0.0;
+  NetStats stats;
+  std::uint64_t total_rounds = 0;
+  std::size_t jitter_samples = 0;
+  {
+    LiveCluster cluster(kNodes, cfg);
+
+    // Publishers share one rare term before start(), so their filters ride
+    // in everyone's converged bootstrap directory.
+    for (std::size_t i = 0; i < kPublishers; ++i) {
+      cluster.node(kFirstPublisher + i)
+          .publish_text("rare " + std::to_string(i),
+                        "shared zyzzyva observations from node " + std::to_string(i));
+    }
+    cluster.start();
+
+    // Crash/restart churn: victims go down at t=1 s and rejoin (directory
+    // kept) at t=3 s, exactly the scenario replayed in the simulator below.
+    std::vector<sim::CrashEvent> events;
+    for (std::size_t i = 0; i < kChurned; ++i) {
+      sim::CrashEvent ev;
+      ev.peer = static_cast<gossip::PeerId>(kFirstChurned + i + 1);  // live id
+      ev.at = 1 * kSecond;
+      ev.restart_at = 3 * kSecond;
+      ev.lose_directory = false;
+      events.push_back(ev);
+    }
+    cluster.run_churn(std::move(events));
+    cluster.join_churn();
+    ASSERT_EQ(cluster.up_count(), kNodes);
+
+    // The measured event: one publisher's filter change after the churn has
+    // settled, timed until *every* node has its new version.
+    const auto publisher_id = static_cast<gossip::PeerId>(kFirstPublisher + 1);
+    const TimePoint t0 = steady_micros();
+    cluster.node(kFirstPublisher).publish_text("bump", "fresh zyzzyva bump content");
+    ASSERT_TRUE(cluster.wait_for_version_all(publisher_id, 2, 180 * kSecond));
+    ticks_live = static_cast<double>(steady_micros() - t0) / static_cast<double>(kInterval);
+
+    // Recall from the far searcher: what fraction of the publishers does a
+    // ranked query for the shared term actually reach?
+    const auto hits = cluster.node(kSearcher).ranked_search("zyzzyva", 2 * kPublishers);
+    std::unordered_set<std::uint32_t> found;
+    for (const LiveHit& hit : hits) found.insert(hit.peer);
+    recall_live = static_cast<double>(found.size()) / static_cast<double>(kPublishers);
+
+    stats = cluster.total_net_stats();
+    total_rounds = cluster.total_rounds();
+    jitter_samples = cluster.merged_round_jitter().size();
+    cluster.stop();
+  }
+  const std::size_t fds_after = LiveCluster::open_fd_count();
+
+  // ------------------------------------------------------------------
+  // The same scenario through the simulator (same protocol, same gossip
+  // config, modeled network), measured by its convergence tracker.
+  // ------------------------------------------------------------------
+  sim::SimConfig scfg;
+  scfg.gossip = fixed_interval_gossip();
+  for (std::size_t i = 0; i < kChurned; ++i) {
+    scfg.faults.crash(static_cast<gossip::PeerId>(kFirstChurned + i),  // sim id
+                      1 * kSecond, 3 * kSecond, /*lose_directory=*/false);
+  }
+  sim::SimCommunity community(scfg);
+  for (std::size_t i = 0; i < kNodes; ++i) community.add_peer({});
+  const std::size_t tracker =
+      community.add_tracker("bump", [](gossip::PeerId) { return true; });
+  community.set_tracking(false);  // churn rejoin rumors are not the measurement
+  community.start_converged();
+  community.run_until(4 * kSecond);
+  community.set_tracking(true);
+  community.inject_filter_change(static_cast<gossip::PeerId>(kFirstPublisher), 100);
+  TimePoint limit = 4 * kSecond;
+  while (community.tracker(tracker).converged_events() == 0 && limit < 600 * kSecond) {
+    limit += 2 * kSecond;
+    community.run_until(limit);
+  }
+  ASSERT_EQ(community.tracker(tracker).converged_events(), 1u);
+  const double ticks_sim = community.tracker(tracker).durations().max() /
+                           (static_cast<double>(kInterval) / kSecond);
+
+  // Sim-side recall analogue: the fraction of publishers a far peer's
+  // replicated directory knows and believes online once converged.
+  std::size_t known = 0;
+  for (std::size_t i = 0; i < kPublishers; ++i) {
+    const gossip::PeerRecord* r =
+        community.protocol(kSearcher).directory().find(
+            static_cast<gossip::PeerId>(kFirstPublisher + i));
+    if (r != nullptr && r->online) ++known;
+  }
+  const double recall_sim = static_cast<double>(known) / static_cast<double>(kPublishers);
+
+  // ------------------------------------------------------------------
+  // Cross-validation: live must land in the simulator's ballpark.
+  // ------------------------------------------------------------------
+  EXPECT_GE(ticks_sim, 1.0);
+  EXPECT_LE(ticks_live, ticks_sim * 3.0 + 15.0)
+      << "live converged in " << ticks_live << " ticks vs sim " << ticks_sim;
+  EXPECT_NEAR(recall_live, recall_sim, 0.2)
+      << "live recall " << recall_live << " vs sim " << recall_sim;
+
+  // Transport invariants of the soak.
+  EXPECT_EQ(fds_before, fds_after) << "reactor leaked descriptors";
+  EXPECT_LE(stats.peak_queued_bytes, cfg.reactor.global_outbound_cap);
+  EXPECT_GT(stats.connects_failed, 0u);   // crashed peers refused connects
+  EXPECT_GT(stats.backoffs_engaged, 0u);  // which armed reconnect backoff
+  EXPECT_GT(total_rounds, static_cast<std::uint64_t>(kNodes));
+  EXPECT_GT(jitter_samples, 0u);
+}
+
+}  // namespace
+}  // namespace planetp::net

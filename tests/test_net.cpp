@@ -289,6 +289,28 @@ TEST(LiveNode, DirectorySnapshotReflectsMembership) {
   a.stop();
 }
 
+TEST(LiveNode, RpcFailsFastWhenPeerCrashes) {
+  LiveNodeConfig cfg = fast_config();
+  cfg.search_retry.max_attempts = 1;  // isolate a single RPC's latency
+  LiveNode a(0, cfg);
+  LiveNode b(1, cfg);
+  a.start();
+  b.start();
+  b.join(0, a.address());
+  ASSERT_TRUE(a.wait_for_peers(2, 20 * kSecond));
+
+  // b dies; a's next synchronous RPC to it must fail the moment the
+  // transport reports the connect refused — not after the full 3 s timeout.
+  b.stop();
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_FALSE(a.fetch_document(1, 0).has_value());
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  EXPECT_LT(elapsed, std::chrono::milliseconds(1500))
+      << "unreachable peer burned the rpc timeout";
+
+  a.stop();
+}
+
 TEST(LiveNode, SerializedStoreRestoresAcrossRestart) {
   std::vector<std::uint8_t> snapshot;
   {

@@ -1,12 +1,30 @@
 #include "net/reactor.hpp"
 
+#include <arpa/inet.h>
 #include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
 
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <mutex>
 #include <thread>
+
+#include "net/cluster.hpp"
+
+#if defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+#define PLANETP_SANITIZED 1
+#endif
+#endif
+#if !defined(PLANETP_SANITIZED) && (defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__))
+#define PLANETP_SANITIZED 1
+#endif
+#ifndef PLANETP_SANITIZED
+#define PLANETP_SANITIZED 0
+#endif
 
 namespace planetp::net {
 namespace {
@@ -216,6 +234,347 @@ TEST(Reactor, LargeFrameRoundtrip) {
   EXPECT_EQ(sink_b.frames()[0].payload.size(), frame.payload.size());
   a.stop();
   b.stop();
+}
+
+// ---------------------------------------------------------------------------
+// Backpressure, reconnect, reaping, fd hygiene (docs/NET.md)
+// ---------------------------------------------------------------------------
+
+/// A plain kernel listening socket that accepts but never reads until told
+/// to, so a reactor's outbound queue actually backs up. Tiny SO_RCVBUF keeps
+/// the kernel from absorbing the flood for us.
+class RawListener {
+ public:
+  explicit RawListener(int rcvbuf = 4096) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(fd_, 0);
+    int one = 1;
+    ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    ::setsockopt(fd_, SOL_SOCKET, SO_RCVBUF, &rcvbuf, sizeof(rcvbuf));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = 0;
+    EXPECT_EQ(::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+    EXPECT_EQ(::listen(fd_, 8), 0);
+    socklen_t len = sizeof(addr);
+    EXPECT_EQ(::getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len), 0);
+    port_ = ntohs(addr.sin_port);
+  }
+  ~RawListener() {
+    if (client_ >= 0) ::close(client_);
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  std::uint16_t port() const { return port_; }
+  std::string address() const { return "127.0.0.1:" + std::to_string(port_); }
+
+  int accept_client() {
+    client_ = ::accept(fd_, nullptr, nullptr);
+    EXPECT_GE(client_, 0);
+    return client_;
+  }
+
+  /// Drain everything currently deliverable on the accepted connection and
+  /// decode it. Stops at EOF or after \p quiet_ms with no data.
+  std::vector<Frame> drain_frames(int quiet_ms = 500) {
+    std::vector<Frame> frames;
+    FrameDecoder decoder;
+    std::uint8_t buf[4096];
+    int quiet = 0;
+    while (quiet < quiet_ms) {
+      const ssize_t n = ::recv(client_, buf, sizeof(buf), MSG_DONTWAIT);
+      if (n > 0) {
+        quiet = 0;
+        decoder.feed(std::span<const std::uint8_t>(buf, static_cast<std::size_t>(n)));
+        while (auto f = decoder.next()) frames.push_back(std::move(*f));
+        continue;
+      }
+      if (n == 0) break;  // EOF
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      quiet += 10;
+    }
+    return frames;
+  }
+
+ private:
+  int fd_ = -1;
+  int client_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+TEST(ReactorBackpressure, DropsOldestGossipPreservesRpc) {
+  RawListener listener(4096);
+
+  ReactorConfig cfg;
+  cfg.per_connection_outbound_cap = 64 * 1024;
+  cfg.global_outbound_cap = 1 << 20;
+  cfg.socket_send_buffer = 4096;
+  Reactor a(cfg);
+  Sink sink_a;
+  a.listen(0);
+  a.start(nullptr, [&](const std::string& addr) { sink_a.on_failure(addr); });
+
+  // Flood far more gossip than the send buffer + receive window + queue cap
+  // can hold: the queue must shed its oldest gossip frames.
+  constexpr std::size_t kGossipFrames = 600;
+  Frame gossip;
+  gossip.channel = Channel::kGossip;
+  gossip.payload.assign(1024, 0x5c);
+  for (std::size_t i = 0; i < kGossipFrames; ++i) {
+    gossip.sender = static_cast<std::uint32_t>(i);
+    EXPECT_NE(a.send(listener.address(), gossip, SendClass::kGossip),
+              SendResult::kRejectedOversize);
+  }
+
+  // An RPC enqueued behind the flood must survive the eviction policy.
+  Frame rpc;
+  rpc.sender = 777777;
+  rpc.channel = Channel::kRpc;
+  rpc.payload = {1, 2, 3};
+  EXPECT_EQ(a.send(listener.address(), rpc, SendClass::kRpc), SendResult::kEnqueued);
+
+  // Wait for drops to register, then let the receiver drain the stream.
+  for (int i = 0; i < 500 && a.stats().drops_backpressure == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  const NetStats mid = a.stats();
+  EXPECT_GT(mid.drops_backpressure, 0u);
+  EXPECT_LE(mid.queued_bytes, cfg.global_outbound_cap);
+  EXPECT_LE(mid.peak_queued_bytes, cfg.global_outbound_cap);
+
+  listener.accept_client();
+  const auto frames = listener.drain_frames();
+  EXPECT_LT(frames.size(), kGossipFrames + 1);  // something was really dropped
+  bool saw_rpc = false;
+  for (const Frame& f : frames) {
+    if (f.channel == Channel::kRpc && f.sender == 777777) saw_rpc = true;
+  }
+  EXPECT_TRUE(saw_rpc);  // RPC frames are never evicted once queued
+  a.stop();
+}
+
+TEST(ReactorBackpressure, RpcRejectedSynchronouslyWhenGlobalCapFull) {
+  RawListener listener(4096);
+
+  ReactorConfig cfg;
+  cfg.per_connection_outbound_cap = 32 * 1024;
+  cfg.global_outbound_cap = 32 * 1024;
+  cfg.socket_send_buffer = 4096;
+  Reactor a(cfg);
+  a.listen(0);
+  a.start(nullptr, nullptr);
+
+  // Fill the whole global budget with un-evictable RPC frames; the receiver
+  // never reads, so eventually an RPC cannot even be admitted and the caller
+  // hears about it synchronously.
+  Frame rpc;
+  rpc.channel = Channel::kRpc;
+  rpc.payload.assign(4096, 0x11);
+  bool rejected = false;
+  for (int i = 0; i < 2000 && !rejected; ++i) {
+    rejected = a.send(listener.address(), rpc, SendClass::kRpc) == SendResult::kRejectedFull;
+    if (!rejected) std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_TRUE(rejected);
+  EXPECT_GT(a.stats().rpc_rejected_full, 0u);
+  EXPECT_LE(a.stats().peak_queued_bytes, cfg.global_outbound_cap);
+  a.stop();
+}
+
+TEST(ReactorBackpressure, OversizeSendRejectedWithoutConnecting) {
+  ReactorConfig cfg;
+  cfg.max_frame_bytes = 1024;
+  Reactor a(cfg);
+  a.listen(0);
+  a.start(nullptr, nullptr);
+
+  Frame big;
+  big.payload.assign(4096, 0x22);
+  EXPECT_EQ(a.send("127.0.0.1:1", big), SendResult::kRejectedOversize);
+  EXPECT_EQ(a.stats().connects_ok + a.stats().connects_failed, 0u);
+  a.stop();
+}
+
+TEST(ReactorBackpressure, OversizedInboundFrameClosesConnection) {
+  ReactorConfig cfg;
+  cfg.max_frame_bytes = 1024;  // decoder cap, was a hard-wired 64 MB
+  Reactor a(cfg);
+  Sink sink_a;
+  a.listen(0);
+  a.start([&](const Frame& f) { sink_a.on_frame(f); }, nullptr);
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(a.port());
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+
+  // A length prefix far over the configured cap: stream treated as corrupt.
+  const std::uint32_t body = 8u << 20;
+  std::uint8_t header[4] = {
+      static_cast<std::uint8_t>(body & 0xff),
+      static_cast<std::uint8_t>((body >> 8) & 0xff),
+      static_cast<std::uint8_t>((body >> 16) & 0xff),
+      static_cast<std::uint8_t>((body >> 24) & 0xff),
+  };
+  ASSERT_EQ(::send(fd, header, sizeof(header), MSG_NOSIGNAL), 4);
+
+  // The reactor must hang up on us.
+  std::uint8_t buf[16];
+  const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);  // blocks until close
+  EXPECT_LE(n, 0);
+  ::close(fd);
+
+  for (int i = 0; i < 500 && a.stats().oversize_closes == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_EQ(a.stats().oversize_closes, 1u);
+  EXPECT_TRUE(sink_a.frames().empty());
+  a.stop();
+}
+
+TEST(ReactorReconnect, BackoffThenRecovery) {
+  ReactorConfig cfg;
+  cfg.reconnect_backoff_base = 100 * kMillisecond;
+  cfg.reconnect_backoff_max = 500 * kMillisecond;
+  Reactor a(cfg);
+  Sink sink_a;
+  a.listen(0);
+  a.start(nullptr, [&](const std::string& addr) { sink_a.on_failure(addr); });
+
+  std::uint16_t port;
+  {
+    Reactor ephemeral;
+    port = ephemeral.listen(0);  // released when ephemeral dies
+  }
+  const std::string target = "127.0.0.1:" + std::to_string(port);
+
+  // First send: connect refused, failure reported, backoff armed.
+  Frame frame;
+  frame.sender = 1;
+  a.send(target, frame);
+  ASSERT_TRUE(sink_a.wait_for_failures(1, 10));
+  EXPECT_GT(a.stats().connects_failed, 0u);
+  EXPECT_GT(a.stats().backoffs_engaged, 0u);
+
+  // While the address is in backoff, sends are refused on the spot.
+  std::uint64_t backoff_drops = 0;
+  for (int i = 0; i < 50 && backoff_drops == 0; ++i) {
+    a.send(target, frame);
+    backoff_drops = a.stats().drops_backoff;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_GT(backoff_drops, 0u);
+
+  // Someone starts listening on the dead port; once the backoff window
+  // passes, delivery recovers without any reconfiguration.
+  Reactor b;
+  Sink sink_b;
+  ASSERT_EQ(b.listen(port), port);
+  b.start([&](const Frame& f) { sink_b.on_frame(f); }, nullptr);
+
+  bool delivered = false;
+  for (int i = 0; i < 100 && !delivered; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    frame.sender = static_cast<std::uint32_t>(100 + i);
+    a.send(target, frame);
+    delivered = sink_b.wait_for_frames(1, 1);
+  }
+  EXPECT_TRUE(delivered);
+  EXPECT_GT(a.stats().connects_ok, 0u);
+  a.stop();
+  b.stop();
+}
+
+TEST(ReactorMaintenance, IdleConnectionsAreReaped) {
+  ReactorConfig cfg;
+  cfg.idle_timeout = 100 * kMillisecond;
+  cfg.maintenance_interval = 20 * kMillisecond;
+  Reactor a(cfg);
+  Reactor b;  // default config: no reaping on this side
+  Sink sink_a, sink_b;
+  a.listen(0);
+  b.listen(0);
+  a.start(nullptr, [&](const std::string& addr) { sink_a.on_failure(addr); });
+  b.start([&](const Frame& f) { sink_b.on_frame(f); },
+          [&](const std::string& addr) { sink_b.on_failure(addr); });
+
+  Frame frame;
+  frame.sender = 5;
+  a.send(b.address(), frame);
+  ASSERT_TRUE(sink_b.wait_for_frames(1));
+
+  // Leave the connection idle well past the timeout.
+  for (int i = 0; i < 300 && a.stats().idle_reaped == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_GE(a.stats().idle_reaped, 1u);
+  EXPECT_EQ(a.stats().connections, 0u);
+  // An idle reap is not a delivery failure on either side.
+  EXPECT_TRUE(sink_a.failures().empty());
+  EXPECT_TRUE(sink_b.failures().empty());
+
+  // The link is still usable: the next send transparently reconnects.
+  frame.sender = 6;
+  a.send(b.address(), frame);
+  ASSERT_TRUE(sink_b.wait_for_frames(2));
+  a.stop();
+  b.stop();
+}
+
+TEST(ReactorHygiene, NoFdLeakAcrossChurnSoak) {
+  constexpr std::size_t kNodes = PLANETP_SANITIZED ? 16 : 64;
+
+  LiveNodeConfig cfg;
+  cfg.bloom.bits = 65536;
+  cfg.gossip.base_interval = 100 * kMillisecond;
+  cfg.gossip.max_interval = 100 * kMillisecond;
+  cfg.gossip.slow_down = 0;
+  cfg.reactor.idle_timeout = 500 * kMillisecond;
+  cfg.reactor.maintenance_interval = 50 * kMillisecond;
+
+  // Warm up lazily-created process state (sanitizer fds, locale, resolver)
+  // so the before/after comparison sees only reactor descriptors.
+  {
+    LiveCluster warmup(2, cfg);
+    warmup.start();
+    warmup.stop();
+  }
+
+  const std::size_t fds_before = LiveCluster::open_fd_count();
+  ASSERT_GT(fds_before, 0u);
+  {
+    LiveCluster cluster(kNodes, cfg);
+    cluster.start();
+
+    // Crash a quarter of the community and bring it back, twice.
+    std::vector<sim::CrashEvent> events;
+    for (std::size_t i = 0; i < kNodes / 4; ++i) {
+      sim::CrashEvent ev;
+      ev.peer = static_cast<gossip::PeerId>(2 * i + 1);
+      ev.at = 200 * kMillisecond;
+      ev.restart_at = 600 * kMillisecond;
+      ev.lose_directory = (i % 2) == 0;
+      events.push_back(ev);
+      ev.at = 1000 * kMillisecond;
+      ev.restart_at = 1400 * kMillisecond;
+      events.push_back(ev);
+    }
+    cluster.run_churn(std::move(events));
+    cluster.join_churn();
+    std::this_thread::sleep_for(std::chrono::milliseconds(300));
+
+    EXPECT_EQ(cluster.up_count(), kNodes);
+    const NetStats stats = cluster.total_net_stats();
+    EXPECT_GT(stats.connects_failed, 0u);   // crashed peers refuse connects
+    EXPECT_GT(stats.backoffs_engaged, 0u);  // which arms reconnect backoff
+    cluster.stop();
+  }
+  const std::size_t fds_after = LiveCluster::open_fd_count();
+  EXPECT_EQ(fds_before, fds_after);
 }
 
 }  // namespace
