@@ -1,0 +1,41 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+/// \file mem_sampler.hpp
+/// Process memory sampling for benchmarks, read from /proc/self/status:
+/// VmRSS (current resident set) and VmHWM (peak resident set — the
+/// high-water mark, which survives frees and so attributes per-phase cost
+/// when phases run in ascending size order). Values in kilobytes; zero on
+/// platforms without procfs, so gates keyed on them must treat 0 as
+/// "unknown", not "tiny".
+
+namespace planetp::benchutil {
+
+struct MemSample {
+  std::size_t vm_rss_kb = 0;  ///< current resident set size
+  std::size_t vm_hwm_kb = 0;  ///< peak resident set size since process start
+};
+
+inline MemSample sample_memory() {
+  MemSample s;
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return s;
+  char line[256];
+  while (std::fgets(line, sizeof line, f) != nullptr) {
+    if (std::strncmp(line, "VmRSS:", 6) == 0) {
+      s.vm_rss_kb = static_cast<std::size_t>(std::strtoull(line + 6, nullptr, 10));
+    } else if (std::strncmp(line, "VmHWM:", 6) == 0) {
+      s.vm_hwm_kb = static_cast<std::size_t>(std::strtoull(line + 6, nullptr, 10));
+    }
+  }
+  std::fclose(f);
+  return s;
+}
+
+inline double to_mb(std::size_t kb) { return static_cast<double>(kb) / 1024.0; }
+
+}  // namespace planetp::benchutil

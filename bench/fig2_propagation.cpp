@@ -15,6 +15,7 @@
 /// of B/s; the interval trades time for bandwidth.
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <vector>
 
@@ -33,11 +34,11 @@ struct Curve {
   std::size_t max_size;  ///< cap expensive baselines
 };
 
-void run_curve(const Curve& curve, const std::vector<std::size_t>& sizes) {
+void run_curve(const Curve& curve, const std::vector<std::size_t>& sizes, bool ignore_caps) {
   std::printf("# curve %s\n", curve.name);
   std::printf("%-8s %10s %12s %14s\n", "peers", "time(s)", "volume(MB)", "perpeer(B/s)");
   for (std::size_t n : sizes) {
-    if (n > curve.max_size) continue;
+    if (!ignore_caps && n > curve.max_size) continue;
     PropagationOptions opts;
     opts.community_size = n;
     opts.profile = curve.profile;
@@ -71,17 +72,30 @@ void print_table2() {
 }
 
 int main(int argc, char** argv) {
-  const bool quick = argc > 1 && std::strcmp(argv[1], "--quick") == 0;
-  const bool full = argc > 1 && std::strcmp(argv[1], "--full") == 0;
-  if (argc > 1 && std::strcmp(argv[1], "--params") == 0) {
-    print_table2();
-    return 0;
+  bool quick = false;
+  bool full = false;
+  std::vector<std::size_t> explicit_sizes;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strcmp(argv[i], "--full") == 0) {
+      full = true;
+    } else if (std::strcmp(argv[i], "--params") == 0) {
+      print_table2();
+      return 0;
+    } else if (std::strcmp(argv[i], "--peers") == 0 && i + 1 < argc) {
+      // Run one explicit community size (repeatable) instead of the sweep —
+      // the shared-base bootstrap makes sizes well beyond the paper's plotted
+      // range practical.
+      explicit_sizes.push_back(static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10)));
+    }
   }
   // Default covers the paper's plotted range; --full extends DSL-30's
   // "continued to 5000" data point (several extra minutes of wall time).
   std::vector<std::size_t> sizes = {100, 250, 500, 1000, 1500};
   if (quick) sizes = {100, 250, 500};
   if (full) sizes = {100, 250, 500, 1000, 1500, 2000, 3000, 5000};
+  if (!explicit_sizes.empty()) sizes = explicit_sizes;
 
   std::puts("Figure 2 — propagating one 1000-key Bloom filter update");
   std::puts("(volume counts event traffic: rumors, acks and pulls; the pure");
@@ -95,6 +109,8 @@ int main(int argc, char** argv) {
       {"DSL-60", BandwidthProfile::kDsl, 60 * kSecond, true, 5000},
       {"MIX", BandwidthProfile::kMix, 30 * kSecond, true, 5000},
   };
-  for (const Curve& c : curves) run_curve(c, sizes);
+  // Explicitly requested sizes override the per-curve caps that protect the
+  // default sweep from its expensive baselines.
+  for (const Curve& c : curves) run_curve(c, sizes, !explicit_sizes.empty());
   return 0;
 }

@@ -23,6 +23,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/mem_sampler.hpp"
 #include "net/cluster.hpp"
 #include "util/stats.hpp"
 
@@ -44,6 +45,8 @@ struct RunResult {
   std::uint64_t rounds = 0;
   std::uint64_t frames = 0;
   bool fd_clean = false;  ///< descriptors returned to pre-cluster count
+  double rss_mb = 0.0;    ///< VmRSS at steady state, whole process
+  double hwm_mb = 0.0;    ///< VmHWM (peak; sizes run ascending)
 };
 
 double wall_now_s() {
@@ -84,6 +87,9 @@ RunResult run_size(std::size_t nodes, double window_s) {
     std::this_thread::sleep_for(
         std::chrono::milliseconds(static_cast<long>(window_s * 500)));
     r.fd_count = LiveCluster::open_fd_count();  // mid-window steady state
+    const benchutil::MemSample mem = benchutil::sample_memory();
+    r.rss_mb = benchutil::to_mb(mem.vm_rss_kb);
+    r.hwm_mb = benchutil::to_mb(mem.vm_hwm_kb);
     std::this_thread::sleep_for(
         std::chrono::milliseconds(static_cast<long>(window_s * 500)));
     const double wall = wall_now_s() - t0;
@@ -112,9 +118,9 @@ RunResult run_size(std::size_t nodes, double window_s) {
 void print_result(const RunResult& r) {
   std::printf(
       "%5zu nodes   %7.0f rounds/s   %8.0f msgs/s   %10.0f bytes/s   %5zu fds   "
-      "p99 jitter %7.1f ms%s\n",
+      "p99 jitter %7.1f ms   RSS %.0f MB%s\n",
       r.nodes, r.rounds_per_sec, r.msgs_per_sec, r.bytes_per_sec, r.fd_count, r.p99_jitter_ms,
-      r.fd_clean ? "" : "   (FD LEAK)");
+      r.rss_mb, r.fd_clean ? "" : "   (FD LEAK)");
 }
 
 /// Minimal key lookup in the baseline JSON: finds "key" and parses the
@@ -158,7 +164,8 @@ int main(int argc, char** argv) {
        << ", \"rounds_per_sec\": " << r.rounds_per_sec
        << ", \"msgs_per_sec\": " << r.msgs_per_sec << ", \"bytes_per_sec\": " << r.bytes_per_sec
        << ", \"fd_count\": " << r.fd_count << ", \"p99_round_jitter_ms\": " << r.p99_jitter_ms
-       << ", \"peak_queued_bytes\": " << r.peak_queued << ", \"fd_clean\": "
+       << ", \"peak_queued_bytes\": " << r.peak_queued << ", \"rss_mb\": " << r.rss_mb
+       << ", \"hwm_mb\": " << r.hwm_mb << ", \"fd_clean\": "
        << (r.fd_clean ? "true" : "false") << "}" << (i + 1 < results.size() ? "," : "") << "\n";
   }
   os << "  ],\n";

@@ -30,9 +30,9 @@ ctest --test-dir build-asan --output-on-failure -j "$JOBS"
 cmake -B build-tsan -S . -DPLANETP_SANITIZE=thread
 cmake --build build-tsan -j "$JOBS" \
   --target test_search test_search_faults test_sim test_data_store test_epoch_snapshot \
-           test_reactor test_net
+           test_reactor test_net test_compact_directory test_compressed_at_rest
 ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
-  -R 'DistributedSearchConcurrent|ParallelStepping|ParallelPublish|MixedWorkload|Reactor|LiveNode.RpcFailsFastWhenPeerCrashes'
+  -R 'DistributedSearchConcurrent|ParallelStepping|ParallelPublish|MixedWorkload|Reactor|LiveNode.RpcFailsFastWhenPeerCrashes|CompactDirectory|CompressedAtRest'
 
 # Query hot-path smoke run + perf-regression guard: search_throughput exits
 # non-zero when the warm CandidateCache is not >=5x the uncached scan at 5000
@@ -79,6 +79,19 @@ else
   build/bench/index_throughput --baseline bench/baselines/index_throughput.json
 fi
 
+# Community-scale smoke run + memory/scan-regression guard: community_scale
+# exits non-zero when filter changes fail to converge or sampled directories
+# disagree, when peak RSS exceeds 10% of the fully-decoded O(N^2) cost model
+# (docs/SCALE.md), when summary-merge scans grow with community size instead
+# of the changed set, or when rounds/sec or RSS regresses 2x against the
+# committed baseline. --quick stops at 5000 peers; the full run goes to 100k.
+echo "=== community_scale ==="
+if [ "$QUICK" = "--quick" ]; then
+  build/bench/community_scale --quick --baseline bench/baselines/community_scale.json
+else
+  build/bench/community_scale --baseline bench/baselines/community_scale.json
+fi
+
 # Concurrent-serving smoke run + perf-regression guard: mixed_workload exits
 # non-zero when any published epoch ranks differently from a sequential
 # single-threaded oracle, when 1->8 reader qps misses the hardware-adaptive
@@ -100,6 +113,7 @@ for b in build/bench/*; do
   [ "$(basename "$b")" = "live_throughput" ] && continue
   [ "$(basename "$b")" = "index_throughput" ] && continue
   [ "$(basename "$b")" = "mixed_workload" ] && continue
+  [ "$(basename "$b")" = "community_scale" ] && continue
   echo "=== $(basename "$b") ==="
   if [ "$QUICK" = "--quick" ]; then
     "$b" --quick

@@ -1,5 +1,7 @@
 #include "bloom/wire.hpp"
 
+#include <stdexcept>
+
 namespace planetp::bloom {
 
 namespace {
@@ -31,6 +33,16 @@ std::size_t encoded_bits_size(const BitVector& bits) {
   return probe.size() + c.payload.size();
 }
 
+/// Read the compressed header + payload without decoding the gap stream.
+CompressedBits read_compressed(ByteReader& in) {
+  CompressedBits c;
+  c.nbits = in.varint();
+  c.set_bits = in.varint();
+  c.m = in.varint();
+  c.payload = in.bytes();
+  return c;
+}
+
 }  // namespace
 
 void encode_filter(ByteWriter& out, const BloomFilter& filter) {
@@ -57,5 +69,35 @@ void encode_diff(ByteWriter& out, const BitVector& diff) { encode_bits(out, diff
 BitVector decode_diff(ByteReader& in) { return decode_bits(in); }
 
 std::size_t encoded_diff_size(const BitVector& diff) { return encoded_bits_size(diff); }
+
+BloomFilter decode_filter_bytes(std::span<const std::uint8_t> wire) {
+  ByteReader reader(wire);
+  return decode_filter(reader);
+}
+
+std::vector<std::uint8_t> merge_diff_wire(std::span<const std::uint8_t> filter_wire,
+                                          std::span<const std::uint8_t> diff_wire) {
+  ByteReader filter_in(filter_wire);
+  const std::uint64_t num_hashes = filter_in.varint();
+  const CompressedBits base = read_compressed(filter_in);
+  ByteReader diff_in(diff_wire);
+  const CompressedBits diff = read_compressed(diff_in);
+  if (base.nbits != diff.nbits)
+    throw std::invalid_argument("merge_diff_wire: filter/diff size mismatch");
+
+  const CompressedBits merged = xor_merge(base, diff);
+  ByteWriter out;
+  out.varint(num_hashes);
+  out.varint(merged.nbits);
+  out.varint(merged.set_bits);
+  out.varint(merged.m);
+  out.bytes(merged.payload);
+  return out.take();
+}
+
+std::vector<std::uint64_t> diff_positions(std::span<const std::uint8_t> diff_wire) {
+  ByteReader in(diff_wire);
+  return golomb_positions(read_compressed(in));
+}
 
 }  // namespace planetp::bloom

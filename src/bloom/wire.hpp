@@ -33,4 +33,21 @@ BitVector decode_diff(ByteReader& in);
 /// Serialized byte size of a diff.
 std::size_t encoded_diff_size(const BitVector& diff);
 
+/// Decode a filter from its complete encode_filter byte string.
+BloomFilter decode_filter_bytes(std::span<const std::uint8_t> wire);
+
+/// Apply an encode_diff byte string to an encode_filter byte string entirely
+/// in the Golomb gap domain (positions merged with XOR semantics, result
+/// re-encoded) — no 400k-bit vector is ever materialized. Byte-identical to
+/// decode_filter -> BloomFilter::apply_diff -> encode_filter, which is what
+/// keeps at-rest compressed directory records exactly equal to a decoded
+/// oracle. Throws on geometry mismatch or corrupt streams.
+std::vector<std::uint8_t> merge_diff_wire(std::span<const std::uint8_t> filter_wire,
+                                          std::span<const std::uint8_t> diff_wire);
+
+/// The sorted bit positions an encode_diff byte string flips, decoded
+/// straight from the gap stream in O(changed bits) — the basis for surgical
+/// candidate-cache fixes without materializing the diff as a bit vector.
+std::vector<std::uint64_t> diff_positions(std::span<const std::uint8_t> diff_wire);
+
 }  // namespace planetp::bloom

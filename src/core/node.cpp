@@ -94,23 +94,21 @@ bool Node::republish(DocumentId doc, std::string xml) {
   return true;
 }
 
-const bloom::BloomFilter* Node::filter_of(PeerId peer) const {
-  if (peer == id_) return own_filter();
+std::shared_ptr<const bloom::BloomFilter> Node::filter_of(PeerId peer) const {
+  if (peer == id_) {
+    own_filter();
+    return filter_cache_.filter_of(id_);
+  }
   const gossip::PeerRecord* record = protocol_.directory().find(peer);
   if (record == nullptr || record->filter_wire.empty()) return nullptr;
   if (auto cached = filter_cache_.version_of(peer);
-      cached.has_value() && *cached == record->version) {
-    return filter_cache_.filter_ptr(peer);
+      !cached.has_value() || *cached != record->version) {
+    // Hand the cache the record's compressed wire verbatim; it stays at rest
+    // until the resident_filter call below decodes it (and the decoded
+    // working set is LRU-bounded when the config asks for it).
+    filter_cache_.update_peer_wire(peer, record->filter_wire, record->version);
   }
-  try {
-    ByteReader reader(record->filter_wire);
-    auto filter = std::make_shared<bloom::BloomFilter>(bloom::decode_filter(reader));
-    const bloom::BloomFilter* ptr = filter.get();
-    filter_cache_.update_peer(peer, std::move(filter), record->version);
-    return ptr;
-  } catch (const std::exception&) {
-    return nullptr;
-  }
+  return filter_cache_.resident_filter(peer);
 }
 
 const bloom::BloomFilter* Node::own_filter() const {
@@ -132,6 +130,13 @@ void Node::on_rumor_applied(const gossip::RumorPayload& payload) {
   }
   const gossip::FilterUpdate& fu = *payload.filter;
   if (fu.base_version != 0 && !fu.bits.empty()) {
+    // Wire-backed peers merge the diff in the Golomb gap domain — the
+    // at-rest bytes absorb it and, if decoded-resident, the cached terms the
+    // diff touches are fixed surgically.
+    if (filter_cache_.apply_peer_diff_wire(payload.origin, fu.bits, fu.base_version,
+                                           payload.version)) {
+      return;
+    }
     try {
       ByteReader reader(fu.bits);
       const BitVector diff = bloom::decode_diff(reader);
@@ -159,7 +164,7 @@ std::vector<PeerId> Node::candidates_for(const std::vector<std::string>& terms) 
   for (const std::string& t : terms) hashes.push_back(hash_pair(t));
   protocol_.directory().for_each([&](const gossip::PeerRecord& record) {
     if (record.id == id_) return;
-    const bloom::BloomFilter* filter = filter_of(record.id);
+    const auto filter = filter_of(record.id);
     if (filter == nullptr) return;
     for (const HashPair& hp : hashes) {
       if (!filter->contains(hp)) return;
@@ -225,11 +230,13 @@ std::vector<SearchHit> Node::ranked_search(std::string_view query, std::size_t k
   // from the candidate cache's store, so the hot-path lookup below resolves
   // them through warm term entries instead of probing each one.
   std::vector<search::PeerFilter> views;
+  std::vector<std::shared_ptr<const bloom::BloomFilter>> pins;  // outlive the lookup
   protocol_.directory().for_each([&](const gossip::PeerRecord& record) {
     if (record.id == id_) return;
-    const bloom::BloomFilter* f = filter_of(record.id);
+    auto f = filter_of(record.id);
     if (f != nullptr && record.online) {
-      views.push_back(search::PeerFilter{record.id, f, record.suspicion});
+      views.push_back(search::PeerFilter{record.id, f.get(), record.suspicion});
+      pins.push_back(std::move(f));
     }
   });
   views.push_back(search::PeerFilter{id_, own_filter()});
@@ -354,7 +361,7 @@ void Node::run_persistent_query_against(PersistentQuery& q, PeerId target) {
 
 void Node::on_directory_update(PeerId origin) {
   if (origin == id_) return;
-  const bloom::BloomFilter* filter = filter_of(origin);
+  const auto filter = filter_of(origin);
   if (filter != nullptr) {
     for (auto& [handle, q] : persistent_queries_) {
       if (q.terms.empty()) continue;  // no effective terms: matches nothing

@@ -163,9 +163,11 @@ class Node {
   void on_broker_snippet(const broker::Snippet& snippet);
 
   /// Decoded Bloom filter of a peer as recorded in our directory (nullptr
-  /// when unknown). Served from the candidate cache's filter store, keyed
-  /// by the record version.
-  const bloom::BloomFilter* filter_of(PeerId peer) const;
+  /// when unknown). The cache stores the record's Golomb wire bytes at rest,
+  /// keyed by the record version, and decodes on demand; the returned
+  /// shared_ptr pins the decoded filter across any LRU eviction
+  /// (candidate_cache.max_decoded_bytes) that happens underneath.
+  std::shared_ptr<const bloom::BloomFilter> filter_of(PeerId peer) const;
 
   /// The query hot-path cache (stats/introspection; tests and benches).
   search::CandidateCache& candidate_cache() { return filter_cache_; }

@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "gossip/messages.hpp"
 #include "gossip/types.hpp"
 #include "util/rng.hpp"
 #include "util/time.hpp"
@@ -15,6 +16,16 @@
 /// PeerRecord per known member, applies versioned updates, tracks local
 /// online/offline beliefs, and expires members marked offline continuously
 /// for T_dead.
+///
+/// Two storage modes share one interface (docs/SCALE.md):
+///  - classic: every record lives in the private hash map (joins, live mode);
+///  - based: adopt_base() installs a shared immutable DirectoryBase and the
+///    hash map becomes a small overlay of records that diverged from it.
+///    Lookups fall through overlay -> tombstones -> binary search in the
+///    base; mutations materialize the base record into the overlay first.
+///    N simulated peers then share one copy of the converged directory, and
+///    steady-state anti-entropy compares per-epoch deltas instead of full
+///    summaries — O(changed records) per round, not O(peers).
 
 namespace planetp::gossip {
 
@@ -26,6 +37,14 @@ class Directory {
 
   /// Insert or replace this peer's own record.
   void put_self(PeerRecord record);
+
+  /// Reset this directory onto a shared converged snapshot: drops all local
+  /// records/tombstones and makes \p base the storage for every record until
+  /// it diverges. The caller's own record must be part of the base.
+  void adopt_base(DirectoryBasePtr base);
+
+  /// The shared base, or nullptr in classic mode.
+  const DirectoryBasePtr& base() const { return base_; }
 
   /// Apply a remote update. Returns true if it superseded local knowledge
   /// (version strictly newer or peer unknown). An applied update also sets
@@ -91,6 +110,15 @@ class Directory {
   /// by later directory mutations.
   SummarySnapshot summary() const;
 
+  /// Summary for a SummaryMsg. Classic mode: the shared snapshot, as before.
+  /// Based mode: a shared (base, delta) view — two pointer copies regardless
+  /// of community size; a receiver sharing the base never materializes it.
+  SummaryEntries summary_entries() const;
+
+  /// This directory's changed-set relative to its base (based mode only).
+  /// Cached per mutation epoch; rebuilt in O(overlay log N).
+  std::shared_ptr<const SummaryDelta> delta() const;
+
   /// Mutation counter: bumped whenever the set of (id, version) pairs may
   /// have changed. Local-only belief updates (mark_offline, suspicion) do
   /// not bump it — they are invisible in summaries.
@@ -115,14 +143,30 @@ class Directory {
   /// versions) — the "same directory" test of the adaptive interval (§3).
   bool same_as(const std::vector<PeerSummary>& remote) const;
 
+  /// SummaryEntries overloads — what the protocol calls on SummaryMsg
+  /// receipt. When the remote summary is a view over the *same shared base*
+  /// as ours, only the two deltas are compared/scanned (O(changed) instead
+  /// of O(peers)); identical results to the full-list paths either way.
+  std::vector<RumorId> newer_in(const SummaryEntries& remote) const;
+  bool same_as(const SummaryEntries& remote) const;
+
+  /// Total summary entries examined by newer_in/same_as since construction —
+  /// the O(changed)-rounds invariant is pinned against this counter.
+  std::uint64_t merge_scan_entries() const { return merge_scan_entries_; }
+
   /// Reference implementations of newer_in/same_as via per-entry hash
   /// probes, independent of the snapshot cache. The property tests pin the
   /// merge-scan results against these; not used on the hot path.
   std::vector<RumorId> newer_in_probe(const std::vector<PeerSummary>& remote) const;
   bool same_as_probe(const std::vector<PeerSummary>& remote) const;
 
-  std::size_t size() const { return records_.size(); }
+  /// Live record count (overlay-aware in based mode).
+  std::size_t size() const { return base_ == nullptr ? records_.size() : size_; }
   std::size_t online_count() const;
+
+  /// How many records diverged from the shared base (0 in classic mode);
+  /// introspection for tests and bench/community_scale.
+  std::size_t overlay_size() const { return base_ == nullptr ? 0 : records_.size(); }
 
   void for_each(const std::function<void(const PeerRecord&)>& fn) const;
 
@@ -130,12 +174,19 @@ class Directory {
   PeerId self_;
   std::unordered_map<PeerId, PeerRecord> records_;
   std::unordered_map<PeerId, std::uint64_t> tombstones_;  ///< expired id -> version
-  // Flat id list kept in sync for O(1) random selection.
+  // Flat id list kept in sync for O(1) random selection (classic mode).
   std::vector<PeerId> ids_;
   // Records currently believed offline. Lets the per-round expire_dead and
   // the offline probe skip their full scans in the steady state where
   // everyone is online, and makes online_count() O(1).
   std::size_t offline_count_ = 0;
+
+  // Based mode: the shared converged snapshot, the ids known beyond it, and
+  // the live-record count (base + extras - expired). records_ becomes the
+  // divergence overlay; tombstones_ additionally hides expired base records.
+  DirectoryBasePtr base_;
+  std::vector<PeerId> extra_ids_;
+  std::size_t size_ = 0;
 
   // Epoch-cached summary snapshot. `epoch_` advances on any mutation that can
   // change the (id, version) set; summary() rebuilds lazily when the cached
@@ -144,6 +195,12 @@ class Directory {
   mutable SummarySnapshot cached_summary_;
   mutable std::uint64_t cached_epoch_ = 0;
   mutable std::uint64_t summary_builds_ = 0;
+  // Based mode: epoch-cached changed-set and the shared view wrapping it.
+  mutable std::shared_ptr<const SummaryDelta> cached_delta_;
+  mutable std::uint64_t cached_delta_epoch_ = 0;
+  mutable std::shared_ptr<const SummaryView> cached_view_;
+  mutable std::uint64_t cached_view_epoch_ = 0;
+  mutable std::uint64_t merge_scan_entries_ = 0;
   bool summary_caching_ = true;
 
   void add_id(PeerId id);
@@ -151,7 +208,16 @@ class Directory {
   void bump_epoch() { ++epoch_; }
   /// Record lookup for local-only belief updates (online/suspicion): does
   /// not invalidate the summary cache, which only reflects (id, version).
+  /// In based mode this materializes the shared record into the overlay.
   PeerRecord* lookup(PeerId id);
+  /// Binary search the shared base (ignores tombstones; nullptr if absent).
+  const PeerRecord* find_in_base(PeerId id) const;
+  bool expired(PeerId id) const {
+    return !tombstones_.empty() && tombstones_.find(id) != tombstones_.end();
+  }
+  /// Virtual flat index over all known ids: classic ids_, or base + extras.
+  std::size_t id_universe() const;
+  PeerId id_at(std::size_t i) const;
 };
 
 }  // namespace planetp::gossip

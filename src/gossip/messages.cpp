@@ -1,5 +1,6 @@
 #include "gossip/messages.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <stdexcept>
 
@@ -219,6 +220,58 @@ std::span<const std::uint8_t> SharedRumor::wire() const {
     wire_ = w.take();
   });
   return wire_;
+}
+
+const std::vector<PeerSummary>& SummaryView::flat_list() const {
+  // Same idiom as SharedRumor::wire(): many receivers may share this view
+  // (one SummaryMsg fanned out to several simulated deliveries), so the
+  // merge runs at most once, thread-safely.
+  std::call_once(flat_once_, [this] {
+    const std::vector<PeerSummary>& b = *base;
+    const SummaryDelta& d = *delta;
+    flat_.reserve(merged_size);
+    std::size_t di = 0;
+    std::size_t ri = 0;
+    for (const PeerSummary& s : b) {
+      while (di < d.entries.size() && d.entries[di].id < s.id) flat_.push_back(d.entries[di++]);
+      while (ri < d.removed.size() && d.removed[ri] < s.id) ++ri;
+      if (ri < d.removed.size() && d.removed[ri] == s.id) {
+        ++ri;
+        if (di < d.entries.size() && d.entries[di].id == s.id) ++di;  // defensive
+        continue;
+      }
+      if (di < d.entries.size() && d.entries[di].id == s.id) {
+        flat_.push_back(d.entries[di++]);  // overlay version overrides base
+      } else {
+        flat_.push_back(s);
+      }
+    }
+    while (di < d.entries.size()) flat_.push_back(d.entries[di++]);
+  });
+  return flat_;
+}
+
+std::optional<std::uint64_t> SummaryEntries::version_of(PeerId id) const {
+  const auto by_id = [](const PeerSummary& s, PeerId want) { return s.id < want; };
+  if (view_ != nullptr) {
+    const SummaryDelta& d = *view_->delta;
+    if (auto it = std::lower_bound(d.entries.begin(), d.entries.end(), id, by_id);
+        it != d.entries.end() && it->id == id) {
+      return it->version;
+    }
+    if (std::binary_search(d.removed.begin(), d.removed.end(), id)) return std::nullopt;
+    const std::vector<PeerSummary>& b = *view_->base;
+    if (auto it = std::lower_bound(b.begin(), b.end(), id, by_id);
+        it != b.end() && it->id == id) {
+      return it->version;
+    }
+    return std::nullopt;
+  }
+  // Hand-built lists (tests, hostile decode) are not guaranteed sorted.
+  for (const PeerSummary& s : list()) {
+    if (s.id == id) return s.version;
+  }
+  return std::nullopt;
 }
 
 std::size_t wire_size(const Message& msg, const SizeModel& model) {

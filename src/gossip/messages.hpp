@@ -116,13 +116,37 @@ struct RumorAckMsg {
 /// Pull anti-entropy step 1: ask the target for its directory summary.
 struct SummaryRequestMsg {};
 
-/// Directory summary entries: either a Directory snapshot shared as-is (the
-/// hot path — building a SummaryMsg is then a pointer copy) or a locally
-/// built list (decode, tests). Reads see one id-sorted vector either way.
+/// A based Directory's summary expressed as (shared base snapshot, shared
+/// changed-set): the logical entry list is the base with delta entries merged
+/// over it and removed ids dropped. Building one is two pointer copies no
+/// matter the community size, and a receiver sharing the same base compares
+/// deltas instead of full lists (Directory::newer_in/same_as fast paths).
+/// The merged flat list is materialized lazily, at most once, only when a
+/// consumer genuinely needs per-entry iteration (live-mode encode, or a
+/// receiver that does not share the base).
+struct SummaryView {
+  SummaryView(SummarySnapshot b, std::shared_ptr<const SummaryDelta> d, std::size_t merged)
+      : base(std::move(b)), delta(std::move(d)), merged_size(merged) {}
+
+  SummarySnapshot base;
+  std::shared_ptr<const SummaryDelta> delta;
+  std::size_t merged_size = 0;
+
+  const std::vector<PeerSummary>& flat_list() const;
+
+ private:
+  mutable std::once_flag flat_once_;
+  mutable std::vector<PeerSummary> flat_;
+};
+
+/// Directory summary entries: a Directory snapshot shared as-is, a shared
+/// base+delta view (based directories), or a locally built list (decode,
+/// tests). Reads see one id-sorted vector either way.
 class SummaryEntries {
  public:
   SummaryEntries() = default;
   SummaryEntries(SummarySnapshot snap) : snap_(std::move(snap)) {}
+  SummaryEntries(std::shared_ptr<const SummaryView> view) : view_(std::move(view)) {}
   SummaryEntries(std::initializer_list<PeerSummary> init) : own_(init) {}
 
   static SummaryEntries adopt(std::vector<PeerSummary> v) {
@@ -133,25 +157,41 @@ class SummaryEntries {
 
   /// Builder-path append (decode, tests). Detaches from a shared snapshot.
   void push_back(const PeerSummary& s) {
-    if (snap_ != nullptr) {
-      own_ = *snap_;
+    if (snap_ != nullptr || view_ != nullptr) {
+      own_ = list();
       snap_.reset();
+      view_.reset();
     }
     own_.push_back(s);
   }
   void reserve(std::size_t n) {
-    if (snap_ == nullptr) own_.reserve(n);
+    if (snap_ == nullptr && view_ == nullptr) own_.reserve(n);
   }
 
-  const std::vector<PeerSummary>& list() const { return snap_ != nullptr ? *snap_ : own_; }
-  std::size_t size() const { return list().size(); }
-  bool empty() const { return list().empty(); }
+  const std::vector<PeerSummary>& list() const {
+    if (view_ != nullptr) return view_->flat_list();
+    return snap_ != nullptr ? *snap_ : own_;
+  }
+  /// O(1) in every mode — the SizeModel path must never force a view to
+  /// materialize its merged list.
+  std::size_t size() const { return view_ != nullptr ? view_->merged_size : list().size(); }
+  bool empty() const { return size() == 0; }
   const PeerSummary& operator[](std::size_t i) const { return list()[i]; }
   std::vector<PeerSummary>::const_iterator begin() const { return list().begin(); }
   std::vector<PeerSummary>::const_iterator end() const { return list().end(); }
 
+  /// The version this summary advertises for \p id, if present. O(log n) for
+  /// shared views (no materialization), linear otherwise. Replaces the O(n)
+  /// own-id scan every summary receipt used to pay.
+  std::optional<std::uint64_t> version_of(PeerId id) const;
+
+  /// Non-null when this summary is a shared base+delta view (the receiver
+  /// checks base pointer identity for the O(changed) compare fast path).
+  const std::shared_ptr<const SummaryView>& view() const { return view_; }
+
  private:
   SummarySnapshot snap_;
+  std::shared_ptr<const SummaryView> view_;
   std::vector<PeerSummary> own_;
 };
 

@@ -116,6 +116,17 @@ void Protocol::bootstrap(const std::vector<PeerRecord>& records) {
   }
 }
 
+void Protocol::bootstrap_converged(DirectoryBasePtr base) {
+  // One shared immutable snapshot replaces per-peer record copies: N peers
+  // bootstrapping a converged community cost O(N) total, not O(N^2), and the
+  // steady-state anti-entropy between them compares deltas (docs/SCALE.md).
+  // The base must contain our own record (quiet_start state is discarded).
+  directory_.adopt_base(std::move(base));
+  if (const PeerRecord* self = directory_.find(directory_.self()); self != nullptr) {
+    self_class_ = self->link_class;
+  }
+}
+
 std::uint64_t Protocol::own_version() const {
   const PeerRecord* self = directory_.find(directory_.self());
   return self == nullptr ? 0 : self->version;
@@ -228,7 +239,7 @@ std::vector<Protocol::Outgoing> Protocol::on_round(TimePoint now) {
     // Pure anti-entropy baseline (LAN-AE): push our summary every round.
     const PeerId target = pick_ae_target();
     if (target == kInvalidPeer) return out;
-    out.push_back(Outgoing{target, SummaryMsg{directory_.summary(), /*push=*/true}});
+    out.push_back(Outgoing{target, SummaryMsg{directory_.summary_entries(), /*push=*/true}});
     return out;
   }
 
@@ -375,15 +386,11 @@ bool Protocol::apply_payload(const RumorPayload& p, TimePoint now, PeerId from,
       record.filter_wire = f.bits;  // full filter
     } else if (!f.bits.empty() && existing != nullptr &&
                existing->version == f.base_version && !existing->filter_wire.empty()) {
-      // Apply the XOR diff to our stored filter.
+      // Apply the XOR diff to our stored filter in the Golomb gap domain —
+      // O(set bits), no full bit-vector decode, byte-identical to
+      // decode -> apply_diff -> re-encode (see bloom::merge_diff_wire).
       try {
-        ByteReader base_reader(existing->filter_wire);
-        bloom::BloomFilter filter = bloom::decode_filter(base_reader);
-        ByteReader diff_reader(f.bits);
-        filter.apply_diff(bloom::decode_diff(diff_reader));
-        ByteWriter w;
-        bloom::encode_filter(w, filter);
-        record.filter_wire = w.take();
+        record.filter_wire = bloom::merge_diff_wire(existing->filter_wire, f.bits);
       } catch (const std::exception& e) {
         PLOG_WARN("gossip", "diff apply failed for peer ", p.origin, ": ", e.what());
         need_full_pull = true;
@@ -499,7 +506,7 @@ std::vector<Protocol::Outgoing> Protocol::on_message(TimePoint now, PeerId from,
   }
 
   if (std::get_if<SummaryRequestMsg>(&msg) != nullptr) {
-    SummaryMsg reply{directory_.summary(), /*push=*/false};
+    SummaryMsg reply{directory_.summary_entries(), /*push=*/false};
     if (const auto tomb = directory_.tombstone_version(from); tomb.has_value()) {
       // The asker is a peer we expired — it is clearly back. If it restarted
       // below the tombstoned version, everything it gossips would be refused
@@ -521,13 +528,10 @@ std::vector<Protocol::Outgoing> Protocol::on_message(TimePoint now, PeerId from,
         jump_own_version(summary->rejoin_floor);
       }
     }
-    for (const PeerSummary& s : summary->entries) {
-      if (s.id == directory_.self()) {
-        adopt_own_version(s.version, now);
-        break;
-      }
+    if (const auto own = summary->entries.version_of(directory_.self()); own.has_value()) {
+      adopt_own_version(*own, now);
     }
-    std::vector<RumorId> missing = directory_.newer_in(summary->entries.list());
+    std::vector<RumorId> missing = directory_.newer_in(summary->entries);
     // Never pull our own record: we are its origin (a remote-newer own entry
     // was adopted above instead).
     std::erase_if(missing,
@@ -554,7 +558,7 @@ std::vector<Protocol::Outgoing> Protocol::on_message(TimePoint now, PeerId from,
     }
     if (!missing.empty()) {
       out.push_back(Outgoing{from, PullRequestMsg{std::move(missing)}});
-    } else if (!summary->push && directory_.same_as(summary->entries.list())) {
+    } else if (!summary->push && directory_.same_as(summary->entries)) {
       // Pull-anti-entropy reply showed an identical directory: one more
       // gossip-less contact toward slowing down.
       register_gossipless_contact();

@@ -83,6 +83,12 @@ class Protocol {
   /// set up pre-converged communities in experiments).
   void bootstrap(const std::vector<PeerRecord>& records);
 
+  /// Converged bootstrap at scale: adopt \p base (which must include our own
+  /// record) as the shared directory snapshot instead of copying N records
+  /// into a private map. Replaces quiet_start + bootstrap for simulated
+  /// communities; peers sharing a base exchange O(changed) summaries.
+  void bootstrap_converged(DirectoryBasePtr base);
+
   // ------------------------------------------------------------------
   // Runtime driver interface
   // ------------------------------------------------------------------

@@ -1,6 +1,25 @@
 #include "gossip/types.hpp"
 
+#include <algorithm>
+
 namespace planetp::gossip {
+
+DirectoryBasePtr make_directory_base(std::vector<PeerRecord> records) {
+  std::sort(records.begin(), records.end(),
+            [](const PeerRecord& a, const PeerRecord& b) { return a.id < b.id; });
+  for (PeerRecord& r : records) {
+    r.online = true;
+    r.offline_since = 0;
+    r.suspicion = 0;
+  }
+  auto summary = std::make_shared<std::vector<PeerSummary>>();
+  summary->reserve(records.size());
+  for (const PeerRecord& r : records) summary->push_back(PeerSummary{r.id, r.version});
+  auto base = std::make_shared<DirectoryBase>();
+  base->records = std::move(records);
+  base->summary = std::move(summary);
+  return base;
+}
 
 RumorPayload payload_from_record(const PeerRecord& record, EventKind kind,
                                  std::optional<FilterUpdate> filter) {

@@ -117,6 +117,29 @@ struct PeerSummary {
 /// built once per directory mutation epoch, never copied per message.
 using SummarySnapshot = std::shared_ptr<const std::vector<PeerSummary>>;
 
+/// An immutable converged-community snapshot shared by many Directory
+/// instances. At 100k peers a fully replicated directory costs ~2KB of
+/// compressed filter per record; N copies of it would be N x that again, so
+/// every simulated peer instead holds one shared base plus a small private
+/// overlay of what changed since (see Directory::adopt_base). Records are
+/// id-sorted for binary-search lookup, all online with no local beliefs.
+struct DirectoryBase {
+  std::vector<PeerRecord> records;  ///< id-sorted, normalized (online, no suspicion)
+  SummarySnapshot summary;          ///< one (id, version) per record, id-sorted
+};
+using DirectoryBasePtr = std::shared_ptr<const DirectoryBase>;
+
+/// Sort + normalize \p records and derive the shared summary snapshot.
+DirectoryBasePtr make_directory_base(std::vector<PeerRecord> records);
+
+/// A based Directory's changed-set relative to its base, rebuilt per mutation
+/// epoch. Steady-state anti-entropy between peers sharing a base compares and
+/// scans these instead of full summaries — O(changed records), not O(peers).
+struct SummaryDelta {
+  std::vector<PeerSummary> entries;  ///< id-sorted: new ids or version != base
+  std::vector<PeerId> removed;       ///< id-sorted: base ids locally expired
+};
+
 /// Build the rumor payload describing \p record's latest state.
 RumorPayload payload_from_record(const PeerRecord& record, EventKind kind,
                                  std::optional<FilterUpdate> filter = std::nullopt);

@@ -34,6 +34,12 @@ LiveNode::LiveNode(PeerId id, LiveNodeConfig config, std::uint16_t port)
     }
     const gossip::FilterUpdate& fu = *payload.filter;
     if (fu.base_version != 0 && !fu.bits.empty()) {
+      // Wire-backed peers absorb the diff in the Golomb gap domain (at-rest
+      // bytes updated in place, resident decoded copies fixed surgically).
+      if (filter_cache_.apply_peer_diff_wire(payload.origin, fu.bits, fu.base_version,
+                                             payload.version)) {
+        return;
+      }
       try {
         ByteReader reader(fu.bits);
         const BitVector diff = bloom::decode_diff(reader);
@@ -485,16 +491,11 @@ std::shared_ptr<const bloom::BloomFilter> LiveNode::cached_filter(
     const gossip::PeerRecord& record) {
   if (auto cached = filter_cache_.version_of(record.id);
       !cached.has_value() || *cached != record.version) {
-    try {
-      ByteReader reader(record.filter_wire);
-      filter_cache_.update_peer(
-          record.id, std::make_shared<bloom::BloomFilter>(bloom::decode_filter(reader)),
-          record.version);
-    } catch (const std::exception&) {
-      return nullptr;
-    }
+    // At rest in the cache as the record's compressed wire; decoded on
+    // demand below, bounded by candidate_cache.max_decoded_bytes.
+    filter_cache_.update_peer_wire(record.id, record.filter_wire, record.version);
   }
-  return filter_cache_.filter_of(record.id);
+  return filter_cache_.resident_filter(record.id);
 }
 
 std::shared_ptr<const bloom::BloomFilter> LiveNode::own_filter() {

@@ -4,6 +4,8 @@
 #include <future>
 #include <unordered_set>
 
+#include "bloom/wire.hpp"
+
 namespace planetp::search {
 
 namespace {
@@ -78,6 +80,11 @@ class ViewSet {
   std::unordered_set<std::uint32_t> sparse_;
 };
 
+/// Heap bytes a decoded filter's bit vector occupies.
+std::size_t decoded_cost(const bloom::BloomFilter& f) {
+  return f.bits().words().size() * sizeof(BitVector::Word);
+}
+
 }  // namespace
 
 /// The backed/extra split of one view at one population epoch. Callers hand
@@ -110,11 +117,34 @@ void CandidateCache::update_peer(std::uint32_t peer,
   }
   std::lock_guard<std::mutex> lock(mu_);
   PeerState& st = peers_[peer];
+  detach_residency(st);
+  st.wire.clear();  // decoded-only mode: this filter is the durable copy
   st.filter = std::move(filter);
   st.version = version;
+  decoded_bytes_ += decoded_cost(*st.filter);
   ++epoch_;
   // Keep every cached term warm: fix this peer's membership in place.
   reprobe_entries(peer, st.filter.get());
+  stats_.full_reprobes += entries_.size();
+  evict_decoded_to_bound();
+}
+
+void CandidateCache::update_peer_wire(std::uint32_t peer, std::vector<std::uint8_t> wire,
+                                      std::uint64_t version) {
+  if (wire.empty()) {
+    remove_peer(peer);
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  PeerState& st = peers_[peer];
+  detach_residency(st);
+  st.wire = std::move(wire);
+  st.version = version;
+  ++epoch_;
+  // At rest until asked for: entries must not claim membership for a peer
+  // that is not decoded-resident (lookup would otherwise rank it from a
+  // filter nobody holds).
+  reprobe_entries(peer, nullptr);
   stats_.full_reprobes += entries_.size();
 }
 
@@ -122,7 +152,7 @@ bool CandidateCache::apply_peer_diff(std::uint32_t peer, const BitVector& diff,
                                      std::uint64_t base_version, std::uint64_t new_version) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = peers_.find(peer);
-  if (it == peers_.end() || it->second.filter == nullptr ||
+  if (it == peers_.end() || it->second.filter == nullptr || !it->second.wire.empty() ||
       it->second.version != base_version || it->second.filter->bit_size() != diff.size()) {
     return false;
   }
@@ -157,6 +187,68 @@ bool CandidateCache::apply_peer_diff(std::uint32_t peer, const BitVector& diff,
   return true;
 }
 
+bool CandidateCache::apply_peer_diff_wire(std::uint32_t peer,
+                                          std::span<const std::uint8_t> diff_wire,
+                                          std::uint64_t base_version,
+                                          std::uint64_t new_version) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = peers_.find(peer);
+  if (it == peers_.end() || it->second.wire.empty() || it->second.version != base_version) {
+    return false;
+  }
+  PeerState& st = it->second;
+  std::vector<std::uint8_t> merged;
+  std::vector<std::uint64_t> flips;
+  try {
+    // Gap-domain merge: the at-rest bytes absorb the diff without ever
+    // materializing a bit vector (byte-identical to decode/XOR/re-encode).
+    merged = bloom::merge_diff_wire(st.wire, diff_wire);
+    if (st.filter != nullptr) flips = bloom::diff_positions(diff_wire);
+  } catch (const std::exception&) {
+    return false;  // geometry mismatch or corrupt stream: full update needed
+  }
+  if (st.filter != nullptr) {
+    // Mirror the flips onto a private decoded copy (in-flight queries may
+    // still reference the old one) and surgically fix only the cached terms
+    // whose bit positions the diff touches.
+    auto updated = std::make_shared<bloom::BloomFilter>(*st.filter);
+    BitVector& bits = updated->mutable_bits();
+    for (std::uint64_t pos : flips) {
+      if (pos >= bits.size()) continue;
+      if (bits.test(static_cast<std::size_t>(pos))) {
+        bits.reset(static_cast<std::size_t>(pos));
+      } else {
+        bits.set(static_cast<std::size_t>(pos));
+      }
+    }
+    const std::uint64_t nbits = updated->bit_size();
+    for (auto& [term, e] : entries_) {
+      bool touched = false;
+      for (std::uint32_t j = 0; j < updated->num_hashes() && !touched; ++j) {
+        touched = std::binary_search(flips.begin(), flips.end(), e.hp.ith(j) % nbits);
+      }
+      if (!touched) {
+        ++stats_.surgical_keeps;
+        continue;
+      }
+      ++stats_.surgical_fixes;
+      const bool contains = updated->contains(e.hp);
+      auto pos = std::lower_bound(e.peers.begin(), e.peers.end(), peer);
+      const bool present = pos != e.peers.end() && *pos == peer;
+      if (contains && !present) {
+        e.peers.insert(pos, peer);
+      } else if (!contains && present) {
+        e.peers.erase(pos);
+      }
+    }
+    st.filter = std::move(updated);  // same geometry: decoded_bytes_ unchanged
+  }
+  st.wire = std::move(merged);
+  st.version = new_version;
+  ++epoch_;
+  return true;
+}
+
 bool CandidateCache::touch_peer(std::uint32_t peer, std::uint64_t version) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = peers_.find(peer);
@@ -168,7 +260,10 @@ bool CandidateCache::touch_peer(std::uint32_t peer, std::uint64_t version) {
 
 void CandidateCache::remove_peer(std::uint32_t peer) {
   std::lock_guard<std::mutex> lock(mu_);
-  if (peers_.erase(peer) == 0) return;
+  auto it = peers_.find(peer);
+  if (it == peers_.end()) return;
+  detach_residency(it->second);
+  peers_.erase(it);
   ++epoch_;
   reprobe_entries(peer, nullptr);
 }
@@ -178,6 +273,8 @@ void CandidateCache::clear() {
   peers_.clear();
   entries_.clear();
   lru_.clear();
+  decoded_lru_.clear();
+  decoded_bytes_ = 0;
   memo_.reset();
   ++epoch_;
 }
@@ -199,6 +296,37 @@ const bloom::BloomFilter* CandidateCache::filter_ptr(std::uint32_t peer) const {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = peers_.find(peer);
   return it == peers_.end() ? nullptr : it->second.filter.get();
+}
+
+std::shared_ptr<const bloom::BloomFilter> CandidateCache::resident_filter(std::uint32_t peer) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = peers_.find(peer);
+  if (it == peers_.end()) return nullptr;
+  PeerState& st = it->second;
+  if (st.filter != nullptr) {
+    if (st.evictable) decoded_lru_.splice(decoded_lru_.begin(), decoded_lru_, st.lru);
+    return st.filter;
+  }
+  if (st.wire.empty()) return nullptr;
+  std::shared_ptr<const bloom::BloomFilter> decoded;
+  try {
+    decoded = std::make_shared<bloom::BloomFilter>(bloom::decode_filter_bytes(st.wire));
+  } catch (const std::exception&) {
+    return nullptr;  // corrupt wire; the caller falls back to a full update
+  }
+  st.filter = decoded;
+  decoded_bytes_ += decoded_cost(*st.filter);
+  decoded_lru_.push_front(peer);
+  st.lru = decoded_lru_.begin();
+  st.evictable = true;
+  ++stats_.wire_decodes;
+  // Residency transition is a population change: cached entries gain this
+  // peer, and in-flight miss probes must not install results computed
+  // against the pre-decode population.
+  ++epoch_;
+  reprobe_entries(peer, st.filter.get());
+  evict_decoded_to_bound();
+  return decoded;
 }
 
 IpfTable CandidateCache::lookup(const std::vector<std::string>& terms,
@@ -284,9 +412,13 @@ IpfTable CandidateCache::lookup(const HashedTerms& q, const std::vector<PeerFilt
       // Snapshot the whole known population (not just the view) so the new
       // entries answer future queries with different views too. The filters
       // are shared_ptr-owned; keepalive pins them across the unlocked probe.
+      // Only decoded-resident peers enter the entries (the at-rest ones have
+      // no probeable filter); a later decode-in re-probes every entry so the
+      // invariant "entries cover exactly the resident population" holds.
       population.reserve(peers_.size());
       keepalive.reserve(peers_.size());
       for (const auto& [id, st] : peers_) {
+        if (st.filter == nullptr) continue;
         population.emplace_back(id, st.filter.get());
         keepalive.push_back(st.filter);
       }
@@ -406,6 +538,31 @@ void CandidateCache::evict_to_bound() {
   }
 }
 
+void CandidateCache::detach_residency(PeerState& st) {
+  if (st.filter == nullptr) return;
+  decoded_bytes_ -= decoded_cost(*st.filter);
+  if (st.evictable) {
+    decoded_lru_.erase(st.lru);
+    st.evictable = false;
+  }
+  st.filter.reset();
+}
+
+void CandidateCache::evict_decoded_to_bound() {
+  if (config_.max_decoded_bytes == 0) return;
+  while (decoded_bytes_ > config_.max_decoded_bytes && !decoded_lru_.empty()) {
+    const std::uint32_t victim = decoded_lru_.back();
+    decoded_lru_.pop_back();
+    PeerState& st = peers_.at(victim);
+    decoded_bytes_ -= decoded_cost(*st.filter);
+    st.filter.reset();  // the wire bytes remain the durable copy
+    st.evictable = false;
+    reprobe_entries(victim, nullptr);
+    ++stats_.decoded_evictions;
+    ++epoch_;
+  }
+}
+
 CandidateCacheStats CandidateCache::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   return stats_;
@@ -424,6 +581,18 @@ std::uint64_t CandidateCache::population_epoch() const {
 std::size_t CandidateCache::known_peers() const {
   std::lock_guard<std::mutex> lock(mu_);
   return peers_.size();
+}
+
+std::size_t CandidateCache::decoded_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return decoded_bytes_;
+}
+
+std::size_t CandidateCache::resident_peers() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t n = 0;
+  for (const auto& [id, st] : peers_) n += st.filter != nullptr ? 1 : 0;
+  return n;
 }
 
 }  // namespace planetp::search

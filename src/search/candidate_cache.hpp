@@ -5,6 +5,7 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <span>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -24,12 +25,17 @@
 /// term→candidate mapping per query throws that structure away. Following
 /// Witten et al.'s precompute-and-maintain doctrine, CandidateCache keeps:
 ///
-///  1. a versioned store of each peer's decoded Bloom filter (the searcher's
+///  1. a versioned store of each peer's Bloom filter (the searcher's
 ///     directory view), kept current by full updates, version touches, and
 ///     *surgical* XOR-diff application: an incoming diff is tested against
 ///     every cached term's bit positions, so an update that does not touch a
 ///     term's bits leaves its candidate entry warm, and one that does fixes
-///     just that (term, peer) membership instead of invalidating wholesale;
+///     just that (term, peer) membership instead of invalidating wholesale.
+///     Filters fed as wire bytes (update_peer_wire) stay Golomb-compressed
+///     *at rest*: they decode on first use, the decoded working set is
+///     LRU-bounded by max_decoded_bytes, and gossiped diffs merge into the
+///     compressed form directly (gap-domain XOR) so an at-rest peer is
+///     updated without ever materializing its bit vector;
 ///  2. a bounded (LRU) term → candidate-peers map over the known filter
 ///     population, consulted by lookup();
 ///  3. a filter-major batched probe kernel for cache misses: one pass over
@@ -58,6 +64,14 @@ struct CandidateCacheConfig {
   /// Worker threads for the parallel scan; 0 = hardware concurrency. The
   /// pool is created lazily on the first scan that crosses the threshold.
   std::size_t max_threads = 0;
+  /// Bound on decoded filter bytes held for wire-backed peers (those fed via
+  /// update_peer_wire). Beyond it the least-recently-used decoded filter is
+  /// dropped back to its Golomb-compressed wire form — the next
+  /// resident_filter() re-decodes on demand. 0 = unbounded. Filters installed
+  /// without wire backing (update_peer) count toward the bound but are never
+  /// evicted: the wire bytes are the only durable copy a wire-backed peer
+  /// needs, a decoded-only peer has nothing to fall back to.
+  std::size_t max_decoded_bytes = 0;
 };
 
 /// Monotonic counters; read them to pin cache behaviour in tests.
@@ -71,6 +85,8 @@ struct CandidateCacheStats {
   std::uint64_t full_reprobes = 0;    ///< full filter replacement re-probed entries
   std::uint64_t evictions = 0;        ///< entries dropped by the max_terms bound
   std::uint64_t parallel_scans = 0;   ///< kernel invocations that used the pool
+  std::uint64_t wire_decodes = 0;     ///< on-demand decodes of at-rest wire filters
+  std::uint64_t decoded_evictions = 0;  ///< decoded filters dropped back to wire form
 };
 
 class CandidateCache {
@@ -89,13 +105,32 @@ class CandidateCache {
   void update_peer(std::uint32_t peer, std::shared_ptr<const bloom::BloomFilter> filter,
                    std::uint64_t version);
 
+  /// Install or replace \p peer's filter *at rest*: the cache keeps only the
+  /// Golomb-compressed \p wire bytes (exactly what encode_filter emits) and
+  /// decodes on the first resident_filter() call. With max_decoded_bytes set
+  /// this is what keeps directory-of-the-community memory at compressed cost
+  /// plus a bounded decoded working set. Empty \p wire forgets the peer.
+  void update_peer_wire(std::uint32_t peer, std::vector<std::uint8_t> wire,
+                        std::uint64_t version);
+
   /// Surgical update from a gossiped XOR diff: applies \p diff to a private
   /// copy of the stored filter and fixes only the cached terms whose bit
   /// positions the diff touches. Returns false (no change) when the stored
   /// version is not \p base_version — the caller should fall back to a full
-  /// update_peer with the record's filter.
+  /// update_peer with the record's filter. Refuses wire-backed peers (use
+  /// apply_peer_diff_wire, which keeps the at-rest bytes in sync).
   bool apply_peer_diff(std::uint32_t peer, const BitVector& diff,
                        std::uint64_t base_version, std::uint64_t new_version);
+
+  /// Wire-domain diff for a wire-backed peer: the at-rest bytes are updated
+  /// by a Golomb gap merge (bloom::merge_diff_wire — no bit vector is ever
+  /// materialized) and, when the peer is decoded-resident, the same flips are
+  /// mirrored onto the decoded copy with the usual surgical entry fixes.
+  /// \p diff_wire is an encode_diff byte string. Returns false when the peer
+  /// is not wire-backed at \p base_version or the streams do not parse — the
+  /// caller should fall back to update_peer_wire with the record's full wire.
+  bool apply_peer_diff_wire(std::uint32_t peer, std::span<const std::uint8_t> diff_wire,
+                            std::uint64_t base_version, std::uint64_t new_version);
 
   /// Record a version bump whose filter content is unchanged (a rejoin
   /// rumor). Returns false when the peer is unknown.
@@ -111,12 +146,29 @@ class CandidateCache {
   /// Version the cache holds for \p peer, if any.
   std::optional<std::uint64_t> version_of(std::uint32_t peer) const;
 
-  /// The stored filter (shared ownership), or nullptr when unknown.
+  /// The stored decoded filter (shared ownership), or nullptr when unknown
+  /// or currently at rest in wire form (no decode is triggered).
   std::shared_ptr<const bloom::BloomFilter> filter_of(std::uint32_t peer) const;
 
-  /// Raw pointer to the stored filter; valid until the next update_peer /
-  /// apply_peer_diff / remove_peer / clear for that peer.
+  /// Raw pointer to the stored decoded filter; valid until the next
+  /// update_peer / apply_peer_diff / remove_peer / clear for that peer — or,
+  /// for wire-backed peers under a max_decoded_bytes bound, until eviction.
+  /// Callers that hold filters across further cache traffic should pin the
+  /// shared_ptr from resident_filter() instead.
   const bloom::BloomFilter* filter_ptr(std::uint32_t peer) const;
+
+  /// The peer's decoded filter, decoding it from the at-rest wire bytes on
+  /// demand (and possibly evicting the LRU decoded filter to stay under
+  /// max_decoded_bytes). The returned shared_ptr pins the decoded filter for
+  /// the caller even if the cache drops its own copy. nullptr when the peer
+  /// is unknown or its wire bytes do not parse.
+  std::shared_ptr<const bloom::BloomFilter> resident_filter(std::uint32_t peer);
+
+  /// Bytes of decoded filter payload currently resident (all peers).
+  std::size_t decoded_bytes() const;
+
+  /// Peers whose filter is currently decoded-resident.
+  std::size_t resident_peers() const;
 
   // ------------------------------------------------------------------
   // Query path
@@ -153,8 +205,11 @@ class CandidateCache {
     std::list<std::string>::iterator lru;    ///< position in lru_ (front = hottest)
   };
   struct PeerState {
-    std::shared_ptr<const bloom::BloomFilter> filter;
+    std::shared_ptr<const bloom::BloomFilter> filter;  ///< decoded; null = at rest
+    std::vector<std::uint8_t> wire;  ///< compressed at-rest copy (empty = decoded-only)
     std::uint64_t version = 0;
+    std::list<std::uint32_t>::iterator lru;  ///< decoded_lru_ slot; valid iff evictable
+    bool evictable = false;  ///< wire-backed and decoded-resident (in decoded_lru_)
   };
   /// Memoized backed/extra split of the most recent view (see lookup()):
   /// callers rebuild the same directory view query after query, so the
@@ -179,11 +234,21 @@ class CandidateCache {
 
   void evict_to_bound();  ///< caller holds mu_
 
+  /// Drop \p st's decoded filter (bytes accounting + LRU unlink); the caller
+  /// is responsible for the matching reprobe_entries call. Caller holds mu_.
+  void detach_residency(PeerState& st);
+
+  /// Evict least-recently-used wire-backed decoded filters until
+  /// decoded_bytes_ fits max_decoded_bytes. Caller holds mu_.
+  void evict_decoded_to_bound();
+
   mutable std::mutex mu_;
   CandidateCacheConfig config_;
   EntryMap entries_;
   std::list<std::string> lru_;  ///< most recently used at front
   std::unordered_map<std::uint32_t, PeerState> peers_;
+  std::list<std::uint32_t> decoded_lru_;  ///< evictable resident peers, hottest first
+  std::size_t decoded_bytes_ = 0;         ///< resident decoded payload (all peers)
   /// Bumped on every population change; in-flight miss probes only install
   /// their results when the epoch they were computed against still holds.
   std::uint64_t epoch_ = 0;

@@ -124,15 +124,17 @@ void SimCommunity::start_converged() {
   if (started_) throw std::logic_error("SimCommunity: already started");
   started_ = true;
 
+  // Every member starts from one immutable shared snapshot instead of N
+  // private copies of N records: directory memory is O(N) community-wide and
+  // steady-state summary exchanges compare O(changed) deltas.
   std::vector<PeerRecord> records;
   records.reserve(peers_.size());
   for (PeerId id = 0; id < peers_.size(); ++id) records.push_back(record_of(id));
+  const gossip::DirectoryBasePtr base = gossip::make_directory_base(std::move(records));
 
   for (PeerId id = 0; id < peers_.size(); ++id) {
     SimPeer& peer = peers_[id];
-    const PeerRecord& self = records[id];
-    peer.protocol->quiet_start(self.address, self.link_class, self.key_count, {});
-    peer.protocol->bootstrap(records);
+    peer.protocol->bootstrap_converged(base);
     peer.online = true;
     peer.member = true;
     // Random phase so rounds do not synchronize.
@@ -377,12 +379,21 @@ void SimCommunity::run_tick(TimePoint at) {
   if (pool_ != nullptr && eligible.size() > 1) {
     // Step all same-tick nodes concurrently. Safe because on_round touches
     // only that node's protocol (its directory, hot set, and forked RNG
-    // stream) — never the queue, links, stats, or another node.
+    // stream) — never the queue, links, stats, or another node. Peers are
+    // sharded into contiguous chunks (a handful per worker) so a 100k-peer
+    // tick costs dozens of pool submissions, not 100k futures.
+    const std::size_t max_shards = pool_->size() * 4;
+    const std::size_t chunk =
+        std::max<std::size_t>(1, (eligible.size() + max_shards - 1) / max_shards);
     std::vector<std::future<void>> done;
-    done.reserve(eligible.size());
-    for (std::size_t i = 0; i < eligible.size(); ++i) {
-      done.push_back(pool_->submit(
-          [this, &outs, &eligible, i, now] { outs[i] = peers_[eligible[i]].protocol->on_round(now); }));
+    done.reserve((eligible.size() + chunk - 1) / chunk);
+    for (std::size_t begin = 0; begin < eligible.size(); begin += chunk) {
+      const std::size_t end = std::min(begin + chunk, eligible.size());
+      done.push_back(pool_->submit([this, &outs, &eligible, begin, end, now] {
+        for (std::size_t i = begin; i < end; ++i) {
+          outs[i] = peers_[eligible[i]].protocol->on_round(now);
+        }
+      }));
     }
     for (auto& f : done) f.get();
   } else {

@@ -61,11 +61,21 @@ std::uint64_t golomb_decode(BitReader& in, std::uint64_t m) {
 }
 
 std::uint64_t golomb_optimal_m(std::size_t set_bits, std::size_t total_bits) {
+  // Degenerate densities: an empty vector has no gaps to code, and a full
+  // (or over-full) vector has gaps that are all zero — unary m=1 codes each
+  // in a single bit, which is optimal. This also covers single-bit vectors
+  // (total_bits == 1), where set_bits is necessarily 0 or 1.
   if (set_bits == 0 || total_bits == 0) return 1;
+  if (set_bits >= total_bits) return 1;
   const double p = static_cast<double>(set_bits) / static_cast<double>(total_bits);
-  if (p >= 1.0) return 1;
-  // M = ceil(log(2 - p) / -log(1 - p)) ~= 0.69 / p for small p.
-  const double m = std::ceil(std::log(2.0 - p) / -std::log(1.0 - p));
+  // M = ceil(log(2 - p) / -log(1 - p)) ~= 0.69 / p for small p. log1p keeps
+  // the denominator accurate when p is tiny: log(1.0 - p) rounds to 0 below
+  // ~1e-16 and the division would blow up to +inf (UB on the cast below).
+  const double m = std::ceil(std::log(2.0 - p) / -std::log1p(-p));
+  // A gap can never exceed total_bits, so any larger m only pads remainder
+  // bits; the cap also bounds the result if the division still misbehaves.
+  const double cap = static_cast<double>(total_bits);
+  if (!std::isfinite(m) || m > cap) return total_bits;
   return m < 1.0 ? 1 : static_cast<std::uint64_t>(m);
 }
 
@@ -99,6 +109,63 @@ BitVector decompress_bits(const CompressedBits& c) {
     bits.set(pos);
   }
   return bits;
+}
+
+std::vector<std::uint64_t> golomb_positions(const CompressedBits& c) {
+  std::vector<std::uint64_t> positions;
+  positions.reserve(static_cast<std::size_t>(c.set_bits));
+  BitReader reader(c.payload);
+  std::uint64_t pos = 0;
+  for (std::uint64_t i = 0; i < c.set_bits; ++i) {
+    const std::uint64_t gap = golomb_decode(reader, c.m);
+    pos = (i == 0) ? gap : pos + gap + 1;
+    if (pos >= c.nbits) throw std::out_of_range("golomb_positions: corrupt stream");
+    positions.push_back(pos);
+  }
+  return positions;
+}
+
+CompressedBits compress_positions(std::span<const std::uint64_t> positions,
+                                  std::uint64_t nbits) {
+  CompressedBits c;
+  c.nbits = nbits;
+  c.set_bits = positions.size();
+  c.m = golomb_optimal_m(positions.size(), static_cast<std::size_t>(nbits));
+
+  BitWriter writer;
+  std::uint64_t prev = 0;
+  bool first = true;
+  for (const std::uint64_t idx : positions) {
+    const std::uint64_t gap = first ? idx : idx - prev - 1;
+    golomb_encode(writer, gap, c.m);
+    prev = idx;
+    first = false;
+  }
+  c.payload = writer.take();
+  return c;
+}
+
+CompressedBits xor_merge(const CompressedBits& a, const CompressedBits& b) {
+  if (a.nbits != b.nbits) throw std::invalid_argument("xor_merge: size mismatch");
+  const std::vector<std::uint64_t> pa = golomb_positions(a);
+  const std::vector<std::uint64_t> pb = golomb_positions(b);
+  std::vector<std::uint64_t> merged;
+  merged.reserve(pa.size() + pb.size());
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < pa.size() && j < pb.size()) {
+    if (pa[i] < pb[j]) {
+      merged.push_back(pa[i++]);
+    } else if (pb[j] < pa[i]) {
+      merged.push_back(pb[j++]);
+    } else {  // present in both: XOR cancels the bit
+      ++i;
+      ++j;
+    }
+  }
+  merged.insert(merged.end(), pa.begin() + static_cast<std::ptrdiff_t>(i), pa.end());
+  merged.insert(merged.end(), pb.begin() + static_cast<std::ptrdiff_t>(j), pb.end());
+  return compress_positions(merged, a.nbits);
 }
 
 }  // namespace planetp

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "util/bitio.hpp"
@@ -46,5 +47,21 @@ CompressedBits compress_bits(const BitVector& bits);
 
 /// Exact inverse of compress_bits.
 BitVector decompress_bits(const CompressedBits& c);
+
+/// Decode the sorted set-bit positions without materializing a BitVector.
+/// O(set_bits) work and memory; throws std::out_of_range on corrupt streams.
+std::vector<std::uint64_t> golomb_positions(const CompressedBits& c);
+
+/// Compress a sorted list of distinct bit positions (all < \p nbits).
+/// Identical output to compress_bits over the equivalent BitVector.
+CompressedBits compress_positions(std::span<const std::uint64_t> positions,
+                                  std::uint64_t nbits);
+
+/// XOR two compressed vectors of equal size entirely in the gap domain:
+/// positions present in exactly one input survive, positions in both cancel.
+/// Byte-identical to decompress -> BitVector XOR -> compress, but costs
+/// O(set_bits) instead of O(nbits) — this is how gossiped filter diffs are
+/// applied to at-rest Golomb-coded directory records.
+CompressedBits xor_merge(const CompressedBits& a, const CompressedBits& b);
 
 }  // namespace planetp

@@ -86,6 +86,45 @@ TEST(BloomWire, DiffIsMuchSmallerThanFullFilter) {
   EXPECT_LT(diff_size * 5, full_size);
 }
 
+TEST(BloomWire, MergeDiffWireByteIdenticalToDecodedPath) {
+  // The directory keeps filters as their wire bytes; gossiped diffs are
+  // folded in with merge_diff_wire. The result must be byte-for-byte what
+  // the decoded path (decode_filter -> apply_diff -> encode_filter) yields.
+  Rng rng(31);
+  BloomFilter base = filter_with_terms(2000, 7);
+  ByteWriter bw;
+  encode_filter(bw, base);
+  std::vector<std::uint8_t> wire = bw.take();
+
+  for (int round = 0; round < 5; ++round) {
+    BloomFilter updated = base;
+    const int adds = 1 + static_cast<int>(rng.below(200));
+    for (int i = 0; i < adds; ++i) {
+      updated.insert("r" + std::to_string(round) + "_" + std::to_string(i));
+    }
+    ByteWriter dw;
+    encode_diff(dw, updated.diff_from(base));
+    const auto diff_wire = dw.take();
+
+    wire = merge_diff_wire(wire, diff_wire);
+
+    ByteWriter expect;
+    encode_filter(expect, updated);
+    EXPECT_EQ(wire, expect.data()) << "round " << round;
+    EXPECT_EQ(decode_filter_bytes(wire), updated);
+    base = updated;
+  }
+}
+
+TEST(BloomWire, MergeDiffWireGeometryMismatchThrows) {
+  const BloomFilter f = filter_with_terms(100, 8);
+  ByteWriter fw;
+  encode_filter(fw, f);
+  ByteWriter dw;
+  encode_diff(dw, BitVector(64));  // wrong nbits
+  EXPECT_THROW(merge_diff_wire(fw.data(), dw.data()), std::invalid_argument);
+}
+
 TEST(BloomWire, TruncatedInputThrows) {
   const BloomFilter f = filter_with_terms(1000, 6);
   ByteWriter w;

@@ -1,0 +1,336 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bloom/bloom_filter.hpp"
+#include "bloom/wire.hpp"
+#include "gossip/directory.hpp"
+#include "gossip/types.hpp"
+#include "search/candidate_cache.hpp"
+#include "search/distributed.hpp"
+
+/// \file test_compressed_at_rest.cpp
+/// The compressed-at-rest directory contract (docs/SCALE.md): a community
+/// member holding peers' Bloom filters as Golomb wire bytes — decoding on
+/// demand under an LRU byte bound, merging gossiped XOR diffs in the gap
+/// domain — must answer every query byte-identically to a member that keeps
+/// every filter fully decoded. Plus the O(changed) summary-compare pin for
+/// shared-base directories.
+
+using namespace planetp;
+using namespace planetp::search;
+
+namespace {
+
+bloom::BloomParams small_params() { return bloom::BloomParams{65536, 2}; }
+
+std::string term_name(std::size_t i) { return "term" + std::to_string(i); }
+
+bloom::BloomFilter make_filter(const std::vector<std::size_t>& term_ids) {
+  bloom::BloomFilter f(small_params());
+  for (std::size_t t : term_ids) f.insert(term_name(t));
+  return f;
+}
+
+std::vector<std::uint8_t> wire_of(const bloom::BloomFilter& f) {
+  ByteWriter w;
+  bloom::encode_filter(w, f);
+  return w.take();
+}
+
+std::vector<std::uint8_t> diff_wire_of(const BitVector& diff) {
+  ByteWriter w;
+  bloom::encode_diff(w, diff);
+  return w.take();
+}
+
+void expect_identical(const IpfTable& a, const IpfTable& b) {
+  EXPECT_EQ(a.num_peers(), b.num_peers());
+  ASSERT_EQ(a.terms(), b.terms());
+  for (const std::string& t : a.terms()) {
+    EXPECT_EQ(a.weight(t), b.weight(t)) << "term " << t;
+    std::vector<std::uint32_t> pa = a.peers_with(t);
+    std::vector<std::uint32_t> pb = b.peers_with(t);
+    std::sort(pa.begin(), pa.end());
+    std::sort(pb.begin(), pb.end());
+    EXPECT_EQ(pa, pb) << "term " << t;
+  }
+  const auto ra = rank_peers(a);
+  const auto rb = rank_peers(b);
+  ASSERT_EQ(ra.size(), rb.size());
+  for (std::size_t i = 0; i < ra.size(); ++i) {
+    EXPECT_EQ(ra[i].peer, rb[i].peer) << "rank position " << i;
+    EXPECT_EQ(ra[i].rank, rb[i].rank) << "rank position " << i;
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Wire-backed cache vs fully-decoded oracle
+// ---------------------------------------------------------------------------
+
+TEST(CompressedAtRest, RandomizedLifecycleMatchesDecodedOracle) {
+  // Oracle: every filter decoded, never evicted. Subject: filters at rest as
+  // wire bytes with a decoded working set of only ~6 filters (65536 bits =
+  // 8 KB decoded each), so lookups constantly decode in and evict.
+  CandidateCacheConfig bounded;
+  bounded.max_decoded_bytes = 48 * 1024;
+  CandidateCache oracle;
+  CandidateCache subject(bounded);
+
+  std::mt19937_64 rng(20030611);
+  constexpr std::size_t kPeers = 24;
+  constexpr std::size_t kTermUniverse = 120;
+
+  std::vector<bloom::BloomFilter> truth(kPeers, bloom::BloomFilter(small_params()));
+  std::vector<std::uint64_t> version(kPeers, 0);
+  std::vector<bool> known(kPeers, false);
+
+  auto install = [&](std::size_t p) {
+    std::vector<std::size_t> terms;
+    for (std::size_t t = 0; t < kTermUniverse; ++t) {
+      if (rng() % 3 == 0) terms.push_back(t);
+    }
+    truth[p] = make_filter(terms);
+    version[p] += 1;
+    oracle.update_peer(p, std::make_shared<bloom::BloomFilter>(truth[p]), version[p]);
+    subject.update_peer_wire(p, wire_of(truth[p]), version[p]);
+    known[p] = true;
+  };
+  for (std::size_t p = 0; p < kPeers; ++p) install(p);
+
+  auto query = [&] {
+    std::vector<std::string> terms;
+    for (int i = 0; i < 6; ++i) {
+      terms.push_back(term_name(rng() % (kTermUniverse + 10)));  // some unknown
+    }
+    std::vector<PeerFilter> oracle_view, subject_view, truth_view;
+    std::vector<std::shared_ptr<const bloom::BloomFilter>> pins;
+    for (std::size_t p = 0; p < kPeers; ++p) {
+      if (!known[p]) continue;
+      auto of = oracle.filter_of(static_cast<std::uint32_t>(p));
+      auto sf = subject.resident_filter(static_cast<std::uint32_t>(p));
+      ASSERT_NE(of, nullptr);
+      ASSERT_NE(sf, nullptr);
+      oracle_view.push_back(PeerFilter{static_cast<std::uint32_t>(p), of.get(), 0});
+      subject_view.push_back(PeerFilter{static_cast<std::uint32_t>(p), sf.get(), 0});
+      truth_view.push_back(PeerFilter{static_cast<std::uint32_t>(p), &truth[p], 0});
+      pins.push_back(std::move(of));
+      pins.push_back(std::move(sf));
+    }
+    const HashedTerms hashed = HashedTerms::from(terms);
+    const IpfTable want(hashed, truth_view);
+    expect_identical(oracle.lookup(hashed, oracle_view), want);
+    expect_identical(subject.lookup(hashed, subject_view), want);
+  };
+
+  for (int round = 0; round < 60; ++round) {
+    const std::size_t p = rng() % kPeers;
+    switch (rng() % 5) {
+      case 0: {  // XOR diff: a few new terms gossiped incrementally
+        if (!known[p]) break;
+        bloom::BloomFilter next = truth[p];
+        for (int i = 0; i < 3; ++i) next.insert(term_name(rng() % kTermUniverse));
+        const BitVector diff = next.diff_from(truth[p]);
+        ASSERT_TRUE(oracle.apply_peer_diff(static_cast<std::uint32_t>(p), diff, version[p],
+                                           version[p] + 1));
+        ASSERT_TRUE(subject.apply_peer_diff_wire(static_cast<std::uint32_t>(p),
+                                                 diff_wire_of(diff), version[p],
+                                                 version[p] + 1));
+        truth[p] = std::move(next);
+        version[p] += 1;
+        break;
+      }
+      case 1:  // rejoin: version bump, unchanged content
+        if (!known[p]) break;
+        version[p] += 1;
+        EXPECT_TRUE(oracle.touch_peer(static_cast<std::uint32_t>(p), version[p]));
+        EXPECT_TRUE(subject.touch_peer(static_cast<std::uint32_t>(p), version[p]));
+        break;
+      case 2:  // expiry (T_dead): both caches forget the peer
+        oracle.remove_peer(static_cast<std::uint32_t>(p));
+        subject.remove_peer(static_cast<std::uint32_t>(p));
+        known[p] = false;
+        break;
+      case 3:  // (re)join with a fresh filter
+        install(p);
+        break;
+      default:
+        query();
+        break;
+    }
+  }
+  query();
+
+  // The bound must have had teeth: at-rest peers were decoded on demand and
+  // decoded filters were dropped back to wire form along the way.
+  EXPECT_GT(subject.stats().wire_decodes, 0u);
+  EXPECT_GT(subject.stats().decoded_evictions, 0u);
+  EXPECT_LE(subject.decoded_bytes(), bounded.max_decoded_bytes);
+}
+
+TEST(CompressedAtRest, DiffOnAtRestPeerNeverMaterializes) {
+  // A diff arriving for a peer whose filter is at rest merges into the wire
+  // bytes without decoding anything; the next decode sees the merged filter.
+  CandidateCache cache({.max_decoded_bytes = 1});  // evict everything eagerly
+  bloom::BloomFilter f = make_filter({1, 2, 3});
+  cache.update_peer_wire(7, wire_of(f), 1);
+  EXPECT_EQ(cache.resident_peers(), 0u);
+
+  bloom::BloomFilter next = f;
+  next.insert(term_name(4));
+  ASSERT_TRUE(cache.apply_peer_diff_wire(7, diff_wire_of(next.diff_from(f)), 1, 2));
+  EXPECT_EQ(cache.stats().wire_decodes, 0u);  // still at rest
+
+  auto resident = cache.resident_filter(7);
+  ASSERT_NE(resident, nullptr);
+  EXPECT_EQ(*resident, next);
+  EXPECT_EQ(cache.version_of(7), 2u);
+}
+
+TEST(CompressedAtRest, WireDiffRefusedOnVersionOrGeometryMismatch) {
+  CandidateCache cache;
+  bloom::BloomFilter f = make_filter({1, 2});
+  cache.update_peer_wire(1, wire_of(f), 3);
+
+  bloom::BloomFilter next = f;
+  next.insert(term_name(9));
+  const auto diff = diff_wire_of(next.diff_from(f));
+  EXPECT_FALSE(cache.apply_peer_diff_wire(1, diff, 2, 4));  // wrong base version
+  EXPECT_FALSE(cache.apply_peer_diff_wire(2, diff, 3, 4));  // unknown peer
+
+  BitVector wrong_geometry(128);
+  wrong_geometry.set(5);
+  EXPECT_FALSE(cache.apply_peer_diff_wire(1, diff_wire_of(wrong_geometry), 3, 4));
+  EXPECT_EQ(cache.version_of(1), 3u);  // refused updates leave state alone
+
+  // Decoded-only peers refuse the wire path (and vice versa): the two
+  // stores never desynchronize.
+  cache.update_peer(5, std::make_shared<bloom::BloomFilter>(f), 3);
+  EXPECT_FALSE(cache.apply_peer_diff_wire(5, diff, 3, 4));
+  EXPECT_TRUE(cache.apply_peer_diff(5, next.diff_from(f), 3, 4));
+  EXPECT_FALSE(cache.apply_peer_diff(1, next.diff_from(f), 3, 4));  // wire-backed
+}
+
+TEST(CompressedAtRest, SurgicalFixesApplyToResidentWireBackedPeers) {
+  // A resident wire-backed peer gets the same surgical treatment as the
+  // decoded path: untouched cached terms stay warm, touched ones are fixed.
+  CandidateCache cache;
+  bloom::BloomFilter f = make_filter({1});
+  cache.update_peer_wire(0, wire_of(f), 1);
+  auto pin = cache.resident_filter(0);
+  ASSERT_NE(pin, nullptr);
+
+  const std::vector<PeerFilter> view = {{0, cache.filter_ptr(0), 0}};
+  const std::vector<std::string> terms = {term_name(1), term_name(2)};
+  const HashedTerms hashed = HashedTerms::from(terms);
+  cache.lookup(hashed, view);
+  ASSERT_EQ(cache.cached_terms(), 2u);
+
+  bloom::BloomFilter next = f;
+  next.insert(term_name(2));
+  ASSERT_TRUE(cache.apply_peer_diff_wire(0, diff_wire_of(next.diff_from(f)), 1, 2));
+  EXPECT_GT(cache.stats().surgical_fixes, 0u);
+
+  auto resident = cache.resident_filter(0);
+  const std::vector<PeerFilter> after = {{0, resident.get(), 0}};
+  expect_identical(cache.lookup(hashed, after), IpfTable(hashed, after));
+  EXPECT_EQ(*resident, next);
+}
+
+TEST(CompressedAtRest, ConcurrentDecodeEvictAndLookupAreSafe) {
+  // Thread-safety under residency churn: concurrent decode-ins, evictions,
+  // wire merges, and lookups on one shared cache (run under TSan in check.sh).
+  CandidateCacheConfig cfg;
+  cfg.max_decoded_bytes = 24 * 1024;  // ~3 resident filters
+  CandidateCache cache(cfg);
+  constexpr std::size_t kPeers = 8;
+  std::vector<bloom::BloomFilter> filters;
+  for (std::size_t p = 0; p < kPeers; ++p) {
+    filters.push_back(make_filter({p, p + 1, p + 2}));
+    cache.update_peer_wire(static_cast<std::uint32_t>(p), wire_of(filters[p]), 1);
+  }
+
+  std::vector<std::thread> workers;
+  for (int w = 0; w < 4; ++w) {
+    workers.emplace_back([&cache, &filters, w] {
+      std::mt19937_64 rng(1000 + w);
+      for (int i = 0; i < 200; ++i) {
+        const auto p = static_cast<std::uint32_t>(rng() % kPeers);
+        switch (rng() % 3) {
+          case 0:
+            cache.resident_filter(p);
+            break;
+          case 1:
+            cache.update_peer_wire(p, wire_of(filters[p]), 1);
+            break;
+          default: {
+            std::vector<PeerFilter> view;
+            std::vector<std::shared_ptr<const bloom::BloomFilter>> pins;
+            for (std::size_t q = 0; q < kPeers; ++q) {
+              if (auto f = cache.resident_filter(static_cast<std::uint32_t>(q))) {
+                view.push_back(PeerFilter{static_cast<std::uint32_t>(q), f.get(), 0});
+                pins.push_back(std::move(f));
+              }
+            }
+            const std::vector<std::string> terms = {term_name(rng() % 12)};
+            const HashedTerms hashed = HashedTerms::from(terms);
+            const IpfTable got = cache.lookup(hashed, view);
+            expect_identical(got, IpfTable(hashed, view));
+            break;
+          }
+        }
+      }
+    });
+  }
+  for (auto& t : workers) t.join();
+  EXPECT_LE(cache.decoded_bytes(), cfg.max_decoded_bytes);
+}
+
+// ---------------------------------------------------------------------------
+// O(changed) summary compares between shared-base directories
+// ---------------------------------------------------------------------------
+
+TEST(ODeltaSummaries, MergeScanTouchesOnlyChangedRecords) {
+  using namespace planetp::gossip;
+  constexpr std::size_t kPeers = 400;
+  std::vector<PeerRecord> records;
+  for (PeerId id = 0; id < kPeers; ++id) {
+    PeerRecord r;
+    r.id = id;
+    r.address = "sim://" + std::to_string(id);
+    r.version = 1;
+    r.key_count = 100;
+    records.push_back(std::move(r));
+  }
+  const DirectoryBasePtr base = make_directory_base(std::move(records));
+
+  Directory a(0), b(1);
+  a.adopt_base(base);
+  b.adopt_base(base);
+
+  // Converged: the compare must scan zero entries, not 400.
+  EXPECT_TRUE(b.same_as(a.summary_entries()));
+  EXPECT_EQ(b.merge_scan_entries(), 0u);
+
+  // Three records move forward on a; b's compare and merge scan exactly the
+  // changed set.
+  for (PeerId id : {7u, 123u, 398u}) {
+    PeerRecord updated = *a.find(id);
+    updated.version = 2;
+    EXPECT_TRUE(a.apply(updated));
+  }
+  const auto summary = a.summary_entries();
+  EXPECT_FALSE(b.same_as(summary));
+  EXPECT_LE(b.merge_scan_entries(), 6u);  // both deltas, never O(peers)
+
+  const auto newer = b.newer_in(summary);
+  EXPECT_EQ(newer.size(), 3u);
+  EXPECT_LE(b.merge_scan_entries(), 9u);
+}

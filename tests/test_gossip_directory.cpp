@@ -153,10 +153,10 @@ TEST(Directory, SameAsExactMatchOnly) {
   Directory dir(0);
   dir.apply(record(1, 1));
   dir.apply(record(2, 2));
-  EXPECT_TRUE(dir.same_as({{1, 1}, {2, 2}}));
-  EXPECT_FALSE(dir.same_as({{1, 1}}));
-  EXPECT_FALSE(dir.same_as({{1, 1}, {2, 3}}));
-  EXPECT_FALSE(dir.same_as({{1, 1}, {2, 2}, {3, 1}}));
+  EXPECT_TRUE(dir.same_as(std::vector<PeerSummary>{{1, 1}, {2, 2}}));
+  EXPECT_FALSE(dir.same_as(std::vector<PeerSummary>{{1, 1}}));
+  EXPECT_FALSE(dir.same_as(std::vector<PeerSummary>{{1, 1}, {2, 3}}));
+  EXPECT_FALSE(dir.same_as(std::vector<PeerSummary>{{1, 1}, {2, 2}, {3, 1}}));
 }
 
 TEST(Directory, SummarySnapshotSharedUntilMutation) {

@@ -140,5 +140,100 @@ TEST(CompressBits, CorruptStreamThrows) {
   EXPECT_THROW(decompress_bits(c), std::out_of_range);
 }
 
+TEST(Golomb, OptimalMEdgeDensities) {
+  // Single-bit vectors: set_bits is necessarily 0 or 1, both degenerate.
+  EXPECT_EQ(golomb_optimal_m(0, 1), 1u);
+  EXPECT_EQ(golomb_optimal_m(1, 1), 1u);
+  // Over-full input (corrupt header shape) must not blow up.
+  EXPECT_EQ(golomb_optimal_m(200, 100), 1u);
+  // One set bit in an enormous vector: log(1 - p) rounds to 0 in double and
+  // the naive formula divides by zero; the result must stay finite, positive
+  // and bounded by total_bits.
+  const std::uint64_t huge = golomb_optimal_m(1, std::size_t{1} << 60);
+  EXPECT_GE(huge, 1u);
+  EXPECT_LE(huge, std::uint64_t{1} << 60);
+  // ...and still near the 0.69/p rule of thumb where it is representable.
+  const std::uint64_t m = golomb_optimal_m(1, 1'000'000);
+  EXPECT_GT(m, 600'000u);
+  EXPECT_LT(m, 800'000u);
+}
+
+TEST(CompressBits, RandomizedExtremeDensities) {
+  Rng rng(2026);
+  for (const std::size_t nbits : {std::size_t{1}, std::size_t{2}, std::size_t{3},
+                                  std::size_t{63}, std::size_t{64}, std::size_t{65},
+                                  std::size_t{1000}}) {
+    // All densities from empty through full, including exactly one set bit.
+    for (const double density : {0.0, 0.5, 1.0}) {
+      for (int rep = 0; rep < 8; ++rep) {
+        BitVector bits(nbits);
+        for (std::size_t i = 0; i < nbits; ++i) {
+          if (density == 1.0 || rng.chance(density)) bits.set(i);
+        }
+        const CompressedBits c = compress_bits(bits);
+        EXPECT_EQ(decompress_bits(c), bits) << "nbits=" << nbits << " d=" << density;
+      }
+    }
+    BitVector single(nbits);
+    single.set(rng.below(nbits));
+    EXPECT_EQ(decompress_bits(compress_bits(single)), single) << "nbits=" << nbits;
+  }
+}
+
+TEST(Golomb, PositionsMatchForEachSet) {
+  Rng rng(99);
+  BitVector bits(4096);
+  for (int i = 0; i < 300; ++i) bits.set(rng.below(4096));
+  const CompressedBits c = compress_bits(bits);
+  std::vector<std::uint64_t> expected;
+  bits.for_each_set([&](std::size_t i) { expected.push_back(i); });
+  EXPECT_EQ(golomb_positions(c), expected);
+}
+
+TEST(Golomb, CompressPositionsMatchesCompressBits) {
+  Rng rng(7);
+  BitVector bits(10'000);
+  for (int i = 0; i < 500; ++i) bits.set(rng.below(10'000));
+  std::vector<std::uint64_t> positions;
+  bits.for_each_set([&](std::size_t i) { positions.push_back(i); });
+  const CompressedBits direct = compress_bits(bits);
+  const CompressedBits from_positions = compress_positions(positions, bits.size());
+  EXPECT_EQ(from_positions.nbits, direct.nbits);
+  EXPECT_EQ(from_positions.set_bits, direct.set_bits);
+  EXPECT_EQ(from_positions.m, direct.m);
+  EXPECT_EQ(from_positions.payload, direct.payload);
+}
+
+TEST(Golomb, XorMergeByteIdenticalToBitwiseXor) {
+  // The at-rest directory applies gossiped XOR diffs in the gap domain; the
+  // result must be byte-for-byte what a decode -> XOR -> re-encode produces,
+  // across sparse, dense, disjoint and fully-overlapping inputs.
+  Rng rng(123);
+  for (int rep = 0; rep < 40; ++rep) {
+    const std::size_t nbits = 1 + rng.below(20'000);
+    const double da = rep % 5 == 0 ? 0.9 : 0.01;
+    const double db = rep % 3 == 0 ? 0.5 : 0.002;
+    BitVector a(nbits);
+    BitVector b(nbits);
+    for (std::size_t i = 0; i < nbits; ++i) {
+      if (rng.chance(da)) a.set(i);
+      if (rng.chance(db)) b.set(i);
+    }
+    if (rep % 7 == 0) b = a;  // full cancellation -> empty result
+    const CompressedBits merged = xor_merge(compress_bits(a), compress_bits(b));
+    const CompressedBits oracle = compress_bits(a ^ b);
+    EXPECT_EQ(merged.nbits, oracle.nbits);
+    EXPECT_EQ(merged.set_bits, oracle.set_bits);
+    EXPECT_EQ(merged.m, oracle.m);
+    EXPECT_EQ(merged.payload, oracle.payload) << "rep=" << rep << " nbits=" << nbits;
+    EXPECT_EQ(decompress_bits(merged), a ^ b);
+  }
+}
+
+TEST(Golomb, XorMergeSizeMismatchThrows) {
+  EXPECT_THROW(xor_merge(compress_bits(BitVector(100)), compress_bits(BitVector(200))),
+               std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace planetp
