@@ -9,21 +9,36 @@
 ///              shipping configuration),
 ///   parallel — cached, plus deterministic parallel round stepping
 ///              (SimConfig::parallel_round_tick; same-tick rounds step on a
-///              thread pool and commit in node-id order).
+///              thread pool and commit in node-id order),
+/// and, on the dissemination axis (docs/PROTOCOL.md "Lazy dissemination"),
+///   eager    — the cached run, read on this axis as the blind-push baseline,
+///   lazy     — digests only (RumorMode::kLazy) + delta anti-entropy replies,
+///   hybrid   — Plumtree-style eager-first-hops (RumorMode::kHybrid) + delta
+///              anti-entropy replies.
 ///
 /// Reports wall-clock gossip rounds/sec (numerator: SimCommunity::
-/// rounds_executed), simulated bytes per round, and heap allocations per
-/// round (counted by this TU's operator new). Emits
-/// BENCH_gossip_throughput.json. Three built-in gates:
+/// rounds_executed), simulated bytes per round — split per message type —
+/// heap allocations per round (counted by this TU's operator new), and the
+/// protocol's dissemination counters. Emits BENCH_gossip_throughput.json.
+/// Built-in gates:
 ///   1. cached and uncached runs must be behaviourally identical — same
 ///      bytes, messages, rounds, and convergence samples for the same seed
 ///      (the cache must be invisible);
 ///   2. cached must be >= 3x uncached rounds/sec at 5000 peers;
-///   3. with --baseline <json>, cached rounds/sec must stay above half the
-///      recorded baseline (scripts/check.sh runs this against
-///      bench/baselines/).
-/// Usage: gossip_throughput [--quick] [--baseline <file>]
+///   3. hybrid must move < 1/2 the bytes/round of eager at 5000 peers with
+///      every event still converging and mean convergence time within 1.5x
+///      of eager (the lazy tentpole's in-run acceptance gate);
+///   4. lazy mode must push zero blind payloads and see (near-)zero
+///      duplicate payload deliveries once converged;
+///   5. with --baseline <json>, cached rounds/sec must stay above half the
+///      recorded baseline and hybrid bytes/round must stay below twice the
+///      recorded hybrid_bytes_per_round figure (scripts/check.sh runs this
+///      against bench/baselines/).
+/// Usage: gossip_throughput [--quick] [--lazy-smoke] [--baseline <file>]
+/// --lazy-smoke runs a small lazy/hybrid-only community and checks gate 4
+/// plus convergence — cheap enough for the ASan leg of scripts/check.sh.
 
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -67,16 +82,24 @@ using namespace planetp::sim;
 
 namespace {
 
-enum class Mode { kUncached, kCached, kParallel };
+enum class Mode { kUncached, kCached, kParallel, kLazy, kHybrid };
 
 const char* mode_name(Mode m) {
   switch (m) {
     case Mode::kUncached: return "uncached";
     case Mode::kCached: return "cached";
     case Mode::kParallel: return "parallel";
+    case Mode::kLazy: return "lazy";
+    case Mode::kHybrid: return "hybrid";
   }
   return "?";
 }
+
+/// Message-type names by gossip::Message variant index (the key of
+/// NetworkStats::bytes_by_type).
+constexpr std::array<const char*, gossip::kMessageTypeCount> kTypeNames = {
+    "Rumor", "RumorAck", "SummaryRequest", "Summary",
+    "PullRequest", "PullResponse", "RumorDigest", "RumorWant"};
 
 struct RunResult {
   double wall_s = 0.0;
@@ -89,6 +112,19 @@ struct RunResult {
   std::vector<double> durations;  ///< convergence samples (seconds)
   bool consistent = false;
   std::size_t events = 0;
+  std::array<std::uint64_t, gossip::kMessageTypeCount> bytes_by_type{};
+  std::array<std::uint64_t, gossip::kMessageTypeCount> messages_by_type{};
+  gossip::GossipStats gossip;  ///< dissemination counters over the window
+
+  double bytes_per_round() const {
+    return rounds > 0 ? static_cast<double>(bytes) / static_cast<double>(rounds) : 0.0;
+  }
+  double mean_convergence_s() const {
+    if (durations.empty()) return 0.0;
+    double sum = 0.0;
+    for (double d : durations) sum += d;
+    return sum / static_cast<double>(durations.size());
+  }
 };
 
 double wall_now_s() {
@@ -109,6 +145,11 @@ RunResult run_mode(Mode mode, std::size_t peers, std::size_t events) {
     cfg.parallel_round_tick = kSecond;
     cfg.parallel_threads = 0;  // hardware concurrency
   }
+  if (mode == Mode::kLazy || mode == Mode::kHybrid) {
+    cfg.gossip.rumor_mode =
+        mode == Mode::kLazy ? gossip::RumorMode::kLazy : gossip::RumorMode::kHybrid;
+    cfg.gossip.delta_summaries = true;
+  }
   SimCommunity community(cfg);
   for (std::size_t i = 0; i < peers; ++i) {
     community.add_peer({link_speed::kLan45M, 1000});
@@ -124,6 +165,9 @@ RunResult run_mode(Mode mode, std::size_t peers, std::size_t events) {
   const std::uint64_t rounds0 = community.rounds_executed();
   const std::uint64_t bytes0 = community.stats().total_bytes();
   const std::uint64_t msgs0 = community.stats().total_messages();
+  const auto types_bytes0 = community.stats().bytes_by_type();
+  const auto types_msgs0 = community.stats().messages_by_type();
+  const gossip::GossipStats gossip0 = community.stats().gossip_stats();
   const std::uint64_t allocs0 = g_allocs.load(std::memory_order_relaxed);
   const double t0 = wall_now_s();
 
@@ -144,6 +188,12 @@ RunResult run_mode(Mode mode, std::size_t peers, std::size_t events) {
   r.rounds_per_sec = r.wall_s > 0.0 ? static_cast<double>(r.rounds) / r.wall_s : 0.0;
   r.bytes = community.stats().total_bytes() - bytes0;
   r.messages = community.stats().total_messages() - msgs0;
+  for (std::size_t i = 0; i < gossip::kMessageTypeCount; ++i) {
+    r.bytes_by_type[i] = community.stats().bytes_by_type()[i] - types_bytes0[i];
+    r.messages_by_type[i] = community.stats().messages_by_type()[i] - types_msgs0[i];
+  }
+  r.gossip = community.stats().gossip_stats();
+  r.gossip -= gossip0;
   r.durations = community.tracker(t).durations().samples();
   r.consistent = community.directories_consistent();
   r.events = events;
@@ -159,9 +209,31 @@ void print_mode(Mode m, const RunResult& r) {
       "  %-9s %7.2f s   %8llu rounds   %9.0f rounds/s   %7.1f B/round   %6.1f allocs/round   "
       "%llu summary builds%s\n",
       mode_name(m), r.wall_s, static_cast<unsigned long long>(r.rounds), r.rounds_per_sec,
-      r.rounds > 0 ? static_cast<double>(r.bytes) / static_cast<double>(r.rounds) : 0.0,
+      r.bytes_per_round(),
       r.rounds > 0 ? static_cast<double>(r.allocs) / static_cast<double>(r.rounds) : 0.0,
       static_cast<unsigned long long>(r.summary_builds), r.consistent ? "" : "   (INCONSISTENT)");
+}
+
+void print_dissemination(Mode m, const RunResult& r) {
+  std::printf(
+      "  %-9s payloads %llu (dup %llu)   digests %llu (%llu ids)   wants %llu (%llu ids, "
+      "%llu served)   mean convergence %.1f s\n",
+      mode_name(m), static_cast<unsigned long long>(r.gossip.payloads_sent),
+      static_cast<unsigned long long>(r.gossip.duplicate_payloads),
+      static_cast<unsigned long long>(r.gossip.digests_sent),
+      static_cast<unsigned long long>(r.gossip.digest_ids_sent),
+      static_cast<unsigned long long>(r.gossip.wants_sent),
+      static_cast<unsigned long long>(r.gossip.want_ids_sent),
+      static_cast<unsigned long long>(r.gossip.wants_served), r.mean_convergence_s());
+  std::printf("  %-9s bytes by type:", mode_name(m));
+  for (std::size_t i = 0; i < gossip::kMessageTypeCount; ++i) {
+    if (r.bytes_by_type[i] == 0) continue;
+    std::printf(" %s %.1f B/round", kTypeNames[i],
+                r.rounds > 0 ? static_cast<double>(r.bytes_by_type[i]) /
+                                   static_cast<double>(r.rounds)
+                             : 0.0);
+  }
+  std::printf("\n");
 }
 
 /// The cache must be invisible: same seed, same trace.
@@ -172,8 +244,9 @@ bool equivalent(const RunResult& a, const RunResult& b) {
 
 struct SizeResult {
   std::size_t peers = 0;
-  RunResult uncached, cached, parallel;
+  RunResult uncached, cached, parallel, lazy, hybrid;
   double speedup = 0.0;
+  double hybrid_byte_reduction = 0.0;  ///< eager bytes/round ÷ hybrid bytes/round
 };
 
 SizeResult run_size(std::size_t peers, std::size_t events) {
@@ -186,21 +259,43 @@ SizeResult run_size(std::size_t peers, std::size_t events) {
   print_mode(Mode::kCached, out.cached);
   out.parallel = run_mode(Mode::kParallel, peers, events);
   print_mode(Mode::kParallel, out.parallel);
+  out.lazy = run_mode(Mode::kLazy, peers, events);
+  print_mode(Mode::kLazy, out.lazy);
+  out.hybrid = run_mode(Mode::kHybrid, peers, events);
+  print_mode(Mode::kHybrid, out.hybrid);
   out.speedup =
       out.uncached.rounds_per_sec > 0.0 ? out.cached.rounds_per_sec / out.uncached.rounds_per_sec
                                         : 0.0;
-  std::printf("  cached speedup vs uncached: %.1fx\n\n", out.speedup);
+  std::printf("  cached speedup vs uncached: %.1fx\n", out.speedup);
+  print_dissemination(Mode::kCached, out.cached);
+  print_dissemination(Mode::kLazy, out.lazy);
+  print_dissemination(Mode::kHybrid, out.hybrid);
+  out.hybrid_byte_reduction = out.hybrid.bytes_per_round() > 0.0
+                                  ? out.cached.bytes_per_round() / out.hybrid.bytes_per_round()
+                                  : 0.0;
+  std::printf("  hybrid byte reduction vs eager: %.2fx\n\n", out.hybrid_byte_reduction);
   return out;
 }
 
 void append_mode(std::ostringstream& os, const char* name, const RunResult& r) {
   os << "\"" << name << "\": {\"wall_s\": " << r.wall_s << ", \"rounds\": " << r.rounds
-     << ", \"rounds_per_sec\": " << r.rounds_per_sec << ", \"bytes_per_round\": "
-     << (r.rounds > 0 ? static_cast<double>(r.bytes) / static_cast<double>(r.rounds) : 0.0)
-     << ", \"allocs_per_round\": "
+     << ", \"rounds_per_sec\": " << r.rounds_per_sec
+     << ", \"bytes_per_round\": " << r.bytes_per_round() << ", \"allocs_per_round\": "
      << (r.rounds > 0 ? static_cast<double>(r.allocs) / static_cast<double>(r.rounds) : 0.0)
      << ", \"summary_builds\": " << r.summary_builds
-     << ", \"converged_events\": " << r.durations.size() << "}";
+     << ", \"converged_events\": " << r.durations.size()
+     << ", \"mean_convergence_s\": " << r.mean_convergence_s() << ", \"bytes_by_type\": {";
+  bool first = true;
+  for (std::size_t i = 0; i < gossip::kMessageTypeCount; ++i) {
+    if (r.bytes_by_type[i] == 0) continue;
+    if (!first) os << ", ";
+    first = false;
+    os << "\"" << kTypeNames[i] << "\": " << r.bytes_by_type[i];
+  }
+  os << "}, \"payloads_sent\": " << r.gossip.payloads_sent
+     << ", \"duplicate_payloads\": " << r.gossip.duplicate_payloads
+     << ", \"digests_sent\": " << r.gossip.digests_sent
+     << ", \"wants_served\": " << r.gossip.wants_served << "}";
 }
 
 /// Minimal key lookup in the baseline JSON: finds "key" and parses the
@@ -213,18 +308,66 @@ double parse_key(const std::string& json, const std::string& key) {
   return std::strtod(json.c_str() + colon + 1, nullptr);
 }
 
+/// Gate 4: lazy pushes nothing blind and a converged community re-delivers
+/// (nearly) nothing. The handful of tolerated duplicates are want/pull races
+/// — two peers serving the same id before either delivery lands.
+int check_lazy_counters(std::size_t peers, const RunResult& lazy) {
+  int rc = 0;
+  if (lazy.gossip.payloads_sent != 0) {
+    std::fprintf(stderr, "FAIL: lazy mode pushed %llu blind payloads at %zu peers (want 0)\n",
+                 static_cast<unsigned long long>(lazy.gossip.payloads_sent), peers);
+    rc = 1;
+  }
+  const std::uint64_t dup_budget = lazy.events * 2 + 8;
+  if (lazy.gossip.duplicate_payloads > dup_budget) {
+    std::fprintf(stderr,
+                 "FAIL: lazy mode saw %llu duplicate payload deliveries at %zu peers "
+                 "(budget %llu)\n",
+                 static_cast<unsigned long long>(lazy.gossip.duplicate_payloads), peers,
+                 static_cast<unsigned long long>(dup_budget));
+    rc = 1;
+  }
+  return rc;
+}
+
+/// --lazy-smoke: a small lazy + hybrid community under the sanitizer build.
+/// Exercises the digest/want/serve path and the delta-summary path end to
+/// end, then applies the convergence and counter gates (not the byte-ratio
+/// gate: at smoke scale the full-summary baseline is cheap anyway).
+int run_lazy_smoke() {
+  constexpr std::size_t kPeers = 300;
+  constexpr std::size_t kEvents = 3;
+  int rc = 0;
+  for (Mode m : {Mode::kLazy, Mode::kHybrid}) {
+    const RunResult r = run_mode(m, kPeers, kEvents);
+    print_mode(m, r);
+    print_dissemination(m, r);
+    if (!r.consistent || r.durations.size() != kEvents) {
+      std::fprintf(stderr, "FAIL: %s smoke did not converge (%zu/%zu events)\n", mode_name(m),
+                   r.durations.size(), kEvents);
+      rc = 1;
+    }
+    if (m == Mode::kLazy) rc |= check_lazy_counters(kPeers, r);
+  }
+  return rc;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bool quick = false;
+  bool lazy_smoke = false;
   std::string baseline_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) {
       quick = true;
+    } else if (std::strcmp(argv[i], "--lazy-smoke") == 0) {
+      lazy_smoke = true;
     } else if (std::strcmp(argv[i], "--baseline") == 0 && i + 1 < argc) {
       baseline_path = argv[++i];
     }
   }
+  if (lazy_smoke) return run_lazy_smoke();
 
   const std::size_t events = quick ? 4 : 12;
   std::vector<SizeResult> results;
@@ -242,14 +385,23 @@ int main(int argc, char** argv) {
     append_mode(os, "cached", r.cached);
     os << ", ";
     append_mode(os, "parallel", r.parallel);
-    os << ", \"cached_speedup_vs_uncached\": " << r.speedup << "}"
+    os << ", ";
+    append_mode(os, "lazy", r.lazy);
+    os << ", ";
+    append_mode(os, "hybrid", r.hybrid);
+    os << ", \"cached_speedup_vs_uncached\": " << r.speedup
+       << ", \"hybrid_byte_reduction\": " << r.hybrid_byte_reduction << "}"
        << (i + 1 < results.size() ? "," : "") << "\n";
   }
   os << "  ],\n";
   for (const SizeResult& r : results) {
     os << "  \"cached_rps_" << r.peers << "\": " << r.cached.rounds_per_sec << ",\n";
+    os << "  \"hybrid_bytes_per_round_" << r.peers << "\": " << r.hybrid.bytes_per_round()
+       << ",\n";
+    os << "  \"lazy_bytes_per_round_" << r.peers << "\": " << r.lazy.bytes_per_round() << ",\n";
   }
-  os << "  \"cached_speedup_5000\": " << results.back().speedup << "\n}\n";
+  os << "  \"cached_speedup_5000\": " << results.back().speedup << ",\n"
+     << "  \"hybrid_byte_reduction_5000\": " << results.back().hybrid_byte_reduction << "\n}\n";
 
   std::ofstream("BENCH_gossip_throughput.json") << os.str();
   std::printf("wrote BENCH_gossip_throughput.json\n");
@@ -280,10 +432,37 @@ int main(int argc, char** argv) {
                    r.peers, r.parallel.durations.size(), r.parallel.events);
       rc = 1;
     }
+    // The lazy tentpole's convergence gates: every event still converges in
+    // both new modes, and every directory ends consistent.
+    for (const RunResult* m : {&r.lazy, &r.hybrid}) {
+      const char* name = m == &r.lazy ? "lazy" : "hybrid";
+      if (!m->consistent || m->durations.size() != m->events) {
+        std::fprintf(stderr, "FAIL: %s run at %zu peers did not converge (%zu/%zu events)\n",
+                     name, r.peers, m->durations.size(), m->events);
+        rc = 1;
+      }
+    }
+    rc |= check_lazy_counters(r.peers, r.lazy);
+    // Convergence time must stay in eager's ballpark — the byte savings may
+    // not come from propagating slower (gate 3's second half).
+    if (r.hybrid.mean_convergence_s() > r.cached.mean_convergence_s() * 1.5) {
+      std::fprintf(stderr,
+                   "FAIL: hybrid mean convergence %.1f s vs eager %.1f s at %zu peers "
+                   "(> 1.5x)\n",
+                   r.hybrid.mean_convergence_s(), r.cached.mean_convergence_s(), r.peers);
+      rc = 1;
+    }
   }
   if (results.back().speedup < 3.0) {
     std::fprintf(stderr, "FAIL: cached only %.1fx vs uncached at 5000 peers (need >= 3x)\n",
                  results.back().speedup);
+    rc = 1;
+  }
+  if (results.back().hybrid_byte_reduction < 2.0) {
+    std::fprintf(stderr,
+                 "FAIL: hybrid moves only %.2fx fewer bytes/round than eager at 5000 peers "
+                 "(need > 2x)\n",
+                 results.back().hybrid_byte_reduction);
     rc = 1;
   }
 
@@ -309,6 +488,21 @@ int main(int argc, char** argv) {
       } else {
         std::printf("baseline check at %zu peers: %.0f rounds/s vs recorded %.0f — ok\n", r.peers,
                     r.cached.rounds_per_sec, recorded);
+      }
+    }
+    for (const SizeResult& r : results) {
+      const std::string key = "hybrid_bytes_per_round_" + std::to_string(r.peers);
+      const double recorded = parse_key(baseline, key);
+      if (recorded <= 0.0) continue;
+      if (r.hybrid.bytes_per_round() > recorded * 2.0) {
+        std::fprintf(stderr,
+                     "FAIL: hybrid bytes/round at %zu peers regressed: %.1f vs baseline %.1f "
+                     "(>2x growth)\n",
+                     r.peers, r.hybrid.bytes_per_round(), recorded);
+        rc = 1;
+      } else {
+        std::printf("baseline check at %zu peers: %.1f hybrid B/round vs recorded %.1f — ok\n",
+                    r.peers, r.hybrid.bytes_per_round(), recorded);
       }
     }
   }

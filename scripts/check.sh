@@ -30,9 +30,10 @@ ctest --test-dir build-asan --output-on-failure -j "$JOBS"
 cmake -B build-tsan -S . -DPLANETP_SANITIZE=thread
 cmake --build build-tsan -j "$JOBS" \
   --target test_search test_search_faults test_sim test_data_store test_epoch_snapshot \
-           test_reactor test_net test_compact_directory test_compressed_at_rest
+           test_reactor test_net test_compact_directory test_compressed_at_rest \
+           test_lazy_gossip
 ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
-  -R 'DistributedSearchConcurrent|ParallelStepping|ParallelPublish|MixedWorkload|Reactor|LiveNode.RpcFailsFastWhenPeerCrashes|CompactDirectory|CompressedAtRest'
+  -R 'DistributedSearchConcurrent|ParallelStepping|ParallelPublish|MixedWorkload|Reactor|LiveNode.RpcFailsFastWhenPeerCrashes|CompactDirectory|CompressedAtRest|LazyGossip'
 
 # Query hot-path smoke run + perf-regression guard: search_throughput exits
 # non-zero when the warm CandidateCache is not >=5x the uncached scan at 5000
@@ -44,11 +45,19 @@ else
   build/bench/search_throughput --baseline bench/baselines/search_throughput.json
 fi
 
+# Lazy-dissemination smoke under ASan: a small lazy + hybrid community
+# exercising the digest/want/serve and delta-summary paths end to end under
+# the sanitizer, with the zero-blind-payload counter gates applied.
+echo "=== gossip_throughput --lazy-smoke (ASan) ==="
+build-asan/bench/gossip_throughput --lazy-smoke
+
 # Gossip-plane smoke run + perf-regression guard: gossip_throughput exits
 # non-zero when the epoch-cached summary path is not >=3x the uncached cost
 # model at 5000 peers, when cached/uncached traces diverge (the cache must be
-# behaviourally invisible), or when cached rounds/sec falls below half the
-# committed baseline.
+# behaviourally invisible), when hybrid fails the >2x bytes/round reduction
+# (with unchanged convergence) over eager at 5000 peers, when lazy mode
+# pushes any blind payload, or when cached rounds/sec falls below half — or
+# hybrid bytes/round rises above twice — the committed baseline.
 echo "=== gossip_throughput ==="
 if [ "$QUICK" = "--quick" ]; then
   build/bench/gossip_throughput --quick --baseline bench/baselines/gossip_throughput.json

@@ -133,6 +133,9 @@ class Node {
   index::DataStore& store() { return store_; }
   const index::DataStore& store() const { return store_; }
   gossip::Protocol& protocol() { return protocol_; }
+  /// This node's dissemination counters (docs/PROTOCOL.md "Lazy
+  /// dissemination"): payload pushes vs. duplicates, digests, served wants.
+  const gossip::GossipStats& gossip_stats() const { return protocol_.stats(); }
   const NodeConfig& config() const { return config_; }
   Community* community() { return community_; }
 

@@ -1,5 +1,7 @@
 #pragma once
 
+#include <cstdint>
+
 #include "util/time.hpp"
 
 /// \file config.hpp
@@ -9,6 +11,17 @@
 /// community."
 
 namespace planetp::gossip {
+
+/// How hot rumors travel (docs/PROTOCOL.md "Lazy dissemination").
+///  - kEager: push full payloads to every fanout target (the paper's §3
+///    rumor mongering, and the historical behavior — byte-identical traces).
+///  - kLazy: push only (id, version) digests; targets reply with the ids
+///    whose bodies they lack and the bodies are served from the interned
+///    SharedRumor store. No payload is ever sent blind.
+///  - kHybrid: Plumtree-style split — a rumor is pushed eagerly for its
+///    first `eager_fanout` transmissions at each node, lazily thereafter.
+///    With bandwidth_aware, slow-link targets always get digests.
+enum class RumorMode : std::uint8_t { kEager = 0, kLazy = 1, kHybrid = 2 };
 
 struct GossipConfig {
   /// Base gossiping interval T_g (30 s in §3; Table 2 simulates 30 s).
@@ -90,6 +103,23 @@ struct GossipConfig {
   /// other side and the split would persist until T_dead erased it; the
   /// occasional probe rediscovers reachable peers and re-merges the halves.
   double offline_probe_prob = 0.1;
+
+  /// Dissemination mode for hot rumors. Defaults to kEager so existing
+  /// configurations trace byte-identically to prior releases.
+  RumorMode rumor_mode = RumorMode::kEager;
+
+  /// kHybrid only: blind payload pushes a rumor gets at this node before it
+  /// switches to digests. The first hops seed the body into the community
+  /// fast; after that most targets already hold it and ids suffice.
+  int eager_fanout = 2;
+
+  /// Delta-compressed anti-entropy replies: a SummaryRequest advertises the
+  /// sender's DirectoryBase token, and a replier sharing that base answers
+  /// with only its changed-set (O(changed) entries) instead of the full
+  /// O(peers) summary. Convergence is unchanged — the omitted entries carry
+  /// base versions both sides already hold. Off by default (byte-identical
+  /// traces); the lazy/hybrid bench rows enable it.
+  bool delta_summaries = false;
 
   /// Cap on record ids pulled per anti-entropy exchange; 0 = unlimited.
   /// §7.2's future-work item for modem peers: "allow a new modem-connected

@@ -386,20 +386,23 @@ std::vector<RumorId> Directory::newer_in(const SummaryEntries& remote) const {
     // forward from the base; removals leave tombstones that refuse stale
     // versions). Scanning the remote delta alone is therefore exact —
     // O(changed records), not O(peers).
-    const SummaryDelta& rd = *view->delta;
-    merge_scan_entries_ += rd.entries.size();
-    std::vector<RumorId> out;
-    for (const PeerSummary& s : rd.entries) {
-      if (auto t = tombstones_.find(s.id); t != tombstones_.end() && s.version <= t->second) {
-        continue;  // we expired this record; don't pull it back
-      }
-      const PeerRecord* r = find(s.id);
-      if (r == nullptr || r->version < s.version) out.push_back(RumorId{s.id, s.version});
-    }
-    return out;
+    return newer_in_delta(view->delta->entries);
   }
   merge_scan_entries_ += remote.size();
   return newer_in(remote.list());
+}
+
+std::vector<RumorId> Directory::newer_in_delta(const std::vector<PeerSummary>& entries) const {
+  merge_scan_entries_ += entries.size();
+  std::vector<RumorId> out;
+  for (const PeerSummary& s : entries) {
+    if (auto t = tombstones_.find(s.id); t != tombstones_.end() && s.version <= t->second) {
+      continue;  // we expired this record; don't pull it back
+    }
+    const PeerRecord* r = find(s.id);
+    if (r == nullptr || r->version < s.version) out.push_back(RumorId{s.id, s.version});
+  }
+  return out;
 }
 
 bool Directory::same_as(const SummaryEntries& remote) const {
@@ -408,13 +411,17 @@ bool Directory::same_as(const SummaryEntries& remote) const {
     // Identical bases: the merged summaries are equal iff the changed-sets
     // are. Deltas exclude belief-only overlay entries (version == base), so
     // equal merged lists always compare equal here and vice versa.
-    const SummaryDelta& ld = *delta();
-    const SummaryDelta& rd = *view->delta;
-    merge_scan_entries_ += ld.entries.size() + rd.entries.size();
-    return ld.entries == rd.entries && ld.removed == rd.removed;
+    return same_as_delta(view->delta->entries, view->delta->removed);
   }
   merge_scan_entries_ += remote.size();
   return same_as(remote.list());
+}
+
+bool Directory::same_as_delta(const std::vector<PeerSummary>& entries,
+                              const std::vector<PeerId>& removed) const {
+  const SummaryDelta& ld = *delta();
+  merge_scan_entries_ += ld.entries.size() + entries.size();
+  return ld.entries == entries && ld.removed == removed;
 }
 
 std::size_t Directory::online_count() const { return size() - offline_count_; }

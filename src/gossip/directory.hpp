@@ -46,6 +46,11 @@ class Directory {
   /// The shared base, or nullptr in classic mode.
   const DirectoryBasePtr& base() const { return base_; }
 
+  /// Content token of the shared base (0 in classic mode). Advertised in
+  /// SummaryRequestMsg; a replier whose token matches may answer with a
+  /// delta-only SummaryMsg (delta summaries, docs/PROTOCOL.md).
+  std::uint64_t base_token() const { return base_ == nullptr ? 0 : base_->token; }
+
   /// Apply a remote update. Returns true if it superseded local knowledge
   /// (version strictly newer or peer unknown). An applied update also sets
   /// the peer back online (§3: a rejoin rumor flips off-line beliefs).
@@ -149,6 +154,14 @@ class Directory {
   /// of O(peers)); identical results to the full-list paths either way.
   std::vector<RumorId> newer_in(const SummaryEntries& remote) const;
   bool same_as(const SummaryEntries& remote) const;
+
+  /// Delta-only summary compare (decoded delta-form SummaryMsg, live wire):
+  /// \p entries / \p removed are the remote's changed-set against *our own*
+  /// shared base — the caller has already verified the base tokens match.
+  /// Same results as the full-list paths, in O(changed records).
+  std::vector<RumorId> newer_in_delta(const std::vector<PeerSummary>& entries) const;
+  bool same_as_delta(const std::vector<PeerSummary>& entries,
+                     const std::vector<PeerId>& removed) const;
 
   /// Total summary entries examined by newer_in/same_as since construction —
   /// the O(changed)-rounds invariant is pinned against this counter.

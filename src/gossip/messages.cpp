@@ -30,6 +30,22 @@ std::size_t payload_size(const RumorPayload& p, const SizeModel& m) {
   return s;
 }
 
+/// Delta-only SummaryMsg: which changed entries / removed ids travel. In
+/// simulation the message still holds the full shared view (receivers compare
+/// deltas via pointer identity) and the wire-equivalent delta lives behind
+/// it; in the decoded form the message carries exactly the delta.
+struct DeltaLists {
+  const std::vector<PeerSummary>* entries;
+  const std::vector<PeerId>* removed;
+};
+
+DeltaLists delta_lists(const SummaryMsg& msg) {
+  if (const auto& view = msg.entries.view(); view != nullptr) {
+    return {&view->delta->entries, &view->delta->removed};
+  }
+  return {&msg.entries.list(), &msg.removed};  // decoded delta form
+}
+
 struct SizeVisitor {
   const SizeModel& m;
 
@@ -42,8 +58,15 @@ struct SizeVisitor {
     return m.header_bytes + (msg.already_knew.size() + msg.recent_ids.size() +
                              msg.pull_ids.size()) * m.rumor_id_bytes;
   }
-  std::size_t operator()(const SummaryRequestMsg&) const { return m.header_bytes; }
+  std::size_t operator()(const SummaryRequestMsg& msg) const {
+    return m.header_bytes + (msg.base_token != 0 ? m.base_token_bytes : 0);
+  }
   std::size_t operator()(const SummaryMsg& msg) const {
+    if (msg.base_token != 0) {
+      const DeltaLists d = delta_lists(msg);
+      return m.header_bytes + m.base_token_bytes + d.entries->size() * m.summary_entry_bytes +
+             d.removed->size() * m.removed_id_bytes;
+    }
     return m.header_bytes + msg.entries.size() * m.summary_entry_bytes;
   }
   std::size_t operator()(const PullRequestMsg& msg) const {
@@ -54,6 +77,13 @@ struct SizeVisitor {
     for (const auto& p : msg.rumors) s += payload_size(p, m);
     return s;
   }
+  std::size_t operator()(const RumorDigestMsg& msg) const {
+    return m.header_bytes + (msg.ids.size() + msg.recent_ids.size()) * m.rumor_id_bytes;
+  }
+  std::size_t operator()(const RumorWantMsg& msg) const {
+    return m.header_bytes + (msg.want.size() + msg.already_knew.size() +
+                             msg.recent_ids.size() + msg.pull_ids.size()) * m.rumor_id_bytes;
+  }
 };
 
 enum class Tag : std::uint8_t {
@@ -63,6 +93,8 @@ enum class Tag : std::uint8_t {
   kSummary = 4,
   kPullRequest = 5,
   kPullResponse = 6,
+  kRumorDigest = 7,
+  kRumorWant = 8,
 };
 
 void encode_rumor_id(ByteWriter& w, const RumorId& id) {
@@ -160,9 +192,19 @@ struct EncodedSizeVisitor {
     return 1 + rumor_id_list_size(msg.already_knew) + rumor_id_list_size(msg.recent_ids) +
            rumor_id_list_size(msg.pull_ids);
   }
-  std::size_t operator()(const SummaryRequestMsg&) const { return 1; }
+  std::size_t operator()(const SummaryRequestMsg& msg) const {
+    return 1 + varint_size(msg.base_token);
+  }
   std::size_t operator()(const SummaryMsg& msg) const {
-    std::size_t s = 1 + 1 + varint_size(msg.entries.size()) + varint_size(msg.rejoin_floor);
+    std::size_t s = 1 + 1 + varint_size(msg.base_token) + varint_size(msg.rejoin_floor);
+    if (msg.base_token != 0) {
+      const DeltaLists d = delta_lists(msg);
+      s += varint_size(d.entries->size());
+      for (const PeerSummary& e : *d.entries) s += 4 + varint_size(e.version);
+      s += varint_size(d.removed->size()) + 4 * d.removed->size();
+      return s;
+    }
+    s += varint_size(msg.entries.size());
     for (const PeerSummary& e : msg.entries) s += 4 + varint_size(e.version);
     return s;
   }
@@ -171,6 +213,13 @@ struct EncodedSizeVisitor {
   }
   std::size_t operator()(const PullResponseMsg& msg) const {
     return 1 + rumor_list_size(msg.rumors);
+  }
+  std::size_t operator()(const RumorDigestMsg& msg) const {
+    return 1 + rumor_id_list_size(msg.ids) + rumor_id_list_size(msg.recent_ids);
+  }
+  std::size_t operator()(const RumorWantMsg& msg) const {
+    return 1 + rumor_id_list_size(msg.want) + rumor_id_list_size(msg.already_knew) +
+           rumor_id_list_size(msg.recent_ids) + rumor_id_list_size(msg.pull_ids);
   }
 };
 
@@ -188,16 +237,30 @@ struct EncodeVisitor {
     encode_rumor_ids(w, msg.recent_ids);
     encode_rumor_ids(w, msg.pull_ids);
   }
-  void operator()(const SummaryRequestMsg&) const {
+  void operator()(const SummaryRequestMsg& msg) const {
     w.u8(static_cast<std::uint8_t>(Tag::kSummaryRequest));
+    w.varint(msg.base_token);
   }
   void operator()(const SummaryMsg& msg) const {
     w.u8(static_cast<std::uint8_t>(Tag::kSummary));
     w.u8(msg.push ? 1 : 0);
-    w.varint(msg.entries.size());
-    for (const auto& e : msg.entries) {
-      w.u32(e.id);
-      w.varint(e.version);
+    w.varint(msg.base_token);
+    if (msg.base_token != 0) {
+      // Delta form: only the changed-set relative to the shared base travels.
+      const DeltaLists d = delta_lists(msg);
+      w.varint(d.entries->size());
+      for (const PeerSummary& e : *d.entries) {
+        w.u32(e.id);
+        w.varint(e.version);
+      }
+      w.varint(d.removed->size());
+      for (const PeerId id : *d.removed) w.u32(id);
+    } else {
+      w.varint(msg.entries.size());
+      for (const auto& e : msg.entries) {
+        w.u32(e.id);
+        w.varint(e.version);
+      }
     }
     w.varint(msg.rejoin_floor);
   }
@@ -208,6 +271,18 @@ struct EncodeVisitor {
   void operator()(const PullResponseMsg& msg) const {
     w.u8(static_cast<std::uint8_t>(Tag::kPullResponse));
     encode_payloads(w, msg.rumors);
+  }
+  void operator()(const RumorDigestMsg& msg) const {
+    w.u8(static_cast<std::uint8_t>(Tag::kRumorDigest));
+    encode_rumor_ids(w, msg.ids);
+    encode_rumor_ids(w, msg.recent_ids);
+  }
+  void operator()(const RumorWantMsg& msg) const {
+    w.u8(static_cast<std::uint8_t>(Tag::kRumorWant));
+    encode_rumor_ids(w, msg.want);
+    encode_rumor_ids(w, msg.already_knew);
+    encode_rumor_ids(w, msg.recent_ids);
+    encode_rumor_ids(w, msg.pull_ids);
   }
 };
 
@@ -324,11 +399,15 @@ Message decode_message(std::span<const std::uint8_t> data) {
       m.pull_ids = decode_rumor_ids(r);
       return m;
     }
-    case Tag::kSummaryRequest:
-      return SummaryRequestMsg{};
+    case Tag::kSummaryRequest: {
+      SummaryRequestMsg m;
+      m.base_token = r.varint();
+      return m;
+    }
     case Tag::kSummary: {
       SummaryMsg m;
       m.push = r.u8() != 0;
+      m.base_token = r.varint();
       const std::size_t n = r.count(5);  // u32 + varint
       std::vector<PeerSummary> entries;
       entries.reserve(n);
@@ -339,6 +418,11 @@ Message decode_message(std::span<const std::uint8_t> data) {
         entries.push_back(s);
       }
       m.entries = SummaryEntries::adopt(std::move(entries));
+      if (m.base_token != 0) {
+        const std::size_t nr = r.count(4);  // u32 per removed id
+        m.removed.reserve(nr);
+        for (std::size_t i = 0; i < nr; ++i) m.removed.push_back(r.u32());
+      }
       m.rejoin_floor = r.varint();
       return m;
     }
@@ -350,6 +434,20 @@ Message decode_message(std::span<const std::uint8_t> data) {
     case Tag::kPullResponse: {
       PullResponseMsg m;
       m.rumors = decode_payloads(r);
+      return m;
+    }
+    case Tag::kRumorDigest: {
+      RumorDigestMsg m;
+      m.ids = decode_rumor_ids(r);
+      m.recent_ids = decode_rumor_ids(r);
+      return m;
+    }
+    case Tag::kRumorWant: {
+      RumorWantMsg m;
+      m.want = decode_rumor_ids(r);
+      m.already_knew = decode_rumor_ids(r);
+      m.recent_ids = decode_rumor_ids(r);
+      m.pull_ids = decode_rumor_ids(r);
       return m;
     }
   }
@@ -364,6 +462,8 @@ const char* message_name(const Message& msg) {
     const char* operator()(const SummaryMsg&) const { return "Summary"; }
     const char* operator()(const PullRequestMsg&) const { return "PullRequest"; }
     const char* operator()(const PullResponseMsg&) const { return "PullResponse"; }
+    const char* operator()(const RumorDigestMsg&) const { return "RumorDigest"; }
+    const char* operator()(const RumorWantMsg&) const { return "RumorWant"; }
   };
   return std::visit(Visitor{}, msg);
 }

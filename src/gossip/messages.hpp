@@ -113,8 +113,34 @@ struct RumorAckMsg {
   std::vector<RumorId> pull_ids;
 };
 
+/// Lazy rumor mongering (docs/PROTOCOL.md "Lazy dissemination"): instead of
+/// full payloads, push only the (id, version) digests of the sender's hot
+/// rumors. Receivers diff against their directory and reply with a
+/// RumorWantMsg naming the ids whose bodies they lack. `recent_ids` is the
+/// same partial anti-entropy piggyback RumorMsg carries.
+struct RumorDigestMsg {
+  std::vector<RumorId> ids;
+  std::vector<RumorId> recent_ids;
+};
+
+/// Reply to RumorDigestMsg. Every digest id is echoed into exactly one of
+/// `want` / `already_knew`, so the sender's per-rumor stop counters advance
+/// on precise evidence (unlike RumorAck, whose "absence means news" rule
+/// assumes one message carried the whole hot set). `recent_ids` / `pull_ids`
+/// are the partial anti-entropy legs, as in RumorAckMsg.
+struct RumorWantMsg {
+  std::vector<RumorId> want;          ///< bodies the receiver lacks
+  std::vector<RumorId> already_knew;  ///< digest ids already at or past this version
+  std::vector<RumorId> recent_ids;
+  std::vector<RumorId> pull_ids;
+};
+
 /// Pull anti-entropy step 1: ask the target for its directory summary.
-struct SummaryRequestMsg {};
+/// `base_token` (0 = none) advertises the asker's shared DirectoryBase; a
+/// replier holding the same base may answer with a delta-only SummaryMsg.
+struct SummaryRequestMsg {
+  std::uint64_t base_token = 0;
+};
 
 /// A based Directory's summary expressed as (shared base snapshot, shared
 /// changed-set): the logical entry list is the base with delta entries merged
@@ -206,6 +232,15 @@ struct SummaryMsg {
   /// (lost its version counter in a crash), so every update it gossips at or
   /// below this version will be refused as stale — it must jump past it.
   std::uint64_t rejoin_floor = 0;
+  /// Non-zero: this summary is *delta-only* against the shared DirectoryBase
+  /// `base_token` (which the asker advertised and the replier verified it
+  /// holds). Only the replier's changed-set travels: in simulation `entries`
+  /// stays the full shared view and the size model prices the delta; on the
+  /// live wire only the delta entries plus `removed` are encoded, and the
+  /// decoded form carries exactly those.
+  std::uint64_t base_token = 0;
+  /// Delta-only decoded form: base ids the replier expired locally.
+  std::vector<PeerId> removed;
 };
 
 /// Ask the target for full records of these rumor ids (anti-entropy pull, or
@@ -221,7 +256,11 @@ struct PullResponseMsg {
 };
 
 using Message = std::variant<RumorMsg, RumorAckMsg, SummaryRequestMsg, SummaryMsg,
-                             PullRequestMsg, PullResponseMsg>;
+                             PullRequestMsg, PullResponseMsg, RumorDigestMsg, RumorWantMsg>;
+
+/// Number of alternatives in Message; per-type traffic accounting (sim
+/// NetworkStats) indexes by variant index.
+inline constexpr std::size_t kMessageTypeCount = std::variant_size_v<Message>;
 
 /// Table 2 wire-cost model. Changing these constants re-prices every
 /// simulated experiment without touching protocol logic.
@@ -229,6 +268,8 @@ struct SizeModel {
   std::size_t header_bytes = 3;
   std::size_t summary_entry_bytes = 6;  ///< Table 2 "BF summary": (id, version) digest
   std::size_t rumor_id_bytes = 6;
+  std::size_t base_token_bytes = 8;  ///< shared-base token on delta summaries
+  std::size_t removed_id_bytes = 4;  ///< one removed PeerId on delta summaries
   std::size_t record_base_bytes = 48;  ///< Table 2 "peer summary": full record sans filter
   // Linear Bloom-filter cost through Table 2's anchors
   // (1000, 3000) and (20000, 16000).

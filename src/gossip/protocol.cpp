@@ -106,7 +106,11 @@ Protocol::Outgoing Protocol::issue_summary_request(PeerId target, TimePoint now)
       static_cast<std::uint64_t>(config_.ae_retry_rounds) << std::min(attempts - 1, 6);
   pending_pull_ = PendingPull{target, round_counter_ + wait, attempts};
   (void)now;
-  return Outgoing{target, SummaryRequestMsg{}};
+  SummaryRequestMsg req;
+  // Advertise our shared-base token: a replier holding the same base answers
+  // with a delta-only summary (O(changed) entries instead of O(peers)).
+  if (config_.delta_summaries) req.base_token = directory_.base_token();
+  return Outgoing{target, req};
 }
 
 void Protocol::bootstrap(const std::vector<PeerRecord>& records) {
@@ -152,7 +156,14 @@ void Protocol::make_hot(RumorPtr p) {
     }
   }
   if (hot_.contains(id)) return;
-  hot_.emplace(id, HotRumor{std::move(p), 0});
+  // Membership announcements (join/rejoin) introduce the origin's address;
+  // until a receiver has it, any RumorWant it sends back has nowhere to go
+  // (net::LiveNode routes by directory address). Such rumors bootstrap
+  // eagerly in every rumor mode — see the "introduce" rule in on_round.
+  HotRumor hot;
+  hot.introduce = p->payload().kind != EventKind::kFilterChange;
+  hot.rumor = std::move(p);
+  hot_.emplace(id, std::move(hot));
   hot_order_.push_back(id);
   if (id.origin == directory_.self()) ++self_hot_count_;
 }
@@ -239,7 +250,10 @@ std::vector<Protocol::Outgoing> Protocol::on_round(TimePoint now) {
     // Pure anti-entropy baseline (LAN-AE): push our summary every round.
     const PeerId target = pick_ae_target();
     if (target == kInvalidPeer) return out;
-    out.push_back(Outgoing{target, SummaryMsg{directory_.summary_entries(), /*push=*/true}});
+    SummaryMsg push_msg;
+    push_msg.entries = directory_.summary_entries();
+    push_msg.push = true;
+    out.push_back(Outgoing{target, std::move(push_msg)});
     return out;
   }
 
@@ -299,28 +313,86 @@ std::vector<Protocol::Outgoing> Protocol::on_round(TimePoint now) {
 
   const PeerId target = pick_rumor_target();
   if (target == kInvalidPeer) return out;
-  RumorMsg msg;
-  // Fill the message up to the byte budget (at least one payload): tiny
-  // rejoin records batch by the hundreds, bulky filter payloads by a few.
   static const SizeModel kSizes{};
-  std::size_t budget = config_.max_rumor_bytes_per_message;
-  std::size_t take = 0;
-  for (; take < hot_order_.size(); ++take) {
-    const HotRumor& hot = hot_.at(hot_order_[take]);
-    const std::size_t cost = payload_wire_size(hot.rumor->payload(), kSizes);
-    if (take > 0 && cost > budget) break;
-    msg.rumors.push_back(hot.rumor);  // shared: no payload copy per target
-    budget -= std::min(budget, cost);
+
+  if (config_.rumor_mode == RumorMode::kEager) {
+    RumorMsg msg;
+    // Fill the message up to the byte budget (at least one payload): tiny
+    // rejoin records batch by the hundreds, bulky filter payloads by a few.
+    std::size_t budget = config_.max_rumor_bytes_per_message;
+    std::size_t take = 0;
+    for (; take < hot_order_.size(); ++take) {
+      HotRumor& hot = hot_.at(hot_order_[take]);
+      const std::size_t cost = payload_wire_size(hot.rumor->payload(), kSizes);
+      if (take > 0 && cost > budget) break;
+      msg.rumors.push_back(hot.rumor);  // shared: no payload copy per target
+      budget -= std::min(budget, cost);
+      ++hot.pushes;
+      ++stats_.payloads_sent;
+      stats_.payload_bytes_sent += cost;
+    }
+    // Rotate so rumors beyond the budget get their turn next round.
+    if (take < hot_order_.size()) {
+      std::rotate(hot_order_.begin(), hot_order_.begin() + static_cast<std::ptrdiff_t>(take),
+                  hot_order_.end());
+    }
+    if (config_.enable_partial_ae) {
+      msg.recent_ids.assign(recent_.begin(), recent_.end());
+    }
+    out.push_back(Outgoing{target, std::move(msg)});
+    return out;
   }
-  // Rotate so rumors beyond the budget get their turn next round.
-  if (take < hot_order_.size()) {
-    std::rotate(hot_order_.begin(), hot_order_.begin() + static_cast<std::ptrdiff_t>(take),
-                hot_order_.end());
+
+  // Lazy / hybrid dissemination (docs/PROTOCOL.md "Lazy dissemination"):
+  // payload bodies travel only while a rumor is young (hybrid: its first
+  // eager_fanout payload transmissions) and the target's link can take them;
+  // everything else goes as (id, version) digests. Digest entries cost 6
+  // modeled bytes, so the whole hot set advances every round — no byte-budget
+  // rotation, and an over-budget eager candidate still travels as a digest.
+  const PeerRecord* tr = directory_.find(target);
+  const bool lazy_link =
+      config_.bandwidth_aware && tr != nullptr && tr->link_class == LinkClass::kSlow;
+  RumorMsg eager_msg;
+  RumorDigestMsg digest;
+  std::size_t budget = config_.max_rumor_bytes_per_message;
+  for (const RumorId& id : hot_order_) {
+    HotRumor& hot = hot_.at(id);
+    // Hybrid pushes every young rumor eagerly (fast links only); pure lazy
+    // still pushes young *introductions* eagerly on every link — a digest
+    // about a peer the target cannot address yet is undeliverable news.
+    const bool eager_leg =
+        hot.introduce || (config_.rumor_mode == RumorMode::kHybrid && !lazy_link);
+    if (eager_leg && hot.pushes < config_.eager_fanout) {
+      const std::size_t cost = payload_wire_size(hot.rumor->payload(), kSizes);
+      if (eager_msg.rumors.empty() || cost <= budget) {
+        eager_msg.rumors.push_back(hot.rumor);
+        budget -= std::min(budget, cost);
+        ++hot.pushes;
+        ++stats_.payloads_sent;
+        stats_.payload_bytes_sent += cost;
+        continue;
+      }
+    }
+    digest.ids.push_back(id);
   }
   if (config_.enable_partial_ae) {
-    msg.recent_ids.assign(recent_.begin(), recent_.end());
+    // One piggyback per round, attached to whichever message exists first,
+    // so an eager+digest pair does not carry the recent-id list twice.
+    std::vector<RumorId> recent(recent_.begin(), recent_.end());
+    if (!eager_msg.rumors.empty()) {
+      eager_msg.recent_ids = std::move(recent);
+    } else {
+      digest.recent_ids = std::move(recent);
+    }
   }
-  out.push_back(Outgoing{target, std::move(msg)});
+  if (!digest.ids.empty()) {
+    ++stats_.digests_sent;
+    stats_.digest_ids_sent += digest.ids.size();
+  }
+  if (!eager_msg.rumors.empty()) out.push_back(Outgoing{target, std::move(eager_msg)});
+  if (!digest.ids.empty() || !digest.recent_ids.empty()) {
+    out.push_back(Outgoing{target, std::move(digest)});
+  }
   return out;
 }
 
@@ -440,6 +512,7 @@ RumorPtr Protocol::pull_rumor_for(const PeerRecord& record) {
 std::vector<Protocol::Outgoing> Protocol::on_message(TimePoint now, PeerId from,
                                                      const Message& msg) {
   std::vector<Outgoing> out;
+  static const SizeModel kSizes{};  // Table 2 defaults; stats accounting only
 
   // Hearing from a peer proves it is online.
   directory_.mark_online(from);
@@ -453,6 +526,10 @@ std::vector<Protocol::Outgoing> Protocol::on_message(TimePoint now, PeerId from,
         make_hot(p);  // we now spread it too — sharing the sender's encoding
       } else {
         ack.already_knew.push_back(p->id());
+        // A payload that superseded nothing was wasted wire — the redundancy
+        // lazy dissemination exists to eliminate.
+        ++stats_.duplicate_payloads;
+        stats_.duplicate_payload_bytes += payload_wire_size(p->payload(), kSizes);
       }
     }
     if (config_.enable_partial_ae) {
@@ -471,17 +548,31 @@ std::vector<Protocol::Outgoing> Protocol::on_message(TimePoint now, PeerId from,
   }
 
   if (const auto* ack = std::get_if<RumorAckMsg>(&msg)) {
-    // Stop-counter updates for the rumors we pushed: the ones listed were
-    // already known at the target; any other hot rumor was news to it.
-    std::unordered_set<RumorId, RumorIdHash> knew(ack->already_knew.begin(),
-                                                  ack->already_knew.end());
     std::vector<RumorId> to_retire;
-    for (const RumorId& id : hot_order_) {  // stable order, not hash order
-      HotRumor& hot = hot_.at(id);
-      if (knew.contains(id)) {
-        if (++hot.consecutive_known >= config_.stop_count) to_retire.push_back(id);
-      } else {
-        hot.consecutive_known = 0;
+    if (config_.rumor_mode == RumorMode::kEager) {
+      // Stop-counter updates for the rumors we pushed: the ones listed were
+      // already known at the target; any other hot rumor was news to it.
+      std::unordered_set<RumorId, RumorIdHash> knew(ack->already_knew.begin(),
+                                                    ack->already_knew.end());
+      for (const RumorId& id : hot_order_) {  // stable order, not hash order
+        HotRumor& hot = hot_.at(id);
+        if (knew.contains(id)) {
+          if (++hot.consecutive_known >= config_.stop_count) to_retire.push_back(id);
+        } else {
+          hot.consecutive_known = 0;
+        }
+      }
+    } else {
+      // Hybrid/lazy: a RumorMsg carries only the eager subset of the hot
+      // set, so absence from already_knew is no evidence of news — the lazy
+      // rumors were never in the message. Count only positive evidence here;
+      // resets come from RumorWantMsg want ids, which echo the digest
+      // exactly.
+      for (const RumorId& id : ack->already_knew) {
+        auto it = hot_.find(id);
+        if (it != hot_.end() && ++it->second.consecutive_known >= config_.stop_count) {
+          to_retire.push_back(id);
+        }
       }
     }
     for (const RumorId& id : to_retire) retire_rumor(id);
@@ -505,8 +596,17 @@ std::vector<Protocol::Outgoing> Protocol::on_message(TimePoint now, PeerId from,
     return out;
   }
 
-  if (std::get_if<SummaryRequestMsg>(&msg) != nullptr) {
-    SummaryMsg reply{directory_.summary_entries(), /*push=*/false};
+  if (const auto* req = std::get_if<SummaryRequestMsg>(&msg)) {
+    SummaryMsg reply;
+    reply.entries = directory_.summary_entries();
+    if (config_.delta_summaries && req->base_token != 0 &&
+        req->base_token == directory_.base_token() && reply.entries.view() != nullptr) {
+      // Token match certifies the asker shares our base: only our changed-set
+      // needs to travel. `entries` keeps the full shared view (the simulator
+      // compares deltas by pointer identity); the wire layer prices and
+      // encodes the delta alone.
+      reply.base_token = req->base_token;
+    }
     if (const auto tomb = directory_.tombstone_version(from); tomb.has_value()) {
       // The asker is a peer we expired — it is clearly back. If it restarted
       // below the tombstoned version, everything it gossips would be refused
@@ -518,6 +618,13 @@ std::vector<Protocol::Outgoing> Protocol::on_message(TimePoint now, PeerId from,
   }
 
   if (const auto* summary = std::get_if<SummaryMsg>(&msg)) {
+    // Decoded delta-only form (live wire): entries/removed are the replier's
+    // changed-set against the shared base named by base_token — which we
+    // advertised, so a mismatch means our base changed between request and
+    // reply. The delta is uninterpretable then; drop it and let the normal
+    // retry/cadence paths re-sync.
+    const bool delta_form = summary->base_token != 0 && summary->entries.view() == nullptr;
+    if (delta_form && summary->base_token != directory_.base_token()) return out;
     if (summary->rejoin_floor > 0) {
       // The replier expired us under T_dead and remembers this version:
       // nothing we gossip at or below it will be accepted. Unlike the
@@ -531,7 +638,9 @@ std::vector<Protocol::Outgoing> Protocol::on_message(TimePoint now, PeerId from,
     if (const auto own = summary->entries.version_of(directory_.self()); own.has_value()) {
       adopt_own_version(*own, now);
     }
-    std::vector<RumorId> missing = directory_.newer_in(summary->entries);
+    std::vector<RumorId> missing = delta_form
+                                       ? directory_.newer_in_delta(summary->entries.list())
+                                       : directory_.newer_in(summary->entries);
     // Never pull our own record: we are its origin (a remote-newer own entry
     // was adopted above instead).
     std::erase_if(missing,
@@ -558,7 +667,10 @@ std::vector<Protocol::Outgoing> Protocol::on_message(TimePoint now, PeerId from,
     }
     if (!missing.empty()) {
       out.push_back(Outgoing{from, PullRequestMsg{std::move(missing)}});
-    } else if (!summary->push && directory_.same_as(summary->entries)) {
+    } else if (!summary->push &&
+               (delta_form
+                    ? directory_.same_as_delta(summary->entries.list(), summary->removed)
+                    : directory_.same_as(summary->entries))) {
       // Pull-anti-entropy reply showed an identical directory: one more
       // gossip-less contact toward slowing down.
       register_gossipless_contact();
@@ -582,9 +694,104 @@ std::vector<Protocol::Outgoing> Protocol::on_message(TimePoint now, PeerId from,
       if (apply_payload(p->payload(), now, from, out)) {
         any_new = true;
         make_hot(p);  // pulled news spreads onward like any rumor
+      } else {
+        ++stats_.duplicate_payloads;
+        stats_.duplicate_payload_bytes += payload_wire_size(p->payload(), kSizes);
       }
     }
     if (any_new) reset_interval();  // "finds a new piece of information through anti-entropy"
+    return out;
+  }
+
+  if (const auto* digest = std::get_if<RumorDigestMsg>(&msg)) {
+    // Lazy push: diff the advertised (id, version) pairs against the
+    // directory and ask only for bodies that would supersede what we hold.
+    // Every digest id is echoed into exactly one reply list, so the sender's
+    // per-rumor stop counters advance on precise evidence. Digests never
+    // mutate the directory — a lost digest or want leaves both sides
+    // unchanged and the summary anti-entropy cadence heals the gap.
+    RumorWantMsg reply;
+    for (const RumorId& id : digest->ids) {
+      if (id.origin == directory_.self()) {
+        // Our own record is authoritative — unless the community advertises
+        // a newer us (we crashed and lost our version counter): adopt it.
+        adopt_own_version(id.version, now);
+        reply.already_knew.push_back(id);
+        continue;
+      }
+      if (const auto tomb = directory_.tombstone_version(id.origin);
+          tomb.has_value() && id.version <= *tomb) {
+        reply.already_knew.push_back(id);  // expired under T_dead: refuse resurrection
+        continue;
+      }
+      const PeerRecord* r = directory_.find(id.origin);
+      if (r != nullptr && r->version >= id.version) {
+        reply.already_knew.push_back(id);
+      } else {
+        reply.want.push_back(id);
+      }
+    }
+    if (config_.enable_partial_ae) {
+      reply.recent_ids.assign(recent_.begin(), recent_.end());
+      // Pull anything from the sender's piggyback that we are missing.
+      for (const RumorId& id : digest->recent_ids) {
+        const PeerRecord* r = directory_.find(id.origin);
+        if (r == nullptr || r->version < id.version) reply.pull_ids.push_back(id);
+      }
+    }
+    // Advertised news implies community change, as a rumor receipt does.
+    if (!reply.want.empty()) reset_interval();
+    ++stats_.wants_sent;
+    stats_.want_ids_sent += reply.want.size();
+    out.push_back(Outgoing{from, std::move(reply)});
+    return out;
+  }
+
+  if (const auto* want = std::get_if<RumorWantMsg>(&msg)) {
+    // Reply to our digest: exact per-id evidence for the stop counters.
+    std::vector<RumorId> to_retire;
+    for (const RumorId& id : want->already_knew) {
+      auto it = hot_.find(id);
+      if (it != hot_.end() && ++it->second.consecutive_known >= config_.stop_count) {
+        to_retire.push_back(id);
+      }
+    }
+    for (const RumorId& id : want->want) {
+      auto it = hot_.find(id);
+      if (it != hot_.end()) it->second.consecutive_known = 0;
+    }
+    for (const RumorId& id : to_retire) retire_rumor(id);
+
+    // Serve the wanted bodies verbatim from the interned store: the hot
+    // entry itself (the same splice an eager push would have sent, zero
+    // re-encoding), or the per-origin pull cache for rumors retired since
+    // the digest went out.
+    PullResponseMsg resp;
+    for (const RumorId& id : want->want) {
+      if (auto it = hot_.find(id); it != hot_.end()) {
+        resp.rumors.push_back(it->second.rumor);
+        ++stats_.wants_served;
+        continue;
+      }
+      const PeerRecord* r = directory_.find(id.origin);
+      if (r != nullptr && r->version >= id.version) {
+        resp.rumors.push_back(pull_rumor_for(*r));
+        ++stats_.wants_served;
+      }
+    }
+    // Partial-anti-entropy legs, mirroring the RumorAck path: serve the
+    // target's piggyback pulls and fetch what its piggyback showed us.
+    for (const RumorId& id : want->pull_ids) {
+      const PeerRecord* r = directory_.find(id.origin);
+      if (r != nullptr && r->version >= id.version) resp.rumors.push_back(pull_rumor_for(*r));
+    }
+    if (!resp.rumors.empty()) out.push_back(Outgoing{from, std::move(resp)});
+    std::vector<RumorId> missing;
+    for (const RumorId& id : want->recent_ids) {
+      const PeerRecord* r = directory_.find(id.origin);
+      if (r == nullptr || r->version < id.version) missing.push_back(id);
+    }
+    if (!missing.empty()) out.push_back(Outgoing{from, PullRequestMsg{std::move(missing)}});
     return out;
   }
 

@@ -10,6 +10,7 @@
 #include "gossip/config.hpp"
 #include "gossip/directory.hpp"
 #include "gossip/messages.hpp"
+#include "gossip/stats.hpp"
 #include "gossip/types.hpp"
 #include "util/rng.hpp"
 
@@ -118,10 +119,19 @@ class Protocol {
   std::uint64_t own_version() const;
   Hooks& hooks() { return hooks_; }
 
+  /// Dissemination traffic counters: blind payload pushes vs. duplicates at
+  /// the receiver, digests and wants (docs/PROTOCOL.md "Lazy dissemination").
+  const GossipStats& stats() const { return stats_; }
+
  private:
   struct HotRumor {
     RumorPtr rumor;  ///< interned: every send shares one payload + encoding
     int consecutive_known = 0;
+    int pushes = 0;  ///< payload transmissions so far (hybrid eager→lazy cutover)
+    /// Join/rejoin announcements carry the origin's address — the one fact a
+    /// receiver needs before it can answer a digest with a want at all. They
+    /// stay eager for their first eager_fanout transmissions in every mode.
+    bool introduce = false;
   };
 
   // Apply one payload; returns true if it was new. When a diff cannot be
@@ -157,6 +167,7 @@ class Protocol {
   Directory directory_;
   Rng rng_;
   Hooks hooks_;
+  GossipStats stats_;
 
   std::unordered_map<RumorId, HotRumor, RumorIdHash> hot_;
   std::vector<RumorId> hot_order_;             ///< stable iteration order

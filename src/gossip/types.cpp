@@ -17,6 +17,15 @@ DirectoryBasePtr make_directory_base(std::vector<PeerRecord> records) {
   for (const PeerRecord& r : records) summary->push_back(PeerSummary{r.id, r.version});
   auto base = std::make_shared<DirectoryBase>();
   base->records = std::move(records);
+  // Deterministic content hash over the (id, version) pairs: equal summaries
+  // always hash equal, so a token match certifies a shared base across peers
+  // (and across separately constructed bases with identical content).
+  std::uint64_t token = 0x9e3779b97f4a7c15ull;
+  for (const PeerSummary& s : *summary) {
+    token = splitmix64(token ^ ((static_cast<std::uint64_t>(s.id) << 32) | (s.version & 0xffffffffull)));
+    token = splitmix64(token ^ s.version);
+  }
+  base->token = token != 0 ? token : 1;  // 0 is reserved for "no base"
   base->summary = std::move(summary);
   return base;
 }

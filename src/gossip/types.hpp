@@ -126,6 +126,11 @@ using SummarySnapshot = std::shared_ptr<const std::vector<PeerSummary>>;
 struct DirectoryBase {
   std::vector<PeerRecord> records;  ///< id-sorted, normalized (online, no suspicion)
   SummarySnapshot summary;          ///< one (id, version) per record, id-sorted
+  /// Content hash of `summary` (never 0). Two peers advertising the same
+  /// token provably share the same base, so an anti-entropy reply can carry
+  /// only the replier's delta instead of the full entry list
+  /// (docs/PROTOCOL.md "Lazy dissemination", delta summaries).
+  std::uint64_t token = 0;
 };
 using DirectoryBasePtr = std::shared_ptr<const DirectoryBase>;
 

@@ -197,6 +197,15 @@ std::vector<Duration> LiveNode::round_jitter_samples() const {
   return jitter_samples_;
 }
 
+NetStats LiveNode::net_stats() const {
+  NetStats s = reactor_.stats();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    s.gossip = protocol_.stats();
+  }
+  return s;
+}
+
 std::string LiveNode::address_of(PeerId peer) const {
   const gossip::PeerRecord* record = protocol_.directory().find(peer);
   return record == nullptr ? std::string{} : record->address;
@@ -214,26 +223,33 @@ void LiveNode::send_outgoing(std::vector<gossip::Protocol::Outgoing> batch) {
     frame.sender = id_;
     frame.channel = Channel::kGossip;
     frame.payload = gossip::encode_message(out.msg);
+    // Pull responses answer an explicit request (anti-entropy pull or a lazy
+    // RumorWant): dropping one under backpressure would strand the asker
+    // until a retry, so they ride the never-evicted RPC send class. Everything
+    // else is periodic gossip and may be shed.
+    const SendClass cls = std::holds_alternative<gossip::PullResponseMsg>(out.msg)
+                              ? SendClass::kRpc
+                              : SendClass::kGossip;
 
     if (config_.faults) {
       // The fault-wrapping transport: the same FaultPlan the simulator runs,
       // applied to real frames. Drops are silent wire loss; delayed and
       // duplicate copies ride the reactor's timer heap.
-      const sim::FaultDecision fault =
-          config_.faults->decide(id_, out.to, steady_micros() - fault_origin_);
+      const sim::FaultDecision fault = config_.faults->decide(
+          id_, out.to, steady_micros() - fault_origin_, sim::msg_class_of(out.msg));
       if (fault.drop) continue;
       for (const Duration lag : fault.duplicate_lags) {
         reactor_.schedule(fault.extra_delay + std::max<Duration>(lag, 1),
-                          [this, addr, frame] { reactor_.send(addr, Frame(frame)); });
+                          [this, addr, frame, cls] { reactor_.send(addr, Frame(frame), cls); });
       }
       if (fault.extra_delay > 0) {
-        reactor_.schedule(fault.extra_delay, [this, addr, frame]() mutable {
-          reactor_.send(addr, std::move(frame));
+        reactor_.schedule(fault.extra_delay, [this, addr, frame, cls]() mutable {
+          reactor_.send(addr, std::move(frame), cls);
         });
         continue;
       }
     }
-    reactor_.send(addr, std::move(frame));
+    reactor_.send(addr, std::move(frame), cls);
   }
 }
 

@@ -171,8 +171,10 @@ class LiveNode {
   /// The query hot-path cache (stats/introspection; tests and benches).
   const search::CandidateCache& candidate_cache() const { return filter_cache_; }
 
-  /// Transport counters (docs/NET.md "NetStats"): this node's reactor.
-  NetStats net_stats() const { return reactor_.stats(); }
+  /// Transport counters (docs/NET.md "NetStats"): this node's reactor
+  /// snapshot with the gossip protocol's dissemination counters merged in
+  /// (payload pushes vs. duplicates, digests, served wants).
+  NetStats net_stats() const;
 
   /// Gossip rounds executed since start().
   std::uint64_t gossip_rounds() const { return rounds_.load(std::memory_order_relaxed); }

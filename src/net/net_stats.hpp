@@ -3,6 +3,8 @@
 #include <atomic>
 #include <cstdint>
 
+#include "gossip/stats.hpp"
+
 /// \file net_stats.hpp
 /// Observability surface of the live TCP runtime (docs/NET.md "NetStats").
 /// `NetStats` is a plain copyable snapshot; `NetCounters` is the internally
@@ -41,6 +43,11 @@ struct NetStats {
   std::uint64_t queued_bytes = 0;      ///< outbound bytes queued right now (all connections)
   std::uint64_t peak_queued_bytes = 0; ///< high-water mark of queued_bytes
 
+  /// Dissemination counters from this node's gossip::Protocol (payload
+  /// pushes vs. duplicates, digests, served wants). LiveNode::net_stats()
+  /// merges them into the reactor snapshot under the node lock.
+  gossip::GossipStats gossip;
+
   NetStats& operator+=(const NetStats& o) {
     bytes_in += o.bytes_in;
     bytes_out += o.bytes_out;
@@ -60,6 +67,7 @@ struct NetStats {
     connections += o.connections;
     queued_bytes += o.queued_bytes;
     if (o.peak_queued_bytes > peak_queued_bytes) peak_queued_bytes = o.peak_queued_bytes;
+    gossip += o.gossip;
     return *this;
   }
 };

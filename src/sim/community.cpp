@@ -414,6 +414,15 @@ void SimCommunity::run_tick(TimePoint at) {
   }
 }
 
+NetworkStats& SimCommunity::stats() {
+  gossip::GossipStats agg;
+  for (const SimPeer& p : peers_) {
+    if (p.protocol != nullptr) agg += p.protocol->stats();
+  }
+  stats_->set_gossip_stats(agg);
+  return *stats_;
+}
+
 void SimCommunity::maybe_pull_round_forward(PeerId id) {
   // After news arrives the protocol may have reset its interval to base;
   // honor that by moving the pending round earlier if it is too far out.
@@ -430,8 +439,9 @@ void SimCommunity::dispatch(PeerId from, const Protocol::Outgoing& out) {
                      std::holds_alternative<gossip::SummaryMsg>(out.msg);
   stats_->record(from, bytes, queue_.now(),
                  is_ae ? TrafficKind::kAntiEntropy : TrafficKind::kRumor);
+  stats_->record_typed(out.msg.index(), bytes);
 
-  FaultDecision fault = faults_.decide(from, out.to, queue_.now());
+  FaultDecision fault = faults_.decide(from, out.to, queue_.now(), msg_class_of(out.msg));
   if (fault.drop) {
     stats_->record_dropped(fault.partition_drop);
     if (fault.notify_sender && peers_[from].online) {

@@ -174,7 +174,10 @@ class SimCommunity {
   std::size_t tracker_count() const { return trackers_.size(); }
 
   EventQueue& queue() { return queue_; }
-  NetworkStats& stats() { return *stats_; }
+  /// Traffic statistics. Each access refreshes the embedded GossipStats with
+  /// the cumulative aggregate over every peer's Protocol, so callers always
+  /// see current dissemination counters (relative to the last reset()).
+  NetworkStats& stats();
   /// The effective fault injector (config.faults plus the message_drop_prob
   /// shim). Its plan and counters are introspectable for tests and benches.
   FaultInjector& faults() { return faults_; }

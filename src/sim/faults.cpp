@@ -3,19 +3,20 @@
 namespace planetp::sim {
 
 FaultPlan& FaultPlan::drop(FaultScope scope, TimeWindow window, double probability,
-                           bool notify_sender) {
+                           bool notify_sender, MsgClass msg) {
   FaultRule r;
   r.action = FaultAction::kDrop;
   r.scope = scope;
   r.window = window;
   r.probability = probability;
   r.notify_sender = notify_sender;
+  r.msg = msg;
   rules_.push_back(r);
   return *this;
 }
 
 FaultPlan& FaultPlan::duplicate(FaultScope scope, TimeWindow window, double probability,
-                                Duration min_lag, Duration jitter) {
+                                Duration min_lag, Duration jitter, MsgClass msg) {
   FaultRule r;
   r.action = FaultAction::kDuplicate;
   r.scope = scope;
@@ -23,12 +24,13 @@ FaultPlan& FaultPlan::duplicate(FaultScope scope, TimeWindow window, double prob
   r.probability = probability;
   r.delay = min_lag;
   r.jitter = jitter;
+  r.msg = msg;
   rules_.push_back(r);
   return *this;
 }
 
 FaultPlan& FaultPlan::delay(FaultScope scope, TimeWindow window, Duration extra, Duration jitter,
-                            double probability) {
+                            double probability, MsgClass msg) {
   FaultRule r;
   r.action = FaultAction::kDelay;
   r.scope = scope;
@@ -36,12 +38,13 @@ FaultPlan& FaultPlan::delay(FaultScope scope, TimeWindow window, Duration extra,
   r.probability = probability;
   r.delay = extra;
   r.jitter = jitter;
+  r.msg = msg;
   rules_.push_back(r);
   return *this;
 }
 
 FaultPlan& FaultPlan::reorder(FaultScope scope, TimeWindow window, double probability,
-                              Duration min_hold, Duration jitter) {
+                              Duration min_hold, Duration jitter, MsgClass msg) {
   FaultRule r;
   r.action = FaultAction::kReorder;
   r.scope = scope;
@@ -49,6 +52,7 @@ FaultPlan& FaultPlan::reorder(FaultScope scope, TimeWindow window, double probab
   r.probability = probability;
   r.delay = min_hold;
   r.jitter = jitter;
+  r.msg = msg;
   rules_.push_back(r);
   return *this;
 }
@@ -79,7 +83,8 @@ FaultPlan FaultPlan::uniform_drop(double p) {
 FaultInjector::FaultInjector(FaultPlan plan, std::uint64_t seed)
     : plan_(std::move(plan)), rng_(seed) {}
 
-FaultDecision FaultInjector::decide(gossip::PeerId from, gossip::PeerId to, TimePoint now) {
+FaultDecision FaultInjector::decide(gossip::PeerId from, gossip::PeerId to, TimePoint now,
+                                    MsgClass msg) {
   std::lock_guard<std::mutex> lock(mu_);
   FaultDecision d;
 
@@ -100,6 +105,7 @@ FaultDecision FaultInjector::decide(gossip::PeerId from, gossip::PeerId to, Time
 
   for (const FaultRule& r : plan_.rules()) {
     if (!r.window.contains(now) || !r.scope.matches(from, to)) continue;
+    if (r.msg != MsgClass::kAny && r.msg != msg) continue;
     if (r.probability < 1.0 && !rng_.chance(r.probability)) continue;
     const Duration spread =
         r.delay + (r.jitter > 0 ? static_cast<Duration>(rng_.below(

@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "gossip/messages.hpp"
 #include "gossip/types.hpp"
 #include "util/rng.hpp"
 #include "util/time.hpp"
@@ -59,6 +60,27 @@ struct FaultScope {
   static FaultScope any() { return {}; }
 };
 
+/// Message-type scoping for fault rules: values mirror the gossip::Message
+/// variant indices so a rule can target one protocol leg (e.g. lose only
+/// RumorWant replies and prove anti-entropy heals the stranded rumor). kAny
+/// matches everything, including non-gossip traffic such as query RPCs.
+enum class MsgClass : std::uint8_t {
+  kRumor = 0,
+  kRumorAck = 1,
+  kSummaryRequest = 2,
+  kSummary = 3,
+  kPullRequest = 4,
+  kPullResponse = 5,
+  kRumorDigest = 6,
+  kRumorWant = 7,
+  kAny = 255,
+};
+
+/// The class of a concrete gossip message.
+inline MsgClass msg_class_of(const gossip::Message& msg) {
+  return static_cast<MsgClass>(msg.index());
+}
+
 enum class FaultAction : std::uint8_t {
   kDrop = 0,       ///< lose the message
   kDuplicate = 1,  ///< deliver an extra copy, lagging the original
@@ -79,6 +101,8 @@ struct FaultRule {
   /// Drop rules only: the sender is told delivery failed (TCP-like refusal)
   /// instead of the message vanishing silently (UDP-like loss).
   bool notify_sender = false;
+  /// Restrict the rule to one gossip message type (kAny = all traffic).
+  MsgClass msg = MsgClass::kAny;
 };
 
 /// A partition splits listed peers into groups; messages between different
@@ -128,13 +152,15 @@ struct FaultCounters {
 class FaultPlan {
  public:
   FaultPlan& drop(FaultScope scope, TimeWindow window, double probability,
-                  bool notify_sender = false);
+                  bool notify_sender = false, MsgClass msg = MsgClass::kAny);
   FaultPlan& duplicate(FaultScope scope, TimeWindow window, double probability,
-                       Duration min_lag = 0, Duration jitter = kSecond);
+                       Duration min_lag = 0, Duration jitter = kSecond,
+                       MsgClass msg = MsgClass::kAny);
   FaultPlan& delay(FaultScope scope, TimeWindow window, Duration extra, Duration jitter = 0,
-                   double probability = 1.0);
+                   double probability = 1.0, MsgClass msg = MsgClass::kAny);
   FaultPlan& reorder(FaultScope scope, TimeWindow window, double probability,
-                     Duration min_hold = 0, Duration jitter = kSecond);
+                     Duration min_hold = 0, Duration jitter = kSecond,
+                     MsgClass msg = MsgClass::kAny);
   FaultPlan& partition(TimeWindow window, const std::vector<std::vector<gossip::PeerId>>& groups);
   FaultPlan& crash(gossip::PeerId peer, TimePoint at, TimePoint restart_at = 0,
                    bool lose_directory = false);
@@ -163,8 +189,11 @@ class FaultInjector {
 
   /// Decide the fate of one message from \p from to \p to sent at \p now.
   /// Partitions are checked first, then rules in plan order; the first drop
-  /// wins. Non-drop effects accumulate.
-  FaultDecision decide(gossip::PeerId from, gossip::PeerId to, TimePoint now);
+  /// wins. Non-drop effects accumulate. \p msg lets class-scoped rules match
+  /// only their message type; callers without a gossip message (query RPCs)
+  /// pass kAny, which only class-less rules apply to.
+  FaultDecision decide(gossip::PeerId from, gossip::PeerId to, TimePoint now,
+                       MsgClass msg = MsgClass::kAny);
 
   const FaultPlan& plan() const { return plan_; }
   FaultCounters counters() const;

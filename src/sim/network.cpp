@@ -56,6 +56,10 @@ void NetworkStats::reset() {
   query_rpcs_hedged_ = 0;
   query_rpcs_failed_ = 0;
   std::fill(per_peer_bytes_.begin(), per_peer_bytes_.end(), 0);
+  bytes_by_type_.fill(0);
+  messages_by_type_.fill(0);
+  gossip_baseline_ = gossip_cumulative_;
+  gossip_stats_ = gossip::GossipStats{};
   buckets_.clear();
   origin_set_ = false;
 }

@@ -1,8 +1,11 @@
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
+#include "gossip/messages.hpp"
+#include "gossip/stats.hpp"
 #include "util/rng.hpp"
 #include "util/time.hpp"
 
@@ -52,6 +55,15 @@ class NetworkStats {
   void record(std::uint32_t sender, std::size_t bytes, TimePoint at,
               TrafficKind kind = TrafficKind::kRumor);
 
+  /// Per-message-type accounting, keyed by gossip::Message variant index
+  /// (bench/gossip_throughput splits bytes/round by type from this).
+  void record_typed(std::size_t type_index, std::size_t bytes) {
+    if (type_index < bytes_by_type_.size()) {
+      bytes_by_type_[type_index] += bytes;
+      ++messages_by_type_[type_index];
+    }
+  }
+
   /// Injected-fault accounting (see sim/faults.hpp). Drops include both the
   /// FaultPlan's rules and the legacy `message_drop_prob` shim, so loss
   /// experiments no longer under-report traffic.
@@ -88,6 +100,26 @@ class NetworkStats {
   std::uint64_t total_messages() const { return total_messages_; }
   const std::vector<std::uint64_t>& per_peer_bytes() const { return per_peer_bytes_; }
 
+  /// Bytes / messages sent per gossip::Message variant index.
+  const std::array<std::uint64_t, gossip::kMessageTypeCount>& bytes_by_type() const {
+    return bytes_by_type_;
+  }
+  const std::array<std::uint64_t, gossip::kMessageTypeCount>& messages_by_type() const {
+    return messages_by_type_;
+  }
+
+  /// Community-wide dissemination counters (payload pushes vs. duplicates,
+  /// digests, served wants — docs/PROTOCOL.md "Lazy dissemination").
+  /// SimCommunity::stats() installs the cumulative aggregate across every
+  /// peer's Protocol on each access; the reported value is relative to the
+  /// last reset(), like every other counter here.
+  void set_gossip_stats(gossip::GossipStats cumulative) {
+    gossip_cumulative_ = cumulative;
+    cumulative -= gossip_baseline_;
+    gossip_stats_ = cumulative;
+  }
+  const gossip::GossipStats& gossip_stats() const { return gossip_stats_; }
+
   /// (bucket start seconds, bytes in bucket) series for Fig 4c-style plots.
   std::vector<std::pair<double, std::uint64_t>> bytes_over_time() const;
 
@@ -108,6 +140,11 @@ class NetworkStats {
   std::uint64_t query_rpcs_hedged_ = 0;
   std::uint64_t query_rpcs_failed_ = 0;
   std::vector<std::uint64_t> per_peer_bytes_;
+  std::array<std::uint64_t, gossip::kMessageTypeCount> bytes_by_type_{};
+  std::array<std::uint64_t, gossip::kMessageTypeCount> messages_by_type_{};
+  gossip::GossipStats gossip_stats_;
+  gossip::GossipStats gossip_baseline_;
+  gossip::GossipStats gossip_cumulative_;
   Duration bucket_;
   std::vector<std::uint64_t> buckets_;
   TimePoint origin_ = 0;

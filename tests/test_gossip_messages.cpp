@@ -68,6 +68,36 @@ TEST(SizeModel, PiggybackIdsCostSixBytesEach) {
   EXPECT_EQ(wire_size(msg, m), m.header_bytes + 3 * m.rumor_id_bytes);
 }
 
+TEST(SizeModel, DigestAndWantPricePerId) {
+  SizeModel m;
+  RumorDigestMsg digest;
+  digest.ids = {{1, 1}, {2, 2}};
+  digest.recent_ids = {{3, 3}};
+  EXPECT_EQ(wire_size(Message{digest}, m), m.header_bytes + 3 * m.rumor_id_bytes);
+  RumorWantMsg want;
+  want.want = {{1, 1}};
+  want.already_knew = {{2, 2}, {3, 3}};
+  want.pull_ids = {{4, 4}};
+  EXPECT_EQ(wire_size(Message{want}, m), m.header_bytes + 4 * m.rumor_id_bytes);
+}
+
+TEST(SizeModel, DeltaSummaryPricesChangedSetOnly) {
+  SizeModel m;
+  SummaryMsg msg;
+  msg.base_token = 77;
+  msg.entries = {{1, 10}, {2, 20}};
+  msg.removed = {9};
+  EXPECT_EQ(wire_size(Message{msg}, m), m.header_bytes + m.base_token_bytes +
+                                            2 * m.summary_entry_bytes + m.removed_id_bytes);
+}
+
+TEST(SizeModel, TokenedSummaryRequestCarriesToken) {
+  SizeModel m;
+  SummaryRequestMsg req;
+  req.base_token = 1234;
+  EXPECT_EQ(wire_size(Message{req}, m), m.header_bytes + m.base_token_bytes);
+}
+
 TEST(SizeModel, RealFilterBytesOverrideModel) {
   SizeModel m;
   RumorMsg msg;
@@ -150,6 +180,59 @@ TEST(Messages, PullResponseRoundtrip) {
   EXPECT_EQ(out->rumors[0].id(), (RumorId{3, 4}));
 }
 
+TEST(Messages, SummaryRequestTokenRoundtrip) {
+  SummaryRequestMsg req;
+  req.base_token = 0xDEADBEEFCAFEull;
+  const Message decoded = decode_message(encode_message(req));
+  const auto* out = std::get_if<SummaryRequestMsg>(&decoded);
+  ASSERT_NE(out, nullptr);
+  EXPECT_EQ(out->base_token, req.base_token);
+}
+
+TEST(Messages, DeltaSummaryRoundtrip) {
+  SummaryMsg msg;
+  msg.push = true;
+  msg.base_token = 42;
+  msg.entries = {{1, 10}, {2, 200000}};
+  msg.removed = {7, 9};
+  msg.rejoin_floor = 55;
+  const Message decoded = decode_message(encode_message(msg));
+  const auto* out = std::get_if<SummaryMsg>(&decoded);
+  ASSERT_NE(out, nullptr);
+  EXPECT_TRUE(out->push);
+  EXPECT_EQ(out->base_token, 42u);
+  ASSERT_EQ(out->entries.size(), 2u);
+  EXPECT_EQ(out->entries[1].version, 200000u);
+  EXPECT_EQ(out->removed, msg.removed);
+  EXPECT_EQ(out->rejoin_floor, 55u);
+}
+
+TEST(Messages, RumorDigestRoundtrip) {
+  RumorDigestMsg msg;
+  msg.ids = {{1, 2}, {300, 1 << 20}};
+  msg.recent_ids = {{5, 6}};
+  const Message decoded = decode_message(encode_message(msg));
+  const auto* out = std::get_if<RumorDigestMsg>(&decoded);
+  ASSERT_NE(out, nullptr);
+  EXPECT_EQ(out->ids, msg.ids);
+  EXPECT_EQ(out->recent_ids, msg.recent_ids);
+}
+
+TEST(Messages, RumorWantRoundtrip) {
+  RumorWantMsg msg;
+  msg.want = {{1, 2}};
+  msg.already_knew = {{3, 4}, {5, 6}};
+  msg.recent_ids = {{7, 8}};
+  msg.pull_ids = {{9, 10}};
+  const Message decoded = decode_message(encode_message(msg));
+  const auto* out = std::get_if<RumorWantMsg>(&decoded);
+  ASSERT_NE(out, nullptr);
+  EXPECT_EQ(out->want, msg.want);
+  EXPECT_EQ(out->already_knew, msg.already_knew);
+  EXPECT_EQ(out->recent_ids, msg.recent_ids);
+  EXPECT_EQ(out->pull_ids, msg.pull_ids);
+}
+
 TEST(Messages, EncodedSizeIsExactForEveryKind) {
   std::vector<Message> battery;
   {
@@ -174,6 +257,30 @@ TEST(Messages, EncodedSizeIsExactForEveryKind) {
   {
     PullResponseMsg m;
     m.rumors.push_back(payload(3, 4, true, 100));
+    battery.emplace_back(std::move(m));
+  }
+  battery.emplace_back(SummaryRequestMsg{0x123456789ull});
+  {
+    SummaryMsg m;  // delta form: token + changed-set + removed ids
+    m.push = false;
+    m.base_token = 0xABCDEF;
+    m.entries = {{4, 40}, {5, 1 << 21}};
+    m.removed = {6, 7};
+    m.rejoin_floor = 3;
+    battery.emplace_back(std::move(m));
+  }
+  {
+    RumorDigestMsg m;
+    m.ids = {{1, 2}, {300, 1 << 20}};
+    m.recent_ids = {{5, 6}};
+    battery.emplace_back(std::move(m));
+  }
+  {
+    RumorWantMsg m;
+    m.want = {{1, 2}};
+    m.already_knew = {{3, 4}, {5, 600}};
+    m.recent_ids = {{7, 8}};
+    m.pull_ids = {{9, 10}};
     battery.emplace_back(std::move(m));
   }
   for (std::size_t i = 0; i < battery.size(); ++i) {
@@ -239,10 +346,53 @@ TEST(Messages, TruncatedMessageThrows) {
   EXPECT_THROW(decode_message(bytes), std::exception);
 }
 
+// A frame advertising a huge id-list count with no bytes behind it must be
+// rejected up front by ByteReader::count's remaining-bytes check, not
+// trusted into a proportional allocation. One case per new message type,
+// on every one of its id lists.
+
+TEST(Messages, HostileCountInRumorDigestThrows) {
+  // Tag 7 (RumorDigest) + varint count 0xFFFFFFF (4-byte varint), no ids.
+  const std::vector<std::uint8_t> bogus = {7, 0xFF, 0xFF, 0xFF, 0x7F};
+  EXPECT_THROW(decode_message(bogus), std::exception);
+  // Valid empty first list, hostile second (recent_ids).
+  const std::vector<std::uint8_t> bogus2 = {7, 0x00, 0xFF, 0xFF, 0xFF, 0x7F};
+  EXPECT_THROW(decode_message(bogus2), std::exception);
+}
+
+TEST(Messages, HostileCountInRumorWantThrows) {
+  // Tag 8 (RumorWant), hostile count at each of the four list positions.
+  for (int lists_before = 0; lists_before < 4; ++lists_before) {
+    std::vector<std::uint8_t> bogus = {8};
+    for (int i = 0; i < lists_before; ++i) bogus.push_back(0x00);  // empty list
+    bogus.insert(bogus.end(), {0xFF, 0xFF, 0xFF, 0x7F});
+    EXPECT_THROW(decode_message(bogus), std::exception) << "list " << lists_before;
+  }
+}
+
+TEST(Messages, HostileCountInDeltaSummaryThrows) {
+  // Tag 4 (Summary), push=0, base_token=1 (delta form), hostile entry count.
+  const std::vector<std::uint8_t> entries = {4, 0x00, 0x01, 0xFF, 0xFF, 0xFF, 0x7F};
+  EXPECT_THROW(decode_message(entries), std::exception);
+  // Empty entry list, hostile removed-id count.
+  const std::vector<std::uint8_t> removed = {4, 0x00, 0x01, 0x00, 0xFF, 0xFF, 0xFF, 0x7F};
+  EXPECT_THROW(decode_message(removed), std::exception);
+}
+
+TEST(Messages, TruncatedTokenedSummaryRequestThrows) {
+  SummaryRequestMsg req;
+  req.base_token = 0xFFFFFFFFFFull;
+  auto bytes = encode_message(req);
+  bytes.resize(bytes.size() - 1);  // cut the varint token short
+  EXPECT_THROW(decode_message(bytes), std::exception);
+}
+
 TEST(Messages, MessageNames) {
   EXPECT_STREQ(message_name(Message{RumorMsg{}}), "Rumor");
   EXPECT_STREQ(message_name(Message{SummaryMsg{}}), "Summary");
   EXPECT_STREQ(message_name(Message{PullRequestMsg{}}), "PullRequest");
+  EXPECT_STREQ(message_name(Message{RumorDigestMsg{}}), "RumorDigest");
+  EXPECT_STREQ(message_name(Message{RumorWantMsg{}}), "RumorWant");
 }
 
 }  // namespace

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <thread>
 
 #include "index/persistence.hpp"
@@ -172,6 +173,65 @@ TEST(LiveNode, ThreeNodesConvergeAndSearch) {
   EXPECT_NE(xml->find("communities"), std::string::npos);
 
   c.stop();
+  b.stop();
+  a.stop();
+}
+
+TEST(LiveNode, LazyModeConvergesOverTcpWithoutBlindPayloads) {
+  // Digest/want/serve over real sockets: once the membership introductions
+  // (which legitimately travel eagerly — a digest about a peer you cannot
+  // address is undeliverable news) have drained, a publish must move zero
+  // blind payloads, and the body must still arrive (served as an RPC-class
+  // frame, exempt from gossip backpressure shedding).
+  LiveNodeConfig cfg = fast_config();
+  cfg.gossip.rumor_mode = gossip::RumorMode::kLazy;
+  cfg.gossip.delta_summaries = true;
+  LiveNode a(0, cfg);
+  LiveNode b(1, cfg);
+  a.start();
+  b.start();
+  b.join(0, a.address());
+  ASSERT_TRUE(a.wait_for_peers(2, 20 * kSecond));
+  ASSERT_TRUE(b.wait_for_peers(2, 20 * kSecond));
+
+  // Quiesce: wait until the join rumors have retired on both sides (no new
+  // payload or digest sends across a full second of gossip rounds).
+  const auto quiet = [&] {
+    for (int i = 0; i < 100; ++i) {
+      const auto a0 = a.net_stats().gossip;
+      const auto b0 = b.net_stats().gossip;
+      std::this_thread::sleep_for(std::chrono::seconds(1));
+      const auto a1 = a.net_stats().gossip;
+      const auto b1 = b.net_stats().gossip;
+      if (a1.payloads_sent == a0.payloads_sent && b1.payloads_sent == b0.payloads_sent &&
+          a1.digests_sent == a0.digests_sent && b1.digests_sent == b0.digests_sent) {
+        return true;
+      }
+    }
+    return false;
+  };
+  ASSERT_TRUE(quiet());
+
+  const NetStats a0 = a.net_stats();
+  const NetStats b0 = b.net_stats();
+  a.publish_text("Lazy Doc", "digest want serve exchange over tcp");
+  ASSERT_TRUE(b.wait_for_version(0, 2, 30 * kSecond));
+
+  const NetStats a1 = a.net_stats();
+  EXPECT_EQ(a1.gossip.payloads_sent, a0.gossip.payloads_sent);
+  EXPECT_GT(a1.gossip.digests_sent, a0.gossip.digests_sent);
+  EXPECT_GT(a1.gossip.digest_ids_sent, a0.gossip.digest_ids_sent);
+  const NetStats b1 = b.net_stats();
+  EXPECT_EQ(b1.gossip.payloads_sent, b0.gossip.payloads_sent);
+  // Every received digest is answered (want or already_knew), so the reply
+  // counter is deterministic even if the body happened to arrive via an
+  // anti-entropy pull first.
+  EXPECT_GT(b1.gossip.wants_sent, b0.gossip.wants_sent);
+
+  const auto hits = b.ranked_search("digest exchange", 5);
+  ASSERT_GE(hits.size(), 1u);
+  EXPECT_EQ(hits[0].title, "Lazy Doc");
+
   b.stop();
   a.stop();
 }
