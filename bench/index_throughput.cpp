@@ -20,17 +20,31 @@
 ///
 /// Reports publish docs/sec, ranked-eval queries/sec with p50/p99 latency,
 /// and heap allocations per op (counted by this TU's operator new). Emits
-/// BENCH_index_throughput.json. Gates:
+/// BENCH_index_throughput.json.
+///
+/// A fourth measurement covers the block-max pruned top-k driver
+/// (docs/INDEX.md "Block-max pruning"): the same queries ranked through a
+/// TfIdfRanker with a CompressedIndex accelerator, at k = 10 and k = 100,
+/// for short (2-5 term) and long (6-10 term) queries. Rank safety is
+/// asserted in-run: every pruned result must be byte-identical (score bits,
+/// documents, tie-breaks) to the exhaustive ranker.
+///
+/// Gates:
 ///   1. interned eval must rank the same documents as legacy eval (sanity);
 ///   2. combined speedup (geomean of publish and eval) must be >= 3x at the
 ///      largest corpus;
-///   3. with --baseline <json>, interned publish docs/sec and eval qps must
-///      stay above half the recorded baseline (scripts/check.sh wires this
-///      to bench/baselines/index_throughput.json).
+///   3. pruned eval must be byte-identical to exhaustive eval for every
+///      query and k, must actually skip blocks (blocks_skipped > 0), and at
+///      the largest corpus pruned qps (short queries, k = 10) must be >= 3x
+///      the exhaustive eval qps;
+///   4. with --baseline <json>, interned publish docs/sec, eval qps and
+///      pruned eval qps must stay above half the recorded baseline
+///      (scripts/check.sh wires this to bench/baselines/index_throughput.json).
 /// Usage: index_throughput [--quick] [--baseline <file>]
 
 #include <algorithm>
 #include <atomic>
+#include <bit>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
@@ -44,6 +58,7 @@
 #include <vector>
 
 #include "bloom/counting_bloom.hpp"
+#include "index/compressed_postings.hpp"
 #include "index/data_store.hpp"
 #include "index/inverted_index.hpp"
 #include "search/ranker.hpp"
@@ -115,16 +130,34 @@ std::vector<std::string> make_vocabulary(std::size_t size, Rng& rng) {
   return vocab;
 }
 
+/// Documents carry two properties of real text that flat synthetic corpora
+/// miss and that the pruned rows below depend on: heavy-tailed lengths
+/// (log-uniform, ~30..960 words — real collections span orders of
+/// magnitude) and bursty term repetition (a quarter of tokens repeat a
+/// word the document already used, Simon's rich-get-richer process). Both
+/// spread the per-posting score contributions w_{D,t}/sqrt(|D|), so block
+/// maxima discriminate between blocks instead of sitting flat at the
+/// list-level bound.
 std::vector<std::string> make_corpus(std::size_t docs, const std::vector<std::string>& vocab,
                                      const ZipfSampler& zipf, Rng& rng) {
   std::vector<std::string> out;
   out.reserve(docs);
+  std::vector<std::uint32_t> emitted;
   for (std::size_t d = 0; d < docs; ++d) {
-    const std::size_t words = 60 + rng.below(140);
+    const std::size_t base = std::size_t{30} << rng.below(5);
+    const std::size_t words = base + rng.below(base);
     std::string text;
     text.reserve(words * 10);
+    emitted.clear();
     for (std::size_t w = 0; w < words; ++w) {
-      text += vocab[zipf.sample(rng) - 1];
+      std::uint32_t rank;
+      if (!emitted.empty() && rng.below(4) == 0) {
+        rank = emitted[rng.below(emitted.size())];
+      } else {
+        rank = static_cast<std::uint32_t>(zipf.sample(rng));
+      }
+      emitted.push_back(rank);
+      text += vocab[rank - 1];
       text.push_back(' ');
     }
     out.push_back(std::move(text));
@@ -132,18 +165,37 @@ std::vector<std::string> make_corpus(std::size_t docs, const std::vector<std::st
   return out;
 }
 
+/// Query terms are Zipf-drawn like the corpus itself, so queries mix
+/// high-df head terms (the stop-word role a synthetic vocabulary gives its
+/// first ranks) with discriminative tail terms — the shape MaxScore is
+/// built for: the head lists' upper bounds are tiny, so they turn
+/// non-essential almost immediately and candidates are generated from the
+/// short tail lists alone.
 std::vector<std::vector<std::string>> make_queries(std::size_t count,
                                                    const std::vector<std::string>& vocab,
-                                                   const ZipfSampler& zipf, Rng& rng) {
+                                                   const ZipfSampler& zipf, Rng& rng,
+                                                   std::size_t min_terms = 2,
+                                                   std::size_t max_terms = 5) {
   std::vector<std::vector<std::string>> out;
   out.reserve(count);
   for (std::size_t q = 0; q < count; ++q) {
     std::vector<std::string> terms;
-    const std::size_t n = 2 + rng.below(4);
+    const std::size_t n = min_terms + rng.below(max_terms - min_terms + 1);
     for (std::size_t t = 0; t < n; ++t) terms.push_back(vocab[zipf.sample(rng) - 1]);
     out.push_back(std::move(terms));
   }
   return out;
+}
+
+bool bit_identical(const std::vector<ScoredDoc>& a, const std::vector<ScoredDoc>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].doc != b[i].doc ||
+        std::bit_cast<std::uint64_t>(a[i].score) != std::bit_cast<std::uint64_t>(b[i].score)) {
+      return false;
+    }
+  }
+  return true;
 }
 
 // ---------------------------------------------------------------------------
@@ -297,9 +349,16 @@ struct SizeResult {
   std::size_t queries = 0;
   OpStats legacy_publish, interned_publish;
   OpStats legacy_eval, interned_eval;
+  OpStats exhaustive_eval_k100, exhaustive_eval_long;
+  OpStats pruned_eval_k10, pruned_eval_k100, pruned_eval_long;
   double publish_speedup = 0.0;
   double eval_speedup = 0.0;
   double combined_speedup = 0.0;
+  double pruned_speedup_k10 = 0.0;
+  double pruned_speedup_k100 = 0.0;
+  double pruned_speedup_long = 0.0;
+  search::PruneStats prune_stats;
+  bool pruned_identical = true;
   double batch_seq_dps = 0.0;
   double batch_par_dps = 0.0;
   std::size_t pool_threads = 0;
@@ -384,6 +443,77 @@ SizeResult run_size(std::size_t docs, std::size_t queries, std::size_t vocab_siz
     }
   }
   if (interned_hits != legacy_hits) out.rankings_agree = false;
+
+  // --- pruned eval: block-max driver over a CompressedIndex accelerator ---
+  // Long queries (6-10 terms) are the adversarial case for MaxScore: more
+  // non-essential lists, weaker per-term bounds.
+  auto long_queries = make_queries(queries, vocab, zipf, rng, 6, 10);
+  for (auto& q : long_queries) {
+    for (auto& t : q) text::porter_stem(t);
+  }
+
+  const CompressedIndex ci = CompressedIndex::build(interned.idx);
+  const search::TfIdfRanker accel(interned.idx, &ci);
+
+  std::uint64_t sink = 0;
+  out.exhaustive_eval_k100 = timed_loop(queries, [&](std::size_t i) {
+    sink += ranker.top_k(stemmed_queries[i], 100).size();
+  });
+  print_op("exhaust eval k100", out.exhaustive_eval_k100, "query/s");
+  out.exhaustive_eval_long = timed_loop(queries, [&](std::size_t i) {
+    sink += ranker.top_k(long_queries[i], kTopK).size();
+  });
+  print_op("exhaust eval long", out.exhaustive_eval_long, "query/s");
+
+  search::PruneStats& ps = out.prune_stats;
+  out.pruned_eval_k10 = timed_loop(queries, [&](std::size_t i) {
+    sink += accel.top_k(stemmed_queries[i], kTopK, &ps).size();
+  });
+  print_op("pruned eval k10", out.pruned_eval_k10, "query/s");
+  out.pruned_eval_k100 = timed_loop(queries, [&](std::size_t i) {
+    sink += accel.top_k(stemmed_queries[i], 100, &ps).size();
+  });
+  print_op("pruned eval k100", out.pruned_eval_k100, "query/s");
+  out.pruned_eval_long = timed_loop(queries, [&](std::size_t i) {
+    sink += accel.top_k(long_queries[i], kTopK, &ps).size();
+  });
+  print_op("pruned eval long", out.pruned_eval_long, "query/s");
+
+  // Rank safety, asserted in-run: every pruned result byte-identical to the
+  // exhaustive ranker (score bits, documents, tie-breaks), both query
+  // shapes, both k.
+  for (std::size_t i = 0; i < queries && out.pruned_identical; ++i) {
+    for (const std::size_t k : {std::size_t{10}, std::size_t{100}}) {
+      if (!bit_identical(accel.top_k(stemmed_queries[i], k), ranker.top_k(stemmed_queries[i], k)) ||
+          !bit_identical(accel.top_k(long_queries[i], k), ranker.top_k(long_queries[i], k))) {
+        out.pruned_identical = false;
+        std::fprintf(stderr, "  pruned ranking diverged on query %zu k %zu\n", i, k);
+        break;
+      }
+    }
+  }
+
+  if (sink == 0) std::fprintf(stderr, "  pruned/exhaustive eval returned no results\n");
+  out.pruned_speedup_k10 = out.interned_eval.per_sec() > 0.0
+                               ? out.pruned_eval_k10.per_sec() / out.interned_eval.per_sec()
+                               : 0.0;
+  out.pruned_speedup_k100 =
+      out.exhaustive_eval_k100.per_sec() > 0.0
+          ? out.pruned_eval_k100.per_sec() / out.exhaustive_eval_k100.per_sec()
+          : 0.0;
+  out.pruned_speedup_long =
+      out.exhaustive_eval_long.per_sec() > 0.0
+          ? out.pruned_eval_long.per_sec() / out.exhaustive_eval_long.per_sec()
+          : 0.0;
+  std::printf(
+      "  pruned speedup: k10 %.1fx, k100 %.1fx, long %.1fx   (%llu blocks skipped, %llu "
+      "pruned, %llu fallbacks, %llu abandoned)%s\n",
+      out.pruned_speedup_k10, out.pruned_speedup_k100, out.pruned_speedup_long,
+      static_cast<unsigned long long>(ps.blocks_skipped),
+      static_cast<unsigned long long>(ps.pruned_queries),
+      static_cast<unsigned long long>(ps.prune_fallbacks),
+      static_cast<unsigned long long>(ps.docs_abandoned),
+      out.pruned_identical ? "" : "   (PRUNED RANKINGS DIVERGED)");
 
   // --- DataStore batch publish: sequential vs ThreadPool (XML included) ---
   std::vector<std::string> xml;
@@ -471,7 +601,25 @@ int main(int argc, char** argv) {
     append_op(os, "legacy_eval", r.legacy_eval);
     os << ", ";
     append_op(os, "interned_eval", r.interned_eval);
-    os << ", \"batch_seq_docs_per_sec\": " << r.batch_seq_dps
+    os << ", ";
+    append_op(os, "exhaustive_eval_k100", r.exhaustive_eval_k100);
+    os << ", ";
+    append_op(os, "exhaustive_eval_long", r.exhaustive_eval_long);
+    os << ", ";
+    append_op(os, "pruned_eval_k10", r.pruned_eval_k10);
+    os << ", ";
+    append_op(os, "pruned_eval_k100", r.pruned_eval_k100);
+    os << ", ";
+    append_op(os, "pruned_eval_long", r.pruned_eval_long);
+    os << ", \"pruned_speedup_k10\": " << r.pruned_speedup_k10
+       << ", \"pruned_speedup_k100\": " << r.pruned_speedup_k100
+       << ", \"pruned_speedup_long\": " << r.pruned_speedup_long
+       << ", \"blocks_skipped\": " << r.prune_stats.blocks_skipped
+       << ", \"pruned_queries\": " << r.prune_stats.pruned_queries
+       << ", \"prune_fallbacks\": " << r.prune_stats.prune_fallbacks
+       << ", \"postings_decoded\": " << r.prune_stats.postings_decoded
+       << ", \"docs_abandoned\": " << r.prune_stats.docs_abandoned
+       << ", \"batch_seq_docs_per_sec\": " << r.batch_seq_dps
        << ", \"batch_par_docs_per_sec\": " << r.batch_par_dps
        << ", \"batch_pool_threads\": " << r.pool_threads
        << ", \"publish_speedup\": " << r.publish_speedup
@@ -484,7 +632,10 @@ int main(int argc, char** argv) {
     os << "  \"interned_publish_dps_" << r.docs << "\": " << r.interned_publish.per_sec()
        << ",\n";
     os << "  \"interned_eval_qps_" << r.docs << "\": " << r.interned_eval.per_sec() << ",\n";
+    os << "  \"pruned_eval_qps_" << r.docs << "\": " << r.pruned_eval_k10.per_sec() << ",\n";
   }
+  os << "  \"pruned_speedup_k10_" << results.back().docs << "\": "
+     << results.back().pruned_speedup_k10 << ",\n";
   os << "  \"combined_speedup_" << results.back().docs << "\": "
      << results.back().combined_speedup << "\n}\n";
 
@@ -501,6 +652,23 @@ int main(int argc, char** argv) {
   if (results.back().combined_speedup < 3.0) {
     std::fprintf(stderr, "FAIL: combined speedup only %.1fx at %zu docs (need >= 3x)\n",
                  results.back().combined_speedup, results.back().docs);
+    rc = 1;
+  }
+  for (const SizeResult& r : results) {
+    if (!r.pruned_identical) {
+      std::fprintf(stderr, "FAIL: pruned top-k diverged from exhaustive at %zu docs\n", r.docs);
+      rc = 1;
+    }
+  }
+  if (results.back().prune_stats.blocks_skipped == 0) {
+    std::fprintf(stderr, "FAIL: pruned driver skipped no blocks at %zu docs\n",
+                 results.back().docs);
+    rc = 1;
+  }
+  if (results.back().pruned_speedup_k10 < 3.0) {
+    std::fprintf(stderr,
+                 "FAIL: pruned eval (k=10) only %.1fx over exhaustive at %zu docs (need >= 3x)\n",
+                 results.back().pruned_speedup_k10, results.back().docs);
     rc = 1;
   }
 
@@ -523,6 +691,8 @@ int main(int argc, char** argv) {
            r.interned_publish.per_sec()},
           {"eval queries/s", "interned_eval_qps_" + std::to_string(r.docs),
            r.interned_eval.per_sec()},
+          {"pruned eval queries/s", "pruned_eval_qps_" + std::to_string(r.docs),
+           r.pruned_eval_k10.per_sec()},
       };
       for (const auto& c : checks) {
         const double recorded = parse_key(baseline, c.key);

@@ -13,7 +13,11 @@
 ///              the epoch design, gated, not just reported.
 ///   timed    — for 1, 2, 4 and 8 reader threads: aggregate queries/sec,
 ///              p50/p99 query latency, and epochs published by the live
-///              writer during the window.
+///              writer during the window. Readers rank through the pruned
+///              SnapshotRanker path (docs/INDEX.md "Block-max pruning"):
+///              the store is warmed past kMinPrunedDocs so the merged base
+///              carries block metadata, and per-reader PruneStats are
+///              aggregated into the report.
 ///
 /// Emits BENCH_mixed_workload.json. Gates:
 ///   1. every epoch of the identity phase ranks byte-identically to the
@@ -24,7 +28,11 @@
 ///      parallel speedup is physically impossible) 8-reader qps must stay
 ///      >= 0.4x of 1-reader qps — snapshot serving must not collapse under
 ///      contention;
-///   3. with --baseline <json>, 1- and 8-reader qps must stay above half the
+///   3. the timed phase must actually prune: across all reader
+///      configurations, pruned_queries and blocks_skipped must both be
+///      nonzero (live publishes must not silently push every query onto the
+///      exhaustive fallback);
+///   4. with --baseline <json>, 1- and 8-reader qps must stay above half the
 ///      recorded baseline (scripts/check.sh wires this to
 ///      bench/baselines/mixed_workload.json).
 /// Usage: mixed_workload [--quick] [--baseline <file>]
@@ -214,6 +222,7 @@ struct MixedResult {
   std::uint64_t epochs = 0;
   double p50_us = 0.0;
   double p99_us = 0.0;
+  search::PruneStats prune;  ///< aggregated across the reader threads
 
   double qps() const { return wall_s > 0.0 ? static_cast<double>(queries) / wall_s : 0.0; }
   double eps() const { return wall_s > 0.0 ? static_cast<double>(epochs) / wall_s : 0.0; }
@@ -232,13 +241,17 @@ MixedResult run_mixed(std::size_t num_readers, double seconds,
   cfg.merge_min_docs = 256;
   cfg.merge_tombstone_threshold = 64;
   DataStore store(1, {}, {}, cfg);
-  // Warm store: a base worth of documents before the clock starts.
-  for (std::size_t i = 0; i < 600; ++i) store.publish(std::string(corpus[i % corpus.size()]));
+  // Warm store: a base worth of documents before the clock starts. Sized
+  // past the ranker's kMinPrunedDocs floor so the merged base qualifies for
+  // the pruned scan — the point of the timed phase is the pruned reader
+  // path racing live publishes, not the exhaustive fallback.
+  for (std::size_t i = 0; i < 1400; ++i) store.publish(std::string(corpus[i % corpus.size()]));
   store.epochs().wait_for_merges();
 
   std::atomic<bool> done{false};
   std::vector<std::vector<double>> latencies(num_readers);
   std::vector<std::uint64_t> counts(num_readers, 0);
+  std::vector<search::PruneStats> reader_stats(num_readers);
 
   const std::uint64_t epochs0 = store.epochs().stats().epochs_published;
   const double t0 = wall_now_s();
@@ -249,11 +262,12 @@ MixedResult run_mixed(std::size_t num_readers, double seconds,
       Rng rng(0xFEED0000ULL + r);
       std::vector<double>& lat = latencies[r];
       lat.reserve(1 << 16);
+      search::PruneStats& ps = reader_stats[r];
       while (!done.load(std::memory_order_relaxed)) {
         const auto& q = queries[rng.below(queries.size())];
         const double s = wall_now_s();
         const auto snap = store.snapshot();
-        const auto top = search::SnapshotRanker(*snap).top_k(q, 10);
+        const auto top = search::SnapshotRanker(*snap).top_k(q, 10, &ps);
         lat.push_back((wall_now_s() - s) * 1e6);
         (void)top;
         ++counts[r];
@@ -295,14 +309,19 @@ MixedResult run_mixed(std::size_t num_readers, double seconds,
   std::vector<double> all;
   for (std::size_t r = 0; r < num_readers; ++r) {
     out.queries += counts[r];
+    out.prune += reader_stats[r];
     all.insert(all.end(), latencies[r].begin(), latencies[r].end());
   }
   std::sort(all.begin(), all.end());
   out.p50_us = percentile(all, 0.50);
   out.p99_us = percentile(all, 0.99);
   std::printf(
-      "  %zu reader%s + 1 writer: %8.0f qps   p50 %7.1f us   p99 %8.1f us   %6.0f epochs/s\n",
-      num_readers, num_readers == 1 ? " " : "s", out.qps(), out.p50_us, out.p99_us, out.eps());
+      "  %zu reader%s + 1 writer: %8.0f qps   p50 %7.1f us   p99 %8.1f us   %6.0f epochs/s   "
+      "(%llu pruned, %llu fallbacks, %llu blocks skipped)\n",
+      num_readers, num_readers == 1 ? " " : "s", out.qps(), out.p50_us, out.p99_us, out.eps(),
+      static_cast<unsigned long long>(out.prune.pruned_queries),
+      static_cast<unsigned long long>(out.prune.prune_fallbacks),
+      static_cast<unsigned long long>(out.prune.blocks_skipped));
   return out;
 }
 
@@ -376,13 +395,20 @@ int main(int argc, char** argv) {
     os << "    {\"readers\": " << r.readers << ", \"wall_s\": " << r.wall_s
        << ", \"queries\": " << r.queries << ", \"qps\": " << r.qps()
        << ", \"p50_us\": " << r.p50_us << ", \"p99_us\": " << r.p99_us
-       << ", \"epochs\": " << r.epochs << ", \"epochs_per_sec\": " << r.eps() << "}"
+       << ", \"epochs\": " << r.epochs << ", \"epochs_per_sec\": " << r.eps()
+       << ", \"pruned_queries\": " << r.prune.pruned_queries
+       << ", \"prune_fallbacks\": " << r.prune.prune_fallbacks
+       << ", \"blocks_skipped\": " << r.prune.blocks_skipped << "}"
        << (i + 1 < results.size() ? "," : "") << "\n";
   }
   os << "  ],\n";
   for (const MixedResult& r : results) {
     os << "  \"reader_qps_" << r.readers << "\": " << r.qps() << ",\n";
   }
+  search::PruneStats prune_total;
+  for (const MixedResult& r : results) prune_total += r.prune;
+  os << "  \"pruned_queries_total\": " << prune_total.pruned_queries
+     << ",\n  \"blocks_skipped_total\": " << prune_total.blocks_skipped << ",\n";
   os << "  \"writer_epochs_per_sec_8\": " << r8.eps() << ",\n  \"scaling_1_to_8\": " << scaling
      << "\n}\n";
 
@@ -398,6 +424,14 @@ int main(int argc, char** argv) {
   if (scaling < required) {
     std::fprintf(stderr, "FAIL: 1 -> 8 reader scaling %.2fx below the %.2fx gate (%s)\n",
                  scaling, required, regime);
+    rc = 1;
+  }
+  if (prune_total.pruned_queries == 0 || prune_total.blocks_skipped == 0) {
+    std::fprintf(stderr,
+                 "FAIL: timed-phase readers never pruned (%llu pruned queries, %llu blocks "
+                 "skipped) — every query fell back to the exhaustive scan\n",
+                 static_cast<unsigned long long>(prune_total.pruned_queries),
+                 static_cast<unsigned long long>(prune_total.blocks_skipped));
     rc = 1;
   }
 

@@ -26,14 +26,16 @@ ctest --test-dir build-asan --output-on-failure -j "$JOBS"
 # TSan pass to the tests that actually exercise cross-thread code.
 # test_reactor and test_net ride along: the reactor's cross-thread surface
 # (send/post/schedule vs the loop thread, LiveNode RPC wakeups, cluster churn)
-# is exactly the kind of code TSan exists for.
+# is exactly the kind of code TSan exists for. test_pruned_topk covers the
+# block-max pruned readers racing a live writer (shared compressed base,
+# epoch swaps) — the PrunedTopK scope picks up its concurrent test.
 cmake -B build-tsan -S . -DPLANETP_SANITIZE=thread
 cmake --build build-tsan -j "$JOBS" \
   --target test_search test_search_faults test_sim test_data_store test_epoch_snapshot \
            test_reactor test_net test_compact_directory test_compressed_at_rest \
-           test_lazy_gossip
+           test_lazy_gossip test_pruned_topk
 ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
-  -R 'DistributedSearchConcurrent|ParallelStepping|ParallelPublish|MixedWorkload|Reactor|LiveNode.RpcFailsFastWhenPeerCrashes|CompactDirectory|CompressedAtRest|LazyGossip'
+  -R 'DistributedSearchConcurrent|ParallelStepping|ParallelPublish|MixedWorkload|Reactor|LiveNode.RpcFailsFastWhenPeerCrashes|CompactDirectory|CompressedAtRest|LazyGossip|PrunedTopK'
 
 # Query hot-path smoke run + perf-regression guard: search_throughput exits
 # non-zero when the warm CandidateCache is not >=5x the uncached scan at 5000
@@ -79,8 +81,11 @@ fi
 # Indexing/ranking hot-path smoke run + perf-regression guard:
 # index_throughput exits non-zero when the interned pipeline's combined
 # (publish x eval) speedup over the legacy string-keyed cost model drops
-# below 3x at 10k docs, when the two paths rank different documents, or when
-# publish docs/sec or eval qps falls below half the committed baseline.
+# below 3x at 10k docs, when the two paths rank different documents, when
+# the block-max pruned top-k diverges bitwise from the exhaustive ranking,
+# skips no blocks, or misses the >=3x pruned-vs-exhaustive gate at 10k docs
+# (k=10), or when publish docs/sec, eval qps, or pruned eval qps falls below
+# half the committed baseline.
 echo "=== index_throughput ==="
 if [ "$QUICK" = "--quick" ]; then
   build/bench/index_throughput --quick --baseline bench/baselines/index_throughput.json
@@ -104,8 +109,9 @@ fi
 # Concurrent-serving smoke run + perf-regression guard: mixed_workload exits
 # non-zero when any published epoch ranks differently from a sequential
 # single-threaded oracle, when 1->8 reader qps misses the hardware-adaptive
-# scaling gate, or when 1-/8-reader qps falls below half the committed
-# baseline.
+# scaling gate, when the timed-phase readers never take the pruned scan
+# (pruned_queries or blocks_skipped zero), or when 1-/8-reader qps falls
+# below half the committed baseline.
 echo "=== mixed_workload ==="
 if [ "$QUICK" = "--quick" ]; then
   build/bench/mixed_workload --quick --baseline bench/baselines/mixed_workload.json

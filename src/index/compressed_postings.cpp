@@ -2,10 +2,84 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
+#include <stdexcept>
 
 #include "util/varint.hpp"
 
 namespace planetp::index {
+
+namespace {
+
+// w_{D,t} = 1 + log f_{D,t} and 1/sqrt(|D|) — same formulas as
+// search::doc_weight / search::length_norm, duplicated here to keep the
+// index layer free of search deps (score() below already does the same).
+double weight_of(std::uint32_t freq) {
+  return 1.0 + std::log(static_cast<double>(freq));
+}
+double norm_of(std::uint32_t doc_length) {
+  return doc_length == 0 ? 0.0 : 1.0 / std::sqrt(static_cast<double>(doc_length));
+}
+
+}  // namespace
+
+[[noreturn]] void corrupt_blob(const char* what) {
+  throw std::runtime_error(std::string("compressed postings: corrupt blob (") + what + ")");
+}
+
+void CompressedIndex::append_term_(
+    std::string term, const std::vector<std::pair<std::uint32_t, std::uint32_t>>& postings) {
+  if (postings.empty()) return;
+  TermEntry te;
+  te.offset = static_cast<std::uint32_t>(blob_.size());
+  te.doc_freq = static_cast<std::uint32_t>(postings.size());
+  te.skip_begin = static_cast<std::uint32_t>(skips_.size());
+  te.num_blocks = (te.doc_freq + kBlockPostings - 1) / kBlockPostings;
+
+  std::uint32_t prev = 0;
+  bool first = true;
+  std::uint32_t in_block = 0;  // postings encoded into the current block
+  SkipEntry sk;
+  for (const auto& [dense, freq] : postings) {
+    if (in_block == 0) {
+      sk = SkipEntry{};
+      sk.offset = static_cast<std::uint32_t>(blob_.size()) - te.offset;
+      sk.base_dense = prev;  // delta decoding resumes from the previous posting
+    }
+    put_varint(blob_, first ? dense : dense - prev - 1);
+    put_varint(blob_, freq);
+    te.collection_freq += freq;
+    const double contrib = weight_of(freq) * doc_norms_[dense];
+    sk.max_contrib = std::max(sk.max_contrib, contrib);
+    te.max_contrib = std::max(te.max_contrib, contrib);
+    sk.max_freq = std::max(sk.max_freq, freq);
+    te.max_freq = std::max(te.max_freq, freq);
+    prev = dense;
+    first = false;
+    if (++in_block == kBlockPostings) {
+      sk.last_dense = dense;
+      skips_.push_back(sk);
+      in_block = 0;
+    }
+  }
+  if (in_block != 0) {
+    sk.last_dense = prev;
+    skips_.push_back(sk);
+  }
+  te.length = static_cast<std::uint32_t>(blob_.size()) - te.offset;
+  // High-df terms get a dense frequency array for O(1) survivor probes
+  // (see kDirectFraction). u16 per slot; a burstier frequency anywhere in
+  // the list falls back to cursor seeks for the whole term.
+  if (docs_.size() >= kDirectMinDocs &&
+      te.doc_freq * kDirectFraction >= docs_.size() &&
+      te.max_freq <= std::numeric_limits<std::uint16_t>::max()) {
+    te.direct_begin = static_cast<std::uint32_t>(direct_freqs_.size());
+    direct_freqs_.resize(direct_freqs_.size() + docs_.size(), 0);
+    std::uint16_t* row = direct_freqs_.data() + te.direct_begin;
+    for (const auto& [dense, freq] : postings) row[dense] = static_cast<std::uint16_t>(freq);
+  }
+  terms_.emplace(std::move(term), te);
+}
 
 CompressedIndex CompressedIndex::build(const InvertedIndex& source) {
   CompressedIndex out;
@@ -14,9 +88,11 @@ CompressedIndex CompressedIndex::build(const InvertedIndex& source) {
   // term can then be written sorted, and deltas stay small.
   out.docs_ = source.documents();
   out.doc_lengths_.reserve(out.docs_.size());
+  out.doc_norms_.reserve(out.docs_.size());
   for (std::uint32_t dense = 0; dense < out.docs_.size(); ++dense) {
     out.dense_of_.emplace(out.docs_[dense], dense);
     out.doc_lengths_.push_back(source.document_length(out.docs_[dense]));
+    out.doc_norms_.push_back(norm_of(out.doc_lengths_.back()));
   }
 
   source.for_each_term([&](const std::string& term) {
@@ -24,58 +100,81 @@ CompressedIndex CompressedIndex::build(const InvertedIndex& source) {
     // (dense id, freq), sorted by dense id for delta coding.
     std::vector<std::pair<std::uint32_t, std::uint32_t>> entries;
     entries.reserve(plist.size());
-    std::uint64_t cf = 0;
     for (const Posting& p : plist) {
       entries.emplace_back(out.dense_of_.at(p.doc), p.term_freq);
-      cf += p.term_freq;
     }
     std::sort(entries.begin(), entries.end());
-
-    TermEntry te;
-    te.offset = static_cast<std::uint32_t>(out.blob_.size());
-    te.doc_freq = static_cast<std::uint32_t>(entries.size());
-    te.collection_freq = cf;
-    std::uint32_t prev = 0;
-    bool first = true;
-    for (const auto& [dense, freq] : entries) {
-      put_varint(out.blob_, first ? dense : dense - prev - 1);
-      put_varint(out.blob_, freq);
-      prev = dense;
-      first = false;
-    }
-    te.length = static_cast<std::uint32_t>(out.blob_.size()) - te.offset;
-    out.terms_.emplace(term, te);
+    out.append_term_(term, entries);
   });
   return out;
 }
 
 CompressedIndex::PostingCursor::PostingCursor(const CompressedIndex* owner,
                                               const std::uint8_t* data, std::size_t size,
-                                              std::uint32_t count)
-    : owner_(owner), data_(data), size_(size), remaining_(count) {
-  if (remaining_ > 0) {
-    // Load the first posting.
-    const std::uint32_t gap = static_cast<std::uint32_t>(get_varint(data_, size_, pos_));
-    freq_ = static_cast<std::uint32_t>(get_varint(data_, size_, pos_));
-    dense_ = gap;
-    doc_ = owner_->docs_[dense_];
-  }
+                                              std::uint32_t count, const SkipEntry* skips,
+                                              std::uint32_t num_blocks, std::uint64_t cf,
+                                              double list_max, std::uint32_t list_max_freq,
+                                              const std::uint16_t* direct)
+    : owner_(owner), data_(data), size_(size), count_(count), remaining_(count),
+      skips_(skips), num_blocks_(num_blocks), cf_(cf), list_max_(list_max),
+      list_max_freq_(list_max_freq), direct_(direct) {
+  if (remaining_ > 0) load_first_(0);
 }
 
-void CompressedIndex::PostingCursor::next() {
-  --remaining_;
-  if (remaining_ == 0) return;
-  const std::uint32_t gap = static_cast<std::uint32_t>(get_varint(data_, size_, pos_));
-  freq_ = static_cast<std::uint32_t>(get_varint(data_, size_, pos_));
-  dense_ += gap + 1;
-  doc_ = owner_->docs_[dense_];
+std::uint32_t CompressedIndex::PostingCursor::find_block(std::uint32_t target) const {
+  // Binary search: the pruned driver probes parked cursors once per
+  // screened candidate, so a linear scan over a long list's skip table
+  // would dominate the probe.
+  std::uint32_t lo = current_block();
+  std::uint32_t hi = num_blocks_;
+  while (lo < hi) {
+    const std::uint32_t mid = lo + (hi - lo) / 2;
+    if (skips_[mid].last_dense < target) lo = mid + 1;
+    else hi = mid;
+  }
+  return lo;
+}
+
+void CompressedIndex::PostingCursor::jump_to_block_(std::uint32_t block) {
+  const SkipEntry& sk = skips_[block];
+  // Hostile-blob discipline: a decoded skip offset must stay inside the
+  // term's run (persistence validates this too; the cursor never trusts it).
+  if (sk.offset >= size_) corrupt_blob("skip offset out of range");
+  pos_ = sk.offset;
+  remaining_ = count_ - block * kBlockPostings;
+  load_first_(block);
+}
+
+void CompressedIndex::PostingCursor::seek_to(std::uint32_t target) {
+  if (done() || dense_ >= target) return;
+  const std::uint32_t b = find_block(target);
+  if (b == num_blocks_) {
+    // No posting reaches target; candidates only grow, so the cursor is
+    // spent for good.
+    remaining_ = 0;
+    return;
+  }
+  const std::uint32_t cur = current_block();
+  if (b > cur) {
+    jumped_ += b - cur;
+    jump_to_block_(b);
+  }
+  // In-block linear decode; block b's last_dense >= target guarantees
+  // termination on a well-formed blob.
+  while (!done() && dense_ < target) next();
 }
 
 CompressedIndex::PostingCursor CompressedIndex::postings(std::string_view term) const {
   auto it = terms_.find(term);
-  if (it == terms_.end()) return PostingCursor(this, nullptr, 0, 0);
+  if (it == terms_.end()) {
+    return PostingCursor(this, nullptr, 0, 0, nullptr, 0, 0, 0.0, 0, nullptr);
+  }
   const TermEntry& te = it->second;
-  return PostingCursor(this, blob_.data() + te.offset, te.length, te.doc_freq);
+  return PostingCursor(this, blob_.data() + te.offset, te.length, te.doc_freq,
+                       skips_.data() + te.skip_begin, te.num_blocks, te.collection_freq,
+                       te.max_contrib, te.max_freq,
+                       te.direct_begin == kNoDirect ? nullptr
+                                                    : direct_freqs_.data() + te.direct_begin);
 }
 
 std::vector<Posting> CompressedIndex::decode(std::string_view term) const {
@@ -96,14 +195,38 @@ std::uint64_t CompressedIndex::collection_frequency(std::string_view term) const
   return it == terms_.end() ? 0 : it->second.collection_freq;
 }
 
+double CompressedIndex::max_contribution(std::string_view term) const {
+  auto it = terms_.find(term);
+  return it == terms_.end() ? 0.0 : it->second.max_contrib;
+}
+
 void CompressedIndex::for_each_term(const std::function<void(std::string_view)>& fn) const {
   for (const auto& [term, te] : terms_) fn(term);
+}
+
+void CompressedIndex::for_each_term_entry(
+    const std::function<void(const TermView&)>& fn) const {
+  for (const auto& [term, te] : terms_) {
+    TermView v;
+    v.term = term;
+    v.doc_freq = te.doc_freq;
+    v.collection_freq = te.collection_freq;
+    v.run = blob_.data() + te.offset;
+    v.run_bytes = te.length;
+    v.skips = skips_.data() + te.skip_begin;
+    v.num_blocks = te.num_blocks;
+    v.max_contrib = te.max_contrib;
+    v.max_freq = te.max_freq;
+    fn(v);
+  }
 }
 
 CompressedIndex::Builder::Builder(std::vector<DocumentId> docs,
                                   std::vector<std::uint32_t> lengths) {
   out_.docs_ = std::move(docs);
   out_.doc_lengths_ = std::move(lengths);
+  out_.doc_norms_.reserve(out_.doc_lengths_.size());
+  for (const std::uint32_t len : out_.doc_lengths_) out_.doc_norms_.push_back(norm_of(len));
   for (std::uint32_t dense = 0; dense < out_.docs_.size(); ++dense) {
     out_.dense_of_.emplace(out_.docs_[dense], dense);
   }
@@ -112,21 +235,7 @@ CompressedIndex::Builder::Builder(std::vector<DocumentId> docs,
 void CompressedIndex::Builder::add_term(
     std::string_view term,
     const std::vector<std::pair<std::uint32_t, std::uint32_t>>& postings) {
-  if (postings.empty()) return;
-  TermEntry te;
-  te.offset = static_cast<std::uint32_t>(out_.blob_.size());
-  te.doc_freq = static_cast<std::uint32_t>(postings.size());
-  std::uint32_t prev = 0;
-  bool first = true;
-  for (const auto& [dense, freq] : postings) {
-    put_varint(out_.blob_, first ? dense : dense - prev - 1);
-    put_varint(out_.blob_, freq);
-    te.collection_freq += freq;
-    prev = dense;
-    first = false;
-  }
-  te.length = static_cast<std::uint32_t>(out_.blob_.size()) - te.offset;
-  out_.terms_.emplace(std::string(term), te);
+  out_.append_term_(std::string(term), postings);
 }
 
 std::uint32_t CompressedIndex::document_length(DocumentId doc) const {
@@ -137,8 +246,11 @@ std::uint32_t CompressedIndex::document_length(DocumentId doc) const {
 std::size_t CompressedIndex::memory_bytes() const {
   std::size_t bytes = blob_.size();
   for (const auto& [term, te] : terms_) bytes += term.size() + sizeof(TermEntry);
+  bytes += skips_.size() * sizeof(SkipEntry);
+  bytes += direct_freqs_.size() * sizeof(std::uint16_t);
   bytes += docs_.size() * sizeof(DocumentId);
   bytes += doc_lengths_.size() * sizeof(std::uint32_t);
+  bytes += doc_norms_.size() * sizeof(double);
   bytes += dense_of_.size() * (sizeof(DocumentId) + sizeof(std::uint32_t));
   return bytes;
 }
@@ -157,24 +269,15 @@ std::vector<std::pair<DocumentId, double>> CompressedIndex::score(
   std::sort(sorted_terms.begin(), sorted_terms.end());
   for (const auto& [term, weight] : sorted_terms) {
     if (weight <= 0.0) continue;
-    auto it = terms_.find(term);
-    if (it == terms_.end()) continue;
-    const TermEntry& te = it->second;
-    PostingCursor c(this, blob_.data() + te.offset, te.length, te.doc_freq);
-    for (; !c.done(); c.next()) {
-      const auto dense = dense_of_.at(c.doc());
-      // w_{D,t} = 1 + log f_{D,t} (same formula as search::doc_weight;
-      // duplicated here to keep the index layer free of search deps).
-      acc[dense] += (1.0 + std::log(static_cast<double>(c.term_freq()))) * weight;
-      touched[dense] = true;
+    for (PostingCursor c = postings(term); !c.done(); c.next()) {
+      acc[c.dense()] += weight_of(c.term_freq()) * weight;
+      touched[c.dense()] = true;
     }
   }
   std::vector<std::pair<DocumentId, double>> out;
   for (std::uint32_t dense = 0; dense < docs_.size(); ++dense) {
     if (!touched[dense]) continue;
-    const double norm =
-        doc_lengths_[dense] == 0 ? 0.0 : 1.0 / std::sqrt(double(doc_lengths_[dense]));
-    out.emplace_back(docs_[dense], acc[dense] * norm);
+    out.emplace_back(docs_[dense], acc[dense] * doc_norms_[dense]);
   }
   std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
     if (a.second != b.second) return a.second > b.second;

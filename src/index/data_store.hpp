@@ -110,6 +110,12 @@ class DataStore {
   EpochIndex& epochs() { return *epochs_; }
   const EpochIndex& epochs() const { return *epochs_; }
 
+  /// Fold all pending segments/tombstones into a fresh read-optimized base
+  /// epoch (writer-side, blocking). After compact() the published
+  /// snapshot's base carries block-max skip metadata for every stored
+  /// document, so ranked queries take the pruned top-k path.
+  void compact() { epochs_->compact(); }
+
   const text::Analyzer& analyzer() const { return analyzer_; }
   std::uint32_t peer_id() const { return peer_id_; }
   std::size_t num_documents() const { return docs_.size(); }

@@ -407,6 +407,31 @@ void EpochIndex::wait_for_merges() {
   idle_cv_.wait(lock, [this] { return requested_ == nullptr && !merge_inflight_; });
 }
 
+void EpochIndex::compact() {
+  std::unique_lock<std::mutex> lock(mu_);
+  // Let any scheduled/in-flight merge settle first so the job below
+  // captures the complete pending state.
+  idle_cv_.wait(lock, [this] { return requested_ == nullptr && !merge_inflight_; });
+  if (segments_.empty() && tombstones_.empty()) return;  // base already holds everything
+
+  MergeJob job;
+  job.base = base_;
+  job.base_seq = base_seq_;
+  job.segments = segments_;
+  job.tombstones = tombstones_;
+  job.cut = epoch_;
+  merge_cut_ = job.cut;
+
+  // Inline under mu_ (the writer-side lock readers never take), same as the
+  // deterministic inline-merge mode: when compact() returns, the published
+  // snapshot's base holds every committed document.
+  merge_inflight_ = true;
+  std::shared_ptr<const CompressedIndex> merged = run_merge_(job);
+  install_merge_locked(job, std::move(merged));
+  merge_inflight_ = false;
+  idle_cv_.notify_all();
+}
+
 EpochStats EpochIndex::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   return stats_;

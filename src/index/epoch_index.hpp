@@ -142,6 +142,29 @@ class EpochSnapshot {
     }
   }
 
+  /// Visit only the *segment* live postings of \p term (absolute slots, as
+  /// for_each_posting). The pruned top-k driver scores pending segments
+  /// exhaustively with this and drives the base through skip-capable
+  /// cursors instead of for_each_posting's linear walk.
+  template <typename Fn>
+  void for_each_segment_posting(std::string_view term, Fn&& fn) const {
+    for (std::size_t s = 0; s < segments_.size(); ++s) {
+      const IndexSegment& seg = *segments_[s];
+      const IndexSegment::TermEntry* e = seg.find(term);
+      if (e == nullptr) continue;
+      const std::uint32_t offset = segment_slot_offsets_[s];
+      for (std::size_t i = 0; i < e->dense.size(); ++i) {
+        const std::uint32_t d = e->dense[i];
+        if (!dead_(seg.docs[d], seg.doc_seqs[d])) fn(offset + d, e->freqs[i]);
+      }
+    }
+  }
+
+  /// True when a pending tombstone kills \p doc's *base* occurrence — the
+  /// liveness predicate the pruned base scan applies per candidate (the
+  /// exact commit-sequence comparison for_each_posting uses).
+  bool base_dead(DocumentId doc) const { return dead_(doc, base_seq_); }
+
   // Introspection (tests, stats).
   std::size_t segment_count() const { return segments_.size(); }
   std::size_t tombstone_count() const { return tombstones_.size(); }
@@ -242,6 +265,13 @@ class EpochIndex {
 
   /// Block until no base merge is running or scheduled (tests, benches).
   void wait_for_merges();
+
+  /// Fold *everything* pending (all segments and tombstones) into a fresh
+  /// read-optimized base and publish the resulting snapshot, regardless of
+  /// the merge thresholds. Writer-side; blocks until done. Benches and
+  /// tests call this to deterministically reach a block-structured base for
+  /// the pruned top-k path.
+  void compact();
 
   EpochStats stats() const;
   const EpochConfig& config() const { return config_; }

@@ -26,6 +26,38 @@ namespace planetp::index {
 /// Current snapshot format version.
 inline constexpr std::uint32_t kDataStoreFormatVersion = 1;
 
+/// Current compressed-index snapshot format version. v2 added per-block and
+/// per-term max_freq (norm-aware pruning bounds).
+inline constexpr std::uint32_t kCompressedIndexFormatVersion = 2;
+
+/// Serialize a read-optimized CompressedIndex — including the block skip
+/// entries and score upper bounds the pruned top-k driver needs — so a
+/// restarting peer can serve pruned queries without re-deriving the block
+/// metadata. Canonical: terms are written in lexicographic order and all
+/// offsets are relative to each term's byte run, so equal logical content
+/// always serializes to equal bytes.
+///
+/// Format (versioned, little-endian, ByteWriter framing):
+///   magic "PPCI" | u32 format version |
+///   varint doc count | per doc: u32 peer, u32 local, varint doc length |
+///   varint term count | per term (lex order):
+///     length-prefixed term | varint doc_freq | varint collection_freq |
+///     length-prefixed posting run (delta-coded varint (gap, freq) pairs) |
+///     varint block count | per block:
+///       varint offset, varint last_dense, varint base_dense,
+///       f64 max_contrib, varint max_freq |
+///     f64 term max_contrib | varint term max_freq
+std::vector<std::uint8_t> serialize_compressed_index(const CompressedIndex& ci);
+
+/// Reconstruct a CompressedIndex from serialize_compressed_index output.
+/// Hostile-input hardened (the same count discipline as ByteReader::count):
+/// every posting run is decoded and bounds-checked against the document
+/// table, and the stored skip entries, block counts and score bounds are
+/// verified against a canonical re-encode of the decoded postings — any
+/// tampered offset, dense id, count or bound throws std::runtime_error
+/// before a PostingCursor ever walks the data.
+CompressedIndex deserialize_compressed_index(std::span<const std::uint8_t> bytes);
+
 /// Serialize \p store into a byte buffer.
 std::vector<std::uint8_t> serialize_data_store(const DataStore& store);
 

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -19,6 +20,18 @@
 /// selects results with a bounded min-heap instead of sorting every matched
 /// document. The heap's tie-break (equal scores -> ascending DocumentId) is
 /// pinned to be byte-identical to the full-sort path.
+///
+/// On top of that sits the *pruned* top-k driver (docs/INDEX.md "Block-max
+/// pruning"): when a query runs against a block-structured CompressedIndex
+/// (directly, through a TfIdfRanker accelerator, or as the base of an epoch
+/// snapshot), terms are ordered by score upper bound, a bounded min-heap
+/// maintains the entry threshold, and blocks whose maxima cannot beat the
+/// threshold are skipped outright (MaxScore / Block-Max-WAND). The driver
+/// is rank-safe: its output is byte-identical — scores, documents,
+/// tie-breaks — to exhaustive scoring for every k. Pending epoch segments
+/// and tombstones are handled exactly (segments scored unpruned, tombstoned
+/// documents dropped per candidate), and correctness-critical corner cases
+/// fall back to the exhaustive path.
 
 namespace planetp::search {
 
@@ -32,6 +45,27 @@ inline bool ranks_before(const ScoredDoc& a, const ScoredDoc& b) {
   if (a.score != b.score) return a.score > b.score;
   return a.doc < b.doc;
 }
+
+/// Counters from the pruned top-k driver (monotone; callers zero them).
+/// blocks_skipped > 0 proves the pruning actually fired.
+struct PruneStats {
+  std::uint64_t pruned_queries = 0;    ///< queries served by the pruned driver
+  std::uint64_t prune_fallbacks = 0;   ///< queries served exhaustively instead
+  std::uint64_t blocks_skipped = 0;    ///< blocks jumped over or refused by block-max
+  std::uint64_t postings_decoded = 0;  ///< postings decoded on the pruned path
+  std::uint64_t docs_evaluated = 0;    ///< candidates fully scored
+  std::uint64_t docs_abandoned = 0;    ///< candidates dropped by a bound mid-score
+
+  PruneStats& operator+=(const PruneStats& o) {
+    pruned_queries += o.pruned_queries;
+    prune_fallbacks += o.prune_fallbacks;
+    blocks_skipped += o.blocks_skipped;
+    postings_decoded += o.postings_decoded;
+    docs_evaluated += o.docs_evaluated;
+    docs_abandoned += o.docs_abandoned;
+    return *this;
+  }
+};
 
 /// Score all documents of \p idx against the weighted query terms:
 ///   score(D) = sum_t w_{D,t} * weight_t / sqrt(|D|)
@@ -50,6 +84,15 @@ std::vector<ScoredDoc> score_snapshot(
     const index::EpochSnapshot& snap,
     const std::unordered_map<std::string, double>& term_weights);
 
+/// Top-k over a CompressedIndex through the pruned driver. Byte-identical
+/// to `ci.score(term_weights)` + truncate_top_k for every k (the property
+/// test pins this); falls back to exhaustive cursor scoring when pruning
+/// cannot pay off (tiny k·postings, k >= corpus).
+std::vector<ScoredDoc> compressed_top_k(
+    const index::CompressedIndex& ci,
+    const std::unordered_map<std::string, double>& term_weights, std::size_t k,
+    PruneStats* stats = nullptr);
+
 /// The centralized TFxIDF baseline of §7.3: assumes full knowledge of the
 /// community's merged index, scores with IDF weights and returns the top-k.
 class TfIdfRanker {
@@ -57,16 +100,30 @@ class TfIdfRanker {
   explicit TfIdfRanker(const index::InvertedIndex& global_index)
       : index_(&global_index) {}
 
+  /// With \p accel — a CompressedIndex snapshot of the same logical content
+  /// (CompressedIndex::build over \p global_index) — top_k runs the pruned
+  /// block-max driver against it. The caller owns keeping the accelerator
+  /// in sync; results stay byte-identical to the exhaustive path.
+  TfIdfRanker(const index::InvertedIndex& global_index, const index::CompressedIndex* accel)
+      : index_(&global_index), accel_(accel) {}
+
   /// IDF weights for the query terms over the global collection.
   std::unordered_map<std::string, double> idf_weights(
       const std::vector<std::string>& terms) const;
+  /// Allocation-free variant for query loops: fills \p out (cleared, bucket
+  /// capacity reused across calls).
+  void idf_weights(const std::vector<std::string>& terms,
+                   std::unordered_map<std::string, double>& out) const;
 
   /// Top-k documents by eq. 2. Uses the dense accumulator plus a bounded
-  /// min-heap; the result is identical to full scoring + truncate_top_k.
-  std::vector<ScoredDoc> top_k(const std::vector<std::string>& terms, std::size_t k) const;
+  /// min-heap (or the pruned driver when an accelerator is attached); the
+  /// result is identical to full scoring + truncate_top_k either way.
+  std::vector<ScoredDoc> top_k(const std::vector<std::string>& terms, std::size_t k,
+                               PruneStats* stats = nullptr) const;
 
  private:
   const index::InvertedIndex* index_;
+  const index::CompressedIndex* accel_ = nullptr;
 };
 
 /// TFxIDF ranking over an immutable epoch snapshot: the concurrent-reader
@@ -80,10 +137,17 @@ class SnapshotRanker {
   /// IDF weights for the query terms over the snapshot's live collection.
   std::unordered_map<std::string, double> idf_weights(
       const std::vector<std::string>& terms) const;
+  /// Allocation-free variant for query loops (see TfIdfRanker).
+  void idf_weights(const std::vector<std::string>& terms,
+                   std::unordered_map<std::string, double>& out) const;
 
   /// Top-k documents by eq. 2; bounded min-heap, identical result to full
-  /// scoring + truncate_top_k.
-  std::vector<ScoredDoc> top_k(const std::vector<std::string>& terms, std::size_t k) const;
+  /// scoring + truncate_top_k. When the snapshot has a block-structured
+  /// base, the base is scanned through the pruned block-max driver while
+  /// pending segments are scored exhaustively and tombstoned documents are
+  /// dropped per candidate — rank-safe under live publishes and removals.
+  std::vector<ScoredDoc> top_k(const std::vector<std::string>& terms, std::size_t k,
+                               PruneStats* stats = nullptr) const;
 
  private:
   const index::EpochSnapshot* snap_;

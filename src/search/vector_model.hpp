@@ -52,4 +52,25 @@ inline double score_contribution(std::uint32_t term_freq, double weight) {
   return doc_weight(term_freq) * weight;
 }
 
+/// doc_weight with small frequencies memoized. Term frequencies are tiny
+/// integers, and the log call dominates per-posting cost on the hot
+/// accumulation loops; the table holds exactly doc_weight(f) for each entry
+/// (built by calling it), so every value is bitwise identical to the
+/// reference expression and substituting it preserves score identity.
+inline double doc_weight_memo(std::uint32_t term_freq) {
+  static constexpr std::uint32_t kMemo = 1024;
+  static const double* table = [] {
+    static double t[kMemo];
+    for (std::uint32_t f = 0; f < kMemo; ++f) t[f] = doc_weight(f);
+    return t;
+  }();
+  return term_freq < kMemo ? table[term_freq] : doc_weight(term_freq);
+}
+
+/// score_contribution through the memo table — identical bits, no log call
+/// on the hot path.
+inline double score_contribution_memo(std::uint32_t term_freq, double weight) {
+  return doc_weight_memo(term_freq) * weight;
+}
+
 }  // namespace planetp::search

@@ -2,7 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <bit>
+
 #include "search/ranker.hpp"
+#include "search/vector_model.hpp"
 #include "util/rng.hpp"
 
 namespace planetp::index {
@@ -184,6 +188,144 @@ TEST(CompressedIndex, SparseDocIdsHandled) {
   const auto decoded = ci.decode("x");
   ASSERT_EQ(decoded.size(), 3u);
   EXPECT_EQ(decoded.back().doc, (DocumentId{4000000, 123456}));
+}
+
+// ---------------------------------------------------------------------------
+// Block skip metadata + seek_to (docs/INDEX.md "Block-max pruning")
+// ---------------------------------------------------------------------------
+
+/// Corpus where one term appears in (almost) every document, so its posting
+/// list spans many blocks. Filler terms vary the document lengths, which is
+/// what makes the per-block score maxima non-trivial.
+InvertedIndex blocky_index(Rng& rng, std::uint32_t ndocs, std::uint32_t keep_mod) {
+  InvertedIndex src;
+  for (std::uint32_t d = 0; d < ndocs; ++d) {
+    Freqs freqs;
+    if (d % keep_mod != 0) freqs["hot"] = static_cast<std::uint32_t>(1 + rng.below(9));
+    const std::size_t fillers = rng.below(40);
+    for (std::size_t t = 0; t < fillers; ++t) {
+      freqs["f" + std::to_string(rng.below(400))] =
+          static_cast<std::uint32_t>(1 + rng.below(3));
+    }
+    if (freqs.empty()) freqs["pad"] = 1;
+    src.add_document({0, d}, freqs);
+  }
+  return src;
+}
+
+TEST(CompressedIndex, BlockMetadataMatchesRecomputedOracle) {
+  Rng rng(2024);
+  const InvertedIndex src = blocky_index(rng, 3000, 17);
+  const CompressedIndex ci = CompressedIndex::build(src);
+
+  auto cur = ci.postings("hot");
+  const std::uint32_t df = cur.size();
+  ASSERT_GT(df, 4 * CompressedIndex::kBlockPostings);  // several full blocks
+  EXPECT_EQ(cur.num_blocks(),
+            (df + CompressedIndex::kBlockPostings - 1) / CompressedIndex::kBlockPostings);
+
+  // Walk the list linearly and recompute every block's metadata from scratch.
+  std::vector<double> oracle_max(cur.num_blocks(), 0.0);
+  std::vector<std::uint32_t> oracle_last(cur.num_blocks(), 0);
+  std::uint64_t oracle_cf = 0;
+  std::uint32_t i = 0;
+  double list_max = 0.0;
+  for (; !cur.done(); cur.next(), ++i) {
+    const std::uint32_t b = i / CompressedIndex::kBlockPostings;
+    ASSERT_EQ(cur.current_block(), b) << "posting " << i;
+    const double contrib =
+        search::doc_weight(cur.term_freq()) * search::length_norm(ci.doc_length_at(cur.dense()));
+    oracle_max[b] = std::max(oracle_max[b], contrib);
+    list_max = std::max(list_max, contrib);
+    oracle_last[b] = cur.dense();
+    oracle_cf += cur.term_freq();
+  }
+  ASSERT_EQ(i, df);
+
+  auto fresh = ci.postings("hot");
+  for (std::uint32_t b = 0; b < fresh.num_blocks(); ++b) {
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(fresh.block_max(b)),
+              std::bit_cast<std::uint64_t>(oracle_max[b]))
+        << "block " << b;
+    EXPECT_EQ(fresh.block_last(b), oracle_last[b]) << "block " << b;
+  }
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(fresh.list_max()),
+            std::bit_cast<std::uint64_t>(list_max));
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(ci.max_contribution("hot")),
+            std::bit_cast<std::uint64_t>(list_max));
+  EXPECT_EQ(fresh.collection_freq(), oracle_cf);
+  EXPECT_EQ(ci.collection_frequency("hot"), oracle_cf);
+}
+
+TEST(CompressedIndex, SeekToMatchesLinearScan) {
+  // Property: seek_to(t) lands on exactly the posting a linear advance-while-
+  // behind loop lands on, for random ascending targets — while decoding
+  // strictly fewer postings (that's the point of the skip entries).
+  Rng rng(77);
+  const InvertedIndex src = blocky_index(rng, 4000, 3);  // "hot" in 2/3 of docs
+  const CompressedIndex ci = CompressedIndex::build(src);
+
+  auto seeker = ci.postings("hot");
+  auto walker = ci.postings("hot");
+  ASSERT_GT(seeker.num_blocks(), 3u);
+
+  std::uint32_t target = 0;
+  while (true) {
+    target += static_cast<std::uint32_t>(1 + rng.below(700));
+    seeker.seek_to(target);
+    while (!walker.done() && walker.dense() < target) walker.next();
+    ASSERT_EQ(seeker.done(), walker.done()) << "target " << target;
+    if (seeker.done()) break;
+    EXPECT_EQ(seeker.dense(), walker.dense()) << "target " << target;
+    EXPECT_EQ(seeker.term_freq(), walker.term_freq()) << "target " << target;
+    EXPECT_EQ(seeker.doc(), walker.doc()) << "target " << target;
+  }
+  EXPECT_GT(seeker.blocks_jumped(), 0u);
+  EXPECT_LT(seeker.postings_decoded(), walker.postings_decoded());
+}
+
+TEST(CompressedIndex, SeekToEdgeCases) {
+  Rng rng(5);
+  const InvertedIndex src = blocky_index(rng, 1500, 2);
+  const CompressedIndex ci = CompressedIndex::build(src);
+
+  // No-op when already at or past the target.
+  auto c = ci.postings("hot");
+  const std::uint32_t first = c.dense();
+  c.seek_to(first);
+  EXPECT_EQ(c.dense(), first);
+  c.seek_to(0);
+  EXPECT_EQ(c.dense(), first);
+
+  // Seeking past the last posting exhausts the cursor, and further seeks on
+  // an exhausted cursor are harmless no-ops.
+  c.seek_to(static_cast<std::uint32_t>(ci.num_documents()) + 1);
+  EXPECT_TRUE(c.done());
+  c.seek_to(10);
+  EXPECT_TRUE(c.done());
+
+  // A cursor for an absent term has no blocks and is born done.
+  auto absent = ci.postings("nope");
+  EXPECT_TRUE(absent.done());
+  EXPECT_EQ(absent.num_blocks(), 0u);
+  absent.seek_to(3);
+  EXPECT_TRUE(absent.done());
+}
+
+TEST(CompressedIndex, FindBlockReturnsFirstReachableBlock) {
+  Rng rng(31);
+  const InvertedIndex src = blocky_index(rng, 2500, 5);
+  const CompressedIndex ci = CompressedIndex::build(src);
+
+  auto c = ci.postings("hot");
+  const std::uint32_t nb = c.num_blocks();
+  ASSERT_GT(nb, 2u);
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto target = static_cast<std::uint32_t>(rng.below(ci.num_documents() + 10));
+    std::uint32_t oracle = 0;
+    while (oracle < nb && c.block_last(oracle) < target) ++oracle;
+    EXPECT_EQ(c.find_block(target), oracle) << "target " << target;
+  }
 }
 
 }  // namespace
